@@ -1,0 +1,729 @@
+//! LFR — "Learning Fair Representations" (Zemel et al., ICML 2013).
+//!
+//! The strongest prior baseline the iFair paper compares against
+//! (its reference `[28]`). Like iFair, LFR maps records to a probabilistic
+//! mixture of `K` prototypes, but its loss couples **three** goals:
+//!
+//! ```text
+//! L = A_z·L_z + A_x·L_x + A_y·L_y
+//! L_z = Σ_k |M_k⁺ − M_k⁻|                    (statistical parity of the
+//!                                             prototype responsibilities)
+//! L_x = 1/M Σ_i ‖x_i − x̂_i‖²                 (reconstruction)
+//! L_y = 1/M Σ_i BCE(y_i, ŷ_i)                (binary-classifier accuracy)
+//! ```
+//!
+//! with `ŷ_i = Σ_k u_ik w_k` predicted from per-prototype label weights
+//! `w ∈ [0,1]^K`. Following Zemel et al.'s released implementation, each
+//! group learns its own distance weight vector (`α⁺`, `α⁻`) and the
+//! record-to-prototype distance is the weighted **squared** Euclidean
+//! distance. The paper's critique — which our experiments reproduce — is that
+//! (a) the representation is tied to one classification task and one
+//! pre-specified protected group, and (b) the three-way objective sacrifices
+//! utility; iFair drops `L_z` and the label term.
+//!
+//! Training uses the same box-constrained L-BFGS substrate as iFair, but with
+//! analytic gradients (the original used `scipy.optimize` finite
+//! differences).
+
+use ifair_linalg::Matrix;
+use ifair_optim::{Lbfgs, LbfgsConfig, Objective, Termination};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Numerical floor keeping `log(ŷ)` finite.
+const PROB_EPS: f64 = 1e-9;
+
+/// Hyper-parameters of [`Lfr`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LfrConfig {
+    /// Number of prototypes `K`.
+    pub k: usize,
+    /// Weight `A_x` of the reconstruction loss.
+    pub a_x: f64,
+    /// Weight `A_y` of the classification loss.
+    pub a_y: f64,
+    /// Weight `A_z` of the statistical-parity loss.
+    pub a_z: f64,
+    /// Maximum L-BFGS iterations per restart.
+    pub max_iters: usize,
+    /// Number of random restarts (best final loss wins).
+    pub n_restarts: usize,
+    /// Gradient tolerance of the optimizer.
+    pub grad_tol: f64,
+    /// RNG seed (restart `r` uses `seed + r`).
+    pub seed: u64,
+}
+
+impl Default for LfrConfig {
+    fn default() -> Self {
+        LfrConfig {
+            k: 10,
+            a_x: 0.01,
+            a_y: 1.0,
+            a_z: 50.0,
+            max_iters: 150,
+            n_restarts: 3,
+            grad_tol: 1e-5,
+            seed: 42,
+        }
+    }
+}
+
+impl LfrConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if self.a_x < 0.0 || self.a_y < 0.0 || self.a_z < 0.0 {
+            return Err("loss weights must be non-negative".into());
+        }
+        if self.a_x == 0.0 && self.a_y == 0.0 && self.a_z == 0.0 {
+            return Err("at least one loss weight must be positive".into());
+        }
+        if self.n_restarts == 0 {
+            return Err("n_restarts must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A trained LFR model.
+///
+/// Note the contrast with `ifair-core` prominently discussed in the paper: `transform` and `predict_proba` require the
+/// protected-group membership of every record, because each group has its
+/// own learned distance weights and the parity term baked the group into the
+/// representation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lfr {
+    prototypes: Matrix,
+    w: Vec<f64>,
+    alpha_protected: Vec<f64>,
+    alpha_unprotected: Vec<f64>,
+    config: LfrConfig,
+    final_loss: f64,
+    converged: bool,
+    termination: Termination,
+}
+
+impl Lfr {
+    /// Fits LFR on `x` (`M x N`) with binary labels `y` and per-record
+    /// protected-group membership `group` (1 = protected).
+    pub fn fit(x: &Matrix, y: &[f64], group: &[u8], config: &LfrConfig) -> Result<Lfr, String> {
+        config.validate()?;
+        let (m, n) = x.shape();
+        if m == 0 || n == 0 {
+            return Err("empty training matrix".into());
+        }
+        if y.len() != m {
+            return Err(format!("y has length {} but X has {m} rows", y.len()));
+        }
+        if group.len() != m {
+            return Err(format!("group has length {} but X has {m} rows", group.len()));
+        }
+        if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err("labels must be binary 0/1".into());
+        }
+        let n_protected = group.iter().filter(|&&g| g == 1).count();
+        if config.a_z > 0.0 && (n_protected == 0 || n_protected == m) {
+            return Err("the parity loss needs both groups present".into());
+        }
+
+        let objective = LfrObjective::new(x, y, group, config);
+        let optimizer = Lbfgs::new(LbfgsConfig {
+            max_iters: config.max_iters,
+            grad_tol: config.grad_tol,
+            bounds: Some(objective.bounds()),
+            ..Default::default()
+        });
+
+        let mut best: Option<ifair_optim::OptimResult> = None;
+        for r in 0..config.n_restarts {
+            let theta0 = objective.initial_theta(config.seed.wrapping_add(r as u64));
+            let result = optimizer.minimize(&objective, theta0);
+            if best.as_ref().is_none_or(|b| result.value < b.value) {
+                best = Some(result);
+            }
+        }
+        let best = best.expect("n_restarts >= 1");
+
+        let (alpha_unprotected, rest) = best.x.split_at(n);
+        let (alpha_protected, rest) = rest.split_at(n);
+        let (w, v_flat) = rest.split_at(config.k);
+        Ok(Lfr {
+            prototypes: Matrix::from_vec(config.k, n, v_flat.to_vec())
+                .expect("layout is K*N by construction"),
+            w: w.to_vec(),
+            alpha_protected: alpha_protected.to_vec(),
+            alpha_unprotected: alpha_unprotected.to_vec(),
+            config: config.clone(),
+            final_loss: best.value,
+            converged: best.converged,
+            termination: best.termination,
+        })
+    }
+
+    /// The `? x K` responsibility matrix for `x`, using each record's
+    /// group-specific distance weights.
+    #[allow(clippy::needless_range_loop)] // i indexes both rows and groups
+    pub fn responsibilities(&self, x: &Matrix, group: &[u8]) -> Matrix {
+        assert_eq!(x.rows(), group.len(), "group length must match records");
+        assert_eq!(x.cols(), self.prototypes.cols(), "record width mismatch");
+        let k = self.config.k;
+        let mut u = Matrix::zeros(x.rows(), k);
+        for i in 0..x.rows() {
+            let alpha = self.alpha_for(group[i]);
+            let xi = x.row(i);
+            let mut d = vec![0.0; k];
+            for (kk, dk) in d.iter_mut().enumerate() {
+                *dk = sq_dist(xi, self.prototypes.row(kk), alpha);
+            }
+            softmax_neg_into(&d, u.row_mut(i));
+        }
+        u
+    }
+
+    /// The reconstructed representation `X̂ = U·V`.
+    pub fn transform(&self, x: &Matrix, group: &[u8]) -> Matrix {
+        self.responsibilities(x, group).matmul(&self.prototypes)
+    }
+
+    /// Predicted positive-class probabilities `ŷ = U·w`.
+    pub fn predict_proba(&self, x: &Matrix, group: &[u8]) -> Vec<f64> {
+        self.responsibilities(x, group)
+            .matvec(&self.w)
+            .expect("w has length K")
+    }
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    pub fn predict(&self, x: &Matrix, group: &[u8]) -> Vec<f64> {
+        self.predict_proba(x, group)
+            .into_iter()
+            .map(|p| if p > 0.5 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// The learned `K x N` prototype matrix.
+    pub fn prototypes(&self) -> &Matrix {
+        &self.prototypes
+    }
+
+    /// Per-prototype label weights `w ∈ [0,1]^K`.
+    pub fn label_weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Final training loss of the winning restart.
+    pub fn final_loss(&self) -> f64 {
+        self.final_loss
+    }
+
+    /// Whether the winning restart met a convergence tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    fn alpha_for(&self, group: u8) -> &[f64] {
+        if group == 1 {
+            &self.alpha_protected
+        } else {
+            &self.alpha_unprotected
+        }
+    }
+}
+
+/// The LFR loss over fixed training data. Parameter layout:
+///
+/// ```text
+/// θ = [ α⁻ (N) | α⁺ (N) | w (K) | v_11..v_KN (K·N) ]
+/// ```
+pub struct LfrObjective<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    group: &'a [u8],
+    m: usize,
+    n: usize,
+    k: usize,
+    a_x: f64,
+    a_y: f64,
+    a_z: f64,
+    n_protected: usize,
+}
+
+impl<'a> LfrObjective<'a> {
+    /// Builds the objective; shapes are validated by [`Lfr::fit`].
+    pub fn new(x: &'a Matrix, y: &'a [f64], group: &'a [u8], config: &LfrConfig) -> Self {
+        let (m, n) = x.shape();
+        LfrObjective {
+            x,
+            y,
+            group,
+            m,
+            n,
+            k: config.k,
+            a_x: config.a_x,
+            a_y: config.a_y,
+            a_z: config.a_z,
+            n_protected: group.iter().filter(|&&g| g == 1).count(),
+        }
+    }
+
+    /// Box constraints: distance weights non-negative, `w ∈ [0,1]`,
+    /// prototypes free.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        let mut b = Vec::with_capacity(self.dim());
+        b.extend(std::iter::repeat_n((0.0, f64::INFINITY), 2 * self.n));
+        b.extend(std::iter::repeat_n((0.0, 1.0), self.k));
+        b.extend(std::iter::repeat_n((f64::NEG_INFINITY, f64::INFINITY), self.k * self.n));
+        b
+    }
+
+    /// Uniform `(0,1)` initialization, matching the paper's setup for all
+    /// compared methods.
+    pub fn initial_theta(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.dim()).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn unpack<'t>(&self, theta: &'t [f64]) -> LfrParams<'t> {
+        let (alpha_un, rest) = theta.split_at(self.n);
+        let (alpha_pr, rest) = rest.split_at(self.n);
+        let (w, v) = rest.split_at(self.k);
+        LfrParams {
+            alpha_un,
+            alpha_pr,
+            w,
+            v,
+        }
+    }
+
+    fn forward(&self, params: &LfrParams<'_>) -> LfrState {
+        let (m, n, k) = (self.m, self.n, self.k);
+        let mut u = vec![0.0; m * k];
+        let mut xh = vec![0.0; m * n];
+        let mut yh = vec![0.0; m];
+        for i in 0..m {
+            let xi = self.x.row(i);
+            let alpha = if self.group[i] == 1 {
+                params.alpha_pr
+            } else {
+                params.alpha_un
+            };
+            let mut d = vec![0.0; k];
+            for (kk, dk) in d.iter_mut().enumerate() {
+                *dk = sq_dist(xi, &params.v[kk * n..(kk + 1) * n], alpha);
+            }
+            let u_row = &mut u[i * k..(i + 1) * k];
+            softmax_neg_into(&d, u_row);
+            let xh_row = &mut xh[i * n..(i + 1) * n];
+            for (kk, &uu) in u_row.iter().enumerate() {
+                let vk = &params.v[kk * n..(kk + 1) * n];
+                for (o, &vkn) in xh_row.iter_mut().zip(vk) {
+                    *o += uu * vkn;
+                }
+                yh[i] += uu * params.w[kk];
+            }
+        }
+        // Mean responsibilities per group (parity term).
+        let mut m_pos = vec![0.0; k];
+        let mut m_neg = vec![0.0; k];
+        for i in 0..m {
+            let dst = if self.group[i] == 1 {
+                &mut m_pos
+            } else {
+                &mut m_neg
+            };
+            for (acc, &uu) in dst.iter_mut().zip(&u[i * k..(i + 1) * k]) {
+                *acc += uu;
+            }
+        }
+        let n_pos = self.n_protected.max(1) as f64;
+        let n_neg = (self.m - self.n_protected).max(1) as f64;
+        for v in &mut m_pos {
+            *v /= n_pos;
+        }
+        for v in &mut m_neg {
+            *v /= n_neg;
+        }
+        LfrState {
+            u,
+            xh,
+            yh,
+            m_pos,
+            m_neg,
+        }
+    }
+
+    fn loss(&self, state: &LfrState) -> f64 {
+        let m = self.m as f64;
+        let l_x: f64 = self
+            .x
+            .as_slice()
+            .iter()
+            .zip(&state.xh)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / m;
+        let l_y: f64 = self
+            .y
+            .iter()
+            .zip(&state.yh)
+            .map(|(&y, &yh)| {
+                let p = yh.clamp(PROB_EPS, 1.0 - PROB_EPS);
+                -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+            })
+            .sum::<f64>()
+            / m;
+        let l_z: f64 = state
+            .m_pos
+            .iter()
+            .zip(&state.m_neg)
+            .map(|(&a, &b)| (a - b).abs())
+            .sum();
+        self.a_x * l_x + self.a_y * l_y + self.a_z * l_z
+    }
+}
+
+struct LfrParams<'t> {
+    alpha_un: &'t [f64],
+    alpha_pr: &'t [f64],
+    w: &'t [f64],
+    v: &'t [f64],
+}
+
+struct LfrState {
+    u: Vec<f64>,
+    xh: Vec<f64>,
+    yh: Vec<f64>,
+    m_pos: Vec<f64>,
+    m_neg: Vec<f64>,
+}
+
+impl Objective for LfrObjective<'_> {
+    fn dim(&self) -> usize {
+        2 * self.n + self.k + self.k * self.n
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let params = self.unpack(theta);
+        self.loss(&self.forward(&params))
+    }
+
+    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(theta, grad);
+    }
+
+    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let (m, n, k) = (self.m, self.n, self.k);
+        let params = self.unpack(theta);
+        let state = self.forward(&params);
+        let loss = self.loss(&state);
+        let m_f = m as f64;
+
+        grad.fill(0.0);
+        let (g_alpha_un, rest) = grad.split_at_mut(n);
+        let (g_alpha_pr, rest) = rest.split_at_mut(n);
+        let (g_w, g_v) = rest.split_at_mut(k);
+
+        // Parity subgradient sign per prototype and group scaling.
+        let sign: Vec<f64> = state
+            .m_pos
+            .iter()
+            .zip(&state.m_neg)
+            .map(|(&a, &b)| {
+                if a > b {
+                    1.0
+                } else if a < b {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let n_pos = self.n_protected.max(1) as f64;
+        let n_neg = (m - self.n_protected).max(1) as f64;
+
+        for i in 0..m {
+            let xi = self.x.row(i);
+            let protected = self.group[i] == 1;
+            let alpha = if protected {
+                params.alpha_pr
+            } else {
+                params.alpha_un
+            };
+            let g_alpha: &mut [f64] = if protected {
+                &mut *g_alpha_pr
+            } else {
+                &mut *g_alpha_un
+            };
+            let u_row = &state.u[i * k..(i + 1) * k];
+
+            // ∂L/∂x̂_i.
+            let xh_row = &state.xh[i * n..(i + 1) * n];
+            let gx: Vec<f64> = xi
+                .iter()
+                .zip(xh_row)
+                .map(|(&orig, &rec)| 2.0 * self.a_x * (rec - orig) / m_f)
+                .collect();
+
+            // ∂L/∂ŷ_i (zero when the probability was clipped).
+            let yh = state.yh[i];
+            let gy = if yh > PROB_EPS && yh < 1.0 - PROB_EPS {
+                self.a_y * (yh - self.y[i]) / (yh * (1.0 - yh)) / m_f
+            } else {
+                0.0
+            };
+
+            // c_k = ∂L/∂u_ik.
+            let mut c = vec![0.0; k];
+            let mut c_dot_u = 0.0;
+            for (kk, ck) in c.iter_mut().enumerate() {
+                let vk = &params.v[kk * n..(kk + 1) * n];
+                let parity = if protected {
+                    self.a_z * sign[kk] / n_pos
+                } else {
+                    -self.a_z * sign[kk] / n_neg
+                };
+                *ck = dot(&gx, vk) + gy * params.w[kk] + parity;
+                c_dot_u += u_row[kk] * *ck;
+            }
+
+            for kk in 0..k {
+                let uk = u_row[kk];
+                // ∂L/∂w_k through ŷ.
+                g_w[kk] += gy * uk;
+                let vk = &params.v[kk * n..(kk + 1) * n];
+                let gv_row = &mut g_v[kk * n..(kk + 1) * n];
+                // Direct reconstruction path.
+                for (gv, &gxi) in gv_row.iter_mut().zip(&gx) {
+                    *gv += uk * gxi;
+                }
+                // Softmax + distance path (z = −d, d = Σ α_n Δ_n²).
+                let gd = -(uk * (c[kk] - c_dot_u));
+                if gd == 0.0 {
+                    continue;
+                }
+                for idx in 0..n {
+                    let delta = xi[idx] - vk[idx];
+                    gv_row[idx] += gd * (-2.0 * alpha[idx].max(0.0) * delta);
+                    if alpha[idx] >= 0.0 {
+                        g_alpha[idx] += gd * delta * delta;
+                    }
+                }
+            }
+        }
+        loss
+    }
+}
+
+/// Weighted squared Euclidean distance (the LFR kernel).
+#[inline]
+fn sq_dist(x: &[f64], v: &[f64], alpha: &[f64]) -> f64 {
+    x.iter()
+        .zip(v)
+        .zip(alpha)
+        .map(|((&a, &b), &w)| {
+            let d = a - b;
+            w.max(0.0) * d * d
+        })
+        .sum()
+}
+
+/// Writes `softmax(-d)` into `out`, shifted for stability.
+#[inline]
+fn softmax_neg_into(d: &[f64], out: &mut [f64]) {
+    let d_min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut z = 0.0;
+    for (o, &dk) in out.iter_mut().zip(d) {
+        *o = (d_min - dk).exp();
+        z += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= z;
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifair_optim::numgrad::check_gradient;
+
+    /// Data where the protected bit shifts the features and the label, so
+    /// the parity term has something to repair.
+    fn biased_data() -> (Matrix, Vec<f64>, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut group = Vec::new();
+        for i in 0..24 {
+            let g = (i % 3 == 0) as u8; // 1/3 protected
+            let skill: f64 = rng.gen_range(0.0..1.0);
+            let shift = if g == 1 { -0.25 } else { 0.0 };
+            rows.push(vec![
+                skill + rng.gen_range(-0.05..0.05) + shift,
+                1.0 - skill + rng.gen_range(-0.05..0.05),
+                g as f64,
+            ]);
+            y.push(if skill + shift > 0.45 { 1.0 } else { 0.0 });
+            group.push(g);
+        }
+        (Matrix::from_rows(rows).unwrap(), y, group)
+    }
+
+    fn quick_config() -> LfrConfig {
+        LfrConfig {
+            k: 4,
+            max_iters: 80,
+            n_restarts: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences() {
+        let (x, y, group) = biased_data();
+        for (a_x, a_y, a_z) in [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (1.0, 0.5, 0.0), (0.01, 1.0, 2.0)] {
+            let config = LfrConfig {
+                a_x,
+                a_y,
+                a_z,
+                ..quick_config()
+            };
+            let obj = LfrObjective::new(&x, &y, &group, &config);
+            let theta = obj.initial_theta(17);
+            let report = check_gradient(&obj, &theta, 1e-6);
+            assert!(
+                report.passes(2e-5),
+                "a_x={a_x} a_y={a_y} a_z={a_z}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_subgradient_is_directionally_correct() {
+        // With only the parity loss active, a step along -grad must not
+        // increase the loss (sign subgradient at a differentiable point).
+        let (x, y, group) = biased_data();
+        let config = LfrConfig {
+            a_x: 0.0,
+            a_y: 0.0,
+            a_z: 1.0,
+            ..quick_config()
+        };
+        let obj = LfrObjective::new(&x, &y, &group, &config);
+        let theta = obj.initial_theta(3);
+        let mut grad = vec![0.0; obj.dim()];
+        let before = obj.value_and_gradient(&theta, &mut grad);
+        let stepped: Vec<f64> = theta
+            .iter()
+            .zip(&grad)
+            .map(|(&t, &g)| t - 1e-4 * g)
+            .collect();
+        assert!(obj.value(&stepped) <= before + 1e-9);
+    }
+
+    #[test]
+    fn fit_produces_valid_probabilities() {
+        let (x, y, group) = biased_data();
+        let model = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
+        let proba = model.predict_proba(&x, &group);
+        assert_eq!(proba.len(), 24);
+        assert!(proba.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let preds = model.predict(&x, &group);
+        assert!(preds.iter().all(|&p| p == 0.0 || p == 1.0));
+    }
+
+    #[test]
+    fn transform_shape_and_finiteness() {
+        let (x, y, group) = biased_data();
+        let model = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
+        let t = model.transform(&x, &group);
+        assert_eq!(t.shape(), x.shape());
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        let u = model.responsibilities(&x, &group);
+        for i in 0..u.rows() {
+            let s: f64 = u.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn high_parity_weight_reduces_parity_gap() {
+        let (x, y, group) = biased_data();
+        let no_parity = Lfr::fit(
+            &x,
+            &y,
+            &group,
+            &LfrConfig {
+                a_z: 0.0,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        let strong_parity = Lfr::fit(
+            &x,
+            &y,
+            &group,
+            &LfrConfig {
+                a_z: 100.0,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        let gap = |model: &Lfr| {
+            let yh = model.predict_proba(&x, &group);
+            let mean = |g: u8| {
+                let vals: Vec<f64> = yh
+                    .iter()
+                    .zip(&group)
+                    .filter(|(_, &gg)| gg == g)
+                    .map(|(&v, _)| v)
+                    .collect();
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            (mean(1) - mean(0)).abs()
+        };
+        assert!(
+            gap(&strong_parity) <= gap(&no_parity) + 1e-6,
+            "parity gap should not grow with a_z: {} vs {}",
+            gap(&strong_parity),
+            gap(&no_parity)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (x, y, group) = biased_data();
+        assert!(Lfr::fit(&x, &y[..5], &group, &quick_config()).is_err());
+        assert!(Lfr::fit(&x, &y, &group[..5], &quick_config()).is_err());
+        let bad_labels = vec![0.5; 24];
+        assert!(Lfr::fit(&x, &bad_labels, &group, &quick_config()).is_err());
+        let single_group = vec![0u8; 24];
+        assert!(Lfr::fit(&x, &y, &single_group, &quick_config()).is_err());
+        assert!(Lfr::fit(
+            &x,
+            &y,
+            &group,
+            &LfrConfig {
+                k: 0,
+                ..quick_config()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y, group) = biased_data();
+        let a = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
+        let b = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
+        assert_eq!(a.prototypes(), b.prototypes());
+        assert_eq!(a.label_weights(), b.label_weights());
+    }
+}

@@ -1,0 +1,37 @@
+//! # Baselines for the iFair reproduction
+//!
+//! Every method the paper's evaluation compares against:
+//!
+//! * [`lfr`] — LFR, "Learning Fair Representations" (Zemel et al., ICML
+//!   2013): prototype-based representations optimizing reconstruction +
+//!   classifier accuracy + statistical parity. The state of the art the
+//!   paper's classification experiments (Fig. 3, Table III) beat.
+//! * [`fair`] — FA\*IR, "A Fair Top-k Ranking Algorithm" (Zehlike et al.,
+//!   CIKM 2017): the ranking baseline (Table V) and the post-processing
+//!   parity enforcer of Fig. 5, extended with the paper's §V-E fair-score
+//!   interpolation.
+//! * [`svd_repr`] — truncated-SVD representations on full and masked data
+//!   (the SVD / SVD-masked rows of every results table).
+//! * [`parity`] — post-hoc statistical-parity thresholds for classifiers,
+//!   the §V-F counterpart of applying FA\*IR to rankings.
+//!
+//! The remaining baselines, *Full Data* and *Masked Data*, need no code
+//! here: they are the identity representation on the dataset's feature
+//! matrix and on the matrix with protected columns dropped
+//! (`Dataset::masked_x` in `ifair-data`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fair;
+pub mod lfr;
+pub mod parity;
+pub mod svd_repr;
+
+pub use fair::{
+    adjusted_alpha, binomial_cdf, fail_probability, minimum_protected_table, rerank, satisfies,
+    FairConfig, FairRanking,
+};
+pub use lfr::{Lfr, LfrConfig, LfrObjective};
+pub use parity::ParityThresholds;
+pub use svd_repr::SvdRepresentation;

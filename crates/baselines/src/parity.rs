@@ -1,0 +1,197 @@
+//! Post-hoc statistical-parity enforcement for classifiers (§V-F).
+//!
+//! The paper argues that hard group-fairness constraints, when legally
+//! required, should be enforced *after* learning an individually fair
+//! representation: "it is fairly straightforward to enhance iFair by
+//! post-processing steps to enforce statistical parity ... this requires
+//! access to the values of protected attributes". FA\*IR ([`crate::fair`])
+//! plays that role for rankings; this module is the classifier counterpart:
+//! per-group decision thresholds chosen so both groups' positive rates hit
+//! a common target.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-group decision thresholds computed by [`ParityThresholds::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParityThresholds {
+    /// Score threshold applied to protected records (group = 1).
+    pub protected: f64,
+    /// Score threshold applied to unprotected records (group = 0).
+    pub unprotected: f64,
+    /// The positive rate both groups are calibrated to.
+    pub target_rate: f64,
+}
+
+impl ParityThresholds {
+    /// Chooses per-group thresholds such that each group's positive rate
+    /// equals `target_rate` (when `None`, the overall positive rate of
+    /// `scores` at threshold 0.5 is used, so the total acceptance volume is
+    /// approximately preserved).
+    ///
+    /// Scores are classifier probabilities or any monotone decision score.
+    /// Returns an error when either group is empty.
+    pub fn fit(
+        scores: &[f64],
+        group: &[u8],
+        target_rate: Option<f64>,
+    ) -> Result<ParityThresholds, String> {
+        if scores.len() != group.len() {
+            return Err(format!(
+                "scores ({}) and group ({}) lengths differ",
+                scores.len(),
+                group.len()
+            ));
+        }
+        if scores.is_empty() {
+            return Err("cannot calibrate on empty data".into());
+        }
+        let rate = match target_rate {
+            Some(r) if !(0.0..=1.0).contains(&r) => {
+                return Err(format!("target rate must be in [0,1], got {r}"));
+            }
+            Some(r) => r,
+            None => {
+                scores.iter().filter(|&&s| s > 0.5).count() as f64 / scores.len() as f64
+            }
+        };
+        let of_group = |g: u8| -> Vec<f64> {
+            scores
+                .iter()
+                .zip(group)
+                .filter(|(_, &gg)| gg == g)
+                .map(|(&s, _)| s)
+                .collect()
+        };
+        let prot = of_group(1);
+        let unprot = of_group(0);
+        if prot.is_empty() || unprot.is_empty() {
+            return Err("both groups must be present to calibrate parity".into());
+        }
+        Ok(ParityThresholds {
+            protected: rate_threshold(&prot, rate),
+            unprotected: rate_threshold(&unprot, rate),
+            target_rate: rate,
+        })
+    }
+
+    /// Applies the thresholds, returning hard 0/1 decisions.
+    pub fn apply(&self, scores: &[f64], group: &[u8]) -> Vec<f64> {
+        assert_eq!(scores.len(), group.len(), "length mismatch");
+        scores
+            .iter()
+            .zip(group)
+            .map(|(&s, &g)| {
+                let t = if g == 1 {
+                    self.protected
+                } else {
+                    self.unprotected
+                };
+                if s > t {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// The threshold above which a `rate` fraction of `scores` falls.
+fn rate_threshold(scores: &[f64], rate: f64) -> f64 {
+    let n_accept = (scores.len() as f64 * rate).round() as usize;
+    if n_accept == 0 {
+        return f64::INFINITY; // accept nobody
+    }
+    if n_accept >= scores.len() {
+        return f64::NEG_INFINITY; // accept everybody
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    // Threshold strictly between the last accepted and first rejected score.
+    let lo = sorted[n_accept];
+    let hi = sorted[n_accept - 1];
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Biased scores: protected group systematically scored lower.
+    fn biased() -> (Vec<f64>, Vec<u8>) {
+        let mut scores = Vec::new();
+        let mut group = Vec::new();
+        for i in 0..50 {
+            let base = i as f64 / 50.0;
+            group.push(u8::from(i % 2 == 0));
+            scores.push(if i % 2 == 0 { base * 0.6 } else { base });
+        }
+        (scores, group)
+    }
+
+    fn positive_rate(preds: &[f64], group: &[u8], g: u8) -> f64 {
+        let members: Vec<f64> = preds
+            .iter()
+            .zip(group)
+            .filter(|(_, &gg)| gg == g)
+            .map(|(&p, _)| p)
+            .collect();
+        members.iter().sum::<f64>() / members.len() as f64
+    }
+
+    #[test]
+    fn equalizes_group_positive_rates() {
+        let (scores, group) = biased();
+        let naive: Vec<f64> = scores
+            .iter()
+            .map(|&s| if s > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let gap_naive = (positive_rate(&naive, &group, 1) - positive_rate(&naive, &group, 0)).abs();
+
+        let t = ParityThresholds::fit(&scores, &group, None).unwrap();
+        let fair = t.apply(&scores, &group);
+        let gap_fair = (positive_rate(&fair, &group, 1) - positive_rate(&fair, &group, 0)).abs();
+        assert!(
+            gap_fair < gap_naive,
+            "calibration did not shrink the gap: {gap_fair} vs {gap_naive}"
+        );
+        assert!(gap_fair < 0.05, "residual gap {gap_fair}");
+    }
+
+    #[test]
+    fn respects_explicit_target_rate() {
+        let (scores, group) = biased();
+        let t = ParityThresholds::fit(&scores, &group, Some(0.2)).unwrap();
+        let preds = t.apply(&scores, &group);
+        for g in [0u8, 1] {
+            let rate = positive_rate(&preds, &group, g);
+            assert!((rate - 0.2).abs() <= 0.05, "group {g} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn extreme_rates_accept_none_or_all() {
+        let (scores, group) = biased();
+        let none = ParityThresholds::fit(&scores, &group, Some(0.0)).unwrap();
+        assert!(none.apply(&scores, &group).iter().all(|&p| p == 0.0));
+        let all = ParityThresholds::fit(&scores, &group, Some(1.0)).unwrap();
+        assert!(all.apply(&scores, &group).iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(ParityThresholds::fit(&[], &[], None).is_err());
+        assert!(ParityThresholds::fit(&[0.5], &[1], None).is_err()); // one group
+        assert!(ParityThresholds::fit(&[0.5, 0.4], &[1], None).is_err()); // lengths
+        assert!(ParityThresholds::fit(&[0.5, 0.4], &[1, 0], Some(1.5)).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (scores, group) = biased();
+        let t = ParityThresholds::fit(&scores, &group, None).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ParityThresholds = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.apply(&scores, &group), t.apply(&scores, &group));
+    }
+}

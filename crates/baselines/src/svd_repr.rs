@@ -1,0 +1,146 @@
+//! SVD / SVD-masked baseline representations (§V-B of the paper).
+//!
+//! The paper's simplest learned-representation baselines reduce the data to
+//! its leading `k` right singular vectors: the *SVD* variant fits on the
+//! full feature matrix, the *SVD-masked* variant on the matrix with
+//! protected columns dropped. Both lose the protected attribute only to the
+//! extent it is uncorrelated with the leading components — which is exactly
+//! why they underperform iFair on individual fairness (Fig. 3 / Table V).
+
+use ifair_linalg::{LinalgError, Matrix, Svd};
+use serde::{Deserialize, Serialize};
+
+/// A fitted truncated-SVD representation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvdRepresentation {
+    /// `N x k` matrix of leading right singular vectors.
+    components: Matrix,
+    /// Leading singular values (length `k`).
+    singular_values: Vec<f64>,
+}
+
+impl SvdRepresentation {
+    /// Fits a rank-`k` representation on `x` (`M x N`); `k` is clamped to
+    /// the numerical rank.
+    pub fn fit(x: &Matrix, k: usize) -> Result<SvdRepresentation, LinalgError> {
+        if k == 0 {
+            return Err(LinalgError::InvalidDimensions(
+                "SVD representation needs k >= 1".into(),
+            ));
+        }
+        let svd = Svd::decompose(x)?;
+        let (_, s, v) = svd.truncate(k);
+        Ok(SvdRepresentation {
+            components: v,
+            singular_values: s,
+        })
+    }
+
+    /// Projects records onto the leading components: `X · V_k` (`? x k`).
+    ///
+    /// # Panics
+    /// Panics if `x.cols()` differs from the fitted width.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.components.rows(),
+            "record width differs from the fitted data"
+        );
+        x.matmul(&self.components)
+    }
+
+    /// Maps records into the rank-`k` subspace but back in the input space:
+    /// `X · V_k · V_kᵀ` (`? x N`). Useful when downstream code expects the
+    /// original feature width.
+    pub fn reconstruct(&self, x: &Matrix) -> Matrix {
+        self.transform(x).matmul(&self.components.transpose())
+    }
+
+    /// The `N x k` component matrix `V_k`.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// The leading singular values.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Rank of the representation (`k` after clamping).
+    pub fn rank(&self) -> usize {
+        self.components.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_rank_matrix() -> Matrix {
+        // Rank-2 matrix: rows are combinations of two basis patterns.
+        let a = [1.0, 0.0, 1.0, 0.0, 1.0];
+        let b = [0.0, 2.0, 0.0, 2.0, 0.0];
+        let rows = (0..12)
+            .map(|i| {
+                let (ca, cb) = ((i % 3) as f64, (i % 4) as f64);
+                a.iter().zip(&b).map(|(&x, &y)| ca * x + cb * y).collect()
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn transform_has_requested_rank() {
+        let x = low_rank_matrix();
+        let repr = SvdRepresentation::fit(&x, 2).unwrap();
+        assert_eq!(repr.rank(), 2);
+        assert_eq!(repr.transform(&x).shape(), (12, 2));
+        assert_eq!(repr.reconstruct(&x).shape(), (12, 5));
+    }
+
+    #[test]
+    fn rank2_matrix_reconstructs_exactly_at_k2() {
+        let x = low_rank_matrix();
+        let repr = SvdRepresentation::fit(&x, 2).unwrap();
+        let err = x.sub(&repr.reconstruct(&x)).unwrap().max_abs();
+        assert!(err < 1e-8, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn reconstruction_error_monotone_in_rank() {
+        let x = Matrix::from_fn(10, 6, |i, j| ((i * 7 + j * 3) % 11) as f64 / 11.0);
+        let mut prev = f64::INFINITY;
+        for k in 1..=6 {
+            let repr = SvdRepresentation::fit(&x, k).unwrap();
+            let diff = x.sub(&repr.reconstruct(&x)).unwrap();
+            let err = diff.frobenius_norm();
+            assert!(err <= prev + 1e-9, "k={k}: {err} > {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_rank() {
+        let x = low_rank_matrix();
+        let repr = SvdRepresentation::fit(&x, 100).unwrap();
+        assert!(repr.rank() <= 5);
+        assert!(SvdRepresentation::fit(&x, 0).is_err());
+    }
+
+    #[test]
+    fn transform_accepts_unseen_records() {
+        let x = low_rank_matrix();
+        let repr = SvdRepresentation::fit(&x, 2).unwrap();
+        let unseen = Matrix::from_rows(vec![vec![1.0, 2.0, 1.0, 2.0, 1.0]]).unwrap();
+        let t = repr.transform(&unseen);
+        assert_eq!(t.shape(), (1, 2));
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "record width")]
+    fn transform_panics_on_width_mismatch() {
+        let repr = SvdRepresentation::fit(&low_rank_matrix(), 2).unwrap();
+        repr.transform(&Matrix::zeros(1, 3));
+    }
+}

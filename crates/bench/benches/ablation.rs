@@ -1,0 +1,148 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! fairness-pair policy (exact vs anchored vs subsampled), the optimizer
+//! (L-BFGS vs Adam vs plain GD on the identical objective), the Minkowski
+//! exponent, and the fairness-distance variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifair_core::{FairnessDistance, FairnessPairs, IFair, IFairConfig, IFairObjective};
+use ifair_linalg::Matrix;
+use ifair_optim::{Adam, AdamConfig, GradientDescent, Lbfgs, LbfgsConfig, Objective};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn data(m: usize, n: usize) -> (Matrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0));
+    let mut protected = vec![false; n];
+    protected[n - 1] = true;
+    (x, protected)
+}
+
+fn base_config() -> IFairConfig {
+    IFairConfig {
+        k: 6,
+        max_iters: 15,
+        n_restarts: 1,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+/// Exact O(M²) pairs vs the anchored and subsampled approximations the
+/// paper alludes to ("we avoid the quadratic number of comparisons").
+fn bench_fairness_pairs(c: &mut Criterion) {
+    let (x, protected) = data(150, 10);
+    let mut group = c.benchmark_group("ablation/fairness_pairs_m150");
+    group.sample_size(10);
+    for (label, pairs) in [
+        ("exact", FairnessPairs::Exact),
+        ("anchored20", FairnessPairs::Anchored { n_anchors: 20 }),
+        ("subsampled1000", FairnessPairs::Subsampled { n_pairs: 1000 }),
+    ] {
+        let config = IFairConfig {
+            fairness_pairs: pairs,
+            ..base_config()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| IFair::fit(black_box(&x), &protected, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// The same objective minimized by the paper's L-BFGS vs first-order
+/// alternatives, at a fixed 30-iteration budget.
+fn bench_optimizers(c: &mut Criterion) {
+    let (x, protected) = data(80, 10);
+    let config = IFairConfig {
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
+        ..base_config()
+    };
+    let obj = IFairObjective::new(&x, &protected, &config);
+    let mut rng = StdRng::seed_from_u64(4);
+    let theta0: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+    let mut group = c.benchmark_group("ablation/optimizer_30iters");
+    group.sample_size(10);
+    group.bench_function("lbfgs", |b| {
+        let opt = Lbfgs::new(LbfgsConfig {
+            max_iters: 30,
+            grad_tol: 0.0,
+            f_tol: 0.0,
+            ..Default::default()
+        });
+        b.iter(|| opt.minimize(&obj, black_box(theta0.clone())));
+    });
+    group.bench_function("adam", |b| {
+        let opt = Adam::new(AdamConfig {
+            max_iters: 30,
+            grad_tol: 0.0,
+            ..Default::default()
+        });
+        b.iter(|| opt.minimize(&obj, black_box(theta0.clone())));
+    });
+    group.bench_function("gradient_descent", |b| {
+        let opt = GradientDescent {
+            max_iters: 30,
+            grad_tol: 0.0,
+        };
+        b.iter(|| opt.minimize(&obj, black_box(theta0.clone())));
+    });
+    group.finish();
+}
+
+/// Objective evaluation cost across Minkowski exponents (p = 2 has a fast
+/// path; p ≠ 2 pays `powf`).
+fn bench_minkowski_p(c: &mut Criterion) {
+    let (x, protected) = data(100, 12);
+    let mut group = c.benchmark_group("ablation/minkowski_p");
+    for p in [1.0, 2.0, 3.0] {
+        let config = IFairConfig {
+            p,
+            fairness_pairs: FairnessPairs::Exact,
+            ..base_config()
+        };
+        let obj = IFairObjective::new(&x, &protected, &config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut grad = vec![0.0; obj.dim()];
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| obj.value_and_gradient(black_box(&theta), &mut grad));
+        });
+    }
+    group.finish();
+}
+
+/// Unweighted Euclidean vs learned weighted metric inside the fairness loss.
+fn bench_fairness_distance(c: &mut Criterion) {
+    let (x, protected) = data(100, 12);
+    let mut group = c.benchmark_group("ablation/fairness_distance");
+    for (label, fd) in [
+        ("unweighted", FairnessDistance::Unweighted),
+        ("weighted", FairnessDistance::Weighted),
+    ] {
+        let config = IFairConfig {
+            fairness_distance: fd,
+            fairness_pairs: FairnessPairs::Exact,
+            ..base_config()
+        };
+        let obj = IFairObjective::new(&x, &protected, &config);
+        let mut rng = StdRng::seed_from_u64(6);
+        let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut grad = vec![0.0; obj.dim()];
+        group.bench_function(label, |b| {
+            b.iter(|| obj.value_and_gradient(black_box(&theta), &mut grad));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fairness_pairs,
+    bench_optimizers,
+    bench_minkowski_p,
+    bench_fairness_distance
+);
+criterion_main!(benches);

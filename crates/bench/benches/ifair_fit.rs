@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks: iFair training and transform scaling in the
+//! three problem dimensions (records M, attributes N, prototypes K).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifair_core::{FairnessPairs, IFair, IFairConfig};
+use ifair_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_data(m: usize, n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0));
+    let mut protected = vec![false; n];
+    protected[n - 1] = true;
+    (x, protected)
+}
+
+fn fit_config(k: usize) -> IFairConfig {
+    IFairConfig {
+        k,
+        max_iters: 20,
+        n_restarts: 1,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_fit_scaling_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifair_fit/records");
+    group.sample_size(10);
+    for m in [50usize, 100, 200] {
+        let (x, protected) = random_data(m, 10, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| IFair::fit(black_box(&x), &protected, &fit_config(5)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifair_fit/attributes");
+    group.sample_size(10);
+    for n in [5usize, 20, 50] {
+        let (x, protected) = random_data(100, n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| IFair::fit(black_box(&x), &protected, &fit_config(5)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_scaling_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifair_fit/prototypes");
+    group.sample_size(10);
+    let (x, protected) = random_data(100, 10, 7);
+    for k in [2usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| IFair::fit(black_box(&x), &protected, &fit_config(k)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_throughput(c: &mut Criterion) {
+    let (x, protected) = random_data(100, 20, 7);
+    let model = IFair::fit(&x, &protected, &fit_config(10)).unwrap();
+    let (big, _) = random_data(2000, 20, 9);
+    c.bench_function("ifair_transform/2000x20", |b| {
+        b.iter(|| model.transform(black_box(&big)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fit_scaling_m,
+    bench_fit_scaling_n,
+    bench_fit_scaling_k,
+    bench_transform_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the numerical kernels: distances, the
+//! iFair objective (value vs analytic value-and-gradient vs finite
+//! differences), and the metric computations that dominate evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifair_core::distance::{weighted_minkowski, weighted_power_sum};
+use ifair_core::{FairnessPairs, IFairConfig, IFairObjective};
+use ifair_linalg::Matrix;
+use ifair_metrics::{auc, consistency, kendall_tau};
+use ifair_optim::{NumericalObjective, Objective};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let x = random_vec(100, 1);
+    let y = random_vec(100, 2);
+    let alpha: Vec<f64> = random_vec(100, 3).iter().map(|v| v.abs()).collect();
+    let mut group = c.benchmark_group("distance/n100");
+    for p in [1.0, 2.0, 3.0] {
+        group.bench_with_input(BenchmarkId::new("minkowski", p), &p, |b, &p| {
+            b.iter(|| weighted_minkowski(black_box(&x), &y, &alpha, p));
+        });
+    }
+    group.bench_function("power_sum_p2", |b| {
+        b.iter(|| weighted_power_sum(black_box(&x), &y, &alpha, 2.0));
+    });
+    group.finish();
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Matrix::from_fn(80, 12, |_, _| rng.gen_range(0.0..1.0));
+    let mut protected = vec![false; 12];
+    protected[11] = true;
+    let config = IFairConfig {
+        k: 8,
+        fairness_pairs: FairnessPairs::Exact,
+        ..Default::default()
+    };
+    let obj = IFairObjective::new(&x, &protected, &config);
+    let theta = random_vec(obj.dim(), 11).iter().map(|v| v.abs()).collect::<Vec<_>>();
+    let mut grad = vec![0.0; obj.dim()];
+
+    let mut group = c.benchmark_group("objective/m80_n12_k8");
+    group.sample_size(20);
+    group.bench_function("value", |b| {
+        b.iter(|| obj.value(black_box(&theta)));
+    });
+    group.bench_function("value_and_gradient_analytic", |b| {
+        b.iter(|| obj.value_and_gradient(black_box(&theta), &mut grad));
+    });
+    // The reference implementation's approach: central differences cost
+    // 2·dim evaluations per gradient.
+    group.sample_size(10);
+    group.bench_function("gradient_finite_difference", |b| {
+        let numeric = NumericalObjective::new(obj.dim(), |t| obj.value(t));
+        b.iter(|| numeric.gradient(black_box(&theta), &mut grad));
+    });
+    group.finish();
+}
+
+fn bench_metric_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let labels: Vec<f64> = (0..1000).map(|_| f64::from(rng.gen_bool(0.4))).collect();
+    let scores: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
+    c.bench_function("metrics/auc_n1000", |b| {
+        b.iter(|| auc(black_box(&labels), black_box(&scores)));
+    });
+
+    let a = random_vec(200, 31);
+    let b_scores = random_vec(200, 32);
+    c.bench_function("metrics/kendall_tau_n200", |b| {
+        b.iter(|| kendall_tau(black_box(&a), black_box(&b_scores)));
+    });
+
+    let x = Matrix::from_fn(200, 20, |_, _| rng.gen_range(0.0..1.0));
+    let preds: Vec<f64> = (0..200).map(|_| f64::from(rng.gen_bool(0.5))).collect();
+    c.bench_function("metrics/consistency_200x20_k10", |b| {
+        b.iter(|| consistency(black_box(&x), black_box(&preds), 10));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distance_kernels,
+    bench_objective,
+    bench_metric_kernels
+);
+criterion_main!(benches);

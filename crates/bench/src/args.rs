@@ -1,0 +1,102 @@
+//! Minimal command-line handling shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--full` — run at the paper's full scale (complete hyper-parameter
+//!   grid, full dataset sizes). The default "quick" mode shrinks the grid
+//!   and caps dataset sizes so a laptop regenerates every table in minutes;
+//!   the *shape* of each result (who wins, by roughly what factor) is
+//!   preserved — see `EXPERIMENTS.md`.
+//! * `--seed <u64>` — base RNG seed (default 42).
+
+/// Parsed experiment arguments.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Run the full paper-scale configuration.
+    pub full: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            full: false,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> ExpArgs {
+        Self::parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            eprintln!("usage: <experiment> [--full] [--seed <u64>]");
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an explicit argument list (testable core of [`ExpArgs::parse`]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<ExpArgs, String> {
+        let mut parsed = ExpArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => parsed.full = true,
+                "--quick" => parsed.full = false,
+                "--seed" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--seed requires a value".to_string())?;
+                    parsed.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid seed: {value}"))?;
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Human-readable mode tag for experiment headers.
+    pub fn mode(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else {
+            "quick"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = ExpArgs::parse_from(strs(&[])).unwrap();
+        assert!(!a.full);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.mode(), "quick");
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = ExpArgs::parse_from(strs(&["--full", "--seed", "7"])).unwrap();
+        assert!(a.full);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.mode(), "full");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(ExpArgs::parse_from(strs(&["--seed"])).is_err());
+        assert!(ExpArgs::parse_from(strs(&["--seed", "x"])).is_err());
+        assert!(ExpArgs::parse_from(strs(&["--bogus"])).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 3 — utility (AUC) vs individual fairness (yNN) trade-off for the
+//! classification task (§V-D), on Compas, Census and Credit.
+//!
+//! Every method contributes its evaluated grid points; the printed table
+//! lists each method's best harmonic-mean point and all Pareto-optimal
+//! points (the paper's dashed front). The full point cloud goes to
+//! `results/fig3.json` for plotting.
+
+use ifair_bench::classification::{
+    pareto_front, prepare_classification, run_all_methods, select_best, GridSpec, PrepareCaps,
+    Tuning,
+};
+use ifair_bench::report::{f3, write_json, MarkdownTable};
+use ifair_bench::{datasets, ExpArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: String,
+    method: String,
+    params: String,
+    auc: f64,
+    ynn: f64,
+    pareto: bool,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let spec = GridSpec::for_mode(args.full);
+    let caps = PrepareCaps::for_mode(args.full);
+    println!(
+        "# Figure 3 — AUC vs yNN trade-off, classification ({} mode)\n",
+        args.mode()
+    );
+
+    let mut all_points = Vec::new();
+    for (name, ds) in datasets::classification_datasets(args.full, args.seed) {
+        eprintln!("[fig3] running grid on {name}...");
+        let p = prepare_classification(&ds, &name, args.seed, caps);
+        let points = run_all_methods(&p, &spec, args.seed);
+        let coords: Vec<(f64, f64)> = points.iter().map(|g| (g.test.ynn, g.test.auc)).collect();
+        let flags = pareto_front(&coords);
+
+        println!("## {name}\n");
+        let mut table = MarkdownTable::new(["Method", "Params", "AUC", "yNN", "Pareto"]);
+        // One representative row per method (best harmonic mean), then all
+        // Pareto points.
+        let methods: Vec<String> = {
+            let mut seen = Vec::new();
+            for g in &points {
+                if !seen.contains(&g.method) {
+                    seen.push(g.method.clone());
+                }
+            }
+            seen
+        };
+        for method in &methods {
+            let subset: Vec<_> = points
+                .iter()
+                .filter(|g| &g.method == method)
+                .cloned()
+                .collect();
+            let best = select_best(&subset, Tuning::Harmonic);
+            table.row([
+                method.clone(),
+                best.params.clone(),
+                f3(best.test.auc),
+                f3(best.test.ynn),
+                String::new(),
+            ]);
+        }
+        for (g, &flag) in points.iter().zip(&flags) {
+            if flag {
+                table.row([
+                    g.method.clone(),
+                    g.params.clone(),
+                    f3(g.test.auc),
+                    f3(g.test.ynn),
+                    "*".to_string(),
+                ]);
+            }
+        }
+        table.print();
+        let n_pareto = flags.iter().filter(|&&f| f).count();
+        println!(
+            "\n{} grid points evaluated, {n_pareto} Pareto-optimal (marked *).\n",
+            points.len()
+        );
+
+        for (g, flag) in points.into_iter().zip(flags) {
+            all_points.push(Point {
+                dataset: name.clone(),
+                method: g.method,
+                params: g.params,
+                auc: g.test.auc,
+                ynn: g.test.ynn,
+                pareto: flag,
+            });
+        }
+    }
+    println!(
+        "Expected shape (paper): Full Data has the best AUC but poor yNN; \
+         LFR and iFair dominate the other methods on the trade-off, with \
+         iFair-b Pareto-optimal across datasets."
+    );
+    if let Some(path) = write_json("fig3", &all_points) {
+        println!("\nraw results: {}", path.display());
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 4 — information obfuscation (§V-F): accuracy of a logistic-
+//! regression adversary predicting protected group membership from (i)
+//! masked data, (ii) LFR representations, (iii) iFair-b representations,
+//! for all five datasets (LFR is classification-only, as in the paper).
+//!
+//! Lower is better; the majority-class share is the floor.
+
+use ifair_bench::report::{f2, write_json, MarkdownTable};
+use ifair_bench::{datasets, ExpArgs};
+use ifair_baselines::{Lfr, LfrConfig};
+use ifair_core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair_data::{Dataset, StandardScaler};
+use ifair_models::{adversarial_accuracy, adversarial::majority_share};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    majority_floor: f64,
+    masked: f64,
+    lfr: Option<f64>,
+    ifair_b: f64,
+}
+
+/// Scales and subsamples a dataset to `cap` records (adversary training is
+/// `O(M·N)` per iteration, and LFR/iFair fits are the expensive part).
+fn sample(ds: &Dataset, cap: usize, seed: u64) -> Dataset {
+    let mut idx: Vec<usize> = (0..ds.n_records()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(cap.min(ds.n_records()));
+    let sub = ds.subset(&idx);
+    let (_, x) = StandardScaler::fit_transform(&sub.x);
+    sub.with_features(x).expect("scaling preserves shape")
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cap = if args.full { 1500 } else { 800 };
+    println!(
+        "# Figure 4 — adversarial accuracy of predicting the protected group \
+         (lower is better, {} mode)\n",
+        args.mode()
+    );
+
+    let ifair_config = IFairConfig {
+        k: 10,
+        lambda: 1.0,
+        mu: 1.0,
+        init: InitStrategy::NearZeroProtected,
+        // Pin protected attribute weights near zero: prototype assignment
+        // must ignore the protected column for obfuscation to hold (§III-B).
+        freeze_protected_alpha: true,
+        fairness_pairs: if args.full {
+            FairnessPairs::Exact
+        } else {
+            FairnessPairs::Subsampled { n_pairs: 4000 }
+        },
+        max_iters: if args.full { 150 } else { 60 },
+        n_restarts: if args.full { 3 } else { 2 },
+        seed: args.seed,
+        ..Default::default()
+    };
+    let lfr_config = LfrConfig {
+        k: 10,
+        max_iters: if args.full { 150 } else { 60 },
+        n_restarts: if args.full { 3 } else { 2 },
+        seed: args.seed,
+        ..Default::default()
+    };
+
+    let mut tasks: Vec<(String, Dataset, bool)> = Vec::new();
+    for (name, ds) in datasets::classification_datasets(args.full, args.seed) {
+        tasks.push((name, ds, true));
+    }
+    for (name, rds) in datasets::ranking_datasets(args.full, args.seed) {
+        tasks.push((name, rds.data, false));
+    }
+
+    let mut table = MarkdownTable::new([
+        "Dataset",
+        "Majority floor",
+        "Masked Data",
+        "LFR",
+        "iFair-b",
+    ]);
+    let mut rows = Vec::new();
+    for (name, ds, has_labels) in tasks {
+        eprintln!("[fig4] {name}...");
+        let s = sample(&ds, cap, args.seed);
+        let masked_acc = adversarial_accuracy(&s.masked_x(), &s.group, args.seed);
+        let lfr_acc = if has_labels {
+            match Lfr::fit(&s.x, s.labels(), &s.group, &lfr_config) {
+                Ok(model) => Some(adversarial_accuracy(
+                    &model.transform(&s.x, &s.group),
+                    &s.group,
+                    args.seed,
+                )),
+                Err(e) => {
+                    eprintln!("warning: LFR on {name}: {e}");
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let ifair = IFair::fit(&s.x, &s.protected, &ifair_config).expect("iFair fits");
+        let ifair_acc = adversarial_accuracy(&ifair.transform(&s.x), &s.group, args.seed);
+        let floor = majority_share(&s.group);
+        table.row([
+            name.clone(),
+            f2(floor),
+            f2(masked_acc),
+            lfr_acc.map(f2).unwrap_or_else(|| "n/a".into()),
+            f2(ifair_acc),
+        ]);
+        rows.push(Row {
+            dataset: name,
+            majority_floor: floor,
+            masked: masked_acc,
+            lfr: lfr_acc,
+            ifair_b: ifair_acc,
+        });
+    }
+    table.print();
+    println!(
+        "\nExpected shape (paper): masked data still leaks group membership \
+         through correlated proxies; iFair pushes the adversary towards the \
+         majority floor on every dataset."
+    );
+    if let Some(path) = write_json("fig4", &rows) {
+        println!("\nraw results: {}", path.display());
+    }
+}

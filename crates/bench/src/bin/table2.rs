@@ -1,0 +1,91 @@
+//! Table II — experimental settings and statistics of the datasets.
+//!
+//! Prints, for each of the five (simulated) datasets, the record count `N`,
+//! encoded dimensionality `M`, base rates of the positive class per group,
+//! outcome and protected attribute — next to the paper's published values.
+
+use ifair_bench::report::{f2, write_json, MarkdownTable};
+use ifair_bench::{datasets, ExpArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    base_rate_protected: Option<f64>,
+    base_rate_unprotected: Option<f64>,
+    n_records: usize,
+    n_encoded: usize,
+    outcome: &'static str,
+    protected: &'static str,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("# Table II — dataset statistics ({} mode)\n", args.mode());
+
+    // Paper rows: (name, base-rate prot, base-rate unprot, N, M, outcome, protected).
+    let paper = [
+        ("Compas", Some((0.52, 0.40)), 6901, 431, "recidivism", "race"),
+        ("Census", Some((0.12, 0.31)), 48842, 101, "income", "gender"),
+        ("Credit", Some((0.67, 0.72)), 1000, 67, "loan default", "age"),
+        ("Xing", None, 2240, 59, "work + education", "gender"),
+        ("Airbnb", None, 27597, 33, "rating/price", "gender"),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, ds) in datasets::classification_datasets(args.full, args.seed) {
+        let (rate_p, rate_u) = ds.base_rates();
+        rows.push(Row {
+            dataset: name,
+            base_rate_protected: Some(rate_p),
+            base_rate_unprotected: Some(rate_u),
+            n_records: ds.n_records(),
+            n_encoded: ds.n_features(),
+            outcome: "",
+            protected: "",
+        });
+    }
+    for (name, rds) in datasets::ranking_datasets(args.full, args.seed) {
+        rows.push(Row {
+            dataset: name,
+            base_rate_protected: None,
+            base_rate_unprotected: None,
+            n_records: rds.data.n_records(),
+            n_encoded: rds.data.n_features(),
+            outcome: "",
+            protected: "",
+        });
+    }
+
+    let mut table = MarkdownTable::new([
+        "Dataset",
+        "Base-rate prot (paper)",
+        "Base-rate unprot (paper)",
+        "N (paper)",
+        "M (paper)",
+        "Outcome",
+        "Protected",
+    ]);
+    for (row, (pname, prates, pn, pm, outcome, protected)) in rows.iter_mut().zip(paper) {
+        assert_eq!(row.dataset, pname, "dataset order must match the paper");
+        row.outcome = outcome;
+        row.protected = protected;
+        let fmt_rate = |ours: Option<f64>, paper: Option<f64>| match (ours, paper) {
+            (Some(o), Some(p)) => format!("{} ({})", f2(o), f2(p)),
+            _ => "-".to_string(),
+        };
+        table.row([
+            row.dataset.clone(),
+            fmt_rate(row.base_rate_protected, prates.map(|r| r.0)),
+            fmt_rate(row.base_rate_unprotected, prates.map(|r| r.1)),
+            format!("{} ({pn})", row.n_records),
+            format!("{} ({pm})", row.n_encoded),
+            outcome.to_string(),
+            protected.to_string(),
+        ]);
+    }
+    table.print();
+    if let Some(path) = write_json("table2", &rows) {
+        println!("\nraw results: {}", path.display());
+    }
+}

@@ -1,0 +1,151 @@
+//! Table V — the ranking task (§V-E): MAP, Kendall's τ, yNN and the share
+//! of protected candidates in the top 10, for seven methods on Xing (57
+//! queries) and Airbnb (43 queries).
+//!
+//! iFair-b is tuned like the paper's reported criterion "Optimal": the
+//! `(λ, μ, K)` cell with the best harmonic mean of MAP and yNN. FA\*IR runs
+//! at the paper's `p` values (0.5/0.9 on Xing, 0.5/0.6 on Airbnb).
+
+use ifair_bench::classification::GridSpec;
+use ifair_bench::exec::parallel_map;
+use ifair_bench::ranking::{
+    apply_rank_repr, eval_fair_rerank, eval_ranking, predict_scores, prepare_ranking,
+    PreparedRanking, RankMetrics, RankRepr,
+};
+use ifair_bench::report::{f2, write_json, MarkdownTable};
+use ifair_bench::{datasets, ExpArgs};
+use ifair_baselines::FairConfig;
+use ifair_core::{IFairConfig, InitStrategy};
+use ifair_metrics::harmonic_mean;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    method: String,
+    map: f64,
+    kt: f64,
+    ynn: f64,
+    pct_protected_top10: f64,
+}
+
+/// Grid-searches iFair-b for the best harmonic mean of MAP and yNN.
+fn tuned_ifair(p: &PreparedRanking, spec: &GridSpec, seed: u64) -> (RankMetrics, String) {
+    let mut cells = Vec::new();
+    for &lambda in &spec.coeffs {
+        for &mu in &spec.coeffs {
+            if lambda == 0.0 && mu == 0.0 {
+                continue;
+            }
+            for &k in &spec.ks {
+                cells.push((lambda, mu, k));
+            }
+        }
+    }
+    let evaluated = parallel_map(cells, |(lambda, mu, k)| {
+        let config = IFairConfig {
+            k,
+            lambda,
+            mu,
+            init: InitStrategy::NearZeroProtected,
+            fairness_pairs: spec.fairness_pairs,
+            n_restarts: spec.n_restarts,
+            max_iters: spec.max_iters,
+            seed,
+            ..Default::default()
+        };
+        let repr = apply_rank_repr(p, &RankRepr::IFair(config)).expect("valid grid cell");
+        let m = eval_ranking(p, &predict_scores(p, &repr).expect("regression fits"));
+        (m, format!("λ={lambda} μ={mu} K={k}"))
+    });
+    evaluated
+        .into_iter()
+        .max_by(|(a, _), (b, _)| {
+            harmonic_mean(a.map, a.ynn)
+                .partial_cmp(&harmonic_mean(b.map, b.ynn))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("grid non-empty")
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let spec = GridSpec::for_mode(args.full);
+    let fit_cap = if args.full { 1000 } else { 250 };
+    println!("# Table V — ranking task ({} mode)\n", args.mode());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, rds) in datasets::ranking_datasets(args.full, args.seed) {
+        let p = prepare_ranking(&rds, &name, fit_cap, args.seed);
+        println!(
+            "## {name} ({} queries)\n",
+            p.queries.len()
+        );
+        let mut table = MarkdownTable::new([
+            "Method",
+            "MAP (AP@10)",
+            "KT (mean)",
+            "yNN (mean)",
+            "% Protected in top 10",
+        ]);
+        let mut push = |method: String, m: RankMetrics| {
+            table.row([
+                method.clone(),
+                f2(m.map),
+                f2(m.kt),
+                f2(m.ynn),
+                f2(m.pct_protected_top10),
+            ]);
+            rows.push(Row {
+                dataset: name.clone(),
+                method,
+                map: m.map,
+                kt: m.kt,
+                ynn: m.ynn,
+                pct_protected_top10: m.pct_protected_top10,
+            });
+        };
+
+        // The four untuned representation baselines.
+        let svd_k = 10;
+        for method in [
+            RankRepr::Full,
+            RankRepr::Masked,
+            RankRepr::Svd { k: svd_k },
+            RankRepr::SvdMasked { k: svd_k },
+        ] {
+            let repr = apply_rank_repr(&p, &method).expect("baseline repr");
+            let m = eval_ranking(&p, &predict_scores(&p, &repr).expect("regression fits"));
+            push(method.label(), m);
+        }
+
+        // FA*IR on masked-data scores at the paper's p values.
+        let masked_scores = predict_scores(
+            &p,
+            &apply_rank_repr(&p, &RankRepr::Masked).expect("masked repr"),
+        )
+        .expect("regression fits");
+        let fair_ps: &[f64] = if name == "Xing" { &[0.5, 0.9] } else { &[0.5, 0.6] };
+        for &fp in fair_ps {
+            let m = eval_fair_rerank(
+                &p,
+                &masked_scores,
+                &FairConfig {
+                    p: fp,
+                    ..Default::default()
+                },
+            );
+            push(format!("FA*IR (p = {fp})"), m);
+        }
+
+        // iFair-b tuned for the harmonic mean of MAP and yNN.
+        let (m, params) = tuned_ifair(&p, &spec, args.seed);
+        push(format!("iFair-b [{params}]"), m);
+        table.print();
+        println!();
+    }
+
+    if let Some(path) = write_json("table5", &rows) {
+        println!("raw results: {}", path.display());
+    }
+}

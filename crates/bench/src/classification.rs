@@ -1,0 +1,562 @@
+//! The classification experiment pipeline of §V-D (Fig. 3, Table III) and
+//! the synthetic study of §IV (Fig. 2).
+//!
+//! Mirrors the paper's setup (§V-B): features scaled to unit variance, one
+//! random three-way split shared by all methods, a logistic-regression
+//! classifier trained on each method's representation, and a grid search
+//! over mixture coefficients and the prototype count `K` tuned on the
+//! validation split under three criteria (max utility / max individual
+//! fairness / best harmonic mean).
+
+use crate::exec::parallel_map;
+use ifair_baselines::{Lfr, LfrConfig, SvdRepresentation};
+use ifair_core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair_data::{train_val_test_split, Dataset, StandardScaler};
+use ifair_linalg::Matrix;
+use ifair_metrics::{
+    accuracy, auc, consistency_with_neighbors, equal_opportunity, harmonic_mean, k_nearest_all,
+    statistical_parity,
+};
+use ifair_models::LogisticRegression;
+use serde::Serialize;
+
+/// Neighbourhood size of the yNN consistency measure (§V-C: `k = 10`).
+pub const YNN_K: usize = 10;
+
+/// A dataset prepared for the classification pipeline: scaled, split, with
+/// yNN neighbourhoods precomputed once (they depend only on the original
+/// masked attributes, not on the representation under evaluation).
+pub struct PreparedData {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// Scaled training split.
+    pub train: Dataset,
+    /// Scaled validation split (hyper-parameter tuning).
+    pub val: Dataset,
+    /// Scaled test split (reported numbers).
+    pub test: Dataset,
+    /// Subset of `train` used to fit representation models (capped so the
+    /// `O(M²)` fairness loss stays tractable; see DESIGN.md).
+    pub fit: Dataset,
+    /// `k=10` neighbourhoods on the validation split's masked attributes.
+    pub val_neighbors: Vec<Vec<usize>>,
+    /// `k=10` neighbourhoods on the test split's masked attributes.
+    pub test_neighbors: Vec<Vec<usize>>,
+}
+
+/// Caps applied while preparing a dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareCaps {
+    /// Maximum records used to fit representation models.
+    pub fit_cap: usize,
+    /// Maximum records in the validation and test splits (evaluation cost is
+    /// dominated by the `O(M²)` yNN neighbourhood computation).
+    pub eval_cap: usize,
+}
+
+impl PrepareCaps {
+    /// Caps for the given mode: quick keeps every experiment laptop-sized.
+    pub fn for_mode(full: bool) -> PrepareCaps {
+        if full {
+            PrepareCaps {
+                fit_cap: 1000,
+                eval_cap: 2000,
+            }
+        } else {
+            PrepareCaps {
+                fit_cap: 250,
+                eval_cap: 500,
+            }
+        }
+    }
+}
+
+/// Scales, splits and precomputes neighbourhoods for a labeled dataset.
+pub fn prepare_classification(
+    ds: &Dataset,
+    name: &str,
+    seed: u64,
+    caps: PrepareCaps,
+) -> PreparedData {
+    let split = train_val_test_split(ds.n_records(), 1.0 / 3.0, 1.0 / 3.0, seed);
+    let train_raw = ds.subset(&split.train);
+    // §V-B: "all feature vectors are normalized to have unit variance" —
+    // the scaler is fit on the training split only to avoid leakage.
+    let scaler = StandardScaler::fit(&train_raw.x);
+    let scaled = |subset: Dataset| -> Dataset {
+        let x = scaler.transform(&subset.x);
+        subset.with_features(x).expect("scaling preserves shape")
+    };
+    let train = scaled(train_raw);
+    let val = scaled(ds.subset(&cap_indices(&split.val, caps.eval_cap)));
+    let test = scaled(ds.subset(&cap_indices(&split.test, caps.eval_cap)));
+    let fit = train.subset(&cap_indices(
+        &(0..train.n_records()).collect::<Vec<_>>(),
+        caps.fit_cap,
+    ));
+
+    let val_neighbors = k_nearest_all(&val.masked_x(), YNN_K.min(val.n_records().saturating_sub(1)));
+    let test_neighbors =
+        k_nearest_all(&test.masked_x(), YNN_K.min(test.n_records().saturating_sub(1)));
+    PreparedData {
+        name: name.to_string(),
+        train,
+        val,
+        test,
+        fit,
+        val_neighbors,
+        test_neighbors,
+    }
+}
+
+fn cap_indices(indices: &[usize], cap: usize) -> Vec<usize> {
+    indices[..indices.len().min(cap)].to_vec()
+}
+
+/// Representations of the three splits under one method.
+pub struct ReprSet {
+    /// Training-split representation (classifier input).
+    pub train: Matrix,
+    /// Validation-split representation.
+    pub val: Matrix,
+    /// Test-split representation.
+    pub test: Matrix,
+}
+
+/// Identity representation: *Full Data* (or *Masked Data* when `masked`).
+pub fn repr_identity(p: &PreparedData, masked: bool) -> ReprSet {
+    let pick = |d: &Dataset| if masked { d.masked_x() } else { d.x.clone() };
+    ReprSet {
+        train: pick(&p.train),
+        val: pick(&p.val),
+        test: pick(&p.test),
+    }
+}
+
+/// Truncated-SVD representation on full or masked features (rank `k`).
+pub fn repr_svd(p: &PreparedData, k: usize, masked: bool) -> Result<ReprSet, String> {
+    let pick = |d: &Dataset| if masked { d.masked_x() } else { d.x.clone() };
+    let svd = SvdRepresentation::fit(&pick(&p.fit), k).map_err(|e| e.to_string())?;
+    Ok(ReprSet {
+        train: svd.transform(&pick(&p.train)),
+        val: svd.transform(&pick(&p.val)),
+        test: svd.transform(&pick(&p.test)),
+    })
+}
+
+/// LFR representation (fit on the capped training subset).
+pub fn repr_lfr(p: &PreparedData, config: &LfrConfig) -> Result<(ReprSet, Lfr), String> {
+    let y = p.fit.labels();
+    let model = Lfr::fit(&p.fit.x, y, &p.fit.group, config)?;
+    Ok((
+        ReprSet {
+            train: model.transform(&p.train.x, &p.train.group),
+            val: model.transform(&p.val.x, &p.val.group),
+            test: model.transform(&p.test.x, &p.test.group),
+        },
+        model,
+    ))
+}
+
+/// iFair representation (fit on the capped training subset).
+pub fn repr_ifair(p: &PreparedData, config: &IFairConfig) -> Result<(ReprSet, IFair), String> {
+    let model = IFair::fit(&p.fit.x, &p.fit.protected, config).map_err(|e| e.to_string())?;
+    Ok((
+        ReprSet {
+            train: model.transform(&p.train.x),
+            val: model.transform(&p.val.x),
+            test: model.transform(&p.test.x),
+        },
+        model,
+    ))
+}
+
+/// The paper's classification metrics (§V-C), all "higher is better".
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ClsMetrics {
+    /// Classifier accuracy.
+    pub acc: f64,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Equality of opportunity `1 - |ΔTPR|`.
+    pub eq_opp: f64,
+    /// Statistical parity `1 - |Δ positive rate|`.
+    pub parity: f64,
+    /// yNN consistency (individual fairness).
+    pub ynn: f64,
+}
+
+/// Trains logistic regression on `(repr.train, train labels)` and evaluates
+/// on the validation and test splits. Returns `(val, test)` metrics.
+pub fn eval_classification(p: &PreparedData, repr: &ReprSet) -> (ClsMetrics, ClsMetrics) {
+    let model = LogisticRegression::fit_default(&repr.train, p.train.labels());
+    let eval = |x: &Matrix, ds: &Dataset, neighbors: &[Vec<usize>]| -> ClsMetrics {
+        let proba = model.predict_proba(x);
+        let preds: Vec<f64> = proba
+            .iter()
+            .map(|&pr| if pr > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let y = ds.labels();
+        ClsMetrics {
+            acc: accuracy(y, &preds),
+            auc: auc(y, &proba),
+            eq_opp: equal_opportunity(y, &preds, &ds.group),
+            parity: statistical_parity(&preds, &ds.group),
+            ynn: consistency_with_neighbors(neighbors, &preds),
+        }
+    };
+    (
+        eval(&repr.val, &p.val, &p.val_neighbors),
+        eval(&repr.test, &p.test, &p.test_neighbors),
+    )
+}
+
+/// Hyper-parameter grid for the learned representations.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Mixture-coefficient grid (the paper's `{0, 0.05, 0.1, 1, 10, 100}`).
+    pub coeffs: Vec<f64>,
+    /// Prototype counts (the paper's `{10, 20, 30}`).
+    pub ks: Vec<usize>,
+    /// Restarts per cell (the paper's best-of-3).
+    pub n_restarts: usize,
+    /// L-BFGS iteration budget per restart.
+    pub max_iters: usize,
+    /// Fairness-pair policy for iFair fits.
+    pub fairness_pairs: FairnessPairs,
+}
+
+impl GridSpec {
+    /// The paper's exact grid (§V-B).
+    pub fn paper() -> GridSpec {
+        GridSpec {
+            coeffs: vec![0.0, 0.05, 0.1, 1.0, 10.0, 100.0],
+            ks: vec![10, 20, 30],
+            n_restarts: 3,
+            max_iters: 150,
+            fairness_pairs: FairnessPairs::Exact,
+        }
+    }
+
+    /// Reduced grid preserving the trade-off shape at a fraction of the cost.
+    pub fn quick() -> GridSpec {
+        GridSpec {
+            coeffs: vec![0.1, 1.0, 10.0],
+            ks: vec![10, 20],
+            n_restarts: 2,
+            max_iters: 60,
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 4000 },
+        }
+    }
+
+    /// Grid for the given mode.
+    pub fn for_mode(full: bool) -> GridSpec {
+        if full {
+            GridSpec::paper()
+        } else {
+            GridSpec::quick()
+        }
+    }
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridPoint {
+    /// Method label (`iFair-a`, `iFair-b`, `LFR`, ...).
+    pub method: String,
+    /// Cell parameters, e.g. `λ=1 μ=10 K=20`.
+    pub params: String,
+    /// Validation metrics (used for tuning).
+    pub val: ClsMetrics,
+    /// Test metrics (reported).
+    pub test: ClsMetrics,
+}
+
+/// Evaluates iFair over the full `(λ, μ, K)` grid (both-zero cells skipped),
+/// cells fanned out over available cores.
+pub fn grid_search_ifair(
+    p: &PreparedData,
+    init: InitStrategy,
+    spec: &GridSpec,
+    seed: u64,
+) -> Vec<GridPoint> {
+    let method = match init {
+        InitStrategy::RandomUniform => "iFair-a",
+        InitStrategy::NearZeroProtected => "iFair-b",
+    };
+    let mut cells = Vec::new();
+    for &lambda in &spec.coeffs {
+        for &mu in &spec.coeffs {
+            if lambda == 0.0 && mu == 0.0 {
+                continue;
+            }
+            for &k in &spec.ks {
+                cells.push((lambda, mu, k));
+            }
+        }
+    }
+    parallel_map(cells, |(lambda, mu, k)| {
+        let config = IFairConfig {
+            k: k.min(p.fit.n_records().saturating_sub(1).max(1)),
+            lambda,
+            mu,
+            init,
+            fairness_pairs: spec.fairness_pairs,
+            n_restarts: spec.n_restarts,
+            max_iters: spec.max_iters,
+            seed,
+            ..Default::default()
+        };
+        let (repr, _) = repr_ifair(p, &config).expect("validated grid cell");
+        let (val, test) = eval_classification(p, &repr);
+        GridPoint {
+            method: method.to_string(),
+            params: format!("λ={lambda} μ={mu} K={k}"),
+            val,
+            test,
+        }
+    })
+}
+
+/// Evaluates LFR over the `(A_x, A_z, K)` grid with `A_y = 1` fixed (only
+/// the relative scale of the three coefficients matters).
+pub fn grid_search_lfr(p: &PreparedData, spec: &GridSpec, seed: u64) -> Vec<GridPoint> {
+    let mut cells = Vec::new();
+    for &a_x in &spec.coeffs {
+        for &a_z in &spec.coeffs {
+            for &k in &spec.ks {
+                cells.push((a_x, a_z, k));
+            }
+        }
+    }
+    parallel_map(cells, |(a_x, a_z, k)| {
+        let config = LfrConfig {
+            k: k.min(p.fit.n_records().saturating_sub(1).max(1)),
+            a_x,
+            a_y: 1.0,
+            a_z,
+            n_restarts: spec.n_restarts,
+            max_iters: spec.max_iters,
+            seed,
+            ..Default::default()
+        };
+        let (repr, _) = repr_lfr(p, &config).expect("validated grid cell");
+        let (val, test) = eval_classification(p, &repr);
+        GridPoint {
+            method: "LFR".to_string(),
+            params: format!("Ax={a_x} Az={a_z} K={k}"),
+            val,
+            test,
+        }
+    })
+}
+
+/// Hyper-parameter tuning criteria of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tuning {
+    /// (a) best validation AUC.
+    MaxUtility,
+    /// (b) best validation yNN.
+    MaxFairness,
+    /// (c) best harmonic mean of validation AUC and yNN.
+    Harmonic,
+}
+
+impl Tuning {
+    /// All three criteria, in the paper's row order.
+    pub fn all() -> [Tuning; 3] {
+        [Tuning::MaxUtility, Tuning::MaxFairness, Tuning::Harmonic]
+    }
+
+    /// Table III's row-group label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tuning::MaxUtility => "Max Utility (a)",
+            Tuning::MaxFairness => "Max Fairness (b)",
+            Tuning::Harmonic => "Optimal (c)",
+        }
+    }
+
+    /// The tuning score of a cell's validation metrics.
+    pub fn score(&self, m: &ClsMetrics) -> f64 {
+        match self {
+            Tuning::MaxUtility => m.auc,
+            Tuning::MaxFairness => m.ynn,
+            Tuning::Harmonic => harmonic_mean(m.auc, m.ynn),
+        }
+    }
+}
+
+/// Picks the grid cell maximizing the tuning criterion on validation data.
+pub fn select_best(points: &[GridPoint], tuning: Tuning) -> &GridPoint {
+    points
+        .iter()
+        .max_by(|a, b| {
+            tuning
+                .score(&a.val)
+                .partial_cmp(&tuning.score(&b.val))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("grid must be non-empty")
+}
+
+/// Runs every §V-D method on a prepared dataset: Full/Masked Data (single
+/// points), the SVD variants (one point per `K`), and the LFR / iFair-a /
+/// iFair-b grids. Returns all evaluated points, labeled by method.
+pub fn run_all_methods(p: &PreparedData, spec: &GridSpec, seed: u64) -> Vec<GridPoint> {
+    let mut out = Vec::new();
+    for (label, masked) in [("Full Data", false), ("Masked Data", true)] {
+        let repr = repr_identity(p, masked);
+        let (val, test) = eval_classification(p, &repr);
+        out.push(GridPoint {
+            method: label.into(),
+            params: String::new(),
+            val,
+            test,
+        });
+    }
+    for (label, masked) in [("SVD", false), ("SVD-masked", true)] {
+        for &k in &spec.ks {
+            match repr_svd(p, k, masked) {
+                Ok(repr) => {
+                    let (val, test) = eval_classification(p, &repr);
+                    out.push(GridPoint {
+                        method: label.into(),
+                        params: format!("K={k}"),
+                        val,
+                        test,
+                    });
+                }
+                Err(e) => eprintln!("warning: {label} K={k} on {}: {e}", p.name),
+            }
+        }
+    }
+    out.extend(grid_search_lfr(p, spec, seed));
+    out.extend(grid_search_ifair(p, InitStrategy::RandomUniform, spec, seed));
+    out.extend(grid_search_ifair(p, InitStrategy::NearZeroProtected, spec, seed));
+    out
+}
+
+/// Pareto-optimal flags for points `(x, y)` where **both** coordinates are
+/// maximized: `true` when no other point dominates (≥ on both, > on one).
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|&(x, y)| {
+            !points
+                .iter()
+                .any(|&(ox, oy)| ox >= x && oy >= y && (ox > x || oy > y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifair_data::generators::credit::{self, CreditConfig};
+
+    fn small_prepared() -> PreparedData {
+        let ds = credit::generate(&CreditConfig {
+            n_records: 240,
+            seed: 5,
+        });
+        prepare_classification(
+            &ds,
+            "credit-small",
+            7,
+            PrepareCaps {
+                fit_cap: 60,
+                eval_cap: 60,
+            },
+        )
+    }
+
+    #[test]
+    fn prepare_splits_and_caps() {
+        let p = small_prepared();
+        assert_eq!(p.train.n_records(), 80);
+        assert!(p.val.n_records() <= 60);
+        assert!(p.test.n_records() <= 60);
+        assert_eq!(p.fit.n_records(), 60);
+        assert_eq!(p.val_neighbors.len(), p.val.n_records());
+        assert_eq!(p.test_neighbors.len(), p.test.n_records());
+    }
+
+    #[test]
+    fn identity_and_masked_have_expected_widths() {
+        let p = small_prepared();
+        let full = repr_identity(&p, false);
+        let masked = repr_identity(&p, true);
+        assert_eq!(full.train.cols(), p.train.n_features());
+        assert!(masked.train.cols() < full.train.cols());
+    }
+
+    #[test]
+    fn svd_repr_has_rank_width() {
+        let p = small_prepared();
+        let r = repr_svd(&p, 5, false).unwrap();
+        assert_eq!(r.test.cols(), 5);
+        assert_eq!(r.test.rows(), p.test.n_records());
+    }
+
+    #[test]
+    fn eval_produces_metrics_in_range() {
+        let p = small_prepared();
+        let r = repr_identity(&p, false);
+        let (val, test) = eval_classification(&p, &r);
+        for m in [val, test] {
+            assert!((0.0..=1.0).contains(&m.acc));
+            assert!((0.0..=1.0).contains(&m.auc));
+            assert!((0.0..=1.0).contains(&m.parity));
+            assert!((0.0..=1.0).contains(&m.eq_opp));
+            assert!((0.0..=1.0).contains(&m.ynn));
+        }
+    }
+
+    #[test]
+    fn tuning_criteria_select_expected_points() {
+        let mk = |auc: f64, ynn: f64| ClsMetrics {
+            acc: 0.0,
+            auc,
+            eq_opp: 0.0,
+            parity: 0.0,
+            ynn,
+        };
+        let points = vec![
+            GridPoint {
+                method: "m".into(),
+                params: "high-auc".into(),
+                val: mk(0.9, 0.5),
+                test: mk(0.9, 0.5),
+            },
+            GridPoint {
+                method: "m".into(),
+                params: "high-ynn".into(),
+                val: mk(0.5, 0.95),
+                test: mk(0.5, 0.95),
+            },
+            GridPoint {
+                method: "m".into(),
+                params: "balanced".into(),
+                val: mk(0.8, 0.85),
+                test: mk(0.8, 0.85),
+            },
+        ];
+        assert_eq!(select_best(&points, Tuning::MaxUtility).params, "high-auc");
+        assert_eq!(select_best(&points, Tuning::MaxFairness).params, "high-ynn");
+        assert_eq!(select_best(&points, Tuning::Harmonic).params, "balanced");
+    }
+
+    #[test]
+    fn pareto_front_flags_dominated_points() {
+        let pts = vec![(0.9, 0.5), (0.5, 0.9), (0.8, 0.8), (0.4, 0.4)];
+        let flags = pareto_front(&pts);
+        assert_eq!(flags, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn pareto_handles_duplicates() {
+        let pts = vec![(0.5, 0.5), (0.5, 0.5)];
+        assert_eq!(pareto_front(&pts), vec![true, true]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Dataset construction for the experiment binaries, in paper-scale (`--full`)
+//! or laptop-scale (quick) sizes.
+
+use ifair_data::generators::{airbnb, census, compas, credit, xing};
+use ifair_data::{Dataset, RankingDataset};
+
+/// The three classification datasets of §V-A (Compas, Census, Credit), with
+/// record counts from Table II in full mode and reduced counts in quick mode
+/// (the generators keep the encoded dimensionality and base rates either
+/// way).
+pub fn classification_datasets(full: bool, seed: u64) -> Vec<(String, Dataset)> {
+    let compas = compas::generate(&compas::CompasConfig {
+        n_records: if full { 6901 } else { 1200 },
+        seed,
+    });
+    let census = census::generate(&census::CensusConfig {
+        n_records: if full { 48842 } else { 2400 },
+        seed,
+    });
+    let credit = credit::generate(&credit::CreditConfig {
+        n_records: 1000, // small already; same size in both modes
+        seed,
+    });
+    vec![
+        ("Compas".to_string(), compas),
+        ("Census".to_string(), census),
+        ("Credit".to_string(), credit),
+    ]
+}
+
+/// The two ranking datasets of §V-A (Xing with 57 queries, Airbnb with 43).
+pub fn ranking_datasets(full: bool, seed: u64) -> Vec<(String, RankingDataset)> {
+    let xing = xing::generate(&xing::XingConfig {
+        n_queries: 57, // 2240 records; small enough for both modes
+        seed,
+    });
+    let airbnb = airbnb::generate(&airbnb::AirbnbConfig {
+        n_records: if full { 27597 } else { 3000 },
+        seed,
+    });
+    vec![
+        ("Xing".to_string(), xing),
+        ("Airbnb".to_string(), airbnb),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_classification_datasets_have_expected_shapes() {
+        let ds = classification_datasets(false, 1);
+        assert_eq!(ds.len(), 3);
+        let (name, compas) = &ds[0];
+        assert_eq!(name, "Compas");
+        assert_eq!(compas.n_records(), 1200);
+        assert_eq!(compas.n_features(), 431);
+        let (_, census) = &ds[1];
+        assert_eq!(census.n_features(), 101);
+        let (_, credit) = &ds[2];
+        assert_eq!(credit.n_records(), 1000);
+        assert_eq!(credit.n_features(), 67);
+    }
+
+    #[test]
+    fn quick_ranking_datasets_have_expected_shapes() {
+        let ds = ranking_datasets(false, 1);
+        let (name, xing) = &ds[0];
+        assert_eq!(name, "Xing");
+        assert_eq!(xing.n_queries(), 57);
+        assert_eq!(xing.data.n_records(), 2240);
+        let (_, airbnb) = &ds[1];
+        assert_eq!(airbnb.n_queries(), 43);
+    }
+}

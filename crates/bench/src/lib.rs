@@ -1,0 +1,34 @@
+//! # Experiment harness for the iFair reproduction
+//!
+//! One binary per table/figure of the paper — run any of them with
+//! `cargo run --release -p ifair-bench --bin <name> [-- --full --seed N]`:
+//!
+//! | binary   | regenerates |
+//! |----------|-------------|
+//! | `table1` | §I motivating Xing "Brand Strategist" example |
+//! | `table2` | §V-A dataset statistics |
+//! | `table3` | §V-D classification detail (3 tuning criteria × 3 datasets) |
+//! | `table4` | §V-E Xing score-weight sensitivity |
+//! | `table5` | §V-E ranking task (Xing + Airbnb, 7 methods) |
+//! | `fig2`   | §IV synthetic study (iFair vs LFR representations) |
+//! | `fig3`   | §V-D utility/fairness trade-off + Pareto fronts |
+//! | `fig4`   | §V-F adversarial accuracy of group prediction |
+//! | `fig5`   | §V-F FA\*IR post-processing on iFair representations |
+//!
+//! Each binary prints the paper's rows as Markdown and writes raw JSON to
+//! `results/`. The default *quick* mode shrinks grids and record counts so a
+//! full regeneration is laptop-friendly; `--full` switches to the paper's
+//! configuration. Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod classification;
+pub mod datasets;
+pub mod exec;
+pub mod ranking;
+pub mod report;
+
+pub use args::ExpArgs;
+pub use report::MarkdownTable;

@@ -1,0 +1,348 @@
+//! The learning-to-rank experiment pipeline of §V-E (Tables IV, V and
+//! Fig. 5).
+//!
+//! Per the paper: a linear-regression model predicts each candidate's
+//! deserved score from the (represented) features; candidates are ranked
+//! per query by predicted score. Reported metrics are means over queries of
+//! average precision at 10 (MAP), Kendall's τ (KT), yNN consistency of the
+//! predicted scores, and the percentage of protected candidates in the
+//! top-10 ranks (the parity surrogate for rankings).
+//!
+//! Note the regression is *fit and evaluated on the same records*: the
+//! deserved score is a linear function of the qualification columns, so
+//! Full/Masked Data recover it (nearly) exactly — which is how the paper's
+//! Table V shows MAP = KT = 1.00 for those baselines on Xing.
+
+use ifair_baselines::{rerank, FairConfig, SvdRepresentation};
+use ifair_core::{IFair, IFairConfig};
+use ifair_data::{Dataset, Query, RankingDataset, StandardScaler};
+use ifair_linalg::Matrix;
+use ifair_metrics::{
+    average_precision_at_k, consistency_with_neighbors, k_nearest_all, kendall_tau,
+    protected_share_top_k, ranking_from_scores,
+};
+use ifair_models::RidgeRegression;
+use serde::Serialize;
+
+/// Neighbourhood size for ranking yNN (§V-C, clamped per query).
+pub const YNN_K: usize = 10;
+/// Top-k cutoff of MAP and the protected-share metric.
+pub const TOP_K: usize = 10;
+
+/// A ranking dataset prepared for the pipeline: scaled features, deserved
+/// scores, per-query yNN neighbourhoods precomputed on masked originals.
+pub struct PreparedRanking {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// Scaled records; `data.y` holds the deserved scores.
+    pub data: Dataset,
+    /// Query groupings.
+    pub queries: Vec<Query>,
+    /// Capped record sample for fitting representation models.
+    pub fit_idx: Vec<usize>,
+    /// Per-query neighbourhoods on the candidates' masked attributes.
+    pub neighbors: Vec<Vec<Vec<usize>>>,
+}
+
+impl PreparedRanking {
+    /// Deserved scores (the ranking variable).
+    pub fn scores(&self) -> &[f64] {
+        self.data.labels()
+    }
+}
+
+/// Scales features and precomputes per-query neighbourhoods.
+pub fn prepare_ranking(
+    rds: &RankingDataset,
+    name: &str,
+    fit_cap: usize,
+    seed: u64,
+) -> PreparedRanking {
+    let (_, x) = StandardScaler::fit_transform(&rds.data.x);
+    let mut data = rds
+        .data
+        .with_features(x)
+        .expect("scaling preserves shape");
+    // Normalize the deserved score to [0, 1] globally so yNN's |ŷ_i − ŷ_j|
+    // terms are on the same scale for every method and dataset. (Per-query
+    // normalization would be wrong: compressing all similar candidates to
+    // nearly equal scores is exactly the individual-fairness effect yNN must
+    // be able to reward.)
+    data.y = Some(minmax(data.labels()));
+    let mut fit_idx: Vec<usize> = (0..data.n_records()).collect();
+    // Deterministic subsample: shuffle with the seed, then truncate.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fit_idx.shuffle(&mut rng);
+    fit_idx.truncate(fit_cap.min(data.n_records()));
+
+    let masked = data.masked_x();
+    let neighbors = rds
+        .queries
+        .iter()
+        .map(|q| {
+            let qx = masked.select_rows(&q.indices);
+            k_nearest_all(&qx, YNN_K.min(q.indices.len().saturating_sub(1)))
+        })
+        .collect();
+    PreparedRanking {
+        name: name.to_string(),
+        data,
+        queries: rds.queries.clone(),
+        fit_idx,
+        neighbors,
+    }
+}
+
+/// Ranking representation methods of Table V.
+#[derive(Debug, Clone)]
+pub enum RankRepr {
+    /// Identity on all features.
+    Full,
+    /// Identity on non-protected features.
+    Masked,
+    /// Rank-`k` SVD on all features.
+    Svd {
+        /// Truncation rank.
+        k: usize,
+    },
+    /// Rank-`k` SVD on non-protected features.
+    SvdMasked {
+        /// Truncation rank.
+        k: usize,
+    },
+    /// iFair representation.
+    IFair(IFairConfig),
+}
+
+impl RankRepr {
+    /// Row label used in Table V.
+    pub fn label(&self) -> String {
+        match self {
+            RankRepr::Full => "Full Data".into(),
+            RankRepr::Masked => "Masked Data".into(),
+            RankRepr::Svd { .. } => "SVD".into(),
+            RankRepr::SvdMasked { .. } => "SVD-masked".into(),
+            RankRepr::IFair(_) => "iFair-b".into(),
+        }
+    }
+}
+
+/// Materializes a representation for **all** records of the dataset.
+pub fn apply_rank_repr(p: &PreparedRanking, method: &RankRepr) -> Result<Matrix, String> {
+    match method {
+        RankRepr::Full => Ok(p.data.x.clone()),
+        RankRepr::Masked => Ok(p.data.masked_x()),
+        RankRepr::Svd { k } => {
+            let fit = p.data.x.select_rows(&p.fit_idx);
+            let svd = SvdRepresentation::fit(&fit, *k).map_err(|e| e.to_string())?;
+            Ok(svd.transform(&p.data.x))
+        }
+        RankRepr::SvdMasked { k } => {
+            let masked = p.data.masked_x();
+            let fit = masked.select_rows(&p.fit_idx);
+            let svd = SvdRepresentation::fit(&fit, *k).map_err(|e| e.to_string())?;
+            Ok(svd.transform(&masked))
+        }
+        RankRepr::IFair(config) => {
+            let fit = p.data.x.select_rows(&p.fit_idx);
+            let model =
+                IFair::fit(&fit, &p.data.protected, config).map_err(|e| e.to_string())?;
+            Ok(model.transform(&p.data.x))
+        }
+    }
+}
+
+/// The paper's ranking metrics (Table V columns), means over queries.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RankMetrics {
+    /// Mean average precision at 10.
+    pub map: f64,
+    /// Mean Kendall's τ between predicted and deserved scores.
+    pub kt: f64,
+    /// Mean yNN consistency of the predicted scores (deserved scores are
+    /// normalized to `[0, 1]` globally, so score differences are comparable).
+    pub ynn: f64,
+    /// Mean percentage of protected candidates in the top 10.
+    pub pct_protected_top10: f64,
+}
+
+/// Per-query prediction produced by [`predict_scores`]: the candidate-local
+/// score vector for each query.
+pub type QueryScores = Vec<Vec<f64>>;
+
+/// Fits ridge regression `representation -> deserved score` and predicts a
+/// score for every candidate of every query.
+pub fn predict_scores(p: &PreparedRanking, repr: &Matrix) -> Result<QueryScores, String> {
+    let model = RidgeRegression::fit(repr, p.scores(), 1e-6)?;
+    let all = model.predict(repr);
+    Ok(p.queries
+        .iter()
+        .map(|q| q.indices.iter().map(|&i| all[i]).collect())
+        .collect())
+}
+
+/// Aggregates the Table V metrics over queries, given per-query predicted
+/// scores aligned with `p.queries`.
+pub fn eval_ranking(p: &PreparedRanking, predicted: &QueryScores) -> RankMetrics {
+    let mut map = 0.0;
+    let mut kt = 0.0;
+    let mut ynn = 0.0;
+    let mut pct = 0.0;
+    let deserved = p.scores();
+    for ((q, pred), neighbors) in p.queries.iter().zip(predicted).zip(&p.neighbors) {
+        let truth: Vec<f64> = q.indices.iter().map(|&i| deserved[i]).collect();
+        let ranking = ranking_from_scores(pred);
+        map += average_precision_at_k(&ranking, &truth, TOP_K);
+        kt += kendall_tau(pred, &truth);
+        ynn += consistency_with_neighbors(neighbors, pred);
+        let group: Vec<u8> = q.indices.iter().map(|&i| p.data.group[i]).collect();
+        pct += protected_share_top_k(&ranking, &group, TOP_K);
+    }
+    let n = p.queries.len().max(1) as f64;
+    RankMetrics {
+        map: map / n,
+        kt: kt / n,
+        ynn: ynn / n,
+        pct_protected_top10: pct / n,
+    }
+}
+
+/// FA\*IR post-processing: re-ranks each query's predicted scores and
+/// evaluates the *fair* ranking with interpolated fair scores (§V-E).
+pub fn eval_fair_rerank(
+    p: &PreparedRanking,
+    predicted: &QueryScores,
+    config: &FairConfig,
+) -> RankMetrics {
+    let mut map = 0.0;
+    let mut kt = 0.0;
+    let mut ynn = 0.0;
+    let mut pct = 0.0;
+    let deserved = p.scores();
+    for ((q, pred), neighbors) in p.queries.iter().zip(predicted).zip(&p.neighbors) {
+        let truth: Vec<f64> = q.indices.iter().map(|&i| deserved[i]).collect();
+        let group: Vec<u8> = q.indices.iter().map(|&i| p.data.group[i]).collect();
+        let fair = rerank(pred, &group, q.indices.len(), config);
+        // Candidate-aligned fair scores (candidate fair.order[pos] holds the
+        // fair score of output position pos).
+        let mut fair_by_candidate = vec![0.0; q.indices.len()];
+        for (pos, &cand) in fair.order.iter().enumerate() {
+            fair_by_candidate[cand] = fair.fair_scores[pos];
+        }
+        map += average_precision_at_k(&fair.order, &truth, TOP_K);
+        kt += kendall_tau(&fair_by_candidate, &truth);
+        ynn += consistency_with_neighbors(neighbors, &fair_by_candidate);
+        pct += protected_share_top_k(&fair.order, &group, TOP_K);
+    }
+    let n = p.queries.len().max(1) as f64;
+    RankMetrics {
+        map: map / n,
+        kt: kt / n,
+        ynn: ynn / n,
+        pct_protected_top10: pct / n,
+    }
+}
+
+/// Min-max normalizes scores to `[0, 1]` (constant vectors map to 0.5) so
+/// yNN's `|ŷ_i − ŷ_j|` terms are comparable across queries and methods.
+pub fn minmax(scores: &[f64]) -> Vec<f64> {
+    let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi - lo).is_finite() || hi - lo < 1e-12 {
+        return vec![0.5; scores.len()];
+    }
+    scores.iter().map(|&s| (s - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifair_data::generators::xing::{self, XingConfig};
+
+    fn small_ranking() -> PreparedRanking {
+        let rds = xing::generate(&XingConfig {
+            n_queries: 6,
+            seed: 3,
+        });
+        prepare_ranking(&rds, "xing-small", 120, 11)
+    }
+
+    #[test]
+    fn prepare_builds_query_neighborhoods() {
+        let p = small_ranking();
+        assert_eq!(p.neighbors.len(), p.queries.len());
+        for (q, n) in p.queries.iter().zip(&p.neighbors) {
+            assert_eq!(n.len(), q.indices.len());
+        }
+        assert!(p.fit_idx.len() <= 120);
+    }
+
+    #[test]
+    fn full_data_recovers_deserved_ranking() {
+        // The deserved score is a linear function of the features, so the
+        // regression on Full Data must reproduce it (the paper's MAP=KT=1).
+        let p = small_ranking();
+        let repr = apply_rank_repr(&p, &RankRepr::Full).unwrap();
+        let predicted = predict_scores(&p, &repr).unwrap();
+        let m = eval_ranking(&p, &predicted);
+        assert!(m.map > 0.95, "MAP {}", m.map);
+        assert!(m.kt > 0.95, "KT {}", m.kt);
+    }
+
+    #[test]
+    fn svd_loses_ranking_quality() {
+        let p = small_ranking();
+        let full = eval_ranking(
+            &p,
+            &predict_scores(&p, &apply_rank_repr(&p, &RankRepr::Full).unwrap()).unwrap(),
+        );
+        let svd = eval_ranking(
+            &p,
+            &predict_scores(&p, &apply_rank_repr(&p, &RankRepr::Svd { k: 3 }).unwrap()).unwrap(),
+        );
+        assert!(svd.kt <= full.kt + 1e-9);
+    }
+
+    #[test]
+    fn fair_rerank_raises_protected_share_under_pressure() {
+        let p = small_ranking();
+        let repr = apply_rank_repr(&p, &RankRepr::Masked).unwrap();
+        let predicted = predict_scores(&p, &repr).unwrap();
+        let base = eval_ranking(&p, &predicted);
+        let fair = eval_fair_rerank(
+            &p,
+            &predicted,
+            &FairConfig {
+                p: 0.9,
+                adjust_alpha: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            fair.pct_protected_top10 >= base.pct_protected_top10 - 1e-9,
+            "{} < {}",
+            fair.pct_protected_top10,
+            base.pct_protected_top10
+        );
+    }
+
+    #[test]
+    fn metrics_are_in_range() {
+        let p = small_ranking();
+        let repr = apply_rank_repr(&p, &RankRepr::SvdMasked { k: 4 }).unwrap();
+        let m = eval_ranking(&p, &predict_scores(&p, &repr).unwrap());
+        assert!((0.0..=1.0).contains(&m.map));
+        assert!((-1.0..=1.0).contains(&m.kt));
+        assert!((0.0..=1.0).contains(&m.ynn));
+        assert!((0.0..=100.0).contains(&m.pct_protected_top10));
+    }
+
+    #[test]
+    fn minmax_handles_edge_cases() {
+        assert_eq!(minmax(&[2.0, 2.0]), vec![0.5, 0.5]);
+        let v = minmax(&[1.0, 3.0, 2.0]);
+        assert_eq!(v, vec![0.0, 1.0, 0.5]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment output: Markdown tables on stdout, JSON artifacts on disk.
+//!
+//! Every experiment binary prints the paper's rows/series as a Markdown
+//! table and mirrors the raw numbers to `results/<name>.json` so
+//! `EXPERIMENTS.md` can be assembled (and re-checked) mechanically.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A Markdown table under construction.
+#[derive(Debug, Clone, Default)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        MarkdownTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's table precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Resolves the results directory (`results/` next to the workspace root,
+/// created on demand). Respects `IFAIR_RESULTS_DIR` when set.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("IFAIR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // CARGO_MANIFEST_DIR = crates/bench; results/ sits two levels up.
+            let manifest = std::env::var("CARGO_MANIFEST_DIR")
+                .unwrap_or_else(|_| ".".into());
+            Path::new(&manifest).join("../../results")
+        });
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Serializes `value` to `results/<name>.json` (pretty-printed). Returns the
+/// written path; I/O failures are reported but non-fatal (experiments should
+/// still print their tables on read-only filesystems).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: could not serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = MarkdownTable::new(["Method", "AUC"]);
+        t.row(["Full Data", "0.65"]);
+        t.row(["iFair-b", "0.58"]);
+        let s = t.render();
+        assert!(s.contains("| Method    | AUC  |"));
+        assert!(s.contains("| iFair-b   | 0.58 |"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = MarkdownTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert!(t.render().lines().nth(2).unwrap().matches('|').count() == 4);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(0.12345), "0.12");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,216 @@
+//! Configuration of the iFair model.
+
+use serde::{Deserialize, Serialize};
+
+/// How the attribute-weight vector `α` is initialized (§V-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitStrategy {
+    /// **iFair-a**: every `α_n` uniform in `(0, 1)`.
+    RandomUniform,
+    /// **iFair-b**: protected attributes start near zero (`1e-4`), reflecting
+    /// the intuition that protected attributes should not contribute to the
+    /// similarity of individuals; non-protected weights uniform in `(0, 1)`.
+    NearZeroProtected,
+}
+
+/// Which distance is measured between transformed records in the fairness
+/// loss (Definition 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FairnessDistance {
+    /// Plain Euclidean distance on `x̃` — what the reference implementation
+    /// uses; the target `d(x*_i, x*_j)` is likewise unweighted.
+    Unweighted,
+    /// The learned weighted Minkowski metric of Definition 7 applied to `x̃`
+    /// (the paper's literal reading). The target stays unweighted.
+    Weighted,
+}
+
+/// Which quantity feeds the softmax that assigns records to prototypes
+/// (Definition 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftmaxDistance {
+    /// The power sum `Σ_n α_n |x_n - v_n|^p` without the `1/p` root — what the
+    /// reference implementation (and LFR before it) exponentiates. For `p = 2`
+    /// this makes `u_i` a Gaussian-kernel responsibility vector.
+    PowerSum,
+    /// The rooted Minkowski distance of Definition 7 (the paper's literal
+    /// Definition 8).
+    Rooted,
+}
+
+/// Which record pairs enter the fairness loss.
+///
+/// Definition 5 sums over **all** pairs, which is `O(M²)`; the paper notes
+/// it avoids "the quadratic number of comparisons" in practice. Both options
+/// are provided and compared in the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FairnessPairs {
+    /// All `M(M-1)/2` pairs (exact Definition 5).
+    Exact,
+    /// Distances to a fixed random subset of `n_anchors` records are
+    /// preserved instead of all pairwise distances — `O(M · n_anchors)`.
+    Anchored {
+        /// Number of anchor records (clamped to `M`).
+        n_anchors: usize,
+    },
+    /// A fixed random sample of `n_pairs` record pairs.
+    Subsampled {
+        /// Number of sampled pairs (clamped to the number of distinct pairs).
+        n_pairs: usize,
+    },
+}
+
+/// Hyper-parameters of [`crate::IFair`].
+///
+/// Defaults follow the paper's grid-search center: `K = 10` prototypes,
+/// `λ = μ = 1`, `p = 2` (Gaussian kernel), best of 3 restarts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IFairConfig {
+    /// Number of prototypes `K` (the paper's grid: {10, 20, 30}).
+    pub k: usize,
+    /// Weight `λ` of the utility (reconstruction) loss.
+    pub lambda: f64,
+    /// Weight `μ` of the individual-fairness loss.
+    pub mu: f64,
+    /// Minkowski exponent `p >= 1` of Definition 7 (`2` = Gaussian kernel).
+    pub p: f64,
+    /// Whether the prototype-assignment softmax sees the rooted distance or
+    /// the raw power sum.
+    pub softmax_distance: SoftmaxDistance,
+    /// Attribute-weight initialization (iFair-a vs iFair-b).
+    pub init: InitStrategy,
+    /// When true, protected attribute weights are pinned to (near) zero by
+    /// box constraints instead of merely initialized there — an extension
+    /// ablated in the benches.
+    pub freeze_protected_alpha: bool,
+    /// Distance used between transformed records in `L_fair`.
+    pub fairness_distance: FairnessDistance,
+    /// Pair set of `L_fair`.
+    pub fairness_pairs: FairnessPairs,
+    /// Box constraints on every `α_n` (`None` leaves α unconstrained).
+    pub alpha_bounds: Option<(f64, f64)>,
+    /// Number of random restarts; the run with the lowest final loss wins
+    /// (§V-B: "we report the results from the best of 3 runs").
+    pub n_restarts: usize,
+    /// Maximum L-BFGS iterations per restart.
+    pub max_iters: usize,
+    /// Gradient tolerance of the optimizer.
+    pub grad_tol: f64,
+    /// RNG seed for initialization (restart `r` uses `seed + r`).
+    pub seed: u64,
+}
+
+impl Default for IFairConfig {
+    fn default() -> Self {
+        IFairConfig {
+            k: 10,
+            lambda: 1.0,
+            mu: 1.0,
+            p: 2.0,
+            softmax_distance: SoftmaxDistance::PowerSum,
+            init: InitStrategy::NearZeroProtected,
+            freeze_protected_alpha: false,
+            fairness_distance: FairnessDistance::Unweighted,
+            fairness_pairs: FairnessPairs::Exact,
+            alpha_bounds: Some((0.0, 1.0)),
+            n_restarts: 3,
+            max_iters: 150,
+            grad_tol: 1e-5,
+            seed: 42,
+        }
+    }
+}
+
+impl IFairConfig {
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if self.p < 1.0 {
+            return Err(format!("Minkowski p must be >= 1, got {}", self.p));
+        }
+        if self.lambda < 0.0 || self.mu < 0.0 {
+            return Err("lambda and mu must be non-negative".into());
+        }
+        if self.lambda == 0.0 && self.mu == 0.0 {
+            return Err("lambda and mu cannot both be zero".into());
+        }
+        if self.n_restarts == 0 {
+            return Err("n_restarts must be at least 1".into());
+        }
+        if let Some((lo, hi)) = self.alpha_bounds {
+            if lo >= hi {
+                return Err(format!("alpha bounds ({lo}, {hi}) are empty"));
+            }
+        }
+        match self.fairness_pairs {
+            FairnessPairs::Anchored { n_anchors: 0 } => {
+                Err("n_anchors must be at least 1".into())
+            }
+            FairnessPairs::Subsampled { n_pairs: 0 } => {
+                Err("n_pairs must be at least 1".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(IFairConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let base = IFairConfig::default();
+        assert!(IFairConfig { k: 0, ..base.clone() }.validate().is_err());
+        assert!(IFairConfig { p: 0.5, ..base.clone() }.validate().is_err());
+        assert!(IFairConfig { lambda: -1.0, ..base.clone() }.validate().is_err());
+        assert!(IFairConfig {
+            lambda: 0.0,
+            mu: 0.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IFairConfig {
+            n_restarts: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IFairConfig {
+            alpha_bounds: Some((1.0, 1.0)),
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IFairConfig {
+            fairness_pairs: FairnessPairs::Anchored { n_anchors: 0 },
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IFairConfig {
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 0 },
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = IFairConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: IFairConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.k, c.k);
+        assert_eq!(back.init, c.init);
+    }
+}

@@ -1,0 +1,165 @@
+//! The weighted Minkowski distance of Definition 7 and its derivatives.
+//!
+//! ```text
+//! d(x, y) = ( Σ_n α_n |x_n - y_n|^p )^(1/p)
+//! ```
+//!
+//! `p = 2` is the paper's default ("corresponds to a Gaussian kernel"). The
+//! derivative helpers here are the building blocks of the analytic gradient
+//! in [`crate::objective`].
+
+/// Weighted Minkowski distance between `x` and `y` (Definition 7).
+///
+/// Negative weights are clamped to 0 (the distance must stay a metric for
+/// `p >= 1`; the optimizer's box constraints normally keep `α >= 0`, but a
+/// transiently infeasible iterate must not produce NaN).
+pub fn weighted_minkowski(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), alpha.len());
+    let s: f64 = x
+        .iter()
+        .zip(y)
+        .zip(alpha)
+        .map(|((&a, &b), &w)| w.max(0.0) * (a - b).abs().powf(p))
+        .sum();
+    s.powf(1.0 / p)
+}
+
+/// The inner sum `S = Σ_n α_n |x_n - y_n|^p` (distance to the power `p`).
+pub fn weighted_power_sum(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), alpha.len());
+    x.iter()
+        .zip(y)
+        .zip(alpha)
+        .map(|((&a, &b), &w)| w.max(0.0) * (a - b).abs().powf(p))
+        .sum()
+}
+
+/// Unweighted Euclidean distance (the fairness-loss default).
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    ifair_linalg::vector::euclidean(x, y)
+}
+
+/// `∂d/∂y_n` of the weighted Minkowski distance with respect to the *second*
+/// argument, given the precomputed distance `d` (returns 0 at `d = 0`).
+///
+/// With `Δ_n = x_n - y_n`:
+/// `∂d/∂y_n = -α_n |Δ_n|^(p-1) sign(Δ_n) · d^(1-p)`.
+#[inline]
+pub fn d_wrt_second(x_n: f64, y_n: f64, alpha_n: f64, p: f64, d: f64) -> f64 {
+    if d <= 0.0 {
+        return 0.0;
+    }
+    let delta = x_n - y_n;
+    -alpha_n.max(0.0) * delta.abs().powf(p - 1.0) * delta.signum() * d.powf(1.0 - p)
+}
+
+/// `∂d/∂α_n` of the weighted Minkowski distance, given the precomputed
+/// distance `d` (returns 0 at `d = 0`):
+/// `∂d/∂α_n = |Δ_n|^p / (p · d^(p-1))`.
+#[inline]
+pub fn d_wrt_alpha(x_n: f64, y_n: f64, p: f64, d: f64) -> f64 {
+    if d <= 0.0 {
+        return 0.0;
+    }
+    (x_n - y_n).abs().powf(p) / (p * d.powf(p - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2_unit_weights_is_euclidean() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 3.0];
+        let alpha = [1.0, 1.0, 1.0];
+        assert!((weighted_minkowski(&x, &y, &alpha, 2.0) - 5.0).abs() < 1e-12);
+        assert!((euclidean(&x, &y) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p1_is_weighted_manhattan() {
+        let d = weighted_minkowski(&[0.0, 0.0], &[1.0, 2.0], &[2.0, 1.0], 1.0);
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_ignores_attribute() {
+        let d = weighted_minkowski(&[0.0, 0.0], &[100.0, 3.0], &[0.0, 1.0], 2.0);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_weight_clamped() {
+        let d = weighted_minkowski(&[0.0], &[5.0], &[-1.0], 2.0);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn metric_axioms_p2() {
+        let alpha = [0.5, 2.0];
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let c = [2.0, -1.0];
+        let d = |x: &[f64], y: &[f64]| weighted_minkowski(x, y, &alpha, 2.0);
+        assert_eq!(d(&a, &a), 0.0);
+        assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-12); // symmetry
+        assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-12); // triangle
+    }
+
+    #[test]
+    fn derivative_wrt_second_matches_finite_difference() {
+        let x = [1.0, -0.5];
+        let mut y = [0.3, 0.8];
+        let alpha = [0.7, 1.3];
+        for p in [1.0, 2.0, 3.0] {
+            let d0 = weighted_minkowski(&x, &y, &alpha, p);
+            for n in 0..2 {
+                let analytic = d_wrt_second(x[n], y[n], alpha[n], p, d0);
+                let h = 1e-6;
+                y[n] += h;
+                let dp = weighted_minkowski(&x, &y, &alpha, p);
+                y[n] -= 2.0 * h;
+                let dm = weighted_minkowski(&x, &y, &alpha, p);
+                y[n] += h;
+                let numeric = (dp - dm) / (2.0 * h);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "p={p} n={n}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_wrt_alpha_matches_finite_difference() {
+        let x = [1.0, -0.5];
+        let y = [0.3, 0.8];
+        let mut alpha = [0.7, 1.3];
+        for p in [1.0, 2.0, 3.0] {
+            let d0 = weighted_minkowski(&x, &y, &alpha, p);
+            for n in 0..2 {
+                let analytic = d_wrt_alpha(x[n], y[n], p, d0);
+                let h = 1e-6;
+                alpha[n] += h;
+                let dp = weighted_minkowski(&x, &y, &alpha, p);
+                alpha[n] -= 2.0 * h;
+                let dm = weighted_minkowski(&x, &y, &alpha, p);
+                alpha[n] += h;
+                let numeric = (dp - dm) / (2.0 * h);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "p={p} n={n}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivatives_zero_at_coincident_points() {
+        assert_eq!(d_wrt_second(1.0, 1.0, 1.0, 2.0, 0.0), 0.0);
+        assert_eq!(d_wrt_alpha(1.0, 1.0, 2.0, 0.0), 0.0);
+    }
+}

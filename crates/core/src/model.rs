@@ -1,0 +1,555 @@
+//! The trained iFair model: fitting, transforming, persistence.
+
+use crate::config::{IFairConfig, InitStrategy, SoftmaxDistance};
+use crate::distance;
+use crate::objective::IFairObjective;
+use ifair_linalg::Matrix;
+use ifair_optim::{Lbfgs, LbfgsConfig, Termination};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Near-zero value used for protected attribute weights under
+/// [`InitStrategy::NearZeroProtected`] (§V-B: "avoiding zero values to allow
+/// slack for the numerical computations").
+const NEAR_ZERO_ALPHA: f64 = 1e-4;
+
+/// Errors from [`IFair::fit`] and the persistence helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IFairError {
+    /// The hyper-parameter configuration failed validation.
+    InvalidConfig(String),
+    /// The input matrix / protected flags disagree in shape, or the data is
+    /// otherwise unusable (empty, non-finite).
+    DataShape(String),
+    /// (De)serialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for IFairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IFairError::InvalidConfig(msg) => write!(f, "invalid iFair configuration: {msg}"),
+            IFairError::DataShape(msg) => write!(f, "invalid training data: {msg}"),
+            IFairError::Serialization(msg) => write!(f, "model (de)serialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IFairError {}
+
+/// Outcome of one random restart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RestartReport {
+    /// Seed that initialized this restart.
+    pub seed: u64,
+    /// Final objective value.
+    pub loss: f64,
+    /// Outer L-BFGS iterations performed.
+    pub iterations: usize,
+    /// Objective/gradient evaluations.
+    pub n_evals: usize,
+    /// Whether a tolerance criterion was met.
+    pub converged: bool,
+    /// The optimizer's stopping reason.
+    pub termination: Termination,
+}
+
+/// Training diagnostics: one entry per restart plus the winner
+/// (§V-B: "we report the results from the best of 3 runs").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Per-restart outcomes, in restart order.
+    pub restarts: Vec<RestartReport>,
+    /// Index into `restarts` of the run with the lowest final loss.
+    pub best_restart: usize,
+    /// Number of fairness pairs the objective preserved.
+    pub n_pairs: usize,
+}
+
+impl TrainingReport {
+    /// The winning restart's report.
+    pub fn best(&self) -> &RestartReport {
+        &self.restarts[self.best_restart]
+    }
+}
+
+/// A trained iFair model (Definitions 2-9 of the paper).
+///
+/// Holds the `K` learned prototype vectors and the attribute weight vector
+/// `α`; [`IFair::transform`] applies the probabilistic mapping
+/// `φ(x) = Σ_k softmax(-d(x, v_·))_k · v_k` to arbitrary records, so the
+/// representation is trained once and reused across downstream tasks — the
+/// application-agnostic property the paper emphasizes over LFR.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IFair {
+    prototypes: Matrix,
+    alpha: Vec<f64>,
+    protected: Vec<bool>,
+    config: IFairConfig,
+    report: TrainingReport,
+}
+
+impl IFair {
+    /// Learns prototypes and attribute weights for `x` (`M x N`) by
+    /// minimizing `λ·L_util + μ·L_fair` with box-constrained L-BFGS, best of
+    /// `config.n_restarts` random restarts.
+    ///
+    /// `protected[j]` flags column `j` as protected: those columns are
+    /// excluded from the fairness-loss targets, and under
+    /// [`InitStrategy::NearZeroProtected`] their weights start near zero.
+    pub fn fit(x: &Matrix, protected: &[bool], config: &IFairConfig) -> Result<IFair, IFairError> {
+        config.validate().map_err(IFairError::InvalidConfig)?;
+        let (m, n) = x.shape();
+        if m == 0 || n == 0 {
+            return Err(IFairError::DataShape("empty training matrix".into()));
+        }
+        if protected.len() != n {
+            return Err(IFairError::DataShape(format!(
+                "protected has length {} but X has {n} columns",
+                protected.len()
+            )));
+        }
+        if protected.iter().all(|&p| p) {
+            return Err(IFairError::DataShape(
+                "all attributes are protected; the fairness target distance would be empty".into(),
+            ));
+        }
+        if x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(IFairError::DataShape(
+                "training matrix contains non-finite values".into(),
+            ));
+        }
+
+        let objective = IFairObjective::new(x, protected, config);
+        let optimizer = Lbfgs::new(LbfgsConfig {
+            max_iters: config.max_iters,
+            grad_tol: config.grad_tol,
+            bounds: bounds_for(n, config.k, protected, config),
+            ..Default::default()
+        });
+
+        let mut best: Option<(Vec<f64>, usize)> = None;
+        let mut restarts = Vec::with_capacity(config.n_restarts);
+        for r in 0..config.n_restarts {
+            let seed = config.seed.wrapping_add(r as u64);
+            let theta0 = initial_theta(n, config.k, protected, config, seed);
+            let result = optimizer.minimize(&objective, theta0);
+            restarts.push(RestartReport {
+                seed,
+                loss: result.value,
+                iterations: result.iterations,
+                n_evals: result.n_evals,
+                converged: result.converged,
+                termination: result.termination,
+            });
+            let better = match &best {
+                None => true,
+                Some((_, idx)) => result.value < restarts[*idx].loss,
+            };
+            if better {
+                best = Some((result.x, r));
+            }
+        }
+        let (theta, best_restart) = best.expect("n_restarts >= 1 guaranteed by validate()");
+        let n_pairs = objective.pairs().len();
+
+        let (alpha, v_flat) = theta.split_at(n);
+        let prototypes = Matrix::from_vec(config.k, n, v_flat.to_vec())
+            .expect("theta layout is K*N by construction");
+        Ok(IFair {
+            prototypes,
+            alpha: alpha.to_vec(),
+            protected: protected.to_vec(),
+            config: config.clone(),
+            report: TrainingReport {
+                restarts,
+                best_restart,
+                n_pairs,
+            },
+        })
+    }
+
+    /// Applies the learned probabilistic mapping to `x` (`? x N`), returning
+    /// the fair representation `X̃ = U · V`.
+    ///
+    /// # Panics
+    /// Panics if `x.cols()` differs from the training width.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        self.transform_with_probabilities(x).0
+    }
+
+    /// Like [`IFair::transform`] but also returns the `? x K` responsibility
+    /// matrix `U` (each row a probability distribution over prototypes).
+    pub fn transform_with_probabilities(&self, x: &Matrix) -> (Matrix, Matrix) {
+        assert_eq!(
+            x.cols(),
+            self.n_features(),
+            "record width differs from the training data"
+        );
+        let u = self.responsibilities(x);
+        let xt = u.matmul(&self.prototypes);
+        (xt, u)
+    }
+
+    /// The `? x K` responsibility matrix `U` for `x` (Definition 8).
+    pub fn responsibilities(&self, x: &Matrix) -> Matrix {
+        let k = self.config.k;
+        let mut u = Matrix::zeros(x.rows(), k);
+        for i in 0..x.rows() {
+            let xi = x.row(i);
+            let mut d = vec![0.0; k];
+            for (kk, dk) in d.iter_mut().enumerate() {
+                let s = distance::weighted_power_sum(
+                    xi,
+                    self.prototypes.row(kk),
+                    &self.alpha,
+                    self.config.p,
+                );
+                *dk = match self.config.softmax_distance {
+                    SoftmaxDistance::PowerSum => s,
+                    SoftmaxDistance::Rooted => s.powf(1.0 / self.config.p),
+                };
+            }
+            let d_min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mut z = 0.0;
+            let row = u.row_mut(i);
+            for (uu, &dk) in row.iter_mut().zip(&d) {
+                *uu = (d_min - dk).exp();
+                z += *uu;
+            }
+            for uu in row.iter_mut() {
+                *uu /= z;
+            }
+        }
+        u
+    }
+
+    /// Mean squared reconstruction error `‖X − X̃‖² / M` on `x` — the
+    /// per-record utility loss of Definition 4.
+    pub fn reconstruction_error(&self, x: &Matrix) -> f64 {
+        let xt = self.transform(x);
+        let diff = x.sub(&xt).expect("transform preserves shape");
+        let sq = diff.frobenius_norm();
+        sq * sq / x.rows() as f64
+    }
+
+    /// The learned `K x N` prototype matrix `V`.
+    pub fn prototypes(&self) -> &Matrix {
+        &self.prototypes
+    }
+
+    /// The learned attribute weight vector `α` (length `N`).
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The per-column protected flags the model was trained with.
+    pub fn protected(&self) -> &[bool] {
+        &self.protected
+    }
+
+    /// The hyper-parameters the model was trained with.
+    pub fn config(&self) -> &IFairConfig {
+        &self.config
+    }
+
+    /// Training diagnostics (per-restart losses, winner, pair count).
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// Number of input features `N`.
+    pub fn n_features(&self) -> usize {
+        self.prototypes.cols()
+    }
+
+    /// Number of prototypes `K`.
+    pub fn n_prototypes(&self) -> usize {
+        self.prototypes.rows()
+    }
+
+    /// Serializes the model to a JSON string.
+    pub fn to_json(&self) -> Result<String, IFairError> {
+        serde_json::to_string(self).map_err(|e| IFairError::Serialization(e.to_string()))
+    }
+
+    /// Restores a model from [`IFair::to_json`] output.
+    pub fn from_json(json: &str) -> Result<IFair, IFairError> {
+        serde_json::from_str(json).map_err(|e| IFairError::Serialization(e.to_string()))
+    }
+}
+
+/// Initial parameter vector: `α` per the init strategy, prototypes uniform in
+/// `(0, 1)` (§V-B: "initialize model parameters (vk vectors and the α vector)
+/// to random values from uniform distribution in (0,1)").
+fn initial_theta(
+    n: usize,
+    k: usize,
+    protected: &[bool],
+    config: &IFairConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut theta = Vec::with_capacity(n * (k + 1));
+    for &is_protected in protected.iter().take(n) {
+        let w = match config.init {
+            InitStrategy::RandomUniform => rng.gen_range(0.0..1.0),
+            InitStrategy::NearZeroProtected => {
+                if is_protected {
+                    NEAR_ZERO_ALPHA
+                } else {
+                    rng.gen_range(0.0..1.0)
+                }
+            }
+        };
+        theta.push(w);
+    }
+    for _ in 0..n * k {
+        theta.push(rng.gen_range(0.0..1.0));
+    }
+    theta
+}
+
+/// Box constraints for the optimizer: `α` within `config.alpha_bounds`
+/// (pinned to `[0, NEAR_ZERO_ALPHA]` for protected columns when
+/// `freeze_protected_alpha` is set), prototypes unconstrained.
+fn bounds_for(
+    n: usize,
+    k: usize,
+    protected: &[bool],
+    config: &IFairConfig,
+) -> Option<Vec<(f64, f64)>> {
+    if config.alpha_bounds.is_none() && !config.freeze_protected_alpha {
+        return None;
+    }
+    let (lo, hi) = config.alpha_bounds.unwrap_or((0.0, 1.0));
+    let mut bounds = Vec::with_capacity(n * (k + 1));
+    for &is_protected in protected.iter().take(n) {
+        if config.freeze_protected_alpha && is_protected {
+            bounds.push((0.0, NEAR_ZERO_ALPHA));
+        } else {
+            bounds.push((lo, hi));
+        }
+    }
+    bounds.extend(std::iter::repeat_n((f64::NEG_INFINITY, f64::INFINITY), n * k));
+    Some(bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FairnessPairs;
+    use crate::objective::IFairObjective;
+    use ifair_optim::Objective;
+
+    /// Two well-separated clusters, protected bit uncorrelated with them.
+    fn cluster_data() -> (Matrix, Vec<bool>) {
+        let mut rows = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..20 {
+            let (cx, cy) = if i % 2 == 0 { (0.2, 0.2) } else { (0.8, 0.8) };
+            rows.push(vec![
+                cx + rng.gen_range(-0.05..0.05),
+                cy + rng.gen_range(-0.05..0.05),
+                if rng.gen_bool(0.5) { 1.0 } else { 0.0 },
+            ]);
+        }
+        (
+            Matrix::from_rows(rows).unwrap(),
+            vec![false, false, true],
+        )
+    }
+
+    fn quick_config() -> IFairConfig {
+        IFairConfig {
+            k: 4,
+            max_iters: 60,
+            n_restarts: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_produces_expected_shapes() {
+        let (x, protected) = cluster_data();
+        let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        assert_eq!(model.prototypes().shape(), (4, 3));
+        assert_eq!(model.alpha().len(), 3);
+        assert_eq!(model.transform(&x).shape(), (20, 3));
+        assert_eq!(model.n_features(), 3);
+        assert_eq!(model.n_prototypes(), 4);
+    }
+
+    #[test]
+    fn training_reduces_the_objective() {
+        let (x, protected) = cluster_data();
+        let config = quick_config();
+        let model = IFair::fit(&x, &protected, &config).unwrap();
+        // Recompute the loss of the winning parameters and compare against a
+        // freshly initialized iterate.
+        let objective = IFairObjective::new(&x, &protected, &config);
+        let theta0 = initial_theta(3, config.k, &protected, &config, config.seed);
+        let mut theta = model.alpha().to_vec();
+        theta.extend_from_slice(model.prototypes().as_slice());
+        assert!(objective.value(&theta) < objective.value(&theta0));
+        assert!((objective.value(&theta) - model.report().best().loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn responsibilities_are_probabilities() {
+        let (x, protected) = cluster_data();
+        let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        let (_, u) = model.transform_with_probabilities(&x);
+        assert_eq!(u.shape(), (20, 4));
+        for i in 0..u.rows() {
+            let s: f64 = u.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-10);
+            assert!(u.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, protected) = cluster_data();
+        let a = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        let b = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        assert_eq!(a.prototypes(), b.prototypes());
+        assert_eq!(a.alpha(), b.alpha());
+    }
+
+    #[test]
+    fn best_restart_has_minimal_loss() {
+        let (x, protected) = cluster_data();
+        let config = IFairConfig {
+            n_restarts: 3,
+            ..quick_config()
+        };
+        let model = IFair::fit(&x, &protected, &config).unwrap();
+        let report = model.report();
+        assert_eq!(report.restarts.len(), 3);
+        let min = report
+            .restarts
+            .iter()
+            .map(|r| r.loss)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best().loss, min);
+    }
+
+    #[test]
+    fn protected_attribute_has_near_zero_influence_when_frozen() {
+        let (x, protected) = cluster_data();
+        let config = IFairConfig {
+            freeze_protected_alpha: true,
+            ..quick_config()
+        };
+        let model = IFair::fit(&x, &protected, &config).unwrap();
+        // Flip the protected bit of a record: the transported representation
+        // must barely move (the paper's §IV "influence of protected group").
+        let mut flipped = x.clone();
+        for i in 0..flipped.rows() {
+            let v = flipped.get(i, 2);
+            flipped.set(i, 2, 1.0 - v);
+        }
+        let a = model.transform(&x);
+        let b = model.transform(&flipped);
+        let drift = a.sub(&b).unwrap().max_abs();
+        assert!(drift < 1e-3, "flip moved representations by {drift}");
+        // And the learned weight really is pinned.
+        assert!(model.alpha()[2] <= NEAR_ZERO_ALPHA + 1e-12);
+    }
+
+    #[test]
+    fn transform_accepts_unseen_records() {
+        let (x, protected) = cluster_data();
+        let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        let unseen = Matrix::from_rows(vec![vec![0.3, 0.1, 1.0], vec![0.7, 0.9, 0.0]]).unwrap();
+        let t = model.transform(&unseen);
+        assert_eq!(t.shape(), (2, 3));
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "record width")]
+    fn transform_panics_on_width_mismatch() {
+        let (x, protected) = cluster_data();
+        let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        let bad = Matrix::zeros(1, 2);
+        model.transform(&bad);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let (x, protected) = cluster_data();
+        let bad_config = IFairConfig {
+            k: 0,
+            ..quick_config()
+        };
+        assert!(matches!(
+            IFair::fit(&x, &protected, &bad_config),
+            Err(IFairError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            IFair::fit(&x, &[false, true], &quick_config()),
+            Err(IFairError::DataShape(_))
+        ));
+        assert!(matches!(
+            IFair::fit(&x, &[true, true, true], &quick_config()),
+            Err(IFairError::DataShape(_))
+        ));
+        let mut nan = x.clone();
+        nan.set(0, 0, f64::NAN);
+        assert!(matches!(
+            IFair::fit(&nan, &protected, &quick_config()),
+            Err(IFairError::DataShape(_))
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_transform() {
+        let (x, protected) = cluster_data();
+        let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        let json = model.to_json().unwrap();
+        let back = IFair::from_json(&json).unwrap();
+        assert_eq!(model.transform(&x), back.transform(&x));
+        assert!(IFair::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_more_prototypes() {
+        let (x, protected) = cluster_data();
+        let small = IFair::fit(
+            &x,
+            &protected,
+            &IFairConfig {
+                k: 1,
+                mu: 0.0,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        let large = IFair::fit(
+            &x,
+            &protected,
+            &IFairConfig {
+                k: 8,
+                mu: 0.0,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        assert!(large.reconstruction_error(&x) <= small.reconstruction_error(&x) + 1e-9);
+    }
+
+    #[test]
+    fn subsampled_pairs_still_train() {
+        let (x, protected) = cluster_data();
+        let config = IFairConfig {
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 30 },
+            ..quick_config()
+        };
+        let model = IFair::fit(&x, &protected, &config).unwrap();
+        assert_eq!(model.report().n_pairs, 30);
+    }
+}

@@ -1,0 +1,693 @@
+//! The iFair loss `L = λ·L_util + μ·L_fair` and its analytic gradient.
+//!
+//! The optimization variables are packed into a single flat vector
+//!
+//! ```text
+//! θ = [ α_1 .. α_N | v_11 .. v_1N | v_21 .. v_2N | ... | v_K1 .. v_KN ]
+//! ```
+//!
+//! of dimension `N·(K+1)`. The forward pass (Definitions 2-8 of the paper)
+//! computes, for every record `x_i`,
+//!
+//! ```text
+//! D_ik = dist(x_i, v_k)            (power sum or rooted Minkowski)
+//! u_i  = softmax(-D_i·)            (probability vector, Definition 8)
+//! x̃_i  = Σ_k u_ik · v_k            (transformed record, Definition 2)
+//! ```
+//!
+//! and the loss of Definition 9. The backward pass propagates through the
+//! reconstruction, the fairness pairs, the softmax, and the distance kernel —
+//! all derived in closed form so training never needs the `O(dim)`-times-
+//! costlier finite differences the reference implementation used
+//! (`scipy.optimize.fmin_l_bfgs_b(..., approx_grad=True)`). The
+//! finite-difference path is still available through
+//! [`ifair_optim::NumericalObjective`] and is used in tests to validate every
+//! branch of the analytic gradient.
+
+use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, SoftmaxDistance};
+use crate::distance;
+use ifair_linalg::Matrix;
+use ifair_optim::Objective;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A record pair entering the fairness loss, with its precomputed target
+/// distance `d(x*_i, x*_j)` on the non-protected attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairPair {
+    /// First record index.
+    pub i: usize,
+    /// Second record index.
+    pub j: usize,
+    /// Target distance in the masked input space.
+    pub target: f64,
+}
+
+/// The iFair objective over a fixed training matrix.
+///
+/// Borrowing the data keeps restarts cheap: the pair list and target
+/// distances are computed once and shared across all restarts.
+pub struct IFairObjective<'a> {
+    x: &'a Matrix,
+    m: usize,
+    n: usize,
+    k: usize,
+    p: f64,
+    lambda: f64,
+    mu: f64,
+    softmax_distance: SoftmaxDistance,
+    fairness_distance: FairnessDistance,
+    pairs: Vec<FairPair>,
+}
+
+impl<'a> IFairObjective<'a> {
+    /// Builds the objective for `x` (`M x N`) with per-column `protected`
+    /// flags and the hyper-parameters in `config`.
+    ///
+    /// The fairness-pair set (exact / anchored / subsampled per
+    /// `config.fairness_pairs`) is drawn here with `config.seed`, so the
+    /// objective is deterministic across restarts.
+    ///
+    /// # Panics
+    /// Panics if `protected.len() != x.cols()` — callers ([`crate::IFair`])
+    /// validate shapes first.
+    pub fn new(x: &'a Matrix, protected: &[bool], config: &IFairConfig) -> Self {
+        let (m, n) = x.shape();
+        assert_eq!(
+            protected.len(),
+            n,
+            "protected flags must match the feature count"
+        );
+        let nonprotected: Vec<usize> = (0..n).filter(|&j| !protected[j]).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1fa1_9a17);
+        let pairs = build_pairs(x, &nonprotected, config.fairness_pairs, m, &mut rng);
+        IFairObjective {
+            x,
+            m,
+            n,
+            k: config.k,
+            p: config.p,
+            lambda: config.lambda,
+            mu: config.mu,
+            softmax_distance: config.softmax_distance,
+            fairness_distance: config.fairness_distance,
+            pairs,
+        }
+    }
+
+    /// The fairness pairs (and target distances) this objective preserves.
+    pub fn pairs(&self) -> &[FairPair] {
+        &self.pairs
+    }
+
+    /// Number of records `M`.
+    pub fn n_records(&self) -> usize {
+        self.m
+    }
+
+    /// Splits the flat parameter vector into `(α, V)` views.
+    fn unpack<'t>(&self, theta: &'t [f64]) -> (&'t [f64], &'t [f64]) {
+        debug_assert_eq!(theta.len(), self.dim());
+        theta.split_at(self.n)
+    }
+
+    /// Forward pass: distances `D` (`M x K`), responsibilities `U` (`M x K`)
+    /// and reconstruction `X̃` (`M x N`), all as flat row-major buffers.
+    fn forward(&self, alpha: &[f64], v: &[f64]) -> ForwardState {
+        let (m, n, k) = (self.m, self.n, self.k);
+        let mut dist = vec![0.0; m * k];
+        let mut u = vec![0.0; m * k];
+        let mut xt = vec![0.0; m * n];
+        for i in 0..m {
+            let xi = self.x.row(i);
+            let d_row = &mut dist[i * k..(i + 1) * k];
+            for (kk, d) in d_row.iter_mut().enumerate() {
+                let vk = &v[kk * n..(kk + 1) * n];
+                let s = power_sum(xi, vk, alpha, self.p);
+                *d = match self.softmax_distance {
+                    SoftmaxDistance::PowerSum => s,
+                    SoftmaxDistance::Rooted => s.powf(1.0 / self.p),
+                };
+            }
+            // Stable softmax of -D: shift by the smallest distance.
+            let d_min = d_row.iter().cloned().fold(f64::INFINITY, f64::min);
+            let u_row = &mut u[i * k..(i + 1) * k];
+            let mut z = 0.0;
+            for (uu, &d) in u_row.iter_mut().zip(d_row.iter()) {
+                *uu = (d_min - d).exp();
+                z += *uu;
+            }
+            for uu in u_row.iter_mut() {
+                *uu /= z;
+            }
+            // x̃_i = Σ_k u_ik v_k.
+            let xt_row = &mut xt[i * n..(i + 1) * n];
+            for (kk, &uu) in u_row.iter().enumerate() {
+                let vk = &v[kk * n..(kk + 1) * n];
+                for (o, &vkn) in xt_row.iter_mut().zip(vk) {
+                    *o += uu * vkn;
+                }
+            }
+        }
+        ForwardState { dist, u, xt }
+    }
+
+    /// Loss given a completed forward pass.
+    fn loss(&self, alpha: &[f64], state: &ForwardState) -> f64 {
+        let util = if self.lambda != 0.0 {
+            self.x
+                .as_slice()
+                .iter()
+                .zip(&state.xt)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+        } else {
+            0.0
+        };
+        let fair = if self.mu != 0.0 {
+            self.pairs
+                .iter()
+                .map(|pair| {
+                    let e = self.transformed_distance(alpha, state, pair.i, pair.j) - pair.target;
+                    e * e
+                })
+                .sum::<f64>()
+        } else {
+            0.0
+        };
+        self.lambda * util + self.mu * fair
+    }
+
+    /// Distance between transformed records `i` and `j` per the configured
+    /// [`FairnessDistance`].
+    fn transformed_distance(&self, alpha: &[f64], state: &ForwardState, i: usize, j: usize) -> f64 {
+        let a = &state.xt[i * self.n..(i + 1) * self.n];
+        let b = &state.xt[j * self.n..(j + 1) * self.n];
+        match self.fairness_distance {
+            FairnessDistance::Unweighted => distance::euclidean(a, b),
+            FairnessDistance::Weighted => distance::weighted_minkowski(a, b, alpha, self.p),
+        }
+    }
+}
+
+/// Intermediate state shared between the loss and its gradient.
+struct ForwardState {
+    /// `M x K` record-to-prototype distances (power sum or rooted).
+    dist: Vec<f64>,
+    /// `M x K` softmax responsibilities.
+    u: Vec<f64>,
+    /// `M x N` reconstruction `U · V`.
+    xt: Vec<f64>,
+}
+
+impl Objective for IFairObjective<'_> {
+    fn dim(&self) -> usize {
+        self.n * (self.k + 1)
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let (alpha, v) = self.unpack(theta);
+        let state = self.forward(alpha, v);
+        self.loss(alpha, &state)
+    }
+
+    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(theta, grad);
+    }
+
+    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let (m, n, k, p) = (self.m, self.n, self.k, self.p);
+        let (alpha, v) = self.unpack(theta);
+        let state = self.forward(alpha, v);
+        let loss = self.loss(alpha, &state);
+
+        grad.fill(0.0);
+        let (g_alpha, g_v) = grad.split_at_mut(n);
+
+        // ∂L/∂x̃ — reconstruction term.
+        let mut g_xt = vec![0.0; m * n];
+        if self.lambda != 0.0 {
+            for ((g, &orig), &rec) in g_xt.iter_mut().zip(self.x.as_slice()).zip(&state.xt) {
+                *g = 2.0 * self.lambda * (rec - orig);
+            }
+        }
+
+        // ∂L/∂x̃ (and ∂L/∂α under the weighted metric) — fairness pairs.
+        if self.mu != 0.0 {
+            for pair in &self.pairs {
+                let d = self.transformed_distance(alpha, &state, pair.i, pair.j);
+                let coeff = 2.0 * self.mu * (d - pair.target);
+                if coeff == 0.0 || d <= 0.0 {
+                    continue;
+                }
+                let (ri, rj) = (pair.i * n, pair.j * n);
+                match self.fairness_distance {
+                    FairnessDistance::Unweighted => {
+                        for idx in 0..n {
+                            let delta = state.xt[ri + idx] - state.xt[rj + idx];
+                            let g = coeff * delta / d;
+                            g_xt[ri + idx] += g;
+                            g_xt[rj + idx] -= g;
+                        }
+                    }
+                    FairnessDistance::Weighted => {
+                        for idx in 0..n {
+                            let a = state.xt[ri + idx];
+                            let b = state.xt[rj + idx];
+                            // ∂d/∂a = -d_wrt_second(a, b) by symmetry of Δ.
+                            let g = -coeff * distance::d_wrt_second(a, b, alpha[idx], p, d);
+                            g_xt[ri + idx] += g;
+                            g_xt[rj + idx] -= g;
+                            if alpha[idx] >= 0.0 {
+                                g_alpha[idx] += coeff * distance::d_wrt_alpha(a, b, p, d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Backprop through x̃ = U·V and the softmax into V, D, and α.
+        for i in 0..m {
+            let xi = self.x.row(i);
+            let gx_row = &g_xt[i * n..(i + 1) * n];
+            let u_row = &state.u[i * k..(i + 1) * k];
+            let d_row = &state.dist[i * k..(i + 1) * k];
+
+            // c_k = ⟨∂L/∂x̃_i, v_k⟩ and the softmax Jacobian product
+            // b_k = ∂L/∂z_ik = u_k (c_k − Σ_j u_j c_j), with z = −D.
+            let mut c = vec![0.0; k];
+            let mut c_dot_u = 0.0;
+            for (kk, ck) in c.iter_mut().enumerate() {
+                let vk = &v[kk * n..(kk + 1) * n];
+                *ck = dot(gx_row, vk);
+                c_dot_u += u_row[kk] * *ck;
+            }
+
+            for kk in 0..k {
+                let uk = u_row[kk];
+                let b_k = uk * (c[kk] - c_dot_u);
+                let vk = &v[kk * n..(kk + 1) * n];
+                let gv_row = &mut g_v[kk * n..(kk + 1) * n];
+                // Direct path: ∂x̃_in/∂v_kn = u_ik.
+                for (gv, &gx) in gv_row.iter_mut().zip(gx_row) {
+                    *gv += uk * gx;
+                }
+                // Distance path: ∂L/∂D_ik = −b_k.
+                let gd = -b_k;
+                if gd == 0.0 {
+                    continue;
+                }
+                match self.softmax_distance {
+                    SoftmaxDistance::PowerSum => {
+                        for idx in 0..n {
+                            let delta = xi[idx] - vk[idx];
+                            // ∂S/∂v_n = −α_n p |Δ|^{p−1} sign(Δ)
+                            gv_row[idx] += gd * (-alpha[idx].max(0.0) * p * pow_abs_signed(delta, p - 1.0));
+                            if alpha[idx] >= 0.0 {
+                                g_alpha[idx] += gd * pow_abs(delta, p);
+                            }
+                        }
+                    }
+                    SoftmaxDistance::Rooted => {
+                        let d = d_row[kk];
+                        for idx in 0..n {
+                            gv_row[idx] +=
+                                gd * distance::d_wrt_second(xi[idx], vk[idx], alpha[idx], p, d);
+                            if alpha[idx] >= 0.0 {
+                                g_alpha[idx] += gd * distance::d_wrt_alpha(xi[idx], vk[idx], p, d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        loss
+    }
+}
+
+/// `Σ_n α_n |x_n − y_n|^p` with non-negativity clamping on `α`, specialized
+/// for the common `p = 2` (the Gaussian kernel of the paper).
+#[inline]
+fn power_sum(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
+    if p == 2.0 {
+        x.iter()
+            .zip(y)
+            .zip(alpha)
+            .map(|((&a, &b), &w)| {
+                let d = a - b;
+                w.max(0.0) * d * d
+            })
+            .sum()
+    } else {
+        distance::weighted_power_sum(x, y, alpha, p)
+    }
+}
+
+/// `|Δ|^q` with a fast path for `q = 2`.
+#[inline]
+fn pow_abs(delta: f64, q: f64) -> f64 {
+    if q == 2.0 {
+        delta * delta
+    } else {
+        delta.abs().powf(q)
+    }
+}
+
+/// `|Δ|^q · sign(Δ)` with a fast path for `q = 1`.
+#[inline]
+fn pow_abs_signed(delta: f64, q: f64) -> f64 {
+    if q == 1.0 {
+        delta
+    } else if delta == 0.0 {
+        0.0
+    } else {
+        delta.abs().powf(q) * delta.signum()
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Materializes the fairness-pair set with target distances measured by the
+/// unweighted Euclidean metric on the non-protected columns (Definition 5's
+/// `d(x*_i, x*_j)`).
+fn build_pairs(
+    x: &Matrix,
+    nonprotected: &[usize],
+    spec: FairnessPairs,
+    m: usize,
+    rng: &mut StdRng,
+) -> Vec<FairPair> {
+    let target = |i: usize, j: usize| -> f64 {
+        let (a, b) = (x.row(i), x.row(j));
+        nonprotected
+            .iter()
+            .map(|&col| {
+                let d = a[col] - b[col];
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+    match spec {
+        FairnessPairs::Exact => {
+            let mut pairs = Vec::with_capacity(m * m.saturating_sub(1) / 2);
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    pairs.push(FairPair {
+                        i,
+                        j,
+                        target: target(i, j),
+                    });
+                }
+            }
+            pairs
+        }
+        FairnessPairs::Anchored { n_anchors } => {
+            let n_anchors = n_anchors.min(m);
+            let mut anchors: Vec<usize> = (0..m).collect();
+            anchors.shuffle(rng);
+            anchors.truncate(n_anchors);
+            anchors.sort_unstable();
+            let mut pairs = Vec::with_capacity(m * n_anchors);
+            for i in 0..m {
+                for &a in &anchors {
+                    if a == i {
+                        continue;
+                    }
+                    let (lo, hi) = (i.min(a), i.max(a));
+                    pairs.push(FairPair {
+                        i: lo,
+                        j: hi,
+                        target: target(lo, hi),
+                    });
+                }
+            }
+            // Anchor-anchor pairs appear twice (once from each side); records
+            // must not be double-counted or their gradient doubles.
+            pairs.sort_unstable_by_key(|p| (p.i, p.j));
+            pairs.dedup_by_key(|p| (p.i, p.j));
+            pairs
+        }
+        FairnessPairs::Subsampled { n_pairs } => {
+            let total = m * m.saturating_sub(1) / 2;
+            let n_pairs = n_pairs.min(total);
+            if n_pairs == 0 {
+                return Vec::new();
+            }
+            // Sample distinct unordered pairs by rejection; the pair count in
+            // practice is far below `total` so collisions are rare.
+            let mut seen = std::collections::HashSet::with_capacity(n_pairs);
+            let mut pairs = Vec::with_capacity(n_pairs);
+            while pairs.len() < n_pairs {
+                let i = rng.gen_range(0..m);
+                let j = rng.gen_range(0..m);
+                if i == j {
+                    continue;
+                }
+                let (lo, hi) = (i.min(j), i.max(j));
+                if seen.insert((lo, hi)) {
+                    pairs.push(FairPair {
+                        i: lo,
+                        j: hi,
+                        target: target(lo, hi),
+                    });
+                }
+            }
+            pairs.sort_unstable_by_key(|p| (p.i, p.j));
+            pairs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitStrategy;
+    use ifair_optim::numgrad::check_gradient;
+
+    fn toy_matrix() -> Matrix {
+        // 6 records x 4 attributes, values in general position so p=3
+        // derivatives are smooth (no coincident coordinates).
+        Matrix::from_rows(vec![
+            vec![0.91, 0.20, 0.37, 1.00],
+            vec![0.83, 0.31, 0.55, 0.00],
+            vec![0.22, 0.87, 0.14, 1.00],
+            vec![0.11, 0.93, 0.72, 0.00],
+            vec![0.52, 0.48, 0.90, 1.00],
+            vec![0.43, 0.64, 0.08, 0.00],
+        ])
+        .unwrap()
+    }
+
+    fn toy_protected() -> Vec<bool> {
+        vec![false, false, false, true]
+    }
+
+    fn theta_at(dim: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..dim).map(|_| rng.gen_range(0.05..0.95)).collect()
+    }
+
+    fn config(k: usize) -> IFairConfig {
+        IFairConfig {
+            k,
+            lambda: 0.7,
+            mu: 1.3,
+            init: InitStrategy::RandomUniform,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dim_counts_alpha_and_prototypes() {
+        let x = toy_matrix();
+        let obj = IFairObjective::new(&x, &toy_protected(), &config(3));
+        assert_eq!(obj.dim(), 4 * (3 + 1));
+    }
+
+    #[test]
+    fn exact_pairs_cover_all_unordered_pairs() {
+        let x = toy_matrix();
+        let obj = IFairObjective::new(&x, &toy_protected(), &config(2));
+        assert_eq!(obj.pairs().len(), 6 * 5 / 2);
+        for pair in obj.pairs() {
+            assert!(pair.i < pair.j);
+            assert!(pair.target >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pair_targets_ignore_protected_columns() {
+        // Records 0 and 2 of this matrix differ only in the protected column.
+        let x = Matrix::from_rows(vec![
+            vec![0.5, 0.5, 1.0],
+            vec![0.9, 0.1, 0.0],
+            vec![0.5, 0.5, 0.0],
+        ])
+        .unwrap();
+        let obj = IFairObjective::new(&x, &[false, false, true], &config(2));
+        let pair02 = obj
+            .pairs()
+            .iter()
+            .find(|p| p.i == 0 && p.j == 2)
+            .expect("pair (0,2) present");
+        assert!(pair02.target.abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchored_pairs_bounded_and_unique() {
+        let x = toy_matrix();
+        let cfg = IFairConfig {
+            fairness_pairs: FairnessPairs::Anchored { n_anchors: 2 },
+            ..config(2)
+        };
+        let obj = IFairObjective::new(&x, &toy_protected(), &cfg);
+        let pairs = obj.pairs();
+        assert!(!pairs.is_empty());
+        assert!(pairs.len() <= 2 * 6);
+        let mut keys: Vec<(usize, usize)> = pairs.iter().map(|p| (p.i, p.j)).collect();
+        keys.dedup();
+        assert_eq!(keys.len(), pairs.len(), "anchored pairs must be distinct");
+    }
+
+    #[test]
+    fn subsampled_pairs_exact_count() {
+        let x = toy_matrix();
+        let cfg = IFairConfig {
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 7 },
+            ..config(2)
+        };
+        let obj = IFairObjective::new(&x, &toy_protected(), &cfg);
+        assert_eq!(obj.pairs().len(), 7);
+        // Requesting more pairs than exist clamps to the total.
+        let cfg = IFairConfig {
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 10_000 },
+            ..config(2)
+        };
+        let obj = IFairObjective::new(&x, &toy_protected(), &cfg);
+        assert_eq!(obj.pairs().len(), 15);
+    }
+
+    #[test]
+    fn pure_utility_loss_matches_manual_reconstruction_error() {
+        let x = toy_matrix();
+        let cfg = IFairConfig {
+            lambda: 1.0,
+            mu: 0.0,
+            ..config(3)
+        };
+        let obj = IFairObjective::new(&x, &toy_protected(), &cfg);
+        let theta = theta_at(obj.dim(), 7);
+        let (alpha, v) = obj.unpack(&theta);
+        let state = obj.forward(alpha, v);
+        let manual: f64 = x
+            .as_slice()
+            .iter()
+            .zip(&state.xt)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        assert!((obj.value(&theta) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn responsibilities_form_probability_distributions() {
+        let x = toy_matrix();
+        let obj = IFairObjective::new(&x, &toy_protected(), &config(4));
+        let theta = theta_at(obj.dim(), 3);
+        let (alpha, v) = obj.unpack(&theta);
+        let state = obj.forward(alpha, v);
+        for i in 0..6 {
+            let row = &state.u[i * 4..(i + 1) * 4];
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+            assert!(row.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn softmax_survives_huge_distances() {
+        // Prototype far away => exp(-1e6) underflows without max-shifting.
+        let x = Matrix::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let cfg = IFairConfig {
+            k: 2,
+            ..config(2)
+        };
+        let obj = IFairObjective::new(&x, &[false, false], &cfg);
+        let theta = vec![1.0, 1.0, 1e3, 1e3, 2e3, 2e3];
+        let value = obj.value(&theta);
+        assert!(value.is_finite());
+        let mut grad = vec![0.0; theta.len()];
+        let v = obj.value_and_gradient(&theta, &mut grad);
+        assert!(v.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    /// Exercises the analytic gradient against central differences for every
+    /// combination of kernels, fairness distances and pair sets.
+    #[test]
+    fn analytic_gradient_matches_finite_differences() {
+        let x = toy_matrix();
+        let protected = toy_protected();
+        for softmax_distance in [SoftmaxDistance::PowerSum, SoftmaxDistance::Rooted] {
+            for fairness_distance in [FairnessDistance::Unweighted, FairnessDistance::Weighted] {
+                for p in [2.0, 3.0] {
+                    for pairs in [
+                        FairnessPairs::Exact,
+                        FairnessPairs::Anchored { n_anchors: 3 },
+                        FairnessPairs::Subsampled { n_pairs: 5 },
+                    ] {
+                        let cfg = IFairConfig {
+                            p,
+                            softmax_distance,
+                            fairness_distance,
+                            fairness_pairs: pairs,
+                            ..config(3)
+                        };
+                        let obj = IFairObjective::new(&x, &protected, &cfg);
+                        let theta = theta_at(obj.dim(), 11);
+                        let report = check_gradient(&obj, &theta, 1e-6);
+                        assert!(
+                            report.passes(2e-5),
+                            "sm={softmax_distance:?} fd={fairness_distance:?} p={p} \
+                             pairs={pairs:?}: {report:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_for_pure_losses() {
+        let x = toy_matrix();
+        let protected = toy_protected();
+        for (lambda, mu) in [(1.0, 0.0), (0.0, 1.0)] {
+            let cfg = IFairConfig {
+                lambda,
+                mu,
+                ..config(2)
+            };
+            let obj = IFairObjective::new(&x, &protected, &cfg);
+            let theta = theta_at(obj.dim(), 23);
+            let report = check_gradient(&obj, &theta, 1e-6);
+            assert!(report.passes(2e-5), "λ={lambda} μ={mu}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn value_and_gradient_agree_with_value() {
+        let x = toy_matrix();
+        let obj = IFairObjective::new(&x, &toy_protected(), &config(3));
+        let theta = theta_at(obj.dim(), 5);
+        let mut grad = vec![0.0; obj.dim()];
+        let v1 = obj.value_and_gradient(&theta, &mut grad);
+        let v2 = obj.value(&theta);
+        assert!((v1 - v2).abs() < 1e-12);
+    }
+}

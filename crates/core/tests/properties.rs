@@ -1,0 +1,110 @@
+//! Property-based tests of the iFair core: metric axioms of the weighted
+//! Minkowski distance, analytic-gradient correctness on random instances,
+//! and invariants of the learned transformation.
+
+use ifair_core::distance::{weighted_minkowski, weighted_power_sum};
+use ifair_core::{
+    FairnessDistance, FairnessPairs, IFairConfig, IFairObjective, SoftmaxDistance,
+};
+use ifair_linalg::Matrix;
+use ifair_optim::numgrad::check_gradient;
+use ifair_optim::Objective;
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.0f64..3.0, 3)
+}
+
+fn weights3() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..2.0, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn minkowski_metric_axioms(
+        x in vec3(), y in vec3(), z in vec3(), alpha in weights3(),
+        p in prop::sample::select(vec![1.0, 1.5, 2.0, 3.0]),
+    ) {
+        let d = |a: &[f64], b: &[f64]| weighted_minkowski(a, b, &alpha, p);
+        // Identity of indiscernibles (one direction) and non-negativity.
+        prop_assert!(d(&x, &x).abs() < 1e-12);
+        prop_assert!(d(&x, &y) >= 0.0);
+        // Symmetry.
+        prop_assert!((d(&x, &y) - d(&y, &x)).abs() < 1e-12);
+        // Triangle inequality (Minkowski is a metric for p >= 1).
+        prop_assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z) + 1e-9);
+    }
+
+    #[test]
+    fn power_sum_consistent_with_distance(
+        x in vec3(), y in vec3(), alpha in weights3(),
+        p in prop::sample::select(vec![1.0, 2.0, 3.0]),
+    ) {
+        let s = weighted_power_sum(&x, &y, &alpha, p);
+        let d = weighted_minkowski(&x, &y, &alpha, p);
+        prop_assert!((s.powf(1.0 / p) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_monotone_in_weights(
+        x in vec3(), y in vec3(), alpha in weights3(), scale in 1.0f64..4.0,
+    ) {
+        // Scaling all weights up cannot shrink the distance.
+        let bigger: Vec<f64> = alpha.iter().map(|w| w * scale).collect();
+        let d1 = weighted_minkowski(&x, &y, &alpha, 2.0);
+        let d2 = weighted_minkowski(&x, &y, &bigger, 2.0);
+        prop_assert!(d2 + 1e-12 >= d1);
+    }
+}
+
+fn small_instance() -> impl Strategy<Value = (Vec<Vec<f64>>, u64)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0.05f64..0.95, 4), 5..9),
+        0u64..10_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The analytic gradient must agree with central differences on random
+    /// instances — not just the hand-picked unit-test points.
+    #[test]
+    fn analytic_gradient_correct_on_random_instances(
+        (rows, seed) in small_instance(),
+        softmax in prop::sample::select(vec![SoftmaxDistance::PowerSum, SoftmaxDistance::Rooted]),
+        fairness in prop::sample::select(vec![FairnessDistance::Unweighted, FairnessDistance::Weighted]),
+    ) {
+        let x = Matrix::from_rows(rows).unwrap();
+        let config = IFairConfig {
+            k: 3,
+            lambda: 0.8,
+            mu: 1.2,
+            softmax_distance: softmax,
+            fairness_distance: fairness,
+            fairness_pairs: FairnessPairs::Exact,
+            seed,
+            ..Default::default()
+        };
+        let obj = IFairObjective::new(&x, &[false, false, false, true], &config);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let report = check_gradient(&obj, &theta, 1e-6);
+        prop_assert!(report.passes(5e-5), "{report:?}");
+    }
+
+    /// The objective is non-negative and zero only in degenerate cases.
+    #[test]
+    fn objective_is_non_negative((rows, seed) in small_instance()) {
+        let x = Matrix::from_rows(rows).unwrap();
+        let config = IFairConfig { k: 2, seed, ..Default::default() };
+        let obj = IFairObjective::new(&x, &[false, false, false, true], &config);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 1);
+        let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        prop_assert!(obj.value(&theta) >= 0.0);
+    }
+}

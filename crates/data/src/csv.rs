@@ -1,0 +1,359 @@
+//! Minimal CSV reading/writing (RFC-4180 subset: quoted fields, embedded
+//! commas and quotes; no embedded newlines).
+//!
+//! This exists so users with licensed copies of the real datasets (COMPAS,
+//! Census, ...) can load them into the same pipeline the simulators feed.
+//! A schema maps columns to numeric / categorical / protected / outcome /
+//! group roles, producing a [`RawDataset`].
+
+use crate::encode::{ColumnData, RawDataset};
+use std::io::{BufRead, Write};
+
+/// Role of a CSV column in the resulting [`RawDataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// Real-valued feature column.
+    Numeric,
+    /// Categorical feature column.
+    Categorical,
+    /// Protected categorical feature; records whose value equals the given
+    /// string form the protected group (`group = 1`).
+    Protected {
+        /// The attribute value defining the protected group.
+        protected_value: String,
+    },
+    /// Outcome column; records whose value equals the given string get label
+    /// 1.0 (any other value gets 0.0). Numeric outcomes can be loaded by
+    /// `OutcomeNumeric` instead.
+    OutcomeBinary {
+        /// The value mapped to label 1.0.
+        positive_value: String,
+    },
+    /// Real-valued outcome column (ranking score).
+    OutcomeNumeric,
+    /// Column to ignore.
+    Skip,
+}
+
+/// Schema: column name -> role, applied by [`read_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvSchema {
+    /// `(column name, role)` pairs; columns absent from the file error out.
+    pub roles: Vec<(String, ColumnRole)>,
+}
+
+/// Splits one CSV line into fields (handles double-quoted fields with
+/// embedded commas and `""` escapes).
+pub fn parse_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Escapes a field for CSV output.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Reads a CSV with a header row into a [`RawDataset`] according to `schema`.
+pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<RawDataset, String> {
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| "empty CSV input".to_string())?
+        .map_err(|e| e.to_string())?;
+    let header = parse_line(&header_line);
+
+    // Resolve schema columns to file positions.
+    let mut positions = Vec::with_capacity(schema.roles.len());
+    for (name, _) in &schema.roles {
+        let pos = header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| format!("column {name} not found in CSV header"))?;
+        positions.push(pos);
+    }
+
+    // Accumulate raw string columns.
+    let mut raw_cols: Vec<Vec<String>> = vec![Vec::new(); schema.roles.len()];
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(&line);
+        if fields.len() != header.len() {
+            return Err(format!(
+                "line {} has {} fields, header has {}",
+                lineno + 2,
+                fields.len(),
+                header.len()
+            ));
+        }
+        for (col, &pos) in raw_cols.iter_mut().zip(&positions) {
+            col.push(fields[pos].clone());
+        }
+    }
+    let m = raw_cols.first().map_or(0, Vec::len);
+
+    let mut names = Vec::new();
+    let mut columns = Vec::new();
+    let mut protected = Vec::new();
+    let mut y: Option<Vec<f64>> = None;
+    let mut group = vec![0u8; m];
+
+    for ((name, role), values) in schema.roles.iter().zip(raw_cols) {
+        match role {
+            ColumnRole::Skip => {}
+            ColumnRole::Numeric => {
+                let parsed: Result<Vec<f64>, String> = values
+                    .iter()
+                    .map(|v| {
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("non-numeric value '{v}' in column {name}"))
+                    })
+                    .collect();
+                names.push(name.clone());
+                columns.push(ColumnData::Numeric(parsed?));
+                protected.push(false);
+            }
+            ColumnRole::Categorical => {
+                names.push(name.clone());
+                columns.push(ColumnData::Categorical(values));
+                protected.push(false);
+            }
+            ColumnRole::Protected { protected_value } => {
+                for (g, v) in group.iter_mut().zip(&values) {
+                    if v == protected_value {
+                        *g = 1;
+                    }
+                }
+                names.push(name.clone());
+                columns.push(ColumnData::Categorical(values));
+                protected.push(true);
+            }
+            ColumnRole::OutcomeBinary { positive_value } => {
+                y = Some(
+                    values
+                        .iter()
+                        .map(|v| if v == positive_value { 1.0 } else { 0.0 })
+                        .collect(),
+                );
+            }
+            ColumnRole::OutcomeNumeric => {
+                let parsed: Result<Vec<f64>, String> = values
+                    .iter()
+                    .map(|v| {
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("non-numeric outcome '{v}' in column {name}"))
+                    })
+                    .collect();
+                y = Some(parsed?);
+            }
+        }
+    }
+
+    let raw = RawDataset {
+        names,
+        columns,
+        protected,
+        y,
+        group,
+    };
+    raw.validate()?;
+    Ok(raw)
+}
+
+/// Writes a `RawDataset` back out as CSV (feature columns only, plus
+/// `__y` / `__group` metadata columns when present).
+pub fn write_csv<W: Write>(w: &mut W, raw: &RawDataset) -> std::io::Result<()> {
+    let mut header: Vec<String> = raw.names.clone();
+    if raw.y.is_some() {
+        header.push("__y".into());
+    }
+    header.push("__group".into());
+    writeln!(
+        w,
+        "{}",
+        header
+            .iter()
+            .map(|h| escape_field(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for i in 0..raw.n_records() {
+        let mut fields: Vec<String> = raw
+            .columns
+            .iter()
+            .map(|c| match c {
+                ColumnData::Numeric(v) => format!("{}", v[i]),
+                ColumnData::Categorical(v) => escape_field(&v[i]),
+            })
+            .collect();
+        if let Some(y) = &raw.y {
+            fields.push(format!("{}", y[i]));
+        }
+        fields.push(format!("{}", raw.group[i]));
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "age,city,gender,outcome\n\
+        30,\"Berlin, Mitte\",f,yes\n\
+        40,Hamburg,m,no\n\
+        50,\"He said \"\"hi\"\"\",f,yes\n";
+
+    fn schema() -> CsvSchema {
+        CsvSchema {
+            roles: vec![
+                ("age".into(), ColumnRole::Numeric),
+                ("city".into(), ColumnRole::Categorical),
+                (
+                    "gender".into(),
+                    ColumnRole::Protected {
+                        protected_value: "f".into(),
+                    },
+                ),
+                (
+                    "outcome".into(),
+                    ColumnRole::OutcomeBinary {
+                        positive_value: "yes".into(),
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn parse_line_handles_quotes() {
+        assert_eq!(parse_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(parse_line("\"a,b\",c"), vec!["a,b", "c"]);
+        assert_eq!(parse_line("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(parse_line(""), vec![""]);
+    }
+
+    #[test]
+    fn reads_sample_into_raw_dataset() {
+        let raw = read_csv(BufReader::new(SAMPLE.as_bytes()), &schema()).unwrap();
+        assert_eq!(raw.n_records(), 3);
+        assert_eq!(raw.names, vec!["age", "city", "gender"]);
+        assert_eq!(raw.protected, vec![false, false, true]);
+        assert_eq!(raw.group, vec![1, 0, 1]);
+        assert_eq!(raw.y.as_ref().unwrap(), &vec![1.0, 0.0, 1.0]);
+        match &raw.columns[0] {
+            ColumnData::Numeric(v) => assert_eq!(v, &vec![30.0, 40.0, 50.0]),
+            _ => panic!("age should be numeric"),
+        }
+        match &raw.columns[1] {
+            ColumnData::Categorical(v) => assert_eq!(v[0], "Berlin, Mitte"),
+            _ => panic!("city should be categorical"),
+        }
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let bad = CsvSchema {
+            roles: vec![("nope".into(), ColumnRole::Numeric)],
+        };
+        assert!(read_csv(BufReader::new(SAMPLE.as_bytes()), &bad).is_err());
+    }
+
+    #[test]
+    fn non_numeric_value_errors() {
+        let s = "age\nnot_a_number\n";
+        let schema = CsvSchema {
+            roles: vec![("age".into(), ColumnRole::Numeric)],
+        };
+        assert!(read_csv(BufReader::new(s.as_bytes()), &schema).is_err());
+    }
+
+    #[test]
+    fn ragged_line_errors() {
+        let s = "a,b\n1,2\n3\n";
+        let schema = CsvSchema {
+            roles: vec![("a".into(), ColumnRole::Numeric)],
+        };
+        assert!(read_csv(BufReader::new(s.as_bytes()), &schema).is_err());
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let raw = read_csv(BufReader::new(SAMPLE.as_bytes()), &schema()).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &raw).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Read back with an equivalent schema over the dumped columns.
+        let schema2 = CsvSchema {
+            roles: vec![
+                ("age".into(), ColumnRole::Numeric),
+                ("city".into(), ColumnRole::Categorical),
+                (
+                    "gender".into(),
+                    ColumnRole::Protected {
+                        protected_value: "f".into(),
+                    },
+                ),
+                (
+                    "__y".into(),
+                    ColumnRole::OutcomeBinary {
+                        positive_value: "1".into(),
+                    },
+                ),
+            ],
+        };
+        let back = read_csv(BufReader::new(text.as_bytes()), &schema2).unwrap();
+        assert_eq!(back.n_records(), 3);
+        assert_eq!(back.group, raw.group);
+        assert_eq!(back.y, raw.y);
+    }
+
+    #[test]
+    fn skip_role_omits_column() {
+        let schema = CsvSchema {
+            roles: vec![
+                ("age".into(), ColumnRole::Numeric),
+                ("city".into(), ColumnRole::Skip),
+            ],
+        };
+        let raw = read_csv(BufReader::new(SAMPLE.as_bytes()), &schema).unwrap();
+        assert_eq!(raw.names, vec!["age"]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let schema = CsvSchema { roles: vec![] };
+        assert!(read_csv(BufReader::new("".as_bytes()), &schema).is_err());
+    }
+}

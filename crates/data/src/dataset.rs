@@ -1,0 +1,379 @@
+//! The encoded dataset containers used across the workspace.
+
+use ifair_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An encoded dataset: the `M x N` feature matrix `X` of the paper, plus the
+/// metadata the fairness pipeline needs.
+///
+/// Columns are already one-hot encoded / scaled; `protected[j]` marks column
+/// `j` as one of the "attributes `l+1 .. N`" that must not influence
+/// decisions (Definition 1 of the paper measures distances on the complement
+/// `x*`). `group[i]` records per-record membership in the *protected group*
+/// used by the group-fairness metrics (1 = protected, 0 = not); the iFair
+/// model itself never reads it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// `M x N` feature matrix.
+    pub x: Matrix,
+    /// Column names (length `N`).
+    pub feature_names: Vec<String>,
+    /// Per-column protected flags (length `N`).
+    pub protected: Vec<bool>,
+    /// Outcome variable: binary 0/1 labels for classification or a
+    /// real-valued deserved score for ranking; `None` for unlabeled data.
+    pub y: Option<Vec<f64>>,
+    /// Per-record protected-group membership (length `M`).
+    pub group: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds a dataset after validating the shapes of all components.
+    pub fn new(
+        x: Matrix,
+        feature_names: Vec<String>,
+        protected: Vec<bool>,
+        y: Option<Vec<f64>>,
+        group: Vec<u8>,
+    ) -> Result<Self, String> {
+        let (m, n) = x.shape();
+        if feature_names.len() != n {
+            return Err(format!(
+                "feature_names has length {} but X has {} columns",
+                feature_names.len(),
+                n
+            ));
+        }
+        if protected.len() != n {
+            return Err(format!(
+                "protected has length {} but X has {} columns",
+                protected.len(),
+                n
+            ));
+        }
+        if let Some(y) = &y {
+            if y.len() != m {
+                return Err(format!("y has length {} but X has {} rows", y.len(), m));
+            }
+        }
+        if group.len() != m {
+            return Err(format!(
+                "group has length {} but X has {} rows",
+                group.len(),
+                m
+            ));
+        }
+        Ok(Dataset {
+            x,
+            feature_names,
+            protected,
+            y,
+            group,
+        })
+    }
+
+    /// Number of records `M`.
+    pub fn n_records(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of encoded features `N`.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Indices of protected columns.
+    pub fn protected_indices(&self) -> Vec<usize> {
+        self.protected
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &p)| p.then_some(j))
+            .collect()
+    }
+
+    /// Indices of non-protected columns (the `x*` view of Definition 1).
+    pub fn nonprotected_indices(&self) -> Vec<usize> {
+        self.protected
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &p)| (!p).then_some(j))
+            .collect()
+    }
+
+    /// Features with protected columns **dropped** — the paper's
+    /// "Masked Data" baseline and the `x*` space of the fairness loss.
+    pub fn masked_x(&self) -> Matrix {
+        self.x.select_cols(&self.nonprotected_indices())
+    }
+
+    /// Features with protected columns **zeroed**, preserving width. Useful
+    /// when a downstream model was trained on the full width.
+    pub fn zeroed_x(&self) -> Matrix {
+        let mut x = self.x.clone();
+        for j in self.protected_indices() {
+            for i in 0..x.rows() {
+                x.set(i, j, 0.0);
+            }
+        }
+        x
+    }
+
+    /// Sub-dataset with the given record indices (copied).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            feature_names: self.feature_names.clone(),
+            protected: self.protected.clone(),
+            y: self
+                .y
+                .as_ref()
+                .map(|y| indices.iter().map(|&i| y[i]).collect()),
+            group: indices.iter().map(|&i| self.group[i]).collect(),
+        }
+    }
+
+    /// Replaces the feature matrix, keeping metadata (used when swapping in a
+    /// learned representation of the same records).
+    ///
+    /// The new matrix must have the same number of rows; when its width
+    /// differs from the original the feature names/protected flags are
+    /// replaced by synthetic ones (a learned representation has no named
+    /// columns).
+    pub fn with_features(&self, x: Matrix) -> Result<Dataset, String> {
+        if x.rows() != self.n_records() {
+            return Err(format!(
+                "replacement has {} rows but dataset has {} records",
+                x.rows(),
+                self.n_records()
+            ));
+        }
+        let (feature_names, protected) = if x.cols() == self.n_features() {
+            (self.feature_names.clone(), self.protected.clone())
+        } else {
+            (
+                (0..x.cols()).map(|j| format!("z{j}")).collect(),
+                vec![false; x.cols()],
+            )
+        };
+        Ok(Dataset {
+            x,
+            feature_names,
+            protected,
+            y: self.y.clone(),
+            group: self.group.clone(),
+        })
+    }
+
+    /// Outcome labels, panicking when absent (most pipelines require them).
+    pub fn labels(&self) -> &[f64] {
+        self.y.as_deref().expect("dataset has no outcome variable")
+    }
+
+    /// Fraction of records with positive label in the protected group and in
+    /// its complement: the `(base-rate protected, base-rate unprotected)`
+    /// pair reported in Table II of the paper.
+    pub fn base_rates(&self) -> (f64, f64) {
+        let y = self.labels();
+        let (mut pos_p, mut n_p, mut pos_u, mut n_u) = (0.0, 0.0, 0.0, 0.0);
+        for (yi, &g) in y.iter().zip(&self.group) {
+            if g == 1 {
+                n_p += 1.0;
+                pos_p += yi;
+            } else {
+                n_u += 1.0;
+                pos_u += yi;
+            }
+        }
+        (
+            if n_p > 0.0 { pos_p / n_p } else { 0.0 },
+            if n_u > 0.0 { pos_u / n_u } else { 0.0 },
+        )
+    }
+
+    /// Fraction of records in the protected group.
+    pub fn protected_share(&self) -> f64 {
+        if self.group.is_empty() {
+            return 0.0;
+        }
+        self.group.iter().filter(|&&g| g == 1).count() as f64 / self.group.len() as f64
+    }
+}
+
+/// A named query over a ranking dataset: the candidate set is the subset of
+/// records with the given indices (e.g. one of the 57 Xing job queries).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// Query identifier (e.g. `"Brand Strategist"`).
+    pub id: String,
+    /// Record indices of the candidates returned for this query.
+    pub indices: Vec<usize>,
+}
+
+/// A dataset for learning-to-rank experiments: records plus query groupings.
+///
+/// `data.y` holds the *deserved score* (the ranking variable of §V-A); each
+/// query ranks only its own candidate subset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankingDataset {
+    /// The underlying records.
+    pub data: Dataset,
+    /// Query groupings (each at least one candidate).
+    pub queries: Vec<Query>,
+}
+
+impl RankingDataset {
+    /// Builds a ranking dataset after validating query indices.
+    pub fn new(data: Dataset, queries: Vec<Query>) -> Result<Self, String> {
+        let m = data.n_records();
+        for q in &queries {
+            if q.indices.is_empty() {
+                return Err(format!("query {} has no candidates", q.id));
+            }
+            if let Some(&bad) = q.indices.iter().find(|&&i| i >= m) {
+                return Err(format!(
+                    "query {} references record {bad} but dataset has {m} records",
+                    q.id
+                ));
+            }
+        }
+        Ok(RankingDataset { data, queries })
+    }
+
+    /// Number of queries.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(vec![
+                vec![1.0, 10.0, 0.0],
+                vec![2.0, 20.0, 1.0],
+                vec![3.0, 30.0, 0.0],
+            ])
+            .unwrap(),
+            vec!["a".into(), "b".into(), "gender".into()],
+            vec![false, false, true],
+            Some(vec![1.0, 0.0, 1.0]),
+            vec![0, 1, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let x = Matrix::zeros(2, 2);
+        assert!(Dataset::new(x.clone(), vec!["a".into()], vec![false, false], None, vec![0, 0])
+            .is_err());
+        assert!(Dataset::new(x.clone(), vec!["a".into(), "b".into()], vec![false], None, vec![0, 0])
+            .is_err());
+        assert!(Dataset::new(
+            x.clone(),
+            vec!["a".into(), "b".into()],
+            vec![false, false],
+            Some(vec![1.0]),
+            vec![0, 0]
+        )
+        .is_err());
+        assert!(Dataset::new(
+            x,
+            vec!["a".into(), "b".into()],
+            vec![false, false],
+            None,
+            vec![0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn masked_drops_protected_columns() {
+        let d = toy();
+        let m = d.masked_x();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(0), &[1.0, 10.0]);
+        assert_eq!(d.protected_indices(), vec![2]);
+        assert_eq!(d.nonprotected_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn zeroed_keeps_width() {
+        let d = toy();
+        let z = d.zeroed_x();
+        assert_eq!(z.shape(), (3, 3));
+        assert_eq!(z.get(1, 2), 0.0);
+        assert_eq!(z.get(1, 1), 20.0);
+    }
+
+    #[test]
+    fn subset_selects_consistently() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.n_records(), 2);
+        assert_eq!(s.x.row(0), &[3.0, 30.0, 0.0]);
+        assert_eq!(s.y.as_ref().unwrap(), &vec![1.0, 1.0]);
+        assert_eq!(s.group, vec![0, 0]);
+    }
+
+    #[test]
+    fn with_features_same_width_keeps_names() {
+        let d = toy();
+        let r = d.with_features(d.x.clone()).unwrap();
+        assert_eq!(r.feature_names, d.feature_names);
+        let narrow = d.with_features(Matrix::zeros(3, 2)).unwrap();
+        assert_eq!(narrow.feature_names, vec!["z0".to_string(), "z1".to_string()]);
+        assert!(narrow.protected.iter().all(|&p| !p));
+        assert!(d.with_features(Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn base_rates_and_share() {
+        let d = toy();
+        let (p, u) = d.base_rates();
+        assert_eq!(p, 0.0); // single protected record has label 0
+        assert_eq!(u, 1.0); // both unprotected records have label 1
+        assert!((d.protected_share() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_dataset_validates_queries() {
+        let d = toy();
+        let ok = RankingDataset::new(
+            d.clone(),
+            vec![Query {
+                id: "q".into(),
+                indices: vec![0, 2],
+            }],
+        );
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().n_queries(), 1);
+        let bad = RankingDataset::new(
+            d.clone(),
+            vec![Query {
+                id: "q".into(),
+                indices: vec![5],
+            }],
+        );
+        assert!(bad.is_err());
+        let empty = RankingDataset::new(
+            d,
+            vec![Query {
+                id: "q".into(),
+                indices: vec![],
+            }],
+        );
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no outcome")]
+    fn labels_panics_without_outcome() {
+        let mut d = toy();
+        d.y = None;
+        d.labels();
+    }
+}

@@ -1,0 +1,295 @@
+//! One-hot encoding of raw (mixed numeric/categorical) data.
+//!
+//! §V-B of the paper: "categorical attributes are transformed using one-hot
+//! encoding". A protected raw attribute marks *all* of its one-hot columns as
+//! protected; Table II's dimensionality `M` counts these expanded columns.
+
+use crate::dataset::Dataset;
+use ifair_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A raw (pre-encoding) column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Real-valued attribute.
+    Numeric(Vec<f64>),
+    /// Categorical attribute with string levels.
+    Categorical(Vec<String>),
+}
+
+impl ColumnData {
+    /// Number of records in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Numeric(v) => v.len(),
+            ColumnData::Categorical(v) => v.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A raw dataset: named mixed-type columns plus outcome/group metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RawDataset {
+    /// Column names, in order.
+    pub names: Vec<String>,
+    /// Column payloads, in the same order as `names`.
+    pub columns: Vec<ColumnData>,
+    /// Which raw columns are protected attributes.
+    pub protected: Vec<bool>,
+    /// Optional outcome variable.
+    pub y: Option<Vec<f64>>,
+    /// Per-record protected-group membership.
+    pub group: Vec<u8>,
+}
+
+impl RawDataset {
+    /// Number of records (0 for a dataset with no columns).
+    pub fn n_records(&self) -> usize {
+        self.columns.first().map_or(0, ColumnData::len)
+    }
+
+    /// Validates internal consistency (equal column lengths, metadata sizes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.names.len() != self.columns.len() || self.names.len() != self.protected.len() {
+            return Err("names/columns/protected must have equal lengths".into());
+        }
+        let m = self.n_records();
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            if col.len() != m {
+                return Err(format!(
+                    "column {name} has {} records, expected {m}",
+                    col.len()
+                ));
+            }
+        }
+        if let Some(y) = &self.y {
+            if y.len() != m {
+                return Err(format!("y has {} records, expected {m}", y.len()));
+            }
+        }
+        if self.group.len() != m {
+            return Err(format!("group has {} records, expected {m}", self.group.len()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-column encoding plan learned by [`OneHotEncoder::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ColumnPlan {
+    /// Pass-through numeric column.
+    Numeric,
+    /// Categorical with the ordered list of known levels.
+    OneHot(Vec<String>),
+}
+
+/// One-hot encoder: learns categorical levels on `fit`, expands them to
+/// indicator columns on `transform`.
+///
+/// Unknown levels at transform time encode as all-zeros (the standard
+/// "handle_unknown=ignore" behaviour), which keeps train/test pipelines total.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneHotEncoder {
+    plans: Vec<ColumnPlan>,
+    names: Vec<String>,
+    protected: Vec<bool>,
+}
+
+impl OneHotEncoder {
+    /// Learns the encoding from `raw` (collects sorted categorical levels).
+    pub fn fit(raw: &RawDataset) -> Result<OneHotEncoder, String> {
+        raw.validate()?;
+        let mut plans = Vec::with_capacity(raw.columns.len());
+        for col in &raw.columns {
+            match col {
+                ColumnData::Numeric(_) => plans.push(ColumnPlan::Numeric),
+                ColumnData::Categorical(vals) => {
+                    // BTreeMap gives deterministic (sorted) level order.
+                    let mut levels: BTreeMap<&str, ()> = BTreeMap::new();
+                    for v in vals {
+                        levels.insert(v, ());
+                    }
+                    plans.push(ColumnPlan::OneHot(
+                        levels.keys().map(|s| s.to_string()).collect(),
+                    ));
+                }
+            }
+        }
+        Ok(OneHotEncoder {
+            plans,
+            names: raw.names.clone(),
+            protected: raw.protected.clone(),
+        })
+    }
+
+    /// Width of the encoded feature space.
+    pub fn n_output_features(&self) -> usize {
+        self.plans
+            .iter()
+            .map(|p| match p {
+                ColumnPlan::Numeric => 1,
+                ColumnPlan::OneHot(levels) => levels.len(),
+            })
+            .sum()
+    }
+
+    /// Encodes `raw` into a [`Dataset`].
+    ///
+    /// The raw dataset must have the same columns (names and kinds) as the
+    /// one used to fit.
+    pub fn transform(&self, raw: &RawDataset) -> Result<Dataset, String> {
+        raw.validate()?;
+        if raw.names != self.names {
+            return Err("column names differ from the fitted dataset".into());
+        }
+        let m = raw.n_records();
+        let n_out = self.n_output_features();
+        let mut x = Matrix::zeros(m, n_out);
+        let mut feature_names = Vec::with_capacity(n_out);
+        let mut protected = Vec::with_capacity(n_out);
+
+        let mut j_out = 0usize;
+        for ((plan, col), (&is_protected, name)) in self
+            .plans
+            .iter()
+            .zip(&raw.columns)
+            .zip(self.protected.iter().zip(&self.names))
+        {
+            match (plan, col) {
+                (ColumnPlan::Numeric, ColumnData::Numeric(vals)) => {
+                    for (i, &v) in vals.iter().enumerate() {
+                        x.set(i, j_out, v);
+                    }
+                    feature_names.push(name.clone());
+                    protected.push(is_protected);
+                    j_out += 1;
+                }
+                (ColumnPlan::OneHot(levels), ColumnData::Categorical(vals)) => {
+                    for (i, v) in vals.iter().enumerate() {
+                        if let Ok(k) = levels.binary_search(v) {
+                            x.set(i, j_out + k, 1.0);
+                        }
+                        // Unknown level: row stays all-zero for this block.
+                    }
+                    for level in levels {
+                        feature_names.push(format!("{name}={level}"));
+                        protected.push(is_protected);
+                    }
+                    j_out += levels.len();
+                }
+                _ => {
+                    return Err(format!(
+                        "column {name} changed kind between fit and transform"
+                    ))
+                }
+            }
+        }
+        Dataset::new(x, feature_names, protected, raw.y.clone(), raw.group.clone())
+    }
+
+    /// Fits and transforms in one call.
+    pub fn fit_transform(raw: &RawDataset) -> Result<Dataset, String> {
+        OneHotEncoder::fit(raw)?.transform(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw() -> RawDataset {
+        RawDataset {
+            names: vec!["age".into(), "color".into(), "gender".into()],
+            columns: vec![
+                ColumnData::Numeric(vec![30.0, 40.0, 50.0]),
+                ColumnData::Categorical(vec!["red".into(), "blue".into(), "red".into()]),
+                ColumnData::Categorical(vec!["f".into(), "m".into(), "f".into()]),
+            ],
+            protected: vec![false, false, true],
+            y: Some(vec![1.0, 0.0, 1.0]),
+            group: vec![1, 0, 1],
+        }
+    }
+
+    #[test]
+    fn encodes_expected_width_and_names() {
+        let d = OneHotEncoder::fit_transform(&raw()).unwrap();
+        // 1 numeric + 2 colors + 2 genders = 5.
+        assert_eq!(d.n_features(), 5);
+        assert_eq!(
+            d.feature_names,
+            vec!["age", "color=blue", "color=red", "gender=f", "gender=m"]
+        );
+        // Protected flag propagates to every one-hot column of gender.
+        assert_eq!(d.protected, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn one_hot_rows_are_indicators() {
+        let d = OneHotEncoder::fit_transform(&raw()).unwrap();
+        assert_eq!(d.x.row(0), &[30.0, 0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(d.x.row(1), &[40.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn unknown_levels_encode_as_zero() {
+        let enc = OneHotEncoder::fit(&raw()).unwrap();
+        let mut other = raw();
+        if let ColumnData::Categorical(v) = &mut other.columns[1] {
+            v[0] = "green".into();
+        }
+        let d = enc.transform(&other).unwrap();
+        assert_eq!(d.x.row(0), &[30.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn transform_checks_schema() {
+        let enc = OneHotEncoder::fit(&raw()).unwrap();
+        let mut other = raw();
+        other.names[0] = "AGE".into();
+        assert!(enc.transform(&other).is_err());
+        let mut kind_change = raw();
+        kind_change.columns[0] = ColumnData::Categorical(vec!["a".into(); 3]);
+        assert!(enc.transform(&kind_change).is_err());
+    }
+
+    #[test]
+    fn validate_catches_ragged_columns() {
+        let mut r = raw();
+        r.columns[0] = ColumnData::Numeric(vec![1.0]);
+        assert!(r.validate().is_err());
+        let mut r2 = raw();
+        r2.group = vec![0];
+        assert!(r2.validate().is_err());
+        let mut r3 = raw();
+        r3.y = Some(vec![0.0]);
+        assert!(r3.validate().is_err());
+        let mut r4 = raw();
+        r4.protected = vec![false];
+        assert!(r4.validate().is_err());
+    }
+
+    #[test]
+    fn levels_are_deterministic() {
+        // Order of appearance differs from sorted order; encoder sorts.
+        let r = RawDataset {
+            names: vec!["c".into()],
+            columns: vec![ColumnData::Categorical(vec![
+                "zebra".into(),
+                "apple".into(),
+                "mango".into(),
+            ])],
+            protected: vec![false],
+            y: None,
+            group: vec![0, 0, 0],
+        };
+        let d = OneHotEncoder::fit_transform(&r).unwrap();
+        assert_eq!(d.feature_names, vec!["c=apple", "c=mango", "c=zebra"]);
+    }
+}

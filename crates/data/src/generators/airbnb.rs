@@ -1,0 +1,304 @@
+//! Airbnb listings simulator (§V-A).
+//!
+//! Calibrated to Table II: 27597 listings, 33 encoded dimensions, protected
+//! attribute *host gender* (inferred from host names in the paper), ranking
+//! variable *rating/price* (value for money). Queries are (city,
+//! neighborhood tier, room type) combinations with at least 10 listings —
+//! 43 of them, as in §V-E.
+
+use crate::dataset::{Query, RankingDataset};
+use crate::encode::{ColumnData, OneHotEncoder, RawDataset};
+use crate::generators::sample_weighted;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the Airbnb simulator.
+#[derive(Debug, Clone)]
+pub struct AirbnbConfig {
+    /// Number of listings (paper: 27597). Must be at least ~600 so each of
+    /// the 43 designated queries reaches 10 listings.
+    pub n_records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AirbnbConfig {
+    fn default() -> Self {
+        AirbnbConfig {
+            n_records: 27597,
+            seed: 42,
+        }
+    }
+}
+
+const CITIES: [&str; 5] = ["Austin", "Boston", "Chicago", "LA", "NYC"];
+const TIERS: [&str; 6] = ["tier_0", "tier_1", "tier_2", "tier_3", "tier_4", "tier_5"];
+const ROOM_TYPES: [&str; 3] = ["entire_home", "private_room", "shared_room"];
+/// Number of designated queries (paper: 43 after the >= 10 listings filter).
+pub const N_QUERIES: usize = 43;
+
+/// Generates the Airbnb-like ranking dataset. See the [module docs](self).
+pub fn generate(config: &AirbnbConfig) -> RankingDataset {
+    let n = config.n_records;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let normal = Normal::new(0.0, 1.0).expect("valid normal");
+
+    // The 43 designated (city, tier, room) query cells, deterministic from
+    // the seed: a fixed enumeration of the 90 possible combos, shuffled once.
+    let mut combos: Vec<(usize, usize, usize)> = (0..CITIES.len())
+        .flat_map(|c| (0..TIERS.len()).flat_map(move |t| (0..ROOM_TYPES.len()).map(move |r| (c, t, r))))
+        .collect();
+    use rand::seq::SliceRandom;
+    combos.shuffle(&mut rng);
+    let designated: Vec<(usize, usize, usize)> = combos[..N_QUERIES].to_vec();
+    let stragglers: Vec<(usize, usize, usize)> = combos[N_QUERIES..].to_vec();
+
+    // Listing-to-cell assignment: every non-designated cell receives exactly
+    // one listing (staying below the 10-listing query threshold); all other
+    // listings go to designated cells with skewed popularity.
+    let popularity: Vec<f64> = (0..N_QUERIES).map(|_| 0.3 + rng.gen::<f64>()).collect();
+    let mut cell_of: Vec<(usize, usize, usize)> = Vec::with_capacity(n);
+    for &cell in &stragglers {
+        cell_of.push(cell);
+    }
+    // Guarantee >= 12 listings per designated cell.
+    for &cell in &designated {
+        for _ in 0..12 {
+            cell_of.push(cell);
+        }
+    }
+    while cell_of.len() < n {
+        cell_of.push(designated[sample_weighted(&mut rng, &popularity)]);
+    }
+    cell_of.truncate(n);
+    cell_of.shuffle(&mut rng);
+
+    // Latent listing quality.
+    let mut price = Vec::with_capacity(n);
+    let mut rating = Vec::with_capacity(n);
+    let mut reviews = Vec::with_capacity(n);
+    let mut accommodates = Vec::with_capacity(n);
+    let mut bedrooms = Vec::with_capacity(n);
+    let mut bathrooms = Vec::with_capacity(n);
+    let mut beds = Vec::with_capacity(n);
+    let mut availability = Vec::with_capacity(n);
+    let mut min_nights = Vec::with_capacity(n);
+    let mut cleaning_fee = Vec::with_capacity(n);
+    let mut deposit = Vec::with_capacity(n);
+    let mut host_listings = Vec::with_capacity(n);
+    let mut cancellation = Vec::with_capacity(n);
+    let mut instant = Vec::with_capacity(n);
+    let mut gender = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let (city, tier, room) = cell_of[i];
+        let quality: f64 = normal.sample(&mut rng);
+        let female = rng.gen_bool(0.475);
+        let size_factor = match room {
+            0 => 1.0,
+            1 => 0.45,
+            _ => 0.25,
+        };
+        let city_price = [110.0, 160.0, 120.0, 150.0, 180.0][city];
+        let tier_mult = 0.7 + 0.12 * tier as f64;
+        price.push(
+            (city_price * tier_mult * size_factor * (0.25 * normal.sample(&mut rng) - 0.1 * quality).exp())
+                .clamp(20.0, 1200.0)
+                .round(),
+        );
+        rating.push(((4.45 + 0.35 * quality + 0.15 * normal.sample(&mut rng)) * 20.0).clamp(40.0, 100.0).round() / 20.0);
+        reviews.push(((1.2 * quality + 2.8 + 0.9 * normal.sample(&mut rng)).exp()).clamp(0.0, 600.0).round());
+        let acc = (2.0 + 3.5 * size_factor + 1.5 * normal.sample(&mut rng)).clamp(1.0, 16.0).round();
+        accommodates.push(acc);
+        bedrooms.push((acc / 2.0).clamp(1.0, 8.0).round());
+        bathrooms.push((acc / 3.0 + 0.5).clamp(1.0, 5.0).round());
+        beds.push((acc / 1.6).clamp(1.0, 10.0).round());
+        availability.push((180.0 + 120.0 * normal.sample(&mut rng)).clamp(0.0, 365.0).round());
+        min_nights.push((2.0 + 1.8 * normal.sample(&mut rng).abs()).clamp(1.0, 30.0).round());
+        // Cleaning fee is the (mild) gender proxy: hosts in the protected
+        // group price cleaning differently in the real scrape.
+        cleaning_fee.push(
+            (28.0 + 0.25 * price[i] * 0.2 + 7.0 * f64::from(female) + 9.0 * normal.sample(&mut rng))
+                .clamp(0.0, 300.0)
+                .round(),
+        );
+        deposit.push(if rng.gen_bool(0.4) { (150.0 + 120.0 * normal.sample(&mut rng).abs()).round() } else { 0.0 });
+        host_listings.push(((0.9 * normal.sample(&mut rng).abs() + 0.1).exp()).clamp(1.0, 50.0).round());
+        cancellation.push(sample_weighted(&mut rng, &[0.45, 0.35, 0.20]));
+        instant.push(usize::from(rng.gen_bool(0.55)));
+        gender.push(u8::from(female));
+    }
+
+    // Deserved score: value for money, computable from observed attributes.
+    let y: Vec<f64> = (0..n)
+        .map(|i| rating[i] - 0.55 * (price[i].ln() - 4.6))
+        .collect();
+
+    let raw = RawDataset {
+        names: vec![
+            "price".into(),
+            "rating".into(),
+            "reviews_count".into(),
+            "accommodates".into(),
+            "bedrooms".into(),
+            "bathrooms".into(),
+            "beds".into(),
+            "availability_365".into(),
+            "minimum_nights".into(),
+            "cleaning_fee".into(),
+            "security_deposit".into(),
+            "host_listings_count".into(),
+            "city".into(),
+            "neighborhood_tier".into(),
+            "room_type".into(),
+            "cancellation_policy".into(),
+            "instant_bookable".into(),
+            "host_gender".into(),
+        ],
+        columns: vec![
+            ColumnData::Numeric(price),
+            ColumnData::Numeric(rating),
+            ColumnData::Numeric(reviews),
+            ColumnData::Numeric(accommodates),
+            ColumnData::Numeric(bedrooms),
+            ColumnData::Numeric(bathrooms),
+            ColumnData::Numeric(beds),
+            ColumnData::Numeric(availability),
+            ColumnData::Numeric(min_nights),
+            ColumnData::Numeric(cleaning_fee),
+            ColumnData::Numeric(deposit),
+            ColumnData::Numeric(host_listings),
+            ColumnData::Categorical(cell_of.iter().map(|&(c, _, _)| CITIES[c].to_string()).collect()),
+            ColumnData::Categorical(cell_of.iter().map(|&(_, t, _)| TIERS[t].to_string()).collect()),
+            ColumnData::Categorical(cell_of.iter().map(|&(_, _, r)| ROOM_TYPES[r].to_string()).collect()),
+            ColumnData::Categorical(
+                cancellation
+                    .iter()
+                    .map(|&c| ["flexible", "moderate", "strict"][c].to_string())
+                    .collect(),
+            ),
+            ColumnData::Categorical(instant.iter().map(|&b| ["no", "yes"][b].to_string()).collect()),
+            ColumnData::Categorical(
+                gender
+                    .iter()
+                    .map(|&g| if g == 1 { "female" } else { "male" }.to_string())
+                    .collect(),
+            ),
+        ],
+        protected: vec![
+            false, false, false, false, false, false, false, false, false, false, false, false,
+            false, false, false, false, false, true,
+        ],
+        y: Some(y),
+        group: gender,
+    };
+    let data = OneHotEncoder::fit_transform(&raw).expect("consistent schema");
+
+    // Build the queries from the designated cells.
+    let queries: Vec<Query> = designated
+        .iter()
+        .map(|&(c, t, r)| {
+            let indices: Vec<usize> = (0..n).filter(|&i| cell_of[i] == (c, t, r)).collect();
+            Query {
+                id: format!("{}/{}/{}", CITIES[c], TIERS[t], ROOM_TYPES[r]),
+                indices,
+            }
+        })
+        .collect();
+    RankingDataset::new(data, queries).expect("queries valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RankingDataset {
+        generate(&AirbnbConfig {
+            n_records: 3000,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        let r = small();
+        // Table II: M = 33 encoded dims; §V-E: 43 queries.
+        assert_eq!(r.data.n_features(), 33);
+        assert_eq!(r.n_queries(), N_QUERIES);
+    }
+
+    #[test]
+    fn full_size_matches_table_ii() {
+        let r = generate(&AirbnbConfig::default());
+        assert_eq!(r.data.n_records(), 27597);
+        assert_eq!(r.data.n_features(), 33);
+    }
+
+    #[test]
+    fn every_query_has_at_least_ten_listings() {
+        let r = small();
+        for q in &r.queries {
+            assert!(q.indices.len() >= 10, "query {} has {}", q.id, q.indices.len());
+        }
+    }
+
+    #[test]
+    fn protected_share_near_half() {
+        let r = small();
+        let share = r.data.protected_share();
+        assert!((share - 0.475).abs() < 0.04, "share = {share}");
+    }
+
+    #[test]
+    fn host_gender_is_protected() {
+        let r = small();
+        let prot: Vec<&String> = r
+            .data
+            .feature_names
+            .iter()
+            .zip(&r.data.protected)
+            .filter_map(|(n, &p)| p.then_some(n))
+            .collect();
+        assert_eq!(prot, vec!["host_gender=female", "host_gender=male"]);
+    }
+
+    #[test]
+    fn score_prefers_high_rating_low_price() {
+        let r = small();
+        let rating_col = r.data.feature_names.iter().position(|n| n == "rating").unwrap();
+        let price_col = r.data.feature_names.iter().position(|n| n == "price").unwrap();
+        let y = r.data.labels();
+        // Find two records with same price tier but different rating.
+        let hi = (0..r.data.n_records())
+            .max_by(|&a, &b| y[a].partial_cmp(&y[b]).unwrap())
+            .unwrap();
+        let lo = (0..r.data.n_records())
+            .min_by(|&a, &b| y[a].partial_cmp(&y[b]).unwrap())
+            .unwrap();
+        let value = |i: usize| {
+            r.data.x.get(i, rating_col) - 0.55 * (r.data.x.get(i, price_col).ln() - 4.6)
+        };
+        assert!(value(hi) > value(lo));
+    }
+
+    #[test]
+    fn queries_do_not_overlap() {
+        let r = small();
+        let mut seen = vec![false; r.data.n_records()];
+        for q in &r.queries {
+            for &i in &q.indices {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.data.x, b.data.x);
+        assert_eq!(a.queries.len(), b.queries.len());
+    }
+}

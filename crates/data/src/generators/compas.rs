@@ -1,0 +1,223 @@
+//! COMPAS recidivism simulator (ProPublica dataset of §V-A).
+//!
+//! Calibrated to Table II: 6901 records, 431 encoded dimensions, protected
+//! attribute *race*, outcome *recidivism* with base rates 0.52 (protected) /
+//! 0.40 (unprotected). The very high dimensionality comes from a long-tailed
+//! charge-description categorical (417 levels here), which is what makes the
+//! paper call COMPAS "the most difficult of the three datasets due to its
+//! dimensionality" (SVD fails on it).
+
+use crate::dataset::Dataset;
+use crate::encode::{ColumnData, OneHotEncoder, RawDataset};
+use crate::generators::{force_all_levels, labels_matching_base_rates, sample_weighted, zipf_weights};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the COMPAS simulator.
+#[derive(Debug, Clone)]
+pub struct CompasConfig {
+    /// Number of records (paper: 6901). Must be at least 417 to realize all
+    /// charge-description levels (and hence the 431 encoded dimensions).
+    pub n_records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CompasConfig {
+    fn default() -> Self {
+        CompasConfig {
+            n_records: 6901,
+            seed: 42,
+        }
+    }
+}
+
+/// Number of charge-description levels (fixed so the encoded width is 431).
+const N_CHARGE_DESC: usize = 417;
+const RACES: [&str; 6] = [
+    "African-American",
+    "Asian",
+    "Caucasian",
+    "Hispanic",
+    "Native American",
+    "Other",
+];
+
+/// Generates the COMPAS-like dataset. See the [module docs](self).
+pub fn generate(config: &CompasConfig) -> Dataset {
+    let n = config.n_records;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let normal = Normal::new(0.0, 1.0).expect("valid normal");
+
+    // Latent criminal-history propensity.
+    let z: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+
+    // Race: protected group = African-American (~51% in ProPublica's data);
+    // weakly correlated with a neighborhood proxy below, not with z itself.
+    let race_weights = [0.51, 0.01, 0.34, 0.08, 0.01, 0.05];
+    let race_idx: Vec<usize> = (0..n).map(|_| sample_weighted(&mut rng, &race_weights)).collect();
+    let group: Vec<u8> = race_idx.iter().map(|&r| u8::from(r == 0)).collect();
+
+    // Numeric features. `neighborhood_risk` is the deliberate proxy: it
+    // depends on group membership, so masking race still leaks it (Fig. 4).
+    let mut age = Vec::with_capacity(n);
+    let mut priors = Vec::with_capacity(n);
+    let mut juv_fel = Vec::with_capacity(n);
+    let mut neighborhood_risk = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = f64::from(group[i]);
+        age.push((34.0 - 4.0 * z[i] - 2.0 * g + 9.0 * normal.sample(&mut rng)).clamp(18.0, 80.0).round());
+        priors.push(((1.6 * z[i] + 0.5 * g + 1.8 + 0.8 * normal.sample(&mut rng)).exp() * 0.35).floor().clamp(0.0, 38.0));
+        juv_fel.push(((0.8 * z[i] + 0.3 * g - 1.4 + 0.5 * normal.sample(&mut rng)).exp() * 0.3).floor().clamp(0.0, 10.0));
+        neighborhood_risk.push(0.9 * g + 0.4 * z[i] + 0.8 * normal.sample(&mut rng));
+    }
+
+    // Categoricals.
+    let sex: Vec<String> = (0..n)
+        .map(|_| if rng.gen_bool(0.81) { "Male" } else { "Female" }.to_string())
+        .collect();
+    let charge_degree: Vec<String> = (0..n)
+        .map(|i| if z[i] + 0.5 * normal.sample(&mut rng) > 0.3 { "F" } else { "M" }.to_string())
+        .collect();
+    // Long-tailed charge descriptions; group shifts the head of the
+    // distribution slightly (another weak proxy).
+    let zipf = zipf_weights(N_CHARGE_DESC, 1.05);
+    let mut charge_idx: Vec<usize> = (0..n)
+        .map(|i| {
+            let mut w = zipf.clone();
+            if group[i] == 1 {
+                // Protected group draws from a rotated head of the
+                // distribution: same tail mass, shifted preferences.
+                w[..24].rotate_left(6);
+            }
+            sample_weighted(&mut rng, &w)
+        })
+        .collect();
+    force_all_levels(&mut charge_idx, N_CHARGE_DESC);
+    let charge_desc: Vec<String> = charge_idx.iter().map(|&c| format!("charge_{c:03}")).collect();
+
+    // Recidivism outcome: driven by latent propensity + priors; per-group
+    // base rates pinned to Table II (0.52 / 0.40).
+    let scores: Vec<f64> = (0..n)
+        .map(|i| 1.3 * z[i] + 0.25 * priors[i] + 0.5 * normal.sample(&mut rng))
+        .collect();
+    let y = labels_matching_base_rates(&scores, &group, 0.52, 0.40);
+
+    let raw = RawDataset {
+        names: vec![
+            "age".into(),
+            "priors_count".into(),
+            "juv_fel_count".into(),
+            "neighborhood_risk".into(),
+            "sex".into(),
+            "race".into(),
+            "c_charge_degree".into(),
+            "c_charge_desc".into(),
+        ],
+        columns: vec![
+            ColumnData::Numeric(age),
+            ColumnData::Numeric(priors),
+            ColumnData::Numeric(juv_fel),
+            ColumnData::Numeric(neighborhood_risk),
+            ColumnData::Categorical(sex),
+            ColumnData::Categorical(race_idx.iter().map(|&r| RACES[r].to_string()).collect()),
+            ColumnData::Categorical(charge_degree),
+            ColumnData::Categorical(charge_desc),
+        ],
+        protected: vec![false, false, false, false, false, true, false, false],
+        y: Some(y),
+        group,
+    };
+    OneHotEncoder::fit_transform(&raw).expect("schema is consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let d = generate(&CompasConfig::default());
+        assert_eq!(d.n_records(), 6901);
+        // Table II: M = 431 encoded dimensions.
+        assert_eq!(d.n_features(), 431, "names: {:?}", &d.feature_names[..10]);
+    }
+
+    #[test]
+    fn base_rates_match_table_ii() {
+        let d = generate(&CompasConfig::default());
+        let (p, u) = d.base_rates();
+        assert!((p - 0.52).abs() < 0.01, "protected base rate {p}");
+        assert!((u - 0.40).abs() < 0.01, "unprotected base rate {u}");
+    }
+
+    #[test]
+    fn race_columns_are_protected() {
+        let d = generate(&CompasConfig {
+            n_records: 500,
+            seed: 1,
+        });
+        let protected_names: Vec<&String> = d
+            .feature_names
+            .iter()
+            .zip(&d.protected)
+            .filter_map(|(n, &p)| p.then_some(n))
+            .collect();
+        assert_eq!(protected_names.len(), 6);
+        assert!(protected_names.iter().all(|n| n.starts_with("race=")));
+    }
+
+    #[test]
+    fn group_matches_race_column() {
+        let d = generate(&CompasConfig {
+            n_records: 500,
+            seed: 2,
+        });
+        let aa_col = d
+            .feature_names
+            .iter()
+            .position(|n| n == "race=African-American")
+            .unwrap();
+        for i in 0..d.n_records() {
+            assert_eq!(d.group[i] == 1, d.x.get(i, aa_col) == 1.0);
+        }
+    }
+
+    #[test]
+    fn proxy_feature_correlates_with_group() {
+        let d = generate(&CompasConfig {
+            n_records: 2000,
+            seed: 3,
+        });
+        let risk_col = d
+            .feature_names
+            .iter()
+            .position(|n| n == "neighborhood_risk")
+            .unwrap();
+        let (mut sum_p, mut n_p, mut sum_u, mut n_u) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..d.n_records() {
+            if d.group[i] == 1 {
+                sum_p += d.x.get(i, risk_col);
+                n_p += 1.0;
+            } else {
+                sum_u += d.x.get(i, risk_col);
+                n_u += 1.0;
+            }
+        }
+        assert!(sum_p / n_p > sum_u / n_u + 0.5, "proxy must separate groups");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&CompasConfig {
+            n_records: 450,
+            seed: 5,
+        });
+        let b = generate(&CompasConfig {
+            n_records: 450,
+            seed: 5,
+        });
+        assert_eq!(a.x, b.x);
+    }
+}

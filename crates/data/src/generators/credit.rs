@@ -1,0 +1,281 @@
+//! German Credit simulator (§V-A).
+//!
+//! Calibrated to Table II: 1000 records, 67 encoded dimensions, protected
+//! attribute *age* (following the fairness literature, the protected group is
+//! "young", age <= 25), outcome *credit-worthiness* with base rates 0.67
+//! (protected) / 0.72 (unprotected) — the mildest group gap and the smallest
+//! sample of the three classification datasets.
+
+use crate::dataset::Dataset;
+use crate::encode::{ColumnData, OneHotEncoder, RawDataset};
+use crate::generators::{force_all_levels, labels_matching_base_rates, sample_weighted};
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the German Credit simulator.
+#[derive(Debug, Clone)]
+pub struct CreditConfig {
+    /// Number of records (paper: 1000). Must be at least 12 to realize all
+    /// purpose levels.
+    pub n_records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CreditConfig {
+    fn default() -> Self {
+        CreditConfig {
+            n_records: 1000,
+            seed: 42,
+        }
+    }
+}
+
+/// Age threshold defining the protected ("young") group.
+pub const PROTECTED_AGE_THRESHOLD: f64 = 25.0;
+
+const N_STATUS: usize = 5;
+const N_HISTORY: usize = 6;
+const N_PURPOSE: usize = 12;
+const N_SAVINGS: usize = 5;
+const N_EMPLOYMENT: usize = 6;
+const N_PERSONAL: usize = 4;
+const N_DEBTORS: usize = 3;
+const N_PROPERTY: usize = 5;
+const N_PLANS: usize = 3;
+const N_HOUSING: usize = 3;
+const N_JOB: usize = 4;
+const N_PHONE: usize = 2;
+const N_FOREIGN: usize = 2;
+
+/// Generates the German-Credit-like dataset. See the [module docs](self).
+pub fn generate(config: &CreditConfig) -> Dataset {
+    let n = config.n_records;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let normal = Normal::new(0.0, 1.0).expect("valid normal");
+
+    // Latent financial reliability.
+    let z: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+
+    // Age: protected group = young (age <= 25), ~19% of records in the UCI
+    // data. Age itself is mildly correlated with reliability.
+    let age: Vec<f64> = z
+        .iter()
+        .map(|&zi| (35.5 + 3.0 * zi + 10.5 * normal.sample(&mut rng)).clamp(19.0, 75.0).round())
+        .collect();
+    let group: Vec<u8> = age.iter().map(|&a| u8::from(a <= PROTECTED_AGE_THRESHOLD)).collect();
+
+    let mut duration = Vec::with_capacity(n);
+    let mut amount = Vec::with_capacity(n);
+    let mut installment_rate = Vec::with_capacity(n);
+    let mut residence = Vec::with_capacity(n);
+    let mut existing_credits = Vec::with_capacity(n);
+    let mut dependents = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = f64::from(group[i]);
+        duration.push((21.0 - 3.0 * z[i] + 11.0 * normal.sample(&mut rng)).clamp(4.0, 72.0).round());
+        amount.push((3270.0 * (0.35 * normal.sample(&mut rng) - 0.15 * z[i]).exp()).clamp(250.0, 18424.0).round());
+        installment_rate.push((3.0 - 0.4 * z[i] + normal.sample(&mut rng)).clamp(1.0, 4.0).round());
+        // Young applicants have shorter residence (proxy for age).
+        residence.push((2.9 - 1.2 * g + normal.sample(&mut rng)).clamp(1.0, 4.0).round());
+        existing_credits.push((1.4 + 0.3 * z[i] + 0.5 * normal.sample(&mut rng)).clamp(1.0, 4.0).round());
+        dependents.push((1.15 + 0.4 * normal.sample(&mut rng)).clamp(1.0, 2.0).round());
+    }
+
+    // Categoricals; employment length is a second age proxy.
+    let mut status = vec![0usize; n];
+    let mut history = vec![0usize; n];
+    let mut purpose = vec![0usize; n];
+    let mut savings = vec![0usize; n];
+    let mut employment = vec![0usize; n];
+    let mut personal = vec![0usize; n];
+    let mut debtors = vec![0usize; n];
+    let mut property = vec![0usize; n];
+    let mut plans = vec![0usize; n];
+    let mut housing = vec![0usize; n];
+    let mut job = vec![0usize; n];
+    let mut phone = vec![0usize; n];
+    let mut foreign = vec![0usize; n];
+    for i in 0..n {
+        let g = f64::from(group[i]);
+        let zi = z[i];
+        let tilt = |base: &[f64], lean: f64| -> Vec<f64> {
+            base.iter()
+                .enumerate()
+                .map(|(k, &b)| (b * (1.0 + lean * (k as f64 / (base.len() - 1) as f64 - 0.5))).max(0.01))
+                .collect()
+        };
+        status[i] = sample_weighted(&mut rng, &tilt(&[0.27, 0.27, 0.06, 0.25, 0.15], 1.2 * zi));
+        history[i] = sample_weighted(&mut rng, &tilt(&[0.04, 0.05, 0.52, 0.09, 0.20, 0.10], 0.8 * zi));
+        purpose[i] = sample_weighted(&mut rng, &[0.23, 0.17, 0.10, 0.09, 0.12, 0.05, 0.04, 0.03, 0.10, 0.03, 0.02, 0.02]);
+        savings[i] = sample_weighted(&mut rng, &tilt(&[0.58, 0.10, 0.11, 0.07, 0.14], 1.0 * zi));
+        // Employment tenure: strongly age-linked (young => short tenure).
+        employment[i] = sample_weighted(
+            &mut rng,
+            &tilt(&[0.06, 0.17, 0.33, 0.17, 0.27, 0.0001], -1.6 * g + 0.3 * zi),
+        );
+        personal[i] = sample_weighted(&mut rng, &[0.54, 0.31, 0.09, 0.06]);
+        debtors[i] = sample_weighted(&mut rng, &[0.90, 0.04, 0.06]);
+        property[i] = sample_weighted(&mut rng, &tilt(&[0.28, 0.23, 0.22, 0.15, 0.12], 0.5 * zi));
+        plans[i] = sample_weighted(&mut rng, &[0.81, 0.14, 0.05]);
+        housing[i] = sample_weighted(&mut rng, &[0.71, 0.18, 0.11]);
+        job[i] = sample_weighted(&mut rng, &tilt(&[0.02, 0.20, 0.63, 0.15], 0.6 * zi));
+        phone[i] = sample_weighted(&mut rng, &[0.60, 0.40]);
+        foreign[i] = sample_weighted(&mut rng, &[0.96, 0.04]);
+    }
+    force_all_levels(&mut status, N_STATUS);
+    force_all_levels(&mut history, N_HISTORY);
+    force_all_levels(&mut purpose, N_PURPOSE);
+    force_all_levels(&mut savings, N_SAVINGS);
+    force_all_levels(&mut employment, N_EMPLOYMENT);
+    force_all_levels(&mut personal, N_PERSONAL);
+    force_all_levels(&mut debtors, N_DEBTORS);
+    force_all_levels(&mut property, N_PROPERTY);
+    force_all_levels(&mut plans, N_PLANS);
+    force_all_levels(&mut housing, N_HOUSING);
+    force_all_levels(&mut job, N_JOB);
+    force_all_levels(&mut phone, N_PHONE);
+    force_all_levels(&mut foreign, N_FOREIGN);
+
+    // Outcome: credit-worthy, base rates 0.67 / 0.72 (Table II).
+    let scores: Vec<f64> = (0..n)
+        .map(|i| 1.1 * z[i] - 0.01 * (duration[i] - 21.0) + 0.5 * normal.sample(&mut rng))
+        .collect();
+    let y = labels_matching_base_rates(&scores, &group, 0.67, 0.72);
+
+    let cat = |prefix: &str, values: &[usize]| -> ColumnData {
+        ColumnData::Categorical(values.iter().map(|&v| format!("{prefix}_{v}")).collect())
+    };
+
+    let raw = RawDataset {
+        names: vec![
+            "duration".into(),
+            "credit_amount".into(),
+            "installment_rate".into(),
+            "residence_since".into(),
+            "age".into(),
+            "existing_credits".into(),
+            "num_dependents".into(),
+            "status".into(),
+            "credit_history".into(),
+            "purpose".into(),
+            "savings".into(),
+            "employment_since".into(),
+            "personal_status".into(),
+            "other_debtors".into(),
+            "property".into(),
+            "installment_plans".into(),
+            "housing".into(),
+            "job".into(),
+            "telephone".into(),
+            "foreign_worker".into(),
+        ],
+        columns: vec![
+            ColumnData::Numeric(duration),
+            ColumnData::Numeric(amount),
+            ColumnData::Numeric(installment_rate),
+            ColumnData::Numeric(residence),
+            ColumnData::Numeric(age),
+            ColumnData::Numeric(existing_credits),
+            ColumnData::Numeric(dependents),
+            cat("status", &status),
+            cat("history", &history),
+            cat("purpose", &purpose),
+            cat("savings", &savings),
+            cat("employment", &employment),
+            cat("personal", &personal),
+            cat("debtors", &debtors),
+            cat("property", &property),
+            cat("plans", &plans),
+            cat("housing", &housing),
+            cat("job", &job),
+            cat("phone", &phone),
+            cat("foreign", &foreign),
+        ],
+        // Age (numeric column 4) is the protected attribute.
+        protected: vec![
+            false, false, false, false, true, false, false, false, false, false, false, false,
+            false, false, false, false, false, false, false, false,
+        ],
+        y: Some(y),
+        group,
+    };
+    OneHotEncoder::fit_transform(&raw).expect("schema is consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_and_base_rates() {
+        let d = generate(&CreditConfig::default());
+        assert_eq!(d.n_records(), 1000);
+        // Table II: M = 67 encoded dimensions.
+        assert_eq!(d.n_features(), 67);
+        let (p, u) = d.base_rates();
+        assert!((p - 0.67).abs() < 0.01, "protected base rate {p}");
+        assert!((u - 0.72).abs() < 0.01, "unprotected base rate {u}");
+    }
+
+    #[test]
+    fn age_is_the_protected_column() {
+        let d = generate(&CreditConfig::default());
+        let prot: Vec<&String> = d
+            .feature_names
+            .iter()
+            .zip(&d.protected)
+            .filter_map(|(n, &p)| p.then_some(n))
+            .collect();
+        assert_eq!(prot, vec!["age"]);
+    }
+
+    #[test]
+    fn group_is_young() {
+        let d = generate(&CreditConfig::default());
+        let age_col = d.feature_names.iter().position(|n| n == "age").unwrap();
+        for i in 0..d.n_records() {
+            assert_eq!(d.group[i] == 1, d.x.get(i, age_col) <= PROTECTED_AGE_THRESHOLD);
+        }
+        let share = d.protected_share();
+        assert!(share > 0.1 && share < 0.3, "share of young = {share}");
+    }
+
+    #[test]
+    fn employment_proxy_differs_by_group() {
+        let d = generate(&CreditConfig {
+            n_records: 1000,
+            seed: 7,
+        });
+        // Short-tenure employment level 0/1 should be more common among young.
+        let col0 = d
+            .feature_names
+            .iter()
+            .position(|n| n == "employment_since=employment_0")
+            .unwrap();
+        let col1 = d
+            .feature_names
+            .iter()
+            .position(|n| n == "employment_since=employment_1")
+            .unwrap();
+        let (mut short_p, mut n_p, mut short_u, mut n_u) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..d.n_records() {
+            let s = d.x.get(i, col0) + d.x.get(i, col1);
+            if d.group[i] == 1 {
+                short_p += s;
+                n_p += 1.0;
+            } else {
+                short_u += s;
+                n_u += 1.0;
+            }
+        }
+        assert!(short_p / n_p > short_u / n_u, "young must skew short-tenure");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&CreditConfig::default());
+        let b = generate(&CreditConfig::default());
+        assert_eq!(a.x, b.x);
+    }
+}

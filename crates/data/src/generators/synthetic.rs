@@ -1,0 +1,245 @@
+//! The §IV synthetic Gaussian-mixture study (Figure 2 of the paper).
+//!
+//! 100 data points with two real-valued non-sensitive attributes `X1`, `X2`
+//! and one binary protected attribute `A`. Points are drawn from a mixture of
+//! two Gaussians — (i) isotropic with unit variance, (ii) correlated with
+//! covariance 0.95 — and the outcome `Y` is the mixture component. Three
+//! variants control how `A` is assigned:
+//!
+//! * [`SyntheticVariant::Random`] — `A = 1` with probability 0.3,
+//! * [`SyntheticVariant::CorrelatedX1`] — `A = 1` iff `X1 <= 3`,
+//! * [`SyntheticVariant::CorrelatedX2`] — `A = 1` iff `X2 <= 3`.
+
+use crate::dataset::Dataset;
+use ifair_linalg::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// How the protected attribute `A` is assigned (§IV of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticVariant {
+    /// `A = 1` with probability 0.3, independent of the features.
+    Random,
+    /// `A = 1` iff `X1 <= 3` (protected group correlated with attribute 1).
+    CorrelatedX1,
+    /// `A = 1` iff `X2 <= 3` (protected group correlated with attribute 2).
+    CorrelatedX2,
+}
+
+impl SyntheticVariant {
+    /// All three variants, in the row order of Figure 2.
+    pub fn all() -> [SyntheticVariant; 3] {
+        [
+            SyntheticVariant::Random,
+            SyntheticVariant::CorrelatedX1,
+            SyntheticVariant::CorrelatedX2,
+        ]
+    }
+
+    /// Human-readable name matching the paper's subfigure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyntheticVariant::Random => "random",
+            SyntheticVariant::CorrelatedX1 => "X1 <= 3",
+            SyntheticVariant::CorrelatedX2 => "X2 <= 3",
+        }
+    }
+}
+
+/// Configuration for the synthetic study.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of points (paper: 100).
+    pub n_records: usize,
+    /// Protected-attribute assignment variant.
+    pub variant: SyntheticVariant,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_records: 100,
+            variant: SyntheticVariant::Random,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the synthetic dataset of §IV.
+///
+/// Features are `[X1, X2, A]` with `A` the (single) protected column; `y` is
+/// the mixture-component label; `group[i] = A_i`.
+///
+/// The three variants share mixture samples for a given seed, so — exactly
+/// as the paper sets it up — "the three synthetic datasets have the same
+/// values for the non-sensitive attributes X1 and X2 as well as for the
+/// outcome variable Y", differing only in `A`.
+pub fn generate(config: &SyntheticConfig) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let std_normal = Normal::new(0.0, 1.0).expect("valid normal");
+
+    // Component means chosen so the cloud spans the [1,7] x [0,6] box of
+    // Fig. 2 and the X<=3 thresholds split it meaningfully.
+    let mu0 = [2.2, 1.8]; // isotropic component, outcome Y = 0
+    let mu1 = [4.8, 4.0]; // correlated component (rho = 0.95), outcome Y = 1
+
+    let mut x = Matrix::zeros(config.n_records, 3);
+    let mut y = Vec::with_capacity(config.n_records);
+    let mut group = Vec::with_capacity(config.n_records);
+
+    for i in 0..config.n_records {
+        let component = rng.gen_bool(0.5);
+        let (x1, x2) = if component {
+            // Correlated Gaussian: covariance 0.95, unit variances.
+            // Cholesky of [[1, .95], [.95, 1]] = [[1, 0], [.95, sqrt(1-.95^2)]].
+            let z1: f64 = std_normal.sample(&mut rng);
+            let z2: f64 = std_normal.sample(&mut rng);
+            (
+                mu1[0] + z1,
+                mu1[1] + 0.95 * z1 + (1.0 - 0.95f64 * 0.95).sqrt() * z2,
+            )
+        } else {
+            (
+                mu0[0] + std_normal.sample(&mut rng),
+                mu0[1] + std_normal.sample(&mut rng),
+            )
+        };
+        // Draw the random-variant coin for every record (keeps X1/X2/Y
+        // identical across variants for a fixed seed).
+        let coin = rng.gen_bool(0.3);
+        let a = match config.variant {
+            SyntheticVariant::Random => u8::from(coin),
+            SyntheticVariant::CorrelatedX1 => u8::from(x1 <= 3.0),
+            SyntheticVariant::CorrelatedX2 => u8::from(x2 <= 3.0),
+        };
+        x.set(i, 0, x1);
+        x.set(i, 1, x2);
+        x.set(i, 2, a as f64);
+        y.push(f64::from(component));
+        group.push(a);
+    }
+
+    Dataset::new(
+        x,
+        vec!["X1".into(), "X2".into(), "A".into()],
+        vec![false, false, true],
+        Some(y),
+        group,
+    )
+    .expect("consistent shapes by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_size() {
+        let d = generate(&SyntheticConfig::default());
+        assert_eq!(d.n_records(), 100);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.protected, vec![false, false, true]);
+    }
+
+    #[test]
+    fn variants_share_features_and_outcome() {
+        let mk = |variant| {
+            generate(&SyntheticConfig {
+                variant,
+                ..Default::default()
+            })
+        };
+        let random = mk(SyntheticVariant::Random);
+        let x1v = mk(SyntheticVariant::CorrelatedX1);
+        let x2v = mk(SyntheticVariant::CorrelatedX2);
+        for i in 0..100 {
+            assert_eq!(random.x.get(i, 0), x1v.x.get(i, 0));
+            assert_eq!(random.x.get(i, 1), x2v.x.get(i, 1));
+        }
+        assert_eq!(random.y, x1v.y);
+        assert_eq!(random.y, x2v.y);
+        // ... but the protected assignment differs.
+        assert_ne!(random.group, x1v.group);
+    }
+
+    #[test]
+    fn correlated_variants_respect_threshold() {
+        let d = generate(&SyntheticConfig {
+            variant: SyntheticVariant::CorrelatedX1,
+            ..Default::default()
+        });
+        for i in 0..d.n_records() {
+            assert_eq!(d.group[i] == 1, d.x.get(i, 0) <= 3.0);
+        }
+        let d2 = generate(&SyntheticConfig {
+            variant: SyntheticVariant::CorrelatedX2,
+            ..Default::default()
+        });
+        for i in 0..d2.n_records() {
+            assert_eq!(d2.group[i] == 1, d2.x.get(i, 1) <= 3.0);
+        }
+    }
+
+    #[test]
+    fn random_variant_has_reasonable_share() {
+        let d = generate(&SyntheticConfig {
+            n_records: 2000,
+            ..Default::default()
+        });
+        let share = d.protected_share();
+        assert!((share - 0.3).abs() < 0.05, "share = {share}");
+    }
+
+    #[test]
+    fn outcome_is_balanced_mixture() {
+        let d = generate(&SyntheticConfig {
+            n_records: 2000,
+            ..Default::default()
+        });
+        let pos: f64 = d.labels().iter().sum::<f64>() / 2000.0;
+        assert!((pos - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&SyntheticConfig::default());
+        let b = generate(&SyntheticConfig::default());
+        assert_eq!(a.x, b.x);
+        let c = generate(&SyntheticConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn correlated_component_is_correlated() {
+        let d = generate(&SyntheticConfig {
+            n_records: 5000,
+            ..Default::default()
+        });
+        // Pearson correlation of X1, X2 among component-1 records.
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for i in 0..d.n_records() {
+            if d.labels()[i] == 1.0 {
+                xs.push(d.x.get(i, 0));
+                ys.push(d.x.get(i, 1));
+            }
+        }
+        let mx = ifair_linalg::vector::mean(&xs);
+        let my = ifair_linalg::vector::mean(&ys);
+        let mut num = 0.0;
+        let mut dx = 0.0;
+        let mut dy = 0.0;
+        for (&a, &b) in xs.iter().zip(&ys) {
+            num += (a - mx) * (b - my);
+            dx += (a - mx) * (a - mx);
+            dy += (b - my) * (b - my);
+        }
+        let rho = num / (dx.sqrt() * dy.sqrt());
+        assert!(rho > 0.9, "rho = {rho}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Xing job-portal simulator (§V-A, Table I, Table IV).
+//!
+//! Calibrated to Table II: 2240 profiles (57 job-search queries x top ~40
+//! candidates), 59 encoded dimensions, protected attribute *gender*. The
+//! deserved score is a weighted sum of work experience, education experience
+//! and profile views (§V-E sweeps these weights in Table IV; the default is
+//! uniform weights).
+//!
+//! Query 0 is a "Brand Strategist"-style query whose candidates mirror the
+//! qualification spread of Table I (very similar candidates scattered over
+//! the ranking), which is the paper's motivating example of individual
+//! unfairness.
+
+use crate::dataset::{Dataset, Query, RankingDataset};
+use crate::encode::{ColumnData, OneHotEncoder, RawDataset};
+use crate::generators::force_all_levels;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the Xing simulator.
+#[derive(Debug, Clone)]
+pub struct XingConfig {
+    /// Number of job queries (paper: 57).
+    pub n_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XingConfig {
+    fn default() -> Self {
+        XingConfig {
+            n_queries: 57,
+            seed: 42,
+        }
+    }
+}
+
+/// Number of job-category levels (fixed so the encoded width is 59).
+const N_CATEGORIES: usize = 54;
+/// Total records at the paper's query count (Table II: N = 2240).
+const PAPER_TOTAL: usize = 2240;
+
+/// Weights of the deserved ranking score over
+/// `[work_experience, education_experience, profile_views]`.
+///
+/// §V-E: "the reported results correspond to uniform weights"; Table IV
+/// sweeps alternatives over `{0, 0.25, 0.5, 0.75, 1}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreWeights {
+    /// Weight of work experience.
+    pub work: f64,
+    /// Weight of education experience.
+    pub education: f64,
+    /// Weight of profile views.
+    pub views: f64,
+}
+
+impl ScoreWeights {
+    /// Uniform weights (the paper's default).
+    pub fn uniform() -> ScoreWeights {
+        ScoreWeights {
+            work: 1.0,
+            education: 1.0,
+            views: 1.0,
+        }
+    }
+}
+
+/// Generates the Xing-like ranking dataset. See the [module docs](self).
+///
+/// `data.y` holds the deserved score under uniform weights; use
+/// [`deserved_scores`] to recompute it for other weight choices.
+pub fn generate(config: &XingConfig) -> RankingDataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let normal = Normal::new(0.0, 1.0).expect("valid normal");
+
+    // Distribute candidates over queries: at the paper's 57 queries this
+    // yields exactly 2240 records (40 queries x 39 + 17 queries x 40).
+    let per_query_base = PAPER_TOTAL / 57; // 39
+    let n_with_extra = PAPER_TOTAL - per_query_base * 57; // 17
+    let sizes: Vec<usize> = (0..config.n_queries)
+        .map(|q| {
+            if q >= config.n_queries.saturating_sub(n_with_extra) {
+                per_query_base + 1
+            } else {
+                per_query_base
+            }
+        })
+        .collect();
+    let total: usize = sizes.iter().sum();
+
+    let mut work = Vec::with_capacity(total);
+    let mut education = Vec::with_capacity(total);
+    let mut views = Vec::with_capacity(total);
+    let mut gender = Vec::with_capacity(total);
+    let mut category = Vec::with_capacity(total);
+    let mut queries = Vec::with_capacity(config.n_queries);
+
+    let mut idx = 0usize;
+    for (q, &size) in sizes.iter().enumerate() {
+        let cat = q % N_CATEGORIES;
+        // Per-query qualification scale: some queries attract senior
+        // candidates (hundreds of months of experience, as in Table I).
+        let work_scale = 60.0 + 120.0 * rng.gen::<f64>();
+        let edu_scale = 30.0 + 50.0 * rng.gen::<f64>();
+        let mut indices = Vec::with_capacity(size);
+        for _ in 0..size {
+            let talent: f64 = normal.sample(&mut rng);
+            let female = rng.gen_bool(0.325);
+            // Qualifications do NOT depend on gender (Table I shows similar
+            // qualifications across genders); profile views carry a mild
+            // exposure bias against the protected group — the proxy that the
+            // adversarial test (Fig. 4) probes.
+            let w = (work_scale * (0.5 * talent + 0.6 * rng.gen::<f64>() + 0.4)).clamp(0.0, 520.0);
+            let e = (edu_scale * (0.3 * talent + 0.8 * rng.gen::<f64>() + 0.2)).clamp(0.0, 110.0);
+            let v = ((40.0 + 18.0 * talent) * (1.0 - 0.25 * f64::from(female))
+                + 12.0 * normal.sample(&mut rng))
+            .max(0.0);
+            work.push(w.round());
+            education.push(e.round());
+            views.push(v.round());
+            gender.push(u8::from(female));
+            category.push(cat);
+            indices.push(idx);
+            idx += 1;
+        }
+        let id = if q == 0 {
+            "Brand Strategist".to_string()
+        } else {
+            format!("job_query_{q:02}")
+        };
+        queries.push(Query { id, indices });
+    }
+    force_all_levels(&mut category, N_CATEGORIES.min(total));
+
+    let raw = RawDataset {
+        names: vec![
+            "work_experience".into(),
+            "education_experience".into(),
+            "profile_views".into(),
+            "gender".into(),
+            "job_category".into(),
+        ],
+        columns: vec![
+            ColumnData::Numeric(work),
+            ColumnData::Numeric(education),
+            ColumnData::Numeric(views),
+            ColumnData::Categorical(
+                gender
+                    .iter()
+                    .map(|&g| if g == 1 { "female" } else { "male" }.to_string())
+                    .collect(),
+            ),
+            ColumnData::Categorical(category.iter().map(|&c| format!("category_{c:02}")).collect()),
+        ],
+        protected: vec![false, false, false, true, false],
+        y: None,
+        group: gender,
+    };
+    let mut data = OneHotEncoder::fit_transform(&raw).expect("consistent schema");
+    data.y = Some(deserved_scores(&data, ScoreWeights::uniform()));
+    RankingDataset::new(data, queries).expect("queries valid by construction")
+}
+
+/// Recomputes the deserved score `y` for arbitrary weights (Table IV).
+///
+/// Each qualification attribute is min-max normalized over the dataset before
+/// weighting, so weights on different scales are comparable.
+pub fn deserved_scores(data: &Dataset, weights: ScoreWeights) -> Vec<f64> {
+    let col = |name: &str| -> usize {
+        data.feature_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let cols = [
+        col("work_experience"),
+        col("education_experience"),
+        col("profile_views"),
+    ];
+    let ws = [weights.work, weights.education, weights.views];
+    let mut normalized = vec![vec![0.0; data.n_records()]; 3];
+    for (k, &c) in cols.iter().enumerate() {
+        let v = data.x.col(c);
+        let mn = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (mx - mn).max(1e-12);
+        for (out, &vi) in normalized[k].iter_mut().zip(&v) {
+            *out = (vi - mn) / range;
+        }
+    }
+    (0..data.n_records())
+        .map(|i| (0..3).map(|k| ws[k] * normalized[k][i]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let r = generate(&XingConfig::default());
+        assert_eq!(r.n_queries(), 57);
+        // Table II: N = 2240, M = 59.
+        assert_eq!(r.data.n_records(), 2240);
+        assert_eq!(r.data.n_features(), 59);
+    }
+
+    #[test]
+    fn protected_share_near_a_third() {
+        let r = generate(&XingConfig::default());
+        let share = r.data.protected_share();
+        assert!((share - 0.325).abs() < 0.04, "share = {share}");
+    }
+
+    #[test]
+    fn brand_strategist_query_exists() {
+        let r = generate(&XingConfig::default());
+        assert_eq!(r.queries[0].id, "Brand Strategist");
+        assert!(r.queries[0].indices.len() >= 39);
+    }
+
+    #[test]
+    fn deserved_scores_respond_to_weights() {
+        let r = generate(&XingConfig::default());
+        let only_work = deserved_scores(
+            &r.data,
+            ScoreWeights {
+                work: 1.0,
+                education: 0.0,
+                views: 0.0,
+            },
+        );
+        let only_edu = deserved_scores(
+            &r.data,
+            ScoreWeights {
+                work: 0.0,
+                education: 1.0,
+                views: 0.0,
+            },
+        );
+        assert_ne!(only_work, only_edu);
+        // Scores normalized: max of single-attribute score is <= 1.
+        assert!(only_work.iter().cloned().fold(0.0, f64::max) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn uniform_scores_stored_in_y() {
+        let r = generate(&XingConfig::default());
+        let expect = deserved_scores(&r.data, ScoreWeights::uniform());
+        assert_eq!(r.data.y.as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn queries_partition_records() {
+        let r = generate(&XingConfig::default());
+        let mut seen = vec![false; r.data.n_records()];
+        for q in &r.queries {
+            for &i in &q.indices {
+                assert!(!seen[i], "record {i} appears in two queries");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn views_biased_against_protected() {
+        let r = generate(&XingConfig::default());
+        let col = r
+            .data
+            .feature_names
+            .iter()
+            .position(|n| n == "profile_views")
+            .unwrap();
+        let (mut sp, mut np_, mut su, mut nu) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..r.data.n_records() {
+            if r.data.group[i] == 1 {
+                sp += r.data.x.get(i, col);
+                np_ += 1.0;
+            } else {
+                su += r.data.x.get(i, col);
+                nu += 1.0;
+            }
+        }
+        assert!(su / nu > sp / np_, "views must show exposure bias");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&XingConfig::default());
+        let b = generate(&XingConfig::default());
+        assert_eq!(a.data.x, b.data.x);
+    }
+}

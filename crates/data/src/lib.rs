@@ -1,0 +1,31 @@
+//! Data pipeline and dataset simulators for the iFair reproduction.
+//!
+//! The paper's evaluation (§V) runs on five real-world datasets that are not
+//! redistributable, so this crate provides **seeded synthetic simulators**
+//! calibrated to the published statistics of Table II (record counts, encoded
+//! dimensionality, per-group base rates) together with the full preprocessing
+//! pipeline the paper describes in §V-B:
+//!
+//! * [`Dataset`] / [`RankingDataset`] — encoded feature matrices with
+//!   per-column protected flags, outcomes and group membership,
+//! * [`encode`] — one-hot encoding of categorical attributes,
+//! * [`scale`] — unit-variance and min-max normalization,
+//! * [`split`] — seeded random / stratified train-validation-test splits,
+//! * [`csv`] — a minimal CSV reader/writer so real data can be dropped in,
+//! * [`generators`] — the five dataset simulators plus the §IV synthetic
+//!   Gaussian-mixture study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod encode;
+pub mod generators;
+pub mod scale;
+pub mod split;
+
+pub use dataset::{Dataset, Query, RankingDataset};
+pub use encode::{ColumnData, OneHotEncoder, RawDataset};
+pub use scale::{MinMaxScaler, StandardScaler};
+pub use split::{kfold, train_test_split, train_val_test_split, SplitIndices};

@@ -1,0 +1,235 @@
+//! Feature scaling.
+//!
+//! §V-B: "all features vectors are normalized to have unit variance". The
+//! [`StandardScaler`] (mean 0, variance 1) implements that; [`MinMaxScaler`]
+//! maps features into `[0, 1]`, which the LFR reference implementation uses.
+
+use ifair_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Standardizes columns to zero mean and unit variance.
+///
+/// Constant columns (std = 0) are centered but left unscaled — the common
+/// degenerate case for rare one-hot levels in small splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    /// When false, only variance is normalized (data keeps its mean). The
+    /// paper only asks for unit variance, so this defaults to true but the
+    /// pipeline exposes both.
+    center: bool,
+}
+
+impl StandardScaler {
+    /// Learns per-column statistics from `x`.
+    pub fn fit(x: &Matrix) -> StandardScaler {
+        StandardScaler {
+            means: x.col_means(),
+            stds: x.col_stds(),
+            center: true,
+        }
+    }
+
+    /// Learns statistics but configures the transform to skip centering.
+    pub fn fit_no_center(x: &Matrix) -> StandardScaler {
+        StandardScaler {
+            center: false,
+            ..StandardScaler::fit(x)
+        }
+    }
+
+    /// Applies the learned scaling to `x` (same width as the fitted matrix).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "width mismatch in transform");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                if self.center {
+                    *v -= m;
+                }
+                if s > 1e-12 {
+                    *v /= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverts the scaling.
+    pub fn inverse_transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "width mismatch in inverse");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                if s > 1e-12 {
+                    *v *= s;
+                }
+                if self.center {
+                    *v += m;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fits and transforms in one call.
+    pub fn fit_transform(x: &Matrix) -> (StandardScaler, Matrix) {
+        let s = StandardScaler::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+/// Scales columns into `[0, 1]` by the observed min/max.
+///
+/// Constant columns map to 0. Values outside the fitted range at transform
+/// time are clipped, so downstream models (e.g. LFR prototypes initialized in
+/// the unit box) never see out-of-range features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-column ranges from `x`.
+    pub fn fit(x: &Matrix) -> MinMaxScaler {
+        let n = x.cols();
+        let mut mins = vec![f64::INFINITY; n];
+        let mut maxs = vec![f64::NEG_INFINITY; n];
+        for row in x.row_iter() {
+            for ((mn, mx), &v) in mins.iter_mut().zip(maxs.iter_mut()).zip(row) {
+                *mn = mn.min(v);
+                *mx = mx.max(v);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Applies the learned scaling (clipping out-of-range values).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mins.len(), "width mismatch in transform");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &mn), &mx) in row.iter_mut().zip(&self.mins).zip(&self.maxs) {
+                let range = mx - mn;
+                *v = if range > 1e-12 {
+                    ((*v - mn) / range).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+            }
+        }
+        out
+    }
+
+    /// Inverts the scaling (clipped values cannot be recovered exactly).
+    pub fn inverse_transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mins.len(), "width mismatch in inverse");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &mn), &mx) in row.iter_mut().zip(&self.mins).zip(&self.maxs) {
+                let range = mx - mn;
+                *v = if range > 1e-12 { *v * range + mn } else { mn };
+            }
+        }
+        out
+    }
+
+    /// Fits and transforms in one call.
+    pub fn fit_transform(x: &Matrix) -> (MinMaxScaler, Matrix) {
+        let s = MinMaxScaler::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_variance() {
+        let (_, t) = StandardScaler::fit_transform(&sample());
+        let means = t.col_means();
+        let stds = t.col_stds();
+        assert!(means[0].abs() < 1e-12 && means[1].abs() < 1e-12);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!((stds[1] - 1.0).abs() < 1e-12);
+        // Constant column: centered, unscaled.
+        assert!(t.col(2).iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn standard_scaler_roundtrip() {
+        let x = sample();
+        let s = StandardScaler::fit(&x);
+        let back = s.inverse_transform(&s.transform(&x));
+        assert!(back.sub(&x).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_center_keeps_mean_direction() {
+        let x = sample();
+        let s = StandardScaler::fit_no_center(&x);
+        let t = s.transform(&x);
+        // Values stay positive (only divided by std).
+        assert!(t.col(0).iter().all(|&v| v > 0.0));
+        let stds = t.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        let back = s.inverse_transform(&t);
+        assert!(back.sub(&x).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let (_, t) = MinMaxScaler::fit_transform(&sample());
+        for row in t.row_iter() {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(2, 0), 1.0);
+        // Constant column maps to 0.
+        assert!(t.col(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn minmax_clips_out_of_range() {
+        let s = MinMaxScaler::fit(&sample());
+        let wild = Matrix::from_rows(vec![vec![-10.0, 1000.0, 5.0]]).unwrap();
+        let t = s.transform(&wild);
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn minmax_roundtrip_within_range() {
+        let x = sample();
+        let s = MinMaxScaler::fit(&x);
+        let back = s.inverse_transform(&s.transform(&x));
+        assert!(back.sub(&x).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn transform_panics_on_width_mismatch() {
+        let s = StandardScaler::fit(&sample());
+        s.transform(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,199 @@
+//! Seeded train / validation / test splits.
+//!
+//! §V-B: "We randomly split the datasets into three parts … We use the same
+//! data split to compare all methods." Splits are index-based so the same
+//! `SplitIndices` can slice a dataset and any learned representation of it.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Record indices of a three-way split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitIndices {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices (hyper-parameter selection).
+    pub val: Vec<usize>,
+    /// Held-out test indices.
+    pub test: Vec<usize>,
+}
+
+/// Randomly splits `n` records into train/val/test by the given fractions.
+///
+/// `train_frac + val_frac` must be at most 1; the remainder goes to test.
+/// Deterministic for a fixed seed.
+pub fn train_val_test_split(
+    n: usize,
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> SplitIndices {
+    assert!(
+        (0.0..=1.0).contains(&train_frac)
+            && (0.0..=1.0).contains(&val_frac)
+            && train_frac + val_frac <= 1.0 + 1e-12,
+        "fractions must be in [0,1] and sum to at most 1"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+    SplitIndices {
+        train: idx[..n_train].to_vec(),
+        val: idx[n_train..n_train + n_val].to_vec(),
+        test: idx[n_train + n_val..].to_vec(),
+    }
+}
+
+/// Two-way split helper; returns `(train, test)` indices.
+pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let s = train_val_test_split(n, train_frac, 0.0, seed);
+    (s.train, s.test)
+}
+
+/// Stratified three-way split preserving label proportions per stratum.
+///
+/// `strata[i]` is an arbitrary small integer (e.g. label, or label x group);
+/// each stratum is split independently with the given fractions.
+pub fn stratified_split(
+    strata: &[u8],
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> SplitIndices {
+    let mut by_stratum: std::collections::BTreeMap<u8, Vec<usize>> = Default::default();
+    for (i, &s) in strata.iter().enumerate() {
+        by_stratum.entry(s).or_default().push(i);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = SplitIndices {
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
+    for (_, mut idx) in by_stratum {
+        idx.shuffle(&mut rng);
+        let n = idx.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = ((n as f64 * val_frac).round() as usize).min(n - n_train.min(n));
+        let n_train = n_train.min(n);
+        out.train.extend_from_slice(&idx[..n_train]);
+        out.val.extend_from_slice(&idx[n_train..n_train + n_val]);
+        out.test.extend_from_slice(&idx[n_train + n_val..]);
+    }
+    out.train.sort_unstable();
+    out.val.sort_unstable();
+    out.test.sort_unstable();
+    out
+}
+
+/// K-fold cross-validation indices: returns `k` pairs of
+/// `(train_indices, fold_indices)`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    assert!(n >= k, "need at least k records");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, &i) in idx.iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| g != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_val_test_split(100, 0.6, 0.2, 7);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        let all: HashSet<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_val_test_split(50, 0.5, 0.25, 42);
+        let b = train_val_test_split(50, 0.5, 0.25, 42);
+        assert_eq!(a.train, b.train);
+        let c = train_val_test_split(50, 0.5, 0.25, 43);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn rejects_bad_fractions() {
+        train_val_test_split(10, 0.8, 0.5, 0);
+    }
+
+    #[test]
+    fn two_way_split() {
+        let (tr, te) = train_test_split(10, 0.7, 1);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+    }
+
+    #[test]
+    fn stratified_preserves_proportions() {
+        // 80 zeros, 20 ones.
+        let mut strata = vec![0u8; 80];
+        strata.extend(vec![1u8; 20]);
+        let s = stratified_split(&strata, 0.5, 0.25, 3);
+        let count = |idx: &[usize], label: u8| idx.iter().filter(|&&i| strata[i] == label).count();
+        assert_eq!(count(&s.train, 0), 40);
+        assert_eq!(count(&s.train, 1), 10);
+        assert_eq!(count(&s.val, 0), 20);
+        assert_eq!(count(&s.val, 1), 5);
+        assert_eq!(count(&s.test, 0), 20);
+        assert_eq!(count(&s.test, 1), 5);
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let folds = kfold(23, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut seen = [0usize; 23];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for &i in test {
+                seen[i] += 1;
+            }
+            let train_set: HashSet<usize> = train.iter().copied().collect();
+            assert!(test.iter().all(|i| !train_set.contains(i)));
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        kfold(10, 1, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left / primary operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right / secondary operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be non-empty was empty, or rows were ragged.
+    InvalidDimensions(String),
+    /// The matrix is singular (or not positive definite) to working precision.
+    Singular(&'static str),
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::InvalidDimensions(msg) => write!(f, "invalid dimensions: {msg}"),
+            LinalgError::Singular(what) => write!(f, "matrix is singular in {what}"),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular("cholesky");
+        assert!(e.to_string().contains("cholesky"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("jacobi-svd"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinalgError::InvalidDimensions("x".into()));
+    }
+}

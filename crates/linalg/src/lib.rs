@@ -1,0 +1,41 @@
+//! Dense linear-algebra substrate for the iFair reproduction.
+//!
+//! The iFair paper (Lahoti et al., ICDE 2019) and its evaluation pipeline need
+//! a small but complete set of dense linear-algebra primitives:
+//!
+//! * a row-major [`Matrix`] of `f64` with the usual arithmetic,
+//! * vector kernels ([`vector`]) used in hot loops (dot products, norms, axpy),
+//! * Householder [`qr`] factorization (least squares, orthogonality tests),
+//! * a one-sided Jacobi [`svd`] (the SVD / SVD-masked baselines of §V-B),
+//! * [`cholesky`] factorization (ridge regression normal equations),
+//! * higher-level [`solve`] helpers (general solve, least squares, ridge).
+//!
+//! Everything is implemented from scratch on `std` only; `serde` is derived on
+//! the value types so learned models can be persisted.
+//!
+//! # Example
+//!
+//! ```
+//! use ifair_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+//! let b = a.matmul(&a.transpose());
+//! assert_eq!(b.get(0, 0), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod solve;
+pub mod svd;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use svd::Svd;

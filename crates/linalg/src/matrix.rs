@@ -1,0 +1,591 @@
+//! Row-major dense matrix of `f64`.
+
+use crate::error::LinalgError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// This is the workhorse container of the workspace: datasets, learned
+/// representations, prototype matrices and model weights are all stored as
+/// `Matrix`. Rows index records, columns index attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidDimensions(format!(
+                "buffer of length {} cannot form a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from nested row vectors.
+    ///
+    /// Returns an error if the rows are ragged or the input is empty.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidDimensions(
+                "cannot build a matrix from zero rows".into(),
+            ));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::InvalidDimensions(
+                "cannot build a matrix with zero columns".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::InvalidDimensions(format!(
+                    "row {i} has length {} but row 0 has length {cols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(i, j)`; panics when out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`; panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a freshly allocated vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Panics on shape mismatch; use [`Matrix::try_matmul`] for a fallible
+    /// variant. The k-loop is innermost-contiguous (ikj order) so the compiler
+    /// can vectorize the row updates.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.try_matmul(other).expect("matmul shape mismatch")
+    }
+
+    /// Fallible matrix product.
+    pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok(self
+            .row_iter()
+            .map(|row| crate::vector::dot(row, x))
+            .collect())
+    }
+
+    /// Vector-matrix product `x^T * self` (returns a vector of length `cols`).
+    pub fn vecmat(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, x.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum with `other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * s).collect(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Frobenius norm `sqrt(sum a_ij^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &a| m.max(a.abs()))
+    }
+
+    /// Returns the sub-matrix made of the listed rows (copied).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns the sub-matrix made of the listed columns (copied).
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for &j in indices {
+                data.push(row[j]);
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        }
+    }
+
+    /// Horizontally concatenates `self | other`.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Vertically concatenates `self` on top of `other`.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for row in self.row_iter() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for m in &mut means {
+            *m /= n;
+        }
+        means
+    }
+
+    /// Per-column population standard deviations.
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut vars = vec![0.0; self.cols];
+        for row in self.row_iter() {
+            for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        vars.iter().map(|v| (v / n).sqrt()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> Matrix {
+        Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+        assert!(err.is_err());
+        assert!(Matrix::from_rows(vec![]).is_err());
+        assert!(Matrix::from_rows(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn get_set_row_col() {
+        let mut m = m22();
+        assert_eq!(m.get(1, 0), 3.0);
+        m.set(1, 0, 9.0);
+        assert_eq!(m.row(1), &[9.0, 4.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = m22();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m22();
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = m22();
+        let b = Matrix::zeros(3, 2);
+        assert!(matches!(
+            a.try_matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let m = m22();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(m.vecmat(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.vecmat(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22();
+        let b = Matrix::filled(2, 2, 2.0);
+        assert_eq!(a.add(&b).unwrap().get(0, 0), 3.0);
+        assert_eq!(a.sub(&b).unwrap().get(1, 1), 2.0);
+        assert_eq!(a.hadamard(&b).unwrap().get(1, 0), 6.0);
+        assert_eq!(a.scale(0.5).get(0, 1), 1.0);
+        assert_eq!(a.map(|x| x * x).get(1, 1), 16.0);
+        assert!(a.add(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(vec![vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn select_rows_cols() {
+        let m = Matrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);
+        let c = m.select_cols(&[1]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.col(0), vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = m22();
+        let h = a.hstack(&a).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 1.0, 2.0]);
+        let v = a.vstack(&a).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(3), &[3.0, 4.0]);
+        assert!(a.hstack(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn column_statistics() {
+        let m = Matrix::from_rows(vec![vec![1.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        assert_eq!(m.col_means(), vec![2.0, 10.0]);
+        let stds = m.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!(stds[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_builds_expected() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = m22();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,240 @@
+//! Householder QR factorization.
+//!
+//! Used for least-squares solves and as the orthogonality workhorse in tests.
+//! For an `m x n` matrix with `m >= n` we produce the *thin* factorization
+//! `A = Q R` with `Q` of shape `m x n` (orthonormal columns) and `R` upper
+//! triangular `n x n`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Thin QR factorization `A = Q R` computed with Householder reflections.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `m x n` matrix with orthonormal columns.
+    pub q: Matrix,
+    /// `n x n` upper-triangular factor.
+    pub r: Matrix,
+}
+
+impl Qr {
+    /// Computes the thin QR factorization of `a` (`m >= n` required).
+    pub fn decompose(a: &Matrix) -> Result<Qr, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidDimensions(format!(
+                "QR requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        // Work on a copy that becomes R in its upper triangle; accumulate the
+        // Householder vectors to build Q afterwards.
+        let mut r = a.clone();
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for k in 0..n {
+            // Householder vector for column k, rows k..m.
+            let mut v: Vec<f64> = (k..m).map(|i| r.get(i, k)).collect();
+            let alpha = -v[0].signum() * crate::vector::norm2(&v);
+            if alpha.abs() < f64::EPSILON {
+                // Column already zero below the diagonal; skip reflection.
+                vs.push(vec![0.0; v.len()]);
+                continue;
+            }
+            v[0] -= alpha;
+            let vnorm = crate::vector::norm2(&v);
+            if vnorm > 0.0 {
+                crate::vector::scale_in_place(&mut v, 1.0 / vnorm);
+            }
+            // Apply reflection H = I - 2 v v^T to the trailing block of R.
+            for j in k..n {
+                let mut proj = 0.0;
+                for (t, &vt) in v.iter().enumerate() {
+                    proj += vt * r.get(k + t, j);
+                }
+                proj *= 2.0;
+                for (t, &vt) in v.iter().enumerate() {
+                    let cur = r.get(k + t, j);
+                    r.set(k + t, j, cur - proj * vt);
+                }
+            }
+            vs.push(v);
+        }
+        // Zero the strictly-lower part of R (numerical dust) and trim to n x n.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin.set(i, j, r.get(i, j));
+            }
+        }
+        // Build thin Q by applying reflections in reverse to the first n
+        // columns of the identity.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q.set(j, j, 1.0);
+        }
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            if v.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            for j in 0..n {
+                let mut proj = 0.0;
+                for (t, &vt) in v.iter().enumerate() {
+                    proj += vt * q.get(k + t, j);
+                }
+                proj *= 2.0;
+                for (t, &vt) in v.iter().enumerate() {
+                    let cur = q.get(k + t, j);
+                    q.set(k + t, j, cur - proj * vt);
+                }
+            }
+        }
+        Ok(Qr { q, r: r_thin })
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` using this
+    /// factorization (`A` is the matrix passed to [`Qr::decompose`]).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // x = R^{-1} Q^T b
+        let qtb = self.q.vecmat(b)?;
+        back_substitute(&self.r, &qtb)
+    }
+}
+
+/// Solves `R x = b` for upper-triangular `R`.
+#[allow(clippy::needless_range_loop)] // triangular sub-range indexing
+pub fn back_substitute(r: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = r.rows();
+    if r.cols() != n || b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "back substitution",
+            lhs: r.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in i + 1..n {
+            s -= r.get(i, j) * x[j];
+        }
+        let d = r.get(i, i);
+        if d.abs() < 1e-300 {
+            return Err(LinalgError::Singular("back substitution"));
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(vec![
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ])
+        .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let rec = qr.q.matmul(&qr.r);
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(vec![
+            vec![2.0, -1.0, 0.5],
+            vec![0.0, 3.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![4.0, 0.0, -2.0],
+        ])
+        .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let qtq = qr.q.transpose().matmul(&qr.q);
+        let eye = Matrix::identity(3);
+        assert!(qtq.sub(&eye).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(vec![
+            vec![1.0, 5.0],
+            vec![2.0, 1.0],
+            vec![3.0, 2.0],
+        ])
+        .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        assert_eq!(qr.r.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // Square nonsingular system has the exact solution.
+        let a = Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let x = qr.solve_least_squares(&[2.0, 8.0]).unwrap();
+        assert_close(x[0], 1.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2x + 1 through noisy-free points: exact recovery.
+        let a = Matrix::from_rows(vec![
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0],
+        ])
+        .unwrap();
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let qr = Qr::decompose(&a).unwrap();
+        let x = qr.solve_least_squares(&y).unwrap();
+        assert_close(x[0], 2.0, 1e-10);
+        assert_close(x[1], 1.0, 1e-10);
+    }
+
+    #[test]
+    fn rejects_wide_matrices() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn back_substitute_detects_singular() {
+        let r = Matrix::from_rows(vec![vec![1.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            back_substitute(&r, &[1.0, 1.0]),
+            Err(LinalgError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn handles_rank_deficient_column_gracefully() {
+        // Second column is zero; decomposition should not panic.
+        let a = Matrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+        ])
+        .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let rec = qr.q.matmul(&qr.r);
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+}

@@ -1,0 +1,220 @@
+//! Classification utility metrics: accuracy, ROC-AUC, confusion counts.
+
+/// Fraction of predictions equal to the label.
+///
+/// Panics when lengths differ or the input is empty.
+pub fn accuracy(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "empty input");
+    let correct = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|&(&t, &p)| (t - p).abs() < 0.5)
+        .count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with average
+/// ranks for ties.
+///
+/// Returns 0.5 when one of the classes is absent (the curve is undefined;
+/// 0.5 is the conventional "no information" value and keeps grid searches
+/// total).
+pub fn auc(y_true: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let n_pos = y_true.iter().filter(|&&t| t >= 0.5).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending with average ranks for ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|&(&t, _)| t >= 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Binary confusion counts with the derived rates used by the fairness
+/// metrics (equality of opportunity needs per-group TPRs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies the confusion counts for binary labels/predictions.
+    pub fn from_predictions(y_true: &[f64], y_pred: &[f64]) -> Confusion {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t >= 0.5, p >= 0.5) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// True-positive rate (recall); 0 when there are no positives.
+    pub fn tpr(&self) -> f64 {
+        let pos = self.tp + self.fn_;
+        if pos == 0 {
+            0.0
+        } else {
+            self.tp as f64 / pos as f64
+        }
+    }
+
+    /// False-positive rate; 0 when there are no negatives.
+    pub fn fpr(&self) -> f64 {
+        let neg = self.fp + self.tn;
+        if neg == 0 {
+            0.0
+        } else {
+            self.fp as f64 / neg as f64
+        }
+    }
+
+    /// Precision; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let pred_pos = self.tp + self.fp;
+        if pred_pos == 0 {
+            0.0
+        } else {
+            self.tp as f64 / pred_pos as f64
+        }
+    }
+
+    /// F1 score; 0 when precision + recall is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.tpr();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Harmonic mean of two quantities in `[0, 1]` — the paper's "Optimal"
+/// hyper-parameter tuning criterion combines AUC and yNN this way.
+pub fn harmonic_mean(a: f64, b: f64) -> f64 {
+    if a + b == 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0, 0.0], &[1.0, 0.0, 0.0, 0.0]), 0.75);
+        assert_eq!(accuracy(&[1.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_check() {
+        accuracy(&[1.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&y, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(auc(&y, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_scores_near_half() {
+        let y = [0.0, 1.0, 0.0, 1.0];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(auc(&y, &s), 0.5); // all tied: exactly 0.5 via avg ranks
+    }
+
+    #[test]
+    fn auc_with_ties_averages_ranks() {
+        // One positive tied with one negative, one clear positive above.
+        let y = [0.0, 1.0, 1.0];
+        let s = [0.5, 0.5, 0.9];
+        // Pairs: (pos .5 vs neg .5) = 0.5; (pos .9 vs neg .5) = 1 => AUC .75
+        assert!((auc(&y, &s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(auc(&[1.0, 1.0], &[0.3, 0.9]), 0.5);
+        assert_eq!(auc(&[0.0, 0.0], &[0.3, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn confusion_counts_and_rates() {
+        let y = [1.0, 1.0, 0.0, 0.0, 1.0];
+        let p = [1.0, 0.0, 1.0, 0.0, 1.0];
+        let c = Confusion::from_predictions(&y, &p);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.tpr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.fpr() - 0.5).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_degenerate() {
+        let c = Confusion::from_predictions(&[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_cases() {
+        assert_eq!(harmonic_mean(0.0, 0.5), 0.0);
+        assert_eq!(harmonic_mean(0.0, 0.0), 0.0);
+        assert!((harmonic_mean(0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert!(harmonic_mean(0.9, 0.1) < 0.5 * (0.9 + 0.1)); // <= arithmetic
+    }
+}

@@ -1,0 +1,247 @@
+//! The paper's fairness measures (§V-C).
+//!
+//! * **yNN consistency** (individual fairness, from Zemel et al. 2013 with
+//!   the bug-fix noted in the paper's footnote 1):
+//!   `yNN = 1 - (1 / (M·k)) Σ_i Σ_{j ∈ kNN(x*_i)} |ŷ_i - ŷ_j|`,
+//!   where neighbours are computed on the **original non-protected**
+//!   attributes and `ŷ` on the learned representation.
+//! * **Statistical parity**: `1 - |E[ŷ | protected] - E[ŷ | unprotected]|`.
+//! * **Equality of opportunity** (Hardt et al. 2016):
+//!   `1 - |TPR_protected - TPR_unprotected|`.
+//! * **% protected in top-k** — the ranking-task parity surrogate of §V-E.
+
+use crate::classification::Confusion;
+use crate::knn::k_nearest_all;
+use ifair_linalg::Matrix;
+
+/// yNN consistency of predictions `y_pred` with respect to neighbourhoods in
+/// `reference_x` (the original records *without* protected attributes).
+///
+/// `y_pred` may be binary decisions or scores normalized to `[0, 1]`; the
+/// measure is 1 when every record agrees with all of its `k` neighbours.
+pub fn consistency(reference_x: &Matrix, y_pred: &[f64], k: usize) -> f64 {
+    assert_eq!(
+        reference_x.rows(),
+        y_pred.len(),
+        "predictions must align with reference records"
+    );
+    let neighbors = k_nearest_all(reference_x, k);
+    consistency_with_neighbors(&neighbors, y_pred)
+}
+
+/// yNN consistency given precomputed neighbour lists (lets callers reuse the
+/// expensive kNN across methods, as the evaluation harness does).
+pub fn consistency_with_neighbors(neighbors: &[Vec<usize>], y_pred: &[f64]) -> f64 {
+    assert_eq!(neighbors.len(), y_pred.len(), "length mismatch");
+    if neighbors.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (i, nbrs) in neighbors.iter().enumerate() {
+        for &j in nbrs {
+            total += (y_pred[i] - y_pred[j]).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return 1.0;
+    }
+    1.0 - total / count as f64
+}
+
+/// Statistical parity: `1 - |P(ŷ=1 | g=1) - P(ŷ=1 | g=0)|`.
+///
+/// Accepts scores as well as hard decisions (then it compares group means).
+/// Returns 1.0 when either group is empty.
+pub fn statistical_parity(y_pred: &[f64], group: &[u8]) -> f64 {
+    assert_eq!(y_pred.len(), group.len(), "length mismatch");
+    let (mut sum_p, mut n_p, mut sum_u, mut n_u) = (0.0, 0.0, 0.0, 0.0);
+    for (&y, &g) in y_pred.iter().zip(group) {
+        if g == 1 {
+            sum_p += y;
+            n_p += 1.0;
+        } else {
+            sum_u += y;
+            n_u += 1.0;
+        }
+    }
+    if n_p == 0.0 || n_u == 0.0 {
+        return 1.0;
+    }
+    1.0 - (sum_p / n_p - sum_u / n_u).abs()
+}
+
+/// Equality of opportunity: `1 - |TPR_protected - TPR_unprotected|`.
+///
+/// Returns 1.0 when either group has no positive examples (the TPR is
+/// undefined; treating it as parity keeps sweeps total and matches how the
+/// degenerate extremes appear in the paper's tables).
+pub fn equal_opportunity(y_true: &[f64], y_pred: &[f64], group: &[u8]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert_eq!(y_true.len(), group.len(), "length mismatch");
+    let split = |target: u8| -> (Vec<f64>, Vec<f64>) {
+        let mut t = Vec::new();
+        let mut p = Vec::new();
+        for i in 0..y_true.len() {
+            if group[i] == target {
+                t.push(y_true[i]);
+                p.push(y_pred[i]);
+            }
+        }
+        (t, p)
+    };
+    let (t_p, p_p) = split(1);
+    let (t_u, p_u) = split(0);
+    let pos_p = t_p.iter().filter(|&&v| v >= 0.5).count();
+    let pos_u = t_u.iter().filter(|&&v| v >= 0.5).count();
+    if pos_p == 0 || pos_u == 0 {
+        return 1.0;
+    }
+    let tpr_p = Confusion::from_predictions(&t_p, &p_p).tpr();
+    let tpr_u = Confusion::from_predictions(&t_u, &p_u).tpr();
+    1.0 - (tpr_p - tpr_u).abs()
+}
+
+/// Percentage (0-100) of protected candidates within the first `k` entries
+/// of `ranking` (record indices ordered best-first).
+pub fn protected_share_top_k(ranking: &[usize], group: &[u8], k: usize) -> f64 {
+    let k = k.min(ranking.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let protected = ranking[..k].iter().filter(|&&i| group[i] == 1).count();
+    100.0 * protected as f64 / k as f64
+}
+
+/// Disparate impact ratio `min(r_p / r_u, r_u / r_p)` of positive rates —
+/// an auxiliary measure (the "80% rule"); 1.0 when either rate is 0.
+pub fn disparate_impact(y_pred: &[f64], group: &[u8]) -> f64 {
+    assert_eq!(y_pred.len(), group.len(), "length mismatch");
+    let (mut sum_p, mut n_p, mut sum_u, mut n_u) = (0.0, 0.0, 0.0, 0.0);
+    for (&y, &g) in y_pred.iter().zip(group) {
+        let pos = f64::from(y >= 0.5);
+        if g == 1 {
+            sum_p += pos;
+            n_p += 1.0;
+        } else {
+            sum_u += pos;
+            n_u += 1.0;
+        }
+    }
+    if n_p == 0.0 || n_u == 0.0 {
+        return 1.0;
+    }
+    let r_p = sum_p / n_p;
+    let r_u = sum_u / n_u;
+    if r_p == 0.0 || r_u == 0.0 {
+        return if r_p == r_u { 1.0 } else { 0.0 };
+    }
+    (r_p / r_u).min(r_u / r_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_perfect_when_all_agree() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![0.1], vec![0.2]]).unwrap();
+        assert_eq!(consistency(&x, &[1.0, 1.0, 1.0], 2), 1.0);
+        assert_eq!(consistency(&x, &[0.0, 0.0, 0.0], 2), 1.0);
+    }
+
+    #[test]
+    fn consistency_penalizes_neighbor_disagreement() {
+        // Two tight clusters; predictions flip inside the first cluster.
+        let x = Matrix::from_rows(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![10.0],
+            vec![10.1],
+        ])
+        .unwrap();
+        let consistent = consistency(&x, &[1.0, 1.0, 0.0, 0.0], 1);
+        let inconsistent = consistency(&x, &[1.0, 0.0, 0.0, 0.0], 1);
+        assert_eq!(consistent, 1.0);
+        assert!(inconsistent < consistent);
+        // k=1: pairs (0,1),(1,0),(2,3),(3,2): diffs 1,1,0,0 => 1 - 2/4 = 0.5
+        assert!((inconsistent - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_with_scores() {
+        let neighbors = vec![vec![1], vec![0]];
+        let v = consistency_with_neighbors(&neighbors, &[0.2, 0.7]);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_degenerate_inputs() {
+        assert_eq!(consistency_with_neighbors(&[], &[]), 1.0);
+        let no_neighbors = vec![Vec::new()];
+        assert_eq!(consistency_with_neighbors(&no_neighbors, &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn parity_perfect_and_worst() {
+        let group = [1, 1, 0, 0];
+        assert_eq!(statistical_parity(&[1.0, 0.0, 1.0, 0.0], &group), 1.0);
+        assert_eq!(statistical_parity(&[1.0, 1.0, 0.0, 0.0], &group), 0.0);
+        // Scores: group means 0.5 vs 0.3 => parity 0.8.
+        let p = statistical_parity(&[0.5, 0.5, 0.3, 0.3], &group);
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_empty_group_is_one() {
+        assert_eq!(statistical_parity(&[1.0, 0.0], &[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn eqopp_measures_tpr_gap() {
+        // Protected: 2 positives, 1 predicted => TPR 0.5.
+        // Unprotected: 2 positives, 2 predicted => TPR 1.0.
+        let y_true = [1.0, 1.0, 1.0, 1.0];
+        let y_pred = [1.0, 0.0, 1.0, 1.0];
+        let group = [1, 1, 0, 0];
+        let e = equal_opportunity(&y_true, &y_pred, &group);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eqopp_ignores_negatives() {
+        // Negatives' predictions must not matter.
+        let y_true = [1.0, 0.0, 1.0, 0.0];
+        let a = equal_opportunity(&y_true, &[1.0, 1.0, 1.0, 0.0], &[1, 1, 0, 0]);
+        let b = equal_opportunity(&y_true, &[1.0, 0.0, 1.0, 1.0], &[1, 1, 0, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn eqopp_degenerate_no_positives() {
+        let e = equal_opportunity(&[0.0, 1.0], &[0.0, 1.0], &[1, 0]);
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn top_k_share() {
+        let group = [1, 0, 1, 0, 1];
+        let ranking = [0, 1, 2, 3, 4];
+        assert_eq!(protected_share_top_k(&ranking, &group, 2), 50.0);
+        assert_eq!(protected_share_top_k(&ranking, &group, 5), 60.0);
+        assert_eq!(protected_share_top_k(&ranking, &group, 0), 0.0);
+        // k larger than the list: clamped.
+        assert_eq!(protected_share_top_k(&ranking, &group, 10), 60.0);
+    }
+
+    #[test]
+    fn disparate_impact_cases() {
+        let group = [1, 1, 0, 0];
+        assert_eq!(disparate_impact(&[1.0, 0.0, 1.0, 0.0], &group), 1.0);
+        assert_eq!(disparate_impact(&[1.0, 1.0, 0.0, 0.0], &group), 0.0);
+        let di = disparate_impact(&[1.0, 0.0, 1.0, 1.0], &group);
+        assert!((di - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Brute-force k-nearest-neighbour index.
+//!
+//! The yNN consistency metric (§V-C) computes, for every record, its `k = 10`
+//! nearest neighbours **on the original non-protected attributes** and
+//! compares predicted outcomes across the neighbourhood. Datasets here are at
+//! most a few thousand evaluation records, so exact brute force (O(M² N)) is
+//! both simplest and fast enough; no approximate index is needed.
+
+use ifair_linalg::{vector, Matrix};
+
+/// Indices of the `k` nearest rows to row `i` (Euclidean, excluding `i`).
+///
+/// Ties broken by index for determinism. `k` is clamped to `rows - 1`.
+pub fn k_nearest(x: &Matrix, i: usize, k: usize) -> Vec<usize> {
+    let m = x.rows();
+    assert!(i < m, "row index out of range");
+    let k = k.min(m.saturating_sub(1));
+    let xi = x.row(i);
+    let mut dists: Vec<(f64, usize)> = (0..m)
+        .filter(|&j| j != i)
+        .map(|j| (vector::sq_euclidean(xi, x.row(j)), j))
+        .collect();
+    // Partial selection: full sort is fine at these sizes but select_nth
+    // keeps the complexity at O(M) per query.
+    if k < dists.len() {
+        dists.select_nth_unstable_by(k, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        dists.truncate(k);
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    dists.into_iter().map(|(_, j)| j).collect()
+}
+
+/// The `k` nearest neighbours of every row (see [`k_nearest`]).
+pub fn k_nearest_all(x: &Matrix, k: usize) -> Vec<Vec<usize>> {
+    (0..x.rows()).map(|i| k_nearest(x, i, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Matrix {
+        // Points on a line: 0, 1, 2, 10.
+        Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]]).unwrap()
+    }
+
+    #[test]
+    fn finds_nearest_on_line() {
+        let x = line();
+        assert_eq!(k_nearest(&x, 0, 2), vec![1, 2]);
+        assert_eq!(k_nearest(&x, 3, 1), vec![2]);
+        assert_eq!(k_nearest(&x, 1, 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn excludes_self() {
+        let x = line();
+        for i in 0..4 {
+            assert!(!k_nearest(&x, i, 3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let x = line();
+        assert_eq!(k_nearest(&x, 0, 100).len(), 3);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        // Rows 1 and 2 are equidistant from row 0.
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![-1.0]]).unwrap();
+        assert_eq!(k_nearest(&x, 0, 1), vec![1]); // lower index wins
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_variant_matches_single() {
+        let x = line();
+        let all = k_nearest_all(&x, 2);
+        for i in 0..4 {
+            assert_eq!(all[i], k_nearest(&x, i, 2));
+        }
+    }
+
+    #[test]
+    fn multidimensional_distances() {
+        let x = Matrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],  // dist 5
+            vec![1.0, 1.0],  // dist sqrt(2)
+        ])
+        .unwrap();
+        assert_eq!(k_nearest(&x, 0, 2), vec![2, 1]);
+    }
+}

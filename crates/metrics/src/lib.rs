@@ -1,0 +1,33 @@
+//! Utility, ranking and fairness metrics for the iFair reproduction (§V-C).
+//!
+//! * [`classification`] — accuracy, ROC-AUC (Mann–Whitney with tie
+//!   correction), confusion counts,
+//! * [`ranking`] — Kendall's τ, average precision at k / MAP, NDCG,
+//! * [`fairness`] — the paper's measures: **yNN consistency** (individual
+//!   fairness), **statistical parity**, **equality of opportunity**, and the
+//!   share of protected candidates in top-k rankings,
+//! * [`knn`] — the brute-force nearest-neighbour index behind yNN.
+//!
+//! Conventions: labels and predictions are `f64` slices with binary labels in
+//! `{0.0, 1.0}`; group membership is `u8` with `1` = protected. All "higher
+//! is better" fairness measures are normalized to `[0, 1]` exactly as
+//! reported in the paper's tables (e.g. `Parity = 1 - |P(ŷ=1|prot) -
+//! P(ŷ=1|unprot)|`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod fairness;
+pub mod knn;
+pub mod ranking;
+
+pub use classification::{accuracy, auc, harmonic_mean, Confusion};
+pub use fairness::{
+    consistency, consistency_with_neighbors, equal_opportunity, protected_share_top_k,
+    statistical_parity,
+};
+pub use knn::k_nearest_all;
+pub use ranking::{
+    average_precision_at_k, kendall_tau, mean_average_precision, ndcg_at_k, ranking_from_scores,
+};

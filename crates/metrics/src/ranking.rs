@@ -1,0 +1,223 @@
+//! Ranking utility metrics (§V-C): Kendall's τ, AP@k / MAP, NDCG@k.
+//!
+//! The learning-to-rank evaluation compares a *predicted* ranking (from a
+//! regression model trained on some representation) against the *deserved*
+//! ranking induced by the ground-truth score.
+
+use ifair_linalg::vector::argsort_desc;
+
+/// Kendall rank correlation (τ-b, tie-corrected) between two score vectors.
+///
+/// Returns a value in `[-1, 1]`; 0 when either vector is constant. O(n²) —
+/// per-query candidate lists in this workspace are tens to hundreds of items.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tie in both: contributes to neither
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_a as f64) * (n0 - ties_b as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Average precision at `k` of a predicted ranking against the relevant set
+/// defined by the true scores' top-`k`.
+///
+/// `pred_ranking` lists candidate indices best-first. A candidate is
+/// *relevant* if it belongs to the top-`k` of the deserved ranking (ties at
+/// the boundary are all included). This is the paper's "average precision
+/// (AP@10)" for ranking tasks.
+pub fn average_precision_at_k(pred_ranking: &[usize], true_scores: &[f64], k: usize) -> f64 {
+    let k = k.min(true_scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    // Relevant set: all candidates scoring at least the k-th best true score.
+    let true_order = argsort_desc(true_scores);
+    let threshold = true_scores[true_order[k - 1]];
+    let relevant = |i: usize| true_scores[i] >= threshold;
+
+    let mut hits = 0usize;
+    let mut sum_prec = 0.0;
+    for (pos, &i) in pred_ranking.iter().take(k).enumerate() {
+        if relevant(i) {
+            hits += 1;
+            sum_prec += hits as f64 / (pos + 1) as f64;
+        }
+    }
+    let denom = k.min(pred_ranking.len());
+    if denom == 0 {
+        0.0
+    } else {
+        sum_prec / denom as f64
+    }
+}
+
+/// Mean of [`average_precision_at_k`] over queries.
+///
+/// Each query supplies `(predicted ranking, true scores)`; rankings index
+/// into their own query-local score slice.
+pub fn mean_average_precision(queries: &[(Vec<usize>, Vec<f64>)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|(ranking, scores)| average_precision_at_k(ranking, scores, k))
+        .sum::<f64>()
+        / queries.len() as f64
+}
+
+/// Normalized discounted cumulative gain at `k`, with the true scores as
+/// gains (auxiliary metric; not in the paper's tables but standard for
+/// sanity-checking ranking quality).
+pub fn ndcg_at_k(pred_ranking: &[usize], true_scores: &[f64], k: usize) -> f64 {
+    let k = k.min(pred_ranking.len()).min(true_scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = pred_ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &i)| true_scores[i] / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal_order = argsort_desc(true_scores);
+    let idcg: f64 = ideal_order
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &i)| true_scores[i] / ((pos + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Ranking (indices best-first) induced by a score vector.
+pub fn ranking_from_scores(scores: &[f64]) -> Vec<usize> {
+    argsort_desc(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-12);
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_known_value() {
+        // Classic example: one discordant pair among 6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        // 5 concordant, 1 discordant => (5-1)/6
+        assert!((kendall_tau(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_constant_vector_is_zero() {
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn tau_handles_ties() {
+        // Tie in a only: tau-b denominator shrinks.
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        let t = kendall_tau(&a, &b);
+        // pairs: (0,1) tie_a; (0,2) concordant; (1,2) concordant
+        // tau_b = 2 / sqrt((3-1)*(3-0)) = 2/sqrt(6)
+        assert!((t - 2.0 / 6.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_single_element() {
+        assert_eq!(kendall_tau(&[1.0], &[5.0]), 1.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        let ranking = ranking_from_scores(&scores); // 1, 3, 2, 0
+        assert_eq!(ranking, vec![1, 3, 2, 0]);
+        assert!((average_precision_at_k(&ranking, &scores, 2) - 1.0).abs() < 1e-12);
+        assert!((average_precision_at_k(&ranking, &scores, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_penalizes_late_relevant() {
+        let scores = [1.0, 0.9, 0.1, 0.0];
+        // Relevant at k=2: items 0, 1. Prediction puts them at ranks 2, 4.
+        let pred = vec![2, 0, 3, 1];
+        let ap = average_precision_at_k(&pred, &scores, 2);
+        // Within top-2 of prediction: item 0 at pos 2 => precision 1/2;
+        // AP = (0 + 0.5)/2 = 0.25.
+        assert!((ap - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_empty_is_zero() {
+        assert_eq!(average_precision_at_k(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn map_averages_queries() {
+        let scores = vec![1.0, 0.5, 0.1];
+        let perfect = ranking_from_scores(&scores);
+        let worst = vec![2, 1, 0];
+        let m = mean_average_precision(
+            &[(perfect, scores.clone()), (worst, scores.clone())],
+            2,
+        );
+        // Worst ranking top-2 = [2, 1]: item 1 relevant at pos 2 => AP 0.25.
+        assert!((m - (1.0 + 0.25) / 2.0).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_is_one() {
+        let scores = [3.0, 1.0, 2.0];
+        let ranking = ranking_from_scores(&scores);
+        assert!((ndcg_at_k(&ranking, &scores, 3) - 1.0).abs() < 1e-12);
+        let worst = vec![1, 2, 0];
+        assert!(ndcg_at_k(&worst, &scores, 3) < 1.0);
+    }
+
+    #[test]
+    fn ndcg_zero_gains() {
+        assert_eq!(ndcg_at_k(&[0, 1], &[0.0, 0.0], 2), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Adversarial accuracy: how much protected information a representation
+//! still leaks (Fig. 4 of the paper, §V-F).
+//!
+//! Protocol: train a logistic-regression *adversary* to predict protected
+//! group membership from the representation, on a random 70/30 split, and
+//! report test accuracy. Near the majority-class share means the
+//! representation has obfuscated the protected attribute; masked data
+//! typically stays well above it because of correlated proxy attributes.
+
+use crate::logreg::{LogisticRegression, LogisticRegressionConfig};
+use ifair_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Test accuracy of a logistic-regression adversary predicting `group` from
+/// rows of `representation` (70/30 split seeded by `seed`).
+pub fn adversarial_accuracy(representation: &Matrix, group: &[u8], seed: u64) -> f64 {
+    assert_eq!(
+        representation.rows(),
+        group.len(),
+        "group labels must align with rows"
+    );
+    assert!(representation.rows() >= 10, "need at least 10 records");
+
+    let mut idx: Vec<usize> = (0..representation.rows()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = (representation.rows() as f64 * 0.7).round() as usize;
+    let (train_idx, test_idx) = idx.split_at(n_train);
+
+    let x_train = representation.select_rows(train_idx);
+    let y_train: Vec<f64> = train_idx.iter().map(|&i| f64::from(group[i])).collect();
+    let x_test = representation.select_rows(test_idx);
+    let y_test: Vec<f64> = test_idx.iter().map(|&i| f64::from(group[i])).collect();
+
+    let model = LogisticRegression::fit(
+        &x_train,
+        &y_train,
+        &LogisticRegressionConfig {
+            l2: 1e-3,
+            max_iters: 150,
+            grad_tol: 1e-5,
+        },
+    );
+    ifair_metrics_accuracy(&y_test, &model.predict(&x_test))
+}
+
+/// Majority-class share — the floor an adversary can always reach.
+pub fn majority_share(group: &[u8]) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
+    let ones = group.iter().filter(|&&g| g == 1).count();
+    let zeros = group.len() - ones;
+    ones.max(zeros) as f64 / group.len() as f64
+}
+
+// Local accuracy helper to avoid a dependency cycle with ifair-metrics.
+fn ifair_metrics_accuracy(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    let correct = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|&(&t, &p)| (t - p).abs() < 0.5)
+        .count();
+    correct as f64 / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_representation_scores_high() {
+        // Group is literally a column of the representation.
+        let n = 200;
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            if j == 0 {
+                f64::from(i % 2 == 0)
+            } else {
+                (i as f64 * 0.37).sin()
+            }
+        });
+        let group: Vec<u8> = (0..n).map(|i| u8::from(i % 2 == 0)).collect();
+        let acc = adversarial_accuracy(&x, &group, 0);
+        assert!(acc > 0.95, "acc = {acc}");
+    }
+
+    #[test]
+    fn obfuscated_representation_scores_near_majority() {
+        // Features independent of the group.
+        let n = 300;
+        let x = Matrix::from_fn(n, 3, |i, j| ((i * 7 + j * 13) as f64 * 0.7).sin());
+        let group: Vec<u8> = (0..n).map(|i| u8::from((i * 31 + 7) % 10 < 4)).collect();
+        let acc = adversarial_accuracy(&x, &group, 1);
+        let maj = majority_share(&group);
+        assert!(acc <= maj + 0.12, "acc = {acc}, majority = {maj}");
+    }
+
+    #[test]
+    fn majority_share_values() {
+        assert_eq!(majority_share(&[]), 0.0);
+        assert_eq!(majority_share(&[1, 1, 0, 0]), 0.5);
+        assert_eq!(majority_share(&[1, 1, 1, 0]), 0.75);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = 100;
+        let x = Matrix::from_fn(n, 2, |i, j| ((i + j) as f64).cos());
+        let group: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+        assert_eq!(
+            adversarial_accuracy(&x, &group, 5),
+            adversarial_accuracy(&x, &group, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn rejects_tiny_input() {
+        let x = Matrix::zeros(5, 2);
+        adversarial_accuracy(&x, &[0, 1, 0, 1, 0], 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Predictive models for the iFair reproduction.
+//!
+//! §V-B of the paper evaluates every representation by training "a standard
+//! classifier (logistic regression) and a learning-to-rank regression model
+//! (linear regression)" on it. This crate implements both from scratch on the
+//! workspace substrates, plus the adversarial-accuracy protocol of Fig. 4:
+//!
+//! * [`LogisticRegression`] — L2-regularized, trained with L-BFGS on the
+//!   numerically stable cross-entropy (analytic gradients, checked against
+//!   finite differences in tests),
+//! * [`RidgeRegression`] — linear regression via the Cholesky-solved normal
+//!   equations with an optional ridge term,
+//! * [`adversarial`] — train a classifier to predict the *protected group*
+//!   from a representation; low accuracy means the representation obfuscates
+//!   protected information (Fig. 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod linreg;
+pub mod logreg;
+
+pub use adversarial::adversarial_accuracy;
+pub use linreg::RidgeRegression;
+pub use logreg::{LogisticRegression, LogisticRegressionConfig};

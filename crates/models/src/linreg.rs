@@ -1,0 +1,151 @@
+//! Linear (ridge) regression — the paper's learning-to-rank model.
+//!
+//! §V-B applies "a learning-to-rank regression model (linear regression)" to
+//! each representation; candidates are then ranked by predicted score. We
+//! solve the ridge normal equations `(X'X + rI) w = X'y` via Cholesky (see
+//! `ifair_linalg::solve::ridge_solve`), with an unpenalized intercept
+//! obtained by centering.
+
+use ifair_linalg::{solve, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear regression model with optional ridge regularization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl RidgeRegression {
+    /// Fits `y ≈ X w + b` with L2 penalty `ridge` on `w` (not on `b`).
+    ///
+    /// Centering both `X` and `y` removes the intercept from the penalized
+    /// system; `b` is recovered as `mean(y) - mean(X) · w`.
+    pub fn fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<RidgeRegression, String> {
+        if x.rows() != y.len() {
+            return Err(format!(
+                "labels have length {} but X has {} rows",
+                y.len(),
+                x.rows()
+            ));
+        }
+        if x.rows() == 0 {
+            return Err("cannot fit on an empty dataset".into());
+        }
+        let x_means = x.col_means();
+        let y_mean = ifair_linalg::vector::mean(y);
+        let mut xc = x.clone();
+        for i in 0..xc.rows() {
+            let row = xc.row_mut(i);
+            for (v, &m) in row.iter_mut().zip(&x_means) {
+                *v -= m;
+            }
+        }
+        let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
+        let weights = solve::ridge_solve(&xc, &yc, ridge).map_err(|e| e.to_string())?;
+        let bias = y_mean - ifair_linalg::vector::dot(&x_means, &weights);
+        Ok(RidgeRegression { weights, bias })
+    }
+
+    /// Predicted scores for each row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.weights.len(), "feature width mismatch");
+        x.row_iter()
+            .map(|row| ifair_linalg::vector::dot(row, &self.weights) + self.bias)
+            .collect()
+    }
+
+    /// Coefficient of determination `R²` on `(x, y)`.
+    pub fn r_squared(&self, x: &Matrix, y: &[f64]) -> f64 {
+        let preds = self.predict(x);
+        let y_mean = ifair_linalg::vector::mean(y);
+        let ss_res: f64 = preds
+            .iter()
+            .zip(y)
+            .map(|(&p, &t)| (t - p) * (t - p))
+            .sum();
+        let ss_tot: f64 = y.iter().map(|&t| (t - y_mean) * (t - y_mean)).sum();
+        if ss_tot == 0.0 {
+            return if ss_res == 0.0 { 1.0 } else { 0.0 };
+        }
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2 x0 - 3 x1 + 5
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        let y: Vec<f64> = x.row_iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let model = RidgeRegression::fit(&x, &y, 0.0).unwrap();
+        assert!((model.weights[0] - 2.0).abs() < 1e-8);
+        assert!((model.weights[1] + 3.0).abs() < 1e-8);
+        assert!((model.bias - 5.0).abs() < 1e-8);
+        assert!((model.r_squared(&x, &y) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let plain = RidgeRegression::fit(&x, &y, 0.0).unwrap();
+        let heavy = RidgeRegression::fit(&x, &y, 50.0).unwrap();
+        assert!((plain.weights[0] - 2.0).abs() < 1e-8);
+        assert!(heavy.weights[0].abs() < plain.weights[0].abs());
+    }
+
+    #[test]
+    fn predicts_on_new_data() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let y = vec![1.0, 3.0, 5.0]; // y = 2x + 1
+        let model = RidgeRegression::fit(&x, &y, 0.0).unwrap();
+        let preds = model.predict(&Matrix::from_rows(vec![vec![10.0]]).unwrap());
+        assert!((preds[0] - 21.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_and_empty() {
+        let x = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        assert!(RidgeRegression::fit(&x, &[1.0, 2.0], 0.0).is_err());
+        assert!(RidgeRegression::fit(&Matrix::zeros(0, 1), &[], 0.0).is_err());
+    }
+
+    #[test]
+    fn collinear_features_need_ridge() {
+        // Duplicate columns; ridge resolves the ambiguity.
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+        ])
+        .unwrap();
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let model = RidgeRegression::fit(&x, &y, 1e-8).unwrap();
+        let preds = model.predict(&x);
+        for (p, t) in preds.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn r_squared_of_constant_target() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        let y = vec![3.0, 3.0];
+        let model = RidgeRegression::fit(&x, &y, 0.1).unwrap();
+        assert!(model.r_squared(&x, &y) >= 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! L2-regularized logistic regression trained with L-BFGS.
+
+use ifair_linalg::Matrix;
+use ifair_optim::{Lbfgs, LbfgsConfig, Objective};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`LogisticRegression`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// L2 penalty strength on the weights (never on the intercept).
+    pub l2: f64,
+    /// Maximum L-BFGS iterations.
+    pub max_iters: usize,
+    /// Gradient tolerance for convergence.
+    pub grad_tol: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig {
+            l2: 1e-4,
+            max_iters: 200,
+            grad_tol: 1e-6,
+        }
+    }
+}
+
+/// A fitted logistic-regression classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+/// Numerically stable `log(1 + exp(-|z|)) + max(z, 0) - z*y` cross-entropy
+/// objective over `(weights, bias)` flattened as `[w_0..w_n, b]`.
+struct CrossEntropy<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    l2: f64,
+}
+
+impl CrossEntropy<'_> {
+    /// Mean cross-entropy and the per-sample `sigma(z) - y` residuals.
+    fn forward(&self, params: &[f64]) -> (f64, Vec<f64>) {
+        let n = self.x.cols();
+        let (w, b) = (&params[..n], params[n]);
+        let m = self.x.rows() as f64;
+        let mut loss = 0.0;
+        let mut residuals = Vec::with_capacity(self.x.rows());
+        for (row, &yi) in self.x.row_iter().zip(self.y) {
+            let z: f64 = ifair_linalg::vector::dot(row, w) + b;
+            // log(1 + e^z) - z*y, computed stably.
+            loss += z.max(0.0) - z * yi + (-z.abs()).exp().ln_1p();
+            let p = sigmoid(z);
+            residuals.push(p - yi);
+        }
+        loss /= m;
+        loss += 0.5 * self.l2 * w.iter().map(|v| v * v).sum::<f64>();
+        (loss, residuals)
+    }
+}
+
+impl Objective for CrossEntropy<'_> {
+    fn dim(&self) -> usize {
+        self.x.cols() + 1
+    }
+
+    fn value(&self, params: &[f64]) -> f64 {
+        self.forward(params).0
+    }
+
+    fn gradient(&self, params: &[f64], grad: &mut [f64]) {
+        let (_, residuals) = self.forward(params);
+        self.fill_gradient(params, &residuals, grad);
+    }
+
+    fn value_and_gradient(&self, params: &[f64], grad: &mut [f64]) -> f64 {
+        let (loss, residuals) = self.forward(params);
+        self.fill_gradient(params, &residuals, grad);
+        loss
+    }
+}
+
+impl CrossEntropy<'_> {
+    fn fill_gradient(&self, params: &[f64], residuals: &[f64], grad: &mut [f64]) {
+        let n = self.x.cols();
+        let m = self.x.rows() as f64;
+        grad.fill(0.0);
+        for (row, &r) in self.x.row_iter().zip(residuals) {
+            for (g, &xij) in grad[..n].iter_mut().zip(row) {
+                *g += r * xij;
+            }
+            grad[n] += r;
+        }
+        for (g, &wj) in grad[..n].iter_mut().zip(&params[..n]) {
+            *g = *g / m + self.l2 * wj;
+        }
+        grad[n] /= m;
+    }
+}
+
+/// Logistic sigmoid, stable for large `|z|`.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fits the classifier on rows of `x` with binary labels `y`.
+    ///
+    /// Panics when shapes disagree or `y` is not in `{0, 1}`.
+    pub fn fit(x: &Matrix, y: &[f64], config: &LogisticRegressionConfig) -> LogisticRegression {
+        assert_eq!(x.rows(), y.len(), "labels must align with rows");
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        assert!(
+            y.iter().all(|&v| v == 0.0 || v == 1.0),
+            "labels must be binary 0/1"
+        );
+        let objective = CrossEntropy {
+            x,
+            y,
+            l2: config.l2,
+        };
+        let result = Lbfgs::new(LbfgsConfig {
+            max_iters: config.max_iters,
+            grad_tol: config.grad_tol,
+            ..Default::default()
+        })
+        .minimize(&objective, vec![0.0; x.cols() + 1]);
+        let n = x.cols();
+        LogisticRegression {
+            weights: result.x[..n].to_vec(),
+            bias: result.x[n],
+        }
+    }
+
+    /// Fits with default configuration.
+    pub fn fit_default(x: &Matrix, y: &[f64]) -> LogisticRegression {
+        LogisticRegression::fit(x, y, &LogisticRegressionConfig::default())
+    }
+
+    /// Probability of the positive class for each row.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.weights.len(), "feature width mismatch");
+        x.row_iter()
+            .map(|row| sigmoid(ifair_linalg::vector::dot(row, &self.weights) + self.bias))
+            .collect()
+    }
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| f64::from(p >= 0.5))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifair_optim::numgrad::check_gradient;
+
+    fn separable() -> (Matrix, Vec<f64>) {
+        // y = 1 iff x0 > 0.
+        let x = Matrix::from_rows(vec![
+            vec![-2.0, 1.0],
+            vec![-1.5, -1.0],
+            vec![-1.0, 0.5],
+            vec![1.0, -0.5],
+            vec![1.5, 1.0],
+            vec![2.0, 0.0],
+        ])
+        .unwrap();
+        let y = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        (x, y)
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-300);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (x, y) = separable();
+        let obj = CrossEntropy { x: &x, y: &y, l2: 0.1 };
+        let params = vec![0.3, -0.5, 0.1];
+        let report = check_gradient(&obj, &params, 1e-6);
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let (x, y) = separable();
+        let model = LogisticRegression::fit_default(&x, &y);
+        let preds = model.predict(&x);
+        assert_eq!(preds, y);
+        // The separating weight is on x0.
+        assert!(model.weights[0].abs() > model.weights[1].abs());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (x, y) = separable();
+        let model = LogisticRegression::fit_default(&x, &y);
+        for p in model.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_weights() {
+        let (x, y) = separable();
+        let light = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogisticRegressionConfig {
+                l2: 1e-6,
+                ..Default::default()
+            },
+        );
+        let heavy = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogisticRegressionConfig {
+                l2: 10.0,
+                ..Default::default()
+            },
+        );
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(&heavy.weights) < norm(&light.weights));
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn rejects_non_binary_labels() {
+        let (x, mut y) = separable();
+        y[0] = 0.5;
+        LogisticRegression::fit_default(&x, &y);
+    }
+
+    #[test]
+    fn constant_labels_predict_constant() {
+        let (x, _) = separable();
+        let y = vec![1.0; 6];
+        let model = LogisticRegression::fit_default(&x, &y);
+        let preds = model.predict(&x);
+        assert!(preds.iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (x, y) = separable();
+        let model = LogisticRegression::fit_default(&x, &y);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: LogisticRegression = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.weights, back.weights);
+    }
+}

@@ -1,0 +1,236 @@
+//! First-order optimizers: Adam and plain gradient descent.
+//!
+//! These exist for the ablation benches (DESIGN.md §5: "L-BFGS vs Adam vs
+//! plain GD on the same objective") and as robust fallbacks for objectives
+//! whose curvature information is noisy.
+
+use crate::line_search::backtracking;
+use crate::problem::{Objective, OptimResult, Termination};
+
+/// Configuration of the [`Adam`] optimizer (Kingma & Ba 2015 defaults).
+#[derive(Debug, Clone)]
+pub struct AdamConfig {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub grad_tol: f64,
+    /// Optional per-variable box constraints (projected after each step).
+    pub bounds: Option<Vec<(f64, f64)>>,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            learning_rate: 0.05,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_iters: 1000,
+            grad_tol: 1e-6,
+            bounds: None,
+        }
+    }
+}
+
+/// The Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given configuration.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config }
+    }
+
+    /// Minimizes `objective` starting from `x0`.
+    pub fn minimize<O: Objective + ?Sized>(&self, objective: &O, x0: Vec<f64>) -> OptimResult {
+        let n = objective.dim();
+        assert_eq!(x0.len(), n, "initial point has wrong dimension");
+        let c = &self.config;
+        let mut x = x0;
+        project(&mut x, c.bounds.as_deref());
+        let mut m = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut grad = vec![0.0; n];
+        let mut n_evals = 0usize;
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0usize;
+        let mut f = f64::INFINITY;
+
+        for t in 1..=c.max_iters {
+            iterations = t;
+            f = objective.value_and_gradient(&x, &mut grad);
+            n_evals += 1;
+            let gnorm = grad.iter().fold(0.0_f64, |acc, g| acc.max(g.abs()));
+            if gnorm <= c.grad_tol {
+                termination = Termination::GradientTolerance;
+                iterations = t - 1;
+                break;
+            }
+            let b1t = 1.0 - c.beta1.powi(t as i32);
+            let b2t = 1.0 - c.beta2.powi(t as i32);
+            for i in 0..n {
+                m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * grad[i];
+                v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * grad[i] * grad[i];
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                x[i] -= c.learning_rate * mhat / (vhat.sqrt() + c.epsilon);
+            }
+            project(&mut x, c.bounds.as_deref());
+        }
+        let value = objective.value(&x);
+        n_evals += 1;
+        objective.gradient(&x, &mut grad);
+        let grad_norm = grad.iter().fold(0.0_f64, |acc, g| acc.max(g.abs()));
+        let converged = matches!(termination, Termination::GradientTolerance);
+        OptimResult {
+            x,
+            value: value.min(f),
+            grad_norm,
+            iterations,
+            n_evals,
+            converged,
+            termination,
+        }
+    }
+}
+
+/// Plain gradient descent with Armijo backtracking.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub grad_tol: f64,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        GradientDescent {
+            max_iters: 1000,
+            grad_tol: 1e-6,
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Minimizes `objective` starting from `x0`.
+    pub fn minimize<O: Objective + ?Sized>(&self, objective: &O, x0: Vec<f64>) -> OptimResult {
+        let n = objective.dim();
+        assert_eq!(x0.len(), n, "initial point has wrong dimension");
+        let mut x = x0;
+        let mut grad = vec![0.0; n];
+        let mut f = objective.value_and_gradient(&x, &mut grad);
+        let mut n_evals = 1usize;
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0usize;
+        for it in 0..self.max_iters {
+            iterations = it + 1;
+            let gnorm = grad.iter().fold(0.0_f64, |acc, g| acc.max(g.abs()));
+            if gnorm <= self.grad_tol {
+                termination = Termination::GradientTolerance;
+                iterations = it;
+                break;
+            }
+            let d: Vec<f64> = grad.iter().map(|&g| -g).collect();
+            let g0 = -grad.iter().map(|g| g * g).sum::<f64>();
+            let Some((alpha, f_new)) = backtracking(objective, &x, &d, f, g0, 1e-4, 60) else {
+                termination = Termination::LineSearchFailed;
+                break;
+            };
+            n_evals += 1;
+            for (xi, &di) in x.iter_mut().zip(&d) {
+                *xi += alpha * di;
+            }
+            f = f_new;
+            objective.gradient(&x, &mut grad);
+            n_evals += 1;
+        }
+        let grad_norm = grad.iter().fold(0.0_f64, |acc, g| acc.max(g.abs()));
+        let converged = matches!(termination, Termination::GradientTolerance);
+        OptimResult {
+            x,
+            value: f,
+            grad_norm,
+            iterations,
+            n_evals,
+            converged,
+            termination,
+        }
+    }
+}
+
+fn project(x: &mut [f64], bounds: Option<&[(f64, f64)]>) {
+    if let Some(b) = bounds {
+        for (xi, &(lo, hi)) in x.iter_mut().zip(b) {
+            *xi = xi.clamp(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    fn sphere(n: usize) -> impl Objective {
+        FnObjective::new(
+            n,
+            |x: &[f64]| x.iter().map(|v| v * v).sum(),
+            |x: &[f64], g: &mut [f64]| {
+                for (gi, &xi) in g.iter_mut().zip(x) {
+                    *gi = 2.0 * xi;
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn adam_minimizes_sphere() {
+        let res = Adam::new(AdamConfig {
+            max_iters: 3000,
+            ..Default::default()
+        })
+        .minimize(&sphere(4), vec![2.0, -1.0, 0.5, 3.0]);
+        assert!(res.value < 1e-6, "value {}", res.value);
+    }
+
+    #[test]
+    fn adam_respects_bounds() {
+        let res = Adam::new(AdamConfig {
+            bounds: Some(vec![(1.0, 5.0)]),
+            max_iters: 2000,
+            ..Default::default()
+        })
+        .minimize(&sphere(1), vec![4.0]);
+        assert!((res.x[0] - 1.0).abs() < 1e-4, "x = {}", res.x[0]);
+    }
+
+    #[test]
+    fn gd_minimizes_sphere() {
+        let res = GradientDescent::default().minimize(&sphere(3), vec![1.0, 2.0, -3.0]);
+        assert!(res.converged);
+        assert!(res.value < 1e-8);
+    }
+
+    #[test]
+    fn gd_reports_max_iters() {
+        let res = GradientDescent {
+            max_iters: 1,
+            grad_tol: 1e-300,
+        }
+        .minimize(&sphere(2), vec![1.0, 1.0]);
+        assert!(!res.converged);
+        assert_eq!(res.termination, Termination::MaxIterations);
+    }
+}

@@ -1,0 +1,430 @@
+//! Limited-memory BFGS (Liu & Nocedal 1989) with strong-Wolfe line search.
+//!
+//! This is the optimizer the iFair paper uses to fit its representation
+//! (§III-C). The implementation follows Nocedal & Wright (Numerical
+//! Optimization, Algorithm 7.4/7.5): two-loop recursion over the last `m`
+//! curvature pairs, with the standard `gamma_k` initial Hessian scaling.
+//!
+//! Box constraints (used to keep iFair's attribute weights `alpha` in
+//! `[0, 1]`, mirroring scipy's `fmin_l_bfgs_b` bounds in the reference
+//! implementation) are handled by projecting each accepted iterate onto the
+//! box and discarding curvature pairs that the projection invalidates. This
+//! is the classical projected quasi-Newton simplification rather than the
+//! full L-BFGS-B active-set algorithm; for the small boxes used here it
+//! behaves equivalently and is dramatically simpler.
+
+use crate::line_search::{strong_wolfe, WolfeParams};
+use crate::problem::{Objective, OptimResult, Termination};
+use std::collections::VecDeque;
+
+/// Configuration of the L-BFGS optimizer.
+#[derive(Debug, Clone)]
+pub struct LbfgsConfig {
+    /// Number of curvature pairs retained (`m`), typically 5-20.
+    pub memory: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub grad_tol: f64,
+    /// Convergence threshold on the relative objective decrease.
+    pub f_tol: f64,
+    /// Optional per-variable `(lower, upper)` box constraints.
+    pub bounds: Option<Vec<(f64, f64)>>,
+    /// Line-search parameters.
+    pub wolfe: WolfeParams,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        LbfgsConfig {
+            memory: 10,
+            max_iters: 200,
+            grad_tol: 1e-6,
+            f_tol: 1e-10,
+            bounds: None,
+            wolfe: WolfeParams::default(),
+        }
+    }
+}
+
+/// The L-BFGS optimizer. See the [module docs](self) for background.
+#[derive(Debug, Clone)]
+pub struct Lbfgs {
+    config: LbfgsConfig,
+}
+
+struct CurvaturePair {
+    s: Vec<f64>,
+    y: Vec<f64>,
+    rho: f64,
+}
+
+impl Lbfgs {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: LbfgsConfig) -> Self {
+        Lbfgs { config }
+    }
+
+    /// Convenience constructor with default configuration.
+    pub fn default_config() -> Self {
+        Lbfgs::new(LbfgsConfig::default())
+    }
+
+    /// Minimizes `objective` starting from `x0`.
+    ///
+    /// Panics if `x0.len() != objective.dim()` or if the bounds vector (when
+    /// present) has the wrong length — both are programming errors.
+    pub fn minimize<O: Objective + ?Sized>(&self, objective: &O, x0: Vec<f64>) -> OptimResult {
+        let n = objective.dim();
+        assert_eq!(x0.len(), n, "initial point has wrong dimension");
+        if let Some(b) = &self.config.bounds {
+            assert_eq!(b.len(), n, "bounds vector has wrong dimension");
+        }
+
+        let mut x = x0;
+        self.project(&mut x);
+        let mut grad = vec![0.0; n];
+        let mut f = objective.value_and_gradient(&x, &mut grad);
+        let mut n_evals = 1usize;
+        if let Some(b) = &self.config.bounds {
+            project_gradient_inplace(&x, &mut grad.clone(), b);
+        }
+
+        let mut pairs: VecDeque<CurvaturePair> = VecDeque::with_capacity(self.config.memory);
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0usize;
+
+        for iter in 0..self.config.max_iters {
+            iterations = iter + 1;
+            // Convergence on the (projected) gradient.
+            let gnorm = self.projected_grad_norm(&x, &grad);
+            if gnorm <= self.config.grad_tol {
+                termination = Termination::GradientTolerance;
+                iterations = iter;
+                break;
+            }
+
+            // Two-loop recursion: d = -H * grad.
+            let mut d = two_loop(&pairs, &grad);
+            for di in &mut d {
+                *di = -*di;
+            }
+            let mut g0: f64 = d.iter().zip(&grad).map(|(&di, &gi)| di * gi).sum();
+            if g0 >= 0.0 {
+                // Stale curvature produced a non-descent direction: restart
+                // from steepest descent.
+                pairs.clear();
+                for (di, &gi) in d.iter_mut().zip(&grad) {
+                    *di = -gi;
+                }
+                g0 = -grad.iter().map(|g| g * g).sum::<f64>();
+                if g0 >= 0.0 {
+                    termination = Termination::GradientTolerance;
+                    break;
+                }
+            }
+
+            let Some(ls) = strong_wolfe(objective, &x, &d, f, g0, &self.config.wolfe) else {
+                termination = Termination::LineSearchFailed;
+                break;
+            };
+            n_evals += ls.n_evals;
+
+            // Accept the step; project onto the box when bounded.
+            let mut x_new: Vec<f64> = x
+                .iter()
+                .zip(&d)
+                .map(|(&xi, &di)| xi + ls.alpha * di)
+                .collect();
+            let projected = self.project(&mut x_new);
+            let (f_new, grad_new) = if projected {
+                // Projection moved the point: the line-search gradient is no
+                // longer valid, so re-evaluate.
+                let mut g = vec![0.0; n];
+                let fv = objective.value_and_gradient(&x_new, &mut g);
+                n_evals += 1;
+                (fv, g)
+            } else {
+                (ls.value, ls.gradient)
+            };
+
+            // Curvature pair update (skip when the pair fails the curvature
+            // condition, which would break positive-definiteness).
+            let s: Vec<f64> = x_new.iter().zip(&x).map(|(&a, &b)| a - b).collect();
+            let y: Vec<f64> = grad_new.iter().zip(&grad).map(|(&a, &b)| a - b).collect();
+            let sy: f64 = s.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+            let yy: f64 = y.iter().map(|v| v * v).sum();
+            if sy > 1e-10 * yy.sqrt().max(1e-30) {
+                if pairs.len() == self.config.memory {
+                    pairs.pop_front();
+                }
+                pairs.push_back(CurvaturePair {
+                    s,
+                    y,
+                    rho: 1.0 / sy,
+                });
+            } else if projected {
+                // Projection produced inconsistent curvature: reset memory.
+                pairs.clear();
+            }
+
+            let f_decrease = (f - f_new).abs() / f.abs().max(f_new.abs()).max(1.0);
+            x = x_new;
+            grad = grad_new;
+            f = f_new;
+            if f_decrease <= self.config.f_tol {
+                termination = Termination::FunctionTolerance;
+                break;
+            }
+        }
+
+        let grad_norm = self.projected_grad_norm(&x, &grad);
+        let converged = matches!(
+            termination,
+            Termination::GradientTolerance | Termination::FunctionTolerance
+        );
+        OptimResult {
+            x,
+            value: f,
+            grad_norm,
+            iterations,
+            n_evals,
+            converged,
+            termination,
+        }
+    }
+
+    /// Projects `x` onto the box, returning whether anything changed.
+    fn project(&self, x: &mut [f64]) -> bool {
+        let Some(bounds) = &self.config.bounds else {
+            return false;
+        };
+        let mut changed = false;
+        for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
+            let clamped = xi.clamp(lo, hi);
+            if clamped != *xi {
+                *xi = clamped;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Infinity norm of the gradient, ignoring components that push against
+    /// an active bound (those are stationary for the constrained problem).
+    fn projected_grad_norm(&self, x: &[f64], grad: &[f64]) -> f64 {
+        match &self.config.bounds {
+            None => grad.iter().fold(0.0_f64, |m, g| m.max(g.abs())),
+            Some(bounds) => {
+                let mut m = 0.0_f64;
+                for ((&xi, &gi), &(lo, hi)) in x.iter().zip(grad).zip(bounds) {
+                    let active_lo = xi <= lo && gi > 0.0;
+                    let active_hi = xi >= hi && gi < 0.0;
+                    if !active_lo && !active_hi {
+                        m = m.max(gi.abs());
+                    }
+                }
+                m
+            }
+        }
+    }
+}
+
+/// Zeroes gradient components pointing out of the feasible box.
+fn project_gradient_inplace(x: &[f64], grad: &mut [f64], bounds: &[(f64, f64)]) {
+    for ((&xi, gi), &(lo, hi)) in x.iter().zip(grad.iter_mut()).zip(bounds) {
+        if (xi <= lo && *gi > 0.0) || (xi >= hi && *gi < 0.0) {
+            *gi = 0.0;
+        }
+    }
+}
+
+/// Two-loop recursion computing `H * grad` for the implicit inverse Hessian.
+fn two_loop(pairs: &VecDeque<CurvaturePair>, grad: &[f64]) -> Vec<f64> {
+    let mut q = grad.to_vec();
+    if pairs.is_empty() {
+        return q;
+    }
+    let mut alphas = vec![0.0; pairs.len()];
+    for (idx, pair) in pairs.iter().enumerate().rev() {
+        let a = pair.rho * dot(&pair.s, &q);
+        alphas[idx] = a;
+        for (qi, &yi) in q.iter_mut().zip(&pair.y) {
+            *qi -= a * yi;
+        }
+    }
+    // Initial Hessian scaling gamma = s^T y / y^T y from the newest pair.
+    let newest = pairs.back().expect("non-empty");
+    let gamma = dot(&newest.s, &newest.y) / dot(&newest.y, &newest.y).max(1e-300);
+    for qi in &mut q {
+        *qi *= gamma;
+    }
+    for (idx, pair) in pairs.iter().enumerate() {
+        let beta = pair.rho * dot(&pair.y, &q);
+        let coeff = alphas[idx] - beta;
+        for (qi, &si) in q.iter_mut().zip(&pair.s) {
+            *qi += coeff * si;
+        }
+    }
+    q
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    /// The Rosenbrock function in `n` dimensions.
+    fn rosenbrock(n: usize) -> impl Objective {
+        FnObjective::new(
+            n,
+            |x: &[f64]| {
+                (0..x.len() - 1)
+                    .map(|i| 100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
+                    .sum()
+            },
+            |x: &[f64], g: &mut [f64]| {
+                g.fill(0.0);
+                for i in 0..x.len() - 1 {
+                    let t = x[i + 1] - x[i] * x[i];
+                    g[i] += -400.0 * t * x[i] - 2.0 * (1.0 - x[i]);
+                    g[i + 1] += 200.0 * t;
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn solves_quadratic_exactly() {
+        let obj = FnObjective::new(
+            3,
+            |x: &[f64]| x.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v * v).sum(),
+            |x: &[f64], g: &mut [f64]| {
+                for (i, (gi, &xi)) in g.iter_mut().zip(x).enumerate() {
+                    *gi = 2.0 * (i as f64 + 1.0) * xi;
+                }
+            },
+        );
+        let res = Lbfgs::default_config().minimize(&obj, vec![5.0, -3.0, 2.0]);
+        assert!(res.converged, "termination: {:?}", res.termination);
+        for xi in &res.x {
+            assert!(xi.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn solves_rosenbrock_2d() {
+        let obj = rosenbrock(2);
+        let res = Lbfgs::new(LbfgsConfig {
+            max_iters: 500,
+            ..Default::default()
+        })
+        .minimize(&obj, vec![-1.2, 1.0]);
+        assert!(res.value < 1e-8, "value: {}", res.value);
+        assert!((res.x[0] - 1.0).abs() < 1e-3);
+        assert!((res.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solves_rosenbrock_10d() {
+        let obj = rosenbrock(10);
+        let res = Lbfgs::new(LbfgsConfig {
+            max_iters: 2000,
+            ..Default::default()
+        })
+        .minimize(&obj, vec![0.0; 10]);
+        assert!(res.value < 1e-6, "value: {}", res.value);
+    }
+
+    #[test]
+    fn respects_box_bounds() {
+        // Unconstrained minimum at (3, 3); box is [0, 1]^2 so the solution
+        // sits at the corner (1, 1).
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] - 3.0).powi(2),
+            |x: &[f64], g: &mut [f64]| {
+                g[0] = 2.0 * (x[0] - 3.0);
+                g[1] = 2.0 * (x[1] - 3.0);
+            },
+        );
+        let res = Lbfgs::new(LbfgsConfig {
+            bounds: Some(vec![(0.0, 1.0), (0.0, 1.0)]),
+            ..Default::default()
+        })
+        .minimize(&obj, vec![0.5, 0.5]);
+        assert!((res.x[0] - 1.0).abs() < 1e-6, "x0 = {}", res.x[0]);
+        assert!((res.x[1] - 1.0).abs() < 1e-6, "x1 = {}", res.x[1]);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn projects_infeasible_start() {
+        let obj = FnObjective::new(
+            1,
+            |x: &[f64]| x[0] * x[0],
+            |x: &[f64], g: &mut [f64]| g[0] = 2.0 * x[0],
+        );
+        let res = Lbfgs::new(LbfgsConfig {
+            bounds: Some(vec![(1.0, 2.0)]),
+            ..Default::default()
+        })
+        .minimize(&obj, vec![10.0]);
+        assert!((res.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stops_at_stationary_start() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x[0] * x[0] + x[1] * x[1],
+            |x: &[f64], g: &mut [f64]| {
+                g[0] = 2.0 * x[0];
+                g[1] = 2.0 * x[1];
+            },
+        );
+        let res = Lbfgs::default_config().minimize(&obj, vec![0.0, 0.0]);
+        assert_eq!(res.iterations, 0);
+        assert!(res.converged);
+        assert_eq!(res.termination, Termination::GradientTolerance);
+    }
+
+    #[test]
+    fn max_iterations_reported() {
+        let obj = rosenbrock(2);
+        let res = Lbfgs::new(LbfgsConfig {
+            max_iters: 2,
+            grad_tol: 1e-300,
+            f_tol: 0.0,
+            ..Default::default()
+        })
+        .minimize(&obj, vec![-1.2, 1.0]);
+        assert!(!res.converged);
+        assert_eq!(res.termination, Termination::MaxIterations);
+        assert_eq!(res.iterations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn panics_on_dim_mismatch() {
+        let obj = rosenbrock(2);
+        Lbfgs::default_config().minimize(&obj, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn memory_one_still_converges() {
+        let obj = rosenbrock(2);
+        let res = Lbfgs::new(LbfgsConfig {
+            memory: 1,
+            max_iters: 5000,
+            ..Default::default()
+        })
+        .minimize(&obj, vec![-1.2, 1.0]);
+        assert!(res.value < 1e-6);
+    }
+}

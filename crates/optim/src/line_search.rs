@@ -1,0 +1,304 @@
+//! Strong-Wolfe line search (Nocedal & Wright, Algorithms 3.5 / 3.6).
+//!
+//! L-BFGS requires the curvature condition to keep its inverse-Hessian
+//! approximation positive definite, hence strong Wolfe rather than plain
+//! Armijo backtracking (which is also provided for the first-order methods).
+
+use crate::problem::Objective;
+
+/// Parameters of the strong-Wolfe search.
+#[derive(Debug, Clone, Copy)]
+pub struct WolfeParams {
+    /// Sufficient-decrease constant (`c1`), typically `1e-4`.
+    pub c1: f64,
+    /// Curvature constant (`c2`), typically `0.9` for quasi-Newton methods.
+    pub c2: f64,
+    /// Maximum bracketing/zoom iterations.
+    pub max_iters: usize,
+    /// Upper bound on the step length.
+    pub alpha_max: f64,
+}
+
+impl Default for WolfeParams {
+    fn default() -> Self {
+        WolfeParams {
+            c1: 1e-4,
+            c2: 0.9,
+            max_iters: 30,
+            alpha_max: 1e3,
+        }
+    }
+}
+
+/// Result of a line search.
+#[derive(Debug, Clone)]
+pub struct LineSearchResult {
+    /// Accepted step length.
+    pub alpha: f64,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Gradient at the accepted point.
+    pub gradient: Vec<f64>,
+    /// Number of objective evaluations consumed.
+    pub n_evals: usize,
+}
+
+/// 1-D view of the objective along `x + alpha * d`.
+struct Phi<'a, O: Objective + ?Sized> {
+    objective: &'a O,
+    x: &'a [f64],
+    d: &'a [f64],
+    xa: Vec<f64>,
+    grad: Vec<f64>,
+    n_evals: usize,
+}
+
+impl<'a, O: Objective + ?Sized> Phi<'a, O> {
+    fn new(objective: &'a O, x: &'a [f64], d: &'a [f64]) -> Self {
+        let n = x.len();
+        Phi {
+            objective,
+            x,
+            d,
+            xa: vec![0.0; n],
+            grad: vec![0.0; n],
+            n_evals: 0,
+        }
+    }
+
+    /// Evaluates `(phi(alpha), phi'(alpha))`, caching the gradient.
+    fn eval(&mut self, alpha: f64) -> (f64, f64) {
+        for ((xa, &xi), &di) in self.xa.iter_mut().zip(self.x).zip(self.d) {
+            *xa = xi + alpha * di;
+        }
+        let value = self
+            .objective
+            .value_and_gradient(&self.xa, &mut self.grad);
+        self.n_evals += 1;
+        let slope = self
+            .grad
+            .iter()
+            .zip(self.d)
+            .map(|(&g, &di)| g * di)
+            .sum::<f64>();
+        (value, slope)
+    }
+}
+
+/// Strong-Wolfe line search along direction `d` from `x`.
+///
+/// `f0` and `g0` are the objective value and directional derivative at
+/// `alpha = 0`; `g0` must be negative (descent direction). Returns `None`
+/// when no acceptable step is found within the iteration budget.
+pub fn strong_wolfe<O: Objective + ?Sized>(
+    objective: &O,
+    x: &[f64],
+    d: &[f64],
+    f0: f64,
+    g0: f64,
+    params: &WolfeParams,
+) -> Option<LineSearchResult> {
+    if g0 >= 0.0 {
+        return None;
+    }
+    let mut phi = Phi::new(objective, x, d);
+    let mut alpha_prev = 0.0;
+    let mut f_prev = f0;
+    let mut g_prev = g0;
+    let mut alpha = 1.0_f64.min(params.alpha_max);
+
+    for i in 0..params.max_iters {
+        let (f, g) = phi.eval(alpha);
+        if f > f0 + params.c1 * alpha * g0 || (i > 0 && f >= f_prev) {
+            return zoom(
+                &mut phi, alpha_prev, f_prev, g_prev, alpha, f, f0, g0, params,
+            );
+        }
+        if g.abs() <= -params.c2 * g0 {
+            return Some(LineSearchResult {
+                alpha,
+                value: f,
+                gradient: phi.grad.clone(),
+                n_evals: phi.n_evals,
+            });
+        }
+        if g >= 0.0 {
+            return zoom(&mut phi, alpha, f, g, alpha_prev, f_prev, f0, g0, params);
+        }
+        alpha_prev = alpha;
+        f_prev = f;
+        g_prev = g;
+        alpha = (2.0 * alpha).min(params.alpha_max);
+        if alpha >= params.alpha_max {
+            // Evaluate at the cap once, then give up on expansion.
+            let (f, g) = phi.eval(alpha);
+            if f <= f0 + params.c1 * alpha * g0 && g.abs() <= -params.c2 * g0 {
+                return Some(LineSearchResult {
+                    alpha,
+                    value: f,
+                    gradient: phi.grad.clone(),
+                    n_evals: phi.n_evals,
+                });
+            }
+            return zoom(
+                &mut phi, alpha_prev, f_prev, g_prev, alpha, f, f0, g0, params,
+            );
+        }
+    }
+    None
+}
+
+/// Zoom phase: the interval `[alpha_lo, alpha_hi]` brackets a point
+/// satisfying the strong Wolfe conditions.
+#[allow(clippy::too_many_arguments)]
+fn zoom<O: Objective + ?Sized>(
+    phi: &mut Phi<'_, O>,
+    mut alpha_lo: f64,
+    mut f_lo: f64,
+    mut g_lo: f64,
+    mut alpha_hi: f64,
+    mut f_hi: f64,
+    f0: f64,
+    g0: f64,
+    params: &WolfeParams,
+) -> Option<LineSearchResult> {
+    for _ in 0..params.max_iters {
+        // Quadratic interpolation with bisection safeguard.
+        let mut alpha = interpolate(alpha_lo, f_lo, g_lo, alpha_hi, f_hi);
+        let lo = alpha_lo.min(alpha_hi);
+        let hi = alpha_lo.max(alpha_hi);
+        let width = hi - lo;
+        if !(lo + 0.1 * width..=hi - 0.1 * width).contains(&alpha) {
+            alpha = 0.5 * (lo + hi);
+        }
+        if width < 1e-16 {
+            return None;
+        }
+        let (f, g) = phi.eval(alpha);
+        if f > f0 + params.c1 * alpha * g0 || f >= f_lo {
+            alpha_hi = alpha;
+            f_hi = f;
+        } else {
+            if g.abs() <= -params.c2 * g0 {
+                return Some(LineSearchResult {
+                    alpha,
+                    value: f,
+                    gradient: phi.grad.clone(),
+                    n_evals: phi.n_evals,
+                });
+            }
+            if g * (alpha_hi - alpha_lo) >= 0.0 {
+                alpha_hi = alpha_lo;
+                f_hi = f_lo;
+            }
+            alpha_lo = alpha;
+            f_lo = f;
+            g_lo = g;
+        }
+    }
+    None
+}
+
+/// Minimizer of the quadratic through `(a, fa)` with slope `ga` and `(b, fb)`.
+fn interpolate(a: f64, fa: f64, ga: f64, b: f64, fb: f64) -> f64 {
+    let denom = fb - fa - ga * (b - a);
+    if denom.abs() < 1e-300 {
+        return 0.5 * (a + b);
+    }
+    a - 0.5 * ga * (b - a).powi(2) / denom
+}
+
+/// Simple Armijo backtracking line search (for GD / diagnostics).
+///
+/// Returns the accepted `alpha`, or `None` after `max_iters` halvings.
+pub fn backtracking<O: Objective + ?Sized>(
+    objective: &O,
+    x: &[f64],
+    d: &[f64],
+    f0: f64,
+    g0: f64,
+    c1: f64,
+    max_iters: usize,
+) -> Option<(f64, f64)> {
+    if g0 >= 0.0 {
+        return None;
+    }
+    let mut alpha = 1.0;
+    let mut xa = vec![0.0; x.len()];
+    for _ in 0..max_iters {
+        for ((t, &xi), &di) in xa.iter_mut().zip(x).zip(d) {
+            *t = xi + alpha * di;
+        }
+        let f = objective.value(&xa);
+        if f <= f0 + c1 * alpha * g0 {
+            return Some((alpha, f));
+        }
+        alpha *= 0.5;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    fn quadratic() -> impl Objective {
+        FnObjective::new(
+            1,
+            |x: &[f64]| (x[0] - 2.0).powi(2),
+            |x: &[f64], g: &mut [f64]| g[0] = 2.0 * (x[0] - 2.0),
+        )
+    }
+
+    #[test]
+    fn wolfe_conditions_hold_on_quadratic() {
+        let obj = quadratic();
+        let x = [0.0];
+        let d = [1.0]; // descent: slope at 0 is -4
+        let f0 = obj.value(&x);
+        let g0 = -4.0;
+        let params = WolfeParams::default();
+        let res = strong_wolfe(&obj, &x, &d, f0, g0, &params).expect("line search");
+        // Sufficient decrease.
+        assert!(res.value <= f0 + params.c1 * res.alpha * g0);
+        // Curvature.
+        let slope = res.gradient[0] * d[0];
+        assert!(slope.abs() <= -params.c2 * g0 + 1e-12);
+    }
+
+    #[test]
+    fn rejects_ascent_direction() {
+        let obj = quadratic();
+        assert!(strong_wolfe(&obj, &[0.0], &[-1.0], 4.0, 4.0, &WolfeParams::default()).is_none());
+    }
+
+    #[test]
+    fn backtracking_finds_decrease() {
+        let obj = quadratic();
+        let (alpha, f) = backtracking(&obj, &[0.0], &[1.0], 4.0, -4.0, 1e-4, 40).unwrap();
+        assert!(alpha > 0.0);
+        assert!(f < 4.0);
+    }
+
+    #[test]
+    fn backtracking_rejects_ascent() {
+        let obj = quadratic();
+        assert!(backtracking(&obj, &[0.0], &[-1.0], 4.0, 4.0, 1e-4, 40).is_none());
+    }
+
+    #[test]
+    fn wolfe_on_quartic_with_far_minimum() {
+        // Minimum at x = 10; unit initial step must expand.
+        let obj = FnObjective::new(
+            1,
+            |x: &[f64]| (x[0] - 10.0).powi(4),
+            |x: &[f64], g: &mut [f64]| g[0] = 4.0 * (x[0] - 10.0).powi(3),
+        );
+        let f0 = obj.value(&[0.0]);
+        let g0 = -4000.0;
+        let res = strong_wolfe(&obj, &[0.0], &[1.0], f0, g0, &WolfeParams::default()).unwrap();
+        assert!(res.value < f0);
+        assert!(res.alpha > 0.0);
+    }
+}

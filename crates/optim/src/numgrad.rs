@@ -1,0 +1,129 @@
+//! Central-difference gradients and the gradient checker.
+//!
+//! Every analytic gradient in this workspace (iFair, LFR, logistic
+//! regression) is validated against these finite differences in tests, which
+//! is the standard defence against silent sign/indexing errors in
+//! hand-derived backpropagation.
+
+use crate::problem::Objective;
+
+/// Central-difference gradient of `f` at `x` with per-coordinate step
+/// `h_i = step * max(1, |x_i|)`.
+pub fn central_difference<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], step: f64) -> Vec<f64> {
+    let mut grad = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let h = step * x[i].abs().max(1.0);
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f(&xp);
+        xp[i] = orig - h;
+        let fm = f(&xp);
+        xp[i] = orig;
+        grad[i] = (fp - fm) / (2.0 * h);
+    }
+    grad
+}
+
+/// Report from [`check_gradient`].
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest relative error across coordinates.
+    pub max_rel_error: f64,
+    /// Coordinate attaining the largest relative error.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst coordinate.
+    pub analytic: f64,
+    /// Numeric gradient at the worst coordinate.
+    pub numeric: f64,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradient agrees with finite differences up to
+    /// `tol` in relative error.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Compares the analytic gradient of `objective` at `x` against central
+/// differences with step `step`.
+///
+/// Relative error per coordinate is
+/// `|g_a - g_n| / max(1, |g_a|, |g_n|)` — absolute near zero, relative for
+/// large entries.
+pub fn check_gradient<O: Objective + ?Sized>(
+    objective: &O,
+    x: &[f64],
+    step: f64,
+) -> GradCheckReport {
+    let mut analytic = vec![0.0; x.len()];
+    objective.gradient(x, &mut analytic);
+    let numeric = central_difference(|p| objective.value(p), x, step);
+    let mut max_rel = 0.0;
+    let mut worst = 0;
+    for i in 0..x.len() {
+        let denom = analytic[i].abs().max(numeric[i].abs()).max(1.0);
+        let rel = (analytic[i] - numeric[i]).abs() / denom;
+        if rel > max_rel {
+            max_rel = rel;
+            worst = i;
+        }
+    }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        worst_index: worst,
+        analytic: analytic[worst],
+        numeric: numeric[worst],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    #[test]
+    fn central_difference_on_polynomial() {
+        let g = central_difference(|x| x[0].powi(3) + 2.0 * x[1], &[2.0, 5.0], 1e-6);
+        assert!((g[0] - 12.0).abs() < 1e-5);
+        assert!((g[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn check_gradient_accepts_correct_gradient() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x[0].exp() + x[0] * x[1],
+            |x: &[f64], g: &mut [f64]| {
+                g[0] = x[0].exp() + x[1];
+                g[1] = x[0];
+            },
+        );
+        let report = check_gradient(&obj, &[0.3, -1.2], 1e-6);
+        assert!(report.passes(1e-6), "report: {report:?}");
+    }
+
+    #[test]
+    fn check_gradient_rejects_wrong_gradient() {
+        let obj = FnObjective::new(
+            1,
+            |x: &[f64]| x[0] * x[0],
+            |x: &[f64], g: &mut [f64]| g[0] = 3.0 * x[0], // wrong: should be 2x
+        );
+        let report = check_gradient(&obj, &[1.0], 1e-6);
+        assert!(!report.passes(1e-3));
+        assert_eq!(report.worst_index, 0);
+    }
+
+    #[test]
+    fn relative_error_is_absolute_near_zero() {
+        let obj = FnObjective::new(
+            1,
+            |_x: &[f64]| 0.0,
+            |_x: &[f64], g: &mut [f64]| g[0] = 1e-9,
+        );
+        let report = check_gradient(&obj, &[0.0], 1e-6);
+        assert!(report.passes(1e-6));
+    }
+}

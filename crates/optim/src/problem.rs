@@ -1,0 +1,201 @@
+//! The optimization problem trait and result types.
+
+use serde::{Deserialize, Serialize};
+
+/// A smooth objective function with an analytic gradient.
+///
+/// Implementors provide `value` and `gradient`; `value_and_gradient` has a
+/// default implementation that calls both but should be overridden when the
+/// two share expensive intermediate state (as the iFair objective does).
+pub trait Objective {
+    /// Number of optimization variables.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `x`.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Writes the gradient at `x` into `grad` (length `dim()`).
+    fn gradient(&self, x: &[f64], grad: &mut [f64]);
+
+    /// Computes value and gradient together.
+    fn value_and_gradient(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        self.gradient(x, grad);
+        self.value(x)
+    }
+}
+
+/// Adapter turning a pair of closures into an [`Objective`].
+pub struct FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+{
+    dim: usize,
+    value: V,
+    gradient: G,
+}
+
+impl<V, G> FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+{
+    /// Wraps `value` and `gradient` closures over `dim` variables.
+    pub fn new(dim: usize, value: V, gradient: G) -> Self {
+        FnObjective {
+            dim,
+            value,
+            gradient,
+        }
+    }
+}
+
+impl<V, G> Objective for FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        (self.value)(x)
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        (self.gradient)(x, grad);
+    }
+}
+
+/// Wraps a value-only function with central-difference gradients.
+///
+/// This mirrors the reference iFair implementation, which ran scipy's
+/// L-BFGS-B with `approx_grad=True`. It costs `2 * dim` function evaluations
+/// per gradient, so the analytic path should be preferred outside tests.
+pub struct NumericalObjective<V: Fn(&[f64]) -> f64> {
+    dim: usize,
+    value: V,
+    step: f64,
+}
+
+impl<V: Fn(&[f64]) -> f64> NumericalObjective<V> {
+    /// Wraps `value` over `dim` variables with the default step size.
+    pub fn new(dim: usize, value: V) -> Self {
+        NumericalObjective {
+            dim,
+            value,
+            step: 1e-6,
+        }
+    }
+
+    /// Overrides the finite-difference step.
+    pub fn with_step(mut self, step: f64) -> Self {
+        self.step = step;
+        self
+    }
+}
+
+impl<V: Fn(&[f64]) -> f64> Objective for NumericalObjective<V> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        (self.value)(x)
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        let mut xp = x.to_vec();
+        for i in 0..self.dim {
+            let h = self.step * x[i].abs().max(1.0);
+            let orig = xp[i];
+            xp[i] = orig + h;
+            let fp = (self.value)(&xp);
+            xp[i] = orig - h;
+            let fm = (self.value)(&xp);
+            xp[i] = orig;
+            grad[i] = (fp - fm) / (2.0 * h);
+        }
+    }
+}
+
+/// Why an optimizer stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// Gradient norm fell below the tolerance.
+    GradientTolerance,
+    /// Relative objective decrease fell below the tolerance.
+    FunctionTolerance,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// The line search could not find an acceptable step (typically means the
+    /// iterate is already near-stationary or the gradient is inconsistent).
+    LineSearchFailed,
+}
+
+/// Outcome of an optimization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Infinity norm of the gradient at `x`.
+    pub grad_norm: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Number of objective/gradient evaluations.
+    pub n_evals: usize,
+    /// Whether a tolerance-based criterion was met.
+    pub converged: bool,
+    /// The stopping reason.
+    pub termination: Termination,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_objective_delegates() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x[0] * x[0] + x[1],
+            |x: &[f64], g: &mut [f64]| {
+                g[0] = 2.0 * x[0];
+                g[1] = 1.0;
+            },
+        );
+        assert_eq!(obj.dim(), 2);
+        assert_eq!(obj.value(&[3.0, 1.0]), 10.0);
+        let mut g = vec![0.0; 2];
+        obj.gradient(&[3.0, 1.0], &mut g);
+        assert_eq!(g, vec![6.0, 1.0]);
+        let v = obj.value_and_gradient(&[1.0, 0.0], &mut g);
+        assert_eq!(v, 1.0);
+        assert_eq!(g, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn numerical_objective_matches_analytic() {
+        let obj = NumericalObjective::new(3, |x: &[f64]| {
+            x[0].powi(2) + 2.0 * x[1].powi(2) + x[0] * x[2]
+        });
+        let x = [1.0, -2.0, 0.5];
+        let mut g = vec![0.0; 3];
+        obj.gradient(&x, &mut g);
+        // Analytic: [2x0 + x2, 4x1, x0]
+        assert!((g[0] - 2.5).abs() < 1e-5);
+        assert!((g[1] + 8.0).abs() < 1e-5);
+        assert!((g[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn numerical_objective_custom_step() {
+        let obj = NumericalObjective::new(1, |x: &[f64]| x[0].powi(2)).with_step(1e-4);
+        let mut g = vec![0.0];
+        obj.gradient(&[3.0], &mut g);
+        assert!((g[0] - 6.0).abs() < 1e-6);
+    }
+}

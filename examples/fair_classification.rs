@@ -1,0 +1,87 @@
+//! Fair classification on a COMPAS-style recidivism dataset: train the same
+//! logistic-regression classifier on raw data, masked data and an iFair-b
+//! representation, and compare utility against individual fairness —
+//! the paper's §V-D experiment in miniature.
+//!
+//! ```sh
+//! cargo run --release --example fair_classification
+//! ```
+
+use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::data::generators::compas::{self, CompasConfig};
+use ifair::data::{train_test_split, StandardScaler};
+use ifair::linalg::Matrix;
+use ifair::metrics::{accuracy, auc, consistency, equal_opportunity, statistical_parity};
+use ifair::models::LogisticRegression;
+
+fn main() {
+    // A small COMPAS-like dataset: 431 one-hot encoded columns, race as the
+    // protected attribute, recidivism as the label.
+    let ds = compas::generate(&CompasConfig {
+        n_records: 900,
+        seed: 42,
+    });
+    println!(
+        "dataset: {} records x {} encoded features, protected = race",
+        ds.n_records(),
+        ds.n_features()
+    );
+
+    let (train_idx, test_idx) = train_test_split(ds.n_records(), 0.6, 1);
+    let train = ds.subset(&train_idx);
+    let test = ds.subset(&test_idx);
+    let scaler = StandardScaler::fit(&train.x);
+    let train = train
+        .with_features(scaler.transform(&train.x))
+        .expect("shape preserved");
+    let test = test
+        .with_features(scaler.transform(&test.x))
+        .expect("shape preserved");
+
+    // iFair-b: protected attribute weights initialized near zero.
+    let config = IFairConfig {
+        k: 30,
+        lambda: 10.0,
+        mu: 1.0,
+        init: InitStrategy::NearZeroProtected,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 4000 },
+        max_iters: 80,
+        n_restarts: 2,
+        seed: 42,
+        ..Default::default()
+    };
+    println!("fitting iFair (K=30, λ=10, μ=1) ...");
+    let ifair = IFair::fit(&train.x, &train.protected, &config).expect("training succeeds");
+
+    let evaluate = |label: &str, train_x: &Matrix, test_x: &Matrix| {
+        let clf = LogisticRegression::fit_default(train_x, train.labels());
+        let proba = clf.predict_proba(test_x);
+        let preds: Vec<f64> = proba
+            .iter()
+            .map(|&p| if p > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let y = test.labels();
+        println!(
+            "{label:<12} acc={:.2}  auc={:.2}  yNN={:.2}  parity={:.2}  eqopp={:.2}",
+            accuracy(y, &preds),
+            auc(y, &proba),
+            // yNN neighbourhoods live in the original (masked) space.
+            consistency(&test.masked_x(), &preds, 10),
+            statistical_parity(&preds, &test.group),
+            equal_opportunity(y, &preds, &test.group),
+        );
+    };
+
+    println!("\nmethod       test metrics");
+    evaluate("full data", &train.x, &test.x);
+    evaluate("masked", &train.masked_x(), &test.masked_x());
+    evaluate(
+        "iFair-b",
+        &ifair.transform(&train.x),
+        &ifair.transform(&test.x),
+    );
+    println!(
+        "\nexpected shape: iFair trades a few points of accuracy for a \
+         substantially more consistent (individually fairer) classifier."
+    );
+}

@@ -1,0 +1,23 @@
+//! # iFair — individually fair data representations (ICDE 2019 reproduction)
+//!
+//! This facade crate re-exports the full public API of the workspace:
+//!
+//! * [`core`] — the iFair model itself ([`core::IFair`]),
+//! * [`data`] — dataset containers, encoders, scalers, splits and the five
+//!   paper-dataset simulators,
+//! * [`models`] — logistic regression, ridge regression and k-NN,
+//! * [`metrics`] — utility, ranking and fairness metrics (yNN, parity,
+//!   equality of opportunity, Kendall's tau, MAP, ...),
+//! * [`baselines`] — LFR (Zemel et al. 2013), FA\*IR (Zehlike et al. 2017)
+//!   and SVD representations,
+//! * [`optim`] / [`linalg`] — the numerical substrates.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use ifair_baselines as baselines;
+pub use ifair_core as core;
+pub use ifair_data as data;
+pub use ifair_linalg as linalg;
+pub use ifair_metrics as metrics;
+pub use ifair_models as models;
+pub use ifair_optim as optim;

@@ -1,0 +1,131 @@
+//! Cross-crate behaviour of the baselines against iFair on shared data:
+//! the §IV findings (protected-flip invariance, LFR's parity-vs-utility
+//! tension) asserted end to end on the synthetic study generator.
+
+use ifair::baselines::{Lfr, LfrConfig, SvdRepresentation};
+use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::data::generators::synthetic::{self, SyntheticConfig, SyntheticVariant};
+use ifair::data::Dataset;
+use ifair::linalg::Matrix;
+
+fn study(variant: SyntheticVariant) -> Dataset {
+    synthetic::generate(&SyntheticConfig {
+        n_records: 100,
+        variant,
+        seed: 33,
+    })
+}
+
+fn flip_protected(ds: &Dataset) -> (Matrix, Vec<u8>) {
+    let mut x = ds.x.clone();
+    let a = ds.protected_indices()[0];
+    for i in 0..x.rows() {
+        let v = x.get(i, a);
+        x.set(i, a, 1.0 - v);
+    }
+    let group = ds.group.iter().map(|&g| 1 - g).collect();
+    (x, group)
+}
+
+fn mean_drift(a: &Matrix, b: &Matrix) -> f64 {
+    let d = a.sub(b).unwrap();
+    (0..d.rows())
+        .map(|i| d.row(i).iter().map(|v| v * v).sum::<f64>().sqrt())
+        .sum::<f64>()
+        / d.rows() as f64
+}
+
+#[test]
+fn ifair_representations_ignore_the_protected_bit() {
+    // §IV finding (i): flipping A barely moves iFair representations.
+    let ds = study(SyntheticVariant::Random);
+    let config = IFairConfig {
+        k: 4,
+        lambda: 1.0,
+        mu: 1.0,
+        init: InitStrategy::NearZeroProtected,
+        freeze_protected_alpha: true,
+        fairness_pairs: FairnessPairs::Exact,
+        max_iters: 60,
+        n_restarts: 2,
+        seed: 9,
+        ..Default::default()
+    };
+    let model = IFair::fit(&ds.x, &ds.protected, &config).unwrap();
+    let (flipped, _) = flip_protected(&ds);
+    let drift = mean_drift(&model.transform(&ds.x), &model.transform(&flipped));
+    assert!(drift < 0.05, "iFair drift {drift} too large");
+}
+
+#[test]
+fn lfr_representations_depend_on_the_protected_group() {
+    // §IV finding (ii): LFR's group-specific machinery makes its output move
+    // when the group flips — the contrast that motivates iFair.
+    let ds = study(SyntheticVariant::Random);
+    let config = LfrConfig {
+        k: 4,
+        a_x: 1.0,
+        a_y: 1.0,
+        a_z: 10.0,
+        max_iters: 60,
+        n_restarts: 2,
+        seed: 9,
+        ..Default::default()
+    };
+    let model = Lfr::fit(&ds.x, ds.labels(), &ds.group, &config).unwrap();
+    let (flipped, flipped_group) = flip_protected(&ds);
+    let ifair_like_drift = mean_drift(
+        &model.transform(&ds.x, &ds.group),
+        &model.transform(&flipped, &flipped_group),
+    );
+    assert!(
+        ifair_like_drift > 0.01,
+        "LFR drift {ifair_like_drift} unexpectedly tiny"
+    );
+}
+
+#[test]
+fn svd_keeps_protected_correlated_structure() {
+    // When A is correlated with X1, a full-rank-ish SVD representation keeps
+    // that correlation — masking columns is not obtainable by truncation.
+    let ds = study(SyntheticVariant::CorrelatedX1);
+    let svd = SvdRepresentation::fit(&ds.x, 2).unwrap();
+    let repr = svd.transform(&ds.x);
+    // Correlation between the first component and the group indicator.
+    let comp: Vec<f64> = (0..repr.rows()).map(|i| repr.get(i, 0)).collect();
+    let group: Vec<f64> = ds.group.iter().map(|&g| f64::from(g)).collect();
+    let corr = correlation(&comp, &group).abs();
+    assert!(
+        corr > 0.2,
+        "leading SVD component lost all group correlation ({corr})"
+    );
+}
+
+#[test]
+fn all_three_variants_share_nonsensitive_features() {
+    // The §IV setup promises identical X1, X2, Y across the variants.
+    let a = study(SyntheticVariant::Random);
+    let b = study(SyntheticVariant::CorrelatedX1);
+    let c = study(SyntheticVariant::CorrelatedX2);
+    for i in 0..a.n_records() {
+        for j in 0..2 {
+            assert_eq!(a.x.get(i, j), b.x.get(i, j));
+            assert_eq!(a.x.get(i, j), c.x.get(i, j));
+        }
+    }
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(a.labels(), c.labels());
+    assert_ne!(b.group, c.group, "variants must differ in group assignment");
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let (ma, mb) = (
+        a.iter().sum::<f64>() / n,
+        b.iter().sum::<f64>() / n,
+    );
+    let cov: f64 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|&x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|&y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}

@@ -1,0 +1,145 @@
+//! End-to-end classification pipeline: generate → scale → split → learn
+//! representation → train classifier → measure utility and fairness.
+//! Mirrors the §V-D experiment at test scale and asserts the paper's
+//! directional findings on seeded data.
+
+use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::data::generators::credit::{self, CreditConfig};
+use ifair::data::{train_test_split, Dataset, StandardScaler};
+use ifair::linalg::Matrix;
+use ifair::metrics::{accuracy, auc, consistency, statistical_parity};
+use ifair::models::LogisticRegression;
+
+struct Pipeline {
+    train: Dataset,
+    test: Dataset,
+}
+
+fn prepared() -> Pipeline {
+    let ds = credit::generate(&CreditConfig {
+        n_records: 400,
+        seed: 11,
+    });
+    let (train_idx, test_idx) = train_test_split(ds.n_records(), 0.6, 3);
+    let train = ds.subset(&train_idx);
+    let test = ds.subset(&test_idx);
+    let scaler = StandardScaler::fit(&train.x);
+    Pipeline {
+        train: train
+            .clone()
+            .with_features(scaler.transform(&train.x))
+            .unwrap(),
+        test: test
+            .clone()
+            .with_features(scaler.transform(&test.x))
+            .unwrap(),
+    }
+}
+
+fn quick_ifair(p: &Pipeline, mu: f64) -> IFair {
+    let config = IFairConfig {
+        k: 8,
+        lambda: 1.0,
+        mu,
+        init: InitStrategy::NearZeroProtected,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 2000 },
+        max_iters: 60,
+        n_restarts: 2,
+        seed: 5,
+        ..Default::default()
+    };
+    IFair::fit(&p.train.x, &p.train.protected, &config).expect("training succeeds")
+}
+
+fn classifier_metrics(p: &Pipeline, train_x: &Matrix, test_x: &Matrix) -> (f64, f64, f64, f64) {
+    let clf = LogisticRegression::fit_default(train_x, p.train.labels());
+    let proba = clf.predict_proba(test_x);
+    let preds: Vec<f64> = proba
+        .iter()
+        .map(|&pr| if pr > 0.5 { 1.0 } else { 0.0 })
+        .collect();
+    (
+        accuracy(p.test.labels(), &preds),
+        auc(p.test.labels(), &proba),
+        consistency(&p.test.masked_x(), &preds, 10),
+        statistical_parity(&preds, &p.test.group),
+    )
+}
+
+#[test]
+fn full_pipeline_beats_chance_on_utility() {
+    let p = prepared();
+    let (acc, auc_v, _, _) = classifier_metrics(&p, &p.train.x, &p.test.x);
+    assert!(acc > 0.55, "accuracy {acc} barely above chance");
+    assert!(auc_v > 0.55, "AUC {auc_v} barely above chance");
+}
+
+#[test]
+fn ifair_representation_feeds_a_working_classifier() {
+    let p = prepared();
+    let model = quick_ifair(&p, 1.0);
+    let (acc, _, ynn, _) = classifier_metrics(
+        &p,
+        &model.transform(&p.train.x),
+        &model.transform(&p.test.x),
+    );
+    assert!(acc > 0.5, "accuracy {acc} collapsed");
+    assert!(ynn > 0.5, "consistency {ynn} collapsed");
+}
+
+#[test]
+fn ifair_improves_consistency_over_full_data() {
+    let p = prepared();
+    let (_, _, ynn_full, _) = classifier_metrics(&p, &p.train.x, &p.test.x);
+    let model = quick_ifair(&p, 10.0);
+    let (_, _, ynn_fair, _) = classifier_metrics(
+        &p,
+        &model.transform(&p.train.x),
+        &model.transform(&p.test.x),
+    );
+    assert!(
+        ynn_fair >= ynn_full,
+        "iFair yNN {ynn_fair} below full-data yNN {ynn_full}"
+    );
+}
+
+#[test]
+fn stronger_mu_does_not_hurt_consistency() {
+    let p = prepared();
+    let weak = quick_ifair(&p, 0.1);
+    let strong = quick_ifair(&p, 10.0);
+    let (_, _, ynn_weak, _) =
+        classifier_metrics(&p, &weak.transform(&p.train.x), &weak.transform(&p.test.x));
+    let (_, _, ynn_strong, _) = classifier_metrics(
+        &p,
+        &strong.transform(&p.train.x),
+        &strong.transform(&p.test.x),
+    );
+    assert!(
+        ynn_strong + 0.05 >= ynn_weak,
+        "µ=10 yNN {ynn_strong} much worse than µ=0.1 yNN {ynn_weak}"
+    );
+}
+
+#[test]
+fn transform_is_deterministic_across_calls() {
+    let p = prepared();
+    let model = quick_ifair(&p, 1.0);
+    assert_eq!(model.transform(&p.test.x), model.transform(&p.test.x));
+}
+
+#[test]
+fn scaler_statistics_transfer_to_test_split() {
+    // The pipeline must scale test data with *training* statistics; spot
+    // check that training columns are standardized while test columns are
+    // merely finite (not re-standardized).
+    let p = prepared();
+    let means = p.train.x.col_means();
+    let numeric_cols: Vec<usize> = (0..p.train.n_features())
+        .filter(|&j| p.train.x.col_stds()[j] > 0.0)
+        .collect();
+    for &j in numeric_cols.iter().take(5) {
+        assert!(means[j].abs() < 1e-9, "train col {j} mean {}", means[j]);
+    }
+    assert!(p.test.x.as_slice().iter().all(|v| v.is_finite()));
+}

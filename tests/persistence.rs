@@ -1,0 +1,83 @@
+//! Model and dataset persistence across crate boundaries: JSON round-trips
+//! must reproduce bit-identical behaviour (training is expensive; downstream
+//! users serialize the representation model, not the data).
+
+use ifair::core::{FairnessPairs, IFair, IFairConfig};
+use ifair::data::generators::credit::{self, CreditConfig};
+use ifair::data::Dataset;
+use ifair::linalg::Matrix;
+
+fn trained_model() -> (IFair, Dataset) {
+    let ds = credit::generate(&CreditConfig {
+        n_records: 150,
+        seed: 2,
+    });
+    let config = IFairConfig {
+        k: 5,
+        max_iters: 40,
+        n_restarts: 1,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 1000 },
+        seed: 2,
+        ..Default::default()
+    };
+    let model = IFair::fit(&ds.x, &ds.protected, &config).unwrap();
+    (model, ds)
+}
+
+#[test]
+fn model_json_roundtrip_is_bit_identical() {
+    let (model, ds) = trained_model();
+    let restored = IFair::from_json(&model.to_json().unwrap()).unwrap();
+    assert_eq!(model.transform(&ds.x), restored.transform(&ds.x));
+    assert_eq!(model.alpha(), restored.alpha());
+    assert_eq!(model.prototypes(), restored.prototypes());
+    assert_eq!(
+        model.report().best().loss,
+        restored.report().best().loss
+    );
+}
+
+#[test]
+fn model_survives_file_persistence() {
+    let (model, ds) = trained_model();
+    let dir = std::env::temp_dir().join("ifair-persistence-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    std::fs::write(&path, model.to_json().unwrap()).unwrap();
+    let restored = IFair::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(model.transform(&ds.x), restored.transform(&ds.x));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dataset_serde_roundtrip() {
+    let (_, ds) = trained_model();
+    let json = serde_json::to_string(&ds).unwrap();
+    let back: Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.x, ds.x);
+    assert_eq!(back.protected, ds.protected);
+    assert_eq!(back.group, ds.group);
+    assert_eq!(back.labels(), ds.labels());
+}
+
+#[test]
+fn matrix_serde_roundtrip_exact_floats() {
+    // Depends on serde_json's float_roundtrip feature; guard it explicitly
+    // because model persistence silently degrades without it.
+    let m = Matrix::from_rows(vec![
+        vec![0.1 + 0.2, 1e-308, -0.0],
+        vec![f64::MAX, f64::MIN_POSITIVE, 0.123_456_789_012_345_68],
+    ])
+    .unwrap();
+    let back: Matrix = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(m, back);
+}
+
+#[test]
+fn corrupted_model_json_is_rejected() {
+    let (model, _) = trained_model();
+    let json = model.to_json().unwrap();
+    assert!(IFair::from_json(&json[..json.len() / 2]).is_err());
+    assert!(IFair::from_json("{}").is_err());
+    assert!(IFair::from_json("").is_err());
+}

@@ -1,0 +1,157 @@
+//! Property-based tests over the public API: invariants that must hold for
+//! *arbitrary* (not hand-picked) data, via proptest.
+
+use ifair::baselines::{fail_probability, minimum_protected_table, rerank, FairConfig};
+use ifair::core::{FairnessPairs, IFair, IFairConfig};
+use ifair::linalg::Matrix;
+use ifair::metrics::{kendall_tau, ranking_from_scores, statistical_parity};
+use proptest::prelude::*;
+
+/// Small random data matrices with one protected trailing column.
+fn data_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-2.0..2.0f64, 4),
+        6..20,
+    )
+}
+
+fn quick_config(seed: u64) -> IFairConfig {
+    IFairConfig {
+        k: 3,
+        max_iters: 15,
+        n_restarts: 1,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 40 },
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ifair_responsibilities_always_form_distributions(
+        rows in data_strategy(), seed in 0u64..1000
+    ) {
+        let x = Matrix::from_rows(rows).unwrap();
+        let protected = vec![false, false, false, true];
+        let model = IFair::fit(&x, &protected, &quick_config(seed)).unwrap();
+        let (xt, u) = model.transform_with_probabilities(&x);
+        for i in 0..u.rows() {
+            let s: f64 = u.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "row {} sums to {}", i, s);
+            prop_assert!(u.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        prop_assert!(xt.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ifair_transform_stays_in_prototype_hull(
+        rows in data_strategy(), seed in 0u64..1000
+    ) {
+        // x̃ is a convex combination of prototypes, so every coordinate lies
+        // within the prototypes' coordinate-wise range.
+        let x = Matrix::from_rows(rows).unwrap();
+        let protected = vec![false, false, false, true];
+        let model = IFair::fit(&x, &protected, &quick_config(seed)).unwrap();
+        let xt = model.transform(&x);
+        let v = model.prototypes();
+        for j in 0..xt.cols() {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for k in 0..v.rows() {
+                lo = lo.min(v.get(k, j));
+                hi = hi.max(v.get(k, j));
+            }
+            for i in 0..xt.rows() {
+                prop_assert!(
+                    xt.get(i, j) >= lo - 1e-9 && xt.get(i, j) <= hi + 1e-9,
+                    "({}, {}) = {} outside hull [{}, {}]",
+                    i, j, xt.get(i, j), lo, hi
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mtable_monotone_and_feasible(
+        k in 1usize..60,
+        p in 0.05f64..0.95,
+        alpha in 0.01f64..0.3,
+    ) {
+        let t = minimum_protected_table(k, p, alpha);
+        prop_assert_eq!(t.len(), k);
+        // Monotone non-decreasing, never requiring more than the prefix length.
+        for (i, w) in t.windows(2).enumerate() {
+            prop_assert!(w[0] <= w[1]);
+            prop_assert!(w[1] <= i + 2);
+        }
+        // A fair process fails the corrected table with probability <= alpha
+        // after adjustment; with the raw table the failure probability is
+        // finite and in [0, 1].
+        let f = fail_probability(&t, p);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn rerank_emits_each_candidate_once(
+        scores in proptest::collection::vec(0.0f64..1.0, 5..40),
+        p in 0.1f64..0.9,
+        bits in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let protected: Vec<u8> = bits.iter().take(scores.len()).map(|&b| b as u8).collect();
+        let k = scores.len();
+        let result = rerank(&scores, &protected, k, &FairConfig {
+            p,
+            alpha: 0.1,
+            adjust_alpha: false,
+        });
+        let mut seen = result.order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), result.order.len(), "duplicate candidates");
+        prop_assert_eq!(result.order.len(), k);
+        prop_assert_eq!(result.fair_scores.len(), k);
+        prop_assert!(result.fair_scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn kendall_tau_is_antisymmetric_and_bounded(
+        scores in proptest::collection::vec(-10.0f64..10.0, 3..30),
+    ) {
+        let reversed: Vec<f64> = scores.iter().map(|&s| -s).collect();
+        let t_fwd = kendall_tau(&scores, &scores);
+        let t_rev = kendall_tau(&scores, &reversed);
+        prop_assert!((-1.0..=1.0).contains(&t_fwd));
+        prop_assert!((t_fwd + t_rev).abs() < 1e-9, "τ(x,x) = -τ(x,-x) violated");
+    }
+
+    #[test]
+    fn ranking_from_scores_is_a_permutation_sorted_desc(
+        scores in proptest::collection::vec(-5.0f64..5.0, 1..50),
+    ) {
+        let order = ranking_from_scores(&scores);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..scores.len()).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(scores[w[0]] >= scores[w[1]]);
+        }
+    }
+
+    #[test]
+    fn statistical_parity_bounded_and_symmetric(
+        preds in proptest::collection::vec(0.0f64..1.0, 4..40),
+        bits in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let group: Vec<u8> = bits.iter().take(preds.len()).map(|&b| b as u8).collect();
+        let parity = statistical_parity(&preds, &group);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&parity));
+        // Swapping group labels leaves the absolute gap unchanged.
+        let swapped: Vec<u8> = group.iter().map(|&g| 1 - g).collect();
+        prop_assert!((parity - statistical_parity(&preds, &swapped)).abs() < 1e-12);
+    }
+}

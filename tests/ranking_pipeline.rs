@@ -1,0 +1,160 @@
+//! End-to-end learning-to-rank pipeline (§V-E at test scale): deserved
+//! scores from the Xing simulator, ridge-regression ranking on different
+//! representations, FA\*IR post-processing, and the paper's directional
+//! claims asserted on seeded data.
+
+use ifair::baselines::{minimum_protected_table, rerank, satisfies, FairConfig};
+use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::data::generators::xing::{self, XingConfig};
+use ifair::data::{RankingDataset, StandardScaler};
+use ifair::metrics::{consistency, kendall_tau, protected_share_top_k, ranking_from_scores};
+use ifair::models::RidgeRegression;
+
+fn prepared() -> RankingDataset {
+    let rds = xing::generate(&XingConfig {
+        n_queries: 10,
+        seed: 21,
+    });
+    let (_, x) = StandardScaler::fit_transform(&rds.data.x);
+    let data = rds.data.with_features(x).unwrap();
+    RankingDataset::new(data, rds.queries).unwrap()
+}
+
+fn mean_query_kt(rds: &RankingDataset, predicted: &[f64]) -> f64 {
+    let scores = rds.data.labels();
+    rds.queries
+        .iter()
+        .map(|q| {
+            let pred: Vec<f64> = q.indices.iter().map(|&i| predicted[i]).collect();
+            let truth: Vec<f64> = q.indices.iter().map(|&i| scores[i]).collect();
+            kendall_tau(&pred, &truth)
+        })
+        .sum::<f64>()
+        / rds.queries.len() as f64
+}
+
+fn mean_query_ynn(rds: &RankingDataset, predicted: &[f64]) -> f64 {
+    let masked = rds.data.masked_x();
+    rds.queries
+        .iter()
+        .map(|q| {
+            let pred: Vec<f64> = q.indices.iter().map(|&i| predicted[i]).collect();
+            consistency(&masked.select_rows(&q.indices), &pred, 10)
+        })
+        .sum::<f64>()
+        / rds.queries.len() as f64
+}
+
+#[test]
+fn linear_regression_on_full_data_recovers_deserved_ranking() {
+    // The deserved score is linear in the features, so the regression must
+    // reproduce it almost exactly — the paper's Table V MAP = KT = 1.00.
+    let rds = prepared();
+    let model = RidgeRegression::fit(&rds.data.x, rds.data.labels(), 1e-6).unwrap();
+    let kt = mean_query_kt(&rds, &model.predict(&rds.data.x));
+    assert!(kt > 0.95, "KT {kt}");
+}
+
+#[test]
+fn ifair_scores_are_more_consistent_than_masked_scores() {
+    let rds = prepared();
+    let masked = rds.data.masked_x();
+    let masked_model = RidgeRegression::fit(&masked, rds.data.labels(), 1e-6).unwrap();
+    let ynn_masked = mean_query_ynn(&rds, &masked_model.predict(&masked));
+
+    let config = IFairConfig {
+        k: 8,
+        lambda: 0.1,
+        mu: 0.1,
+        init: InitStrategy::NearZeroProtected,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 3000 },
+        max_iters: 60,
+        n_restarts: 2,
+        seed: 13,
+        ..Default::default()
+    };
+    let model = IFair::fit(&rds.data.x, &rds.data.protected, &config).unwrap();
+    let repr = model.transform(&rds.data.x);
+    let reg = RidgeRegression::fit(&repr, rds.data.labels(), 1e-6).unwrap();
+    let ynn_fair = mean_query_ynn(&rds, &reg.predict(&repr));
+    assert!(
+        ynn_fair > ynn_masked,
+        "iFair yNN {ynn_fair} <= masked yNN {ynn_masked}"
+    );
+}
+
+#[test]
+fn fair_rerank_satisfies_group_constraint_on_every_query() {
+    let rds = prepared();
+    let scores = rds.data.labels();
+    let config = FairConfig {
+        p: 0.5,
+        alpha: 0.1,
+        adjust_alpha: false,
+    };
+    let mtable_for = |k: usize| minimum_protected_table(k, config.p, config.alpha);
+    for q in &rds.queries {
+        let pred: Vec<f64> = q.indices.iter().map(|&i| scores[i]).collect();
+        let group: Vec<u8> = q.indices.iter().map(|&i| rds.data.group[i]).collect();
+        let fair = rerank(&pred, &group, q.indices.len(), &config);
+        if fair.feasible {
+            let flags: Vec<bool> = fair.order.iter().map(|&i| group[i] == 1).collect();
+            assert!(
+                satisfies(&flags, &mtable_for(fair.order.len())),
+                "query {} violates ranked group fairness",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn fair_rerank_with_high_p_lifts_protected_share() {
+    let rds = prepared();
+    let scores = rds.data.labels();
+    let mut base_share = 0.0;
+    let mut fair_share = 0.0;
+    for q in &rds.queries {
+        let pred: Vec<f64> = q.indices.iter().map(|&i| scores[i]).collect();
+        let group: Vec<u8> = q.indices.iter().map(|&i| rds.data.group[i]).collect();
+        base_share += protected_share_top_k(&ranking_from_scores(&pred), &group, 10);
+        let fair = rerank(
+            &pred,
+            &group,
+            q.indices.len(),
+            &FairConfig {
+                p: 0.9,
+                alpha: 0.1,
+                adjust_alpha: false,
+            },
+        );
+        fair_share += protected_share_top_k(&fair.order, &group, 10);
+    }
+    assert!(
+        fair_share > base_share,
+        "re-ranking did not raise protected share ({fair_share} vs {base_share})"
+    );
+}
+
+#[test]
+fn representation_reuse_across_queries() {
+    // Application-agnostic property: one iFair model serves every query —
+    // transforming the concatenation equals transforming per query.
+    let rds = prepared();
+    let config = IFairConfig {
+        k: 4,
+        max_iters: 30,
+        n_restarts: 1,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
+        seed: 3,
+        ..Default::default()
+    };
+    let model = IFair::fit(&rds.data.x, &rds.data.protected, &config).unwrap();
+    let all = model.transform(&rds.data.x);
+    for q in rds.queries.iter().take(3) {
+        let per_query = model.transform(&rds.data.x.select_rows(&q.indices));
+        for (row, &i) in q.indices.iter().enumerate() {
+            assert_eq!(per_query.row(row), all.row(i));
+        }
+    }
+}
