@@ -120,7 +120,10 @@ impl Lfr {
             return Err(format!("y has length {} but X has {m} rows", y.len()));
         }
         if group.len() != m {
-            return Err(format!("group has length {} but X has {m} rows", group.len()));
+            return Err(format!(
+                "group has length {} but X has {m} rows",
+                group.len()
+            ));
         }
         if y.iter().any(|&v| v != 0.0 && v != 1.0) {
             return Err("labels must be binary 0/1".into());
@@ -275,7 +278,10 @@ impl<'a> LfrObjective<'a> {
         let mut b = Vec::with_capacity(self.dim());
         b.extend(std::iter::repeat_n((0.0, f64::INFINITY), 2 * self.n));
         b.extend(std::iter::repeat_n((0.0, 1.0), self.k));
-        b.extend(std::iter::repeat_n((f64::NEG_INFINITY, f64::INFINITY), self.k * self.n));
+        b.extend(std::iter::repeat_n(
+            (f64::NEG_INFINITY, f64::INFINITY),
+            self.k * self.n,
+        ));
         b
     }
 
@@ -588,7 +594,12 @@ mod tests {
     #[test]
     fn analytic_gradient_matches_finite_differences() {
         let (x, y, group) = biased_data();
-        for (a_x, a_y, a_z) in [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (1.0, 0.5, 0.0), (0.01, 1.0, 2.0)] {
+        for (a_x, a_y, a_z) in [
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (1.0, 0.5, 0.0),
+            (0.01, 1.0, 2.0),
+        ] {
             let config = LfrConfig {
                 a_x,
                 a_y,

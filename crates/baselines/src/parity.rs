@@ -50,9 +50,7 @@ impl ParityThresholds {
                 return Err(format!("target rate must be in [0,1], got {r}"));
             }
             Some(r) => r,
-            None => {
-                scores.iter().filter(|&&s| s > 0.5).count() as f64 / scores.len() as f64
-            }
+            None => scores.iter().filter(|&&s| s > 0.5).count() as f64 / scores.len() as f64,
         };
         let of_group = |g: u8| -> Vec<f64> {
             scores

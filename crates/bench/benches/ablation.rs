@@ -2,8 +2,10 @@
 //! fairness-pair policy (exact vs anchored vs subsampled), the optimizer
 //! (L-BFGS vs Adam vs plain GD on the identical objective), the Minkowski
 //! exponent, and the fairness-distance variant.
+//!
+//! Run with `cargo bench -p ifair-bench --bench ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifair_bench::timing::{bench, table_header};
 use ifair_core::{FairnessDistance, FairnessPairs, IFair, IFairConfig, IFairObjective};
 use ifair_linalg::Matrix;
 use ifair_optim::{Adam, AdamConfig, GradientDescent, Lbfgs, LbfgsConfig, Objective};
@@ -31,29 +33,30 @@ fn base_config() -> IFairConfig {
 
 /// Exact O(M²) pairs vs the anchored and subsampled approximations the
 /// paper alludes to ("we avoid the quadratic number of comparisons").
-fn bench_fairness_pairs(c: &mut Criterion) {
+fn bench_fairness_pairs() {
     let (x, protected) = data(150, 10);
-    let mut group = c.benchmark_group("ablation/fairness_pairs_m150");
-    group.sample_size(10);
+    table_header("fairness-pair policy, M = 150");
     for (label, pairs) in [
         ("exact", FairnessPairs::Exact),
         ("anchored20", FairnessPairs::Anchored { n_anchors: 20 }),
-        ("subsampled1000", FairnessPairs::Subsampled { n_pairs: 1000 }),
+        (
+            "subsampled1000",
+            FairnessPairs::Subsampled { n_pairs: 1000 },
+        ),
     ] {
         let config = IFairConfig {
             fairness_pairs: pairs,
             ..base_config()
         };
-        group.bench_function(label, |b| {
-            b.iter(|| IFair::fit(black_box(&x), &protected, &config).unwrap());
+        bench(&format!("fit/{label}"), 1, 5, || {
+            IFair::fit(black_box(&x), &protected, &config).unwrap()
         });
     }
-    group.finish();
 }
 
 /// The same objective minimized by the paper's L-BFGS vs first-order
 /// alternatives, at a fixed 30-iteration budget.
-fn bench_optimizers(c: &mut Criterion) {
+fn bench_optimizers() {
     let (x, protected) = data(80, 10);
     let config = IFairConfig {
         fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
@@ -63,40 +66,38 @@ fn bench_optimizers(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let theta0: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
 
-    let mut group = c.benchmark_group("ablation/optimizer_30iters");
-    group.sample_size(10);
-    group.bench_function("lbfgs", |b| {
-        let opt = Lbfgs::new(LbfgsConfig {
-            max_iters: 30,
-            grad_tol: 0.0,
-            f_tol: 0.0,
-            ..Default::default()
-        });
-        b.iter(|| opt.minimize(&obj, black_box(theta0.clone())));
+    table_header("optimizer at a 30-iteration budget");
+    let lbfgs = Lbfgs::new(LbfgsConfig {
+        max_iters: 30,
+        grad_tol: 0.0,
+        f_tol: 0.0,
+        ..Default::default()
     });
-    group.bench_function("adam", |b| {
-        let opt = Adam::new(AdamConfig {
-            max_iters: 30,
-            grad_tol: 0.0,
-            ..Default::default()
-        });
-        b.iter(|| opt.minimize(&obj, black_box(theta0.clone())));
+    bench("lbfgs", 1, 5, || {
+        lbfgs.minimize(&obj, black_box(theta0.clone()))
     });
-    group.bench_function("gradient_descent", |b| {
-        let opt = GradientDescent {
-            max_iters: 30,
-            grad_tol: 0.0,
-        };
-        b.iter(|| opt.minimize(&obj, black_box(theta0.clone())));
+    let adam = Adam::new(AdamConfig {
+        max_iters: 30,
+        grad_tol: 0.0,
+        ..Default::default()
     });
-    group.finish();
+    bench("adam", 1, 5, || {
+        adam.minimize(&obj, black_box(theta0.clone()))
+    });
+    let gd = GradientDescent {
+        max_iters: 30,
+        grad_tol: 0.0,
+    };
+    bench("gradient_descent", 1, 5, || {
+        gd.minimize(&obj, black_box(theta0.clone()))
+    });
 }
 
 /// Objective evaluation cost across Minkowski exponents (p = 2 has a fast
 /// path; p ≠ 2 pays `powf`).
-fn bench_minkowski_p(c: &mut Criterion) {
+fn bench_minkowski_p() {
     let (x, protected) = data(100, 12);
-    let mut group = c.benchmark_group("ablation/minkowski_p");
+    table_header("Minkowski exponent, M = 100, exact pairs");
     for p in [1.0, 2.0, 3.0] {
         let config = IFairConfig {
             p,
@@ -107,17 +108,16 @@ fn bench_minkowski_p(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(5);
         let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
         let mut grad = vec![0.0; obj.dim()];
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| obj.value_and_gradient(black_box(&theta), &mut grad));
+        bench(&format!("value_and_gradient/p{p}"), 2, 10, || {
+            obj.value_and_gradient(black_box(&theta), &mut grad)
         });
     }
-    group.finish();
 }
 
 /// Unweighted Euclidean vs learned weighted metric inside the fairness loss.
-fn bench_fairness_distance(c: &mut Criterion) {
+fn bench_fairness_distance() {
     let (x, protected) = data(100, 12);
-    let mut group = c.benchmark_group("ablation/fairness_distance");
+    table_header("fairness distance, M = 100, exact pairs");
     for (label, fd) in [
         ("unweighted", FairnessDistance::Unweighted),
         ("weighted", FairnessDistance::Weighted),
@@ -131,18 +131,16 @@ fn bench_fairness_distance(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(6);
         let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.0..1.0)).collect();
         let mut grad = vec![0.0; obj.dim()];
-        group.bench_function(label, |b| {
-            b.iter(|| obj.value_and_gradient(black_box(&theta), &mut grad));
+        bench(&format!("value_and_gradient/{label}"), 2, 10, || {
+            obj.value_and_gradient(black_box(&theta), &mut grad)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fairness_pairs,
-    bench_optimizers,
-    bench_minkowski_p,
-    bench_fairness_distance
-);
-criterion_main!(benches);
+fn main() {
+    println!("# ablation benchmarks");
+    bench_fairness_pairs();
+    bench_optimizers();
+    bench_minkowski_p();
+    bench_fairness_distance();
+}

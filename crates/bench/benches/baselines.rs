@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks for the baseline implementations: SVD,
-//! FA\*IR's table construction and re-ranking, LFR training, and the
-//! downstream predictive models.
+//! Micro-benchmarks for the baseline implementations: SVD, FA\*IR's table
+//! construction and re-ranking, LFR training, and the downstream predictive
+//! models.
+//!
+//! Run with `cargo bench -p ifair-bench --bench baselines`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ifair_baselines::{adjusted_alpha, minimum_protected_table, rerank, FairConfig, Lfr, LfrConfig, SvdRepresentation};
+use ifair_baselines::{
+    adjusted_alpha, minimum_protected_table, rerank, FairConfig, Lfr, LfrConfig, SvdRepresentation,
+};
+use ifair_bench::timing::{bench, table_header};
 use ifair_linalg::{Matrix, Svd};
 use ifair_models::{LogisticRegression, RidgeRegression};
 use rand::rngs::StdRng;
@@ -15,35 +19,37 @@ fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
     Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0))
 }
 
-fn bench_svd(c: &mut Criterion) {
+fn bench_svd() {
     let x = random_matrix(120, 30, 3);
-    c.bench_function("svd/decompose_120x30", |b| {
-        b.iter(|| Svd::decompose(black_box(&x)).unwrap());
+    table_header("SVD");
+    bench("svd/decompose_120x30", 1, 5, || {
+        Svd::decompose(black_box(&x)).unwrap()
     });
     let repr = SvdRepresentation::fit(&x, 10).unwrap();
     let big = random_matrix(2000, 30, 4);
-    c.bench_function("svd/transform_2000x30_k10", |b| {
-        b.iter(|| repr.transform(black_box(&big)));
+    bench("svd/transform_2000x30_k10", 1, 5, || {
+        repr.transform(black_box(&big))
     });
 }
 
-fn bench_fair(c: &mut Criterion) {
-    c.bench_function("fair/mtable_k100", |b| {
-        b.iter(|| minimum_protected_table(black_box(100), 0.5, 0.1));
+fn bench_fair() {
+    table_header("FA*IR");
+    bench("fair/mtable_k100", 2, 20, || {
+        minimum_protected_table(black_box(100), 0.5, 0.1)
     });
-    c.bench_function("fair/adjusted_alpha_k40", |b| {
-        b.iter(|| adjusted_alpha(black_box(40), 0.5, 0.1));
+    bench("fair/adjusted_alpha_k40", 1, 5, || {
+        adjusted_alpha(black_box(40), 0.5, 0.1)
     });
     let mut rng = StdRng::seed_from_u64(9);
     let scores: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
     let protected: Vec<u8> = (0..500).map(|_| u8::from(rng.gen_bool(0.4))).collect();
     let config = FairConfig::default();
-    c.bench_function("fair/rerank_500_top100", |b| {
-        b.iter(|| rerank(black_box(&scores), &protected, 100, &config));
+    bench("fair/rerank_500_top100", 2, 20, || {
+        rerank(black_box(&scores), &protected, 100, &config)
     });
 }
 
-fn bench_lfr(c: &mut Criterion) {
+fn bench_lfr() {
     let x = random_matrix(100, 10, 5);
     let mut rng = StdRng::seed_from_u64(6);
     let y: Vec<f64> = (0..100).map(|_| f64::from(rng.gen_bool(0.5))).collect();
@@ -54,29 +60,30 @@ fn bench_lfr(c: &mut Criterion) {
         n_restarts: 1,
         ..Default::default()
     };
-    let mut bench = c.benchmark_group("lfr");
-    bench.sample_size(10);
-    bench.bench_function("fit_100x10_k5", |b| {
-        b.iter(|| Lfr::fit(black_box(&x), &y, &group, &config).unwrap());
+    table_header("LFR");
+    bench("lfr/fit_100x10_k5", 1, 5, || {
+        Lfr::fit(black_box(&x), &y, &group, &config).unwrap()
     });
-    bench.finish();
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models() {
     let x = random_matrix(300, 20, 7);
     let mut rng = StdRng::seed_from_u64(8);
     let y_cls: Vec<f64> = (0..300).map(|_| f64::from(rng.gen_bool(0.5))).collect();
     let y_reg: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let mut group = c.benchmark_group("models");
-    group.sample_size(20);
-    group.bench_function("logreg_fit_300x20", |b| {
-        b.iter(|| LogisticRegression::fit_default(black_box(&x), &y_cls));
+    table_header("predictive models");
+    bench("logreg_fit_300x20", 1, 10, || {
+        LogisticRegression::fit_default(black_box(&x), &y_cls)
     });
-    group.bench_function("ridge_fit_300x20", |b| {
-        b.iter(|| RidgeRegression::fit(black_box(&x), &y_reg, 1e-6).unwrap());
+    bench("ridge_fit_300x20", 1, 10, || {
+        RidgeRegression::fit(black_box(&x), &y_reg, 1e-6).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_svd, bench_fair, bench_lfr, bench_models);
-criterion_main!(benches);
+fn main() {
+    println!("# baseline benchmarks");
+    bench_svd();
+    bench_fair();
+    bench_lfr();
+    bench_models();
+}

@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks: iFair training and transform scaling in the
-//! three problem dimensions (records M, attributes N, prototypes K).
+//! Micro-benchmarks: iFair training and transform scaling in the three
+//! problem dimensions (records M, attributes N, prototypes K).
+//!
+//! Run with `cargo bench -p ifair-bench --bench ifair_fit`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifair_bench::timing::{bench, table_header};
 use ifair_core::{FairnessPairs, IFair, IFairConfig};
 use ifair_linalg::Matrix;
 use rand::rngs::StdRng;
@@ -27,56 +29,50 @@ fn fit_config(k: usize) -> IFairConfig {
     }
 }
 
-fn bench_fit_scaling_m(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ifair_fit/records");
-    group.sample_size(10);
+fn bench_fit_scaling_m() {
+    table_header("fit scaling in records M (N = 10, K = 5)");
     for m in [50usize, 100, 200] {
         let (x, protected) = random_data(m, 10, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| IFair::fit(black_box(&x), &protected, &fit_config(5)).unwrap());
+        bench(&format!("fit/m{m}"), 1, 5, || {
+            IFair::fit(black_box(&x), &protected, &fit_config(5)).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_fit_scaling_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ifair_fit/attributes");
-    group.sample_size(10);
+fn bench_fit_scaling_n() {
+    table_header("fit scaling in attributes N (M = 100, K = 5)");
     for n in [5usize, 20, 50] {
         let (x, protected) = random_data(100, n, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| IFair::fit(black_box(&x), &protected, &fit_config(5)).unwrap());
+        bench(&format!("fit/n{n}"), 1, 5, || {
+            IFair::fit(black_box(&x), &protected, &fit_config(5)).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_fit_scaling_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ifair_fit/prototypes");
-    group.sample_size(10);
+fn bench_fit_scaling_k() {
+    table_header("fit scaling in prototypes K (M = 100, N = 10)");
     let (x, protected) = random_data(100, 10, 7);
     for k in [2usize, 5, 10, 20] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| IFair::fit(black_box(&x), &protected, &fit_config(k)).unwrap());
+        bench(&format!("fit/k{k}"), 1, 5, || {
+            IFair::fit(black_box(&x), &protected, &fit_config(k)).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_transform_throughput(c: &mut Criterion) {
+fn bench_transform_throughput() {
     let (x, protected) = random_data(100, 20, 7);
     let model = IFair::fit(&x, &protected, &fit_config(10)).unwrap();
     let (big, _) = random_data(2000, 20, 9);
-    c.bench_function("ifair_transform/2000x20", |b| {
-        b.iter(|| model.transform(black_box(&big)));
+    table_header("transform throughput");
+    bench("transform/2000x20", 1, 10, || {
+        model.transform(black_box(&big))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fit_scaling_m,
-    bench_fit_scaling_n,
-    bench_fit_scaling_k,
-    bench_transform_throughput
-);
-criterion_main!(benches);
+fn main() {
+    println!("# iFair fit benchmarks");
+    bench_fit_scaling_m();
+    bench_fit_scaling_n();
+    bench_fit_scaling_k();
+    bench_transform_throughput();
+}

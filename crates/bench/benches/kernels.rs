@@ -1,9 +1,15 @@
-//! Criterion micro-benchmarks for the numerical kernels: distances, the
-//! iFair objective (value vs analytic value-and-gradient vs finite
-//! differences), and the metric computations that dominate evaluation.
+//! Micro-benchmarks for the numerical kernels: distances, the iFair
+//! objective (value vs analytic value-and-gradient vs finite differences),
+//! the metric kernels — and, the headline, the serial vs parallel pairwise
+//! `L_fair` kernel on N = 2000 records (1 999 000 fairness pairs).
+//!
+//! Run with `cargo bench -p ifair-bench --bench kernels`. Thread counts for
+//! the parallel section default to {1, 2, 4, all hardware threads} and can
+//! be overridden via `IFAIR_BENCH_THREADS=1,2,8`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifair_bench::timing::{bench, table_header};
 use ifair_core::distance::{weighted_minkowski, weighted_power_sum};
+use ifair_core::par::available_threads;
 use ifair_core::{FairnessPairs, IFairConfig, IFairObjective};
 use ifair_linalg::Matrix;
 use ifair_metrics::{auc, consistency, kendall_tau};
@@ -17,23 +23,22 @@ fn random_vec(n: usize, seed: u64) -> Vec<f64> {
     (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
 }
 
-fn bench_distance_kernels(c: &mut Criterion) {
+fn bench_distance_kernels() {
     let x = random_vec(100, 1);
     let y = random_vec(100, 2);
     let alpha: Vec<f64> = random_vec(100, 3).iter().map(|v| v.abs()).collect();
-    let mut group = c.benchmark_group("distance/n100");
+    table_header("distance kernels, n = 100");
     for p in [1.0, 2.0, 3.0] {
-        group.bench_with_input(BenchmarkId::new("minkowski", p), &p, |b, &p| {
-            b.iter(|| weighted_minkowski(black_box(&x), &y, &alpha, p));
+        bench(&format!("minkowski/p{p}"), 20, 200, || {
+            weighted_minkowski(black_box(&x), &y, &alpha, p)
         });
     }
-    group.bench_function("power_sum_p2", |b| {
-        b.iter(|| weighted_power_sum(black_box(&x), &y, &alpha, 2.0));
+    bench("power_sum/p2", 20, 200, || {
+        weighted_power_sum(black_box(&x), &y, &alpha, 2.0)
     });
-    group.finish();
 }
 
-fn bench_objective(c: &mut Criterion) {
+fn bench_objective() {
     let mut rng = StdRng::seed_from_u64(5);
     let x = Matrix::from_fn(80, 12, |_, _| rng.gen_range(0.0..1.0));
     let mut protected = vec![false; 12];
@@ -41,55 +46,114 @@ fn bench_objective(c: &mut Criterion) {
     let config = IFairConfig {
         k: 8,
         fairness_pairs: FairnessPairs::Exact,
+        n_threads: 1,
         ..Default::default()
     };
     let obj = IFairObjective::new(&x, &protected, &config);
-    let theta = random_vec(obj.dim(), 11).iter().map(|v| v.abs()).collect::<Vec<_>>();
+    let theta: Vec<f64> = random_vec(obj.dim(), 11).iter().map(|v| v.abs()).collect();
     let mut grad = vec![0.0; obj.dim()];
 
-    let mut group = c.benchmark_group("objective/m80_n12_k8");
-    group.sample_size(20);
-    group.bench_function("value", |b| {
-        b.iter(|| obj.value(black_box(&theta)));
-    });
-    group.bench_function("value_and_gradient_analytic", |b| {
-        b.iter(|| obj.value_and_gradient(black_box(&theta), &mut grad));
+    table_header("objective, M=80 N=12 K=8, exact pairs");
+    bench("value", 5, 20, || obj.value(black_box(&theta)));
+    bench("value_and_gradient/analytic", 5, 20, || {
+        obj.value_and_gradient(black_box(&theta), &mut grad)
     });
     // The reference implementation's approach: central differences cost
     // 2·dim evaluations per gradient.
-    group.sample_size(10);
-    group.bench_function("gradient_finite_difference", |b| {
-        let numeric = NumericalObjective::new(obj.dim(), |t| obj.value(t));
-        b.iter(|| numeric.gradient(black_box(&theta), &mut grad));
+    let numeric = NumericalObjective::new(obj.dim(), |t| obj.value(t));
+    bench("gradient/finite_difference", 1, 5, || {
+        numeric.gradient(black_box(&theta), &mut grad);
+        grad[0]
     });
-    group.finish();
 }
 
-fn bench_metric_kernels(c: &mut Criterion) {
+/// The acceptance benchmark: serial vs parallel `L_fair` at N = 2000.
+fn bench_pairwise_lfair() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (m, n) = (2000usize, 10usize);
+    let x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0));
+    let mut protected = vec![false; n];
+    protected[n - 1] = true;
+    let config = IFairConfig {
+        k: 8,
+        fairness_pairs: FairnessPairs::Exact,
+        ..Default::default()
+    };
+
+    let mut thread_counts: Vec<usize> = match std::env::var("IFAIR_BENCH_THREADS") {
+        Ok(list) => {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            if parsed.is_empty() {
+                eprintln!("warning: unusable IFAIR_BENCH_THREADS={list:?}; using defaults");
+            }
+            parsed
+        }
+        Err(_) => Vec::new(),
+    };
+    if thread_counts.is_empty() {
+        thread_counts = vec![1usize, 2, 4, available_threads()];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+    }
+
+    table_header(&format!(
+        "pairwise L_fair, N = {m} ({} pairs), {} hardware threads",
+        m * (m - 1) / 2,
+        available_threads()
+    ));
+
+    let mut serial_mean = None;
+    for &threads in &thread_counts {
+        let obj = IFairObjective::new(&x, &protected, &config).with_threads(threads.max(1));
+        let theta: Vec<f64> = random_vec(obj.dim(), 11).iter().map(|v| v.abs()).collect();
+        let mut grad = vec![0.0; obj.dim()];
+        let label = if threads <= 1 { "serial" } else { "parallel" };
+        let m = bench(
+            &format!("value_and_gradient/{label}/threads{threads}"),
+            1,
+            5,
+            || obj.value_and_gradient(black_box(&theta), &mut grad),
+        );
+        if threads <= 1 {
+            serial_mean = Some(m.mean);
+        } else if let Some(serial) = serial_mean {
+            println!(
+                "    speedup vs serial at {threads} threads: {:.2}x",
+                serial.as_secs_f64() / m.mean.as_secs_f64()
+            );
+        }
+    }
+}
+
+fn bench_metric_kernels() {
     let mut rng = StdRng::seed_from_u64(17);
     let labels: Vec<f64> = (0..1000).map(|_| f64::from(rng.gen_bool(0.4))).collect();
     let scores: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
-    c.bench_function("metrics/auc_n1000", |b| {
-        b.iter(|| auc(black_box(&labels), black_box(&scores)));
-    });
-
     let a = random_vec(200, 31);
     let b_scores = random_vec(200, 32);
-    c.bench_function("metrics/kendall_tau_n200", |b| {
-        b.iter(|| kendall_tau(black_box(&a), black_box(&b_scores)));
-    });
-
     let x = Matrix::from_fn(200, 20, |_, _| rng.gen_range(0.0..1.0));
     let preds: Vec<f64> = (0..200).map(|_| f64::from(rng.gen_bool(0.5))).collect();
-    c.bench_function("metrics/consistency_200x20_k10", |b| {
-        b.iter(|| consistency(black_box(&x), black_box(&preds), 10));
+
+    table_header("metric kernels");
+    bench("auc/n1000", 5, 50, || {
+        auc(black_box(&labels), black_box(&scores))
+    });
+    bench("kendall_tau/n200", 5, 50, || {
+        kendall_tau(black_box(&a), black_box(&b_scores))
+    });
+    bench("consistency_yNN/200x20/k10", 2, 10, || {
+        consistency(black_box(&x), black_box(&preds), 10)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_distance_kernels,
-    bench_objective,
-    bench_metric_kernels
-);
-criterion_main!(benches);
+fn main() {
+    println!("# kernel micro-benchmarks");
+    bench_distance_kernels();
+    bench_objective();
+    bench_pairwise_lfair();
+    bench_metric_kernels();
+}

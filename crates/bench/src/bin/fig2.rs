@@ -9,9 +9,9 @@
 //! the classifier, exactly as in the paper. The 2-D coordinates of every
 //! learned representation go to `results/fig2.json` for plotting.
 
+use ifair_baselines::{Lfr, LfrConfig};
 use ifair_bench::report::{f2, f3, write_json, MarkdownTable};
 use ifair_bench::ExpArgs;
-use ifair_baselines::{Lfr, LfrConfig};
 use ifair_core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
 use ifair_data::generators::synthetic::{self, SyntheticConfig, SyntheticVariant};
 use ifair_data::Dataset;
@@ -104,7 +104,13 @@ fn main() {
         let flipped_ds = flipped(&ds);
         println!("## A: {}\n", variant.label());
         let mut table = MarkdownTable::new([
-            "Method", "Params", "Acc", "yNN", "Parity", "EqOpp", "Flip drift",
+            "Method",
+            "Params",
+            "Acc",
+            "yNN",
+            "Parity",
+            "EqOpp",
+            "Flip drift",
         ]);
 
         // Original data panel (left column of the figure).

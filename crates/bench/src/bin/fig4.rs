@@ -5,12 +5,12 @@
 //!
 //! Lower is better; the majority-class share is the floor.
 
+use ifair_baselines::{Lfr, LfrConfig};
 use ifair_bench::report::{f2, write_json, MarkdownTable};
 use ifair_bench::{datasets, ExpArgs};
-use ifair_baselines::{Lfr, LfrConfig};
 use ifair_core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
 use ifair_data::{Dataset, StandardScaler};
-use ifair_models::{adversarial_accuracy, adversarial::majority_share};
+use ifair_models::{adversarial::majority_share, adversarial_accuracy};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -79,13 +79,8 @@ fn main() {
         tasks.push((name, rds.data, false));
     }
 
-    let mut table = MarkdownTable::new([
-        "Dataset",
-        "Majority floor",
-        "Masked Data",
-        "LFR",
-        "iFair-b",
-    ]);
+    let mut table =
+        MarkdownTable::new(["Dataset", "Majority floor", "Masked Data", "LFR", "iFair-b"]);
     let mut rows = Vec::new();
     for (name, ds, has_labels) in tasks {
         eprintln!("[fig4] {name}...");

@@ -6,12 +6,12 @@
 //! whatever protected share the application requires while keeping the
 //! individual-fairness (yNN) property of the learned representation.
 
+use ifair_baselines::FairConfig;
 use ifair_bench::ranking::{
     apply_rank_repr, eval_fair_rerank, eval_ranking, predict_scores, prepare_ranking, RankRepr,
 };
 use ifair_bench::report::{f2, write_json, MarkdownTable};
 use ifair_bench::{datasets, ExpArgs};
-use ifair_baselines::FairConfig;
 use ifair_core::{FairnessPairs, IFairConfig, InitStrategy};
 use serde::Serialize;
 
@@ -60,8 +60,7 @@ fn main() {
             ..base_config.clone()
         };
         let p = prepare_ranking(&rds, &name, fit_cap, args.seed);
-        let repr =
-            apply_rank_repr(&p, &RankRepr::IFair(config)).expect("iFair fits");
+        let repr = apply_rank_repr(&p, &RankRepr::IFair(config)).expect("iFair fits");
         let predicted = predict_scores(&p, &repr).expect("regression fits");
         let base = eval_ranking(&p, &predicted);
         println!(
@@ -70,8 +69,7 @@ fn main() {
             f2(base.pct_protected_top10),
             f2(base.ynn)
         );
-        let mut table =
-            MarkdownTable::new(["p", "MAP", "% Protected in top 10", "yNN"]);
+        let mut table = MarkdownTable::new(["p", "MAP", "% Protected in top 10", "yNN"]);
         for step in 1..=9 {
             let fp = step as f64 / 10.0;
             let m = eval_fair_rerank(

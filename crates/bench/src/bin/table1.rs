@@ -47,11 +47,7 @@ fn main() {
     };
     let (work_col, edu_col) = (col("work_experience"), col("education_experience"));
 
-    let scores: Vec<f64> = query
-        .indices
-        .iter()
-        .map(|&i| data.labels()[i])
-        .collect();
+    let scores: Vec<f64> = query.indices.iter().map(|&i| data.labels()[i]).collect();
     let order = ranking_from_scores(&scores);
 
     let mut table = MarkdownTable::new([
@@ -94,8 +90,11 @@ fn main() {
     let prepared = prepare_ranking(&rds, "Xing", if args.full { 1000 } else { 250 }, args.seed);
     let raw = eval_ranking(
         &prepared,
-        &predict_scores(&prepared, &apply_rank_repr(&prepared, &RankRepr::Masked).unwrap())
-            .unwrap(),
+        &predict_scores(
+            &prepared,
+            &apply_rank_repr(&prepared, &RankRepr::Masked).unwrap(),
+        )
+        .unwrap(),
     );
     let config = IFairConfig {
         k: 10,

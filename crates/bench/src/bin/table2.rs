@@ -25,9 +25,23 @@ fn main() {
 
     // Paper rows: (name, base-rate prot, base-rate unprot, N, M, outcome, protected).
     let paper = [
-        ("Compas", Some((0.52, 0.40)), 6901, 431, "recidivism", "race"),
+        (
+            "Compas",
+            Some((0.52, 0.40)),
+            6901,
+            431,
+            "recidivism",
+            "race",
+        ),
         ("Census", Some((0.12, 0.31)), 48842, 101, "income", "gender"),
-        ("Credit", Some((0.67, 0.72)), 1000, 67, "loan default", "age"),
+        (
+            "Credit",
+            Some((0.67, 0.72)),
+            1000,
+            67,
+            "loan default",
+            "age",
+        ),
         ("Xing", None, 2240, 59, "work + education", "gender"),
         ("Airbnb", None, 27597, 33, "rating/price", "gender"),
     ];

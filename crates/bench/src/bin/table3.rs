@@ -3,8 +3,8 @@
 //! criteria, plus the Full Data baseline, on Compas, Census and Credit.
 
 use ifair_bench::classification::{
-    eval_classification, grid_search_ifair, grid_search_lfr, prepare_classification,
-    repr_identity, select_best, ClsMetrics, GridSpec, PrepareCaps, Tuning,
+    eval_classification, grid_search_ifair, grid_search_lfr, prepare_classification, repr_identity,
+    select_best, ClsMetrics, GridSpec, PrepareCaps, Tuning,
 };
 use ifair_bench::report::{f2, write_json, MarkdownTable};
 use ifair_bench::{datasets, ExpArgs};
@@ -75,9 +75,8 @@ fn main() {
         let ifair_b = grid_search_ifair(&p, InitStrategy::NearZeroProtected, &spec, args.seed);
 
         println!("## {name}\n");
-        let mut table = MarkdownTable::new([
-            "Tuning", "Method", "Acc", "AUC", "EqOpp", "Parity", "yNN",
-        ]);
+        let mut table =
+            MarkdownTable::new(["Tuning", "Method", "Acc", "AUC", "EqOpp", "Parity", "yNN"]);
         push_row(
             &mut rows,
             &mut table,

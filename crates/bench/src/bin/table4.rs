@@ -101,8 +101,7 @@ fn main() {
         ));
         let base_rate = deserved_protected_share(&rds);
         let p = prepare_ranking(&rds, "Xing", fit_cap, args.seed);
-        let repr =
-            apply_rank_repr(&p, &RankRepr::IFair(config.clone())).expect("iFair fits");
+        let repr = apply_rank_repr(&p, &RankRepr::IFair(config.clone())).expect("iFair fits");
         let m = eval_ranking(&p, &predict_scores(&p, &repr).expect("regression fits"));
         table.row([
             f2(w_work),

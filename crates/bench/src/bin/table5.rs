@@ -6,6 +6,7 @@
 //! `(λ, μ, K)` cell with the best harmonic mean of MAP and yNN. FA\*IR runs
 //! at the paper's `p` values (0.5/0.9 on Xing, 0.5/0.6 on Airbnb).
 
+use ifair_baselines::FairConfig;
 use ifair_bench::classification::GridSpec;
 use ifair_bench::exec::parallel_map;
 use ifair_bench::ranking::{
@@ -14,7 +15,6 @@ use ifair_bench::ranking::{
 };
 use ifair_bench::report::{f2, write_json, MarkdownTable};
 use ifair_bench::{datasets, ExpArgs};
-use ifair_baselines::FairConfig;
 use ifair_core::{IFairConfig, InitStrategy};
 use ifair_metrics::harmonic_mean;
 use serde::Serialize;
@@ -77,10 +77,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for (name, rds) in datasets::ranking_datasets(args.full, args.seed) {
         let p = prepare_ranking(&rds, &name, fit_cap, args.seed);
-        println!(
-            "## {name} ({} queries)\n",
-            p.queries.len()
-        );
+        println!("## {name} ({} queries)\n", p.queries.len());
         let mut table = MarkdownTable::new([
             "Method",
             "MAP (AP@10)",
@@ -125,7 +122,11 @@ fn main() {
             &apply_rank_repr(&p, &RankRepr::Masked).expect("masked repr"),
         )
         .expect("regression fits");
-        let fair_ps: &[f64] = if name == "Xing" { &[0.5, 0.9] } else { &[0.5, 0.6] };
+        let fair_ps: &[f64] = if name == "Xing" {
+            &[0.5, 0.9]
+        } else {
+            &[0.5, 0.6]
+        };
         for &fp in fair_ps {
             let m = eval_fair_rerank(
                 &p,

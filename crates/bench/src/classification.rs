@@ -95,9 +95,14 @@ pub fn prepare_classification(
         caps.fit_cap,
     ));
 
-    let val_neighbors = k_nearest_all(&val.masked_x(), YNN_K.min(val.n_records().saturating_sub(1)));
-    let test_neighbors =
-        k_nearest_all(&test.masked_x(), YNN_K.min(test.n_records().saturating_sub(1)));
+    let val_neighbors = k_nearest_all(
+        &val.masked_x(),
+        YNN_K.min(val.n_records().saturating_sub(1)),
+    );
+    let test_neighbors = k_nearest_all(
+        &test.masked_x(),
+        YNN_K.min(test.n_records().saturating_sub(1)),
+    );
     PreparedData {
         name: name.to_string(),
         train,
@@ -432,8 +437,18 @@ pub fn run_all_methods(p: &PreparedData, spec: &GridSpec, seed: u64) -> Vec<Grid
         }
     }
     out.extend(grid_search_lfr(p, spec, seed));
-    out.extend(grid_search_ifair(p, InitStrategy::RandomUniform, spec, seed));
-    out.extend(grid_search_ifair(p, InitStrategy::NearZeroProtected, spec, seed));
+    out.extend(grid_search_ifair(
+        p,
+        InitStrategy::RandomUniform,
+        spec,
+        seed,
+    ));
+    out.extend(grid_search_ifair(
+        p,
+        InitStrategy::NearZeroProtected,
+        spec,
+        seed,
+    ));
     out
 }
 

@@ -38,10 +38,7 @@ pub fn ranking_datasets(full: bool, seed: u64) -> Vec<(String, RankingDataset)> 
         n_records: if full { 27597 } else { 3000 },
         seed,
     });
-    vec![
-        ("Xing".to_string(), xing),
-        ("Airbnb".to_string(), airbnb),
-    ]
+    vec![("Xing".to_string(), xing), ("Airbnb".to_string(), airbnb)]
 }
 
 #[cfg(test)]

@@ -1,53 +1,13 @@
 //! Order-preserving parallel map over independent experiment jobs.
 //!
 //! Grid searches dominate the experiment wall-clock and their cells are
-//! embarrassingly parallel; this helper fans them out over
-//! `available_parallelism` threads with crossbeam's scoped threads (no
-//! `'static` bound on the closure, so jobs can borrow the prepared data).
-//! On single-core machines it degrades to a plain sequential map.
+//! embarrassingly parallel. The actual worker pool lives in
+//! [`ifair_core::par`] — the same scoped-thread machinery that powers the
+//! pairwise `L_fair` kernel — so the bench crate re-exports it instead of
+//! maintaining a private copy. On single-core machines it degrades to a
+//! plain sequential map.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Applies `f` to every item, in parallel, preserving input order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if n_threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let n = items.len();
-    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let item = jobs[idx].lock().take().expect("each job taken once");
-                *results[idx].lock() = Some(f(item));
-            });
-        }
-    })
-    .expect("worker threads must not panic");
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every job completed"))
-        .collect()
-}
+pub use ifair_core::par::{available_threads, parallel_map};
 
 #[cfg(test)]
 mod tests {
@@ -71,5 +31,10 @@ mod tests {
         let base = vec![10, 20, 30];
         let out = parallel_map(vec![0usize, 1, 2], |i| base[i]);
         assert_eq!(out, base);
+    }
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(available_threads() >= 1);
     }
 }

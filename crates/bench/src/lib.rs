@@ -18,7 +18,8 @@
 //! Each binary prints the paper's rows as Markdown and writes raw JSON to
 //! `results/`. The default *quick* mode shrinks grids and record counts so a
 //! full regeneration is laptop-friendly; `--full` switches to the paper's
-//! configuration. Criterion micro-benchmarks live in `benches/`.
+//! configuration. Micro-benchmarks (on the [`timing`] harness) live in
+//! `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +30,7 @@ pub mod datasets;
 pub mod exec;
 pub mod ranking;
 pub mod report;
+pub mod timing;
 
 pub use args::ExpArgs;
 pub use report::MarkdownTable;

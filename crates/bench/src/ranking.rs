@@ -59,10 +59,7 @@ pub fn prepare_ranking(
     seed: u64,
 ) -> PreparedRanking {
     let (_, x) = StandardScaler::fit_transform(&rds.data.x);
-    let mut data = rds
-        .data
-        .with_features(x)
-        .expect("scaling preserves shape");
+    let mut data = rds.data.with_features(x).expect("scaling preserves shape");
     // Normalize the deserved score to [0, 1] globally so yNN's |ŷ_i − ŷ_j|
     // terms are on the same scale for every method and dataset. (Per-query
     // normalization would be wrong: compressing all similar candidates to
@@ -147,8 +144,7 @@ pub fn apply_rank_repr(p: &PreparedRanking, method: &RankRepr) -> Result<Matrix,
         }
         RankRepr::IFair(config) => {
             let fit = p.data.x.select_rows(&p.fit_idx);
-            let model =
-                IFair::fit(&fit, &p.data.protected, config).map_err(|e| e.to_string())?;
+            let model = IFair::fit(&fit, &p.data.protected, config).map_err(|e| e.to_string())?;
             Ok(model.transform(&p.data.x))
         }
     }

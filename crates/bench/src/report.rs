@@ -81,8 +81,7 @@ pub fn results_dir() -> PathBuf {
         .map(PathBuf::from)
         .unwrap_or_else(|| {
             // CARGO_MANIFEST_DIR = crates/bench; results/ sits two levels up.
-            let manifest = std::env::var("CARGO_MANIFEST_DIR")
-                .unwrap_or_else(|_| ".".into());
+            let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
             Path::new(&manifest).join("../../results")
         });
     std::fs::create_dir_all(&dir).ok();

@@ -1,0 +1,96 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The offline toolchain has no criterion, so the `benches/` targets are
+//! plain `harness = false` binaries built on this module: warm up, run a
+//! fixed number of timed iterations, report min / median / mean. Results are
+//! printed as a Markdown table so bench output can be pasted into PRs.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark row.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label, e.g. `l_fair/serial/n2000`.
+    pub name: String,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+/// Times `f` for `iters` iterations after `warmup` untimed runs.
+///
+/// The closure's return value is passed through [`std::hint::black_box`], so
+/// benched expressions are not optimized away; return the value you compute.
+pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> Measurement {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let m = Measurement {
+        name: name.to_string(),
+        min,
+        median,
+        mean,
+    };
+    println!(
+        "| {} | {} | {} | {} |",
+        m.name,
+        fmt_duration(m.min),
+        fmt_duration(m.median),
+        fmt_duration(m.mean)
+    );
+    m
+}
+
+/// Prints the Markdown table header matching [`bench`] rows.
+pub fn table_header(title: &str) {
+    println!("\n### {title}\n");
+    println!("| benchmark | min | median | mean |");
+    println!("|-----------|-----|--------|------|");
+}
+
+/// Human-readable duration (ns / µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let m = bench("noop", 1, 5, || 1 + 1);
+        assert!(m.min <= m.median);
+        assert!(!m.name.is_empty());
+    }
+
+    #[test]
+    fn durations_format_by_scale() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

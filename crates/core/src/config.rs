@@ -98,6 +98,13 @@ pub struct IFairConfig {
     pub grad_tol: f64,
     /// RNG seed for initialization (restart `r` uses `seed + r`).
     pub seed: u64,
+    /// Worker threads of the pairwise `L_fair` kernel: `0` = use all
+    /// hardware threads (the default), `1` = force the serial kernel, other
+    /// values are taken literally (may exceed the core count). The thread
+    /// count only affects speed, never numerics: the kernel's chunk layout
+    /// and reduction order are fixed, so seeded fits are reproducible across
+    /// machines.
+    pub n_threads: usize,
 }
 
 impl Default for IFairConfig {
@@ -117,6 +124,7 @@ impl Default for IFairConfig {
             max_iters: 150,
             grad_tol: 1e-5,
             seed: 42,
+            n_threads: 0,
         }
     }
 }
@@ -146,12 +154,8 @@ impl IFairConfig {
             }
         }
         match self.fairness_pairs {
-            FairnessPairs::Anchored { n_anchors: 0 } => {
-                Err("n_anchors must be at least 1".into())
-            }
-            FairnessPairs::Subsampled { n_pairs: 0 } => {
-                Err("n_pairs must be at least 1".into())
-            }
+            FairnessPairs::Anchored { n_anchors: 0 } => Err("n_anchors must be at least 1".into()),
+            FairnessPairs::Subsampled { n_pairs: 0 } => Err("n_pairs must be at least 1".into()),
             _ => Ok(()),
         }
     }
@@ -169,9 +173,24 @@ mod tests {
     #[test]
     fn rejects_bad_values() {
         let base = IFairConfig::default();
-        assert!(IFairConfig { k: 0, ..base.clone() }.validate().is_err());
-        assert!(IFairConfig { p: 0.5, ..base.clone() }.validate().is_err());
-        assert!(IFairConfig { lambda: -1.0, ..base.clone() }.validate().is_err());
+        assert!(IFairConfig {
+            k: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IFairConfig {
+            p: 0.5,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(IFairConfig {
+            lambda: -1.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
         assert!(IFairConfig {
             lambda: 0.0,
             mu: 0.0,

@@ -52,6 +52,7 @@ pub mod config;
 pub mod distance;
 pub mod model;
 pub mod objective;
+pub mod par;
 
 pub use config::{FairnessDistance, FairnessPairs, IFairConfig, InitStrategy, SoftmaxDistance};
 pub use model::{IFair, IFairError, TrainingReport};

@@ -333,7 +333,10 @@ fn bounds_for(
             bounds.push((lo, hi));
         }
     }
-    bounds.extend(std::iter::repeat_n((f64::NEG_INFINITY, f64::INFINITY), n * k));
+    bounds.extend(std::iter::repeat_n(
+        (f64::NEG_INFINITY, f64::INFINITY),
+        n * k,
+    ));
     Some(bounds)
 }
 
@@ -356,10 +359,7 @@ mod tests {
                 if rng.gen_bool(0.5) { 1.0 } else { 0.0 },
             ]);
         }
-        (
-            Matrix::from_rows(rows).unwrap(),
-            vec![false, false, true],
-        )
+        (Matrix::from_rows(rows).unwrap(), vec![false, false, true])
     }
 
     fn quick_config() -> IFairConfig {

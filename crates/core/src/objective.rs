@@ -26,11 +26,32 @@
 
 use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, SoftmaxDistance};
 use crate::distance;
+use crate::par;
 use ifair_linalg::Matrix;
 use ifair_optim::Objective;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Below this many fairness pairs the parallel kernel falls back to the
+/// serial loop: the pair sweep is then so cheap that scoped-thread spawns
+/// (O(10µs) each, once per L-BFGS iteration) would dominate.
+const PAR_MIN_PAIRS: usize = 512;
+
+/// Target number of fairness pairs per kernel chunk. The chunk layout is a
+/// function of the pair count **only** — never the thread count — and the
+/// per-chunk partials are folded in chunk order, so the loss and gradient
+/// are bit-identical for every `n_threads` setting and on every machine
+/// (seeded experiments stay reproducible; see `fair_chunk_layout`). The
+/// target is kept small so that mid-size pair sets already split into
+/// enough chunks to occupy every core.
+const FAIR_CHUNK_PAIRS: usize = 512;
+
+/// Upper bound on the chunk count, which also bounds the transient memory of
+/// the parallel gradient path (each chunk owns an `M·N + N` accumulator
+/// while its partial is alive).
+const MAX_FAIR_CHUNKS: usize = 64;
 
 /// A record pair entering the fairness loss, with its precomputed target
 /// distance `d(x*_i, x*_j)` on the non-protected attributes.
@@ -59,6 +80,7 @@ pub struct IFairObjective<'a> {
     softmax_distance: SoftmaxDistance,
     fairness_distance: FairnessDistance,
     pairs: Vec<FairPair>,
+    n_threads: usize,
 }
 
 impl<'a> IFairObjective<'a> {
@@ -93,7 +115,21 @@ impl<'a> IFairObjective<'a> {
             softmax_distance: config.softmax_distance,
             fairness_distance: config.fairness_distance,
             pairs,
+            n_threads: par::resolve_threads(config.n_threads),
         }
+    }
+
+    /// Overrides the worker-thread count of the pairwise `L_fair` kernel
+    /// (`0` = all hardware threads). Used by the serial-vs-parallel parity
+    /// tests and the kernel benchmarks.
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = par::resolve_threads(n_threads);
+        self
+    }
+
+    /// The worker-thread count the `L_fair` kernel will use.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
     }
 
     /// The fairness pairs (and target distances) this objective preserves.
@@ -166,17 +202,154 @@ impl<'a> IFairObjective<'a> {
             0.0
         };
         let fair = if self.mu != 0.0 {
-            self.pairs
-                .iter()
-                .map(|pair| {
-                    let e = self.transformed_distance(alpha, state, pair.i, pair.j) - pair.target;
-                    e * e
-                })
-                .sum::<f64>()
+            self.fair_loss(alpha, state)
         } else {
             0.0
         };
         self.lambda * util + self.mu * fair
+    }
+
+    /// The fixed chunk layout of the pair index space. Depends only on the
+    /// pair count, so the summation tree — and therefore every last bit of
+    /// the loss and gradient — is invariant under the thread count and the
+    /// host's core count.
+    fn fair_chunk_layout(&self) -> Vec<Range<usize>> {
+        let n_pairs = self.pairs.len();
+        let n_chunks = n_pairs.div_ceil(FAIR_CHUNK_PAIRS).clamp(1, MAX_FAIR_CHUNKS);
+        par::chunk_ranges(n_pairs, n_chunks)
+    }
+
+    /// Whether the pair sweep is worth fanning out over threads.
+    fn fair_parallel(&self) -> bool {
+        self.n_threads > 1 && self.pairs.len() >= PAR_MIN_PAIRS
+    }
+
+    /// `Σ_{(i,j)} (d(x̃_i, x̃_j) − d(x*_i, x*_j))²` — the raw `L_fair` sum
+    /// (no `μ` factor), parallelized over the fixed pair chunks when the
+    /// pair set is large enough. Partials are folded in chunk order on both
+    /// paths, so serial and parallel results are bit-identical.
+    fn fair_loss(&self, alpha: &[f64], state: &ForwardState) -> f64 {
+        let chunks = self.fair_chunk_layout();
+        let partials: Vec<f64> = if self.fair_parallel() {
+            par::parallel_map_with_threads(chunks, self.n_threads, |range| {
+                self.fair_loss_chunk(alpha, state, range)
+            })
+        } else {
+            chunks
+                .into_iter()
+                .map(|range| self.fair_loss_chunk(alpha, state, range))
+                .collect()
+        };
+        partials.into_iter().sum()
+    }
+
+    /// Serial `L_fair` sum over one contiguous chunk of the pair list.
+    fn fair_loss_chunk(&self, alpha: &[f64], state: &ForwardState, range: Range<usize>) -> f64 {
+        self.pairs[range]
+            .iter()
+            .map(|pair| {
+                let e = self.transformed_distance(alpha, state, pair.i, pair.j) - pair.target;
+                e * e
+            })
+            .sum()
+    }
+
+    /// Fused `L_fair` loss + gradient: returns the raw pair sum and
+    /// accumulates `∂(μ·L_fair)/∂x̃` into `g_xt` (and `∂/∂α` into `g_alpha`
+    /// under the weighted metric).
+    ///
+    /// Every chunk of the fixed layout owns a private `M·N + N` gradient
+    /// accumulator; the partials are folded into `g_xt` / `g_alpha` in chunk
+    /// order on both the serial and the threaded path, so the result is
+    /// bit-identical for every thread count (at most [`MAX_FAIR_CHUNKS`]
+    /// accumulators are alive at once on the threaded path).
+    fn fair_loss_and_grad(
+        &self,
+        alpha: &[f64],
+        state: &ForwardState,
+        g_xt: &mut [f64],
+        g_alpha: &mut [f64],
+    ) -> f64 {
+        let chunks = self.fair_chunk_layout();
+        let (gx_len, ga_len) = (g_xt.len(), g_alpha.len());
+        let chunk_grad = |range: Range<usize>| {
+            let mut gx = vec![0.0; gx_len];
+            let mut ga = vec![0.0; ga_len];
+            let l = self.fair_grad_chunk(alpha, state, range, &mut gx, &mut ga);
+            (l, gx, ga)
+        };
+        let mut loss = 0.0;
+        if self.fair_parallel() {
+            let partials = par::parallel_map_with_threads(chunks, self.n_threads, chunk_grad);
+            for (l, gx, ga) in partials {
+                loss += l;
+                add_assign(g_xt, &gx);
+                add_assign(g_alpha, &ga);
+            }
+        } else {
+            // Same chunked fold as the threaded path (bit-identical), but
+            // with one reused scratch accumulator instead of per-chunk
+            // allocations.
+            let mut gx = vec![0.0; gx_len];
+            let mut ga = vec![0.0; ga_len];
+            for range in chunks {
+                gx.fill(0.0);
+                ga.fill(0.0);
+                loss += self.fair_grad_chunk(alpha, state, range, &mut gx, &mut ga);
+                add_assign(g_xt, &gx);
+                add_assign(g_alpha, &ga);
+            }
+        }
+        loss
+    }
+
+    /// Serial fused loss + gradient over one contiguous chunk of the pair
+    /// list. This is the single source of truth for the per-pair math; the
+    /// parallel path is exactly this function over sub-ranges.
+    fn fair_grad_chunk(
+        &self,
+        alpha: &[f64],
+        state: &ForwardState,
+        range: Range<usize>,
+        g_xt: &mut [f64],
+        g_alpha: &mut [f64],
+    ) -> f64 {
+        let (n, p) = (self.n, self.p);
+        let mut loss = 0.0;
+        for pair in &self.pairs[range] {
+            let d = self.transformed_distance(alpha, state, pair.i, pair.j);
+            let e = d - pair.target;
+            loss += e * e;
+            let coeff = 2.0 * self.mu * e;
+            if coeff == 0.0 || d <= 0.0 {
+                continue;
+            }
+            let (ri, rj) = (pair.i * n, pair.j * n);
+            match self.fairness_distance {
+                FairnessDistance::Unweighted => {
+                    for idx in 0..n {
+                        let delta = state.xt[ri + idx] - state.xt[rj + idx];
+                        let g = coeff * delta / d;
+                        g_xt[ri + idx] += g;
+                        g_xt[rj + idx] -= g;
+                    }
+                }
+                FairnessDistance::Weighted => {
+                    for idx in 0..n {
+                        let a = state.xt[ri + idx];
+                        let b = state.xt[rj + idx];
+                        // ∂d/∂a = -d_wrt_second(a, b) by symmetry of Δ.
+                        let g = -coeff * distance::d_wrt_second(a, b, alpha[idx], p, d);
+                        g_xt[ri + idx] += g;
+                        g_xt[rj + idx] -= g;
+                        if alpha[idx] >= 0.0 {
+                            g_alpha[idx] += coeff * distance::d_wrt_alpha(a, b, p, d);
+                        }
+                    }
+                }
+            }
+        }
+        loss
     }
 
     /// Distance between transformed records `i` and `j` per the configured
@@ -220,53 +393,29 @@ impl Objective for IFairObjective<'_> {
         let (m, n, k, p) = (self.m, self.n, self.k, self.p);
         let (alpha, v) = self.unpack(theta);
         let state = self.forward(alpha, v);
-        let loss = self.loss(alpha, &state);
 
         grad.fill(0.0);
         let (g_alpha, g_v) = grad.split_at_mut(n);
 
-        // ∂L/∂x̃ — reconstruction term.
+        // ∂L/∂x̃ — reconstruction term, fused with the utility loss.
+        let mut util = 0.0;
         let mut g_xt = vec![0.0; m * n];
         if self.lambda != 0.0 {
             for ((g, &orig), &rec) in g_xt.iter_mut().zip(self.x.as_slice()).zip(&state.xt) {
-                *g = 2.0 * self.lambda * (rec - orig);
+                let diff = rec - orig;
+                util += diff * diff;
+                *g = 2.0 * self.lambda * diff;
             }
         }
 
-        // ∂L/∂x̃ (and ∂L/∂α under the weighted metric) — fairness pairs.
-        if self.mu != 0.0 {
-            for pair in &self.pairs {
-                let d = self.transformed_distance(alpha, &state, pair.i, pair.j);
-                let coeff = 2.0 * self.mu * (d - pair.target);
-                if coeff == 0.0 || d <= 0.0 {
-                    continue;
-                }
-                let (ri, rj) = (pair.i * n, pair.j * n);
-                match self.fairness_distance {
-                    FairnessDistance::Unweighted => {
-                        for idx in 0..n {
-                            let delta = state.xt[ri + idx] - state.xt[rj + idx];
-                            let g = coeff * delta / d;
-                            g_xt[ri + idx] += g;
-                            g_xt[rj + idx] -= g;
-                        }
-                    }
-                    FairnessDistance::Weighted => {
-                        for idx in 0..n {
-                            let a = state.xt[ri + idx];
-                            let b = state.xt[rj + idx];
-                            // ∂d/∂a = -d_wrt_second(a, b) by symmetry of Δ.
-                            let g = -coeff * distance::d_wrt_second(a, b, alpha[idx], p, d);
-                            g_xt[ri + idx] += g;
-                            g_xt[rj + idx] -= g;
-                            if alpha[idx] >= 0.0 {
-                                g_alpha[idx] += coeff * distance::d_wrt_alpha(a, b, p, d);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        // ∂L/∂x̃ (and ∂L/∂α under the weighted metric) — fairness pairs,
+        // fused with the pair loss and parallelized over pair chunks.
+        let fair = if self.mu != 0.0 {
+            self.fair_loss_and_grad(alpha, &state, &mut g_xt, g_alpha)
+        } else {
+            0.0
+        };
+        let loss = self.lambda * util + self.mu * fair;
 
         // Backprop through x̃ = U·V and the softmax into V, D, and α.
         for i in 0..m {
@@ -304,7 +453,8 @@ impl Objective for IFairObjective<'_> {
                         for idx in 0..n {
                             let delta = xi[idx] - vk[idx];
                             // ∂S/∂v_n = −α_n p |Δ|^{p−1} sign(Δ)
-                            gv_row[idx] += gd * (-alpha[idx].max(0.0) * p * pow_abs_signed(delta, p - 1.0));
+                            gv_row[idx] +=
+                                gd * (-alpha[idx].max(0.0) * p * pow_abs_signed(delta, p - 1.0));
                             if alpha[idx] >= 0.0 {
                                 g_alpha[idx] += gd * pow_abs(delta, p);
                             }
@@ -371,6 +521,15 @@ fn pow_abs_signed(delta: f64, q: f64) -> f64 {
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `acc += part`, element-wise. The reduction step of the parallel kernel.
+#[inline]
+fn add_assign(acc: &mut [f64], part: &[f64]) {
+    debug_assert_eq!(acc.len(), part.len());
+    for (a, &p) in acc.iter_mut().zip(part) {
+        *a += p;
+    }
 }
 
 /// Materializes the fairness-pair set with target distances measured by the
@@ -614,10 +773,7 @@ mod tests {
     fn softmax_survives_huge_distances() {
         // Prototype far away => exp(-1e6) underflows without max-shifting.
         let x = Matrix::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
-        let cfg = IFairConfig {
-            k: 2,
-            ..config(2)
-        };
+        let cfg = IFairConfig { k: 2, ..config(2) };
         let obj = IFairObjective::new(&x, &[false, false], &cfg);
         let theta = vec![1.0, 1.0, 1e3, 1e3, 2e3, 2e3];
         let value = obj.value(&theta);

@@ -1,0 +1,187 @@
+//! Scoped-thread parallel primitives shared across the workspace.
+//!
+//! Two consumers drive the design:
+//!
+//! * the `O(M²)` pairwise `L_fair` kernel in [`crate::objective`], which
+//!   carves the pair index space into fixed chunks ([`chunk_ranges`]) and
+//!   fans them out with [`parallel_map_with_threads`], folding the per-chunk
+//!   partials in chunk order so results are thread-count-invariant,
+//! * the experiment grid searches in `ifair-bench`, which need an
+//!   *order-preserving parallel map* over independent jobs that may borrow
+//!   prepared data ([`parallel_map`]).
+//!
+//! Everything is built on [`std::thread::scope`], so closures can borrow from
+//! the caller's stack and no external runtime is required. On a single
+//! hardware thread the helpers degrade to plain sequential execution with no
+//! thread spawns.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of hardware threads, falling back to 1 when detection fails.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread-count setting: `0` means "use all hardware
+/// threads", anything else is taken literally (it may exceed the core count,
+/// which is useful for determinism tests).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Splits `0..n` into `n_chunks` contiguous ranges whose lengths differ by at
+/// most one. Empty ranges are omitted, so fewer than `n_chunks` ranges are
+/// returned when `n < n_chunks`.
+pub fn chunk_ranges(n: usize, n_chunks: usize) -> Vec<Range<usize>> {
+    let n_chunks = n_chunks.max(1);
+    let base = n / n_chunks;
+    let extra = n % n_chunks;
+    let mut out = Vec::with_capacity(n_chunks.min(n));
+    let mut start = 0;
+    for c in 0..n_chunks {
+        let len = base + usize::from(c < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Applies `f` to every item, in parallel, preserving input order.
+///
+/// Jobs are pulled from a shared atomic cursor, so threads that finish early
+/// steal remaining work — the right shape for experiment grids whose cells
+/// have wildly different costs. The closure may borrow from the caller
+/// (scoped threads impose no `'static` bound).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with_threads(items, available_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count.
+///
+/// Because the output order is the input order regardless of scheduling, the
+/// result is **independent of `n_threads`** — callers that fold the results
+/// in order get thread-count-invariant (and machine-invariant) numerics.
+pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, n_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_threads = n_threads.max(1).min(items.len().max(1));
+    if n_threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = jobs[idx]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job taken once");
+                *results[idx].lock().expect("result slot poisoned") = Some(f(item));
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for n in [0usize, 1, 7, 100] {
+            for t in [1usize, 2, 3, 8, 200] {
+                let chunks = chunk_ranges(n, t);
+                let mut covered = vec![0u32; n];
+                for r in &chunks {
+                    for i in r.clone() {
+                        covered[i] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "n={n} t={t}");
+                // Balanced: lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    chunks.iter().map(|r| r.len()).min(),
+                    chunks.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1, "n={n} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fold_is_thread_count_invariant() {
+        // The L_fair kernel's shape: fixed chunks, ordered fold. The result
+        // must not depend on how many workers computed the chunk partials.
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let chunks = chunk_ranges(data.len(), 16);
+        let reference: f64 = chunks
+            .iter()
+            .map(|r| data[r.clone()].iter().sum::<f64>())
+            .sum();
+        for t in [1, 2, 3, 4, 7] {
+            let partials =
+                parallel_map_with_threads(chunks.clone(), t, |r| data[r].iter().sum::<f64>());
+            let total: f64 = partials.into_iter().sum();
+            assert_eq!(total.to_bits(), reference.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: usize| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<usize> = vec![];
+        assert!(parallel_map(empty, |i: usize| i).is_empty());
+        assert_eq!(parallel_map(vec![7], |i: usize| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_closures_can_borrow() {
+        let base = vec![10, 20, 30];
+        let out = parallel_map(vec![0usize, 1, 2], |i| base[i]);
+        assert_eq!(out, base);
+    }
+}

@@ -260,7 +260,10 @@ mod tests {
     fn parse_line_handles_quotes() {
         assert_eq!(parse_line("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(parse_line("\"a,b\",c"), vec!["a,b", "c"]);
-        assert_eq!(parse_line("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(
+            parse_line("\"he said \"\"hi\"\"\",x"),
+            vec!["he said \"hi\"", "x"]
+        );
         assert_eq!(parse_line(""), vec![""]);
     }
 

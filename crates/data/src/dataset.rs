@@ -268,10 +268,22 @@ mod tests {
     #[test]
     fn validation_catches_mismatches() {
         let x = Matrix::zeros(2, 2);
-        assert!(Dataset::new(x.clone(), vec!["a".into()], vec![false, false], None, vec![0, 0])
-            .is_err());
-        assert!(Dataset::new(x.clone(), vec!["a".into(), "b".into()], vec![false], None, vec![0, 0])
-            .is_err());
+        assert!(Dataset::new(
+            x.clone(),
+            vec!["a".into()],
+            vec![false, false],
+            None,
+            vec![0, 0]
+        )
+        .is_err());
+        assert!(Dataset::new(
+            x.clone(),
+            vec!["a".into(), "b".into()],
+            vec![false],
+            None,
+            vec![0, 0]
+        )
+        .is_err());
         assert!(Dataset::new(
             x.clone(),
             vec!["a".into(), "b".into()],
@@ -325,7 +337,10 @@ mod tests {
         let r = d.with_features(d.x.clone()).unwrap();
         assert_eq!(r.feature_names, d.feature_names);
         let narrow = d.with_features(Matrix::zeros(3, 2)).unwrap();
-        assert_eq!(narrow.feature_names, vec!["z0".to_string(), "z1".to_string()]);
+        assert_eq!(
+            narrow.feature_names,
+            vec!["z0".to_string(), "z1".to_string()]
+        );
         assert!(narrow.protected.iter().all(|&p| !p));
         assert!(d.with_features(Matrix::zeros(4, 2)).is_err());
     }

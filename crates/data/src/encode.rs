@@ -74,7 +74,10 @@ impl RawDataset {
             }
         }
         if self.group.len() != m {
-            return Err(format!("group has {} records, expected {m}", self.group.len()));
+            return Err(format!(
+                "group has {} records, expected {m}",
+                self.group.len()
+            ));
         }
         Ok(())
     }
@@ -190,7 +193,13 @@ impl OneHotEncoder {
                 }
             }
         }
-        Dataset::new(x, feature_names, protected, raw.y.clone(), raw.group.clone())
+        Dataset::new(
+            x,
+            feature_names,
+            protected,
+            raw.y.clone(),
+            raw.group.clone(),
+        )
     }
 
     /// Fits and transforms in one call.

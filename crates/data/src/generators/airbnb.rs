@@ -47,7 +47,9 @@ pub fn generate(config: &AirbnbConfig) -> RankingDataset {
     // The 43 designated (city, tier, room) query cells, deterministic from
     // the seed: a fixed enumeration of the 90 possible combos, shuffled once.
     let mut combos: Vec<(usize, usize, usize)> = (0..CITIES.len())
-        .flat_map(|c| (0..TIERS.len()).flat_map(move |t| (0..ROOM_TYPES.len()).map(move |r| (c, t, r))))
+        .flat_map(|c| {
+            (0..TIERS.len()).flat_map(move |t| (0..ROOM_TYPES.len()).map(move |r| (c, t, r)))
+        })
         .collect();
     use rand::seq::SliceRandom;
     combos.shuffle(&mut rng);
@@ -103,28 +105,61 @@ pub fn generate(config: &AirbnbConfig) -> RankingDataset {
         let city_price = [110.0, 160.0, 120.0, 150.0, 180.0][city];
         let tier_mult = 0.7 + 0.12 * tier as f64;
         price.push(
-            (city_price * tier_mult * size_factor * (0.25 * normal.sample(&mut rng) - 0.1 * quality).exp())
-                .clamp(20.0, 1200.0)
+            (city_price
+                * tier_mult
+                * size_factor
+                * (0.25 * normal.sample(&mut rng) - 0.1 * quality).exp())
+            .clamp(20.0, 1200.0)
+            .round(),
+        );
+        rating.push(
+            ((4.45 + 0.35 * quality + 0.15 * normal.sample(&mut rng)) * 20.0)
+                .clamp(40.0, 100.0)
+                .round()
+                / 20.0,
+        );
+        reviews.push(
+            ((1.2 * quality + 2.8 + 0.9 * normal.sample(&mut rng)).exp())
+                .clamp(0.0, 600.0)
                 .round(),
         );
-        rating.push(((4.45 + 0.35 * quality + 0.15 * normal.sample(&mut rng)) * 20.0).clamp(40.0, 100.0).round() / 20.0);
-        reviews.push(((1.2 * quality + 2.8 + 0.9 * normal.sample(&mut rng)).exp()).clamp(0.0, 600.0).round());
-        let acc = (2.0 + 3.5 * size_factor + 1.5 * normal.sample(&mut rng)).clamp(1.0, 16.0).round();
+        let acc = (2.0 + 3.5 * size_factor + 1.5 * normal.sample(&mut rng))
+            .clamp(1.0, 16.0)
+            .round();
         accommodates.push(acc);
         bedrooms.push((acc / 2.0).clamp(1.0, 8.0).round());
         bathrooms.push((acc / 3.0 + 0.5).clamp(1.0, 5.0).round());
         beds.push((acc / 1.6).clamp(1.0, 10.0).round());
-        availability.push((180.0 + 120.0 * normal.sample(&mut rng)).clamp(0.0, 365.0).round());
-        min_nights.push((2.0 + 1.8 * normal.sample(&mut rng).abs()).clamp(1.0, 30.0).round());
+        availability.push(
+            (180.0 + 120.0 * normal.sample(&mut rng))
+                .clamp(0.0, 365.0)
+                .round(),
+        );
+        min_nights.push(
+            (2.0 + 1.8 * normal.sample(&mut rng).abs())
+                .clamp(1.0, 30.0)
+                .round(),
+        );
         // Cleaning fee is the (mild) gender proxy: hosts in the protected
         // group price cleaning differently in the real scrape.
         cleaning_fee.push(
-            (28.0 + 0.25 * price[i] * 0.2 + 7.0 * f64::from(female) + 9.0 * normal.sample(&mut rng))
-                .clamp(0.0, 300.0)
+            (28.0
+                + 0.25 * price[i] * 0.2
+                + 7.0 * f64::from(female)
+                + 9.0 * normal.sample(&mut rng))
+            .clamp(0.0, 300.0)
+            .round(),
+        );
+        deposit.push(if rng.gen_bool(0.4) {
+            (150.0 + 120.0 * normal.sample(&mut rng).abs()).round()
+        } else {
+            0.0
+        });
+        host_listings.push(
+            ((0.9 * normal.sample(&mut rng).abs() + 0.1).exp())
+                .clamp(1.0, 50.0)
                 .round(),
         );
-        deposit.push(if rng.gen_bool(0.4) { (150.0 + 120.0 * normal.sample(&mut rng).abs()).round() } else { 0.0 });
-        host_listings.push(((0.9 * normal.sample(&mut rng).abs() + 0.1).exp()).clamp(1.0, 50.0).round());
         cancellation.push(sample_weighted(&mut rng, &[0.45, 0.35, 0.20]));
         instant.push(usize::from(rng.gen_bool(0.55)));
         gender.push(u8::from(female));
@@ -169,16 +204,36 @@ pub fn generate(config: &AirbnbConfig) -> RankingDataset {
             ColumnData::Numeric(cleaning_fee),
             ColumnData::Numeric(deposit),
             ColumnData::Numeric(host_listings),
-            ColumnData::Categorical(cell_of.iter().map(|&(c, _, _)| CITIES[c].to_string()).collect()),
-            ColumnData::Categorical(cell_of.iter().map(|&(_, t, _)| TIERS[t].to_string()).collect()),
-            ColumnData::Categorical(cell_of.iter().map(|&(_, _, r)| ROOM_TYPES[r].to_string()).collect()),
+            ColumnData::Categorical(
+                cell_of
+                    .iter()
+                    .map(|&(c, _, _)| CITIES[c].to_string())
+                    .collect(),
+            ),
+            ColumnData::Categorical(
+                cell_of
+                    .iter()
+                    .map(|&(_, t, _)| TIERS[t].to_string())
+                    .collect(),
+            ),
+            ColumnData::Categorical(
+                cell_of
+                    .iter()
+                    .map(|&(_, _, r)| ROOM_TYPES[r].to_string())
+                    .collect(),
+            ),
             ColumnData::Categorical(
                 cancellation
                     .iter()
                     .map(|&c| ["flexible", "moderate", "strict"][c].to_string())
                     .collect(),
             ),
-            ColumnData::Categorical(instant.iter().map(|&b| ["no", "yes"][b].to_string()).collect()),
+            ColumnData::Categorical(
+                instant
+                    .iter()
+                    .map(|&b| ["no", "yes"][b].to_string())
+                    .collect(),
+            ),
             ColumnData::Categorical(
                 gender
                     .iter()
@@ -239,7 +294,12 @@ mod tests {
     fn every_query_has_at_least_ten_listings() {
         let r = small();
         for q in &r.queries {
-            assert!(q.indices.len() >= 10, "query {} has {}", q.id, q.indices.len());
+            assert!(
+                q.indices.len() >= 10,
+                "query {} has {}",
+                q.id,
+                q.indices.len()
+            );
         }
     }
 
@@ -266,8 +326,18 @@ mod tests {
     #[test]
     fn score_prefers_high_rating_low_price() {
         let r = small();
-        let rating_col = r.data.feature_names.iter().position(|n| n == "rating").unwrap();
-        let price_col = r.data.feature_names.iter().position(|n| n == "price").unwrap();
+        let rating_col = r
+            .data
+            .feature_names
+            .iter()
+            .position(|n| n == "rating")
+            .unwrap();
+        let price_col = r
+            .data
+            .feature_names
+            .iter()
+            .position(|n| n == "price")
+            .unwrap();
         let y = r.data.labels();
         // Find two records with same price tier but different rating.
         let hi = (0..r.data.n_records())
@@ -276,9 +346,8 @@ mod tests {
         let lo = (0..r.data.n_records())
             .min_by(|&a, &b| y[a].partial_cmp(&y[b]).unwrap())
             .unwrap();
-        let value = |i: usize| {
-            r.data.x.get(i, rating_col) - 0.55 * (r.data.x.get(i, price_col).ln() - 4.6)
-        };
+        let value =
+            |i: usize| r.data.x.get(i, rating_col) - 0.55 * (r.data.x.get(i, price_col).ln() - 4.6);
         assert!(value(hi) > value(lo));
     }
 

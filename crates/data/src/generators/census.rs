@@ -60,14 +60,38 @@ pub fn generate(config: &CensusConfig) -> Dataset {
     let mut fnlwgt = Vec::with_capacity(n);
     for i in 0..n {
         let g = f64::from(group[i]);
-        age.push((38.0 + 6.0 * z[i] + 12.0 * normal.sample(&mut rng)).clamp(17.0, 90.0).round());
-        education_num.push((10.0 + 2.2 * z[i] + 1.5 * normal.sample(&mut rng)).clamp(1.0, 16.0).round());
-        hours.push((41.0 + 3.0 * z[i] - 4.5 * g + 8.0 * normal.sample(&mut rng)).clamp(1.0, 99.0).round());
-        let cg = if rng.gen_bool(0.08) { (1500.0 * (1.2 * z[i] + 1.0).exp()).min(99999.0) } else { 0.0 };
+        age.push(
+            (38.0 + 6.0 * z[i] + 12.0 * normal.sample(&mut rng))
+                .clamp(17.0, 90.0)
+                .round(),
+        );
+        education_num.push(
+            (10.0 + 2.2 * z[i] + 1.5 * normal.sample(&mut rng))
+                .clamp(1.0, 16.0)
+                .round(),
+        );
+        hours.push(
+            (41.0 + 3.0 * z[i] - 4.5 * g + 8.0 * normal.sample(&mut rng))
+                .clamp(1.0, 99.0)
+                .round(),
+        );
+        let cg = if rng.gen_bool(0.08) {
+            (1500.0 * (1.2 * z[i] + 1.0).exp()).min(99999.0)
+        } else {
+            0.0
+        };
         capital_gain.push(cg.round());
-        let cl = if rng.gen_bool(0.05) { (300.0 * (0.6 * z[i] + 1.0).exp()).min(4356.0) } else { 0.0 };
+        let cl = if rng.gen_bool(0.05) {
+            (300.0 * (0.6 * z[i] + 1.0).exp()).min(4356.0)
+        } else {
+            0.0
+        };
         capital_loss.push(cl.round());
-        fnlwgt.push((190000.0 + 100000.0 * normal.sample(&mut rng)).clamp(12000.0, 1480000.0).round());
+        fnlwgt.push(
+            (190000.0 + 100000.0 * normal.sample(&mut rng))
+                .clamp(12000.0, 1480000.0)
+                .round(),
+        );
     }
 
     // Categoricals with latent/group-dependent logits.
@@ -83,7 +107,8 @@ pub fn generate(config: &CensusConfig) -> Dataset {
         // Workclass skewed private-sector.
         workclass[i] = sample_weighted(&mut rng, &[0.69, 0.08, 0.06, 0.04, 0.07, 0.03, 0.03]);
         // Education level correlates with education_num.
-        let edu_center = ((education_num[i] - 1.0) / 15.0 * (N_EDUCATION - 1) as f64).round() as usize;
+        let edu_center =
+            ((education_num[i] - 1.0) / 15.0 * (N_EDUCATION - 1) as f64).round() as usize;
         let edu_weights: Vec<f64> = (0..N_EDUCATION)
             .map(|k| (-((k as f64 - edu_center as f64).powi(2)) / 4.0).exp())
             .collect();
@@ -225,7 +250,11 @@ mod tests {
             n_records: 4000,
             seed: 1,
         });
-        let col = d.feature_names.iter().position(|n| n == "hours_per_week").unwrap();
+        let col = d
+            .feature_names
+            .iter()
+            .position(|n| n == "hours_per_week")
+            .unwrap();
         let (mut sp, mut np_, mut su, mut nu) = (0.0, 0.0, 0.0, 0.0);
         for i in 0..d.n_records() {
             if d.group[i] == 1 {

@@ -9,7 +9,9 @@
 
 use crate::dataset::Dataset;
 use crate::encode::{ColumnData, OneHotEncoder, RawDataset};
-use crate::generators::{force_all_levels, labels_matching_base_rates, sample_weighted, zipf_weights};
+use crate::generators::{
+    force_all_levels, labels_matching_base_rates, sample_weighted, zipf_weights,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Normal};
@@ -56,7 +58,9 @@ pub fn generate(config: &CompasConfig) -> Dataset {
     // Race: protected group = African-American (~51% in ProPublica's data);
     // weakly correlated with a neighborhood proxy below, not with z itself.
     let race_weights = [0.51, 0.01, 0.34, 0.08, 0.01, 0.05];
-    let race_idx: Vec<usize> = (0..n).map(|_| sample_weighted(&mut rng, &race_weights)).collect();
+    let race_idx: Vec<usize> = (0..n)
+        .map(|_| sample_weighted(&mut rng, &race_weights))
+        .collect();
     let group: Vec<u8> = race_idx.iter().map(|&r| u8::from(r == 0)).collect();
 
     // Numeric features. `neighborhood_risk` is the deliberate proxy: it
@@ -67,9 +71,21 @@ pub fn generate(config: &CompasConfig) -> Dataset {
     let mut neighborhood_risk = Vec::with_capacity(n);
     for i in 0..n {
         let g = f64::from(group[i]);
-        age.push((34.0 - 4.0 * z[i] - 2.0 * g + 9.0 * normal.sample(&mut rng)).clamp(18.0, 80.0).round());
-        priors.push(((1.6 * z[i] + 0.5 * g + 1.8 + 0.8 * normal.sample(&mut rng)).exp() * 0.35).floor().clamp(0.0, 38.0));
-        juv_fel.push(((0.8 * z[i] + 0.3 * g - 1.4 + 0.5 * normal.sample(&mut rng)).exp() * 0.3).floor().clamp(0.0, 10.0));
+        age.push(
+            (34.0 - 4.0 * z[i] - 2.0 * g + 9.0 * normal.sample(&mut rng))
+                .clamp(18.0, 80.0)
+                .round(),
+        );
+        priors.push(
+            ((1.6 * z[i] + 0.5 * g + 1.8 + 0.8 * normal.sample(&mut rng)).exp() * 0.35)
+                .floor()
+                .clamp(0.0, 38.0),
+        );
+        juv_fel.push(
+            ((0.8 * z[i] + 0.3 * g - 1.4 + 0.5 * normal.sample(&mut rng)).exp() * 0.3)
+                .floor()
+                .clamp(0.0, 10.0),
+        );
         neighborhood_risk.push(0.9 * g + 0.4 * z[i] + 0.8 * normal.sample(&mut rng));
     }
 
@@ -78,7 +94,14 @@ pub fn generate(config: &CompasConfig) -> Dataset {
         .map(|_| if rng.gen_bool(0.81) { "Male" } else { "Female" }.to_string())
         .collect();
     let charge_degree: Vec<String> = (0..n)
-        .map(|i| if z[i] + 0.5 * normal.sample(&mut rng) > 0.3 { "F" } else { "M" }.to_string())
+        .map(|i| {
+            if z[i] + 0.5 * normal.sample(&mut rng) > 0.3 {
+                "F"
+            } else {
+                "M"
+            }
+            .to_string()
+        })
         .collect();
     // Long-tailed charge descriptions; group shifts the head of the
     // distribution slightly (another weak proxy).
@@ -95,7 +118,10 @@ pub fn generate(config: &CompasConfig) -> Dataset {
         })
         .collect();
     force_all_levels(&mut charge_idx, N_CHARGE_DESC);
-    let charge_desc: Vec<String> = charge_idx.iter().map(|&c| format!("charge_{c:03}")).collect();
+    let charge_desc: Vec<String> = charge_idx
+        .iter()
+        .map(|&c| format!("charge_{c:03}"))
+        .collect();
 
     // Recidivism outcome: driven by latent propensity + priors; per-group
     // base rates pinned to Table II (0.52 / 0.40).
@@ -205,7 +231,10 @@ mod tests {
                 n_u += 1.0;
             }
         }
-        assert!(sum_p / n_p > sum_u / n_u + 0.5, "proxy must separate groups");
+        assert!(
+            sum_p / n_p > sum_u / n_u + 0.5,
+            "proxy must separate groups"
+        );
     }
 
     #[test]

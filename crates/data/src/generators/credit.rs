@@ -61,9 +61,16 @@ pub fn generate(config: &CreditConfig) -> Dataset {
     // data. Age itself is mildly correlated with reliability.
     let age: Vec<f64> = z
         .iter()
-        .map(|&zi| (35.5 + 3.0 * zi + 10.5 * normal.sample(&mut rng)).clamp(19.0, 75.0).round())
+        .map(|&zi| {
+            (35.5 + 3.0 * zi + 10.5 * normal.sample(&mut rng))
+                .clamp(19.0, 75.0)
+                .round()
+        })
         .collect();
-    let group: Vec<u8> = age.iter().map(|&a| u8::from(a <= PROTECTED_AGE_THRESHOLD)).collect();
+    let group: Vec<u8> = age
+        .iter()
+        .map(|&a| u8::from(a <= PROTECTED_AGE_THRESHOLD))
+        .collect();
 
     let mut duration = Vec::with_capacity(n);
     let mut amount = Vec::with_capacity(n);
@@ -73,13 +80,37 @@ pub fn generate(config: &CreditConfig) -> Dataset {
     let mut dependents = Vec::with_capacity(n);
     for i in 0..n {
         let g = f64::from(group[i]);
-        duration.push((21.0 - 3.0 * z[i] + 11.0 * normal.sample(&mut rng)).clamp(4.0, 72.0).round());
-        amount.push((3270.0 * (0.35 * normal.sample(&mut rng) - 0.15 * z[i]).exp()).clamp(250.0, 18424.0).round());
-        installment_rate.push((3.0 - 0.4 * z[i] + normal.sample(&mut rng)).clamp(1.0, 4.0).round());
+        duration.push(
+            (21.0 - 3.0 * z[i] + 11.0 * normal.sample(&mut rng))
+                .clamp(4.0, 72.0)
+                .round(),
+        );
+        amount.push(
+            (3270.0 * (0.35 * normal.sample(&mut rng) - 0.15 * z[i]).exp())
+                .clamp(250.0, 18424.0)
+                .round(),
+        );
+        installment_rate.push(
+            (3.0 - 0.4 * z[i] + normal.sample(&mut rng))
+                .clamp(1.0, 4.0)
+                .round(),
+        );
         // Young applicants have shorter residence (proxy for age).
-        residence.push((2.9 - 1.2 * g + normal.sample(&mut rng)).clamp(1.0, 4.0).round());
-        existing_credits.push((1.4 + 0.3 * z[i] + 0.5 * normal.sample(&mut rng)).clamp(1.0, 4.0).round());
-        dependents.push((1.15 + 0.4 * normal.sample(&mut rng)).clamp(1.0, 2.0).round());
+        residence.push(
+            (2.9 - 1.2 * g + normal.sample(&mut rng))
+                .clamp(1.0, 4.0)
+                .round(),
+        );
+        existing_credits.push(
+            (1.4 + 0.3 * z[i] + 0.5 * normal.sample(&mut rng))
+                .clamp(1.0, 4.0)
+                .round(),
+        );
+        dependents.push(
+            (1.15 + 0.4 * normal.sample(&mut rng))
+                .clamp(1.0, 2.0)
+                .round(),
+        );
     }
 
     // Categoricals; employment length is a second age proxy.
@@ -102,12 +133,22 @@ pub fn generate(config: &CreditConfig) -> Dataset {
         let tilt = |base: &[f64], lean: f64| -> Vec<f64> {
             base.iter()
                 .enumerate()
-                .map(|(k, &b)| (b * (1.0 + lean * (k as f64 / (base.len() - 1) as f64 - 0.5))).max(0.01))
+                .map(|(k, &b)| {
+                    (b * (1.0 + lean * (k as f64 / (base.len() - 1) as f64 - 0.5))).max(0.01)
+                })
                 .collect()
         };
         status[i] = sample_weighted(&mut rng, &tilt(&[0.27, 0.27, 0.06, 0.25, 0.15], 1.2 * zi));
-        history[i] = sample_weighted(&mut rng, &tilt(&[0.04, 0.05, 0.52, 0.09, 0.20, 0.10], 0.8 * zi));
-        purpose[i] = sample_weighted(&mut rng, &[0.23, 0.17, 0.10, 0.09, 0.12, 0.05, 0.04, 0.03, 0.10, 0.03, 0.02, 0.02]);
+        history[i] = sample_weighted(
+            &mut rng,
+            &tilt(&[0.04, 0.05, 0.52, 0.09, 0.20, 0.10], 0.8 * zi),
+        );
+        purpose[i] = sample_weighted(
+            &mut rng,
+            &[
+                0.23, 0.17, 0.10, 0.09, 0.12, 0.05, 0.04, 0.03, 0.10, 0.03, 0.02, 0.02,
+            ],
+        );
         savings[i] = sample_weighted(&mut rng, &tilt(&[0.58, 0.10, 0.11, 0.07, 0.14], 1.0 * zi));
         // Employment tenure: strongly age-linked (young => short tenure).
         employment[i] = sample_weighted(
@@ -235,7 +276,10 @@ mod tests {
         let d = generate(&CreditConfig::default());
         let age_col = d.feature_names.iter().position(|n| n == "age").unwrap();
         for i in 0..d.n_records() {
-            assert_eq!(d.group[i] == 1, d.x.get(i, age_col) <= PROTECTED_AGE_THRESHOLD);
+            assert_eq!(
+                d.group[i] == 1,
+                d.x.get(i, age_col) <= PROTECTED_AGE_THRESHOLD
+            );
         }
         let share = d.protected_share();
         assert!(share > 0.1 && share < 0.3, "share of young = {share}");
@@ -269,7 +313,10 @@ mod tests {
                 n_u += 1.0;
             }
         }
-        assert!(short_p / n_p > short_u / n_u, "young must skew short-tenure");
+        assert!(
+            short_p / n_p > short_u / n_u,
+            "young must skew short-tenure"
+        );
     }
 
     #[test]

@@ -152,7 +152,12 @@ pub fn generate(config: &XingConfig) -> RankingDataset {
                     .map(|&g| if g == 1 { "female" } else { "male" }.to_string())
                     .collect(),
             ),
-            ColumnData::Categorical(category.iter().map(|&c| format!("category_{c:02}")).collect()),
+            ColumnData::Categorical(
+                category
+                    .iter()
+                    .map(|&c| format!("category_{c:02}"))
+                    .collect(),
+            ),
         ],
         protected: vec![false, false, false, true, false],
         y: None,

@@ -23,12 +23,7 @@ pub struct SplitIndices {
 ///
 /// `train_frac + val_frac` must be at most 1; the remainder goes to test.
 /// Deterministic for a fixed seed.
-pub fn train_val_test_split(
-    n: usize,
-    train_frac: f64,
-    val_frac: f64,
-    seed: u64,
-) -> SplitIndices {
+pub fn train_val_test_split(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> SplitIndices {
     assert!(
         (0.0..=1.0).contains(&train_frac)
             && (0.0..=1.0).contains(&val_frac)
@@ -59,12 +54,7 @@ pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Ve
 ///
 /// `strata[i]` is an arbitrary small integer (e.g. label, or label x group);
 /// each stratum is split independently with the given fractions.
-pub fn stratified_split(
-    strata: &[u8],
-    train_frac: f64,
-    val_frac: f64,
-    seed: u64,
-) -> SplitIndices {
+pub fn stratified_split(strata: &[u8], train_frac: f64, val_frac: f64, seed: u64) -> SplitIndices {
     let mut by_stratum: std::collections::BTreeMap<u8, Vec<usize>> = Default::default();
     for (i, &s) in strata.iter().enumerate() {
         by_stratum.entry(s).or_default().push(i);

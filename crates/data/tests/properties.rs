@@ -1,32 +1,39 @@
-//! Property-based tests of the data pipeline: scaler round-trips, split
-//! partitions, encoder shape/width invariants.
+//! Property-style tests of the data pipeline over seeded random matrices
+//! (the offline toolchain has no proptest): scaler round-trips, split
+//! partitions, fold coverage.
 
-use ifair_data::{
-    kfold, train_test_split, train_val_test_split, MinMaxScaler, StandardScaler,
-};
+use ifair_data::{kfold, train_test_split, train_val_test_split, MinMaxScaler, StandardScaler};
 use ifair_linalg::Matrix;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn matrices() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    (2usize..20, 1usize..8).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(proptest::collection::vec(-50.0f64..50.0, n), m)
-    })
+fn random_matrix(rng: &mut StdRng) -> Matrix {
+    let m = rng.gen_range(2..20usize);
+    let n = rng.gen_range(1..8usize);
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    Matrix::from_rows(rows).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: usize = 48;
 
-    #[test]
-    fn standard_scaler_roundtrip(rows in matrices()) {
-        let x = Matrix::from_rows(rows).unwrap();
+#[test]
+fn standard_scaler_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for _ in 0..CASES {
+        let x = random_matrix(&mut rng);
         let (scaler, scaled) = StandardScaler::fit_transform(&x);
         let back = scaler.inverse_transform(&scaled);
-        prop_assert!(x.sub(&back).unwrap().max_abs() < 1e-8);
+        assert!(x.sub(&back).unwrap().max_abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn standard_scaler_standardizes(rows in matrices()) {
-        let x = Matrix::from_rows(rows).unwrap();
+#[test]
+fn standard_scaler_standardizes() {
+    let mut rng = StdRng::seed_from_u64(402);
+    for _ in 0..CASES {
+        let x = random_matrix(&mut rng);
         let (_, scaled) = StandardScaler::fit_transform(&x);
         for (j, (mean, std)) in scaled
             .col_means()
@@ -37,25 +44,36 @@ proptest! {
             // Constant columns stay constant (std 0); others standardize.
             let orig_std = x.col_stds()[j];
             if orig_std > 1e-9 {
-                prop_assert!(mean.abs() < 1e-8, "col {j} mean {mean}");
-                prop_assert!((std - 1.0).abs() < 1e-6, "col {j} std {std}");
+                assert!(mean.abs() < 1e-8, "col {j} mean {mean}");
+                assert!((std - 1.0).abs() < 1e-6, "col {j} std {std}");
             }
         }
     }
+}
 
-    #[test]
-    fn minmax_scaler_range_and_roundtrip(rows in matrices()) {
-        let x = Matrix::from_rows(rows).unwrap();
+#[test]
+fn minmax_scaler_range_and_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(403);
+    for _ in 0..CASES {
+        let x = random_matrix(&mut rng);
         let (scaler, scaled) = MinMaxScaler::fit_transform(&x);
         for v in scaled.as_slice() {
-            prop_assert!((-1e-12..=1.0 + 1e-12).contains(v), "value {v} outside [0,1]");
+            assert!(
+                (-1e-12..=1.0 + 1e-12).contains(v),
+                "value {v} outside [0,1]"
+            );
         }
         let back = scaler.inverse_transform(&scaled);
-        prop_assert!(x.sub(&back).unwrap().max_abs() < 1e-8);
+        assert!(x.sub(&back).unwrap().max_abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn three_way_split_partitions(n in 3usize..500, seed in 0u64..100) {
+#[test]
+fn three_way_split_partitions() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..500usize);
+        let seed = rng.gen_range(0..100u64);
         let s = train_val_test_split(n, 1.0 / 3.0, 1.0 / 3.0, seed);
         let mut all: Vec<usize> = s
             .train
@@ -65,32 +83,46 @@ proptest! {
             .copied()
             .collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn split_deterministic(n in 3usize..300, seed in 0u64..100) {
+#[test]
+fn split_deterministic() {
+    let mut rng = StdRng::seed_from_u64(405);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..300usize);
+        let seed = rng.gen_range(0..100u64);
         let a = train_test_split(n, 0.7, seed);
         let b = train_test_split(n, 0.7, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         // Different seeds almost always shuffle differently for n >= 8; only
         // assert the partition property (determinism per seed) here.
     }
+}
 
-    #[test]
-    fn kfold_covers_every_index_once(n in 10usize..200, k in 2usize..6, seed in 0u64..50) {
+#[test]
+fn kfold_covers_every_index_once() {
+    let mut rng = StdRng::seed_from_u64(406);
+    for _ in 0..CASES {
+        let n = rng.gen_range(10..200usize);
+        let k = rng.gen_range(2..6usize);
+        let seed = rng.gen_range(0..50u64);
         let folds = kfold(n, k, seed);
-        prop_assert_eq!(folds.len(), k);
+        assert_eq!(folds.len(), k);
         let mut seen = vec![0usize; n];
         for (train, test) in &folds {
-            prop_assert_eq!(train.len() + test.len(), n);
+            assert_eq!(train.len() + test.len(), n);
             for &i in test {
                 seen[i] += 1;
             }
             // Train and test are disjoint.
             let test_set: std::collections::HashSet<_> = test.iter().collect();
-            prop_assert!(train.iter().all(|i| !test_set.contains(i)));
+            assert!(train.iter().all(|i| !test_set.contains(i)));
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "each index in exactly one test fold");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index in exactly one test fold"
+        );
     }
 }

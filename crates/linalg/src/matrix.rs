@@ -496,7 +496,10 @@ mod tests {
         let a = m22();
         let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

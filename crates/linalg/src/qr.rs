@@ -144,12 +144,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(vec![
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let qr = Qr::decompose(&a).unwrap();
         let rec = qr.q.matmul(&qr.r);
         assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
@@ -172,12 +167,7 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let a = Matrix::from_rows(vec![
-            vec![1.0, 5.0],
-            vec![2.0, 1.0],
-            vec![3.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![1.0, 5.0], vec![2.0, 1.0], vec![3.0, 2.0]]).unwrap();
         let qr = Qr::decompose(&a).unwrap();
         assert_eq!(qr.r.get(1, 0), 0.0);
     }
@@ -227,12 +217,7 @@ mod tests {
     #[test]
     fn handles_rank_deficient_column_gracefully() {
         // Second column is zero; decomposition should not panic.
-        let a = Matrix::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![2.0, 0.0],
-            vec![3.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![3.0, 0.0]]).unwrap();
         let qr = Qr::decompose(&a).unwrap();
         let rec = qr.q.matmul(&qr.r);
         assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);

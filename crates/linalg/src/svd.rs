@@ -200,12 +200,7 @@ mod tests {
 
     #[test]
     fn u_and_v_are_orthonormal() {
-        let a = Matrix::from_rows(vec![
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let svd = Svd::decompose(&a).unwrap();
         let utu = svd.u.transpose().matmul(&svd.u);
         assert_matrix_close(&utu, &Matrix::identity(2), 1e-9);
@@ -229,12 +224,7 @@ mod tests {
     #[test]
     fn rank_one_matrix() {
         // Outer product => rank 1: second singular value ~ 0.
-        let a = Matrix::from_rows(vec![
-            vec![2.0, 4.0],
-            vec![1.0, 2.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(vec![vec![2.0, 4.0], vec![1.0, 2.0], vec![3.0, 6.0]]).unwrap();
         let svd = Svd::decompose(&a).unwrap();
         assert!(svd.s[1] < 1e-10);
         let rec = svd.reconstruct(1);
@@ -254,7 +244,9 @@ mod tests {
 
     #[test]
     fn truncation_error_decreases_with_rank() {
-        let a = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64 * 0.3).sin());
+        let a = Matrix::from_fn(6, 4, |i, j| {
+            ((i + 1) * (j + 2)) as f64 + (i as f64 * 0.3).sin()
+        });
         let svd = Svd::decompose(&a).unwrap();
         let mut prev = f64::INFINITY;
         for k in 1..=4 {

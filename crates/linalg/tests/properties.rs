@@ -1,135 +1,190 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-style tests for the linear-algebra substrate, exercised over
+//! seeded random matrices (the offline toolchain has no proptest).
 
 use ifair_linalg::{vector, Matrix, Qr, Svd};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy producing a matrix with dimensions in the given ranges and
-/// bounded, finite entries.
-fn matrix_strategy(
+/// Random matrix with dimensions in the given ranges and bounded entries.
+fn random_matrix(
+    rng: &mut StdRng,
     rows: std::ops::Range<usize>,
     cols: std::ops::Range<usize>,
-) -> impl Strategy<Value = Matrix> {
-    (rows, cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-100.0..100.0f64, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-    })
+    scale: f64,
+) -> Matrix {
+    let r = rng.gen_range(rows);
+    let c = rng.gen_range(cols);
+    let data: Vec<f64> = (0..r * c).map(|_| rng.gen_range(-scale..scale)).collect();
+    Matrix::from_vec(r, c, data).unwrap()
 }
 
-fn tall_matrix() -> impl Strategy<Value = Matrix> {
-    (2usize..8, 1usize..5).prop_flat_map(|(extra, c)| {
-        let r = c + extra; // strictly tall
-        proptest::collection::vec(-50.0..50.0f64, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-    })
+/// Random strictly tall matrix (rows > cols).
+fn tall_matrix(rng: &mut StdRng) -> Matrix {
+    let c = rng.gen_range(1..5usize);
+    let r = c + rng.gen_range(2..8usize);
+    let data: Vec<f64> = (0..r * c).map(|_| rng.gen_range(-50.0..50.0)).collect();
+    Matrix::from_vec(r, c, data).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn transpose_is_involution(m in matrix_strategy(1..10, 1..10)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+fn random_vec(rng: &mut StdRng, len: std::ops::Range<usize>, scale: f64) -> Vec<f64> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+const CASES: usize = 32;
+
+#[test]
+fn transpose_is_involution() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 1..10, 1..10, 100.0);
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn matmul_identity_right(m in matrix_strategy(1..8, 1..8)) {
+#[test]
+fn matmul_identity_right() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 1..8, 1..8, 100.0);
         let i = Matrix::identity(m.cols());
         let prod = m.matmul(&i);
-        prop_assert!(prod.sub(&m).unwrap().max_abs() < 1e-9);
+        assert!(prod.sub(&m).unwrap().max_abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn transpose_reverses_products(
-        a in matrix_strategy(1..6, 1..6),
-        bdata in proptest::collection::vec(-10.0..10.0f64, 36),
-    ) {
-        // Build b with compatible shape from provided entries.
+#[test]
+fn transpose_reverses_products() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 1..6, 1..6, 10.0);
         let bc = 4usize;
-        let b = Matrix::from_vec(a.cols(), bc, bdata[..a.cols() * bc].to_vec()).unwrap();
+        let bdata: Vec<f64> = (0..a.cols() * bc)
+            .map(|_| rng.gen_range(-10.0..10.0))
+            .collect();
+        let b = Matrix::from_vec(a.cols(), bc, bdata).unwrap();
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
-        prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-8);
+        assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn frobenius_triangle_inequality(
-        a in matrix_strategy(2..6, 2..6),
-    ) {
+#[test]
+fn frobenius_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 2..6, 2..6, 100.0);
         let b = a.map(|x| x.sin() * 10.0);
         let sum = a.add(&b).unwrap();
-        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+        assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
     }
+}
 
-    #[test]
-    fn dot_is_symmetric(v in proptest::collection::vec(-100.0..100.0f64, 1..32)) {
+#[test]
+fn dot_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let v = random_vec(&mut rng, 1..32, 100.0);
         let w: Vec<f64> = v.iter().map(|x| x * 0.5 + 1.0).collect();
-        prop_assert!((vector::dot(&v, &w) - vector::dot(&w, &v)).abs() < 1e-9);
+        assert!((vector::dot(&v, &w) - vector::dot(&w, &v)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cauchy_schwarz(v in proptest::collection::vec(-100.0..100.0f64, 1..32)) {
+#[test]
+fn cauchy_schwarz() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let v = random_vec(&mut rng, 1..32, 100.0);
         let w: Vec<f64> = v.iter().map(|x| x.cos() * 3.0).collect();
         let lhs = vector::dot(&v, &w).abs();
         let rhs = vector::norm2(&v) * vector::norm2(&w);
-        prop_assert!(lhs <= rhs + 1e-9);
+        assert!(lhs <= rhs + 1e-9);
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(z in proptest::collection::vec(-50.0..50.0f64, 1..16)) {
+#[test]
+fn softmax_is_a_distribution() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let z = random_vec(&mut rng, 1..16, 50.0);
         let p = vector::softmax(&z);
-        prop_assert_eq!(p.len(), z.len());
-        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
-        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), z.len());
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn softmax_preserves_order(z in proptest::collection::vec(-20.0..20.0f64, 2..8)) {
+#[test]
+fn softmax_preserves_order() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let z = random_vec(&mut rng, 2..8, 20.0);
         let p = vector::softmax(&z);
         for i in 0..z.len() {
             for j in 0..z.len() {
                 if z[i] > z[j] {
-                    prop_assert!(p[i] >= p[j] - 1e-12);
+                    assert!(p[i] >= p[j] - 1e-12);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn argsort_desc_sorts(v in proptest::collection::vec(-100.0..100.0f64, 1..32)) {
+#[test]
+fn argsort_desc_sorts() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let v = random_vec(&mut rng, 1..32, 100.0);
         let idx = vector::argsort_desc(&v);
         for w in idx.windows(2) {
-            prop_assert!(v[w[0]] >= v[w[1]]);
+            assert!(v[w[0]] >= v[w[1]]);
         }
         // Is a permutation.
         let mut seen = vec![false; v.len()];
-        for &i in &idx { seen[i] = true; }
-        prop_assert!(seen.into_iter().all(|b| b));
+        for &i in &idx {
+            seen[i] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
     }
+}
 
-    #[test]
-    fn qr_reconstructs(m in tall_matrix()) {
+#[test]
+fn qr_reconstructs() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..CASES {
+        let m = tall_matrix(&mut rng);
         let qr = Qr::decompose(&m).unwrap();
         let rec = qr.q.matmul(&qr.r);
-        prop_assert!(rec.sub(&m).unwrap().max_abs() < 1e-7);
+        assert!(rec.sub(&m).unwrap().max_abs() < 1e-7);
         // Orthonormal columns.
         let qtq = qr.q.transpose().matmul(&qr.q);
-        prop_assert!(qtq.sub(&Matrix::identity(m.cols())).unwrap().max_abs() < 1e-7);
+        assert!(qtq.sub(&Matrix::identity(m.cols())).unwrap().max_abs() < 1e-7);
     }
+}
 
-    #[test]
-    fn svd_reconstructs_and_is_sorted(m in tall_matrix()) {
+#[test]
+fn svd_reconstructs_and_is_sorted() {
+    let mut rng = StdRng::seed_from_u64(111);
+    for _ in 0..CASES {
+        let m = tall_matrix(&mut rng);
         let svd = Svd::decompose(&m).unwrap();
-        prop_assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
-        prop_assert!(svd.s.iter().all(|&s| s >= 0.0));
+        assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        assert!(svd.s.iter().all(|&s| s >= 0.0));
         let rec = svd.reconstruct(m.cols());
-        prop_assert!(rec.sub(&m).unwrap().max_abs() < 1e-6);
+        assert!(rec.sub(&m).unwrap().max_abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn svd_truncation_monotone(m in tall_matrix()) {
+#[test]
+fn svd_truncation_monotone() {
+    let mut rng = StdRng::seed_from_u64(112);
+    for _ in 0..CASES {
+        let m = tall_matrix(&mut rng);
         let svd = Svd::decompose(&m).unwrap();
         let mut prev = f64::INFINITY;
         for k in 1..=m.cols() {
             let err = svd.reconstruct(k).sub(&m).unwrap().frobenius_norm();
-            prop_assert!(err <= prev + 1e-8);
+            assert!(err <= prev + 1e-8);
             prev = err;
         }
     }

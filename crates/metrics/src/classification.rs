@@ -195,7 +195,15 @@ mod tests {
         let y = [1.0, 1.0, 0.0, 0.0, 1.0];
         let p = [1.0, 0.0, 1.0, 0.0, 1.0];
         let c = Confusion::from_predictions(&y, &p);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.tpr() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.fpr() - 0.5).abs() < 1e-12);
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);

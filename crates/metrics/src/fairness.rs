@@ -154,13 +154,7 @@ mod tests {
     #[test]
     fn consistency_penalizes_neighbor_disagreement() {
         // Two tight clusters; predictions flip inside the first cluster.
-        let x = Matrix::from_rows(vec![
-            vec![0.0],
-            vec![0.1],
-            vec![10.0],
-            vec![10.1],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]]).unwrap();
         let consistent = consistency(&x, &[1.0, 1.0, 0.0, 0.0], 1);
         let inconsistent = consistency(&x, &[1.0, 0.0, 0.0, 0.0], 1);
         assert_eq!(consistent, 1.0);

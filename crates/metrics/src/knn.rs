@@ -89,8 +89,8 @@ mod tests {
     fn multidimensional_distances() {
         let x = Matrix::from_rows(vec![
             vec![0.0, 0.0],
-            vec![3.0, 4.0],  // dist 5
-            vec![1.0, 1.0],  // dist sqrt(2)
+            vec![3.0, 4.0], // dist 5
+            vec![1.0, 1.0], // dist sqrt(2)
         ])
         .unwrap();
         assert_eq!(k_nearest(&x, 0, 2), vec![2, 1]);

@@ -198,10 +198,7 @@ mod tests {
         let scores = vec![1.0, 0.5, 0.1];
         let perfect = ranking_from_scores(&scores);
         let worst = vec![2, 1, 0];
-        let m = mean_average_precision(
-            &[(perfect, scores.clone()), (worst, scores.clone())],
-            2,
-        );
+        let m = mean_average_precision(&[(perfect, scores.clone()), (worst, scores.clone())], 2);
         // Worst ranking top-2 = [2, 1]: item 1 relevant at pos 2 => AP 0.25.
         assert!((m - (1.0 + 0.25) / 2.0).abs() < 1e-12);
         assert_eq!(mean_average_precision(&[], 10), 0.0);

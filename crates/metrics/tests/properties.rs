@@ -1,92 +1,114 @@
-//! Property-based tests of the evaluation metrics: bounds, invariances and
-//! symmetries that must hold for arbitrary inputs.
+//! Property-style tests of the evaluation metrics over seeded random inputs
+//! (the offline toolchain has no proptest): bounds, invariances and
+//! symmetries.
 
 use ifair_linalg::Matrix;
 use ifair_metrics::{
     accuracy, auc, average_precision_at_k, consistency, equal_opportunity, harmonic_mean,
     kendall_tau, ndcg_at_k, ranking_from_scores, statistical_parity,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn labels_and_scores() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (4usize..40).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(prop::bool::ANY.prop_map(f64::from), n),
-            proptest::collection::vec(0.0f64..1.0, n),
-        )
-    })
+fn labels_and_scores(rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.gen_range(4..40usize);
+    let labels = (0..n).map(|_| f64::from(rng.gen_bool(0.5))).collect();
+    let scores = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (labels, scores)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: usize = 48;
 
-    #[test]
-    fn auc_invariant_under_monotone_transform((labels, scores) in labels_and_scores()) {
+#[test]
+fn auc_invariant_under_monotone_transform() {
+    let mut rng = StdRng::seed_from_u64(501);
+    for _ in 0..CASES {
+        let (labels, scores) = labels_and_scores(&mut rng);
         let a1 = auc(&labels, &scores);
         // Strictly increasing transform must not change the AUC.
         let transformed: Vec<f64> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
         let a2 = auc(&labels, &transformed);
-        prop_assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
-        prop_assert!((0.0..=1.0).contains(&a1));
+        assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
+        assert!((0.0..=1.0).contains(&a1));
     }
+}
 
-    #[test]
-    fn auc_flipping_scores_complements((labels, scores) in labels_and_scores()) {
+#[test]
+fn auc_flipping_scores_complements() {
+    let mut rng = StdRng::seed_from_u64(502);
+    for _ in 0..CASES {
+        let (labels, scores) = labels_and_scores(&mut rng);
         let pos = labels.iter().filter(|&&y| y == 1.0).count();
-        prop_assume!(pos > 0 && pos < labels.len());
+        if pos == 0 || pos == labels.len() {
+            continue; // AUC undefined with a single class
+        }
         let a = auc(&labels, &scores);
         let flipped: Vec<f64> = scores.iter().map(|&s| -s).collect();
         let b = auc(&labels, &flipped);
-        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+        assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
     }
+}
 
-    #[test]
-    fn accuracy_bounds_and_complement((labels, scores) in labels_and_scores()) {
+#[test]
+fn accuracy_bounds_and_complement() {
+    let mut rng = StdRng::seed_from_u64(503);
+    for _ in 0..CASES {
+        let (labels, scores) = labels_and_scores(&mut rng);
         let preds: Vec<f64> = scores.iter().map(|&s| f64::from(s > 0.5)).collect();
         let acc = accuracy(&labels, &preds);
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc));
         let anti: Vec<f64> = preds.iter().map(|&p| 1.0 - p).collect();
-        prop_assert!((acc + accuracy(&labels, &anti) - 1.0).abs() < 1e-12);
+        assert!((acc + accuracy(&labels, &anti) - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn kendall_tau_bounded_and_self_perfect(
-        scores in proptest::collection::vec(-5.0f64..5.0, 3..40),
-    ) {
+#[test]
+fn kendall_tau_bounded_and_self_perfect() {
+    let mut rng = StdRng::seed_from_u64(504);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..40usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let t = kendall_tau(&scores, &scores);
-        prop_assert!((-1.0..=1.0 + 1e-12).contains(&t));
+        assert!((-1.0..=1.0 + 1e-12).contains(&t));
         // With at least two distinct values, self-correlation is exactly 1.
         let distinct = scores.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9);
         if distinct {
-            prop_assert!((t - 1.0).abs() < 1e-9, "τ(x,x) = {t}");
+            assert!((t - 1.0).abs() < 1e-9, "τ(x,x) = {t}");
         }
     }
+}
 
-    #[test]
-    fn average_precision_of_true_ranking_is_one(
-        scores in proptest::collection::vec(0.0f64..1.0, 10..40),
-    ) {
+#[test]
+fn average_precision_of_true_ranking_is_one() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..CASES {
+        let n = rng.gen_range(10..40usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
         // Ranking by the true scores themselves gives perfect AP@k.
         let ranking = ranking_from_scores(&scores);
         let ap = average_precision_at_k(&ranking, &scores, 10);
-        prop_assert!((ap - 1.0).abs() < 1e-9, "AP {ap}");
+        assert!((ap - 1.0).abs() < 1e-9, "AP {ap}");
         let ndcg = ndcg_at_k(&ranking, &scores, 10);
-        prop_assert!((ndcg - 1.0).abs() < 1e-9, "NDCG {ndcg}");
+        assert!((ndcg - 1.0).abs() < 1e-9, "NDCG {ndcg}");
     }
+}
 
-    #[test]
-    fn average_precision_bounded(
-        (labels, scores) in labels_and_scores(),
-    ) {
+#[test]
+fn average_precision_bounded() {
+    let mut rng = StdRng::seed_from_u64(506);
+    for _ in 0..CASES {
+        let (labels, scores) = labels_and_scores(&mut rng);
         let ranking = ranking_from_scores(&scores);
         let ap = average_precision_at_k(&ranking, &labels, 10);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        assert!((0.0..=1.0 + 1e-12).contains(&ap));
     }
+}
 
-    #[test]
-    fn parity_and_eqopp_perfect_when_groups_identical(
-        (labels, scores) in labels_and_scores(),
-    ) {
+#[test]
+fn parity_and_eqopp_perfect_when_groups_identical() {
+    let mut rng = StdRng::seed_from_u64(507);
+    for _ in 0..CASES {
+        let (labels, scores) = labels_and_scores(&mut rng);
         // Duplicate every record into both groups: group statistics match
         // exactly, so both group-fairness measures must be 1.
         let preds: Vec<f64> = scores.iter().map(|&s| f64::from(s > 0.5)).collect();
@@ -96,38 +118,52 @@ proptest! {
         p2.extend_from_slice(&preds);
         let mut group = vec![0u8; labels.len()];
         group.extend(vec![1u8; labels.len()]);
-        prop_assert!((statistical_parity(&p2, &group) - 1.0).abs() < 1e-12);
-        prop_assert!((equal_opportunity(&y2, &p2, &group) - 1.0).abs() < 1e-12);
+        assert!((statistical_parity(&p2, &group) - 1.0).abs() < 1e-12);
+        assert!((equal_opportunity(&y2, &p2, &group) - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn consistency_perfect_for_constant_predictions(
-        rows in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 5..20),
-    ) {
+#[test]
+fn consistency_perfect_for_constant_predictions() {
+    let mut rng = StdRng::seed_from_u64(508);
+    for _ in 0..CASES {
+        let m = rng.gen_range(5..20usize);
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         let x = Matrix::from_rows(rows).unwrap();
         let preds = vec![1.0; x.rows()];
         let ynn = consistency(&x, &preds, 3);
-        prop_assert!((ynn - 1.0).abs() < 1e-12);
+        assert!((ynn - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn consistency_bounded(
-        rows in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 5..20),
-        bits in proptest::collection::vec(prop::bool::ANY, 20),
-    ) {
+#[test]
+fn consistency_bounded() {
+    let mut rng = StdRng::seed_from_u64(509);
+    for _ in 0..CASES {
+        let m = rng.gen_range(5..20usize);
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         let x = Matrix::from_rows(rows).unwrap();
-        let preds: Vec<f64> = bits.iter().take(x.rows()).map(|&b| f64::from(b)).collect();
+        let preds: Vec<f64> = (0..m).map(|_| f64::from(rng.gen_bool(0.5))).collect();
         let ynn = consistency(&x, &preds, 3);
-        prop_assert!((0.0..=1.0).contains(&ynn));
+        assert!((0.0..=1.0).contains(&ynn));
     }
+}
 
-    #[test]
-    fn harmonic_mean_properties(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+#[test]
+fn harmonic_mean_properties() {
+    let mut rng = StdRng::seed_from_u64(510);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0.0..1.0);
+        let b = rng.gen_range(0.0..1.0);
         let h = harmonic_mean(a, b);
         // Bounded by min and the geometric mean (≤ arithmetic mean).
-        prop_assert!(h >= a.min(b) - 1e-12);
-        prop_assert!(h <= (a * b).sqrt() + 1e-12);
-        prop_assert!((harmonic_mean(a, b) - harmonic_mean(b, a)).abs() < 1e-12);
-        prop_assert!((harmonic_mean(a, a) - a).abs() < 1e-12);
+        assert!(h >= a.min(b) - 1e-12);
+        assert!(h <= (a * b).sqrt() + 1e-12);
+        assert!((harmonic_mean(a, b) - harmonic_mean(b, a)).abs() < 1e-12);
+        assert!((harmonic_mean(a, a) - a).abs() < 1e-12);
     }
 }

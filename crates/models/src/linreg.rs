@@ -61,11 +61,7 @@ impl RidgeRegression {
     pub fn r_squared(&self, x: &Matrix, y: &[f64]) -> f64 {
         let preds = self.predict(x);
         let y_mean = ifair_linalg::vector::mean(y);
-        let ss_res: f64 = preds
-            .iter()
-            .zip(y)
-            .map(|(&p, &t)| (t - p) * (t - p))
-            .sum();
+        let ss_res: f64 = preds.iter().zip(y).map(|(&p, &t)| (t - p) * (t - p)).sum();
         let ss_tot: f64 = y.iter().map(|&t| (t - y_mean) * (t - y_mean)).sum();
         if ss_tot == 0.0 {
             return if ss_res == 0.0 { 1.0 } else { 0.0 };
@@ -89,7 +85,10 @@ mod tests {
             vec![3.0, 3.0],
         ])
         .unwrap();
-        let y: Vec<f64> = x.row_iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let y: Vec<f64> = x
+            .row_iter()
+            .map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0)
+            .collect();
         let model = RidgeRegression::fit(&x, &y, 0.0).unwrap();
         assert!((model.weights[0] - 2.0).abs() < 1e-8);
         assert!((model.weights[1] + 3.0).abs() < 1e-8);

@@ -195,7 +195,11 @@ mod tests {
     #[test]
     fn gradient_matches_finite_differences() {
         let (x, y) = separable();
-        let obj = CrossEntropy { x: &x, y: &y, l2: 0.1 };
+        let obj = CrossEntropy {
+            x: &x,
+            y: &y,
+            l2: 0.1,
+        };
         let params = vec![0.3, -0.5, 0.1];
         let report = check_gradient(&obj, &params, 1e-6);
         assert!(report.passes(1e-6), "{report:?}");

@@ -303,7 +303,12 @@ mod tests {
     fn solves_quadratic_exactly() {
         let obj = FnObjective::new(
             3,
-            |x: &[f64]| x.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v * v).sum(),
+            |x: &[f64]| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i as f64 + 1.0) * v * v)
+                    .sum()
+            },
             |x: &[f64], g: &mut [f64]| {
                 for (i, (gi, &xi)) in g.iter_mut().zip(x).enumerate() {
                     *gi = 2.0 * (i as f64 + 1.0) * xi;

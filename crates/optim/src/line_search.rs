@@ -71,9 +71,7 @@ impl<'a, O: Objective + ?Sized> Phi<'a, O> {
         for ((xa, &xi), &di) in self.xa.iter_mut().zip(self.x).zip(self.d) {
             *xa = xi + alpha * di;
         }
-        let value = self
-            .objective
-            .value_and_gradient(&self.xa, &mut self.grad);
+        let value = self.objective.value_and_gradient(&self.xa, &mut self.grad);
         self.n_evals += 1;
         let slope = self
             .grad

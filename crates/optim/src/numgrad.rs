@@ -118,11 +118,7 @@ mod tests {
 
     #[test]
     fn relative_error_is_absolute_near_zero() {
-        let obj = FnObjective::new(
-            1,
-            |_x: &[f64]| 0.0,
-            |_x: &[f64], g: &mut [f64]| g[0] = 1e-9,
-        );
+        let obj = FnObjective::new(1, |_x: &[f64]| 0.0, |_x: &[f64], g: &mut [f64]| g[0] = 1e-9);
         let report = check_gradient(&obj, &[0.0], 1e-6);
         assert!(report.passes(1e-6));
     }

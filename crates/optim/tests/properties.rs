@@ -1,16 +1,14 @@
-//! Property-based tests of the optimizers: convergence on random convex
-//! quadratics, bound feasibility, and agreement between analytic and
-//! numerical gradients.
+//! Property-style tests of the optimizers over seeded random convex
+//! quadratics (the offline toolchain has no proptest): convergence, bound
+//! feasibility, and agreement between optimizers.
 
 use ifair_optim::{Adam, AdamConfig, FnObjective, GradientDescent, Lbfgs, LbfgsConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A random strictly convex diagonal quadratic `Σ c_i (x_i - m_i)²` with
 /// known minimum `m`.
-fn quadratic(
-    coeffs: Vec<f64>,
-    minimum: Vec<f64>,
-) -> impl ifair_optim::Objective {
+fn quadratic(coeffs: Vec<f64>, minimum: Vec<f64>) -> impl ifair_optim::Objective {
     let c2 = coeffs.clone();
     let m2 = minimum.clone();
     FnObjective::new(
@@ -30,31 +28,36 @@ fn quadratic(
     )
 }
 
-fn problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
-    (2usize..6).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0.1f64..10.0, n),
-            proptest::collection::vec(-5.0f64..5.0, n),
-            proptest::collection::vec(-8.0f64..8.0, n),
-        )
-    })
+/// Random `(coeffs, minimum, x0)` triple with 2–5 dimensions.
+fn problem(rng: &mut StdRng) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = rng.gen_range(2..6usize);
+    let coeffs = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
+    let minimum = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let x0 = (0..n).map(|_| rng.gen_range(-8.0..8.0)).collect();
+    (coeffs, minimum, x0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn lbfgs_finds_quadratic_minimum((coeffs, minimum, x0) in problem()) {
+#[test]
+fn lbfgs_finds_quadratic_minimum() {
+    let mut rng = StdRng::seed_from_u64(201);
+    for _ in 0..CASES {
+        let (coeffs, minimum, x0) = problem(&mut rng);
         let obj = quadratic(coeffs, minimum.clone());
         let res = Lbfgs::default_config().minimize(&obj, x0);
-        prop_assert!(res.converged, "termination {:?}", res.termination);
+        assert!(res.converged, "termination {:?}", res.termination);
         for (xi, mi) in res.x.iter().zip(&minimum) {
-            prop_assert!((xi - mi).abs() < 1e-4, "{} vs {}", xi, mi);
+            assert!((xi - mi).abs() < 1e-4, "{} vs {}", xi, mi);
         }
     }
+}
 
-    #[test]
-    fn lbfgs_iterates_stay_in_box((coeffs, minimum, x0) in problem()) {
+#[test]
+fn lbfgs_iterates_stay_in_box() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for _ in 0..CASES {
+        let (coeffs, minimum, x0) = problem(&mut rng);
         let n = x0.len();
         let bounds = vec![(-1.0, 1.0); n];
         let obj = quadratic(coeffs, minimum.clone());
@@ -64,16 +67,20 @@ proptest! {
         })
         .minimize(&obj, x0);
         for (i, xi) in res.x.iter().enumerate() {
-            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(xi), "x[{i}] = {xi}");
+            assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(xi), "x[{i}] = {xi}");
             // The constrained optimum is the clamped unconstrained one for a
             // separable quadratic.
             let expect = minimum[i].clamp(-1.0, 1.0);
-            prop_assert!((xi - expect).abs() < 1e-3, "x[{i}] = {xi}, want {expect}");
+            assert!((xi - expect).abs() < 1e-3, "x[{i}] = {xi}, want {expect}");
         }
     }
+}
 
-    #[test]
-    fn adam_descends_on_quadratics((coeffs, minimum, x0) in problem()) {
+#[test]
+fn adam_descends_on_quadratics() {
+    let mut rng = StdRng::seed_from_u64(203);
+    for _ in 0..CASES {
+        let (coeffs, minimum, x0) = problem(&mut rng);
         let obj = quadratic(coeffs, minimum);
         let f0 = {
             use ifair_optim::Objective;
@@ -84,22 +91,30 @@ proptest! {
             ..Default::default()
         })
         .minimize(&obj, x0);
-        prop_assert!(res.value <= f0 + 1e-12, "{} > {}", res.value, f0);
+        assert!(res.value <= f0 + 1e-12, "{} > {}", res.value, f0);
     }
+}
 
-    #[test]
-    fn gradient_descent_descends((coeffs, minimum, x0) in problem()) {
+#[test]
+fn gradient_descent_descends() {
+    let mut rng = StdRng::seed_from_u64(204);
+    for _ in 0..CASES {
+        let (coeffs, minimum, x0) = problem(&mut rng);
         let obj = quadratic(coeffs, minimum);
         let f0 = {
             use ifair_optim::Objective;
             obj.value(&x0)
         };
         let res = GradientDescent::default().minimize(&obj, x0);
-        prop_assert!(res.value <= f0 + 1e-12);
+        assert!(res.value <= f0 + 1e-12);
     }
+}
 
-    #[test]
-    fn optimizers_agree_on_the_minimizer((coeffs, minimum, x0) in problem()) {
+#[test]
+fn optimizers_agree_on_the_minimizer() {
+    let mut rng = StdRng::seed_from_u64(205);
+    for _ in 0..CASES {
+        let (coeffs, minimum, x0) = problem(&mut rng);
         let obj = quadratic(coeffs, minimum);
         let a = Lbfgs::default_config().minimize(&obj, x0.clone());
         let b = Adam::new(AdamConfig {
@@ -109,7 +124,7 @@ proptest! {
         })
         .minimize(&obj, x0);
         for (xa, xb) in a.x.iter().zip(&b.x) {
-            prop_assert!((xa - xb).abs() < 0.05, "{xa} vs {xb}");
+            assert!((xa - xb).abs() < 0.05, "{xa} vs {xb}");
         }
     }
 }

@@ -1,0 +1,95 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Provides the [`Distribution`] trait and a Box–Muller [`Normal`] — the only
+//! pieces the workspace uses. See the vendored `rand` shim for why this
+//! exists.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, Standard};
+
+/// Types that produce samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds `N(mean, std_dev²)`; fails on negative or non-finite `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one uniform pair per sample keeps the sampler stateless
+        // (reproducibility matters more than the discarded second deviate).
+        let u1: f64 = loop {
+            let u = <f64 as Standard>::draw(rng);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = <f64 as Standard>::draw(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_of_standard_normal() {
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn location_and_scale() {
+        let normal = Normal::new(5.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| normal.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline serialization facade used in place of `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal self-serialization framework under serde's names: the derivable
+//! [`Serialize`] / [`Deserialize`] traits convert values to and from an
+//! in-memory JSON [`Value`] tree, and the sibling `serde_json` shim renders
+//! that tree to text. The derive macros (re-exported from `serde_derive`)
+//! cover the shapes this workspace uses: named-field structs, tuple structs,
+//! and enums with unit / newtype / tuple / struct variants, encoded exactly
+//! like serde's default externally-tagged representation.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Number, Value};
+
+/// Error raised when a [`Value`] cannot be decoded into the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree. Derivable.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree. Derivable.
+pub trait Deserialize: Sized {
+    /// Decodes a value of `Self` from `v`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::Int(*self as i128)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_int()?;
+                <$t>::try_from(i).map_err(|_| Error::msg(format!(
+                    "integer {i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    Value::Number(Number::Float(*self as f64))
+                } else {
+                    // serde_json refuses non-finite floats; encode as null so
+                    // persisted models with sentinel values still round-trip.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Ok(v.as_f64()? as $t),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array()?;
+                const LEN: usize = 0 $(+ { let _ = $i; 1 })+;
+                if a.len() != LEN {
+                    return Err(Error::msg(format!(
+                        "expected array of length {LEN}, got {}", a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$i])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integer_range_checked() {
+        let v = Value::Number(Number::Int(300));
+        assert!(u8::from_value(&v).is_err());
+        assert_eq!(u16::from_value(&v).unwrap(), 300);
+    }
+
+    #[test]
+    fn float_accepts_int_tokens() {
+        let v = Value::Number(Number::Int(3));
+        assert_eq!(f64::from_value(&v).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+}

@@ -1,0 +1,106 @@
+//! The in-memory JSON tree shared by the `serde` and `serde_json` shims.
+
+use crate::Error;
+
+/// A JSON number, keeping integers exact (seeds are `u64`; `f64` would lose
+/// precision above 2⁵³).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integer token (no `.`, `e` or `E` in the source).
+    Int(i128),
+    /// A floating-point token.
+    Float(f64),
+}
+
+/// An in-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up `name` in an object.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Borrows the elements of an array.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// Borrows the entries of an object.
+    pub fn as_object(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// Borrows a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// Reads a number as `f64` (integers widen).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(Number::Float(f)) => Ok(*f),
+            Value::Number(Number::Int(i)) => Ok(*i as f64),
+            other => Err(Error::msg(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// Reads a number as an exact integer; integral floats are accepted.
+    pub fn as_int(&self) -> Result<i128, Error> {
+        match self {
+            Value::Number(Number::Int(i)) => Ok(*i),
+            Value::Number(Number::Float(f)) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => {
+                Ok(*f as i128)
+            }
+            other => Err(Error::msg(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

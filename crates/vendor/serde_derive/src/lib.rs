@@ -1,0 +1,390 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline build cannot pull `syn`/`quote`, so this crate parses the
+//! derive input with the bare `proc_macro` API. It supports exactly the
+//! shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (including newtypes),
+//! * unit structs,
+//! * enums whose variants are unit, newtype, tuple or struct-like,
+//!
+//! with **no generics and no `#[serde(...)]` attributes** — the macro panics
+//! with a clear message if it meets either, so unsupported input fails the
+//! build loudly instead of serializing wrongly.
+//!
+//! Encoding matches serde's externally-tagged default:
+//!
+//! * named struct  -> `{"field": ...}`
+//! * newtype struct -> inner value
+//! * tuple struct  -> `[...]`
+//! * unit variant  -> `"Variant"`
+//! * newtype variant -> `{"Variant": value}`
+//! * tuple variant -> `{"Variant": [...]}`
+//! * struct variant -> `{"Variant": {"field": ...}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: `name` is `Some` for named fields, `None` for tuple
+/// positions.
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => {
+            let body = serialize_shape(shape, "self");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => {
+            let body = deserialize_shape(shape, name, None);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let body = deserialize_shape(&v.shape, name, Some(&v.name));
+                    format!(
+                        "\"{}\" => {{ let v = payload; return {{ {body} }}; }}\n",
+                        v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::String(tag) = v {{\n\
+                             match tag.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(entries) = v {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                                 match tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::msg(format!(\n\
+                             \"invalid {name} variant encoding: {{}}\", v.kind())))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// -------------------------------------------------------------- code emission
+
+/// Serialization expression for one shape; `path` is how fields are reached
+/// (`self` for structs, empty for match-bound variant fields).
+fn serialize_shape(shape: &Shape, path: &str) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Object(vec![])".to_string(),
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    if path.is_empty() {
+                        format!("(\"{n}\".to_string(), ::serde::Serialize::to_value({n})),")
+                    } else {
+                        format!("(\"{n}\".to_string(), ::serde::Serialize::to_value(&{path}.{n})),")
+                    }
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Shape::Tuple(1) => {
+            if path.is_empty() {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                format!("::serde::Serialize::to_value(&{path}.0)")
+            }
+        }
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| {
+                    if path.is_empty() {
+                        format!("::serde::Serialize::to_value(f{i}),")
+                    } else {
+                        format!("::serde::Serialize::to_value(&{path}.{i}),")
+                    }
+                })
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("{enum_name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n")
+        }
+        Shape::Named(fields) => {
+            let binds: String = fields
+                .iter()
+                .map(|f| format!("{},", f.name.as_ref().unwrap()))
+                .collect();
+            let inner = serialize_shape(&v.shape, "");
+            format!(
+                "{enum_name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                     (\"{vn}\".to_string(), {inner})]),\n"
+            )
+        }
+        Shape::Tuple(n) => {
+            let binds: String = (0..*n).map(|i| format!("f{i},")).collect();
+            let inner = serialize_shape(&v.shape, "");
+            format!(
+                "{enum_name}::{vn}({binds}) => ::serde::Value::Object(vec![\
+                     (\"{vn}\".to_string(), {inner})]),\n"
+            )
+        }
+    }
+}
+
+/// Deserialization statement(s) for one shape, reading from a `v: &Value`
+/// binding and producing `Ok(...)`.
+fn deserialize_shape(shape: &Shape, type_name: &str, variant: Option<&str>) -> String {
+    let ctor = match variant {
+        Some(v) => format!("{type_name}::{v}"),
+        None => type_name.to_string(),
+    };
+    match shape {
+        Shape::Unit => format!("Ok({ctor})"),
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!("{n}: ::serde::Deserialize::from_value(v.field(\"{n}\")?)?,")
+                })
+                .collect();
+            format!("Ok({ctor} {{ {inits} }})")
+        }
+        Shape::Tuple(1) => format!("Ok({ctor}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?,"))
+                .collect();
+            format!(
+                "{{ let a = v.as_array()?;\n\
+                     if a.len() != {n} {{\n\
+                         return Err(::serde::Error::msg(format!(\n\
+                             \"expected {n} elements, got {{}}\", a.len())));\n\
+                     }}\n\
+                     Ok({ctor}({items})) }}"
+            )
+        }
+    }
+}
+
+// ------------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive shim: unexpected token after struct name: {other:?}"),
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+/// Splits a field/variant list on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&tokens, &mut pos);
+            let name = expect_ident(&tokens, &mut pos);
+            match tokens.get(pos) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => {
+                    panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}")
+                }
+            }
+            Field { name: Some(name) }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&tokens, &mut pos);
+            let name = expect_ident(&tokens, &mut pos);
+            let shape = match tokens.get(pos) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                    "serde_derive shim: explicit discriminants are not supported (variant `{name}`)"
+                ),
+                other => {
+                    panic!("serde_derive shim: unexpected token in variant `{name}`: {other:?}")
+                }
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => {
             let p = std::env::temp_dir().join("ifair-demo.csv");
             std::fs::write(&p, DEMO_CSV)?;
-            println!("no CSV given — using a generated demo file at {}\n", p.display());
+            println!(
+                "no CSV given — using a generated demo file at {}\n",
+                p.display()
+            );
             p
         }
     };

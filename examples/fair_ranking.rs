@@ -12,9 +12,7 @@ use ifair::baselines::{rerank, FairConfig};
 use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
 use ifair::data::generators::xing::{self, XingConfig};
 use ifair::data::StandardScaler;
-use ifair::metrics::{
-    consistency, kendall_tau, protected_share_top_k, ranking_from_scores,
-};
+use ifair::metrics::{consistency, kendall_tau, protected_share_top_k, ranking_from_scores};
 use ifair::models::RidgeRegression;
 
 fn main() {
@@ -43,12 +41,8 @@ fn main() {
     // Fit on a subsample, transform everyone (the representation is
     // application-agnostic: the same model serves every query).
     let fit_idx: Vec<usize> = (0..data.n_records()).step_by(8).collect();
-    let ifair = IFair::fit(
-        &data.x.select_rows(&fit_idx),
-        &data.protected,
-        &config,
-    )
-    .expect("training succeeds");
+    let ifair = IFair::fit(&data.x.select_rows(&fit_idx), &data.protected, &config)
+        .expect("training succeeds");
 
     // Rank with ridge regression on masked vs iFair representations.
     let masked = data.masked_x();
@@ -98,12 +92,8 @@ fn main() {
                 ..Default::default()
             },
         );
-        let share = fair
-            .order
-            .iter()
-            .filter(|&&i| group[i] == 1)
-            .count() as f64
-            / fair.order.len() as f64;
+        let share =
+            fair.order.iter().filter(|&&i| group[i] == 1).count() as f64 / fair.order.len() as f64;
         println!(
             "  p={p:.1}: top-10 protected share {:.0}%, {} candidates promoted",
             share * 100.0,

@@ -15,6 +15,24 @@ struct Pipeline {
     test: Dataset,
 }
 
+/// The pipeline and the two shared iFair fits are cached across tests: the
+/// fits dominate this binary's wall-clock and several tests reuse the same
+/// seeded configuration.
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: std::sync::OnceLock<Pipeline> = std::sync::OnceLock::new();
+    PIPELINE.get_or_init(prepared)
+}
+
+fn model_mu1() -> &'static IFair {
+    static MODEL: std::sync::OnceLock<IFair> = std::sync::OnceLock::new();
+    MODEL.get_or_init(|| quick_ifair(pipeline(), 1.0))
+}
+
+fn model_mu10() -> &'static IFair {
+    static MODEL: std::sync::OnceLock<IFair> = std::sync::OnceLock::new();
+    MODEL.get_or_init(|| quick_ifair(pipeline(), 10.0))
+}
+
 fn prepared() -> Pipeline {
     let ds = credit::generate(&CreditConfig {
         n_records: 400,
@@ -68,35 +86,29 @@ fn classifier_metrics(p: &Pipeline, train_x: &Matrix, test_x: &Matrix) -> (f64, 
 
 #[test]
 fn full_pipeline_beats_chance_on_utility() {
-    let p = prepared();
-    let (acc, auc_v, _, _) = classifier_metrics(&p, &p.train.x, &p.test.x);
+    let p = pipeline();
+    let (acc, auc_v, _, _) = classifier_metrics(p, &p.train.x, &p.test.x);
     assert!(acc > 0.55, "accuracy {acc} barely above chance");
     assert!(auc_v > 0.55, "AUC {auc_v} barely above chance");
 }
 
 #[test]
 fn ifair_representation_feeds_a_working_classifier() {
-    let p = prepared();
-    let model = quick_ifair(&p, 1.0);
-    let (acc, _, ynn, _) = classifier_metrics(
-        &p,
-        &model.transform(&p.train.x),
-        &model.transform(&p.test.x),
-    );
+    let p = pipeline();
+    let model = model_mu1();
+    let (acc, _, ynn, _) =
+        classifier_metrics(p, &model.transform(&p.train.x), &model.transform(&p.test.x));
     assert!(acc > 0.5, "accuracy {acc} collapsed");
     assert!(ynn > 0.5, "consistency {ynn} collapsed");
 }
 
 #[test]
 fn ifair_improves_consistency_over_full_data() {
-    let p = prepared();
-    let (_, _, ynn_full, _) = classifier_metrics(&p, &p.train.x, &p.test.x);
-    let model = quick_ifair(&p, 10.0);
-    let (_, _, ynn_fair, _) = classifier_metrics(
-        &p,
-        &model.transform(&p.train.x),
-        &model.transform(&p.test.x),
-    );
+    let p = pipeline();
+    let (_, _, ynn_full, _) = classifier_metrics(p, &p.train.x, &p.test.x);
+    let model = model_mu10();
+    let (_, _, ynn_fair, _) =
+        classifier_metrics(p, &model.transform(&p.train.x), &model.transform(&p.test.x));
     assert!(
         ynn_fair >= ynn_full,
         "iFair yNN {ynn_fair} below full-data yNN {ynn_full}"
@@ -105,13 +117,13 @@ fn ifair_improves_consistency_over_full_data() {
 
 #[test]
 fn stronger_mu_does_not_hurt_consistency() {
-    let p = prepared();
-    let weak = quick_ifair(&p, 0.1);
-    let strong = quick_ifair(&p, 10.0);
+    let p = pipeline();
+    let weak = quick_ifair(p, 0.1);
+    let strong = model_mu10();
     let (_, _, ynn_weak, _) =
-        classifier_metrics(&p, &weak.transform(&p.train.x), &weak.transform(&p.test.x));
+        classifier_metrics(p, &weak.transform(&p.train.x), &weak.transform(&p.test.x));
     let (_, _, ynn_strong, _) = classifier_metrics(
-        &p,
+        p,
         &strong.transform(&p.train.x),
         &strong.transform(&p.test.x),
     );
@@ -123,8 +135,8 @@ fn stronger_mu_does_not_hurt_consistency() {
 
 #[test]
 fn transform_is_deterministic_across_calls() {
-    let p = prepared();
-    let model = quick_ifair(&p, 1.0);
+    let p = pipeline();
+    let model = model_mu1();
     assert_eq!(model.transform(&p.test.x), model.transform(&p.test.x));
 }
 
@@ -133,7 +145,7 @@ fn scaler_statistics_transfer_to_test_split() {
     // The pipeline must scale test data with *training* statistics; spot
     // check that training columns are standardized while test columns are
     // merely finite (not re-standardized).
-    let p = prepared();
+    let p = pipeline();
     let means = p.train.x.col_means();
     let numeric_cols: Vec<usize> = (0..p.train.n_features())
         .filter(|&j| p.train.x.col_stds()[j] > 0.0)

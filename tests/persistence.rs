@@ -31,10 +31,7 @@ fn model_json_roundtrip_is_bit_identical() {
     assert_eq!(model.transform(&ds.x), restored.transform(&ds.x));
     assert_eq!(model.alpha(), restored.alpha());
     assert_eq!(model.prototypes(), restored.prototypes());
-    assert_eq!(
-        model.report().best().loss,
-        restored.report().best().loss
-    );
+    assert_eq!(model.report().best().loss, restored.report().best().loss);
 }
 
 #[test]

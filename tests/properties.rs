@@ -1,18 +1,21 @@
-//! Property-based tests over the public API: invariants that must hold for
-//! *arbitrary* (not hand-picked) data, via proptest.
+//! Property-style tests over the public API: invariants that must hold for
+//! *randomized* (not hand-picked) data. The offline toolchain has no
+//! proptest, so each property is exercised over a battery of seeded random
+//! cases — deterministic, yet far broader than fixed fixtures.
 
 use ifair::baselines::{fail_probability, minimum_protected_table, rerank, FairConfig};
 use ifair::core::{FairnessPairs, IFair, IFairConfig};
 use ifair::linalg::Matrix;
 use ifair::metrics::{kendall_tau, ranking_from_scores, statistical_parity};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Small random data matrices with one protected trailing column.
-fn data_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-2.0..2.0f64, 4),
-        6..20,
-    )
+/// Small random data matrix with 4 columns, 6–19 rows, values in (-2, 2).
+fn random_rows(rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let m = rng.gen_range(6..20usize);
+    (0..m)
+        .map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect()
 }
 
 fn quick_config(seed: u64) -> IFairConfig {
@@ -26,34 +29,32 @@ fn quick_config(seed: u64) -> IFairConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn ifair_responsibilities_always_form_distributions(
-        rows in data_strategy(), seed in 0u64..1000
-    ) {
-        let x = Matrix::from_rows(rows).unwrap();
+#[test]
+fn ifair_responsibilities_always_form_distributions() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0001);
+    for case in 0..8u64 {
+        let x = Matrix::from_rows(random_rows(&mut rng)).unwrap();
         let protected = vec![false, false, false, true];
-        let model = IFair::fit(&x, &protected, &quick_config(seed)).unwrap();
+        let model = IFair::fit(&x, &protected, &quick_config(case)).unwrap();
         let (xt, u) = model.transform_with_probabilities(&x);
         for i in 0..u.rows() {
             let s: f64 = u.row(i).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-9, "row {} sums to {}", i, s);
-            prop_assert!(u.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((s - 1.0).abs() < 1e-9, "case {case}: row {i} sums to {s}");
+            assert!(u.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
-        prop_assert!(xt.as_slice().iter().all(|v| v.is_finite()));
+        assert!(xt.as_slice().iter().all(|v| v.is_finite()));
     }
+}
 
-    #[test]
-    fn ifair_transform_stays_in_prototype_hull(
-        rows in data_strategy(), seed in 0u64..1000
-    ) {
-        // x̃ is a convex combination of prototypes, so every coordinate lies
-        // within the prototypes' coordinate-wise range.
-        let x = Matrix::from_rows(rows).unwrap();
+#[test]
+fn ifair_transform_stays_in_prototype_hull() {
+    // x̃ is a convex combination of prototypes, so every coordinate lies
+    // within the prototypes' coordinate-wise range.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0002);
+    for case in 0..8u64 {
+        let x = Matrix::from_rows(random_rows(&mut rng)).unwrap();
         let protected = vec![false, false, false, true];
-        let model = IFair::fit(&x, &protected, &quick_config(seed)).unwrap();
+        let model = IFair::fit(&x, &protected, &quick_config(100 + case)).unwrap();
         let xt = model.transform(&x);
         let v = model.prototypes();
         for j in 0..xt.cols() {
@@ -63,95 +64,109 @@ proptest! {
                 hi = hi.max(v.get(k, j));
             }
             for i in 0..xt.rows() {
-                prop_assert!(
+                assert!(
                     xt.get(i, j) >= lo - 1e-9 && xt.get(i, j) <= hi + 1e-9,
-                    "({}, {}) = {} outside hull [{}, {}]",
-                    i, j, xt.get(i, j), lo, hi
+                    "case {case}: ({}, {}) = {} outside hull [{}, {}]",
+                    i,
+                    j,
+                    xt.get(i, j),
+                    lo,
+                    hi
                 );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mtable_monotone_and_feasible(
-        k in 1usize..60,
-        p in 0.05f64..0.95,
-        alpha in 0.01f64..0.3,
-    ) {
+#[test]
+fn mtable_monotone_and_feasible() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0003);
+    for _ in 0..64 {
+        let k = rng.gen_range(1..60usize);
+        let p = rng.gen_range(0.05..0.95);
+        let alpha = rng.gen_range(0.01..0.3);
         let t = minimum_protected_table(k, p, alpha);
-        prop_assert_eq!(t.len(), k);
+        assert_eq!(t.len(), k);
         // Monotone non-decreasing, never requiring more than the prefix length.
         for (i, w) in t.windows(2).enumerate() {
-            prop_assert!(w[0] <= w[1]);
-            prop_assert!(w[1] <= i + 2);
+            assert!(w[0] <= w[1], "k={k} p={p} alpha={alpha}");
+            assert!(w[1] <= i + 2, "k={k} p={p} alpha={alpha}");
         }
-        // A fair process fails the corrected table with probability <= alpha
-        // after adjustment; with the raw table the failure probability is
-        // finite and in [0, 1].
+        // A fair process fails the table with probability in [0, 1].
         let f = fail_probability(&t, p);
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f), "k={k} p={p} alpha={alpha}: {f}");
     }
+}
 
-    #[test]
-    fn rerank_emits_each_candidate_once(
-        scores in proptest::collection::vec(0.0f64..1.0, 5..40),
-        p in 0.1f64..0.9,
-        bits in proptest::collection::vec(any::<bool>(), 40),
-    ) {
-        let protected: Vec<u8> = bits.iter().take(scores.len()).map(|&b| b as u8).collect();
-        let k = scores.len();
-        let result = rerank(&scores, &protected, k, &FairConfig {
-            p,
-            alpha: 0.1,
-            adjust_alpha: false,
-        });
+#[test]
+fn rerank_emits_each_candidate_once() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0004);
+    for _ in 0..64 {
+        let n = rng.gen_range(5..40usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let protected: Vec<u8> = (0..n).map(|_| u8::from(rng.gen_bool(0.5))).collect();
+        let p = rng.gen_range(0.1..0.9);
+        let result = rerank(
+            &scores,
+            &protected,
+            n,
+            &FairConfig {
+                p,
+                alpha: 0.1,
+                adjust_alpha: false,
+            },
+        );
         let mut seen = result.order.clone();
         seen.sort_unstable();
         seen.dedup();
-        prop_assert_eq!(seen.len(), result.order.len(), "duplicate candidates");
-        prop_assert_eq!(result.order.len(), k);
-        prop_assert_eq!(result.fair_scores.len(), k);
-        prop_assert!(result.fair_scores.iter().all(|s| s.is_finite()));
+        assert_eq!(seen.len(), result.order.len(), "duplicate candidates");
+        assert_eq!(result.order.len(), n);
+        assert_eq!(result.fair_scores.len(), n);
+        assert!(result.fair_scores.iter().all(|s| s.is_finite()));
     }
+}
 
-    #[test]
-    fn kendall_tau_is_antisymmetric_and_bounded(
-        scores in proptest::collection::vec(-10.0f64..10.0, 3..30),
-    ) {
+#[test]
+fn kendall_tau_is_antisymmetric_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0005);
+    for _ in 0..64 {
+        let n = rng.gen_range(3..30usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
         let reversed: Vec<f64> = scores.iter().map(|&s| -s).collect();
         let t_fwd = kendall_tau(&scores, &scores);
         let t_rev = kendall_tau(&scores, &reversed);
-        prop_assert!((-1.0..=1.0).contains(&t_fwd));
-        prop_assert!((t_fwd + t_rev).abs() < 1e-9, "τ(x,x) = -τ(x,-x) violated");
+        assert!((-1.0..=1.0).contains(&t_fwd));
+        assert!((t_fwd + t_rev).abs() < 1e-9, "τ(x,x) = -τ(x,-x) violated");
     }
+}
 
-    #[test]
-    fn ranking_from_scores_is_a_permutation_sorted_desc(
-        scores in proptest::collection::vec(-5.0f64..5.0, 1..50),
-    ) {
+#[test]
+fn ranking_from_scores_is_a_permutation_sorted_desc() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0006);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..50usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let order = ranking_from_scores(&scores);
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..scores.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..scores.len()).collect::<Vec<_>>());
         for w in order.windows(2) {
-            prop_assert!(scores[w[0]] >= scores[w[1]]);
+            assert!(scores[w[0]] >= scores[w[1]]);
         }
     }
+}
 
-    #[test]
-    fn statistical_parity_bounded_and_symmetric(
-        preds in proptest::collection::vec(0.0f64..1.0, 4..40),
-        bits in proptest::collection::vec(any::<bool>(), 40),
-    ) {
-        let group: Vec<u8> = bits.iter().take(preds.len()).map(|&b| b as u8).collect();
+#[test]
+fn statistical_parity_bounded_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0007);
+    for _ in 0..64 {
+        let n = rng.gen_range(4..40usize);
+        let preds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let group: Vec<u8> = (0..n).map(|_| u8::from(rng.gen_bool(0.5))).collect();
         let parity = statistical_parity(&preds, &group);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&parity));
+        assert!((0.0..=1.0 + 1e-12).contains(&parity));
         // Swapping group labels leaves the absolute gap unchanged.
         let swapped: Vec<u8> = group.iter().map(|&g| 1 - g).collect();
-        prop_assert!((parity - statistical_parity(&preds, &swapped)).abs() < 1e-12);
+        assert!((parity - statistical_parity(&preds, &swapped)).abs() < 1e-12);
     }
 }

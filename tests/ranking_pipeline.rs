@@ -10,14 +10,18 @@ use ifair::data::{RankingDataset, StandardScaler};
 use ifair::metrics::{consistency, kendall_tau, protected_share_top_k, ranking_from_scores};
 use ifair::models::RidgeRegression;
 
-fn prepared() -> RankingDataset {
-    let rds = xing::generate(&XingConfig {
-        n_queries: 10,
-        seed: 21,
-    });
-    let (_, x) = StandardScaler::fit_transform(&rds.data.x);
-    let data = rds.data.with_features(x).unwrap();
-    RankingDataset::new(data, rds.queries).unwrap()
+/// The scaled ranking dataset is cached across this binary's tests.
+fn prepared() -> &'static RankingDataset {
+    static DATASET: std::sync::OnceLock<RankingDataset> = std::sync::OnceLock::new();
+    DATASET.get_or_init(|| {
+        let rds = xing::generate(&XingConfig {
+            n_queries: 10,
+            seed: 21,
+        });
+        let (_, x) = StandardScaler::fit_transform(&rds.data.x);
+        let data = rds.data.with_features(x).unwrap();
+        RankingDataset::new(data, rds.queries).unwrap()
+    })
 }
 
 fn mean_query_kt(rds: &RankingDataset, predicted: &[f64]) -> f64 {
@@ -51,7 +55,7 @@ fn linear_regression_on_full_data_recovers_deserved_ranking() {
     // reproduce it almost exactly — the paper's Table V MAP = KT = 1.00.
     let rds = prepared();
     let model = RidgeRegression::fit(&rds.data.x, rds.data.labels(), 1e-6).unwrap();
-    let kt = mean_query_kt(&rds, &model.predict(&rds.data.x));
+    let kt = mean_query_kt(rds, &model.predict(&rds.data.x));
     assert!(kt > 0.95, "KT {kt}");
 }
 
@@ -60,7 +64,7 @@ fn ifair_scores_are_more_consistent_than_masked_scores() {
     let rds = prepared();
     let masked = rds.data.masked_x();
     let masked_model = RidgeRegression::fit(&masked, rds.data.labels(), 1e-6).unwrap();
-    let ynn_masked = mean_query_ynn(&rds, &masked_model.predict(&masked));
+    let ynn_masked = mean_query_ynn(rds, &masked_model.predict(&masked));
 
     let config = IFairConfig {
         k: 8,
@@ -76,7 +80,7 @@ fn ifair_scores_are_more_consistent_than_masked_scores() {
     let model = IFair::fit(&rds.data.x, &rds.data.protected, &config).unwrap();
     let repr = model.transform(&rds.data.x);
     let reg = RidgeRegression::fit(&repr, rds.data.labels(), 1e-6).unwrap();
-    let ynn_fair = mean_query_ynn(&rds, &reg.predict(&repr));
+    let ynn_fair = mean_query_ynn(rds, &reg.predict(&repr));
     assert!(
         ynn_fair > ynn_masked,
         "iFair yNN {ynn_fair} <= masked yNN {ynn_masked}"
