@@ -1,16 +1,23 @@
 //! Micro-benchmarks for the numerical kernels: distances, the iFair
 //! objective (value vs analytic value-and-gradient vs finite differences),
-//! the metric kernels — and, the headline, the serial vs parallel pairwise
-//! `L_fair` kernel on N = 2000 records (1 999 000 fairness pairs).
+//! the metric kernels — and, the headline, the serial vs pooled objective
+//! evaluation and end-to-end `fit` on M = 2000 records (1 999 000 fairness
+//! pairs).
 //!
-//! Run with `cargo bench -p ifair-bench --bench kernels`. Thread counts for
-//! the parallel section default to {1, 2, 4, all hardware threads} and can
-//! be overridden via `IFAIR_BENCH_THREADS=1,2,8`.
+//! Run with `cargo bench -p ifair-bench --bench kernels`. Environment knobs:
+//!
+//! * `IFAIR_BENCH_THREADS=1,2,8` — thread counts for the parallel sections
+//!   (default `{1, 2, 4, all hardware threads}`),
+//! * `IFAIR_BENCH_SMOKE=1` — tiny sizes and iteration counts, so CI can
+//!   prove the bench binary still builds and runs in seconds,
+//! * `IFAIR_BENCH_JSON=1` — additionally write `BENCH_kernels.json`
+//!   (name/min/median/mean ns per measurement, plus thread count and N) so
+//!   the perf trajectory is trackable across PRs.
 
-use ifair_bench::timing::{bench, table_header};
+use ifair_bench::timing::{bench, table_header, BenchReport};
 use ifair_core::distance::{weighted_minkowski, weighted_power_sum};
 use ifair_core::par::available_threads;
-use ifair_core::{FairnessPairs, IFairConfig, IFairObjective};
+use ifair_core::{FairnessPairs, IFair, IFairConfig, IFairObjective};
 use ifair_linalg::Matrix;
 use ifair_metrics::{auc, consistency, kendall_tau};
 use ifair_optim::{NumericalObjective, Objective};
@@ -18,27 +25,86 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
+/// Problem sizes and iteration counts, shrunk under `IFAIR_BENCH_SMOKE`.
+struct Sizes {
+    smoke: bool,
+    /// Records of the headline pairwise/fit sections. 2000 records means
+    /// 1 999 000 exact fairness pairs; the smoke size (128 → 8128 pairs)
+    /// still clears BOTH pool engagement thresholds (`PAR_MIN_RECORDS` =
+    /// 128 and `PAR_MIN_PAIRS` = 512), so the CI smoke run exercises the
+    /// pooled forward/backprop record path, not just the pair kernel.
+    m_headline: usize,
+    warmup: usize,
+    iters: usize,
+}
+
+impl Sizes {
+    fn from_env() -> Sizes {
+        let smoke = std::env::var_os("IFAIR_BENCH_SMOKE").is_some();
+        if smoke {
+            Sizes {
+                smoke,
+                m_headline: 128,
+                warmup: 0,
+                iters: 2,
+            }
+        } else {
+            Sizes {
+                smoke,
+                m_headline: 2000,
+                warmup: 1,
+                iters: 5,
+            }
+        }
+    }
+}
+
 fn random_vec(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
 }
 
-fn bench_distance_kernels() {
+fn thread_counts() -> Vec<usize> {
+    let mut counts: Vec<usize> = match std::env::var("IFAIR_BENCH_THREADS") {
+        Ok(list) => {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            if parsed.is_empty() {
+                eprintln!("warning: unusable IFAIR_BENCH_THREADS={list:?}; using defaults");
+            }
+            parsed
+        }
+        Err(_) => Vec::new(),
+    };
+    if counts.is_empty() {
+        counts = vec![1usize, 2, 4, available_threads()];
+        counts.sort_unstable();
+        counts.dedup();
+    }
+    counts
+}
+
+fn bench_distance_kernels(report: &mut BenchReport) {
     let x = random_vec(100, 1);
     let y = random_vec(100, 2);
     let alpha: Vec<f64> = random_vec(100, 3).iter().map(|v| v.abs()).collect();
     table_header("distance kernels, n = 100");
     for p in [1.0, 2.0, 3.0] {
-        bench(&format!("minkowski/p{p}"), 20, 200, || {
+        let m = bench(&format!("minkowski/p{p}"), 20, 200, || {
             weighted_minkowski(black_box(&x), &y, &alpha, p)
         });
+        report.push(&m);
     }
-    bench("power_sum/p2", 20, 200, || {
+    let m = bench("power_sum/p2", 20, 200, || {
         weighted_power_sum(black_box(&x), &y, &alpha, 2.0)
     });
+    report.push(&m);
 }
 
-fn bench_objective() {
+fn bench_objective(report: &mut BenchReport, sizes: &Sizes) {
     let mut rng = StdRng::seed_from_u64(5);
     let x = Matrix::from_fn(80, 12, |_, _| rng.gen_range(0.0..1.0));
     let mut protected = vec![false; 12];
@@ -54,70 +120,61 @@ fn bench_objective() {
     let mut grad = vec![0.0; obj.dim()];
 
     table_header("objective, M=80 N=12 K=8, exact pairs");
-    bench("value", 5, 20, || obj.value(black_box(&theta)));
-    bench("value_and_gradient/analytic", 5, 20, || {
-        obj.value_and_gradient(black_box(&theta), &mut grad)
-    });
+    let iters = if sizes.smoke { 3 } else { 20 };
+    report.push(&bench("value", sizes.warmup, iters, || {
+        obj.value(black_box(&theta))
+    }));
+    report.push(&bench(
+        "value_and_gradient/analytic",
+        sizes.warmup,
+        iters,
+        || obj.value_and_gradient(black_box(&theta), &mut grad),
+    ));
     // The reference implementation's approach: central differences cost
     // 2·dim evaluations per gradient.
     let numeric = NumericalObjective::new(obj.dim(), |t| obj.value(t));
-    bench("gradient/finite_difference", 1, 5, || {
+    let fd_iters = if sizes.smoke { 1 } else { 5 };
+    report.push(&bench("gradient/finite_difference", 0, fd_iters, || {
         numeric.gradient(black_box(&theta), &mut grad);
         grad[0]
-    });
+    }));
 }
 
-/// The acceptance benchmark: serial vs parallel `L_fair` at N = 2000.
-fn bench_pairwise_lfair() {
+/// The acceptance benchmark: serial vs pooled objective evaluation — the
+/// parallel forward pass, pairwise `L_fair` kernel and backprop all engage.
+fn bench_objective_evaluation_scaling(report: &mut BenchReport, sizes: &Sizes) {
     let mut rng = StdRng::seed_from_u64(7);
-    let (m, n) = (2000usize, 10usize);
+    let (m, n) = (sizes.m_headline, 10usize);
     let x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0));
     let mut protected = vec![false; n];
     protected[n - 1] = true;
-    let config = IFairConfig {
-        k: 8,
-        fairness_pairs: FairnessPairs::Exact,
-        ..Default::default()
-    };
-
-    let mut thread_counts: Vec<usize> = match std::env::var("IFAIR_BENCH_THREADS") {
-        Ok(list) => {
-            let parsed: Vec<usize> = list
-                .split(',')
-                .filter_map(|t| t.trim().parse().ok())
-                .filter(|&t| t > 0)
-                .collect();
-            if parsed.is_empty() {
-                eprintln!("warning: unusable IFAIR_BENCH_THREADS={list:?}; using defaults");
-            }
-            parsed
-        }
-        Err(_) => Vec::new(),
-    };
-    if thread_counts.is_empty() {
-        thread_counts = vec![1usize, 2, 4, available_threads()];
-        thread_counts.sort_unstable();
-        thread_counts.dedup();
-    }
-
     table_header(&format!(
-        "pairwise L_fair, N = {m} ({} pairs), {} hardware threads",
+        "objective evaluation, M = {m} ({} pairs), {} hardware threads",
         m * (m - 1) / 2,
         available_threads()
     ));
 
     let mut serial_mean = None;
-    for &threads in &thread_counts {
-        let obj = IFairObjective::new(&x, &protected, &config).with_threads(threads.max(1));
+    for &threads in &thread_counts() {
+        // Thread count goes into the config so `new()` builds the right
+        // pool from the start (no discarded spawn from an override).
+        let config = IFairConfig {
+            k: 8,
+            fairness_pairs: FairnessPairs::Exact,
+            n_threads: threads.max(1),
+            ..Default::default()
+        };
+        let obj = IFairObjective::new(&x, &protected, &config);
         let theta: Vec<f64> = random_vec(obj.dim(), 11).iter().map(|v| v.abs()).collect();
         let mut grad = vec![0.0; obj.dim()];
         let label = if threads <= 1 { "serial" } else { "parallel" };
         let m = bench(
             &format!("value_and_gradient/{label}/threads{threads}"),
-            1,
-            5,
+            sizes.warmup,
+            sizes.iters,
             || obj.value_and_gradient(black_box(&theta), &mut grad),
         );
+        report.push(&m);
         if threads <= 1 {
             serial_mean = Some(m.mean);
         } else if let Some(serial) = serial_mean {
@@ -129,31 +186,94 @@ fn bench_pairwise_lfair() {
     }
 }
 
-fn bench_metric_kernels() {
+/// End-to-end `IFair::fit` wall-clock, serial vs all hardware threads —
+/// the number the persistent pool exists to improve.
+fn bench_fit_end_to_end(report: &mut BenchReport, sizes: &Sizes) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let (m, n) = (sizes.m_headline, 10usize);
+    let x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0));
+    let mut protected = vec![false; n];
+    protected[n - 1] = true;
+    let (max_iters, iters) = if sizes.smoke { (3, 1) } else { (8, 2) };
+
+    table_header(&format!(
+        "end-to-end fit, M = {m} N = {n} K = 8, exact pairs, {max_iters} L-BFGS iters"
+    ));
+
+    let mut serial_mean = None;
+    for (label, threads) in [("serial", 1usize), ("parallel", 0usize)] {
+        let config = IFairConfig {
+            k: 8,
+            fairness_pairs: FairnessPairs::Exact,
+            n_restarts: 1,
+            max_iters,
+            n_threads: threads,
+            ..Default::default()
+        };
+        let m = bench(&format!("fit/{label}/threads{threads}"), 0, iters, || {
+            IFair::fit(black_box(&x), &protected, &config).unwrap()
+        });
+        report.push(&m);
+        if threads == 1 {
+            serial_mean = Some(m.mean);
+        } else if let Some(serial) = serial_mean {
+            println!(
+                "    fit speedup vs serial on {} threads: {:.2}x",
+                available_threads(),
+                serial.as_secs_f64() / m.mean.as_secs_f64()
+            );
+        }
+    }
+}
+
+fn bench_metric_kernels(report: &mut BenchReport, sizes: &Sizes) {
     let mut rng = StdRng::seed_from_u64(17);
-    let labels: Vec<f64> = (0..1000).map(|_| f64::from(rng.gen_bool(0.4))).collect();
-    let scores: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let a = random_vec(200, 31);
-    let b_scores = random_vec(200, 32);
-    let x = Matrix::from_fn(200, 20, |_, _| rng.gen_range(0.0..1.0));
-    let preds: Vec<f64> = (0..200).map(|_| f64::from(rng.gen_bool(0.5))).collect();
+    let (n_scored, n_rows) = if sizes.smoke { (100, 40) } else { (1000, 200) };
+    let labels: Vec<f64> = (0..n_scored)
+        .map(|_| f64::from(rng.gen_bool(0.4)))
+        .collect();
+    let scores: Vec<f64> = (0..n_scored).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let a = random_vec(n_rows, 31);
+    let b_scores = random_vec(n_rows, 32);
+    let x = Matrix::from_fn(n_rows, 20, |_, _| rng.gen_range(0.0..1.0));
+    let preds: Vec<f64> = (0..n_rows).map(|_| f64::from(rng.gen_bool(0.5))).collect();
 
     table_header("metric kernels");
-    bench("auc/n1000", 5, 50, || {
-        auc(black_box(&labels), black_box(&scores))
-    });
-    bench("kendall_tau/n200", 5, 50, || {
-        kendall_tau(black_box(&a), black_box(&b_scores))
-    });
-    bench("consistency_yNN/200x20/k10", 2, 10, || {
-        consistency(black_box(&x), black_box(&preds), 10)
-    });
+    report.push(&bench(
+        &format!("auc/n{n_scored}"),
+        sizes.warmup,
+        50,
+        || auc(black_box(&labels), black_box(&scores)),
+    ));
+    report.push(&bench(
+        &format!("kendall_tau/n{n_rows}"),
+        sizes.warmup,
+        50,
+        || kendall_tau(black_box(&a), black_box(&b_scores)),
+    ));
+    report.push(&bench(
+        &format!("consistency_yNN/{n_rows}x20/k10"),
+        sizes.warmup,
+        if sizes.smoke { 2 } else { 10 },
+        || consistency(black_box(&x), black_box(&preds), 10),
+    ));
 }
 
 fn main() {
-    println!("# kernel micro-benchmarks");
-    bench_distance_kernels();
-    bench_objective();
-    bench_pairwise_lfair();
-    bench_metric_kernels();
+    let sizes = Sizes::from_env();
+    let mut report = BenchReport::new("kernels", available_threads(), sizes.m_headline);
+    println!(
+        "# kernel micro-benchmarks{}",
+        if sizes.smoke { " (smoke sizes)" } else { "" }
+    );
+    bench_distance_kernels(&mut report);
+    bench_objective(&mut report, &sizes);
+    bench_objective_evaluation_scaling(&mut report, &sizes);
+    bench_fit_end_to_end(&mut report, &sizes);
+    bench_metric_kernels(&mut report, &sizes);
+    match report.write_if_enabled() {
+        Ok(Some(path)) => println!("\nwrote {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
 }

@@ -2,12 +2,18 @@
 //!
 //! Grid searches dominate the experiment wall-clock and their cells are
 //! embarrassingly parallel. The actual worker pool lives in
-//! [`ifair_core::par`] — the same scoped-thread machinery that powers the
-//! pairwise `L_fair` kernel — so the bench crate re-exports it instead of
-//! maintaining a private copy. On single-core machines it degrades to a
-//! plain sequential map.
+//! [`ifair_core::par`] — the same persistent, channel-fed pool machinery
+//! that powers the iFair training kernels — so the bench crate re-exports
+//! it instead of maintaining a private copy. [`parallel_map`] dispatches on
+//! a lazily-created process-wide [`shared_pool`] sized to the hardware
+//! thread count: the threads are spawned once and reused by every grid
+//! search in the process. Items are handed out from a shared cursor (lanes
+//! that finish early steal remaining work — the right shape for grid cells
+//! of wildly different cost) and results are reassembled in input order. On
+//! single-core machines everything degrades to a plain sequential map with
+//! no threads spawned.
 
-pub use ifair_core::par::{available_threads, parallel_map};
+pub use ifair_core::par::{available_threads, parallel_map, shared_pool, WorkerPool};
 
 #[cfg(test)]
 mod tests {
@@ -31,6 +37,17 @@ mod tests {
         let base = vec![10, 20, 30];
         let out = parallel_map(vec![0usize, 1, 2], |i| base[i]);
         assert_eq!(out, base);
+    }
+
+    #[test]
+    fn shared_pool_is_reused_across_maps() {
+        // Two maps, one process-wide pool: same handle, both correct.
+        let first = shared_pool() as *const WorkerPool;
+        let a = parallel_map((0..50).collect(), |i: usize| i + 1);
+        let second = shared_pool() as *const WorkerPool;
+        let b = parallel_map((0..50).collect(), |i: usize| i + 1);
+        assert_eq!(first, second);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! fixed number of timed iterations, report min / median / mean. Results are
 //! printed as a Markdown table so bench output can be pasted into PRs.
 
+use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// One measured benchmark row.
@@ -54,6 +55,91 @@ pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> 
     m
 }
 
+/// Machine-readable form of a [`Measurement`]: durations as integer
+/// nanoseconds, ready for JSON serialization.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeasurementRecord {
+    /// Benchmark label, e.g. `l_fair/serial/n2000`.
+    pub name: String,
+    /// Fastest observed iteration, in nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, in nanoseconds.
+    pub median_ns: u64,
+    /// Mean iteration, in nanoseconds.
+    pub mean_ns: u64,
+}
+
+impl Measurement {
+    /// The JSON-serializable form of this measurement.
+    pub fn record(&self) -> MeasurementRecord {
+        MeasurementRecord {
+            name: self.name.clone(),
+            min_ns: duration_ns(self.min),
+            median_ns: duration_ns(self.median),
+            mean_ns: duration_ns(self.mean),
+        }
+    }
+}
+
+/// Nanoseconds of `d`, saturating at `u64::MAX` (≈ 584 years).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Machine-readable bench output, written as `BENCH_<name>.json` when the
+/// `IFAIR_BENCH_JSON` environment variable is set, so the perf trajectory
+/// stays trackable across PRs without parsing Markdown tables.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// Bench binary name (the file stem of the JSON output).
+    pub bench: String,
+    /// Hardware threads visible to this run.
+    pub available_threads: usize,
+    /// Record count `N` of the headline benchmark section.
+    pub n_records: usize,
+    /// All measurements, in execution order.
+    pub measurements: Vec<MeasurementRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for the bench binary `bench`.
+    pub fn new(bench: &str, available_threads: usize, n_records: usize) -> BenchReport {
+        BenchReport {
+            bench: bench.to_string(),
+            available_threads,
+            n_records,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Records one measurement.
+    pub fn push(&mut self, m: &Measurement) {
+        self.measurements.push(m.record());
+    }
+
+    /// Writes `BENCH_<bench>.json` next to the workspace root when
+    /// `IFAIR_BENCH_JSON` is set (to any value); returns the path written,
+    /// or `None` when the variable is unset.
+    ///
+    /// Cargo runs bench binaries with the *package* directory as the
+    /// working directory, so like [`crate::report::results_dir`] this
+    /// anchors on the runtime `CARGO_MANIFEST_DIR` (`crates/bench`, two
+    /// levels below the workspace root) rather than the cwd.
+    pub fn write_if_enabled(&self) -> std::io::Result<Option<String>> {
+        if std::env::var_os("IFAIR_BENCH_JSON").is_none() {
+            return Ok(None);
+        }
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|manifest| format!("{manifest}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        let path = format!("{root}/BENCH_{}.json", self.bench);
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(&path, json)?;
+        Ok(Some(path))
+    }
+}
+
 /// Prints the Markdown table header matching [`bench`] rows.
 pub fn table_header(title: &str) {
     println!("\n### {title}\n");
@@ -84,6 +170,33 @@ mod tests {
         let m = bench("noop", 1, 5, || 1 + 1);
         assert!(m.min <= m.median);
         assert!(!m.name.is_empty());
+    }
+
+    #[test]
+    fn records_convert_to_integer_nanoseconds() {
+        let m = Measurement {
+            name: "x".into(),
+            min: Duration::from_nanos(10),
+            median: Duration::from_micros(2),
+            mean: Duration::from_millis(3),
+        };
+        let r = m.record();
+        assert_eq!(
+            (r.name.as_str(), r.min_ns, r.median_ns, r.mean_ns),
+            ("x", 10, 2_000, 3_000_000)
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"median_ns\""), "{json}");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut report = BenchReport::new("unit", 4, 100);
+        report.push(&bench("noop2", 0, 3, || 2 + 2));
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"bench\""), "{json}");
+        assert!(json.contains("noop2"), "{json}");
+        assert!(json.contains("\"available_threads\""), "{json}");
     }
 
     #[test]

@@ -98,12 +98,16 @@ pub struct IFairConfig {
     pub grad_tol: f64,
     /// RNG seed for initialization (restart `r` uses `seed + r`).
     pub seed: u64,
-    /// Worker threads of the pairwise `L_fair` kernel: `0` = use all
-    /// hardware threads (the default), `1` = force the serial kernel, other
-    /// values are taken literally (may exceed the core count). The thread
-    /// count only affects speed, never numerics: the kernel's chunk layout
-    /// and reduction order are fixed, so seeded fits are reproducible across
-    /// machines.
+    /// Worker threads of the trainer's persistent pool, which drives every
+    /// hot loop (forward pass, backprop, the pairwise `L_fair` kernel, and
+    /// the pair-target build): `0` = use all hardware threads (the
+    /// default), `1` = force the serial path (no threads are ever spawned),
+    /// other values are taken literally (may exceed the core count). The
+    /// pool's threads are created lazily on first parallel use — once per
+    /// objective, not per evaluation — and live for the whole fit. The
+    /// thread count only affects speed, never numerics: every kernel's
+    /// chunk layout and reduction order are fixed functions of the problem
+    /// size, so seeded fits are reproducible across machines.
     pub n_threads: usize,
 }
 

@@ -122,6 +122,8 @@ impl IFair {
             ));
         }
 
+        // One objective for all restarts: the pair set, worker pool, and
+        // evaluation workspace are built once and reused by every restart.
         let objective = IFairObjective::new(x, protected, config);
         let optimizer = Lbfgs::new(LbfgsConfig {
             max_iters: config.max_iters,
@@ -197,9 +199,11 @@ impl IFair {
     pub fn responsibilities(&self, x: &Matrix) -> Matrix {
         let k = self.config.k;
         let mut u = Matrix::zeros(x.rows(), k);
+        // One distance buffer reused across records (every entry is
+        // overwritten per record), not one allocation per record.
+        let mut d = vec![0.0; k];
         for i in 0..x.rows() {
             let xi = x.row(i);
-            let mut d = vec![0.0; k];
             for (kk, dk) in d.iter_mut().enumerate() {
                 let s = distance::weighted_power_sum(
                     xi,

@@ -23,6 +23,20 @@
 //! finite-difference path is still available through
 //! [`ifair_optim::NumericalObjective`] and is used in tests to validate every
 //! branch of the analytic gradient.
+//!
+//! # Threading model
+//!
+//! Every hot loop — the per-record forward pass, the pairwise `L_fair`
+//! kernel, the per-record backprop, and the pair-target build — runs on one
+//! persistent [`par::WorkerPool`] owned by the objective, created lazily on
+//! first parallel use and reused across every evaluation (and across all
+//! L-BFGS restarts of one fit). Each loop carves its index space into
+//! **fixed** chunks whose layout depends only on the problem size, and folds
+//! per-chunk partials in chunk order, so loss and gradient are bit-identical
+//! for every `n_threads` setting. A [`Workspace`] (behind a mutex, since
+//! evaluations are sequential) holds the forward state, `∂L/∂x̃`, the
+//! per-chunk gradient accumulators and the per-chunk softmax scratch, all
+//! allocated once per objective lifetime instead of once per evaluation.
 
 use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, SoftmaxDistance};
 use crate::distance;
@@ -33,11 +47,16 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
+use std::sync::{Mutex, OnceLock};
 
-/// Below this many fairness pairs the parallel kernel falls back to the
-/// serial loop: the pair sweep is then so cheap that scoped-thread spawns
-/// (O(10µs) each, once per L-BFGS iteration) would dominate.
+/// Below this many fairness pairs the pair sweeps stay serial: the work is
+/// then so cheap that even a pool dispatch (a channel send per lane) would
+/// dominate.
 const PAR_MIN_PAIRS: usize = 512;
+
+/// Below this many records the per-record forward/backward loops stay
+/// serial, for the same reason as [`PAR_MIN_PAIRS`].
+const PAR_MIN_RECORDS: usize = 128;
 
 /// Target number of fairness pairs per kernel chunk. The chunk layout is a
 /// function of the pair count **only** — never the thread count — and the
@@ -48,10 +67,18 @@ const PAR_MIN_PAIRS: usize = 512;
 /// enough chunks to occupy every core.
 const FAIR_CHUNK_PAIRS: usize = 512;
 
-/// Upper bound on the chunk count, which also bounds the transient memory of
-/// the parallel gradient path (each chunk owns an `M·N + N` accumulator
-/// while its partial is alive).
+/// Upper bound on the fairness chunk count, which also bounds the memory of
+/// the parallel gradient path (each chunk owns an `M·N + N` accumulator in
+/// the workspace).
 const MAX_FAIR_CHUNKS: usize = 64;
+
+/// Target number of records per forward/backprop chunk (same fixed-layout
+/// discipline as [`FAIR_CHUNK_PAIRS`]).
+const REC_CHUNK_RECORDS: usize = 64;
+
+/// Upper bound on the record chunk count (each backprop chunk owns a
+/// `K·N + N + K` accumulator in the workspace).
+const MAX_REC_CHUNKS: usize = 64;
 
 /// A record pair entering the fairness loss, with its precomputed target
 /// distance `d(x*_i, x*_j)` on the non-protected attributes.
@@ -65,10 +92,157 @@ pub struct FairPair {
     pub target: f64,
 }
 
+/// The objective's worker pool, created lazily on first parallel use so
+/// small problems (or `n_threads = 1`) never spawn a thread.
+struct LazyPool {
+    n_threads: usize,
+    pool: OnceLock<par::WorkerPool>,
+}
+
+impl LazyPool {
+    fn new(n_threads: usize) -> LazyPool {
+        LazyPool {
+            n_threads: n_threads.max(1),
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// The pool, creating its threads on first call; `None` when this
+    /// objective is configured serial (`n_threads <= 1`).
+    fn get(&self) -> Option<&par::WorkerPool> {
+        if self.n_threads <= 1 {
+            None
+        } else {
+            Some(
+                self.pool
+                    .get_or_init(|| par::WorkerPool::new(self.n_threads)),
+            )
+        }
+    }
+}
+
+/// Intermediate state shared between the loss and its gradient.
+struct ForwardState {
+    /// `M x K` record-to-prototype distances (power sum or rooted).
+    dist: Vec<f64>,
+    /// `M x K` softmax responsibilities.
+    u: Vec<f64>,
+    /// `M x N` reconstruction `U · V`.
+    xt: Vec<f64>,
+}
+
+impl ForwardState {
+    fn new(m: usize, n: usize, k: usize) -> ForwardState {
+        ForwardState {
+            dist: vec![0.0; m * k],
+            u: vec![0.0; m * k],
+            xt: vec![0.0; m * n],
+        }
+    }
+}
+
+/// A bank of per-chunk scratch buffers, sized lazily on first use and then
+/// reused for the rest of the objective's lifetime. Jobs zero their own
+/// buffer before accumulating, so reuse never leaks state across
+/// evaluations.
+struct ChunkScratch {
+    bufs: Vec<Vec<f64>>,
+}
+
+impl ChunkScratch {
+    fn new() -> ChunkScratch {
+        ChunkScratch { bufs: Vec::new() }
+    }
+
+    /// The first `count` buffers, each of length `len` (allocating or
+    /// resizing only on first use / size change).
+    fn take(&mut self, count: usize, len: usize) -> &mut [Vec<f64>] {
+        if self.bufs.len() < count {
+            self.bufs.resize_with(count, Vec::new);
+        }
+        for buf in &mut self.bufs[..count] {
+            if buf.len() != len {
+                buf.resize(len, 0.0);
+            }
+        }
+        &mut self.bufs[..count]
+    }
+}
+
+/// Per-chunk accumulators of the fairness gradient path: `∂(μ·L_fair)/∂x̃`
+/// (`M·N` per chunk) and `∂/∂α` (`N` per chunk).
+struct FairScratch {
+    gx: ChunkScratch,
+    ga: ChunkScratch,
+}
+
+/// Per-chunk accumulators and scratch of the backprop path: `∂L/∂V`
+/// (`K·N` per chunk), `∂L/∂α` (`N` per chunk), and the per-record softmax
+/// products `c` (`K` per chunk, reused across the chunk's records).
+struct BackScratch {
+    gv: ChunkScratch,
+    ga: ChunkScratch,
+    c: ChunkScratch,
+}
+
+/// Every buffer an objective evaluation needs, allocated once per objective
+/// and reused across all evaluations (and restarts) of a fit.
+struct Workspace {
+    state: ForwardState,
+    /// `M x N` accumulator for `∂L/∂x̃`.
+    g_xt: Vec<f64>,
+    fair: FairScratch,
+    back: BackScratch,
+}
+
+impl Workspace {
+    fn new(m: usize, n: usize, k: usize) -> Workspace {
+        Workspace {
+            state: ForwardState::new(m, n, k),
+            g_xt: vec![0.0; m * n],
+            fair: FairScratch {
+                gx: ChunkScratch::new(),
+                ga: ChunkScratch::new(),
+            },
+            back: BackScratch {
+                gv: ChunkScratch::new(),
+                ga: ChunkScratch::new(),
+                c: ChunkScratch::new(),
+            },
+        }
+    }
+}
+
+/// One fixed chunk of records of the parallel forward pass, owning the
+/// disjoint row slices it fully (over)writes.
+struct ForwardJob<'b> {
+    records: Range<usize>,
+    dist: &'b mut [f64],
+    u: &'b mut [f64],
+    xt: &'b mut [f64],
+}
+
+/// One fixed chunk of fairness pairs of the parallel gradient path, owning
+/// its private accumulators from the workspace.
+struct FairGradJob<'b> {
+    pairs: Range<usize>,
+    gx: &'b mut [f64],
+    ga: &'b mut [f64],
+}
+
+/// One fixed chunk of records of the parallel backprop loop, owning its
+/// private accumulators and softmax scratch from the workspace.
+struct BackpropJob<'b> {
+    records: Range<usize>,
+    gv: &'b mut [f64],
+    ga: &'b mut [f64],
+    c: &'b mut [f64],
+}
+
 /// The iFair objective over a fixed training matrix.
 ///
-/// Borrowing the data keeps restarts cheap: the pair list and target
-/// distances are computed once and shared across all restarts.
+/// Borrowing the data keeps restarts cheap: the pair list, target distances,
+/// worker pool and workspace are built once and shared across all restarts.
 pub struct IFairObjective<'a> {
     x: &'a Matrix,
     m: usize,
@@ -80,7 +254,8 @@ pub struct IFairObjective<'a> {
     softmax_distance: SoftmaxDistance,
     fairness_distance: FairnessDistance,
     pairs: Vec<FairPair>,
-    n_threads: usize,
+    pool: LazyPool,
+    workspace: Mutex<Workspace>,
 }
 
 impl<'a> IFairObjective<'a> {
@@ -103,7 +278,9 @@ impl<'a> IFairObjective<'a> {
         );
         let nonprotected: Vec<usize> = (0..n).filter(|&j| !protected[j]).collect();
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1fa1_9a17);
-        let pairs = build_pairs(x, &nonprotected, config.fairness_pairs, m, &mut rng);
+        let pool = LazyPool::new(par::resolve_threads(config.n_threads));
+        let pairs = build_pairs(x, &nonprotected, config.fairness_pairs, m, &mut rng, &pool);
+        let workspace = Mutex::new(Workspace::new(m, n, config.k));
         IFairObjective {
             x,
             m,
@@ -115,21 +292,30 @@ impl<'a> IFairObjective<'a> {
             softmax_distance: config.softmax_distance,
             fairness_distance: config.fairness_distance,
             pairs,
-            n_threads: par::resolve_threads(config.n_threads),
+            pool,
+            workspace,
         }
     }
 
-    /// Overrides the worker-thread count of the pairwise `L_fair` kernel
-    /// (`0` = all hardware threads). Used by the serial-vs-parallel parity
-    /// tests and the kernel benchmarks.
+    /// Overrides the worker-thread count of every parallel kernel (`0` =
+    /// all hardware threads), replacing the objective's pool. Used by the
+    /// serial-vs-parallel parity tests and the kernel benchmarks. The
+    /// thread count never affects numerics (see the module docs).
     pub fn with_threads(mut self, n_threads: usize) -> Self {
-        self.n_threads = par::resolve_threads(n_threads);
+        let n_threads = par::resolve_threads(n_threads);
+        if n_threads != self.pool.n_threads {
+            // Replacing the pool joins any threads `new()` already spawned
+            // (e.g. for the pair-target fill), so keep it when the count is
+            // unchanged; callers that know the count up front should set
+            // `IFairConfig::n_threads` instead.
+            self.pool = LazyPool::new(n_threads);
+        }
         self
     }
 
-    /// The worker-thread count the `L_fair` kernel will use.
+    /// The worker-thread count the parallel kernels will use.
     pub fn n_threads(&self) -> usize {
-        self.n_threads
+        self.pool.n_threads
     }
 
     /// The fairness pairs (and target distances) this objective preserves.
@@ -148,16 +334,87 @@ impl<'a> IFairObjective<'a> {
         theta.split_at(self.n)
     }
 
+    /// The pool for pair sweeps, `None` when the pair set is too small to
+    /// be worth a dispatch (or the objective is serial).
+    fn fair_pool(&self) -> Option<&par::WorkerPool> {
+        if self.pairs.len() >= PAR_MIN_PAIRS {
+            self.pool.get()
+        } else {
+            None
+        }
+    }
+
+    /// The pool for per-record sweeps, `None` when the record count is too
+    /// small to be worth a dispatch (or the objective is serial).
+    fn record_pool(&self) -> Option<&par::WorkerPool> {
+        if self.m >= PAR_MIN_RECORDS {
+            self.pool.get()
+        } else {
+            None
+        }
+    }
+
+    /// The fixed chunk layout of the pair index space. Depends only on the
+    /// pair count, so the summation tree — and therefore every last bit of
+    /// the loss and gradient — is invariant under the thread count and the
+    /// host's core count.
+    fn fair_chunk_layout(&self) -> Vec<Range<usize>> {
+        let n_pairs = self.pairs.len();
+        let n_chunks = n_pairs.div_ceil(FAIR_CHUNK_PAIRS).clamp(1, MAX_FAIR_CHUNKS);
+        par::chunk_ranges(n_pairs, n_chunks)
+    }
+
+    /// The fixed chunk layout of the record index space (a function of `M`
+    /// only, like [`IFairObjective::fair_chunk_layout`]).
+    fn record_chunk_layout(&self) -> Vec<Range<usize>> {
+        let n_chunks = self.m.div_ceil(REC_CHUNK_RECORDS).clamp(1, MAX_REC_CHUNKS);
+        par::chunk_ranges(self.m, n_chunks)
+    }
+
     /// Forward pass: distances `D` (`M x K`), responsibilities `U` (`M x K`)
-    /// and reconstruction `X̃` (`M x N`), all as flat row-major buffers.
-    fn forward(&self, alpha: &[f64], v: &[f64]) -> ForwardState {
-        let (m, n, k) = (self.m, self.n, self.k);
-        let mut dist = vec![0.0; m * k];
-        let mut u = vec![0.0; m * k];
-        let mut xt = vec![0.0; m * n];
-        for i in 0..m {
+    /// and reconstruction `X̃` (`M x N`), written into `state`, parallelized
+    /// over the fixed record chunks. Each record's rows are written by
+    /// exactly one chunk and no partials are folded, so the result is
+    /// trivially identical for every thread count.
+    fn forward_into(&self, alpha: &[f64], v: &[f64], state: &mut ForwardState) {
+        let (n, k) = (self.n, self.k);
+        let layout = self.record_chunk_layout();
+        let dist_chunks = split_chunks(&mut state.dist, &layout, k);
+        let u_chunks = split_chunks(&mut state.u, &layout, k);
+        let xt_chunks = split_chunks(&mut state.xt, &layout, n);
+        let jobs: Vec<ForwardJob<'_>> = layout
+            .iter()
+            .cloned()
+            .zip(dist_chunks)
+            .zip(u_chunks)
+            .zip(xt_chunks)
+            .map(|(((records, dist), u), xt)| ForwardJob {
+                records,
+                dist,
+                u,
+                xt,
+            })
+            .collect();
+        par::pool_map(self.record_pool(), jobs, |job| {
+            self.forward_chunk(alpha, v, job)
+        });
+    }
+
+    /// Serial forward pass over one contiguous chunk of records — the
+    /// single source of truth for the per-record math on both the serial
+    /// and the pooled path.
+    fn forward_chunk(&self, alpha: &[f64], v: &[f64], job: ForwardJob<'_>) {
+        let (n, k) = (self.n, self.k);
+        let ForwardJob {
+            records,
+            dist,
+            u,
+            xt,
+        } = job;
+        xt.fill(0.0);
+        for (row, i) in records.enumerate() {
             let xi = self.x.row(i);
-            let d_row = &mut dist[i * k..(i + 1) * k];
+            let d_row = &mut dist[row * k..(row + 1) * k];
             for (kk, d) in d_row.iter_mut().enumerate() {
                 let vk = &v[kk * n..(kk + 1) * n];
                 let s = power_sum(xi, vk, alpha, self.p);
@@ -168,7 +425,7 @@ impl<'a> IFairObjective<'a> {
             }
             // Stable softmax of -D: shift by the smallest distance.
             let d_min = d_row.iter().cloned().fold(f64::INFINITY, f64::min);
-            let u_row = &mut u[i * k..(i + 1) * k];
+            let u_row = &mut u[row * k..(row + 1) * k];
             let mut z = 0.0;
             for (uu, &d) in u_row.iter_mut().zip(d_row.iter()) {
                 *uu = (d_min - d).exp();
@@ -178,7 +435,7 @@ impl<'a> IFairObjective<'a> {
                 *uu /= z;
             }
             // x̃_i = Σ_k u_ik v_k.
-            let xt_row = &mut xt[i * n..(i + 1) * n];
+            let xt_row = &mut xt[row * n..(row + 1) * n];
             for (kk, &uu) in u_row.iter().enumerate() {
                 let vk = &v[kk * n..(kk + 1) * n];
                 for (o, &vkn) in xt_row.iter_mut().zip(vk) {
@@ -186,7 +443,6 @@ impl<'a> IFairObjective<'a> {
                 }
             }
         }
-        ForwardState { dist, u, xt }
     }
 
     /// Loss given a completed forward pass.
@@ -209,37 +465,15 @@ impl<'a> IFairObjective<'a> {
         self.lambda * util + self.mu * fair
     }
 
-    /// The fixed chunk layout of the pair index space. Depends only on the
-    /// pair count, so the summation tree — and therefore every last bit of
-    /// the loss and gradient — is invariant under the thread count and the
-    /// host's core count.
-    fn fair_chunk_layout(&self) -> Vec<Range<usize>> {
-        let n_pairs = self.pairs.len();
-        let n_chunks = n_pairs.div_ceil(FAIR_CHUNK_PAIRS).clamp(1, MAX_FAIR_CHUNKS);
-        par::chunk_ranges(n_pairs, n_chunks)
-    }
-
-    /// Whether the pair sweep is worth fanning out over threads.
-    fn fair_parallel(&self) -> bool {
-        self.n_threads > 1 && self.pairs.len() >= PAR_MIN_PAIRS
-    }
-
     /// `Σ_{(i,j)} (d(x̃_i, x̃_j) − d(x*_i, x*_j))²` — the raw `L_fair` sum
     /// (no `μ` factor), parallelized over the fixed pair chunks when the
     /// pair set is large enough. Partials are folded in chunk order on both
-    /// paths, so serial and parallel results are bit-identical.
+    /// paths, so serial and pooled results are bit-identical.
     fn fair_loss(&self, alpha: &[f64], state: &ForwardState) -> f64 {
         let chunks = self.fair_chunk_layout();
-        let partials: Vec<f64> = if self.fair_parallel() {
-            par::parallel_map_with_threads(chunks, self.n_threads, |range| {
-                self.fair_loss_chunk(alpha, state, range)
-            })
-        } else {
-            chunks
-                .into_iter()
-                .map(|range| self.fair_loss_chunk(alpha, state, range))
-                .collect()
-        };
+        let partials = par::pool_map(self.fair_pool(), chunks, |range| {
+            self.fair_loss_chunk(alpha, state, range)
+        });
         partials.into_iter().sum()
     }
 
@@ -258,54 +492,67 @@ impl<'a> IFairObjective<'a> {
     /// accumulates `∂(μ·L_fair)/∂x̃` into `g_xt` (and `∂/∂α` into `g_alpha`
     /// under the weighted metric).
     ///
-    /// Every chunk of the fixed layout owns a private `M·N + N` gradient
-    /// accumulator; the partials are folded into `g_xt` / `g_alpha` in chunk
-    /// order on both the serial and the threaded path, so the result is
-    /// bit-identical for every thread count (at most [`MAX_FAIR_CHUNKS`]
-    /// accumulators are alive at once on the threaded path).
+    /// On the pooled path every chunk of the fixed layout owns a private
+    /// `M·N + N` accumulator from the workspace (allocated once per
+    /// objective); the serial path reuses a single one. Partials are folded
+    /// into `g_xt` / `g_alpha` in chunk order on both paths, so the result
+    /// is bit-identical for every thread count.
     fn fair_loss_and_grad(
         &self,
         alpha: &[f64],
         state: &ForwardState,
         g_xt: &mut [f64],
         g_alpha: &mut [f64],
+        scratch: &mut FairScratch,
     ) -> f64 {
         let chunks = self.fair_chunk_layout();
-        let (gx_len, ga_len) = (g_xt.len(), g_alpha.len());
-        let chunk_grad = |range: Range<usize>| {
-            let mut gx = vec![0.0; gx_len];
-            let mut ga = vec![0.0; ga_len];
-            let l = self.fair_grad_chunk(alpha, state, range, &mut gx, &mut ga);
-            (l, gx, ga)
-        };
-        let mut loss = 0.0;
-        if self.fair_parallel() {
-            let partials = par::parallel_map_with_threads(chunks, self.n_threads, chunk_grad);
-            for (l, gx, ga) in partials {
-                loss += l;
-                add_assign(g_xt, &gx);
-                add_assign(g_alpha, &ga);
-            }
-        } else {
-            // Same chunked fold as the threaded path (bit-identical), but
-            // with one reused scratch accumulator instead of per-chunk
-            // allocations.
-            let mut gx = vec![0.0; gx_len];
-            let mut ga = vec![0.0; ga_len];
+        let pool = self.fair_pool();
+        if pool.is_none() {
+            // Serial: one reused accumulator walks the same chunk layout
+            // with the same fold order as the pooled path (bit-identical),
+            // at 1/chunk-count the memory.
+            let gx = &mut scratch.gx.take(1, g_xt.len())[0];
+            let ga = &mut scratch.ga.take(1, g_alpha.len())[0];
+            let mut loss = 0.0;
             for range in chunks {
                 gx.fill(0.0);
                 ga.fill(0.0);
-                loss += self.fair_grad_chunk(alpha, state, range, &mut gx, &mut ga);
-                add_assign(g_xt, &gx);
-                add_assign(g_alpha, &ga);
+                loss += self.fair_grad_chunk(alpha, state, range, gx, ga);
+                add_assign(g_xt, gx);
+                add_assign(g_alpha, ga);
             }
+            return loss;
+        }
+        let gx_bufs = scratch.gx.take(chunks.len(), g_xt.len());
+        let ga_bufs = scratch.ga.take(chunks.len(), g_alpha.len());
+        let jobs: Vec<FairGradJob<'_>> = chunks
+            .into_iter()
+            .zip(gx_bufs.iter_mut())
+            .zip(ga_bufs.iter_mut())
+            .map(|((pairs, gx), ga)| FairGradJob {
+                pairs,
+                gx: gx.as_mut_slice(),
+                ga: ga.as_mut_slice(),
+            })
+            .collect();
+        let partials = par::pool_map(pool, jobs, |job| {
+            let FairGradJob { pairs, gx, ga } = job;
+            gx.fill(0.0);
+            ga.fill(0.0);
+            self.fair_grad_chunk(alpha, state, pairs, gx, ga)
+        });
+        let mut loss = 0.0;
+        for ((l, gx), ga) in partials.into_iter().zip(gx_bufs.iter()).zip(ga_bufs.iter()) {
+            loss += l;
+            add_assign(g_xt, gx);
+            add_assign(g_alpha, ga);
         }
         loss
     }
 
     /// Serial fused loss + gradient over one contiguous chunk of the pair
     /// list. This is the single source of truth for the per-pair math; the
-    /// parallel path is exactly this function over sub-ranges.
+    /// pooled path is exactly this function over sub-ranges.
     fn fair_grad_chunk(
         &self,
         alpha: &[f64],
@@ -352,73 +599,91 @@ impl<'a> IFairObjective<'a> {
         loss
     }
 
-    /// Distance between transformed records `i` and `j` per the configured
-    /// [`FairnessDistance`].
-    fn transformed_distance(&self, alpha: &[f64], state: &ForwardState, i: usize, j: usize) -> f64 {
-        let a = &state.xt[i * self.n..(i + 1) * self.n];
-        let b = &state.xt[j * self.n..(j + 1) * self.n];
-        match self.fairness_distance {
-            FairnessDistance::Unweighted => distance::euclidean(a, b),
-            FairnessDistance::Weighted => distance::weighted_minkowski(a, b, alpha, self.p),
-        }
-    }
-}
-
-/// Intermediate state shared between the loss and its gradient.
-struct ForwardState {
-    /// `M x K` record-to-prototype distances (power sum or rooted).
-    dist: Vec<f64>,
-    /// `M x K` softmax responsibilities.
-    u: Vec<f64>,
-    /// `M x N` reconstruction `U · V`.
-    xt: Vec<f64>,
-}
-
-impl Objective for IFairObjective<'_> {
-    fn dim(&self) -> usize {
-        self.n * (self.k + 1)
-    }
-
-    fn value(&self, theta: &[f64]) -> f64 {
-        let (alpha, v) = self.unpack(theta);
-        let state = self.forward(alpha, v);
-        self.loss(alpha, &state)
-    }
-
-    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
-        self.value_and_gradient(theta, grad);
-    }
-
-    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
-        let (m, n, k, p) = (self.m, self.n, self.k, self.p);
-        let (alpha, v) = self.unpack(theta);
-        let state = self.forward(alpha, v);
-
-        grad.fill(0.0);
+    /// Backprop through `x̃ = U·V` and the softmax into `V`, `D`, and `α`,
+    /// parallelized over the fixed record chunks. On the pooled path every
+    /// chunk owns a private `K·N + N` accumulator (plus a `K`-length
+    /// softmax scratch reused across its records) from the workspace; the
+    /// serial path reuses a single set. Partials are folded into `grad` in
+    /// chunk order on both paths, so the result is bit-identical for every
+    /// thread count.
+    fn backprop_into(
+        &self,
+        alpha: &[f64],
+        v: &[f64],
+        state: &ForwardState,
+        g_xt: &[f64],
+        grad: &mut [f64],
+        scratch: &mut BackScratch,
+    ) {
+        let (n, k) = (self.n, self.k);
         let (g_alpha, g_v) = grad.split_at_mut(n);
-
-        // ∂L/∂x̃ — reconstruction term, fused with the utility loss.
-        let mut util = 0.0;
-        let mut g_xt = vec![0.0; m * n];
-        if self.lambda != 0.0 {
-            for ((g, &orig), &rec) in g_xt.iter_mut().zip(self.x.as_slice()).zip(&state.xt) {
-                let diff = rec - orig;
-                util += diff * diff;
-                *g = 2.0 * self.lambda * diff;
+        let layout = self.record_chunk_layout();
+        let pool = self.record_pool();
+        if pool.is_none() {
+            // Serial: one reused accumulator set, same chunk layout and
+            // fold order as the pooled path (bit-identical).
+            let gv = &mut scratch.gv.take(1, k * n)[0];
+            let ga = &mut scratch.ga.take(1, n)[0];
+            let c = &mut scratch.c.take(1, k)[0];
+            for records in layout {
+                self.backprop_chunk(
+                    alpha,
+                    v,
+                    state,
+                    g_xt,
+                    BackpropJob {
+                        records,
+                        gv: gv.as_mut_slice(),
+                        ga: ga.as_mut_slice(),
+                        c: c.as_mut_slice(),
+                    },
+                );
+                add_assign(g_v, gv);
+                add_assign(g_alpha, ga);
             }
+            return;
         }
+        let gv_bufs = scratch.gv.take(layout.len(), k * n);
+        let ga_bufs = scratch.ga.take(layout.len(), n);
+        let c_bufs = scratch.c.take(layout.len(), k);
+        let jobs: Vec<BackpropJob<'_>> = layout
+            .into_iter()
+            .zip(gv_bufs.iter_mut())
+            .zip(ga_bufs.iter_mut())
+            .zip(c_bufs.iter_mut())
+            .map(|(((records, gv), ga), c)| BackpropJob {
+                records,
+                gv: gv.as_mut_slice(),
+                ga: ga.as_mut_slice(),
+                c: c.as_mut_slice(),
+            })
+            .collect();
+        par::pool_map(pool, jobs, |job| {
+            self.backprop_chunk(alpha, v, state, g_xt, job)
+        });
+        for (gv, ga) in gv_bufs.iter().zip(ga_bufs.iter()) {
+            add_assign(g_v, gv);
+            add_assign(g_alpha, ga);
+        }
+    }
 
-        // ∂L/∂x̃ (and ∂L/∂α under the weighted metric) — fairness pairs,
-        // fused with the pair loss and parallelized over pair chunks.
-        let fair = if self.mu != 0.0 {
-            self.fair_loss_and_grad(alpha, &state, &mut g_xt, g_alpha)
-        } else {
-            0.0
-        };
-        let loss = self.lambda * util + self.mu * fair;
-
-        // Backprop through x̃ = U·V and the softmax into V, D, and α.
-        for i in 0..m {
+    /// Serial backprop over one contiguous chunk of records — the single
+    /// source of truth for the per-record math on both paths. `gv`/`ga` are
+    /// the chunk's private accumulators; `c` is the per-record softmax
+    /// product scratch, reused across the chunk's records.
+    fn backprop_chunk(
+        &self,
+        alpha: &[f64],
+        v: &[f64],
+        state: &ForwardState,
+        g_xt: &[f64],
+        job: BackpropJob<'_>,
+    ) {
+        let (n, k, p) = (self.n, self.k, self.p);
+        let BackpropJob { records, gv, ga, c } = job;
+        gv.fill(0.0);
+        ga.fill(0.0);
+        for i in records {
             let xi = self.x.row(i);
             let gx_row = &g_xt[i * n..(i + 1) * n];
             let u_row = &state.u[i * k..(i + 1) * k];
@@ -426,7 +691,6 @@ impl Objective for IFairObjective<'_> {
 
             // c_k = ⟨∂L/∂x̃_i, v_k⟩ and the softmax Jacobian product
             // b_k = ∂L/∂z_ik = u_k (c_k − Σ_j u_j c_j), with z = −D.
-            let mut c = vec![0.0; k];
             let mut c_dot_u = 0.0;
             for (kk, ck) in c.iter_mut().enumerate() {
                 let vk = &v[kk * n..(kk + 1) * n];
@@ -438,10 +702,10 @@ impl Objective for IFairObjective<'_> {
                 let uk = u_row[kk];
                 let b_k = uk * (c[kk] - c_dot_u);
                 let vk = &v[kk * n..(kk + 1) * n];
-                let gv_row = &mut g_v[kk * n..(kk + 1) * n];
+                let gv_row = &mut gv[kk * n..(kk + 1) * n];
                 // Direct path: ∂x̃_in/∂v_kn = u_ik.
-                for (gv, &gx) in gv_row.iter_mut().zip(gx_row) {
-                    *gv += uk * gx;
+                for (o, &gx) in gv_row.iter_mut().zip(gx_row) {
+                    *o += uk * gx;
                 }
                 // Distance path: ∂L/∂D_ik = −b_k.
                 let gd = -b_k;
@@ -456,7 +720,7 @@ impl Objective for IFairObjective<'_> {
                             gv_row[idx] +=
                                 gd * (-alpha[idx].max(0.0) * p * pow_abs_signed(delta, p - 1.0));
                             if alpha[idx] >= 0.0 {
-                                g_alpha[idx] += gd * pow_abs(delta, p);
+                                ga[idx] += gd * pow_abs(delta, p);
                             }
                         }
                     }
@@ -466,13 +730,80 @@ impl Objective for IFairObjective<'_> {
                             gv_row[idx] +=
                                 gd * distance::d_wrt_second(xi[idx], vk[idx], alpha[idx], p, d);
                             if alpha[idx] >= 0.0 {
-                                g_alpha[idx] += gd * distance::d_wrt_alpha(xi[idx], vk[idx], p, d);
+                                ga[idx] += gd * distance::d_wrt_alpha(xi[idx], vk[idx], p, d);
                             }
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Distance between transformed records `i` and `j` per the configured
+    /// [`FairnessDistance`].
+    fn transformed_distance(&self, alpha: &[f64], state: &ForwardState, i: usize, j: usize) -> f64 {
+        let a = &state.xt[i * self.n..(i + 1) * self.n];
+        let b = &state.xt[j * self.n..(j + 1) * self.n];
+        match self.fairness_distance {
+            FairnessDistance::Unweighted => distance::euclidean(a, b),
+            FairnessDistance::Weighted => distance::weighted_minkowski(a, b, alpha, self.p),
+        }
+    }
+}
+
+impl Objective for IFairObjective<'_> {
+    fn dim(&self) -> usize {
+        self.n * (self.k + 1)
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let (alpha, v) = self.unpack(theta);
+        let mut guard = self.workspace.lock().expect("workspace poisoned");
+        let ws = &mut *guard;
+        self.forward_into(alpha, v, &mut ws.state);
+        self.loss(alpha, &ws.state)
+    }
+
+    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(theta, grad);
+    }
+
+    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let n = self.n;
+        let (alpha, v) = self.unpack(theta);
+        let mut guard = self.workspace.lock().expect("workspace poisoned");
+        let ws = &mut *guard;
+        self.forward_into(alpha, v, &mut ws.state);
+
+        grad.fill(0.0);
+
+        // ∂L/∂x̃ — reconstruction term, fused with the utility loss. The
+        // buffer is reused across evaluations, so it must be fully written
+        // (the fused loop overwrites every entry) or zeroed.
+        let mut util = 0.0;
+        if self.lambda != 0.0 {
+            for ((g, &orig), &rec) in ws.g_xt.iter_mut().zip(self.x.as_slice()).zip(&ws.state.xt) {
+                let diff = rec - orig;
+                util += diff * diff;
+                *g = 2.0 * self.lambda * diff;
+            }
+        } else {
+            ws.g_xt.fill(0.0);
+        }
+
+        // ∂L/∂x̃ (and ∂L/∂α under the weighted metric) — fairness pairs,
+        // fused with the pair loss and parallelized over pair chunks.
+        let fair = if self.mu != 0.0 {
+            let (g_alpha, _) = grad.split_at_mut(n);
+            self.fair_loss_and_grad(alpha, &ws.state, &mut ws.g_xt, g_alpha, &mut ws.fair)
+        } else {
+            0.0
+        };
+        let loss = self.lambda * util + self.mu * fair;
+
+        // Backprop through x̃ = U·V and the softmax into V, D, and α,
+        // parallelized over record chunks.
+        self.backprop_into(alpha, v, &ws.state, &ws.g_xt, grad, &mut ws.back);
 
         loss
     }
@@ -523,7 +854,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
-/// `acc += part`, element-wise. The reduction step of the parallel kernel.
+/// `acc += part`, element-wise. The reduction step of the parallel kernels.
 #[inline]
 fn add_assign(acc: &mut [f64], part: &[f64]) {
     debug_assert_eq!(acc.len(), part.len());
@@ -532,37 +863,79 @@ fn add_assign(acc: &mut [f64], part: &[f64]) {
     }
 }
 
+/// Splits `buf` into one mutable slice per layout range, where each index of
+/// the layout covers `width` consecutive elements of `buf`. The layout must
+/// tile `buf` exactly.
+fn split_chunks<'b, T>(
+    mut buf: &'b mut [T],
+    layout: &[Range<usize>],
+    width: usize,
+) -> Vec<&'b mut [T]> {
+    let mut out = Vec::with_capacity(layout.len());
+    for range in layout {
+        let (head, tail) = buf.split_at_mut(range.len() * width);
+        out.push(head);
+        buf = tail;
+    }
+    debug_assert!(buf.is_empty(), "layout must tile the buffer exactly");
+    out
+}
+
+/// The fairness target `d(x*_i, x*_j)`: unweighted Euclidean distance on the
+/// non-protected columns (Definition 5).
+fn masked_target(x: &Matrix, nonprotected: &[usize], i: usize, j: usize) -> f64 {
+    let (a, b) = (x.row(i), x.row(j));
+    nonprotected
+        .iter()
+        .map(|&col| {
+            let d = a[col] - b[col];
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Fills every pair's target distance, in parallel over fixed pair chunks
+/// when a pool is supplied. Each target is a pure function of its pair, so
+/// the result does not depend on the chunking or thread count.
+fn fill_targets(
+    x: &Matrix,
+    nonprotected: &[usize],
+    pairs: &mut [FairPair],
+    pool: Option<&par::WorkerPool>,
+) {
+    let n_chunks = pairs
+        .len()
+        .div_ceil(FAIR_CHUNK_PAIRS)
+        .clamp(1, MAX_FAIR_CHUNKS);
+    let layout = par::chunk_ranges(pairs.len(), n_chunks);
+    let jobs = split_chunks(pairs, &layout, 1);
+    par::pool_map(pool, jobs, |chunk| {
+        for pair in chunk.iter_mut() {
+            pair.target = masked_target(x, nonprotected, pair.i, pair.j);
+        }
+    });
+}
+
 /// Materializes the fairness-pair set with target distances measured by the
 /// unweighted Euclidean metric on the non-protected columns (Definition 5's
-/// `d(x*_i, x*_j)`).
+/// `d(x*_i, x*_j)`). Pair indices are drawn serially from `rng` (so the set
+/// is a function of the seed alone); the `O(pairs · N)` target distances are
+/// then filled through the objective's pool.
 fn build_pairs(
     x: &Matrix,
     nonprotected: &[usize],
     spec: FairnessPairs,
     m: usize,
     rng: &mut StdRng,
+    pool: &LazyPool,
 ) -> Vec<FairPair> {
-    let target = |i: usize, j: usize| -> f64 {
-        let (a, b) = (x.row(i), x.row(j));
-        nonprotected
-            .iter()
-            .map(|&col| {
-                let d = a[col] - b[col];
-                d * d
-            })
-            .sum::<f64>()
-            .sqrt()
-    };
-    match spec {
+    let mut pairs = match spec {
         FairnessPairs::Exact => {
             let mut pairs = Vec::with_capacity(m * m.saturating_sub(1) / 2);
             for i in 0..m {
                 for j in (i + 1)..m {
-                    pairs.push(FairPair {
-                        i,
-                        j,
-                        target: target(i, j),
-                    });
+                    pairs.push(FairPair { i, j, target: 0.0 });
                 }
             }
             pairs
@@ -583,7 +956,7 @@ fn build_pairs(
                     pairs.push(FairPair {
                         i: lo,
                         j: hi,
-                        target: target(lo, hi),
+                        target: 0.0,
                     });
                 }
             }
@@ -599,29 +972,56 @@ fn build_pairs(
             if n_pairs == 0 {
                 return Vec::new();
             }
-            // Sample distinct unordered pairs by rejection; the pair count in
-            // practice is far below `total` so collisions are rare.
-            let mut seen = std::collections::HashSet::with_capacity(n_pairs);
-            let mut pairs = Vec::with_capacity(n_pairs);
-            while pairs.len() < n_pairs {
-                let i = rng.gen_range(0..m);
-                let j = rng.gen_range(0..m);
-                if i == j {
-                    continue;
+            let mut pairs = if n_pairs > total / 2 {
+                // Dense draw: rejection sampling degenerates as `n_pairs`
+                // approaches `total` (the last acceptance needs ~`total`
+                // tries in expectation), so enumerate every pair and keep a
+                // partial Fisher-Yates prefix instead.
+                let mut all = Vec::with_capacity(total);
+                for i in 0..m {
+                    for j in (i + 1)..m {
+                        all.push(FairPair { i, j, target: 0.0 });
+                    }
                 }
-                let (lo, hi) = (i.min(j), i.max(j));
-                if seen.insert((lo, hi)) {
-                    pairs.push(FairPair {
-                        i: lo,
-                        j: hi,
-                        target: target(lo, hi),
-                    });
+                for idx in 0..n_pairs {
+                    let other = rng.gen_range(idx..all.len());
+                    all.swap(idx, other);
                 }
-            }
+                all.truncate(n_pairs);
+                all
+            } else {
+                // Sparse draw: sample distinct unordered pairs by rejection;
+                // below half the total pair count collisions stay rare.
+                let mut seen = std::collections::HashSet::with_capacity(n_pairs);
+                let mut pairs = Vec::with_capacity(n_pairs);
+                while pairs.len() < n_pairs {
+                    let i = rng.gen_range(0..m);
+                    let j = rng.gen_range(0..m);
+                    if i == j {
+                        continue;
+                    }
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    if seen.insert((lo, hi)) {
+                        pairs.push(FairPair {
+                            i: lo,
+                            j: hi,
+                            target: 0.0,
+                        });
+                    }
+                }
+                pairs
+            };
             pairs.sort_unstable_by_key(|p| (p.i, p.j));
             pairs
         }
-    }
+    };
+    let fill_pool = if pairs.len() >= PAR_MIN_PAIRS {
+        pool.get()
+    } else {
+        None
+    };
+    fill_targets(x, nonprotected, &mut pairs, fill_pool);
+    pairs
 }
 
 #[cfg(test)]
@@ -661,6 +1061,14 @@ mod tests {
             init: InitStrategy::RandomUniform,
             ..Default::default()
         }
+    }
+
+    /// Runs the forward pass into a fresh state (test helper).
+    fn forward_fresh(obj: &IFairObjective<'_>, theta: &[f64]) -> ForwardState {
+        let (alpha, v) = obj.unpack(theta);
+        let mut state = ForwardState::new(obj.m, obj.n, obj.k);
+        obj.forward_into(alpha, v, &mut state);
+        state
     }
 
     #[test]
@@ -734,6 +1142,37 @@ mod tests {
     }
 
     #[test]
+    fn subsampled_dense_draw_terminates_and_is_valid() {
+        // `n_pairs` near (or at) the total pair count takes the
+        // enumerate-and-partial-shuffle path, which must terminate fast and
+        // still produce distinct, sorted, correctly-targeted pairs.
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = 40;
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let total = m * (m - 1) / 2;
+        for n_pairs in [total / 2 + 1, total - 1, total] {
+            let cfg = IFairConfig {
+                fairness_pairs: FairnessPairs::Subsampled { n_pairs },
+                ..config(2)
+            };
+            let obj = IFairObjective::new(&x, &[false, false, true], &cfg);
+            let pairs = obj.pairs();
+            assert_eq!(pairs.len(), n_pairs);
+            for w in pairs.windows(2) {
+                assert!((w[0].i, w[0].j) < (w[1].i, w[1].j), "sorted and distinct");
+            }
+            for pair in pairs {
+                assert!(pair.i < pair.j && pair.j < m);
+                let want = masked_target(&x, &[0, 1], pair.i, pair.j);
+                assert_eq!(pair.target.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn pure_utility_loss_matches_manual_reconstruction_error() {
         let x = toy_matrix();
         let cfg = IFairConfig {
@@ -743,8 +1182,7 @@ mod tests {
         };
         let obj = IFairObjective::new(&x, &toy_protected(), &cfg);
         let theta = theta_at(obj.dim(), 7);
-        let (alpha, v) = obj.unpack(&theta);
-        let state = obj.forward(alpha, v);
+        let state = forward_fresh(&obj, &theta);
         let manual: f64 = x
             .as_slice()
             .iter()
@@ -759,8 +1197,7 @@ mod tests {
         let x = toy_matrix();
         let obj = IFairObjective::new(&x, &toy_protected(), &config(4));
         let theta = theta_at(obj.dim(), 3);
-        let (alpha, v) = obj.unpack(&theta);
-        let state = obj.forward(alpha, v);
+        let state = forward_fresh(&obj, &theta);
         for i in 0..6 {
             let row = &state.u[i * 4..(i + 1) * 4];
             let sum: f64 = row.iter().sum();
@@ -845,5 +1282,27 @@ mod tests {
         let v1 = obj.value_and_gradient(&theta, &mut grad);
         let v2 = obj.value(&theta);
         assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_reuse_never_leaks_state_across_evaluations() {
+        // Consecutive evaluations on ONE objective reuse the workspace and
+        // pool; results must be bit-identical to a fresh objective's.
+        let x = toy_matrix();
+        let obj = IFairObjective::new(&x, &toy_protected(), &config(3));
+        let ta = theta_at(obj.dim(), 5);
+        let tb = theta_at(obj.dim(), 6);
+        let mut first = vec![0.0; obj.dim()];
+        let va1 = obj.value_and_gradient(&ta, &mut first);
+        // Interleave a different point, then come back.
+        let mut scratch = vec![0.0; obj.dim()];
+        obj.value_and_gradient(&tb, &mut scratch);
+        obj.value(&tb);
+        let mut second = vec![0.0; obj.dim()];
+        let va2 = obj.value_and_gradient(&ta, &mut second);
+        assert_eq!(va1.to_bits(), va2.to_bits());
+        let first_bits: Vec<u64> = first.iter().map(|g| g.to_bits()).collect();
+        let second_bits: Vec<u64> = second.iter().map(|g| g.to_bits()).collect();
+        assert_eq!(first_bits, second_bits);
     }
 }

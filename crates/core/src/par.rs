@@ -1,23 +1,48 @@
-//! Scoped-thread parallel primitives shared across the workspace.
+//! Persistent worker-pool parallel primitives shared across the workspace.
 //!
-//! Two consumers drive the design:
+//! The centerpiece is [`WorkerPool`]: a set of long-lived worker threads,
+//! created once and fed batches over channels, so the training hot loops pay
+//! a channel send (~hundreds of nanoseconds) per parallel section instead of
+//! a `std::thread::scope` spawn (~10µs × threads) per objective evaluation.
+//! Three consumers drive the design:
 //!
-//! * the `O(M²)` pairwise `L_fair` kernel in [`crate::objective`], which
-//!   carves the pair index space into fixed chunks ([`chunk_ranges`]) and
-//!   fans them out with [`parallel_map_with_threads`], folding the per-chunk
-//!   partials in chunk order so results are thread-count-invariant,
+//! * the per-record forward/backward passes and the `O(M²)` pairwise
+//!   `L_fair` kernel in [`crate::objective`], which carve their index spaces
+//!   into **fixed** chunks ([`chunk_ranges`]) — a function of the problem
+//!   size only, never the thread count — and fold the per-chunk partials in
+//!   chunk order, so every result is bit-identical for any `n_threads`,
 //! * the experiment grid searches in `ifair-bench`, which need an
-//!   *order-preserving parallel map* over independent jobs that may borrow
-//!   prepared data ([`parallel_map`]).
+//!   *order-preserving parallel map* over independent jobs of wildly
+//!   different cost ([`parallel_map`], on a process-wide [`shared_pool`]).
 //!
-//! Everything is built on [`std::thread::scope`], so closures can borrow from
-//! the caller's stack and no external runtime is required. On a single
-//! hardware thread the helpers degrade to plain sequential execution with no
-//! thread spawns.
+//! # Pool architecture
+//!
+//! A pool of `n` lanes owns `n - 1` persistent threads; the calling thread
+//! is always the last lane, so `WorkerPool::new(1)` spawns nothing and every
+//! primitive degrades to plain sequential execution. [`WorkerPool::broadcast`]
+//! hands one shared closure to every lane and blocks on a latch until all
+//! lanes finish; the closure is guaranteed to have run its last call **and
+//! its drop glue** before the call returns — that barrier is what makes it
+//! sound for jobs to borrow from the caller's stack even though the workers
+//! are `'static` threads (the lifetime is erased in exactly one place, see
+//! `broadcast_lanes`).
+//! [`WorkerPool::map`] builds on it: items are handed out in order from a
+//! single shared cursor (work stealing, for uneven jobs), results are
+//! reassembled in input order, so the output never depends on scheduling.
+//!
+//! Worker panics are caught, the latch is still released, and the panic is
+//! re-raised on the caller — a poisoned batch can never leave a borrowed
+//! buffer in use after `broadcast` returns. A pool is **not** re-entrant by
+//! design, but nested use degrades gracefully: a `broadcast` issued *from* a
+//! pool's own worker runs the batch inline on that worker instead of
+//! deadlocking on its own queue.
 
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{JoinHandle, ThreadId};
 
 /// Number of hardware threads, falling back to 1 when detection fails.
 pub fn available_threads() -> usize {
@@ -57,67 +82,332 @@ pub fn chunk_ranges(n: usize, n_chunks: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Applies `f` to every item, in parallel, preserving input order.
+/// The closure every lane of a batch runs, lifetime-erased to `'static` so
+/// it can travel through the worker channels (see `WorkerPool::broadcast`
+/// for the soundness argument).
+type BatchBody = Box<dyn Fn(usize) + Send + Sync + 'static>;
+
+/// The barrier a batch's caller blocks on until every lane is done. Kept
+/// **outside** [`Batch`] (its own `Arc`) so a worker can drop its batch
+/// handle — and with it any claim on the lifetime-erased body — strictly
+/// before signalling; see the ordering argument in `broadcast_lanes`.
+struct Latch {
+    /// Lanes that have not yet arrived.
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    /// Marks one lane done, waking the waiter when it is the last.
+    fn arrive(&self) {
+        let mut pending = self.pending.lock().expect("batch latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every lane has arrived.
+    fn wait(&self) {
+        let mut pending = self.pending.lock().expect("batch latch poisoned");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("batch latch poisoned");
+        }
+    }
+}
+
+/// One unit of work fanned out to the lanes of a batch.
+struct Batch {
+    body: BatchBody,
+    latch: Arc<Latch>,
+    /// The first panic payload raised by any lane's body; resumed on the
+    /// caller after the barrier, so original messages and locations survive
+    /// the trip through the pool.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Batch {
+    /// Runs the batch body for `lane`, trapping panics (an unwinding lane
+    /// must still arrive at the latch, or the caller would deadlock and,
+    /// worse, borrowed buffers could escape the `broadcast` barrier).
+    ///
+    /// Deliberately does NOT signal the latch: workers must drop their
+    /// `Arc<Batch>` first and only then arrive, so the caller provably
+    /// holds the last batch handle once its wait returns.
+    fn run_lane(&self, lane: usize) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.body)(lane))) {
+            let mut slot = self.panic_payload.lock().expect("panic slot poisoned");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+/// A persistent, deterministic worker pool (see the module docs).
 ///
-/// Jobs are pulled from a shared atomic cursor, so threads that finish early
-/// steal remaining work — the right shape for experiment grids whose cells
-/// have wildly different costs. The closure may borrow from the caller
-/// (scoped threads impose no `'static` bound).
+/// Threads are created once, in [`WorkerPool::new`], and live until the pool
+/// is dropped; every parallel section afterwards costs only channel sends
+/// and a latch wait. Determinism is the caller's contract — the pool's
+/// [`WorkerPool::map`] preserves input order, so chunk layouts computed with
+/// [`chunk_ranges`] and folded in order give bit-identical results for every
+/// pool size.
+pub struct WorkerPool {
+    lanes: usize,
+    senders: Vec<Sender<Arc<Batch>>>,
+    handles: Vec<JoinHandle<()>>,
+    worker_ids: Vec<ThreadId>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `n_threads` lanes (clamped to at least 1),
+    /// spawning `n_threads - 1` persistent worker threads — the calling
+    /// thread always acts as the last lane, so a 1-lane pool spawns nothing
+    /// and runs everything inline.
+    pub fn new(n_threads: usize) -> WorkerPool {
+        let lanes = n_threads.max(1);
+        let mut senders = Vec::with_capacity(lanes - 1);
+        let mut handles = Vec::with_capacity(lanes - 1);
+        for lane in 0..lanes - 1 {
+            let (tx, rx) = channel::<Arc<Batch>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("ifair-pool-{lane}"))
+                .spawn(move || {
+                    // Exits when the pool drops its senders.
+                    while let Ok(batch) = rx.recv() {
+                        let latch = Arc::clone(&batch.latch);
+                        batch.run_lane(lane);
+                        // Release our claim on the batch (and its
+                        // lifetime-erased body) BEFORE signalling: the
+                        // caller frees the body's borrows as soon as the
+                        // latch opens.
+                        drop(batch);
+                        latch.arrive();
+                    }
+                })
+                .expect("spawning a worker-pool thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        let worker_ids = handles.iter().map(|h| h.thread().id()).collect();
+        WorkerPool {
+            lanes,
+            senders,
+            handles,
+            worker_ids,
+        }
+    }
+
+    /// Number of lanes (the `n_threads` this pool was created with).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `body(lane)` once for every lane `0..lanes()`, in parallel,
+    /// blocking until **all** lanes have finished. A panic in any lane is
+    /// resumed here after the barrier, original payload intact.
+    ///
+    /// This is the pool's only dispatch primitive; everything else is built
+    /// on it. The closure may borrow from the caller's stack: the barrier
+    /// guarantees no lane outlives this call.
+    pub fn broadcast<'env, F>(&self, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        self.broadcast_lanes(self.lanes, body);
+    }
+
+    /// [`WorkerPool::broadcast`] over the first `lanes_used` lanes only
+    /// (clamped to `1..=lanes()`), so batches with fewer jobs than lanes
+    /// don't wake — and then wait on — workers that would only run an empty
+    /// body.
+    fn broadcast_lanes<'env, F>(&self, lanes_used: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        let lanes_used = lanes_used.clamp(1, self.lanes);
+        if lanes_used <= 1 || self.worker_ids.contains(&std::thread::current().id()) {
+            // Single lane, or a nested broadcast issued from one of this
+            // pool's own workers (which could never drain its own queue):
+            // run every lane inline. Results are identical by construction.
+            for lane in 0..lanes_used {
+                body(lane);
+            }
+            return;
+        }
+
+        let body: Box<dyn Fn(usize) + Send + Sync + 'env> = Box::new(body);
+        // SAFETY: `Batch` requires a `'static` body because the worker
+        // threads outlive this call, but the body neither runs nor drops
+        // past it:
+        //
+        // * runs — the latch wait below is unconditional (lane panics are
+        //   trapped in `run_lane`, including the caller's own lane, and the
+        //   workers still arrive), so this function cannot return until
+        //   every lane has finished running `body`;
+        // * drops — every worker drops its `Arc<Batch>` BEFORE arriving at
+        //   the latch (see the worker loop), and the latch mutex orders
+        //   those drops before the caller's wake-up, so after `wait()` the
+        //   caller holds the only remaining handle and the body's drop glue
+        //   runs here, on this stack frame (`Arc::into_inner` below both
+        //   relies on and asserts that uniqueness).
+        //
+        // No reference captured by `body` is therefore ever used — by call
+        // or by drop — after its lifetime `'env` ends.
+        #[allow(unsafe_code)]
+        let body: BatchBody = unsafe {
+            std::mem::transmute::<Box<dyn Fn(usize) + Send + Sync + 'env>, BatchBody>(body)
+        };
+        let latch = Arc::new(Latch {
+            pending: Mutex::new(lanes_used),
+            done: Condvar::new(),
+        });
+        let batch = Arc::new(Batch {
+            body,
+            latch: Arc::clone(&latch),
+            panic_payload: Mutex::new(None),
+        });
+        // Worker `w` always runs lane `w`; the caller takes the last lane.
+        for tx in &self.senders[..lanes_used - 1] {
+            if tx.send(Arc::clone(&batch)).is_err() {
+                // A worker thread died (unreachable today — the worker loop
+                // cannot panic — but any future edit could change that).
+                // Unwinding here would skip the latch wait and free borrows
+                // that already-dispatched lanes may still be using, turning
+                // a dead worker into use-after-free; there is no safe
+                // recovery, so fail without unwinding.
+                eprintln!("ifair worker pool: a worker thread died mid-dispatch; aborting");
+                std::process::abort();
+            }
+        }
+        batch.run_lane(lanes_used - 1);
+        latch.arrive();
+        latch.wait();
+        let Batch {
+            body,
+            latch: _,
+            panic_payload,
+        } = Arc::into_inner(batch).expect("workers drop their batch handle before arriving");
+        // The erased body's drop glue runs here, inside `'env`.
+        drop(body);
+        if let Some(payload) = panic_payload.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Applies `f` to every item, in parallel on this pool, preserving input
+    /// order.
+    ///
+    /// Items are handed out one at a time from a single shared cursor, so
+    /// lanes that finish early steal remaining work — the right shape for
+    /// jobs of uneven cost — while each lane collects `(index, result)`
+    /// pairs that are reassembled in input order afterwards. The output is
+    /// therefore **independent of the pool size and of scheduling**; callers
+    /// that fold the results in order get thread-count-invariant numerics.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Send + Sync,
+    {
+        if self.lanes <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        // No point waking more lanes than there are items.
+        let lanes_used = self.lanes.min(n);
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let buckets: Vec<Mutex<Vec<(usize, R)>>> =
+            (0..lanes_used).map(|_| Mutex::new(Vec::new())).collect();
+        self.broadcast_lanes(lanes_used, |lane| {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                // The guard drops before `f` runs, so a panicking job
+                // cannot poison the queue for the other lanes.
+                let job = queue.lock().expect("job queue poisoned").next();
+                match job {
+                    Some((idx, item)) => local.push((idx, f(item))),
+                    None => break,
+                }
+            }
+            *buckets[lane].lock().expect("result bucket poisoned") = local;
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for bucket in buckets {
+            for (idx, r) in bucket.into_inner().expect("result bucket poisoned") {
+                slots[idx] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every job completed"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels is the shutdown signal; then reap.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs `jobs` through `pool` when one is available, serially otherwise.
+///
+/// This keeps serial and parallel callers on literally the same job
+/// construction and fold code: a caller that builds fixed chunk jobs and
+/// folds the returned partials in order gets bit-identical results whether
+/// `pool` is `None`, a 1-lane pool, or a 64-lane pool.
+pub fn pool_map<T, R, F>(pool: Option<&WorkerPool>, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    match pool {
+        Some(pool) => pool.map(jobs, f),
+        None => jobs.into_iter().map(f).collect(),
+    }
+}
+
+/// The process-wide shared pool, sized to the hardware thread count and
+/// created lazily on first use. Grid searches and other coarse one-shot
+/// fan-outs should use this instead of spawning private pools.
+pub fn shared_pool() -> &'static WorkerPool {
+    static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+    SHARED.get_or_init(|| WorkerPool::new(available_threads()))
+}
+
+/// Applies `f` to every item, in parallel on the [`shared_pool`], preserving
+/// input order. See [`WorkerPool::map`] for the scheduling contract.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(T) -> R + Send + Sync,
 {
-    parallel_map_with_threads(items, available_threads(), f)
+    shared_pool().map(items, f)
 }
 
-/// [`parallel_map`] with an explicit worker-thread count.
+/// [`parallel_map`] on a transient pool with an explicit lane count.
 ///
-/// Because the output order is the input order regardless of scheduling, the
-/// result is **independent of `n_threads`** — callers that fold the results
-/// in order get thread-count-invariant (and machine-invariant) numerics.
+/// This spawns (and joins) `n_threads - 1` threads per call, so it is for
+/// one-off fan-outs and determinism tests — hot loops should hold a
+/// [`WorkerPool`] and call [`WorkerPool::map`] on it instead.
 pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, n_threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(T) -> R + Send + Sync,
 {
-    let n_threads = n_threads.max(1).min(items.len().max(1));
-    if n_threads <= 1 {
+    if n_threads.max(1) <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-
-    let n = items.len();
-    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let item = jobs[idx]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job taken once");
-                *results[idx].lock().expect("result slot poisoned") = Some(f(item));
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job completed")
-        })
-        .collect()
+    // No point spawning more lanes than there are items.
+    WorkerPool::new(n_threads.min(items.len())).map(items, f)
 }
 
 #[cfg(test)]
@@ -149,8 +439,8 @@ mod tests {
 
     #[test]
     fn chunked_fold_is_thread_count_invariant() {
-        // The L_fair kernel's shape: fixed chunks, ordered fold. The result
-        // must not depend on how many workers computed the chunk partials.
+        // The kernel shape: fixed chunks, ordered fold. The result must not
+        // depend on how many lanes computed the chunk partials.
         let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
         let chunks = chunk_ranges(data.len(), 16);
         let reference: f64 = chunks
@@ -163,6 +453,100 @@ mod tests {
             let total: f64 = partials.into_iter().sum();
             assert_eq!(total.to_bits(), reference.to_bits(), "threads={t}");
         }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        // The whole point of the persistent pool: many dispatches, one set
+        // of threads. Mix broadcast and map batches on one pool.
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.lanes(), 4);
+        for round in 0..50u64 {
+            let out = pool.map((0..97u64).collect(), |i| i * i + round);
+            assert_eq!(out, (0..97u64).map(|i| i * i + round).collect::<Vec<_>>());
+        }
+        let hits = Mutex::new(vec![0u32; 4]);
+        pool.broadcast(|lane| hits.lock().unwrap()[lane] += 1);
+        assert_eq!(*hits.lock().unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn map_preserves_order_at_every_lane_count() {
+        for lanes in [1usize, 2, 3, 8] {
+            let pool = WorkerPool::new(lanes);
+            let out = pool.map((0..100).collect(), |i: usize| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "{lanes}");
+        }
+    }
+
+    #[test]
+    fn map_jobs_may_carry_mutable_borrows() {
+        // The objective's forward/backward jobs own disjoint `&mut` slices
+        // of one caller-side buffer; the barrier makes that sound.
+        let mut buf = vec![0.0f64; 12];
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<(usize, &mut [f64])> = buf.chunks_mut(4).enumerate().collect();
+        pool.map(jobs, |(idx, chunk)| {
+            for (o, v) in chunk.iter_mut().enumerate() {
+                *v = (idx * 4 + o) as f64;
+            }
+        });
+        assert_eq!(buf, (0..12).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_the_barrier() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..32).collect(), |i: usize| {
+                assert!(i != 17, "boom at {i}");
+                i
+            })
+        }));
+        // The original payload survives the trip through the pool.
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 17"), "payload lost: {msg:?}");
+        // The pool survives a poisoned batch and keeps serving.
+        let out = pool.map(vec![1, 2, 3], |i: i32| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_body_drops_before_broadcast_returns() {
+        // A guard whose Drop writes through a borrow of caller-stack data:
+        // the body's drop glue must run inside `broadcast` (the soundness
+        // contract of the lifetime erasure), never later on a worker.
+        struct DropProbe<'a>(&'a Mutex<bool>);
+        impl Drop for DropProbe<'_> {
+            fn drop(&mut self) {
+                *self.0.lock().unwrap() = true;
+            }
+        }
+        let pool = WorkerPool::new(4);
+        for _ in 0..100 {
+            let dropped = Mutex::new(false);
+            let probe = DropProbe(&dropped);
+            pool.broadcast(move |_lane| {
+                let _keep = &probe;
+            });
+            assert!(*dropped.lock().unwrap(), "body dropped after broadcast");
+        }
+    }
+
+    #[test]
+    fn nested_use_degrades_to_inline_execution() {
+        // A map dispatched from inside one of the pool's own workers must
+        // not deadlock on its own queue.
+        let pool = WorkerPool::new(2);
+        let out = pool.map(vec![0usize, 1], |i| {
+            let inner: usize = pool.map(vec![10usize, 20], |j| j + i).into_iter().sum();
+            inner
+        });
+        assert_eq!(out, vec![30, 32]);
     }
 
     #[test]
@@ -183,5 +567,15 @@ mod tests {
         let base = vec![10, 20, 30];
         let out = parallel_map(vec![0usize, 1, 2], |i| base[i]);
         assert_eq!(out, base);
+    }
+
+    #[test]
+    fn pool_map_serial_and_pooled_agree() {
+        let pool = WorkerPool::new(3);
+        let serial = pool_map(None, (0..40).collect(), |i: u64| (i as f64).sqrt());
+        let pooled = pool_map(Some(&pool), (0..40).collect(), |i: u64| (i as f64).sqrt());
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let pooled_bits: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(serial_bits, pooled_bits);
     }
 }
