@@ -1,0 +1,119 @@
+//! Schema-versioned JSON persistence.
+//!
+//! Every serialized model in the workspace is wrapped in a small envelope
+//!
+//! ```json
+//! {"schema_version": 1, "kind": "ifair-model", "payload": { ... }}
+//! ```
+//!
+//! so loading an artifact written by an incompatible build fails with a
+//! clear [`FitError::SchemaVersion`] (or a kind mismatch) instead of
+//! deserializing garbage into a live model.
+
+use crate::error::FitError;
+use serde::{Deserialize, Serialize, Value};
+
+/// The schema version this build writes and the highest it can read.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Serializes `payload` into the versioned envelope under the given `kind`
+/// tag (e.g. `"ifair-model"`, `"pipeline"`).
+pub fn to_versioned_json<T: Serialize + ?Sized>(
+    kind: &str,
+    payload: &T,
+) -> Result<String, FitError> {
+    let envelope = Value::Object(vec![
+        ("schema_version".to_string(), SCHEMA_VERSION.to_value()),
+        ("kind".to_string(), Value::String(kind.to_string())),
+        ("payload".to_string(), payload.to_value()),
+    ]);
+    serde_json::to_string(&envelope).map_err(|e| FitError::Serialization(e.to_string()))
+}
+
+/// Parses a versioned envelope, checking the schema version and `kind` tag
+/// before touching the payload.
+pub fn from_versioned_json<T: Deserialize>(kind: &str, json: &str) -> Result<T, FitError> {
+    let value: Value =
+        serde_json::from_str(json).map_err(|e| FitError::Serialization(e.to_string()))?;
+    let version = value
+        .field("schema_version")
+        .and_then(u32::from_value)
+        .map_err(|_| {
+            FitError::Serialization(
+                "missing or invalid `schema_version` field — not a versioned artifact".into(),
+            )
+        })?;
+    if version != SCHEMA_VERSION {
+        return Err(FitError::SchemaVersion {
+            found: version,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    let found_kind = value
+        .field("kind")
+        .and_then(String::from_value)
+        .map_err(|e| FitError::Serialization(e.to_string()))?;
+    if found_kind != kind {
+        return Err(FitError::Serialization(format!(
+            "artifact kind mismatch: expected `{kind}`, found `{found_kind}`"
+        )));
+    }
+    let payload = value
+        .field("payload")
+        .map_err(|e| FitError::Serialization(e.to_string()))?;
+    T::from_value(payload).map_err(|e| FitError::Serialization(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        let payload = vec![1.5f64, -2.25, 0.0];
+        let json = to_versioned_json("test-vec", &payload).unwrap();
+        assert!(json.contains("\"schema_version\""));
+        let back: Vec<f64> = from_versioned_json("test-vec", &json).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn bumped_version_is_rejected_with_clear_error() {
+        let json = to_versioned_json("test-vec", &vec![1.0f64]).unwrap();
+        let bumped = json.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+            1,
+        );
+        assert_ne!(json, bumped, "version field must be present to bump");
+        let err = from_versioned_json::<Vec<f64>>("test-vec", &bumped).unwrap_err();
+        assert!(matches!(
+            err,
+            FitError::SchemaVersion {
+                found: 999,
+                supported: SCHEMA_VERSION
+            }
+        ));
+        assert!(err.to_string().contains("999"));
+    }
+
+    #[test]
+    fn unversioned_payload_is_rejected() {
+        let err = from_versioned_json::<Vec<f64>>("test-vec", "[1.0, 2.0]").unwrap_err();
+        assert!(matches!(err, FitError::Serialization(_)));
+        assert!(err.to_string().contains("schema_version"));
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let json = to_versioned_json("kind-a", &1.0f64).unwrap();
+        let err = from_versioned_json::<f64>("kind-b", &json).unwrap_err();
+        assert!(err.to_string().contains("kind-a") && err.to_string().contains("kind-b"));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_versioned_json::<f64>("k", "{not json").is_err());
+        assert!(from_versioned_json::<f64>("k", "").is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Estimator-contract adapters for the `ifair-data` feature scalers.
+//!
+//! The scalers themselves live in `ifair_data::scale`; this module gives
+//! them unfitted config types implementing [`Estimator`] and wires the
+//! fitted scalers into [`Transform`], so `scale → represent → model`
+//! pipelines treat all three stages uniformly.
+
+use crate::error::{check_width, shape_error, FitError};
+use crate::traits::{Estimator, Transform};
+use ifair_data::{Dataset, MinMaxScaler, StandardScaler};
+use ifair_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Unfitted standard (unit-variance) scaler — §V-B's "all feature vectors
+/// are normalized to have unit variance".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StandardScalerConfig {
+    /// When false, data keeps its mean and only variance is normalized.
+    pub center: bool,
+}
+
+impl Default for StandardScalerConfig {
+    fn default() -> Self {
+        StandardScalerConfig { center: true }
+    }
+}
+
+impl Estimator for StandardScalerConfig {
+    type Fitted = StandardScaler;
+
+    fn fit(&self, ds: &Dataset) -> Result<StandardScaler, FitError> {
+        if ds.n_records() == 0 || ds.n_features() == 0 {
+            return Err(shape_error("cannot fit a scaler on an empty dataset"));
+        }
+        Ok(if self.center {
+            StandardScaler::fit(&ds.x)
+        } else {
+            StandardScaler::fit_no_center(&ds.x)
+        })
+    }
+}
+
+impl Transform for StandardScaler {
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        check_width(ds, self.n_features(), "scaler")?;
+        Ok(StandardScaler::transform(self, &ds.x))
+    }
+}
+
+/// Unfitted min-max scaler mapping features into `[0, 1]` (what the LFR
+/// reference implementation uses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinMaxScalerConfig;
+
+impl Estimator for MinMaxScalerConfig {
+    type Fitted = MinMaxScaler;
+
+    fn fit(&self, ds: &Dataset) -> Result<MinMaxScaler, FitError> {
+        if ds.n_records() == 0 || ds.n_features() == 0 {
+            return Err(shape_error("cannot fit a scaler on an empty dataset"));
+        }
+        Ok(MinMaxScaler::fit(&ds.x))
+    }
+}
+
+impl Transform for MinMaxScaler {
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        check_width(ds, self.n_features(), "scaler")?;
+        Ok(MinMaxScaler::transform(self, &ds.x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap(),
+            vec!["a".into(), "b".into()],
+            vec![false, false],
+            None,
+            vec![0, 1, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_fits_and_transforms_via_traits() {
+        let ds = toy();
+        let scaler = StandardScalerConfig::default().fit(&ds).unwrap();
+        let t = Transform::transform(&scaler, &ds).unwrap();
+        let means = t.col_means();
+        assert!(means[0].abs() < 1e-12 && means[1].abs() < 1e-12);
+        // Matches the inherent path bit-for-bit.
+        assert_eq!(t, StandardScaler::fit(&ds.x).transform(&ds.x));
+    }
+
+    #[test]
+    fn minmax_scaler_maps_to_unit_interval_via_traits() {
+        let ds = toy();
+        let scaler = MinMaxScalerConfig.fit(&ds).unwrap();
+        let t = Transform::transform(&scaler, &ds).unwrap();
+        assert!(t.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn width_mismatch_is_a_typed_error() {
+        let ds = toy();
+        let scaler = StandardScalerConfig::default().fit(&ds).unwrap();
+        let narrow = Dataset::new(
+            Matrix::zeros(2, 1),
+            vec!["a".into()],
+            vec![false],
+            None,
+            vec![0, 0],
+        )
+        .unwrap();
+        assert!(Transform::transform(&scaler, &narrow).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let empty = Dataset::new(
+            Matrix::zeros(0, 2),
+            vec!["a".into(), "b".into()],
+            vec![false, false],
+            None,
+            vec![],
+        )
+        .unwrap();
+        assert!(StandardScalerConfig::default().fit(&empty).is_err());
+        assert!(MinMaxScalerConfig.fit(&empty).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! The sklearn-style estimator contract shared by every method.
+//!
+//! The paper's experiments are all pipelines — scale, learn a representation
+//! (iFair / LFR / SVD / identity), train a downstream model, score — so the
+//! whole workspace speaks three small traits over one [`Dataset`] view:
+//!
+//! * [`Estimator`]: an **unfitted** configuration that can `fit` on a
+//!   dataset, producing its `Fitted` model. Implemented by the config types
+//!   (`IFairConfig`, `LfrConfig`, `SvdConfig`, ...), so a grid search is a
+//!   loop over configs and `fit(&ds)` calls.
+//! * [`Transform`]: a fitted stage mapping records to a new feature matrix
+//!   (scalers, representations).
+//! * [`Predict`]: a fitted stage emitting one decision score per record
+//!   (classifiers, rankers, post-processors).
+//!
+//! All three are dataset-centric: features, the per-column protected mask,
+//! per-record group membership and optional labels travel together, so
+//! methods that need different subsets (iFair reads the protected mask, LFR
+//! reads labels + groups, logistic regression reads labels) share one
+//! signature and can be swapped under one harness.
+
+use crate::error::FitError;
+use ifair_data::Dataset;
+use ifair_linalg::Matrix;
+
+/// An unfitted estimator: configuration + the ability to learn from data.
+pub trait Estimator {
+    /// The trained model produced by [`Estimator::fit`].
+    type Fitted;
+
+    /// Fits the estimator on `ds`, validating configuration and data shapes
+    /// up front.
+    fn fit(&self, ds: &Dataset) -> Result<Self::Fitted, FitError>;
+}
+
+/// A fitted stage that maps records to a (possibly different-width) feature
+/// matrix.
+pub trait Transform {
+    /// Transforms the records of `ds`, returning one output row per record.
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError>;
+
+    /// Transforms `ds` and re-wraps the result as a dataset carrying the
+    /// same labels/groups — the glue that chains pipeline stages.
+    fn transform_dataset(&self, ds: &Dataset) -> Result<Dataset, FitError> {
+        let x = self.transform(ds)?;
+        ds.with_features(x).map_err(FitError::from)
+    }
+}
+
+/// A fitted stage that emits one decision score per record.
+pub trait Predict {
+    /// Continuous decision scores: positive-class probabilities for
+    /// classifiers, predicted deserved scores for regressors/rankers.
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError>;
+
+    /// Final decisions: hard 0/1 labels for classifiers; regressors return
+    /// their scores unchanged.
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifair_data::DataError;
+
+    /// A stage that doubles every feature — exercises the default
+    /// `transform_dataset` wiring.
+    struct Doubler;
+
+    impl Transform for Doubler {
+        fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+            let mut x = ds.x.clone();
+            for v in x.as_mut_slice() {
+                *v *= 2.0;
+            }
+            Ok(x)
+        }
+    }
+
+    /// A stage that drops all rows — must surface a typed shape error from
+    /// `transform_dataset`.
+    struct RowEater;
+
+    impl Transform for RowEater {
+        fn transform(&self, _ds: &Dataset) -> Result<Matrix, FitError> {
+            Ok(Matrix::zeros(0, 1))
+        }
+    }
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(),
+            vec!["a".into(), "b".into()],
+            vec![false, true],
+            Some(vec![0.0, 1.0]),
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transform_dataset_keeps_metadata() {
+        let ds = toy();
+        let out = Doubler.transform_dataset(&ds).unwrap();
+        assert_eq!(out.x.get(1, 1), 8.0);
+        assert_eq!(out.group, ds.group);
+        assert_eq!(out.labels(), ds.labels());
+        // Same width: names and protected flags survive.
+        assert_eq!(out.protected, ds.protected);
+    }
+
+    #[test]
+    fn transform_dataset_propagates_shape_errors() {
+        let err = RowEater.transform_dataset(&toy()).unwrap_err();
+        assert!(matches!(err, FitError::Data(DataError::Shape(_))));
+    }
+}

@@ -22,6 +22,8 @@
 //! where constraint-promoted candidates receive linearly interpolated
 //! scores between their new neighbours.
 
+use ifair_api::{check_group_labels, ensure, ConfigError, Estimator, FitError, Predict};
+use ifair_data::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the FA\*IR test and re-ranking.
@@ -49,14 +51,58 @@ impl Default for FairConfig {
 
 impl FairConfig {
     /// Validates the parameters.
-    pub fn validate(&self) -> Result<(), String> {
-        if !(0.0..=1.0).contains(&self.p) {
-            return Err(format!("p must be in [0,1], got {}", self.p));
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(
+            (0.0..=1.0).contains(&self.p),
+            "p",
+            format!("must be in [0,1], got {}", self.p),
+        )?;
+        ensure(
+            0.0 < self.alpha && self.alpha < 1.0,
+            "alpha",
+            format!("must be in (0,1), got {}", self.alpha),
+        )
+    }
+}
+
+impl Estimator for FairConfig {
+    type Fitted = FairScorer;
+
+    /// FA\*IR learns nothing from data — "fitting" validates the parameters
+    /// and captures them in a [`FairScorer`] post-processor.
+    fn fit(&self, _ds: &Dataset) -> Result<FairScorer, FitError> {
+        self.validate()?;
+        Ok(FairScorer {
+            config: self.clone(),
+        })
+    }
+}
+
+/// FA\*IR as a score post-processor: re-ranks the dataset's records (scores
+/// read from `ds.y`, groups from `ds.group`) over the full candidate pool
+/// and emits the §V-E interpolated *fair scores*, aligned with the records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairScorer {
+    /// The validated FA\*IR parameters.
+    pub config: FairConfig,
+}
+
+impl Predict for FairScorer {
+    /// Fair scores per record (constraint-promoted candidates receive
+    /// interpolated scores; see [`rerank`]).
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        let scores = ds.try_labels()?;
+        check_group_labels(&ds.group)?;
+        let fair = rerank(scores, &ds.group, scores.len(), &self.config);
+        let mut by_record = vec![0.0; scores.len()];
+        for (pos, &cand) in fair.order.iter().enumerate() {
+            by_record[cand] = fair.fair_scores[pos];
         }
-        if !(0.0 < self.alpha && self.alpha < 1.0) {
-            return Err(format!("alpha must be in (0,1), got {}", self.alpha));
-        }
-        Ok(())
+        Ok(by_record)
+    }
+
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Predict::predict_proba(self, ds)
     }
 }
 
@@ -317,6 +363,43 @@ fn interpolate_promoted(scores: &mut [f64], promoted: &[bool]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fair_scorer_validates_group_labels_and_interpolates() {
+        let scores = vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+        let group = vec![0u8, 0, 0, 1, 1, 1];
+        let ds = ifair_data::Dataset::new(
+            ifair_linalg::Matrix::zeros(6, 1),
+            vec!["score-source".into()],
+            vec![false],
+            Some(scores.clone()),
+            group.clone(),
+        )
+        .unwrap();
+        let scorer = FairConfig {
+            p: 0.8,
+            adjust_alpha: false,
+            ..Default::default()
+        }
+        .fit(&ds)
+        .unwrap();
+        let fair = Predict::predict_proba(&scorer, &ds).unwrap();
+        assert_eq!(fair.len(), 6);
+        assert!(fair.iter().all(|v| v.is_finite()));
+
+        // Out-of-range labels are typed errors, not "unprotected".
+        let mut bad = ds.clone();
+        bad.group[2] = 3;
+        let err = Predict::predict_proba(&scorer, &bad).unwrap_err();
+        assert!(err.to_string().contains("record 2"), "{err}");
+        // Invalid parameters are caught at fit.
+        assert!(FairConfig {
+            p: 1.5,
+            ..Default::default()
+        }
+        .fit(&ds)
+        .is_err());
+    }
 
     #[test]
     fn binomial_cdf_matches_hand_computed_values() {

@@ -25,6 +25,11 @@
 //! analytic gradients (the original used `scipy.optimize` finite
 //! differences).
 
+use ifair_api::{
+    check_group_labels, ensure, schema_error, shape_error, ConfigError, Estimator, FitError,
+    Predict, Transform,
+};
+use ifair_data::Dataset;
 use ifair_linalg::Matrix;
 use ifair_optim::{Lbfgs, LbfgsConfig, Objective, Termination};
 use rand::rngs::StdRng;
@@ -72,20 +77,29 @@ impl Default for LfrConfig {
 
 impl LfrConfig {
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.k == 0 {
-            return Err("k must be at least 1".into());
-        }
-        if self.a_x < 0.0 || self.a_y < 0.0 || self.a_z < 0.0 {
-            return Err("loss weights must be non-negative".into());
-        }
-        if self.a_x == 0.0 && self.a_y == 0.0 && self.a_z == 0.0 {
-            return Err("at least one loss weight must be positive".into());
-        }
-        if self.n_restarts == 0 {
-            return Err("n_restarts must be at least 1".into());
-        }
-        Ok(())
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(self.k >= 1, "k", "must be at least 1")?;
+        ensure(
+            self.a_x >= 0.0 && self.a_y >= 0.0 && self.a_z >= 0.0,
+            "a_x/a_y/a_z",
+            "loss weights must be non-negative",
+        )?;
+        ensure(
+            self.a_x > 0.0 || self.a_y > 0.0 || self.a_z > 0.0,
+            "a_x/a_y/a_z",
+            "at least one loss weight must be positive",
+        )?;
+        ensure(self.n_restarts >= 1, "n_restarts", "must be at least 1")
+    }
+}
+
+impl Estimator for LfrConfig {
+    type Fitted = Lfr;
+
+    /// Fits LFR on `ds.x` with `ds.y` as binary labels and `ds.group` as
+    /// per-record protected-group membership.
+    fn fit(&self, ds: &Dataset) -> Result<Lfr, FitError> {
+        Lfr::fit(&ds.x, ds.try_labels()?, &ds.group, self)
     }
 }
 
@@ -110,27 +124,31 @@ pub struct Lfr {
 impl Lfr {
     /// Fits LFR on `x` (`M x N`) with binary labels `y` and per-record
     /// protected-group membership `group` (1 = protected).
-    pub fn fit(x: &Matrix, y: &[f64], group: &[u8], config: &LfrConfig) -> Result<Lfr, String> {
+    pub fn fit(x: &Matrix, y: &[f64], group: &[u8], config: &LfrConfig) -> Result<Lfr, FitError> {
         config.validate()?;
         let (m, n) = x.shape();
         if m == 0 || n == 0 {
-            return Err("empty training matrix".into());
+            return Err(shape_error("empty training matrix"));
         }
         if y.len() != m {
-            return Err(format!("y has length {} but X has {m} rows", y.len()));
+            return Err(shape_error(format!(
+                "y has length {} but X has {m} rows",
+                y.len()
+            )));
         }
         if group.len() != m {
-            return Err(format!(
+            return Err(shape_error(format!(
                 "group has length {} but X has {m} rows",
                 group.len()
-            ));
+            )));
         }
         if y.iter().any(|&v| v != 0.0 && v != 1.0) {
-            return Err("labels must be binary 0/1".into());
+            return Err(schema_error("labels must be binary 0/1"));
         }
+        check_group_labels(group)?;
         let n_protected = group.iter().filter(|&&g| g == 1).count();
         if config.a_z > 0.0 && (n_protected == 0 || n_protected == m) {
-            return Err("the parity loss needs both groups present".into());
+            return Err(schema_error("the parity loss needs both groups present"));
         }
 
         let objective = LfrObjective::new(x, y, group, config);
@@ -168,11 +186,26 @@ impl Lfr {
     }
 
     /// The `? x K` responsibility matrix for `x`, using each record's
-    /// group-specific distance weights.
+    /// group-specific distance weights. Group labels are validated up front:
+    /// anything outside `{0, 1}` is a typed error, never silently treated as
+    /// "unprotected".
     #[allow(clippy::needless_range_loop)] // i indexes both rows and groups
-    pub fn responsibilities(&self, x: &Matrix, group: &[u8]) -> Matrix {
-        assert_eq!(x.rows(), group.len(), "group length must match records");
-        assert_eq!(x.cols(), self.prototypes.cols(), "record width mismatch");
+    pub fn responsibilities(&self, x: &Matrix, group: &[u8]) -> Result<Matrix, FitError> {
+        if x.rows() != group.len() {
+            return Err(shape_error(format!(
+                "group has length {} but X has {} rows",
+                group.len(),
+                x.rows()
+            )));
+        }
+        if x.cols() != self.prototypes.cols() {
+            return Err(shape_error(format!(
+                "records have {} features but the model was trained on {}",
+                x.cols(),
+                self.prototypes.cols()
+            )));
+        }
+        check_group_labels(group)?;
         let k = self.config.k;
         let mut u = Matrix::zeros(x.rows(), k);
         for i in 0..x.rows() {
@@ -184,27 +217,28 @@ impl Lfr {
             }
             softmax_neg_into(&d, u.row_mut(i));
         }
-        u
+        Ok(u)
     }
 
     /// The reconstructed representation `X̂ = U·V`.
-    pub fn transform(&self, x: &Matrix, group: &[u8]) -> Matrix {
-        self.responsibilities(x, group).matmul(&self.prototypes)
+    pub fn transform(&self, x: &Matrix, group: &[u8]) -> Result<Matrix, FitError> {
+        Ok(self.responsibilities(x, group)?.matmul(&self.prototypes))
     }
 
     /// Predicted positive-class probabilities `ŷ = U·w`.
-    pub fn predict_proba(&self, x: &Matrix, group: &[u8]) -> Vec<f64> {
-        self.responsibilities(x, group)
+    pub fn predict_proba(&self, x: &Matrix, group: &[u8]) -> Result<Vec<f64>, FitError> {
+        self.responsibilities(x, group)?
             .matvec(&self.w)
-            .expect("w has length K")
+            .map_err(FitError::from)
     }
 
     /// Hard 0/1 predictions at threshold 0.5.
-    pub fn predict(&self, x: &Matrix, group: &[u8]) -> Vec<f64> {
-        self.predict_proba(x, group)
+    pub fn predict(&self, x: &Matrix, group: &[u8]) -> Result<Vec<f64>, FitError> {
+        Ok(self
+            .predict_proba(x, group)?
             .into_iter()
             .map(|p| if p > 0.5 { 1.0 } else { 0.0 })
-            .collect()
+            .collect())
     }
 
     /// The learned `K x N` prototype matrix.
@@ -233,6 +267,22 @@ impl Lfr {
         } else {
             &self.alpha_unprotected
         }
+    }
+}
+
+impl Transform for Lfr {
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        Lfr::transform(self, &ds.x, &ds.group)
+    }
+}
+
+impl Predict for Lfr {
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Lfr::predict_proba(self, &ds.x, &ds.group)
+    }
+
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Lfr::predict(self, &ds.x, &ds.group)
     }
 }
 
@@ -643,10 +693,10 @@ mod tests {
     fn fit_produces_valid_probabilities() {
         let (x, y, group) = biased_data();
         let model = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
-        let proba = model.predict_proba(&x, &group);
+        let proba = model.predict_proba(&x, &group).unwrap();
         assert_eq!(proba.len(), 24);
         assert!(proba.iter().all(|&p| (0.0..=1.0).contains(&p)));
-        let preds = model.predict(&x, &group);
+        let preds = model.predict(&x, &group).unwrap();
         assert!(preds.iter().all(|&p| p == 0.0 || p == 1.0));
     }
 
@@ -654,10 +704,10 @@ mod tests {
     fn transform_shape_and_finiteness() {
         let (x, y, group) = biased_data();
         let model = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
-        let t = model.transform(&x, &group);
+        let t = model.transform(&x, &group).unwrap();
         assert_eq!(t.shape(), x.shape());
         assert!(t.as_slice().iter().all(|v| v.is_finite()));
-        let u = model.responsibilities(&x, &group);
+        let u = model.responsibilities(&x, &group).unwrap();
         for i in 0..u.rows() {
             let s: f64 = u.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-10);
@@ -688,7 +738,7 @@ mod tests {
         )
         .unwrap();
         let gap = |model: &Lfr| {
-            let yh = model.predict_proba(&x, &group);
+            let yh = model.predict_proba(&x, &group).unwrap();
             let mean = |g: u8| {
                 let vals: Vec<f64> = yh
                     .iter()
@@ -717,16 +767,61 @@ mod tests {
         assert!(Lfr::fit(&x, &bad_labels, &group, &quick_config()).is_err());
         let single_group = vec![0u8; 24];
         assert!(Lfr::fit(&x, &y, &single_group, &quick_config()).is_err());
-        assert!(Lfr::fit(
-            &x,
-            &y,
-            &group,
-            &LfrConfig {
-                k: 0,
-                ..quick_config()
-            }
+        assert!(matches!(
+            Lfr::fit(
+                &x,
+                &y,
+                &group,
+                &LfrConfig {
+                    k: 0,
+                    ..quick_config()
+                }
+            ),
+            Err(FitError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_group_labels_are_typed_errors() {
+        let (x, y, mut group) = biased_data();
+        // Fitting with a group label outside {0, 1} must fail up front...
+        group[3] = 2;
+        let err = Lfr::fit(&x, &y, &group, &quick_config()).unwrap_err();
+        assert!(matches!(err, FitError::Data(_)));
+        assert!(err.to_string().contains("record 3"), "{err}");
+
+        // ...and so must transform/predict on a model fitted with valid
+        // groups (previously label 2 was silently treated as unprotected).
+        let (_, _, good_group) = biased_data();
+        let model = Lfr::fit(&x, &y, &good_group, &quick_config()).unwrap();
+        assert!(model.transform(&x, &group).is_err());
+        assert!(model.predict_proba(&x, &group).is_err());
+        assert!(model.predict(&x, &group).is_err());
+        assert!(model.responsibilities(&x, &group).is_err());
+    }
+
+    #[test]
+    fn trait_impls_match_inherent_methods() {
+        let (x, y, group) = biased_data();
+        let ds = Dataset::new(
+            x.clone(),
+            (0..x.cols()).map(|j| format!("f{j}")).collect(),
+            vec![false, false, true],
+            Some(y.clone()),
+            group.clone(),
         )
-        .is_err());
+        .unwrap();
+        let model = LfrConfig::fit(&quick_config(), &ds).unwrap();
+        let direct = Lfr::fit(&x, &y, &group, &quick_config()).unwrap();
+        assert_eq!(model.prototypes(), direct.prototypes());
+        assert_eq!(
+            Transform::transform(&model, &ds).unwrap(),
+            direct.transform(&x, &group).unwrap()
+        );
+        assert_eq!(
+            Predict::predict_proba(&model, &ds).unwrap(),
+            direct.predict_proba(&x, &group).unwrap()
+        );
     }
 
     #[test]

@@ -30,8 +30,9 @@ pub mod svd_repr;
 
 pub use fair::{
     adjusted_alpha, binomial_cdf, fail_probability, minimum_protected_table, rerank, satisfies,
-    FairConfig, FairRanking,
+    FairConfig, FairRanking, FairScorer,
 };
+pub use ifair_api::{Estimator, FitError, Predict, Transform};
 pub use lfr::{Lfr, LfrConfig, LfrObjective};
-pub use parity::ParityThresholds;
-pub use svd_repr::SvdRepresentation;
+pub use parity::{ParityConfig, ParityThresholds};
+pub use svd_repr::{SvdConfig, SvdRepresentation};

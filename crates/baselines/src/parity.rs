@@ -9,7 +9,46 @@
 //! per-group decision thresholds chosen so both groups' positive rates hit
 //! a common target.
 
+use ifair_api::{
+    check_group_labels, ensure, schema_error, shape_error, ConfigError, Estimator, FitError,
+    Predict,
+};
+use ifair_data::Dataset;
 use serde::{Deserialize, Serialize};
+
+/// Unfitted parity calibrator. As an [`Estimator`] it reads the upstream
+/// classifier's scores from the dataset's outcome slot (`ds.y`) and group
+/// membership from `ds.group` — post-processors consume predictions, not
+/// features.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParityConfig {
+    /// Positive rate to calibrate both groups to; `None` preserves the
+    /// overall positive rate at threshold 0.5.
+    pub target_rate: Option<f64>,
+}
+
+impl ParityConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(r) = self.target_rate {
+            ensure(
+                (0.0..=1.0).contains(&r),
+                "target_rate",
+                format!("must be in [0,1], got {r}"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Estimator for ParityConfig {
+    type Fitted = ParityThresholds;
+
+    fn fit(&self, ds: &Dataset) -> Result<ParityThresholds, FitError> {
+        self.validate()?;
+        ParityThresholds::fit(ds.try_labels()?, &ds.group, self.target_rate)
+    }
+}
 
 /// Per-group decision thresholds computed by [`ParityThresholds::fit`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,22 +73,26 @@ impl ParityThresholds {
         scores: &[f64],
         group: &[u8],
         target_rate: Option<f64>,
-    ) -> Result<ParityThresholds, String> {
+    ) -> Result<ParityThresholds, FitError> {
         if scores.len() != group.len() {
-            return Err(format!(
+            return Err(shape_error(format!(
                 "scores ({}) and group ({}) lengths differ",
                 scores.len(),
                 group.len()
-            ));
+            )));
         }
         if scores.is_empty() {
-            return Err("cannot calibrate on empty data".into());
+            return Err(shape_error("cannot calibrate on empty data"));
         }
+        check_group_labels(group)?;
         let rate = match target_rate {
-            Some(r) if !(0.0..=1.0).contains(&r) => {
-                return Err(format!("target rate must be in [0,1], got {r}"));
+            Some(r) => {
+                ParityConfig {
+                    target_rate: Some(r),
+                }
+                .validate()?;
+                r
             }
-            Some(r) => r,
             None => scores.iter().filter(|&&s| s > 0.5).count() as f64 / scores.len() as f64,
         };
         let of_group = |g: u8| -> Vec<f64> {
@@ -63,7 +106,9 @@ impl ParityThresholds {
         let prot = of_group(1);
         let unprot = of_group(0);
         if prot.is_empty() || unprot.is_empty() {
-            return Err("both groups must be present to calibrate parity".into());
+            return Err(schema_error(
+                "both groups must be present to calibrate parity",
+            ));
         }
         Ok(ParityThresholds {
             protected: rate_threshold(&prot, rate),
@@ -91,6 +136,23 @@ impl ParityThresholds {
                 }
             })
             .collect()
+    }
+}
+
+impl Predict for ParityThresholds {
+    /// Post-processors pass scores through unchanged; [`Predict::predict`]
+    /// applies the calibrated per-group thresholds.
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Ok(ds.try_labels()?.to_vec())
+    }
+
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        let scores = ds.try_labels()?;
+        if scores.len() != ds.group.len() {
+            return Err(shape_error("scores and group lengths differ"));
+        }
+        check_group_labels(&ds.group)?;
+        Ok(self.apply(scores, &ds.group))
     }
 }
 
@@ -182,6 +244,28 @@ mod tests {
         assert!(ParityThresholds::fit(&[0.5], &[1], None).is_err()); // one group
         assert!(ParityThresholds::fit(&[0.5, 0.4], &[1], None).is_err()); // lengths
         assert!(ParityThresholds::fit(&[0.5, 0.4], &[1, 0], Some(1.5)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_group_labels_are_typed_errors() {
+        // Label 2 would otherwise be silently calibrated/thresholded as
+        // "unprotected" — both fit and the trait predict reject it.
+        let (scores, mut group) = biased();
+        group[4] = 2;
+        let err = ParityThresholds::fit(&scores, &group, None).unwrap_err();
+        assert!(err.to_string().contains("record 4"), "{err}");
+
+        let (_, good_group) = biased();
+        let t = ParityThresholds::fit(&scores, &good_group, None).unwrap();
+        let ds = ifair_data::Dataset::new(
+            ifair_linalg::Matrix::zeros(scores.len(), 1),
+            vec!["score-source".into()],
+            vec![false],
+            Some(scores),
+            group,
+        )
+        .unwrap();
+        assert!(Predict::predict(&t, &ds).is_err());
     }
 
     #[test]

@@ -7,8 +7,48 @@
 //! extent it is uncorrelated with the leading components — which is exactly
 //! why they underperform iFair on individual fairness (Fig. 3 / Table V).
 
-use ifair_linalg::{LinalgError, Matrix, Svd};
+use ifair_api::{ensure, shape_error, ConfigError, Estimator, FitError, Transform};
+use ifair_data::Dataset;
+use ifair_linalg::{Matrix, Svd};
 use serde::{Deserialize, Serialize};
+
+/// Configuration of the truncated-SVD representation — the unfitted
+/// estimator of the SVD / SVD-masked baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SvdConfig {
+    /// Truncation rank `k` (clamped to the numerical rank at fit time).
+    pub k: usize,
+    /// When true, fit (and transform) on the dataset's masked features —
+    /// the *SVD-masked* rows of the paper's tables.
+    pub masked: bool,
+}
+
+impl SvdConfig {
+    /// Rank-`k` representation on the full feature matrix.
+    pub fn new(k: usize) -> SvdConfig {
+        SvdConfig { k, masked: false }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(self.k >= 1, "k", "SVD representation needs k >= 1")
+    }
+}
+
+impl Estimator for SvdConfig {
+    type Fitted = SvdRepresentation;
+
+    fn fit(&self, ds: &Dataset) -> Result<SvdRepresentation, FitError> {
+        self.validate()?;
+        let mut repr = if self.masked {
+            SvdRepresentation::fit(&ds.masked_x(), self.k)?
+        } else {
+            SvdRepresentation::fit(&ds.x, self.k)?
+        };
+        repr.masked = self.masked;
+        Ok(repr)
+    }
+}
 
 /// A fitted truncated-SVD representation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -17,22 +57,22 @@ pub struct SvdRepresentation {
     components: Matrix,
     /// Leading singular values (length `k`).
     singular_values: Vec<f64>,
+    /// Whether fitting consumed the masked feature view (replayed by the
+    /// trait-level transform so train/test see the same columns).
+    masked: bool,
 }
 
 impl SvdRepresentation {
     /// Fits a rank-`k` representation on `x` (`M x N`); `k` is clamped to
     /// the numerical rank.
-    pub fn fit(x: &Matrix, k: usize) -> Result<SvdRepresentation, LinalgError> {
-        if k == 0 {
-            return Err(LinalgError::InvalidDimensions(
-                "SVD representation needs k >= 1".into(),
-            ));
-        }
+    pub fn fit(x: &Matrix, k: usize) -> Result<SvdRepresentation, FitError> {
+        SvdConfig::new(k).validate()?;
         let svd = Svd::decompose(x)?;
         let (_, s, v) = svd.truncate(k);
         Ok(SvdRepresentation {
             components: v,
             singular_values: s,
+            masked: false,
         })
     }
 
@@ -69,6 +109,26 @@ impl SvdRepresentation {
     /// Rank of the representation (`k` after clamping).
     pub fn rank(&self) -> usize {
         self.components.cols()
+    }
+}
+
+impl Transform for SvdRepresentation {
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        let masked_x;
+        let x = if self.masked {
+            masked_x = ds.masked_x();
+            &masked_x
+        } else {
+            &ds.x
+        };
+        if x.cols() != self.components.rows() {
+            return Err(shape_error(format!(
+                "dataset has {} features but the SVD was fitted on {}",
+                x.cols(),
+                self.components.rows()
+            )));
+        }
+        Ok(x.matmul(&self.components))
     }
 }
 

@@ -9,6 +9,18 @@
 //!   preserved — see `EXPERIMENTS.md`.
 //! * `--seed <u64>` — base RNG seed (default 42).
 
+/// A command-line parsing failure (usage is printed by [`ExpArgs::parse`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
 /// Parsed experiment arguments.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
@@ -38,7 +50,7 @@ impl ExpArgs {
     }
 
     /// Parses an explicit argument list (testable core of [`ExpArgs::parse`]).
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<ExpArgs, String> {
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<ExpArgs, ArgsError> {
         let mut parsed = ExpArgs::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -48,12 +60,12 @@ impl ExpArgs {
                 "--seed" => {
                     let value = iter
                         .next()
-                        .ok_or_else(|| "--seed requires a value".to_string())?;
+                        .ok_or_else(|| ArgsError("--seed requires a value".into()))?;
                     parsed.seed = value
                         .parse()
-                        .map_err(|_| format!("invalid seed: {value}"))?;
+                        .map_err(|_| ArgsError(format!("invalid seed: {value}")))?;
                 }
-                other => return Err(format!("unknown argument: {other}")),
+                other => return Err(ArgsError(format!("unknown argument: {other}"))),
             }
         }
         Ok(parsed)

@@ -44,7 +44,7 @@ struct Panel {
 /// eval, as in the paper's illustration).
 fn panel_metrics(ds: &Dataset, repr: &Matrix, flip_drift: f64) -> PanelMetrics {
     let y = ds.labels();
-    let model = LogisticRegression::fit_default(repr, y);
+    let model = LogisticRegression::fit_default(repr, y).expect("repr rows align with labels");
     let preds = model.predict(repr);
     PanelMetrics {
         acc: accuracy(y, &preds),
@@ -203,10 +203,14 @@ fn main() {
                     let Ok(model) = Lfr::fit(&ds.x, ds.labels(), &ds.group, &config) else {
                         continue;
                     };
-                    let repr = model.transform(&ds.x, &ds.group);
+                    let repr = model
+                        .transform(&ds.x, &ds.group)
+                        .expect("groups validated by fit");
                     let drift = mean_row_distance(
                         &repr,
-                        &model.transform(&flipped_ds.x, &flipped_ds.group),
+                        &model
+                            .transform(&flipped_ds.x, &flipped_ds.group)
+                            .expect("groups validated by fit"),
                     );
                     let m = panel_metrics(&ds, &repr, drift);
                     if best_lfr.as_ref().is_none_or(|(b, _, _)| m.ynn > b.ynn) {

@@ -89,7 +89,9 @@ fn main() {
         let lfr_acc = if has_labels {
             match Lfr::fit(&s.x, s.labels(), &s.group, &lfr_config) {
                 Ok(model) => Some(adversarial_accuracy(
-                    &model.transform(&s.x, &s.group),
+                    &model
+                        .transform(&s.x, &s.group)
+                        .expect("groups validated by fit"),
                     &s.group,
                     args.seed,
                 )),

@@ -9,7 +9,8 @@
 //! fairness / best harmonic mean).
 
 use crate::exec::parallel_map;
-use ifair_baselines::{Lfr, LfrConfig, SvdRepresentation};
+use ifair_api::{Estimator, FitError, Transform};
+use ifair_baselines::{Lfr, LfrConfig, SvdConfig};
 use ifair_core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
 use ifair_data::{train_val_test_split, Dataset, StandardScaler};
 use ifair_linalg::Matrix;
@@ -138,34 +139,34 @@ pub fn repr_identity(p: &PreparedData, masked: bool) -> ReprSet {
     }
 }
 
-/// Truncated-SVD representation on full or masked features (rank `k`).
-pub fn repr_svd(p: &PreparedData, k: usize, masked: bool) -> Result<ReprSet, String> {
-    let pick = |d: &Dataset| if masked { d.masked_x() } else { d.x.clone() };
-    let svd = SvdRepresentation::fit(&pick(&p.fit), k).map_err(|e| e.to_string())?;
+/// Truncated-SVD representation on full or masked features (rank `k`) —
+/// the masked-column handling lives in [`SvdConfig`], not here.
+pub fn repr_svd(p: &PreparedData, k: usize, masked: bool) -> Result<ReprSet, FitError> {
+    let svd = SvdConfig { k, masked }.fit(&p.fit)?;
     Ok(ReprSet {
-        train: svd.transform(&pick(&p.train)),
-        val: svd.transform(&pick(&p.val)),
-        test: svd.transform(&pick(&p.test)),
+        train: Transform::transform(&svd, &p.train)?,
+        val: Transform::transform(&svd, &p.val)?,
+        test: Transform::transform(&svd, &p.test)?,
     })
 }
 
 /// LFR representation (fit on the capped training subset).
-pub fn repr_lfr(p: &PreparedData, config: &LfrConfig) -> Result<(ReprSet, Lfr), String> {
+pub fn repr_lfr(p: &PreparedData, config: &LfrConfig) -> Result<(ReprSet, Lfr), FitError> {
     let y = p.fit.labels();
     let model = Lfr::fit(&p.fit.x, y, &p.fit.group, config)?;
     Ok((
         ReprSet {
-            train: model.transform(&p.train.x, &p.train.group),
-            val: model.transform(&p.val.x, &p.val.group),
-            test: model.transform(&p.test.x, &p.test.group),
+            train: model.transform(&p.train.x, &p.train.group)?,
+            val: model.transform(&p.val.x, &p.val.group)?,
+            test: model.transform(&p.test.x, &p.test.group)?,
         },
         model,
     ))
 }
 
 /// iFair representation (fit on the capped training subset).
-pub fn repr_ifair(p: &PreparedData, config: &IFairConfig) -> Result<(ReprSet, IFair), String> {
-    let model = IFair::fit(&p.fit.x, &p.fit.protected, config).map_err(|e| e.to_string())?;
+pub fn repr_ifair(p: &PreparedData, config: &IFairConfig) -> Result<(ReprSet, IFair), FitError> {
+    let model = IFair::fit(&p.fit.x, &p.fit.protected, config)?;
     Ok((
         ReprSet {
             train: model.transform(&p.train.x),
@@ -194,7 +195,8 @@ pub struct ClsMetrics {
 /// Trains logistic regression on `(repr.train, train labels)` and evaluates
 /// on the validation and test splits. Returns `(val, test)` metrics.
 pub fn eval_classification(p: &PreparedData, repr: &ReprSet) -> (ClsMetrics, ClsMetrics) {
-    let model = LogisticRegression::fit_default(&repr.train, p.train.labels());
+    let model = LogisticRegression::fit_default(&repr.train, p.train.labels())
+        .expect("representation rows align with training labels");
     let eval = |x: &Matrix, ds: &Dataset, neighbors: &[Vec<usize>]| -> ClsMetrics {
         let proba = model.predict_proba(x);
         let preds: Vec<f64> = proba

@@ -32,5 +32,5 @@ pub mod ranking;
 pub mod report;
 pub mod timing;
 
-pub use args::ExpArgs;
+pub use args::{ArgsError, ExpArgs};
 pub use report::MarkdownTable;

@@ -13,6 +13,7 @@
 //! Full/Masked Data recover it (nearly) exactly — which is how the paper's
 //! Table V shows MAP = KT = 1.00 for those baselines on Xing.
 
+use ifair_api::FitError;
 use ifair_baselines::{rerank, FairConfig, SvdRepresentation};
 use ifair_core::{IFair, IFairConfig};
 use ifair_data::{Dataset, Query, RankingDataset, StandardScaler};
@@ -127,24 +128,24 @@ impl RankRepr {
 }
 
 /// Materializes a representation for **all** records of the dataset.
-pub fn apply_rank_repr(p: &PreparedRanking, method: &RankRepr) -> Result<Matrix, String> {
+pub fn apply_rank_repr(p: &PreparedRanking, method: &RankRepr) -> Result<Matrix, FitError> {
     match method {
         RankRepr::Full => Ok(p.data.x.clone()),
         RankRepr::Masked => Ok(p.data.masked_x()),
         RankRepr::Svd { k } => {
             let fit = p.data.x.select_rows(&p.fit_idx);
-            let svd = SvdRepresentation::fit(&fit, *k).map_err(|e| e.to_string())?;
+            let svd = SvdRepresentation::fit(&fit, *k)?;
             Ok(svd.transform(&p.data.x))
         }
         RankRepr::SvdMasked { k } => {
             let masked = p.data.masked_x();
             let fit = masked.select_rows(&p.fit_idx);
-            let svd = SvdRepresentation::fit(&fit, *k).map_err(|e| e.to_string())?;
+            let svd = SvdRepresentation::fit(&fit, *k)?;
             Ok(svd.transform(&masked))
         }
         RankRepr::IFair(config) => {
             let fit = p.data.x.select_rows(&p.fit_idx);
-            let model = IFair::fit(&fit, &p.data.protected, config).map_err(|e| e.to_string())?;
+            let model = IFair::fit(&fit, &p.data.protected, config)?;
             Ok(model.transform(&p.data.x))
         }
     }
@@ -170,7 +171,7 @@ pub type QueryScores = Vec<Vec<f64>>;
 
 /// Fits ridge regression `representation -> deserved score` and predicts a
 /// score for every candidate of every query.
-pub fn predict_scores(p: &PreparedRanking, repr: &Matrix) -> Result<QueryScores, String> {
+pub fn predict_scores(p: &PreparedRanking, repr: &Matrix) -> Result<QueryScores, FitError> {
     let model = RidgeRegression::fit(repr, p.scores(), 1e-6)?;
     let all = model.predict(repr);
     Ok(p.queries

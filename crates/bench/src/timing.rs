@@ -140,7 +140,7 @@ impl BenchReport {
     }
 }
 
-/// Prints the Markdown table header matching [`bench`] rows.
+/// Prints the Markdown table header matching [`bench()`] rows.
 pub fn table_header(title: &str) {
     println!("\n### {title}\n");
     println!("| benchmark | min | median | mean |");

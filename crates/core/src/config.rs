@@ -1,5 +1,6 @@
 //! Configuration of the iFair model.
 
+use ifair_api::{ensure, ConfigError};
 use serde::{Deserialize, Serialize};
 
 /// How the attribute-weight vector `α` is initialized (§V-B of the paper).
@@ -134,33 +135,43 @@ impl Default for IFairConfig {
 }
 
 impl IFairConfig {
-    /// Validates the configuration, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.k == 0 {
-            return Err("k must be at least 1".into());
-        }
-        if self.p < 1.0 {
-            return Err(format!("Minkowski p must be >= 1, got {}", self.p));
-        }
-        if self.lambda < 0.0 || self.mu < 0.0 {
-            return Err("lambda and mu must be non-negative".into());
-        }
-        if self.lambda == 0.0 && self.mu == 0.0 {
-            return Err("lambda and mu cannot both be zero".into());
-        }
-        if self.n_restarts == 0 {
-            return Err("n_restarts must be at least 1".into());
-        }
+    /// Validates the configuration, reporting the first violated constraint
+    /// with the offending field's name.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(self.k >= 1, "k", "must be at least 1")?;
+        ensure(
+            self.p >= 1.0,
+            "p",
+            format!("Minkowski p must be >= 1, got {}", self.p),
+        )?;
+        ensure(
+            self.lambda >= 0.0 && self.mu >= 0.0,
+            "lambda/mu",
+            "must be non-negative",
+        )?;
+        ensure(
+            self.lambda != 0.0 || self.mu != 0.0,
+            "lambda/mu",
+            "cannot both be zero",
+        )?;
+        ensure(self.n_restarts >= 1, "n_restarts", "must be at least 1")?;
         if let Some((lo, hi)) = self.alpha_bounds {
-            if lo >= hi {
-                return Err(format!("alpha bounds ({lo}, {hi}) are empty"));
-            }
+            ensure(
+                lo < hi,
+                "alpha_bounds",
+                format!("bounds ({lo}, {hi}) are empty"),
+            )?;
         }
         match self.fairness_pairs {
-            FairnessPairs::Anchored { n_anchors: 0 } => Err("n_anchors must be at least 1".into()),
-            FairnessPairs::Subsampled { n_pairs: 0 } => Err("n_pairs must be at least 1".into()),
-            _ => Ok(()),
+            FairnessPairs::Anchored { n_anchors } => ensure(
+                n_anchors >= 1,
+                "fairness_pairs.n_anchors",
+                "must be at least 1",
+            ),
+            FairnessPairs::Subsampled { n_pairs } => {
+                ensure(n_pairs >= 1, "fairness_pairs.n_pairs", "must be at least 1")
+            }
+            FairnessPairs::Exact => Ok(()),
         }
     }
 }

@@ -1,0 +1,317 @@
+//! The estimator-contract face of iFair: [`Estimator`]/[`Transform`] impls
+//! and the fluent [`IFairBuilder`].
+//!
+//! `IFairConfig` *is* the unfitted estimator (sklearn-style): `fit(&ds)`
+//! reads the feature matrix and the per-column protected mask from the
+//! [`Dataset`] and returns a trained [`IFair`]. The builder adds ergonomic
+//! setters plus progress/early-stop callbacks threaded into the L-BFGS
+//! restart loop.
+
+use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, InitStrategy};
+use crate::model::{FitControl, IFair, RestartEvent};
+use ifair_api::{check_width, Estimator, FitError, Transform};
+use ifair_data::Dataset;
+use ifair_linalg::Matrix;
+
+impl Estimator for IFairConfig {
+    type Fitted = IFair;
+
+    /// Fits iFair on `ds.x` with `ds.protected` as the protected mask.
+    /// Labels and group membership are ignored — the representation is
+    /// application-agnostic by design.
+    fn fit(&self, ds: &Dataset) -> Result<IFair, FitError> {
+        IFair::fit(&ds.x, &ds.protected, self)
+    }
+}
+
+impl Transform for IFair {
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        check_width(ds, self.n_features(), "iFair model")?;
+        Ok(IFair::transform(self, &ds.x))
+    }
+}
+
+/// Restart observer stored by the builder.
+type Observer = Box<dyn FnMut(RestartEvent<'_>) -> FitControl>;
+
+/// Fluent construction of an iFair fit:
+///
+/// ```
+/// use ifair_core::{FitControl, IFair};
+/// use ifair_data::Dataset;
+/// use ifair_linalg::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(vec![
+///         vec![0.9, 0.1, 1.0],
+///         vec![0.8, 0.2, 0.0],
+///         vec![0.2, 0.9, 1.0],
+///         vec![0.1, 0.8, 0.0],
+///     ]).unwrap(),
+///     vec!["a".into(), "b".into(), "gender".into()],
+///     vec![false, false, true],
+///     None,
+///     vec![1, 0, 1, 0],
+/// ).unwrap();
+///
+/// let model = IFair::builder()
+///     .n_prototypes(2)
+///     .max_iters(30)
+///     .n_restarts(1)
+///     .seed(7)
+///     .on_restart(|e| {
+///         // progress callback; return Stop to skip remaining restarts
+///         assert!(e.report.loss.is_finite());
+///         FitControl::Continue
+///     })
+///     .fit(&ds)
+///     .unwrap();
+/// assert_eq!(model.n_prototypes(), 2);
+/// ```
+pub struct IFairBuilder {
+    config: IFairConfig,
+    observer: Option<Observer>,
+}
+
+impl Default for IFairBuilder {
+    fn default() -> Self {
+        IFairBuilder::new()
+    }
+}
+
+impl IFairBuilder {
+    /// Starts from [`IFairConfig::default`].
+    pub fn new() -> IFairBuilder {
+        IFairBuilder {
+            config: IFairConfig::default(),
+            observer: None,
+        }
+    }
+
+    /// Starts from an explicit configuration.
+    pub fn from_config(config: IFairConfig) -> IFairBuilder {
+        IFairBuilder {
+            config,
+            observer: None,
+        }
+    }
+
+    /// Number of prototypes `K`.
+    pub fn n_prototypes(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Weight `λ` of the utility (reconstruction) loss.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.config.lambda = lambda;
+        self
+    }
+
+    /// Weight `μ` of the individual-fairness loss.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.config.mu = mu;
+        self
+    }
+
+    /// Minkowski exponent `p` of the learned distance.
+    pub fn minkowski_p(mut self, p: f64) -> Self {
+        self.config.p = p;
+        self
+    }
+
+    /// Attribute-weight initialization (iFair-a vs iFair-b).
+    pub fn init(mut self, init: InitStrategy) -> Self {
+        self.config.init = init;
+        self
+    }
+
+    /// Pin protected attribute weights near zero with box constraints.
+    pub fn freeze_protected_alpha(mut self, freeze: bool) -> Self {
+        self.config.freeze_protected_alpha = freeze;
+        self
+    }
+
+    /// Distance used between transformed records in `L_fair`.
+    pub fn fairness_distance(mut self, d: FairnessDistance) -> Self {
+        self.config.fairness_distance = d;
+        self
+    }
+
+    /// Pair policy of the fairness loss (exact / anchored / subsampled).
+    pub fn fairness_pairs(mut self, pairs: FairnessPairs) -> Self {
+        self.config.fairness_pairs = pairs;
+        self
+    }
+
+    /// Box constraints on every attribute weight (`None` = unconstrained).
+    pub fn alpha_bounds(mut self, bounds: Option<(f64, f64)>) -> Self {
+        self.config.alpha_bounds = bounds;
+        self
+    }
+
+    /// Number of random restarts (best final loss wins).
+    pub fn n_restarts(mut self, n: usize) -> Self {
+        self.config.n_restarts = n;
+        self
+    }
+
+    /// Maximum L-BFGS iterations per restart.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.config.max_iters = n;
+        self
+    }
+
+    /// Gradient tolerance of the optimizer.
+    pub fn grad_tol(mut self, tol: f64) -> Self {
+        self.config.grad_tol = tol;
+        self
+    }
+
+    /// RNG seed (restart `r` uses `seed + r`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Worker threads of the trainer's pool (`0` = all hardware threads,
+    /// `1` = serial).
+    pub fn n_threads(mut self, n: usize) -> Self {
+        self.config.n_threads = n;
+        self
+    }
+
+    /// Registers a progress/early-stop callback invoked after every
+    /// completed restart; returning [`FitControl::Stop`] skips the remaining
+    /// restarts and keeps the best result so far.
+    pub fn on_restart(
+        mut self,
+        observer: impl FnMut(RestartEvent<'_>) -> FitControl + 'static,
+    ) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// The configuration assembled so far.
+    pub fn config(&self) -> &IFairConfig {
+        &self.config
+    }
+
+    /// Fits on a [`Dataset`] (features + protected mask).
+    pub fn fit(self, ds: &Dataset) -> Result<IFair, FitError> {
+        let protected = ds.protected.clone();
+        self.fit_matrix(&ds.x, &protected)
+    }
+
+    /// Fits on a raw matrix and per-column protected flags — the escape
+    /// hatch for callers without a full `Dataset`.
+    pub fn fit_matrix(self, x: &Matrix, protected: &[bool]) -> Result<IFair, FitError> {
+        match self.observer {
+            Some(observer) => IFair::fit_with_observer(x, protected, &self.config, observer),
+            None => IFair::fit(x, protected, &self.config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows = (0..16)
+            .map(|i| {
+                vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    f64::from(i % 2),
+                ]
+            })
+            .collect();
+        Dataset::new(
+            Matrix::from_rows(rows).unwrap(),
+            vec!["a".into(), "b".into(), "gender".into()],
+            vec![false, false, true],
+            Some((0..16).map(|i| f64::from(i % 2 == 0)).collect()),
+            (0..16).map(|i| (i % 2) as u8).collect(),
+        )
+        .unwrap()
+    }
+
+    fn quick() -> IFairConfig {
+        IFairConfig {
+            k: 3,
+            max_iters: 30,
+            n_restarts: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn config_estimator_matches_direct_fit() {
+        let ds = toy_dataset();
+        let via_trait = quick().fit(&ds).unwrap();
+        let direct = IFair::fit(&ds.x, &ds.protected, &quick()).unwrap();
+        assert_eq!(via_trait.prototypes(), direct.prototypes());
+        assert_eq!(via_trait.alpha(), direct.alpha());
+    }
+
+    #[test]
+    fn trait_transform_matches_inherent() {
+        let ds = toy_dataset();
+        let model = quick().fit(&ds).unwrap();
+        let via_trait = Transform::transform(&model, &ds).unwrap();
+        assert_eq!(via_trait, model.transform(&ds.x));
+    }
+
+    #[test]
+    fn trait_transform_rejects_width_mismatch() {
+        let ds = toy_dataset();
+        let model = quick().fit(&ds).unwrap();
+        let narrow = ds.with_features(ds.masked_x()).unwrap();
+        assert!(Transform::transform(&model, &narrow).is_err());
+    }
+
+    #[test]
+    fn builder_matches_config_fit() {
+        let ds = toy_dataset();
+        let built = IFair::builder()
+            .n_prototypes(3)
+            .max_iters(30)
+            .n_restarts(2)
+            .fit(&ds)
+            .unwrap();
+        let direct = quick().fit(&ds).unwrap();
+        assert_eq!(built.prototypes(), direct.prototypes());
+    }
+
+    #[test]
+    fn builder_callback_observes_and_stops() {
+        let ds = toy_dataset();
+        let model = IFair::builder()
+            .n_prototypes(3)
+            .max_iters(30)
+            .n_restarts(4)
+            .on_restart(|e| {
+                if e.restart >= 1 {
+                    FitControl::Stop
+                } else {
+                    FitControl::Continue
+                }
+            })
+            .fit(&ds)
+            .unwrap();
+        assert_eq!(model.report().restarts.len(), 2);
+    }
+
+    #[test]
+    fn builder_validates_through_the_same_path() {
+        let ds = toy_dataset();
+        assert!(matches!(
+            IFair::builder().n_prototypes(0).fit(&ds),
+            Err(FitError::Config(_))
+        ));
+    }
+}

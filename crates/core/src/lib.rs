@@ -54,10 +54,13 @@
 
 pub mod config;
 pub mod distance;
+pub mod estimator;
 pub mod model;
 pub mod objective;
 pub mod par;
 
 pub use config::{FairnessDistance, FairnessPairs, IFairConfig, InitStrategy, SoftmaxDistance};
-pub use model::{IFair, IFairError, TrainingReport};
+pub use estimator::IFairBuilder;
+pub use ifair_api::{ConfigError, Estimator, FitError, Predict, Transform};
+pub use model::{FitControl, IFair, RestartEvent, TrainingReport};
 pub use objective::IFairObjective;

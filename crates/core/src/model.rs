@@ -3,41 +3,43 @@
 use crate::config::{IFairConfig, InitStrategy, SoftmaxDistance};
 use crate::distance;
 use crate::objective::IFairObjective;
+use ifair_api::{shape_error, FitError};
 use ifair_linalg::Matrix;
 use ifair_optim::{Lbfgs, LbfgsConfig, Termination};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
 /// Near-zero value used for protected attribute weights under
 /// [`InitStrategy::NearZeroProtected`] (§V-B: "avoiding zero values to allow
 /// slack for the numerical computations").
 const NEAR_ZERO_ALPHA: f64 = 1e-4;
 
-/// Errors from [`IFair::fit`] and the persistence helpers.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum IFairError {
-    /// The hyper-parameter configuration failed validation.
-    InvalidConfig(String),
-    /// The input matrix / protected flags disagree in shape, or the data is
-    /// otherwise unusable (empty, non-finite).
-    DataShape(String),
-    /// (De)serialization failed.
-    Serialization(String),
+/// Kind tag of the versioned JSON envelope written by [`IFair::to_json`].
+const MODEL_KIND: &str = "ifair-model";
+
+/// What the training loop should do after an observed restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitControl {
+    /// Run the remaining restarts.
+    Continue,
+    /// Stop early: keep the best restart found so far and return.
+    Stop,
 }
 
-impl fmt::Display for IFairError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            IFairError::InvalidConfig(msg) => write!(f, "invalid iFair configuration: {msg}"),
-            IFairError::DataShape(msg) => write!(f, "invalid training data: {msg}"),
-            IFairError::Serialization(msg) => write!(f, "model (de)serialization failed: {msg}"),
-        }
-    }
+/// Progress snapshot handed to a restart observer (see
+/// [`IFair::fit_with_observer`]) after each completed restart.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartEvent<'a> {
+    /// Zero-based index of the restart that just finished.
+    pub restart: usize,
+    /// Total restarts the configuration asks for.
+    pub n_restarts: usize,
+    /// The finished restart's outcome.
+    pub report: &'a RestartReport,
+    /// Lowest loss seen across restarts so far (including this one).
+    pub best_loss: f64,
 }
-
-impl std::error::Error for IFairError {}
 
 /// Outcome of one random restart.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -99,27 +101,39 @@ impl IFair {
     /// `protected[j]` flags column `j` as protected: those columns are
     /// excluded from the fairness-loss targets, and under
     /// [`InitStrategy::NearZeroProtected`] their weights start near zero.
-    pub fn fit(x: &Matrix, protected: &[bool], config: &IFairConfig) -> Result<IFair, IFairError> {
-        config.validate().map_err(IFairError::InvalidConfig)?;
+    pub fn fit(x: &Matrix, protected: &[bool], config: &IFairConfig) -> Result<IFair, FitError> {
+        IFair::fit_with_observer(x, protected, config, |_| FitControl::Continue)
+    }
+
+    /// Like [`IFair::fit`], but invokes `observer` after every completed
+    /// restart with the restart's report and the best loss so far. Returning
+    /// [`FitControl::Stop`] skips the remaining restarts (the best restart
+    /// found so far wins) — the hook behind the builder's progress and
+    /// early-stop callbacks.
+    pub fn fit_with_observer(
+        x: &Matrix,
+        protected: &[bool],
+        config: &IFairConfig,
+        mut observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+    ) -> Result<IFair, FitError> {
+        config.validate()?;
         let (m, n) = x.shape();
         if m == 0 || n == 0 {
-            return Err(IFairError::DataShape("empty training matrix".into()));
+            return Err(shape_error("empty training matrix"));
         }
         if protected.len() != n {
-            return Err(IFairError::DataShape(format!(
+            return Err(shape_error(format!(
                 "protected has length {} but X has {n} columns",
                 protected.len()
             )));
         }
         if protected.iter().all(|&p| p) {
-            return Err(IFairError::DataShape(
-                "all attributes are protected; the fairness target distance would be empty".into(),
+            return Err(shape_error(
+                "all attributes are protected; the fairness target distance would be empty",
             ));
         }
         if x.as_slice().iter().any(|v| !v.is_finite()) {
-            return Err(IFairError::DataShape(
-                "training matrix contains non-finite values".into(),
-            ));
+            return Err(shape_error("training matrix contains non-finite values"));
         }
 
         // One objective for all restarts: the pair set, worker pool, and
@@ -152,6 +166,16 @@ impl IFair {
             };
             if better {
                 best = Some((result.x, r));
+            }
+            let best_idx = best.as_ref().expect("just set").1;
+            let control = observer(RestartEvent {
+                restart: r,
+                n_restarts: config.n_restarts,
+                report: &restarts[r],
+                best_loss: restarts[best_idx].loss,
+            });
+            if control == FitControl::Stop {
+                break;
             }
         }
         let (theta, best_restart) = best.expect("n_restarts >= 1 guaranteed by validate()");
@@ -274,14 +298,38 @@ impl IFair {
         self.prototypes.rows()
     }
 
-    /// Serializes the model to a JSON string.
-    pub fn to_json(&self) -> Result<String, IFairError> {
-        serde_json::to_string(self).map_err(|e| IFairError::Serialization(e.to_string()))
+    /// Serializes the model to a schema-versioned JSON string (see
+    /// [`ifair_api::persist`]): the payload is wrapped in an envelope
+    /// carrying `schema_version` and a kind tag, so future format changes
+    /// fail loudly at load time.
+    pub fn to_json(&self) -> Result<String, FitError> {
+        ifair_api::to_versioned_json(MODEL_KIND, self)
     }
 
-    /// Restores a model from [`IFair::to_json`] output.
-    pub fn from_json(json: &str) -> Result<IFair, IFairError> {
-        serde_json::from_str(json).map_err(|e| IFairError::Serialization(e.to_string()))
+    /// Restores a model from [`IFair::to_json`] output, rejecting artifacts
+    /// with an unknown schema version or kind.
+    pub fn from_json(json: &str) -> Result<IFair, FitError> {
+        ifair_api::from_versioned_json(MODEL_KIND, json)
+    }
+
+    /// Creates a fluent builder over [`IFairConfig::default`] — the
+    /// ergonomic front door of the estimator API:
+    ///
+    /// ```no_run
+    /// # use ifair_core::IFair;
+    /// # let ds: ifair_data::Dataset = unimplemented!();
+    /// let model = IFair::builder()
+    ///     .n_prototypes(10)
+    ///     .seed(7)
+    ///     .on_restart(|e| {
+    ///         eprintln!("restart {} loss {:.4}", e.restart, e.report.loss);
+    ///         ifair_core::FitControl::Continue
+    ///     })
+    ///     .fit(&ds)?;
+    /// # Ok::<(), ifair_api::FitError>(())
+    /// ```
+    pub fn builder() -> crate::estimator::IFairBuilder {
+        crate::estimator::IFairBuilder::new()
     }
 }
 
@@ -492,22 +540,60 @@ mod tests {
         };
         assert!(matches!(
             IFair::fit(&x, &protected, &bad_config),
-            Err(IFairError::InvalidConfig(_))
+            Err(FitError::Config(_))
         ));
         assert!(matches!(
             IFair::fit(&x, &[false, true], &quick_config()),
-            Err(IFairError::DataShape(_))
+            Err(FitError::Data(_))
         ));
         assert!(matches!(
             IFair::fit(&x, &[true, true, true], &quick_config()),
-            Err(IFairError::DataShape(_))
+            Err(FitError::Data(_))
         ));
         let mut nan = x.clone();
         nan.set(0, 0, f64::NAN);
         assert!(matches!(
             IFair::fit(&nan, &protected, &quick_config()),
-            Err(IFairError::DataShape(_))
+            Err(FitError::Data(_))
         ));
+    }
+
+    #[test]
+    fn observer_sees_every_restart_and_can_stop_early() {
+        let (x, protected) = cluster_data();
+        let config = IFairConfig {
+            n_restarts: 3,
+            ..quick_config()
+        };
+        // Passive observer: sees all restarts, best_loss is monotone.
+        let mut seen = Vec::new();
+        let model = IFair::fit_with_observer(&x, &protected, &config, |e| {
+            seen.push((e.restart, e.report.loss, e.best_loss));
+            FitControl::Continue
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3);
+        for window in seen.windows(2) {
+            assert!(window[1].2 <= window[0].2, "best loss must not increase");
+        }
+        assert_eq!(model.report().restarts.len(), 3);
+
+        // Early stop after the first restart: only one restart is recorded,
+        // and the result matches a single-restart fit bit-for-bit.
+        let stopped =
+            IFair::fit_with_observer(&x, &protected, &config, |_| FitControl::Stop).unwrap();
+        assert_eq!(stopped.report().restarts.len(), 1);
+        let single = IFair::fit(
+            &x,
+            &protected,
+            &IFairConfig {
+                n_restarts: 1,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_eq!(stopped.prototypes(), single.prototypes());
+        assert_eq!(stopped.alpha(), single.alpha());
     }
 
     #[test]

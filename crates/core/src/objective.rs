@@ -33,7 +33,7 @@
 //! L-BFGS restarts of one fit). Each loop carves its index space into
 //! **fixed** chunks whose layout depends only on the problem size, and folds
 //! per-chunk partials in chunk order, so loss and gradient are bit-identical
-//! for every `n_threads` setting. A [`Workspace`] (behind a mutex, since
+//! for every `n_threads` setting. A `Workspace` (behind a mutex, since
 //! evaluations are sequential) holds the forward state, `∂L/∂x̃`, the
 //! per-chunk gradient accumulators and the per-chunk softmax scratch, all
 //! allocated once per objective lifetime instead of once per evaluation.

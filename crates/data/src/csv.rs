@@ -7,6 +7,7 @@
 //! group roles, producing a [`RawDataset`].
 
 use crate::encode::{ColumnData, RawDataset};
+use crate::error::DataError;
 use std::io::{BufRead, Write};
 
 /// Role of a CSV column in the resulting [`RawDataset`].
@@ -80,12 +81,12 @@ pub fn escape_field(field: &str) -> String {
 }
 
 /// Reads a CSV with a header row into a [`RawDataset`] according to `schema`.
-pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<RawDataset, String> {
+pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<RawDataset, DataError> {
     let mut lines = reader.lines();
     let header_line = lines
         .next()
-        .ok_or_else(|| "empty CSV input".to_string())?
-        .map_err(|e| e.to_string())?;
+        .ok_or_else(|| DataError::Parse("empty CSV input".into()))?
+        .map_err(|e| DataError::Parse(e.to_string()))?;
     let header = parse_line(&header_line);
 
     // Resolve schema columns to file positions.
@@ -94,25 +95,25 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<RawDataset,
         let pos = header
             .iter()
             .position(|h| h == name)
-            .ok_or_else(|| format!("column {name} not found in CSV header"))?;
+            .ok_or_else(|| DataError::Schema(format!("column {name} not found in CSV header")))?;
         positions.push(pos);
     }
 
     // Accumulate raw string columns.
     let mut raw_cols: Vec<Vec<String>> = vec![Vec::new(); schema.roles.len()];
     for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(|e| DataError::Parse(e.to_string()))?;
         if line.trim().is_empty() {
             continue;
         }
         let fields = parse_line(&line);
         if fields.len() != header.len() {
-            return Err(format!(
+            return Err(DataError::Parse(format!(
                 "line {} has {} fields, header has {}",
                 lineno + 2,
                 fields.len(),
                 header.len()
-            ));
+            )));
         }
         for (col, &pos) in raw_cols.iter_mut().zip(&positions) {
             col.push(fields[pos].clone());
@@ -130,12 +131,12 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<RawDataset,
         match role {
             ColumnRole::Skip => {}
             ColumnRole::Numeric => {
-                let parsed: Result<Vec<f64>, String> = values
+                let parsed: Result<Vec<f64>, DataError> = values
                     .iter()
                     .map(|v| {
-                        v.trim()
-                            .parse::<f64>()
-                            .map_err(|_| format!("non-numeric value '{v}' in column {name}"))
+                        v.trim().parse::<f64>().map_err(|_| {
+                            DataError::Parse(format!("non-numeric value '{v}' in column {name}"))
+                        })
                     })
                     .collect();
                 names.push(name.clone());
@@ -166,12 +167,12 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &CsvSchema) -> Result<RawDataset,
                 );
             }
             ColumnRole::OutcomeNumeric => {
-                let parsed: Result<Vec<f64>, String> = values
+                let parsed: Result<Vec<f64>, DataError> = values
                     .iter()
                     .map(|v| {
-                        v.trim()
-                            .parse::<f64>()
-                            .map_err(|_| format!("non-numeric outcome '{v}' in column {name}"))
+                        v.trim().parse::<f64>().map_err(|_| {
+                            DataError::Parse(format!("non-numeric outcome '{v}' in column {name}"))
+                        })
                     })
                     .collect();
                 y = Some(parsed?);

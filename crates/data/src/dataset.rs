@@ -1,5 +1,6 @@
 //! The encoded dataset containers used across the workspace.
 
+use crate::error::DataError;
 use ifair_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -35,33 +36,37 @@ impl Dataset {
         protected: Vec<bool>,
         y: Option<Vec<f64>>,
         group: Vec<u8>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, DataError> {
         let (m, n) = x.shape();
         if feature_names.len() != n {
-            return Err(format!(
+            return Err(DataError::Shape(format!(
                 "feature_names has length {} but X has {} columns",
                 feature_names.len(),
                 n
-            ));
+            )));
         }
         if protected.len() != n {
-            return Err(format!(
+            return Err(DataError::Shape(format!(
                 "protected has length {} but X has {} columns",
                 protected.len(),
                 n
-            ));
+            )));
         }
         if let Some(y) = &y {
             if y.len() != m {
-                return Err(format!("y has length {} but X has {} rows", y.len(), m));
+                return Err(DataError::Shape(format!(
+                    "y has length {} but X has {} rows",
+                    y.len(),
+                    m
+                )));
             }
         }
         if group.len() != m {
-            return Err(format!(
+            return Err(DataError::Shape(format!(
                 "group has length {} but X has {} rows",
                 group.len(),
                 m
-            ));
+            )));
         }
         Ok(Dataset {
             x,
@@ -139,13 +144,13 @@ impl Dataset {
     /// differs from the original the feature names/protected flags are
     /// replaced by synthetic ones (a learned representation has no named
     /// columns).
-    pub fn with_features(&self, x: Matrix) -> Result<Dataset, String> {
+    pub fn with_features(&self, x: Matrix) -> Result<Dataset, DataError> {
         if x.rows() != self.n_records() {
-            return Err(format!(
+            return Err(DataError::Shape(format!(
                 "replacement has {} rows but dataset has {} records",
                 x.rows(),
                 self.n_records()
-            ));
+            )));
         }
         let (feature_names, protected) = if x.cols() == self.n_features() {
             (self.feature_names.clone(), self.protected.clone())
@@ -167,6 +172,12 @@ impl Dataset {
     /// Outcome labels, panicking when absent (most pipelines require them).
     pub fn labels(&self) -> &[f64] {
         self.y.as_deref().expect("dataset has no outcome variable")
+    }
+
+    /// Outcome labels as a typed result — the non-panicking counterpart of
+    /// [`Dataset::labels`] used by the estimator layer.
+    pub fn try_labels(&self) -> Result<&[f64], DataError> {
+        self.y.as_deref().ok_or(DataError::MissingLabels)
     }
 
     /// Fraction of records with positive label in the protected group and in
@@ -223,17 +234,20 @@ pub struct RankingDataset {
 
 impl RankingDataset {
     /// Builds a ranking dataset after validating query indices.
-    pub fn new(data: Dataset, queries: Vec<Query>) -> Result<Self, String> {
+    pub fn new(data: Dataset, queries: Vec<Query>) -> Result<Self, DataError> {
         let m = data.n_records();
         for q in &queries {
             if q.indices.is_empty() {
-                return Err(format!("query {} has no candidates", q.id));
+                return Err(DataError::Shape(format!(
+                    "query {} has no candidates",
+                    q.id
+                )));
             }
             if let Some(&bad) = q.indices.iter().find(|&&i| i >= m) {
-                return Err(format!(
+                return Err(DataError::Shape(format!(
                     "query {} references record {bad} but dataset has {m} records",
                     q.id
-                ));
+                )));
             }
         }
         Ok(RankingDataset { data, queries })

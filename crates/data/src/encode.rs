@@ -5,6 +5,7 @@
 //! protected; Table II's dimensionality `M` counts these expanded columns.
 
 use crate::dataset::Dataset;
+use crate::error::DataError;
 use ifair_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -55,29 +56,34 @@ impl RawDataset {
     }
 
     /// Validates internal consistency (equal column lengths, metadata sizes).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DataError> {
         if self.names.len() != self.columns.len() || self.names.len() != self.protected.len() {
-            return Err("names/columns/protected must have equal lengths".into());
+            return Err(DataError::Shape(
+                "names/columns/protected must have equal lengths".into(),
+            ));
         }
         let m = self.n_records();
         for (name, col) in self.names.iter().zip(&self.columns) {
             if col.len() != m {
-                return Err(format!(
+                return Err(DataError::Shape(format!(
                     "column {name} has {} records, expected {m}",
                     col.len()
-                ));
+                )));
             }
         }
         if let Some(y) = &self.y {
             if y.len() != m {
-                return Err(format!("y has {} records, expected {m}", y.len()));
+                return Err(DataError::Shape(format!(
+                    "y has {} records, expected {m}",
+                    y.len()
+                )));
             }
         }
         if self.group.len() != m {
-            return Err(format!(
+            return Err(DataError::Shape(format!(
                 "group has {} records, expected {m}",
                 self.group.len()
-            ));
+            )));
         }
         Ok(())
     }
@@ -106,7 +112,7 @@ pub struct OneHotEncoder {
 
 impl OneHotEncoder {
     /// Learns the encoding from `raw` (collects sorted categorical levels).
-    pub fn fit(raw: &RawDataset) -> Result<OneHotEncoder, String> {
+    pub fn fit(raw: &RawDataset) -> Result<OneHotEncoder, DataError> {
         raw.validate()?;
         let mut plans = Vec::with_capacity(raw.columns.len());
         for col in &raw.columns {
@@ -146,10 +152,12 @@ impl OneHotEncoder {
     ///
     /// The raw dataset must have the same columns (names and kinds) as the
     /// one used to fit.
-    pub fn transform(&self, raw: &RawDataset) -> Result<Dataset, String> {
+    pub fn transform(&self, raw: &RawDataset) -> Result<Dataset, DataError> {
         raw.validate()?;
         if raw.names != self.names {
-            return Err("column names differ from the fitted dataset".into());
+            return Err(DataError::Schema(
+                "column names differ from the fitted dataset".into(),
+            ));
         }
         let m = raw.n_records();
         let n_out = self.n_output_features();
@@ -187,9 +195,9 @@ impl OneHotEncoder {
                     j_out += levels.len();
                 }
                 _ => {
-                    return Err(format!(
+                    return Err(DataError::Schema(format!(
                         "column {name} changed kind between fit and transform"
-                    ))
+                    )))
                 }
             }
         }
@@ -203,7 +211,7 @@ impl OneHotEncoder {
     }
 
     /// Fits and transforms in one call.
-    pub fn fit_transform(raw: &RawDataset) -> Result<Dataset, String> {
+    pub fn fit_transform(raw: &RawDataset) -> Result<Dataset, DataError> {
         OneHotEncoder::fit(raw)?.transform(raw)
     }
 }

@@ -1,0 +1,48 @@
+//! Typed errors of the data pipeline.
+//!
+//! Every fallible public API of this crate reports a [`DataError`] instead of
+//! a bare `String`, so callers can branch on the failure class and the
+//! workspace-wide `FitError` (in `ifair-api`) can wrap data problems without
+//! losing structure.
+
+use std::fmt;
+
+/// What went wrong while constructing, encoding or loading data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Components disagree in shape (row/column counts, metadata lengths).
+    Shape(String),
+    /// The data violates the declared schema (unknown columns, kind changes,
+    /// out-of-range group labels, ...).
+    Schema(String),
+    /// Raw input could not be parsed (CSV syntax, numeric fields, ...).
+    Parse(String),
+    /// An operation needed outcome labels but the dataset has none.
+    MissingLabels,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Shape(msg) => write!(f, "data shape mismatch: {msg}"),
+            DataError::Schema(msg) => write!(f, "data schema violation: {msg}"),
+            DataError::Parse(msg) => write!(f, "data parse failure: {msg}"),
+            DataError::MissingLabels => write!(f, "dataset has no outcome variable"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed_by_class() {
+        assert!(DataError::Shape("x".into()).to_string().contains("shape"));
+        assert!(DataError::Schema("x".into()).to_string().contains("schema"));
+        assert!(DataError::Parse("x".into()).to_string().contains("parse"));
+        assert!(DataError::MissingLabels.to_string().contains("outcome"));
+    }
+}

@@ -21,11 +21,13 @@
 pub mod csv;
 pub mod dataset;
 pub mod encode;
+pub mod error;
 pub mod generators;
 pub mod scale;
 pub mod split;
 
 pub use dataset::{Dataset, Query, RankingDataset};
 pub use encode::{ColumnData, OneHotEncoder, RawDataset};
+pub use error::DataError;
 pub use scale::{MinMaxScaler, StandardScaler};
 pub use split::{kfold, train_test_split, train_val_test_split, SplitIndices};

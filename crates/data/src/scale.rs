@@ -81,6 +81,11 @@ impl StandardScaler {
         let t = s.transform(x);
         (s, t)
     }
+
+    /// Width of the matrix the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
 }
 
 /// Scales columns into `[0, 1]` by the observed min/max.
@@ -146,6 +151,11 @@ impl MinMaxScaler {
         let s = MinMaxScaler::fit(x);
         let t = s.transform(x);
         (s, t)
+    }
+
+    /// Width of the matrix the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
     }
 }
 

@@ -41,7 +41,8 @@ pub fn adversarial_accuracy(representation: &Matrix, group: &[u8], seed: u64) ->
             max_iters: 150,
             grad_tol: 1e-5,
         },
-    );
+    )
+    .expect("adversary inputs are validated above");
     ifair_metrics_accuracy(&y_test, &model.predict(&x_test))
 }
 

@@ -22,5 +22,6 @@ pub mod linreg;
 pub mod logreg;
 
 pub use adversarial::adversarial_accuracy;
-pub use linreg::RidgeRegression;
+pub use ifair_api::{Estimator, FitError, Predict};
+pub use linreg::{RidgeConfig, RidgeRegression};
 pub use logreg::{LogisticRegression, LogisticRegressionConfig};

@@ -6,8 +6,45 @@
 //! `ifair_linalg::solve::ridge_solve`), with an unpenalized intercept
 //! obtained by centering.
 
+use ifair_api::{check_width, ensure, shape_error, ConfigError, Estimator, FitError, Predict};
+use ifair_data::Dataset;
 use ifair_linalg::{solve, Matrix};
 use serde::{Deserialize, Serialize};
+
+/// Configuration of [`RidgeRegression`] — the unfitted estimator of the
+/// learning-to-rank stage.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RidgeConfig {
+    /// L2 penalty on the weights (never on the intercept).
+    pub ridge: f64,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        RidgeConfig { ridge: 1e-6 }
+    }
+}
+
+impl RidgeConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(
+            self.ridge.is_finite() && self.ridge >= 0.0,
+            "ridge",
+            "must be finite and non-negative",
+        )
+    }
+}
+
+impl Estimator for RidgeConfig {
+    type Fitted = RidgeRegression;
+
+    /// Fits on `ds.x` with `ds.y` as the real-valued target (the deserved
+    /// score in ranking pipelines).
+    fn fit(&self, ds: &Dataset) -> Result<RidgeRegression, FitError> {
+        RidgeRegression::fit(&ds.x, ds.try_labels()?, self.ridge)
+    }
+}
 
 /// A fitted linear regression model with optional ridge regularization.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,16 +60,17 @@ impl RidgeRegression {
     ///
     /// Centering both `X` and `y` removes the intercept from the penalized
     /// system; `b` is recovered as `mean(y) - mean(X) · w`.
-    pub fn fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<RidgeRegression, String> {
+    pub fn fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<RidgeRegression, FitError> {
+        RidgeConfig { ridge }.validate()?;
         if x.rows() != y.len() {
-            return Err(format!(
+            return Err(shape_error(format!(
                 "labels have length {} but X has {} rows",
                 y.len(),
                 x.rows()
-            ));
+            )));
         }
         if x.rows() == 0 {
-            return Err("cannot fit on an empty dataset".into());
+            return Err(shape_error("cannot fit on an empty dataset"));
         }
         let x_means = x.col_means();
         let y_mean = ifair_linalg::vector::mean(y);
@@ -44,7 +82,7 @@ impl RidgeRegression {
             }
         }
         let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
-        let weights = solve::ridge_solve(&xc, &yc, ridge).map_err(|e| e.to_string())?;
+        let weights = solve::ridge_solve(&xc, &yc, ridge)?;
         let bias = y_mean - ifair_linalg::vector::dot(&x_means, &weights);
         Ok(RidgeRegression { weights, bias })
     }
@@ -67,6 +105,19 @@ impl RidgeRegression {
             return if ss_res == 0.0 { 1.0 } else { 0.0 };
         }
         1.0 - ss_res / ss_tot
+    }
+}
+
+impl Predict for RidgeRegression {
+    /// Regressors have no probabilities: the predicted scores are returned
+    /// as-is (what ranking pipelines sort by).
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        check_width(ds, self.weights.len(), "regressor")?;
+        Ok(RidgeRegression::predict(self, &ds.x))
+    }
+
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Predict::predict_proba(self, ds)
     }
 }
 

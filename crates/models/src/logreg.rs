@@ -1,5 +1,9 @@
 //! L2-regularized logistic regression trained with L-BFGS.
 
+use ifair_api::{
+    check_width, ensure, schema_error, shape_error, ConfigError, Estimator, FitError, Predict,
+};
+use ifair_data::Dataset;
 use ifair_linalg::Matrix;
 use ifair_optim::{Lbfgs, LbfgsConfig, Objective};
 use serde::{Deserialize, Serialize};
@@ -22,6 +26,27 @@ impl Default for LogisticRegressionConfig {
             max_iters: 200,
             grad_tol: 1e-6,
         }
+    }
+}
+
+impl LogisticRegressionConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure(
+            self.l2.is_finite() && self.l2 >= 0.0,
+            "l2",
+            "must be finite and non-negative",
+        )?;
+        ensure(self.max_iters >= 1, "max_iters", "must be at least 1")
+    }
+}
+
+impl Estimator for LogisticRegressionConfig {
+    type Fitted = LogisticRegression;
+
+    /// Trains on `ds.x` with `ds.y` as binary labels.
+    fn fit(&self, ds: &Dataset) -> Result<LogisticRegression, FitError> {
+        LogisticRegression::fit(&ds.x, ds.try_labels()?, self)
     }
 }
 
@@ -115,15 +140,25 @@ pub fn sigmoid(z: f64) -> f64 {
 
 impl LogisticRegression {
     /// Fits the classifier on rows of `x` with binary labels `y`.
-    ///
-    /// Panics when shapes disagree or `y` is not in `{0, 1}`.
-    pub fn fit(x: &Matrix, y: &[f64], config: &LogisticRegressionConfig) -> LogisticRegression {
-        assert_eq!(x.rows(), y.len(), "labels must align with rows");
-        assert!(x.rows() > 0, "cannot fit on an empty dataset");
-        assert!(
-            y.iter().all(|&v| v == 0.0 || v == 1.0),
-            "labels must be binary 0/1"
-        );
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        config: &LogisticRegressionConfig,
+    ) -> Result<LogisticRegression, FitError> {
+        config.validate()?;
+        if x.rows() != y.len() {
+            return Err(shape_error(format!(
+                "labels have length {} but X has {} rows",
+                y.len(),
+                x.rows()
+            )));
+        }
+        if x.rows() == 0 {
+            return Err(shape_error("cannot fit on an empty dataset"));
+        }
+        if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err(schema_error("labels must be binary 0/1"));
+        }
         let objective = CrossEntropy {
             x,
             y,
@@ -136,14 +171,14 @@ impl LogisticRegression {
         })
         .minimize(&objective, vec![0.0; x.cols() + 1]);
         let n = x.cols();
-        LogisticRegression {
+        Ok(LogisticRegression {
             weights: result.x[..n].to_vec(),
             bias: result.x[n],
-        }
+        })
     }
 
     /// Fits with default configuration.
-    pub fn fit_default(x: &Matrix, y: &[f64]) -> LogisticRegression {
+    pub fn fit_default(x: &Matrix, y: &[f64]) -> Result<LogisticRegression, FitError> {
         LogisticRegression::fit(x, y, &LogisticRegressionConfig::default())
     }
 
@@ -161,6 +196,20 @@ impl LogisticRegression {
             .into_iter()
             .map(|p| f64::from(p >= 0.5))
             .collect()
+    }
+}
+
+impl Predict for LogisticRegression {
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        check_width(ds, self.weights.len(), "classifier")?;
+        Ok(LogisticRegression::predict_proba(self, &ds.x))
+    }
+
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Ok(Predict::predict_proba(self, ds)?
+            .into_iter()
+            .map(|p| f64::from(p >= 0.5))
+            .collect())
     }
 }
 
@@ -208,7 +257,7 @@ mod tests {
     #[test]
     fn fits_separable_data() {
         let (x, y) = separable();
-        let model = LogisticRegression::fit_default(&x, &y);
+        let model = LogisticRegression::fit_default(&x, &y).unwrap();
         let preds = model.predict(&x);
         assert_eq!(preds, y);
         // The separating weight is on x0.
@@ -218,7 +267,7 @@ mod tests {
     #[test]
     fn probabilities_are_probabilities() {
         let (x, y) = separable();
-        let model = LogisticRegression::fit_default(&x, &y);
+        let model = LogisticRegression::fit_default(&x, &y).unwrap();
         for p in model.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }
@@ -234,7 +283,8 @@ mod tests {
                 l2: 1e-6,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let heavy = LogisticRegression::fit(
             &x,
             &y,
@@ -242,24 +292,38 @@ mod tests {
                 l2: 10.0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
         assert!(norm(&heavy.weights) < norm(&light.weights));
     }
 
     #[test]
-    #[should_panic(expected = "binary")]
-    fn rejects_non_binary_labels() {
+    fn rejects_non_binary_labels_with_typed_error() {
         let (x, mut y) = separable();
         y[0] = 0.5;
-        LogisticRegression::fit_default(&x, &y);
+        let err = LogisticRegression::fit_default(&x, &y).unwrap_err();
+        assert!(matches!(err, FitError::Data(_)));
+        assert!(err.to_string().contains("binary"));
+        assert!(LogisticRegression::fit_default(&x, &y[..3]).is_err());
+        assert!(matches!(
+            LogisticRegression::fit(
+                &x,
+                &separable().1,
+                &LogisticRegressionConfig {
+                    l2: -1.0,
+                    ..Default::default()
+                }
+            ),
+            Err(FitError::Config(_))
+        ));
     }
 
     #[test]
     fn constant_labels_predict_constant() {
         let (x, _) = separable();
         let y = vec![1.0; 6];
-        let model = LogisticRegression::fit_default(&x, &y);
+        let model = LogisticRegression::fit_default(&x, &y).unwrap();
         let preds = model.predict(&x);
         assert!(preds.iter().all(|&p| p == 1.0));
     }
@@ -267,7 +331,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (x, y) = separable();
-        let model = LogisticRegression::fit_default(&x, &y);
+        let model = LogisticRegression::fit_default(&x, &y).unwrap();
         let json = serde_json::to_string(&model).unwrap();
         let back: LogisticRegression = serde_json::from_str(&json).unwrap();
         assert_eq!(model.weights, back.weights);

@@ -1,7 +1,7 @@
 //! Bring your own data: load a CSV file (the escape hatch for the *real*
 //! COMPAS / Census / Credit datasets where licensing permits), one-hot
-//! encode it, and train an iFair representation — the full §V-B
-//! preprocessing pipeline on user-supplied data.
+//! encode it, and run a scaler → iFair pipeline — the full §V-B
+//! preprocessing on user-supplied data, persisted as one artifact.
 //!
 //! ```sh
 //! cargo run --release --example custom_csv_data [path/to/data.csv]
@@ -9,9 +9,10 @@
 //!
 //! Without an argument, a small demo CSV is written to a temp file first.
 
-use ifair::core::{IFair, IFairConfig};
+use ifair::core::IFairConfig;
 use ifair::data::csv::{read_csv, ColumnRole, CsvSchema};
-use ifair::data::{OneHotEncoder, StandardScaler};
+use ifair::data::OneHotEncoder;
+use ifair::{FittedStage, Pipeline};
 use std::io::BufReader;
 
 const DEMO_CSV: &str = "\
@@ -73,23 +74,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         raw.group.iter().filter(|&&g| g == 1).count()
     );
 
-    // One-hot encode categoricals and scale to unit variance (§V-B).
+    // One-hot encode categoricals (§V-B); scaling happens inside the
+    // pipeline so train-time statistics travel with the model.
     let ds = OneHotEncoder::fit_transform(&raw)?;
-    let (_, x) = StandardScaler::fit_transform(&ds.x);
-    let ds = ds.with_features(x)?;
     println!(
         "encoded to {} features: {:?}",
         ds.n_features(),
         ds.feature_names
     );
 
-    let config = IFairConfig {
-        k: 3,
-        max_iters: 60,
-        seed: 1,
-        ..Default::default()
+    let pipeline = Pipeline::builder()
+        .standard_scaler()
+        .ifair(IFairConfig {
+            k: 3,
+            max_iters: 60,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(&ds)?;
+
+    let Some(FittedStage::IFair(model)) = pipeline.stages().last() else {
+        unreachable!("the pipeline ends in an iFair stage");
     };
-    let model = IFair::fit(&ds.x, &ds.protected, &config)?;
     println!(
         "\niFair trained: K={} prototypes, best loss {:.4}",
         model.n_prototypes(),
@@ -103,9 +109,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|w| (w * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
+
+    // The whole chain — scaler statistics and the trained model — persists
+    // as one schema-versioned artifact and round-trips bit-identically.
+    let artifact = std::env::temp_dir().join("ifair-demo-pipeline.json");
+    std::fs::write(&artifact, pipeline.to_json()?)?;
+    let restored = Pipeline::from_json(&std::fs::read_to_string(&artifact)?)?;
+    assert_eq!(restored.transform(&ds)?, pipeline.transform(&ds)?);
     println!(
-        "mean reconstruction error of the fair representation: {:.4}",
-        model.reconstruction_error(&ds.x)
+        "\npipeline persisted to {} and reloaded bit-identically",
+        artifact.display()
     );
     Ok(())
 }

@@ -1,21 +1,21 @@
-//! Fair classification on a COMPAS-style recidivism dataset: train the same
-//! logistic-regression classifier on raw data, masked data and an iFair-b
-//! representation, and compare utility against individual fairness —
-//! the paper's §V-D experiment in miniature.
+//! Fair classification on a COMPAS-style recidivism dataset with the
+//! pipeline API: the same `scale → (representation) → logistic regression`
+//! chain is fitted on raw data, masked data and an iFair-b representation,
+//! then compared on utility vs individual fairness — the paper's §V-D
+//! experiment in miniature.
 //!
 //! ```sh
 //! cargo run --release --example fair_classification
 //! ```
 
-use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::core::{FairnessPairs, IFairConfig, InitStrategy};
 use ifair::data::generators::compas::{self, CompasConfig};
-use ifair::data::{train_test_split, StandardScaler};
-use ifair::linalg::Matrix;
+use ifair::data::{train_test_split, Dataset};
 use ifair::metrics::{accuracy, auc, consistency, equal_opportunity, statistical_parity};
-use ifair::models::LogisticRegression;
+use ifair::Pipeline;
 
 fn main() {
-    // A small COMPAS-like dataset: 431 one-hot encoded columns, race as the
+    // A small COMPAS-like dataset: one-hot encoded columns, race as the
     // protected attribute, recidivism as the label.
     let ds = compas::generate(&CompasConfig {
         n_records: 900,
@@ -30,16 +30,9 @@ fn main() {
     let (train_idx, test_idx) = train_test_split(ds.n_records(), 0.6, 1);
     let train = ds.subset(&train_idx);
     let test = ds.subset(&test_idx);
-    let scaler = StandardScaler::fit(&train.x);
-    let train = train
-        .with_features(scaler.transform(&train.x))
-        .expect("shape preserved");
-    let test = test
-        .with_features(scaler.transform(&test.x))
-        .expect("shape preserved");
 
     // iFair-b: protected attribute weights initialized near zero.
-    let config = IFairConfig {
+    let ifair_config = IFairConfig {
         k: 30,
         lambda: 10.0,
         mu: 1.0,
@@ -50,12 +43,11 @@ fn main() {
         seed: 42,
         ..Default::default()
     };
-    println!("fitting iFair (K=30, λ=10, μ=1) ...");
-    let ifair = IFair::fit(&train.x, &train.protected, &config).expect("training succeeds");
 
-    let evaluate = |label: &str, train_x: &Matrix, test_x: &Matrix| {
-        let clf = LogisticRegression::fit_default(train_x, train.labels());
-        let proba = clf.predict_proba(test_x);
+    // Each method is one pipeline; scaling is fitted inside the chain on
+    // whatever the pipeline trains on, so there is no leakage plumbing.
+    let evaluate = |label: &str, pipeline: &Pipeline, test: &Dataset| {
+        let proba = pipeline.predict_proba(test).expect("widths match");
         let preds: Vec<f64> = proba
             .iter()
             .map(|&p| if p > 0.5 { 1.0 } else { 0.0 })
@@ -73,13 +65,36 @@ fn main() {
     };
 
     println!("\nmethod       test metrics");
-    evaluate("full data", &train.x, &test.x);
-    evaluate("masked", &train.masked_x(), &test.masked_x());
-    evaluate(
-        "iFair-b",
-        &ifair.transform(&train.x),
-        &ifair.transform(&test.x),
-    );
+    let full = Pipeline::builder()
+        .standard_scaler()
+        .logistic_regression_default()
+        .fit(&train)
+        .expect("full-data pipeline fits");
+    evaluate("full data", &full, &test);
+
+    // Masked data: drop the protected columns before the same chain.
+    let train_masked = train
+        .with_features(train.masked_x())
+        .expect("masking preserves rows");
+    let test_masked = test
+        .with_features(test.masked_x())
+        .expect("masking preserves rows");
+    let masked = Pipeline::builder()
+        .standard_scaler()
+        .logistic_regression_default()
+        .fit(&train_masked)
+        .expect("masked pipeline fits");
+    evaluate("masked", &masked, &test_masked);
+
+    println!("fitting iFair (K=30, λ=10, μ=1) ...");
+    let fair = Pipeline::builder()
+        .standard_scaler()
+        .ifair(ifair_config)
+        .logistic_regression_default()
+        .fit(&train)
+        .expect("iFair pipeline fits");
+    evaluate("iFair-b", &fair, &test);
+
     println!(
         "\nexpected shape: iFair trades a few points of accuracy for a \
          substantially more consistent (individually fairer) classifier."

@@ -1,19 +1,20 @@
 //! Individually fair learning-to-rank on a Xing-style job portal, with
 //! optional FA\*IR post-processing for group parity — the paper's §V-E
-//! pipeline in miniature: iFair is the first method to bring *individual*
-//! fairness to ranking, and group-fairness constraints can still be
-//! enforced afterwards on top of its scores.
+//! pipeline in miniature, written against the estimator API: the ranking
+//! model is a `Ridge` estimator fitted on whichever representation a
+//! [`Transform`] produces.
 //!
 //! ```sh
 //! cargo run --release --example fair_ranking
 //! ```
 
+use ifair::api::{Estimator, Predict, Transform};
 use ifair::baselines::{rerank, FairConfig};
-use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::core::{FairnessPairs, IFair, InitStrategy};
 use ifair::data::generators::xing::{self, XingConfig};
 use ifair::data::StandardScaler;
 use ifair::metrics::{consistency, kendall_tau, protected_share_top_k, ranking_from_scores};
-use ifair::models::RidgeRegression;
+use ifair::models::RidgeConfig;
 
 fn main() {
     // 57 job queries x ~40 candidates, gender protected; the deserved score
@@ -27,30 +28,40 @@ fn main() {
     let scores = data.labels().to_vec();
 
     println!("fitting iFair on {} candidates ...", data.n_records());
-    let config = IFairConfig {
-        k: 10,
-        lambda: 0.1,
-        mu: 0.1,
-        init: InitStrategy::NearZeroProtected,
-        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 4000 },
-        max_iters: 80,
-        n_restarts: 2,
-        seed: 42,
-        ..Default::default()
-    };
     // Fit on a subsample, transform everyone (the representation is
     // application-agnostic: the same model serves every query).
     let fit_idx: Vec<usize> = (0..data.n_records()).step_by(8).collect();
-    let ifair = IFair::fit(&data.x.select_rows(&fit_idx), &data.protected, &config)
+    let ifair = IFair::builder()
+        .n_prototypes(10)
+        .lambda(0.1)
+        .mu(0.1)
+        .init(InitStrategy::NearZeroProtected)
+        .fairness_pairs(FairnessPairs::Subsampled { n_pairs: 4000 })
+        .max_iters(80)
+        .n_restarts(2)
+        .seed(42)
+        .fit(&data.subset(&fit_idx))
         .expect("training succeeds");
 
-    // Rank with ridge regression on masked vs iFair representations.
+    // Rank with ridge regression on masked vs iFair representations — both
+    // through the same Estimator/Predict contract.
+    let masked_ds = data
+        .with_features(data.masked_x())
+        .expect("masking preserves rows");
+    let fair_ds = data
+        .with_features(Transform::transform(&ifair, &data).expect("widths match"))
+        .expect("transform preserves rows");
     let masked = data.masked_x();
-    let fair_repr = ifair.transform(&data.x);
-    let masked_model = RidgeRegression::fit(&masked, &scores, 1e-6).expect("regression fits");
-    let fair_model = RidgeRegression::fit(&fair_repr, &scores, 1e-6).expect("regression fits");
-    let masked_scores = masked_model.predict(&masked);
-    let fair_scores = fair_model.predict(&fair_repr);
+
+    let ridge = RidgeConfig { ridge: 1e-6 };
+    let masked_scores = ridge
+        .fit(&masked_ds)
+        .and_then(|m| Predict::predict(&m, &masked_ds))
+        .expect("regression fits");
+    let fair_scores = ridge
+        .fit(&fair_ds)
+        .and_then(|m| Predict::predict(&m, &fair_ds))
+        .expect("regression fits");
 
     let report = |label: &str, predicted: &[f64]| {
         let mut kt = 0.0;

@@ -8,7 +8,8 @@
 //! cargo run --release --example information_obfuscation
 //! ```
 
-use ifair::core::{FairnessPairs, IFair, IFairConfig, InitStrategy};
+use ifair::api::Transform;
+use ifair::core::{FairnessPairs, IFair, InitStrategy};
 use ifair::data::generators::census::{self, CensusConfig};
 use ifair::data::StandardScaler;
 use ifair::models::{adversarial::majority_share, adversarial_accuracy};
@@ -36,21 +37,21 @@ fn main() {
         adversarial_accuracy(&masked, &ds.group, 7)
     );
 
-    let config = IFairConfig {
-        k: 10,
-        lambda: 1.0,
-        mu: 1.0,
-        init: InitStrategy::NearZeroProtected,
-        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 4000 },
-        max_iters: 80,
-        n_restarts: 2,
-        seed: 42,
-        ..Default::default()
-    };
-    let model = IFair::fit(&ds.x, &ds.protected, &config).expect("training succeeds");
+    let model = IFair::builder()
+        .n_prototypes(10)
+        .lambda(1.0)
+        .mu(1.0)
+        .init(InitStrategy::NearZeroProtected)
+        .fairness_pairs(FairnessPairs::Subsampled { n_pairs: 4000 })
+        .max_iters(80)
+        .n_restarts(2)
+        .seed(42)
+        .fit(&ds)
+        .expect("training succeeds");
+    let repr = Transform::transform(&model, &ds).expect("widths match");
     println!(
         "adversary on iFair repr:   {:.2}   <- close to the floor: obfuscated",
-        adversarial_accuracy(&model.transform(&ds.x), &ds.group, 7)
+        adversarial_accuracy(&repr, &ds.group, 7)
     );
     println!(
         "\n(the representation never needed the group labels — iFair only \

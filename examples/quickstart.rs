@@ -1,11 +1,14 @@
 //! Quickstart: learn an individually fair representation of a handful of
-//! user records and inspect what the transformation does.
+//! user records with the builder API and inspect what the transformation
+//! does.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use ifair::core::{IFair, IFairConfig};
+use ifair::api::Transform;
+use ifair::core::{FitControl, IFair};
+use ifair::data::Dataset;
 use ifair::linalg::Matrix;
 
 fn main() {
@@ -23,20 +26,39 @@ fn main() {
         vec![0.10, 0.95, 0.0],
     ])
     .expect("rectangular data");
-    let protected = vec![false, false, true];
+    let group: Vec<u8> = (0..8).map(|i| ((i + 1) % 2) as u8).collect();
+    let ds = Dataset::new(
+        x.clone(),
+        vec!["qualification".into(), "experience".into(), "gender".into()],
+        vec![false, false, true],
+        None,
+        group,
+    )
+    .expect("consistent dataset");
 
-    // K=4 prototypes, equal weight on utility and individual fairness.
-    let config = IFairConfig {
-        k: 4,
-        lambda: 1.0,
-        mu: 1.0,
-        seed: 7,
-        ..Default::default()
-    };
-    let model = IFair::fit(&x, &protected, &config).expect("training succeeds");
-    let x_fair = model.transform(&x);
+    // K=4 prototypes, equal weight on utility and individual fairness. The
+    // on_restart callback streams training progress and could return
+    // FitControl::Stop to cut the restart loop short.
+    let model = IFair::builder()
+        .n_prototypes(4)
+        .lambda(1.0)
+        .mu(1.0)
+        .seed(7)
+        .on_restart(|e| {
+            println!(
+                "  restart {}/{}: loss {:.4} (best so far {:.4})",
+                e.restart + 1,
+                e.n_restarts,
+                e.report.loss,
+                e.best_loss
+            );
+            FitControl::Continue
+        })
+        .fit(&ds)
+        .expect("training succeeds");
+    let x_fair = Transform::transform(&model, &ds).expect("same width as training data");
 
-    println!("learned attribute weights α = {:?}", model.alpha());
+    println!("\nlearned attribute weights α = {:?}", model.alpha());
     println!(
         "training: {} restarts, best loss {:.4} ({} fairness pairs)\n",
         model.report().restarts.len(),

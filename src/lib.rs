@@ -2,7 +2,15 @@
 //!
 //! This facade crate re-exports the full public API of the workspace:
 //!
-//! * [`core`] — the iFair model itself ([`core::IFair`]),
+//! * [`api`] — the estimator contract every method implements: the
+//!   [`api::Estimator`] / [`api::Transform`] / [`api::Predict`] traits over
+//!   [`data::Dataset`], the typed [`api::FitError`] / [`api::ConfigError`]
+//!   family, and schema-versioned persistence,
+//! * [`pipeline`] — composable `scale → represent → model` chains
+//!   ([`pipeline::Pipeline`]) that fit, transform, predict and persist as
+//!   one artifact,
+//! * [`core`] — the iFair model itself ([`core::IFair`], with
+//!   [`core::IFair::builder`] as the ergonomic front door),
 //! * [`data`] — dataset containers, encoders, scalers, splits and the five
 //!   paper-dataset simulators,
 //! * [`models`] — logistic regression, ridge regression and k-NN,
@@ -12,8 +20,11 @@
 //!   and SVD representations,
 //! * [`optim`] / [`linalg`] — the numerical substrates.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+//! See `README.md` for a quickstart and an API overview.
 
+pub mod pipeline;
+
+pub use ifair_api as api;
 pub use ifair_baselines as baselines;
 pub use ifair_core as core;
 pub use ifair_data as data;
@@ -21,3 +32,5 @@ pub use ifair_linalg as linalg;
 pub use ifair_metrics as metrics;
 pub use ifair_models as models;
 pub use ifair_optim as optim;
+
+pub use pipeline::{FittedStage, Pipeline, PipelineBuilder, StageSpec};

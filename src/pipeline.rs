@@ -1,0 +1,523 @@
+//! Composable fit/transform/predict pipelines.
+//!
+//! Every experiment in the paper is the same chain — *scale → learn a
+//! representation → train a downstream model* — so the facade offers it as a
+//! first-class object: a [`Pipeline`] is an ordered list of **fitted**
+//! stages that is itself a [`Transform`] and (when it ends in a model) a
+//! [`Predict`], and persists as one schema-versioned JSON artifact.
+//!
+//! ```
+//! use ifair::pipeline::Pipeline;
+//! use ifair::core::IFairConfig;
+//! use ifair::data::Dataset;
+//! use ifair::linalg::Matrix;
+//! use ifair::api::Predict;
+//!
+//! let ds = Dataset::new(
+//!     Matrix::from_rows(vec![
+//!         vec![0.9, 0.1, 1.0],
+//!         vec![0.8, 0.2, 0.0],
+//!         vec![0.2, 0.9, 1.0],
+//!         vec![0.1, 0.8, 0.0],
+//!     ]).unwrap(),
+//!     vec!["a".into(), "b".into(), "gender".into()],
+//!     vec![false, false, true],
+//!     Some(vec![1.0, 1.0, 0.0, 0.0]),
+//!     vec![1, 0, 1, 0],
+//! ).unwrap();
+//!
+//! let pipeline = Pipeline::builder()
+//!     .standard_scaler()
+//!     .ifair(IFairConfig { k: 2, max_iters: 20, n_restarts: 1, ..Default::default() })
+//!     .logistic_regression_default()
+//!     .fit(&ds)
+//!     .unwrap();
+//! let proba = pipeline.predict_proba(&ds).unwrap();
+//! assert_eq!(proba.len(), 4);
+//!
+//! // The whole chain round-trips through one versioned JSON artifact.
+//! let json = pipeline.to_json().unwrap();
+//! let restored = Pipeline::from_json(&json).unwrap();
+//! assert_eq!(restored.predict_proba(&ds).unwrap(), proba);
+//! ```
+
+use ifair_api::scalers::{MinMaxScalerConfig, StandardScalerConfig};
+use ifair_api::{ensure, FitError, Predict, Transform};
+use ifair_baselines::{Lfr, LfrConfig, SvdConfig, SvdRepresentation};
+use ifair_core::{Estimator, IFair, IFairConfig};
+use ifair_data::{Dataset, MinMaxScaler, StandardScaler};
+use ifair_linalg::Matrix;
+use ifair_models::{LogisticRegression, LogisticRegressionConfig, RidgeConfig, RidgeRegression};
+use serde::{Deserialize, Serialize};
+
+/// Kind tag of the versioned JSON envelope written by [`Pipeline::to_json`].
+const PIPELINE_KIND: &str = "pipeline";
+
+/// An unfitted pipeline stage: one estimator configuration.
+#[derive(Debug, Clone)]
+pub enum StageSpec {
+    /// Unit-variance scaling (§V-B).
+    StandardScaler(StandardScalerConfig),
+    /// `[0, 1]` min-max scaling.
+    MinMaxScaler(MinMaxScalerConfig),
+    /// The iFair representation.
+    IFair(IFairConfig),
+    /// The LFR baseline representation.
+    Lfr(LfrConfig),
+    /// Truncated-SVD representation.
+    Svd(SvdConfig),
+    /// Logistic-regression classifier (terminal stage).
+    LogisticRegression(LogisticRegressionConfig),
+    /// Ridge-regression scorer (terminal stage).
+    Ridge(RidgeConfig),
+}
+
+impl StageSpec {
+    /// Whether the stage produces predictions (and must therefore be last).
+    pub fn is_predictor(&self) -> bool {
+        matches!(self, StageSpec::LogisticRegression(_) | StageSpec::Ridge(_))
+    }
+
+    /// Stage label used in error messages and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageSpec::StandardScaler(_) => "standard-scaler",
+            StageSpec::MinMaxScaler(_) => "minmax-scaler",
+            StageSpec::IFair(_) => "ifair",
+            StageSpec::Lfr(_) => "lfr",
+            StageSpec::Svd(_) => "svd",
+            StageSpec::LogisticRegression(_) => "logistic-regression",
+            StageSpec::Ridge(_) => "ridge",
+        }
+    }
+
+    fn fit(&self, ds: &Dataset) -> Result<FittedStage, FitError> {
+        Ok(match self {
+            StageSpec::StandardScaler(c) => FittedStage::StandardScaler(c.fit(ds)?),
+            StageSpec::MinMaxScaler(c) => FittedStage::MinMaxScaler(c.fit(ds)?),
+            StageSpec::IFair(c) => FittedStage::IFair(c.fit(ds)?),
+            StageSpec::Lfr(c) => FittedStage::Lfr(c.fit(ds)?),
+            StageSpec::Svd(c) => FittedStage::Svd(c.fit(ds)?),
+            StageSpec::LogisticRegression(c) => FittedStage::LogisticRegression(c.fit(ds)?),
+            StageSpec::Ridge(c) => FittedStage::Ridge(c.fit(ds)?),
+        })
+    }
+}
+
+/// A fitted pipeline stage. Serializable: the whole chain persists as one
+/// artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedStage {
+    /// Fitted unit-variance scaler.
+    StandardScaler(StandardScaler),
+    /// Fitted min-max scaler.
+    MinMaxScaler(MinMaxScaler),
+    /// Trained iFair model.
+    IFair(IFair),
+    /// Trained LFR model.
+    Lfr(Lfr),
+    /// Fitted SVD representation.
+    Svd(SvdRepresentation),
+    /// Trained logistic-regression classifier.
+    LogisticRegression(LogisticRegression),
+    /// Trained ridge-regression scorer.
+    Ridge(RidgeRegression),
+}
+
+impl FittedStage {
+    /// Whether the stage predicts (terminal) rather than transforms.
+    pub fn is_predictor(&self) -> bool {
+        matches!(
+            self,
+            FittedStage::LogisticRegression(_) | FittedStage::Ridge(_)
+        )
+    }
+
+    /// The stage as a [`Transform`], when it is one.
+    pub fn as_transform(&self) -> Option<&dyn Transform> {
+        match self {
+            FittedStage::StandardScaler(s) => Some(s),
+            FittedStage::MinMaxScaler(s) => Some(s),
+            FittedStage::IFair(m) => Some(m),
+            FittedStage::Lfr(m) => Some(m),
+            FittedStage::Svd(m) => Some(m),
+            FittedStage::LogisticRegression(_) | FittedStage::Ridge(_) => None,
+        }
+    }
+
+    /// The stage as a [`Predict`], when it is one. Consistent with
+    /// [`FittedStage::is_predictor`]: an LFR stage acts as a transform here
+    /// (its built-in classifier head remains available through `Lfr`'s own
+    /// [`Predict`] impl outside pipelines).
+    pub fn as_predict(&self) -> Option<&dyn Predict> {
+        match self {
+            FittedStage::LogisticRegression(m) => Some(m),
+            FittedStage::Ridge(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered chain of fitted stages: zero or more transforms, optionally
+/// terminated by a predictor. Built with [`Pipeline::builder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pipeline {
+    stages: Vec<FittedStage>,
+}
+
+impl Pipeline {
+    /// Starts an empty pipeline builder.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder { specs: Vec::new() }
+    }
+
+    /// Assembles a pipeline from already-fitted stages — for chains whose
+    /// stages were trained on different record subsets (e.g. the bench
+    /// harness fits the representation on a capped subset but the classifier
+    /// on the full training split). Predictor stages must be last.
+    pub fn from_stages(stages: Vec<FittedStage>) -> Result<Pipeline, FitError> {
+        ensure(!stages.is_empty(), "stages", "pipeline has no stages")?;
+        for (i, stage) in stages.iter().enumerate() {
+            ensure(
+                !stage.is_predictor() || i + 1 == stages.len(),
+                "stages",
+                format!(
+                    "predictor stage must be last (position {} of {})",
+                    i + 1,
+                    stages.len()
+                ),
+            )?;
+        }
+        Ok(Pipeline { stages })
+    }
+
+    /// The fitted stages, in application order.
+    pub fn stages(&self) -> &[FittedStage] {
+        &self.stages
+    }
+
+    /// Applies every transform stage in order, returning the dataset carried
+    /// between stages (the terminal predictor, if any, is not applied).
+    pub fn transform_dataset(&self, ds: &Dataset) -> Result<Dataset, FitError> {
+        transform_over(&self.stages, ds)
+    }
+
+    /// The representation produced by the transform stages (one row per
+    /// record of `ds`).
+    pub fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        Ok(self.transform_dataset(ds)?.x)
+    }
+
+    /// Continuous scores of the terminal predictor applied to the
+    /// transformed records.
+    pub fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        let (predictor, prefix) = self.split_predictor()?;
+        predictor.predict_proba(&transform_over(prefix, ds)?)
+    }
+
+    /// Hard decisions of the terminal predictor applied to the transformed
+    /// records.
+    pub fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        let (predictor, prefix) = self.split_predictor()?;
+        predictor.predict(&transform_over(prefix, ds)?)
+    }
+
+    fn split_predictor(&self) -> Result<(&dyn Predict, &[FittedStage]), FitError> {
+        match self.stages.split_last() {
+            Some((last, prefix)) if last.is_predictor() => Ok((
+                last.as_predict().expect("is_predictor implies as_predict"),
+                prefix,
+            )),
+            _ => Err(FitError::Config(ifair_api::ConfigError::new(
+                "stages",
+                "pipeline has no terminal predictor stage",
+            ))),
+        }
+    }
+
+    /// Serializes the whole chain into one schema-versioned JSON artifact.
+    pub fn to_json(&self) -> Result<String, FitError> {
+        ifair_api::to_versioned_json(PIPELINE_KIND, self)
+    }
+
+    /// Restores a pipeline persisted by [`Pipeline::to_json`], rejecting
+    /// unknown schema versions and mismatched kinds.
+    pub fn from_json(json: &str) -> Result<Pipeline, FitError> {
+        ifair_api::from_versioned_json(PIPELINE_KIND, json)
+    }
+}
+
+impl Transform for Pipeline {
+    fn transform(&self, ds: &Dataset) -> Result<Matrix, FitError> {
+        Pipeline::transform(self, ds)
+    }
+}
+
+impl Predict for Pipeline {
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Pipeline::predict_proba(self, ds)
+    }
+
+    fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
+        Pipeline::predict(self, ds)
+    }
+}
+
+/// Chains the transform stages of `stages` over `ds` (predictors skipped).
+fn transform_over(stages: &[FittedStage], ds: &Dataset) -> Result<Dataset, FitError> {
+    let mut current = ds.clone();
+    for stage in stages {
+        if let Some(t) = stage.as_transform() {
+            current = t.transform_dataset(&current)?;
+        }
+    }
+    Ok(current)
+}
+
+/// Assembles stage specs, then fits them left to right: each stage trains on
+/// the output of the previous stage's transform — exactly the hand-wired
+/// experiment plumbing, folded into one object.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    specs: Vec<StageSpec>,
+}
+
+impl PipelineBuilder {
+    /// Appends an arbitrary stage spec.
+    pub fn stage(mut self, spec: StageSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Appends a unit-variance scaler with default settings.
+    pub fn standard_scaler(self) -> Self {
+        self.stage(StageSpec::StandardScaler(StandardScalerConfig::default()))
+    }
+
+    /// Appends a min-max scaler.
+    pub fn min_max_scaler(self) -> Self {
+        self.stage(StageSpec::MinMaxScaler(MinMaxScalerConfig))
+    }
+
+    /// Appends an iFair representation stage.
+    pub fn ifair(self, config: IFairConfig) -> Self {
+        self.stage(StageSpec::IFair(config))
+    }
+
+    /// Appends an LFR representation stage.
+    pub fn lfr(self, config: LfrConfig) -> Self {
+        self.stage(StageSpec::Lfr(config))
+    }
+
+    /// Appends a truncated-SVD representation stage.
+    pub fn svd(self, config: SvdConfig) -> Self {
+        self.stage(StageSpec::Svd(config))
+    }
+
+    /// Appends a terminal logistic-regression classifier.
+    pub fn logistic_regression(self, config: LogisticRegressionConfig) -> Self {
+        self.stage(StageSpec::LogisticRegression(config))
+    }
+
+    /// Appends a terminal logistic-regression classifier with defaults.
+    pub fn logistic_regression_default(self) -> Self {
+        self.logistic_regression(LogisticRegressionConfig::default())
+    }
+
+    /// Appends a terminal ridge-regression scorer.
+    pub fn ridge(self, config: RidgeConfig) -> Self {
+        self.stage(StageSpec::Ridge(config))
+    }
+
+    /// The assembled specs.
+    pub fn specs(&self) -> &[StageSpec] {
+        &self.specs
+    }
+
+    /// Fits every stage in order on `ds`.
+    pub fn fit(self, ds: &Dataset) -> Result<Pipeline, FitError> {
+        ensure(!self.specs.is_empty(), "stages", "pipeline has no stages")?;
+        for (i, spec) in self.specs.iter().enumerate() {
+            ensure(
+                !spec.is_predictor() || i + 1 == self.specs.len(),
+                "stages",
+                format!(
+                    "predictor stage `{}` must be last (position {} of {})",
+                    spec.label(),
+                    i + 1,
+                    self.specs.len()
+                ),
+            )?;
+        }
+        let mut current = ds.clone();
+        let mut stages = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let fitted = spec.fit(&current)?;
+            if let Some(t) = fitted.as_transform() {
+                current = t.transform_dataset(&current)?;
+            }
+            stages.push(fitted);
+        }
+        Ok(Pipeline { stages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        // Deterministic, linearly separable-ish data with a protected bit.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                vec![t, 1.0 - t + 0.05 * ((i * 7 % 5) as f64), (i % 2) as f64]
+            })
+            .collect();
+        Dataset::new(
+            Matrix::from_rows(rows).unwrap(),
+            vec!["a".into(), "b".into(), "gender".into()],
+            vec![false, false, true],
+            Some(
+                (0..n)
+                    .map(|i| f64::from(i as f64 / n as f64 > 0.5))
+                    .collect(),
+            ),
+            (0..n).map(|i| (i % 2) as u8).collect(),
+        )
+        .unwrap()
+    }
+
+    fn quick_ifair() -> IFairConfig {
+        IFairConfig {
+            k: 3,
+            max_iters: 25,
+            n_restarts: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scaler_ifair_logreg_matches_hand_wired_path_bit_identically() {
+        let ds = toy(24);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .ifair(quick_ifair())
+            .logistic_regression_default()
+            .fit(&ds)
+            .unwrap();
+
+        // Hand-wired: the plumbing every bench binary used to repeat.
+        let scaler = StandardScaler::fit(&ds.x);
+        let scaled = scaler.transform(&ds.x);
+        let model = IFair::fit(&scaled, &ds.protected, &quick_ifair()).unwrap();
+        let repr = model.transform(&scaled);
+        let clf = LogisticRegression::fit_default(&repr, ds.labels()).unwrap();
+
+        assert_eq!(pipeline.transform(&ds).unwrap(), repr);
+        assert_eq!(
+            pipeline.predict_proba(&ds).unwrap(),
+            clf.predict_proba(&repr)
+        );
+        assert_eq!(pipeline.predict(&ds).unwrap(), clf.predict(&repr));
+    }
+
+    #[test]
+    fn pipeline_without_predictor_still_transforms() {
+        let ds = toy(16);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .svd(SvdConfig::new(2))
+            .fit(&ds)
+            .unwrap();
+        assert_eq!(pipeline.transform(&ds).unwrap().shape(), (16, 2));
+        let err = pipeline.predict(&ds).unwrap_err();
+        assert!(err.to_string().contains("predictor"));
+    }
+
+    #[test]
+    fn predictor_must_be_last() {
+        let ds = toy(16);
+        let err = Pipeline::builder()
+            .logistic_regression_default()
+            .standard_scaler()
+            .fit(&ds)
+            .unwrap_err();
+        assert!(matches!(err, FitError::Config(_)));
+        assert!(err.to_string().contains("must be last"));
+        assert!(Pipeline::builder().fit(&ds).is_err());
+    }
+
+    #[test]
+    fn ridge_pipeline_predicts_scores() {
+        let ds = toy(20);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .ridge(RidgeConfig::default())
+            .fit(&ds)
+            .unwrap();
+        let scores = pipeline.predict(&ds).unwrap();
+        assert_eq!(scores.len(), 20);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_identical() {
+        let ds = toy(24);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .ifair(quick_ifair())
+            .logistic_regression_default()
+            .fit(&ds)
+            .unwrap();
+        let json = pipeline.to_json().unwrap();
+        let restored = Pipeline::from_json(&json).unwrap();
+        assert_eq!(restored.stages().len(), 3);
+        assert_eq!(
+            restored.transform(&ds).unwrap(),
+            pipeline.transform(&ds).unwrap()
+        );
+        assert_eq!(
+            restored.predict_proba(&ds).unwrap(),
+            pipeline.predict_proba(&ds).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_schema_version_fails_clearly() {
+        let ds = toy(16);
+        let pipeline = Pipeline::builder().standard_scaler().fit(&ds).unwrap();
+        let json = pipeline.to_json().unwrap();
+        let bumped = json.replacen("\"schema_version\":1", "\"schema_version\":2", 1);
+        assert_ne!(json, bumped);
+        let err = Pipeline::from_json(&bumped).unwrap_err();
+        assert!(matches!(err, FitError::SchemaVersion { found: 2, .. }));
+        // A model artifact is not a pipeline artifact.
+        let model = IFair::fit(
+            &StandardScaler::fit(&ds.x).transform(&ds.x),
+            &ds.protected,
+            &quick_ifair(),
+        )
+        .unwrap();
+        assert!(Pipeline::from_json(&model.to_json().unwrap()).is_err());
+    }
+
+    #[test]
+    fn lfr_stage_threads_group_membership() {
+        let ds = toy(24);
+        let pipeline = Pipeline::builder()
+            .min_max_scaler()
+            .lfr(LfrConfig {
+                k: 3,
+                max_iters: 30,
+                n_restarts: 1,
+                ..Default::default()
+            })
+            .logistic_regression_default()
+            .fit(&ds)
+            .unwrap();
+        let proba = pipeline.predict_proba(&ds).unwrap();
+        assert_eq!(proba.len(), 24);
+        assert!(proba.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

@@ -1,0 +1,219 @@
+//! The estimator-contract test suite: one generic checker exercised against
+//! every method in the workspace, plus the pipeline equivalence guarantees —
+//! a saved pipeline reloads bit-identically, and the pipeline path
+//! reproduces the hand-wired `crates/bench` experiment plumbing exactly.
+
+use ifair::api::{Estimator, Predict, Transform};
+use ifair::baselines::{LfrConfig, SvdConfig};
+use ifair::core::{FairnessPairs, IFairConfig};
+use ifair::data::generators::credit::{self, CreditConfig};
+use ifair::data::Dataset;
+use ifair::models::{LogisticRegressionConfig, RidgeConfig};
+use ifair::{FittedStage, Pipeline};
+use ifair_bench::classification::{
+    eval_classification, prepare_classification, repr_ifair, PrepareCaps,
+};
+use ifair_metrics::{
+    accuracy, auc, consistency_with_neighbors, equal_opportunity, statistical_parity,
+};
+
+/// A small labeled dataset every estimator can fit on.
+fn contract_dataset() -> Dataset {
+    credit::generate(&CreditConfig {
+        n_records: 80,
+        seed: 17,
+    })
+}
+
+/// Generic contract check for estimators whose fitted model transforms:
+/// fit succeeds, the output has one row per record, and refitting with the
+/// same seed reproduces the transform bit-identically.
+fn check_transformer<E>(estimator: &E, ds: &Dataset)
+where
+    E: Estimator,
+    E::Fitted: Transform,
+{
+    let fitted = estimator.fit(ds).expect("fit succeeds on valid data");
+    let out = fitted.transform(ds).expect("transform succeeds");
+    assert_eq!(out.rows(), ds.n_records(), "one output row per record");
+    assert!(out.cols() >= 1, "transform produced no features");
+    assert!(
+        out.as_slice().iter().all(|v| v.is_finite()),
+        "transform produced non-finite values"
+    );
+    // Determinism under a fixed seed: fit → transform twice, bit-identical.
+    let refit = estimator.fit(ds).expect("refit succeeds");
+    assert_eq!(
+        refit.transform(ds).expect("transform succeeds"),
+        out,
+        "refitting with the same configuration must be bit-identical"
+    );
+}
+
+/// Generic contract check for estimators whose fitted model predicts:
+/// score vectors align with the records and refits are bit-identical.
+fn check_predictor<E>(estimator: &E, ds: &Dataset)
+where
+    E: Estimator,
+    E::Fitted: Predict,
+{
+    let fitted = estimator.fit(ds).expect("fit succeeds on valid data");
+    let proba = fitted.predict_proba(ds).expect("predict_proba succeeds");
+    let preds = fitted.predict(ds).expect("predict succeeds");
+    assert_eq!(proba.len(), ds.n_records());
+    assert_eq!(preds.len(), ds.n_records());
+    assert!(proba.iter().all(|p| p.is_finite()));
+    let refit = estimator.fit(ds).expect("refit succeeds");
+    assert_eq!(refit.predict_proba(ds).expect("succeeds"), proba);
+}
+
+#[test]
+fn ifair_satisfies_the_estimator_contract() {
+    let ds = contract_dataset();
+    check_transformer(
+        &IFairConfig {
+            k: 4,
+            max_iters: 30,
+            n_restarts: 2,
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
+            ..Default::default()
+        },
+        &ds,
+    );
+}
+
+#[test]
+fn lfr_satisfies_the_estimator_contract() {
+    let ds = contract_dataset();
+    let config = LfrConfig {
+        k: 4,
+        max_iters: 30,
+        n_restarts: 1,
+        ..Default::default()
+    };
+    check_transformer(&config, &ds);
+    check_predictor(&config, &ds);
+}
+
+#[test]
+fn svd_satisfies_the_estimator_contract() {
+    let ds = contract_dataset();
+    check_transformer(&SvdConfig::new(3), &ds);
+    check_transformer(&SvdConfig { k: 3, masked: true }, &ds);
+}
+
+#[test]
+fn downstream_models_satisfy_the_estimator_contract() {
+    let ds = contract_dataset();
+    check_predictor(&LogisticRegressionConfig::default(), &ds);
+    check_predictor(&RidgeConfig::default(), &ds);
+}
+
+#[test]
+fn estimators_report_typed_errors_on_unlabeled_data() {
+    let mut ds = contract_dataset();
+    ds.y = None;
+    assert!(LogisticRegressionConfig::default().fit(&ds).is_err());
+    assert!(RidgeConfig::default().fit(&ds).is_err());
+    assert!(LfrConfig::default().fit(&ds).is_err());
+    // iFair never needs labels.
+    assert!(IFairConfig {
+        k: 3,
+        max_iters: 10,
+        n_restarts: 1,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 200 },
+        ..Default::default()
+    }
+    .fit(&ds)
+    .is_ok());
+}
+
+#[test]
+fn pipeline_save_load_transform_is_bit_identical() {
+    let ds = contract_dataset();
+    let pipeline = Pipeline::builder()
+        .standard_scaler()
+        .ifair(IFairConfig {
+            k: 4,
+            max_iters: 25,
+            n_restarts: 1,
+            fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
+            ..Default::default()
+        })
+        .logistic_regression_default()
+        .fit(&ds)
+        .expect("pipeline fits");
+    let restored = Pipeline::from_json(&pipeline.to_json().expect("serializes"))
+        .expect("versioned artifact loads");
+    assert_eq!(
+        restored.transform(&ds).expect("transforms"),
+        pipeline.transform(&ds).expect("transforms"),
+        "save → load → transform must be bit-identical"
+    );
+    assert_eq!(
+        restored.predict_proba(&ds).expect("predicts"),
+        pipeline.predict_proba(&ds).expect("predicts"),
+    );
+}
+
+/// The acceptance gate of the API redesign: a `Pipeline` assembled from the
+/// same fitted stages reproduces the hand-wired `crates/bench`
+/// classification path — representation, classifier scores, and every
+/// Table-2-style metric — bit-identically.
+#[test]
+fn pipeline_reproduces_the_hand_wired_bench_path_bit_identically() {
+    let ds = credit::generate(&CreditConfig {
+        n_records: 240,
+        seed: 5,
+    });
+    let p = prepare_classification(
+        &ds,
+        "credit-contract",
+        7,
+        PrepareCaps {
+            fit_cap: 60,
+            eval_cap: 60,
+        },
+    );
+    let config = IFairConfig {
+        k: 6,
+        max_iters: 40,
+        n_restarts: 2,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 1000 },
+        ..Default::default()
+    };
+
+    // Hand-wired path: bench fits iFair on the capped subset, trains the
+    // classifier on the transformed training split, and evaluates val/test.
+    let (repr, model) = repr_ifair(&p, &config).expect("bench path fits");
+    let (_, bench_test) = eval_classification(&p, &repr);
+    let clf = ifair::models::LogisticRegression::fit_default(&repr.train, p.train.labels())
+        .expect("classifier fits");
+
+    // Pipeline path: the same fitted stages, assembled as one object.
+    let pipeline = Pipeline::from_stages(vec![
+        FittedStage::IFair(model),
+        FittedStage::LogisticRegression(clf),
+    ])
+    .expect("valid stage order");
+    let proba = pipeline.predict_proba(&p.test).expect("widths match");
+
+    // The classifier scores are bit-identical, so every derived metric is
+    // too — recompute them exactly as `eval_classification` does.
+    let preds: Vec<f64> = proba
+        .iter()
+        .map(|&pr| if pr > 0.5 { 1.0 } else { 0.0 })
+        .collect();
+    let y = p.test.labels();
+    assert_eq!(accuracy(y, &preds), bench_test.acc);
+    assert_eq!(auc(y, &proba), bench_test.auc);
+    assert_eq!(
+        equal_opportunity(y, &preds, &p.test.group),
+        bench_test.eq_opp
+    );
+    assert_eq!(statistical_parity(&preds, &p.test.group), bench_test.parity);
+    assert_eq!(
+        consistency_with_neighbors(&p.test_neighbors, &preds),
+        bench_test.ynn
+    );
+}

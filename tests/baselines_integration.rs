@@ -75,8 +75,8 @@ fn lfr_representations_depend_on_the_protected_group() {
     let model = Lfr::fit(&ds.x, ds.labels(), &ds.group, &config).unwrap();
     let (flipped, flipped_group) = flip_protected(&ds);
     let ifair_like_drift = mean_drift(
-        &model.transform(&ds.x, &ds.group),
-        &model.transform(&flipped, &flipped_group),
+        &model.transform(&ds.x, &ds.group).unwrap(),
+        &model.transform(&flipped, &flipped_group).unwrap(),
     );
     assert!(
         ifair_like_drift > 0.01,

@@ -70,7 +70,7 @@ fn quick_ifair(p: &Pipeline, mu: f64) -> IFair {
 }
 
 fn classifier_metrics(p: &Pipeline, train_x: &Matrix, test_x: &Matrix) -> (f64, f64, f64, f64) {
-    let clf = LogisticRegression::fit_default(train_x, p.train.labels());
+    let clf = LogisticRegression::fit_default(train_x, p.train.labels()).expect("valid inputs");
     let proba = clf.predict_proba(test_x);
     let preds: Vec<f64> = proba
         .iter()

@@ -80,7 +80,7 @@ fn protected_group_choice_deferred_to_decision_time() {
     let (x, protected, y) = two_protected_data(200, 8);
     let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
     let repr = model.transform(&x);
-    let clf = LogisticRegression::fit_default(&repr, &y);
+    let clf = LogisticRegression::fit_default(&repr, &y).expect("valid inputs");
     let preds = clf.predict(&repr);
 
     let gender_group: Vec<u8> = (0..x.rows()).map(|i| x.get(i, 2) as u8).collect();

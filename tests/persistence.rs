@@ -78,3 +78,39 @@ fn corrupted_model_json_is_rejected() {
     assert!(IFair::from_json("{}").is_err());
     assert!(IFair::from_json("").is_err());
 }
+
+#[test]
+fn model_artifacts_carry_a_schema_version() {
+    use ifair::api::{FitError, SCHEMA_VERSION};
+    let (model, _) = trained_model();
+    let json = model.to_json().unwrap();
+    assert!(
+        json.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")),
+        "artifact must declare its schema version"
+    );
+    assert!(json.contains("\"kind\":\"ifair-model\""));
+
+    // A bumped/unknown version fails with a clear typed error, not garbage.
+    let bumped = json.replacen(
+        &format!("\"schema_version\":{SCHEMA_VERSION}"),
+        "\"schema_version\":42",
+        1,
+    );
+    let err = IFair::from_json(&bumped).unwrap_err();
+    assert!(matches!(
+        err,
+        FitError::SchemaVersion {
+            found: 42,
+            supported: SCHEMA_VERSION
+        }
+    ));
+    let msg = err.to_string();
+    assert!(
+        msg.contains("42") && msg.contains("schema version"),
+        "{msg}"
+    );
+
+    // Legacy unversioned payloads are rejected with a pointer to the cause.
+    let err = IFair::from_json("{\"prototypes\":[]}").unwrap_err();
+    assert!(err.to_string().contains("schema_version"), "{err}");
+}
