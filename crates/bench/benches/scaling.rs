@@ -1,0 +1,113 @@
+//! Scaling study: end-to-end `fit` wall-time at M ∈ {2 000, 10 000, 50 000}
+//! for the full-batch L-BFGS path vs the mini-batch Adam path, on the
+//! on-demand `large` generator.
+//!
+//! Both paths get a pair budget proportional to `M` so the comparison is a
+//! fair "same statistical effort" one: full-batch uses
+//! `FairnessPairs::Subsampled { 20·M }` (exact pairs at M = 50 000 would be
+//! 1.25 · 10⁹ — the quadratic wall this bench exists to demonstrate an
+//! escape from), mini-batch resamples 1 024 pairs inside each 256-record
+//! batch. Optimization budgets are intentionally tiny (3 L-BFGS iterations /
+//! 1 epoch): this bench tracks *cost per unit of training*, not convergence
+//! — the convergence comparison lives in `tests/minibatch.rs`.
+//!
+//! Run with `cargo bench -p ifair-bench --bench scaling`. Environment knobs:
+//!
+//! * `IFAIR_BENCH_SMOKE=1` — M ∈ {200, 500, 1000} and a 2-iteration budget,
+//!   so CI proves the binary runs in seconds,
+//! * `IFAIR_BENCH_JSON=1` — additionally write `BENCH_scaling.json` for the
+//!   perf-trajectory pipeline.
+
+use ifair_bench::timing::{bench, table_header, BenchReport};
+use ifair_core::par::available_threads;
+use ifair_core::{FairnessPairs, FitStrategy, IFair, IFairConfig};
+use ifair_data::generators::large::{LargeScale, LargeScaleConfig};
+
+/// Problem sizes, shrunk under `IFAIR_BENCH_SMOKE`.
+struct Sizes {
+    record_counts: Vec<usize>,
+}
+
+impl Sizes {
+    fn from_env() -> Sizes {
+        if std::env::var_os("IFAIR_BENCH_SMOKE").is_some() {
+            Sizes {
+                record_counts: vec![200, 500, 1000],
+            }
+        } else {
+            Sizes {
+                record_counts: vec![2_000, 10_000, 50_000],
+            }
+        }
+    }
+}
+
+fn full_batch_config(m: usize) -> IFairConfig {
+    IFairConfig {
+        k: 8,
+        n_restarts: 1,
+        max_iters: 3,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 20 * m },
+        ..Default::default()
+    }
+}
+
+fn mini_batch_config() -> IFairConfig {
+    IFairConfig {
+        k: 8,
+        n_restarts: 1,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 256,
+            pairs_per_batch: 1024,
+            epochs: 1,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let sizes = Sizes::from_env();
+    let max_m = *sizes.record_counts.iter().max().expect("non-empty grid");
+    let mut report = BenchReport::new("scaling", available_threads(), max_m);
+    println!(
+        "# fit scaling, full-batch vs mini-batch, M in {:?}",
+        sizes.record_counts
+    );
+    table_header("end-to-end fit wall-time");
+
+    for &m in &sizes.record_counts {
+        let gen = LargeScale::new(LargeScaleConfig {
+            n_records: m,
+            n_numeric: 16,
+            seed: 29,
+            ..Default::default()
+        });
+        let protected = gen.protected_flags();
+
+        // Full-batch needs the matrix resident; the mini-batch fit streams
+        // straight from the generator and never materializes M rows.
+        let ds = gen.materialize(0, m).expect("valid range");
+        let full = bench(&format!("fit/full_batch/m{m}"), 0, 1, || {
+            IFair::fit(&ds.x, &protected, &full_batch_config(m)).expect("full-batch fit")
+        });
+        report.push(&full);
+
+        let mini = bench(&format!("fit/mini_batch/m{m}"), 0, 1, || {
+            let mut source = gen.clone();
+            IFair::fit_source(&mut source, &protected, &mini_batch_config())
+                .expect("mini-batch fit")
+        });
+        report.push(&mini);
+        println!(
+            "    mini-batch vs full-batch at M = {m}: {:.2}x",
+            full.mean.as_secs_f64() / mini.mean.as_secs_f64()
+        );
+    }
+
+    match report.write_if_enabled() {
+        Ok(Some(path)) => println!("\nwrote {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
+}

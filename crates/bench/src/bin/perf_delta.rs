@@ -1,0 +1,289 @@
+//! Perf-trajectory delta tool: compares `BENCH_*.json` outputs against a
+//! committed baseline and renders a per-kernel Markdown delta table.
+//!
+//! ```sh
+//! # Compare fresh bench output against the committed baseline:
+//! perf_delta --baseline results/BENCH_baseline.json \
+//!     BENCH_kernels.json BENCH_scaling.json
+//!
+//! # Refresh the baseline from fresh smoke-size runs:
+//! perf_delta --write-baseline results/BENCH_baseline.json \
+//!     BENCH_kernels.json BENCH_scaling.json
+//! ```
+//!
+//! The regression gate is **fail-soft** by design: when a benchmark's median
+//! exceeds `tolerance ×` its baseline median (default 2.0 — generous,
+//! because shared CI runners are noisy) the tool emits a GitHub Actions
+//! `::warning::` annotation, but always exits 0 for perf deltas. Only usage
+//! and I/O errors exit non-zero, so a noisy runner can never block a merge
+//! while the trajectory still gets annotated and archived.
+
+use ifair_bench::timing::{BenchReport, MeasurementRecord};
+use std::process::ExitCode;
+
+/// Parsed command line.
+struct Args {
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    tolerance: f64,
+    current: Vec<String>,
+}
+
+const USAGE: &str = "usage: perf_delta [--baseline <baseline.json>] [--tolerance <ratio>] \
+                     [--write-baseline <out.json>] <BENCH_*.json>...";
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut parsed = Args {
+        baseline: None,
+        write_baseline: None,
+        tolerance: 2.0,
+        current: Vec::new(),
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                parsed.baseline = Some(iter.next().ok_or("--baseline needs a path")?);
+            }
+            "--write-baseline" => {
+                parsed.write_baseline = Some(iter.next().ok_or("--write-baseline needs a path")?);
+            }
+            "--tolerance" => {
+                let raw = iter.next().ok_or("--tolerance needs a ratio")?;
+                parsed.tolerance = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid tolerance '{raw}'"))?;
+                if !(parsed.tolerance.is_finite() && parsed.tolerance >= 1.0) {
+                    return Err(format!(
+                        "tolerance must be a finite ratio >= 1.0, got {}",
+                        parsed.tolerance
+                    ));
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => parsed.current.push(other.to_string()),
+        }
+    }
+    if parsed.current.is_empty() {
+        return Err("no current BENCH_*.json files given".into());
+    }
+    if parsed.baseline.is_none() && parsed.write_baseline.is_none() {
+        return Err("nothing to do: pass --baseline and/or --write-baseline".into());
+    }
+    Ok(parsed)
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Flattens several reports into `(bench/name, record)` rows, prefixing each
+/// measurement with its bench stem so kernels and scaling never collide. A
+/// merged baseline (bench stem `baseline`, written by `--write-baseline`)
+/// already carries prefixed names and is taken verbatim.
+fn flatten(reports: &[BenchReport]) -> Vec<(String, MeasurementRecord)> {
+    let mut rows = Vec::new();
+    for report in reports {
+        for m in &report.measurements {
+            let name = if report.bench == "baseline" {
+                m.name.clone()
+            } else {
+                format!("{}/{}", report.bench, m.name)
+            };
+            rows.push((name, m.clone()));
+        }
+    }
+    rows
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let current_reports: Vec<BenchReport> = args
+        .current
+        .iter()
+        .map(|p| load_report(p))
+        .collect::<Result<_, _>>()?;
+    let current = flatten(&current_reports);
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline_report = load_report(baseline_path)?;
+        let baseline = flatten(std::slice::from_ref(&baseline_report));
+        let mut regressions = 0usize;
+        let mut missing = 0usize;
+
+        println!(
+            "\n### perf trajectory vs `{baseline_path}` (tolerance {}x)\n",
+            args.tolerance
+        );
+        println!("| benchmark | baseline median | current median | ratio | status |");
+        println!("|-----------|-----------------|----------------|-------|--------|");
+        for (name, m) in &current {
+            match baseline.iter().find(|(b, _)| b == name) {
+                Some((_, base)) if base.median_ns > 0 => {
+                    let ratio = m.median_ns as f64 / base.median_ns as f64;
+                    let status = if ratio > args.tolerance {
+                        regressions += 1;
+                        println!(
+                            "::warning title=perf regression::{name} median {} vs baseline {} \
+                             ({ratio:.2}x > {}x tolerance)",
+                            fmt_ns(m.median_ns),
+                            fmt_ns(base.median_ns),
+                            args.tolerance
+                        );
+                        "REGRESSED"
+                    } else if ratio < 1.0 / args.tolerance {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "| {name} | {} | {} | {ratio:.2}x | {status} |",
+                        fmt_ns(base.median_ns),
+                        fmt_ns(m.median_ns)
+                    );
+                }
+                _ => {
+                    missing += 1;
+                    println!("| {name} | — | {} | — | new |", fmt_ns(m.median_ns));
+                }
+            }
+        }
+        for (name, base) in &baseline {
+            if !current.iter().any(|(c, _)| c == name) {
+                println!("| {name} | {} | — | — | dropped |", fmt_ns(base.median_ns));
+            }
+        }
+        println!(
+            "\n{} benchmarks compared, {regressions} regressed (warn-only), {missing} new",
+            current.len()
+        );
+    }
+
+    if let Some(out) = &args.write_baseline {
+        let threads = current_reports
+            .first()
+            .map(|r| r.available_threads)
+            .unwrap_or(0);
+        let n_records = current_reports
+            .iter()
+            .map(|r| r.n_records)
+            .max()
+            .unwrap_or(0);
+        let mut merged = BenchReport::new("baseline", threads, n_records);
+        merged.measurements = current
+            .iter()
+            .map(|(name, m)| MeasurementRecord {
+                name: name.clone(),
+                ..m.clone()
+            })
+            .collect();
+        let json = serde_json::to_string_pretty(&merged).map_err(|e| e.to_string())?;
+        std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote baseline with {} measurements to {out}",
+            current.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perf_delta: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let a = parse_args(strings(&[
+            "--baseline",
+            "base.json",
+            "--tolerance",
+            "3.5",
+            "cur1.json",
+            "cur2.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.baseline.as_deref(), Some("base.json"));
+        assert_eq!(a.tolerance, 3.5);
+        assert_eq!(a.current, vec!["cur1.json", "cur2.json"]);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(strings(&["--baseline", "b.json"])).is_err());
+        assert!(parse_args(strings(&["cur.json"])).is_err());
+        assert!(parse_args(strings(&[
+            "--baseline",
+            "b.json",
+            "--tolerance",
+            "0.5",
+            "c.json"
+        ]))
+        .is_err());
+        assert!(parse_args(strings(&["--bogus", "c.json"])).is_err());
+    }
+
+    #[test]
+    fn flatten_prefixes_with_bench_stem() {
+        let mut a = BenchReport::new("kernels", 1, 10);
+        a.measurements.push(MeasurementRecord {
+            name: "value".into(),
+            min_ns: 1,
+            median_ns: 2,
+            mean_ns: 3,
+        });
+        let rows = flatten(&[a]);
+        assert_eq!(rows[0].0, "kernels/value");
+
+        // A merged baseline is already prefixed and stays verbatim.
+        let mut b = BenchReport::new("baseline", 1, 10);
+        b.measurements.push(MeasurementRecord {
+            name: "kernels/value".into(),
+            min_ns: 1,
+            median_ns: 2,
+            mean_ns: 3,
+        });
+        let rows = flatten(&[b]);
+        assert_eq!(rows[0].0, "kernels/value");
+    }
+
+    #[test]
+    fn formats_durations_by_scale() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert!(fmt_ns(5_000).ends_with("µs"));
+        assert!(fmt_ns(5_000_000).ends_with("ms"));
+        assert!(fmt_ns(5_000_000_000).ends_with('s'));
+    }
+}

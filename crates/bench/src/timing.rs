@@ -5,7 +5,7 @@
 //! fixed number of timed iterations, report min / median / mean. Results are
 //! printed as a Markdown table so bench output can be pasted into PRs.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// One measured benchmark row.
@@ -56,8 +56,9 @@ pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> 
 }
 
 /// Machine-readable form of a [`Measurement`]: durations as integer
-/// nanoseconds, ready for JSON serialization.
-#[derive(Debug, Clone, Serialize)]
+/// nanoseconds, ready for JSON serialization (and deserialization — the
+/// `perf_delta` tool reads these back to build regression tables).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MeasurementRecord {
     /// Benchmark label, e.g. `l_fair/serial/n2000`.
     pub name: String,
@@ -89,7 +90,7 @@ fn duration_ns(d: Duration) -> u64 {
 /// Machine-readable bench output, written as `BENCH_<name>.json` when the
 /// `IFAIR_BENCH_JSON` environment variable is set, so the perf trajectory
 /// stays trackable across PRs without parsing Markdown tables.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Bench binary name (the file stem of the JSON output).
     pub bench: String,

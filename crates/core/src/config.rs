@@ -61,6 +61,60 @@ pub enum FairnessPairs {
     },
 }
 
+/// How [`crate::IFair::fit`] drives the optimizer.
+///
+/// [`FitStrategy::FullBatch`] is the paper's training loop: box-constrained
+/// L-BFGS over the whole dataset, every fairness pair of
+/// [`IFairConfig::fairness_pairs`] in every evaluation. Its per-iteration
+/// cost grows with `M` (and `M²` for [`FairnessPairs::Exact`]), which is
+/// fine for Table-2-sized data and hopeless for millions of records.
+///
+/// [`FitStrategy::MiniBatch`] is the stochastic escape hatch: every Adam
+/// step resamples a fresh record batch (and a fresh set of fairness pairs
+/// *within* that batch) from a seeded RNG, so the per-step cost depends only
+/// on `batch_records` and `pairs_per_batch` — never on `M`. Batches can be
+/// drawn from an in-memory matrix or streamed from any
+/// [`ifair_data::stream::RecordSource`] (see [`crate::IFair::fit_source`]),
+/// so datasets that do not fit in memory remain trainable.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FitStrategy {
+    /// Deterministic full-batch L-BFGS (the paper's §III-C loop). The
+    /// default, bit-identical to the historical behavior.
+    #[default]
+    FullBatch,
+    /// Seeded mini-batch SGD with Adam updates. An *epoch* is
+    /// `ceil(M / batch_records)` steps; each step draws `batch_records`
+    /// distinct records and up to `pairs_per_batch` distinct fairness pairs
+    /// among them (clamped to the batch's `B·(B−1)/2` distinct pairs — the
+    /// clamp is surfaced in [`crate::TrainingReport`]).
+    /// [`IFairConfig::fairness_pairs`] is ignored on this path;
+    /// `max_iters`/`grad_tol` likewise (the epoch budget owns termination).
+    MiniBatch {
+        /// Records per batch (clamped to `M`; must be at least 2 so a batch
+        /// can contain a fairness pair).
+        batch_records: usize,
+        /// Fairness pairs drawn within each batch.
+        pairs_per_batch: usize,
+        /// Number of passes (in expectation) over the dataset per restart.
+        epochs: usize,
+        /// Adam step size.
+        learning_rate: f64,
+    },
+}
+
+impl FitStrategy {
+    /// A mini-batch strategy with field defaults that suit mid-size data:
+    /// 256-record batches, 1024 pairs per batch, 5 epochs, Adam step 0.05.
+    pub fn mini_batch() -> FitStrategy {
+        FitStrategy::MiniBatch {
+            batch_records: 256,
+            pairs_per_batch: 1024,
+            epochs: 5,
+            learning_rate: 0.05,
+        }
+    }
+}
+
 /// Hyper-parameters of [`crate::IFair`].
 ///
 /// Defaults follow the paper's grid-search center: `K = 10` prototypes,
@@ -86,8 +140,14 @@ pub struct IFairConfig {
     pub freeze_protected_alpha: bool,
     /// Distance used between transformed records in `L_fair`.
     pub fairness_distance: FairnessDistance,
-    /// Pair set of `L_fair`.
+    /// Pair set of `L_fair` (full-batch path; the mini-batch path draws its
+    /// own pairs per batch).
     pub fairness_pairs: FairnessPairs,
+    /// Training path: deterministic full-batch L-BFGS or seeded mini-batch
+    /// Adam. Defaults to [`FitStrategy::FullBatch`]; `#[serde(default)]` so
+    /// configurations serialized before this field existed still load.
+    #[serde(default)]
+    pub strategy: FitStrategy,
     /// Box constraints on every `α_n` (`None` leaves α unconstrained).
     pub alpha_bounds: Option<(f64, f64)>,
     /// Number of random restarts; the run with the lowest final loss wins
@@ -124,6 +184,7 @@ impl Default for IFairConfig {
             freeze_protected_alpha: false,
             fairness_distance: FairnessDistance::Unweighted,
             fairness_pairs: FairnessPairs::Exact,
+            strategy: FitStrategy::FullBatch,
             alpha_bounds: Some((0.0, 1.0)),
             n_restarts: 3,
             max_iters: 150,
@@ -167,12 +228,37 @@ impl IFairConfig {
                 n_anchors >= 1,
                 "fairness_pairs.n_anchors",
                 "must be at least 1",
-            ),
+            )?,
             FairnessPairs::Subsampled { n_pairs } => {
-                ensure(n_pairs >= 1, "fairness_pairs.n_pairs", "must be at least 1")
+                ensure(n_pairs >= 1, "fairness_pairs.n_pairs", "must be at least 1")?
             }
-            FairnessPairs::Exact => Ok(()),
+            FairnessPairs::Exact => {}
         }
+        if let FitStrategy::MiniBatch {
+            batch_records,
+            pairs_per_batch,
+            epochs,
+            learning_rate,
+        } = self.strategy
+        {
+            ensure(
+                batch_records >= 2,
+                "strategy.batch_records",
+                "must be at least 2 so a batch can contain a fairness pair",
+            )?;
+            ensure(
+                pairs_per_batch >= 1,
+                "strategy.pairs_per_batch",
+                "must be at least 1",
+            )?;
+            ensure(epochs >= 1, "strategy.epochs", "must be at least 1")?;
+            ensure(
+                learning_rate.is_finite() && learning_rate > 0.0,
+                "strategy.learning_rate",
+                format!("must be a positive finite step size, got {learning_rate}"),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -240,11 +326,75 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bad_mini_batch_values() {
+        let base = IFairConfig::default();
+        let with = |strategy| IFairConfig {
+            strategy,
+            ..base.clone()
+        };
+        assert!(with(FitStrategy::mini_batch()).validate().is_ok());
+        assert!(with(FitStrategy::MiniBatch {
+            batch_records: 1,
+            pairs_per_batch: 10,
+            epochs: 1,
+            learning_rate: 0.05,
+        })
+        .validate()
+        .is_err());
+        assert!(with(FitStrategy::MiniBatch {
+            batch_records: 16,
+            pairs_per_batch: 0,
+            epochs: 1,
+            learning_rate: 0.05,
+        })
+        .validate()
+        .is_err());
+        assert!(with(FitStrategy::MiniBatch {
+            batch_records: 16,
+            pairs_per_batch: 10,
+            epochs: 0,
+            learning_rate: 0.05,
+        })
+        .validate()
+        .is_err());
+        for lr in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+            assert!(with(FitStrategy::MiniBatch {
+                batch_records: 16,
+                pairs_per_batch: 10,
+                epochs: 1,
+                learning_rate: lr,
+            })
+            .validate()
+            .is_err());
+        }
+    }
+
+    #[test]
     fn serde_roundtrip() {
         let c = IFairConfig::default();
         let json = serde_json::to_string(&c).unwrap();
         let back: IFairConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.k, c.k);
         assert_eq!(back.init, c.init);
+        assert_eq!(back.strategy, FitStrategy::FullBatch);
+    }
+
+    #[test]
+    fn strategy_field_defaults_when_absent() {
+        // Configurations serialized before `strategy` existed (PR ≤ 3 model
+        // artifacts) must still deserialize, as full-batch.
+        let json = serde_json::to_string(&IFairConfig::default()).unwrap();
+        let stripped = json.replace("\"strategy\":\"FullBatch\",", "");
+        assert_ne!(json, stripped, "strategy field must have been present");
+        let back: IFairConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.strategy, FitStrategy::FullBatch);
+
+        let mb = IFairConfig {
+            strategy: FitStrategy::mini_batch(),
+            ..IFairConfig::default()
+        };
+        let json = serde_json::to_string(&mb).unwrap();
+        let back: IFairConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.strategy, mb.strategy);
     }
 }

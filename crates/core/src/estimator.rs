@@ -7,9 +7,10 @@
 //! setters plus progress/early-stop callbacks threaded into the L-BFGS
 //! restart loop.
 
-use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, InitStrategy};
-use crate::model::{FitControl, IFair, RestartEvent};
+use crate::config::{FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, InitStrategy};
+use crate::model::{EpochEvent, FitControl, IFair, RestartEvent};
 use ifair_api::{check_width, Estimator, FitError, Transform};
+use ifair_data::stream::RecordSource;
 use ifair_data::Dataset;
 use ifair_linalg::Matrix;
 
@@ -33,6 +34,9 @@ impl Transform for IFair {
 
 /// Restart observer stored by the builder.
 type Observer = Box<dyn FnMut(RestartEvent<'_>) -> FitControl>;
+
+/// Epoch observer stored by the builder (mini-batch fits only).
+type EpochObserver = Box<dyn FnMut(EpochEvent) -> FitControl>;
 
 /// Fluent construction of an iFair fit:
 ///
@@ -71,6 +75,7 @@ type Observer = Box<dyn FnMut(RestartEvent<'_>) -> FitControl>;
 pub struct IFairBuilder {
     config: IFairConfig,
     observer: Option<Observer>,
+    epoch_observer: Option<EpochObserver>,
 }
 
 impl Default for IFairBuilder {
@@ -85,6 +90,7 @@ impl IFairBuilder {
         IFairBuilder {
             config: IFairConfig::default(),
             observer: None,
+            epoch_observer: None,
         }
     }
 
@@ -93,6 +99,7 @@ impl IFairBuilder {
         IFairBuilder {
             config,
             observer: None,
+            epoch_observer: None,
         }
     }
 
@@ -181,6 +188,30 @@ impl IFairBuilder {
         self
     }
 
+    /// Training path: deterministic full-batch L-BFGS (default) or seeded
+    /// mini-batch Adam (see [`FitStrategy`]).
+    pub fn strategy(mut self, strategy: FitStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Shorthand for `strategy(FitStrategy::MiniBatch { .. })`.
+    pub fn mini_batch(
+        mut self,
+        batch_records: usize,
+        pairs_per_batch: usize,
+        epochs: usize,
+        learning_rate: f64,
+    ) -> Self {
+        self.config.strategy = FitStrategy::MiniBatch {
+            batch_records,
+            pairs_per_batch,
+            epochs,
+            learning_rate,
+        };
+        self
+    }
+
     /// Registers a progress/early-stop callback invoked after every
     /// completed restart; returning [`FitControl::Stop`] skips the remaining
     /// restarts and keeps the best result so far.
@@ -189,6 +220,15 @@ impl IFairBuilder {
         observer: impl FnMut(RestartEvent<'_>) -> FitControl + 'static,
     ) -> Self {
         self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Registers a progress/early-stop callback invoked after every
+    /// completed epoch of a mini-batch fit (never called on the full-batch
+    /// path); returning [`FitControl::Stop`] ends training and keeps the
+    /// best parameters found so far.
+    pub fn on_epoch(mut self, observer: impl FnMut(EpochEvent) -> FitControl + 'static) -> Self {
+        self.epoch_observer = Some(Box::new(observer));
         self
     }
 
@@ -206,10 +246,30 @@ impl IFairBuilder {
     /// Fits on a raw matrix and per-column protected flags — the escape
     /// hatch for callers without a full `Dataset`.
     pub fn fit_matrix(self, x: &Matrix, protected: &[bool]) -> Result<IFair, FitError> {
-        match self.observer {
-            Some(observer) => IFair::fit_with_observer(x, protected, &self.config, observer),
-            None => IFair::fit(x, protected, &self.config),
-        }
+        let restart = self
+            .observer
+            .unwrap_or_else(|| Box::new(|_| FitControl::Continue));
+        let epoch = self
+            .epoch_observer
+            .unwrap_or_else(|| Box::new(|_| FitControl::Continue));
+        IFair::fit_with_observers(x, protected, &self.config, restart, epoch)
+    }
+
+    /// Fits from a streaming [`RecordSource`] (mini-batch strategies only;
+    /// see [`IFair::fit_source`]) with the builder's configuration and
+    /// observers.
+    pub fn fit_source(
+        self,
+        source: &mut dyn RecordSource,
+        protected: &[bool],
+    ) -> Result<IFair, FitError> {
+        let restart = self
+            .observer
+            .unwrap_or_else(|| Box::new(|_| FitControl::Continue));
+        let epoch = self
+            .epoch_observer
+            .unwrap_or_else(|| Box::new(|_| FitControl::Continue));
+        IFair::fit_source_with_observers(source, protected, &self.config, restart, epoch)
     }
 }
 

@@ -59,8 +59,10 @@ pub mod model;
 pub mod objective;
 pub mod par;
 
-pub use config::{FairnessDistance, FairnessPairs, IFairConfig, InitStrategy, SoftmaxDistance};
+pub use config::{
+    FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance,
+};
 pub use estimator::IFairBuilder;
 pub use ifair_api::{ConfigError, Estimator, FitError, Predict, Transform};
-pub use model::{FitControl, IFair, RestartEvent, TrainingReport};
-pub use objective::IFairObjective;
+pub use model::{EpochEvent, FitControl, IFair, RestartEvent, TrainingReport};
+pub use objective::{IFairObjective, MiniBatchObjective};

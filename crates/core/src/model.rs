@@ -1,11 +1,12 @@
 //! The trained iFair model: fitting, transforming, persistence.
 
-use crate::config::{IFairConfig, InitStrategy, SoftmaxDistance};
+use crate::config::{FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance};
 use crate::distance;
-use crate::objective::IFairObjective;
+use crate::objective::{IFairObjective, MiniBatchObjective};
 use ifair_api::{shape_error, FitError};
+use ifair_data::stream::RecordSource;
 use ifair_linalg::Matrix;
-use ifair_optim::{Lbfgs, LbfgsConfig, Termination};
+use ifair_optim::{AdamConfig, AdamState, Lbfgs, LbfgsConfig, Objective, Termination};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -41,6 +42,24 @@ pub struct RestartEvent<'a> {
     pub best_loss: f64,
 }
 
+/// Progress snapshot handed to an epoch observer (mini-batch training only;
+/// see [`crate::IFairBuilder::on_epoch`]) after each completed epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochEvent {
+    /// Zero-based index of the restart this epoch belongs to.
+    pub restart: usize,
+    /// Zero-based index of the epoch that just finished.
+    pub epoch: usize,
+    /// Total epochs the configuration asks for (per restart).
+    pub n_epochs: usize,
+    /// Adam steps taken in this epoch (`ceil(M / batch_records)`).
+    pub steps: usize,
+    /// Mean mini-batch loss over the epoch's steps — the stochastic
+    /// analogue of the full-batch loss (per batch, not per dataset, so it is
+    /// comparable across epochs but not across batch sizes).
+    pub mean_batch_loss: f64,
+}
+
 /// Outcome of one random restart.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RestartReport {
@@ -66,14 +85,32 @@ pub struct TrainingReport {
     pub restarts: Vec<RestartReport>,
     /// Index into `restarts` of the run with the lowest final loss.
     pub best_restart: usize,
-    /// Number of fairness pairs the objective preserved.
+    /// Number of fairness pairs the objective preserved — per evaluation on
+    /// the full-batch path, per batch on the mini-batch path.
     pub n_pairs: usize,
+    /// The pair budget the configuration *asked* for, when it asked for one:
+    /// `Some(n_pairs)` of [`FairnessPairs::Subsampled`] on the full-batch
+    /// path, `Some(pairs_per_batch)` on the mini-batch path, `None`
+    /// otherwise. When this exceeds [`TrainingReport::n_pairs`] the request
+    /// was silently unreachable and got clamped to the distinct-pair count —
+    /// surfaced here (and by [`TrainingReport::pairs_clamped`]) so callers
+    /// can tell a satisfied budget from a capped one. `#[serde(default)]`
+    /// so reports serialized before this field existed still load.
+    #[serde(default)]
+    pub n_pairs_requested: Option<usize>,
 }
 
 impl TrainingReport {
     /// The winning restart's report.
     pub fn best(&self) -> &RestartReport {
         &self.restarts[self.best_restart]
+    }
+
+    /// Whether the requested pair budget exceeded the distinct pairs
+    /// available and was clamped down to [`TrainingReport::n_pairs`].
+    pub fn pairs_clamped(&self) -> bool {
+        self.n_pairs_requested
+            .is_some_and(|requested| requested > self.n_pairs)
     }
 }
 
@@ -114,31 +151,128 @@ impl IFair {
         x: &Matrix,
         protected: &[bool],
         config: &IFairConfig,
-        mut observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+        observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+    ) -> Result<IFair, FitError> {
+        IFair::fit_with_observers(x, protected, config, observer, |_| FitControl::Continue)
+    }
+
+    /// The fully-instrumented fit: `restart_observer` fires after every
+    /// restart (both strategies), `epoch_observer` after every epoch of a
+    /// [`FitStrategy::MiniBatch`] fit (never on the full-batch path).
+    /// Either observer can return [`FitControl::Stop`] to end training early
+    /// and keep the best parameters found so far.
+    pub fn fit_with_observers(
+        x: &Matrix,
+        protected: &[bool],
+        config: &IFairConfig,
+        restart_observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+        epoch_observer: impl FnMut(EpochEvent) -> FitControl,
     ) -> Result<IFair, FitError> {
         config.validate()?;
         let (m, n) = x.shape();
         if m == 0 || n == 0 {
             return Err(shape_error("empty training matrix"));
         }
-        if protected.len() != n {
-            return Err(shape_error(format!(
-                "protected has length {} but X has {n} columns",
-                protected.len()
-            )));
-        }
-        if protected.iter().all(|&p| p) {
-            return Err(shape_error(
-                "all attributes are protected; the fairness target distance would be empty",
-            ));
-        }
+        check_protected(protected, n)?;
         if x.as_slice().iter().any(|v| !v.is_finite()) {
             return Err(shape_error("training matrix contains non-finite values"));
         }
+        match config.strategy {
+            FitStrategy::FullBatch => fit_full_batch(x, protected, config, restart_observer),
+            FitStrategy::MiniBatch { .. } => {
+                // The matrix itself is the record source (borrowed, not
+                // copied — `&Matrix` implements `RecordSource`); batches
+                // copy rows out of it.
+                let mut source = x;
+                fit_mini_batch(
+                    &mut source,
+                    protected,
+                    config,
+                    restart_observer,
+                    epoch_observer,
+                )
+            }
+        }
+    }
 
-        // One objective for all restarts: the pair set, worker pool, and
-        // evaluation workspace are built once and reused by every restart.
-        let objective = IFairObjective::new(x, protected, config);
+    /// Fits from a streaming [`RecordSource`] — the entry point for datasets
+    /// that do not fit in memory (indexed CSV files, on-demand generators).
+    /// Requires [`FitStrategy::MiniBatch`]: the full-batch L-BFGS path needs
+    /// every record resident and every fairness pair materialized, which is
+    /// exactly what a streaming source exists to avoid. Non-finite values
+    /// are rejected batch-by-batch as they are read.
+    pub fn fit_source(
+        source: &mut dyn RecordSource,
+        protected: &[bool],
+        config: &IFairConfig,
+    ) -> Result<IFair, FitError> {
+        IFair::fit_source_with_observers(
+            source,
+            protected,
+            config,
+            |_| FitControl::Continue,
+            |_| FitControl::Continue,
+        )
+    }
+
+    /// [`IFair::fit_source`] with restart and epoch observers (see
+    /// [`IFair::fit_with_observers`]).
+    pub fn fit_source_with_observers(
+        source: &mut dyn RecordSource,
+        protected: &[bool],
+        config: &IFairConfig,
+        restart_observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+        epoch_observer: impl FnMut(EpochEvent) -> FitControl,
+    ) -> Result<IFair, FitError> {
+        config.validate()?;
+        if !matches!(config.strategy, FitStrategy::MiniBatch { .. }) {
+            return Err(FitError::Config(ifair_api::ConfigError {
+                field: "strategy",
+                message: "fitting from a streaming source requires FitStrategy::MiniBatch \
+                          (full-batch L-BFGS needs the whole matrix in memory — materialize \
+                          the source or switch strategies)"
+                    .into(),
+            }));
+        }
+        let (m, n) = (source.n_records(), source.n_features());
+        if m == 0 || n == 0 {
+            return Err(shape_error("empty record source"));
+        }
+        check_protected(protected, n)?;
+        fit_mini_batch(source, protected, config, restart_observer, epoch_observer)
+    }
+}
+
+/// Shared protected-mask validation of every fit entry point.
+fn check_protected(protected: &[bool], n: usize) -> Result<(), FitError> {
+    if protected.len() != n {
+        return Err(shape_error(format!(
+            "protected has length {} but X has {n} columns",
+            protected.len()
+        )));
+    }
+    if protected.iter().all(|&p| p) {
+        return Err(shape_error(
+            "all attributes are protected; the fairness target distance would be empty",
+        ));
+    }
+    Ok(())
+}
+
+/// The deterministic full-batch path: box-constrained L-BFGS over the whole
+/// matrix, best of `config.n_restarts` restarts — bit-identical to the
+/// historical [`IFair::fit`] behavior.
+fn fit_full_batch(
+    x: &Matrix,
+    protected: &[bool],
+    config: &IFairConfig,
+    mut observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+) -> Result<IFair, FitError> {
+    let n = x.cols();
+    // One objective for all restarts: the pair set, worker pool, and
+    // evaluation workspace are built once and reused by every restart.
+    let objective = IFairObjective::new(x, protected, config);
+    {
         let optimizer = Lbfgs::new(LbfgsConfig {
             max_iters: config.max_iters,
             grad_tol: config.grad_tol,
@@ -180,6 +314,12 @@ impl IFair {
         }
         let (theta, best_restart) = best.expect("n_restarts >= 1 guaranteed by validate()");
         let n_pairs = objective.pairs().len();
+        // Surface a clamped Subsampled budget: the build silently caps the
+        // draw at the M(M-1)/2 distinct pairs.
+        let n_pairs_requested = match config.fairness_pairs {
+            FairnessPairs::Subsampled { n_pairs } => Some(n_pairs),
+            _ => None,
+        };
 
         let (alpha, v_flat) = theta.split_at(n);
         let prototypes = Matrix::from_vec(config.k, n, v_flat.to_vec())
@@ -193,10 +333,143 @@ impl IFair {
                 restarts,
                 best_restart,
                 n_pairs,
+                n_pairs_requested,
             },
         })
     }
+}
 
+/// The stochastic mini-batch path: seeded Adam steps over resampled batches
+/// and per-batch fairness pairs drawn from a [`RecordSource`], epochs as the
+/// outer unit of progress, best of `config.n_restarts` restarts by final
+/// mean batch loss. Per-step cost depends on the batch shape only, so `M`
+/// bounds nothing but the epoch length.
+fn fit_mini_batch(
+    source: &mut dyn RecordSource,
+    protected: &[bool],
+    config: &IFairConfig,
+    mut restart_observer: impl FnMut(RestartEvent<'_>) -> FitControl,
+    mut epoch_observer: impl FnMut(EpochEvent) -> FitControl,
+) -> Result<IFair, FitError> {
+    let FitStrategy::MiniBatch {
+        epochs,
+        learning_rate,
+        ..
+    } = config.strategy
+    else {
+        unreachable!("fit_mini_batch requires FitStrategy::MiniBatch");
+    };
+    let (m, n) = (source.n_records(), source.n_features());
+    // One objective for all restarts: the batch buffers, worker pool, and
+    // evaluation workspace are built once and reused by every step.
+    let mut objective = MiniBatchObjective::new(m, protected, config);
+    let dim = objective.dim();
+    // The objective owns the batch-size clamp; derive the epoch length from
+    // it so the two can never disagree.
+    let steps_per_epoch = m.div_ceil(objective.batch_records());
+    let adam = AdamConfig {
+        learning_rate,
+        bounds: bounds_for(n, config.k, protected, config),
+        ..Default::default()
+    };
+
+    let mut best: Option<(Vec<f64>, usize)> = None;
+    let mut restarts: Vec<RestartReport> = Vec::with_capacity(config.n_restarts);
+    let mut grad = vec![0.0; dim];
+    let mut stop_all = false;
+    for r in 0..config.n_restarts {
+        let seed = config.seed.wrapping_add(r as u64);
+        let mut theta = initial_theta(n, config.k, protected, config, seed);
+        project_bounds(&mut theta, adam.bounds.as_deref());
+        // The batch sampler gets its own stream (salted so it never aliases
+        // the init draws); the whole schedule is a pure function of the seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c_4e5a_11d0_57e1);
+        let mut adam_state = AdamState::new(dim);
+        let mut steps_done = 0usize;
+        let mut last_epoch_mean = f64::INFINITY;
+        for e in 0..epochs {
+            let mut epoch_loss = 0.0;
+            for _ in 0..steps_per_epoch {
+                objective.resample(source, &mut rng)?;
+                epoch_loss += objective.value_and_gradient(&theta, &mut grad);
+                adam_state.step(&mut theta, &grad, &adam);
+                steps_done += 1;
+            }
+            last_epoch_mean = epoch_loss / steps_per_epoch as f64;
+            let control = epoch_observer(EpochEvent {
+                restart: r,
+                epoch: e,
+                n_epochs: epochs,
+                steps: steps_per_epoch,
+                mean_batch_loss: last_epoch_mean,
+            });
+            if control == FitControl::Stop {
+                stop_all = true;
+                break;
+            }
+        }
+        restarts.push(RestartReport {
+            seed,
+            loss: last_epoch_mean,
+            iterations: steps_done,
+            n_evals: steps_done,
+            converged: false,
+            termination: Termination::MaxIterations,
+        });
+        let better = match &best {
+            None => true,
+            Some((_, idx)) => last_epoch_mean < restarts[*idx].loss,
+        };
+        if better {
+            best = Some((theta, r));
+        }
+        let best_idx = best.as_ref().expect("just set").1;
+        let control = restart_observer(RestartEvent {
+            restart: r,
+            n_restarts: config.n_restarts,
+            report: &restarts[r],
+            best_loss: restarts[best_idx].loss,
+        });
+        if stop_all || control == FitControl::Stop {
+            break;
+        }
+    }
+    let (theta, best_restart) = best.expect("n_restarts >= 1 guaranteed by validate()");
+    let (alpha, v_flat) = theta.split_at(n);
+    let prototypes = Matrix::from_vec(config.k, n, v_flat.to_vec())
+        .expect("theta layout is K*N by construction");
+    let realized = objective.realized_pairs_per_batch();
+    let requested = match config.strategy {
+        FitStrategy::MiniBatch {
+            pairs_per_batch, ..
+        } => pairs_per_batch,
+        FitStrategy::FullBatch => unreachable!("checked above"),
+    };
+    Ok(IFair {
+        prototypes,
+        alpha: alpha.to_vec(),
+        protected: protected.to_vec(),
+        config: config.clone(),
+        report: TrainingReport {
+            restarts,
+            best_restart,
+            n_pairs: realized,
+            n_pairs_requested: Some(requested),
+        },
+    })
+}
+
+/// Clamps every coordinate into its box (the Adam path's projection; the
+/// L-BFGS path projects internally).
+fn project_bounds(x: &mut [f64], bounds: Option<&[(f64, f64)]>) {
+    if let Some(bounds) = bounds {
+        for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
+            *xi = xi.clamp(lo, hi);
+        }
+    }
+}
+
+impl IFair {
     /// Applies the learned probabilistic mapping to `x` (`? x N`), returning
     /// the fair representation `X̃ = U · V`.
     ///

@@ -24,6 +24,16 @@
 //! [`ifair_optim::NumericalObjective`] and is used in tests to validate every
 //! branch of the analytic gradient.
 //!
+//! # Two objectives, one kernel
+//!
+//! The forward/backward math lives in one private `LossKernel` that takes
+//! its record matrix and pair list explicitly. [`IFairObjective`] drives it
+//! over the full training matrix and a fixed pair set (the deterministic
+//! L-BFGS path); [`MiniBatchObjective`] drives it over a resampled batch
+//! and per-batch pairs (the stochastic Adam path of
+//! [`crate::FitStrategy::MiniBatch`]), so both paths share bit-exact
+//! numerics and the scratch machinery below.
+//!
 //! # Threading model
 //!
 //! Every hot loop — the per-record forward pass, the pairwise `L_fair`
@@ -38,9 +48,11 @@
 //! per-chunk gradient accumulators and the per-chunk softmax scratch, all
 //! allocated once per objective lifetime instead of once per evaluation.
 
-use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, SoftmaxDistance};
+use crate::config::{FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, SoftmaxDistance};
 use crate::distance;
 use crate::par;
+use ifair_data::stream::RecordSource;
+use ifair_data::DataError;
 use ifair_linalg::Matrix;
 use ifair_optim::Objective;
 use rand::rngs::StdRng;
@@ -239,13 +251,14 @@ struct BackpropJob<'b> {
     c: &'b mut [f64],
 }
 
-/// The iFair objective over a fixed training matrix.
-///
-/// Borrowing the data keeps restarts cheap: the pair list, target distances,
-/// worker pool and workspace are built once and shared across all restarts.
-pub struct IFairObjective<'a> {
-    x: &'a Matrix,
-    m: usize,
+/// The hyper-parameters of the loss, detached from any particular record
+/// block — the single source of truth for the forward/backward math, driven
+/// by both [`IFairObjective`] (full data, fixed pair list) and
+/// [`MiniBatchObjective`] (resampled batch, resampled pairs). Every kernel
+/// takes its record matrix, pair list, and pool explicitly, so the two
+/// objectives share code paths — and therefore bit-exact numerics — by
+/// construction.
+struct LossKernel {
     n: usize,
     k: usize,
     p: f64,
@@ -253,37 +266,11 @@ pub struct IFairObjective<'a> {
     mu: f64,
     softmax_distance: SoftmaxDistance,
     fairness_distance: FairnessDistance,
-    pairs: Vec<FairPair>,
-    pool: LazyPool,
-    workspace: Mutex<Workspace>,
 }
 
-impl<'a> IFairObjective<'a> {
-    /// Builds the objective for `x` (`M x N`) with per-column `protected`
-    /// flags and the hyper-parameters in `config`.
-    ///
-    /// The fairness-pair set (exact / anchored / subsampled per
-    /// `config.fairness_pairs`) is drawn here with `config.seed`, so the
-    /// objective is deterministic across restarts.
-    ///
-    /// # Panics
-    /// Panics if `protected.len() != x.cols()` — callers ([`crate::IFair`])
-    /// validate shapes first.
-    pub fn new(x: &'a Matrix, protected: &[bool], config: &IFairConfig) -> Self {
-        let (m, n) = x.shape();
-        assert_eq!(
-            protected.len(),
-            n,
-            "protected flags must match the feature count"
-        );
-        let nonprotected: Vec<usize> = (0..n).filter(|&j| !protected[j]).collect();
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1fa1_9a17);
-        let pool = LazyPool::new(par::resolve_threads(config.n_threads));
-        let pairs = build_pairs(x, &nonprotected, config.fairness_pairs, m, &mut rng, &pool);
-        let workspace = Mutex::new(Workspace::new(m, n, config.k));
-        IFairObjective {
-            x,
-            m,
+impl LossKernel {
+    fn from_config(n: usize, config: &IFairConfig) -> LossKernel {
+        LossKernel {
             n,
             k: config.k,
             p: config.p,
@@ -291,41 +278,12 @@ impl<'a> IFairObjective<'a> {
             mu: config.mu,
             softmax_distance: config.softmax_distance,
             fairness_distance: config.fairness_distance,
-            pairs,
-            pool,
-            workspace,
         }
     }
 
-    /// Overrides the worker-thread count of every parallel kernel (`0` =
-    /// all hardware threads), replacing the objective's pool. Used by the
-    /// serial-vs-parallel parity tests and the kernel benchmarks. The
-    /// thread count never affects numerics (see the module docs).
-    pub fn with_threads(mut self, n_threads: usize) -> Self {
-        let n_threads = par::resolve_threads(n_threads);
-        if n_threads != self.pool.n_threads {
-            // Replacing the pool joins any threads `new()` already spawned
-            // (e.g. for the pair-target fill), so keep it when the count is
-            // unchanged; callers that know the count up front should set
-            // `IFairConfig::n_threads` instead.
-            self.pool = LazyPool::new(n_threads);
-        }
-        self
-    }
-
-    /// The worker-thread count the parallel kernels will use.
-    pub fn n_threads(&self) -> usize {
-        self.pool.n_threads
-    }
-
-    /// The fairness pairs (and target distances) this objective preserves.
-    pub fn pairs(&self) -> &[FairPair] {
-        &self.pairs
-    }
-
-    /// Number of records `M`.
-    pub fn n_records(&self) -> usize {
-        self.m
+    /// Dimension of the packed parameter vector `θ = [α | V]`.
+    fn dim(&self) -> usize {
+        self.n * (self.k + 1)
     }
 
     /// Splits the flat parameter vector into `(α, V)` views.
@@ -334,51 +292,21 @@ impl<'a> IFairObjective<'a> {
         theta.split_at(self.n)
     }
 
-    /// The pool for pair sweeps, `None` when the pair set is too small to
-    /// be worth a dispatch (or the objective is serial).
-    fn fair_pool(&self) -> Option<&par::WorkerPool> {
-        if self.pairs.len() >= PAR_MIN_PAIRS {
-            self.pool.get()
-        } else {
-            None
-        }
-    }
-
-    /// The pool for per-record sweeps, `None` when the record count is too
-    /// small to be worth a dispatch (or the objective is serial).
-    fn record_pool(&self) -> Option<&par::WorkerPool> {
-        if self.m >= PAR_MIN_RECORDS {
-            self.pool.get()
-        } else {
-            None
-        }
-    }
-
-    /// The fixed chunk layout of the pair index space. Depends only on the
-    /// pair count, so the summation tree — and therefore every last bit of
-    /// the loss and gradient — is invariant under the thread count and the
-    /// host's core count.
-    fn fair_chunk_layout(&self) -> Vec<Range<usize>> {
-        let n_pairs = self.pairs.len();
-        let n_chunks = n_pairs.div_ceil(FAIR_CHUNK_PAIRS).clamp(1, MAX_FAIR_CHUNKS);
-        par::chunk_ranges(n_pairs, n_chunks)
-    }
-
-    /// The fixed chunk layout of the record index space (a function of `M`
-    /// only, like [`IFairObjective::fair_chunk_layout`]).
-    fn record_chunk_layout(&self) -> Vec<Range<usize>> {
-        let n_chunks = self.m.div_ceil(REC_CHUNK_RECORDS).clamp(1, MAX_REC_CHUNKS);
-        par::chunk_ranges(self.m, n_chunks)
-    }
-
     /// Forward pass: distances `D` (`M x K`), responsibilities `U` (`M x K`)
     /// and reconstruction `X̃` (`M x N`), written into `state`, parallelized
     /// over the fixed record chunks. Each record's rows are written by
     /// exactly one chunk and no partials are folded, so the result is
     /// trivially identical for every thread count.
-    fn forward_into(&self, alpha: &[f64], v: &[f64], state: &mut ForwardState) {
+    fn forward_into(
+        &self,
+        x: &Matrix,
+        alpha: &[f64],
+        v: &[f64],
+        state: &mut ForwardState,
+        pool: Option<&par::WorkerPool>,
+    ) {
         let (n, k) = (self.n, self.k);
-        let layout = self.record_chunk_layout();
+        let layout = record_chunk_layout(x.rows());
         let dist_chunks = split_chunks(&mut state.dist, &layout, k);
         let u_chunks = split_chunks(&mut state.u, &layout, k);
         let xt_chunks = split_chunks(&mut state.xt, &layout, n);
@@ -395,15 +323,13 @@ impl<'a> IFairObjective<'a> {
                 xt,
             })
             .collect();
-        par::pool_map(self.record_pool(), jobs, |job| {
-            self.forward_chunk(alpha, v, job)
-        });
+        par::pool_map(pool, jobs, |job| self.forward_chunk(x, alpha, v, job));
     }
 
     /// Serial forward pass over one contiguous chunk of records — the
     /// single source of truth for the per-record math on both the serial
     /// and the pooled path.
-    fn forward_chunk(&self, alpha: &[f64], v: &[f64], job: ForwardJob<'_>) {
+    fn forward_chunk(&self, x: &Matrix, alpha: &[f64], v: &[f64], job: ForwardJob<'_>) {
         let (n, k) = (self.n, self.k);
         let ForwardJob {
             records,
@@ -413,7 +339,7 @@ impl<'a> IFairObjective<'a> {
         } = job;
         xt.fill(0.0);
         for (row, i) in records.enumerate() {
-            let xi = self.x.row(i);
+            let xi = x.row(i);
             let d_row = &mut dist[row * k..(row + 1) * k];
             for (kk, d) in d_row.iter_mut().enumerate() {
                 let vk = &v[kk * n..(kk + 1) * n];
@@ -446,10 +372,16 @@ impl<'a> IFairObjective<'a> {
     }
 
     /// Loss given a completed forward pass.
-    fn loss(&self, alpha: &[f64], state: &ForwardState) -> f64 {
+    fn loss(
+        &self,
+        x: &Matrix,
+        pairs: &[FairPair],
+        alpha: &[f64],
+        state: &ForwardState,
+        fair_pool: Option<&par::WorkerPool>,
+    ) -> f64 {
         let util = if self.lambda != 0.0 {
-            self.x
-                .as_slice()
+            x.as_slice()
                 .iter()
                 .zip(&state.xt)
                 .map(|(&a, &b)| (a - b) * (a - b))
@@ -458,7 +390,7 @@ impl<'a> IFairObjective<'a> {
             0.0
         };
         let fair = if self.mu != 0.0 {
-            self.fair_loss(alpha, state)
+            self.fair_loss(pairs, alpha, state, fair_pool)
         } else {
             0.0
         };
@@ -469,17 +401,29 @@ impl<'a> IFairObjective<'a> {
     /// (no `μ` factor), parallelized over the fixed pair chunks when the
     /// pair set is large enough. Partials are folded in chunk order on both
     /// paths, so serial and pooled results are bit-identical.
-    fn fair_loss(&self, alpha: &[f64], state: &ForwardState) -> f64 {
-        let chunks = self.fair_chunk_layout();
-        let partials = par::pool_map(self.fair_pool(), chunks, |range| {
-            self.fair_loss_chunk(alpha, state, range)
+    fn fair_loss(
+        &self,
+        pairs: &[FairPair],
+        alpha: &[f64],
+        state: &ForwardState,
+        pool: Option<&par::WorkerPool>,
+    ) -> f64 {
+        let chunks = fair_chunk_layout(pairs.len());
+        let partials = par::pool_map(pool, chunks, |range| {
+            self.fair_loss_chunk(pairs, alpha, state, range)
         });
         partials.into_iter().sum()
     }
 
     /// Serial `L_fair` sum over one contiguous chunk of the pair list.
-    fn fair_loss_chunk(&self, alpha: &[f64], state: &ForwardState, range: Range<usize>) -> f64 {
-        self.pairs[range]
+    fn fair_loss_chunk(
+        &self,
+        pairs: &[FairPair],
+        alpha: &[f64],
+        state: &ForwardState,
+        range: Range<usize>,
+    ) -> f64 {
+        pairs[range]
             .iter()
             .map(|pair| {
                 let e = self.transformed_distance(alpha, state, pair.i, pair.j) - pair.target;
@@ -497,16 +441,18 @@ impl<'a> IFairObjective<'a> {
     /// objective); the serial path reuses a single one. Partials are folded
     /// into `g_xt` / `g_alpha` in chunk order on both paths, so the result
     /// is bit-identical for every thread count.
+    #[allow(clippy::too_many_arguments)]
     fn fair_loss_and_grad(
         &self,
+        pairs: &[FairPair],
         alpha: &[f64],
         state: &ForwardState,
         g_xt: &mut [f64],
         g_alpha: &mut [f64],
         scratch: &mut FairScratch,
+        pool: Option<&par::WorkerPool>,
     ) -> f64 {
-        let chunks = self.fair_chunk_layout();
-        let pool = self.fair_pool();
+        let chunks = fair_chunk_layout(pairs.len());
         if pool.is_none() {
             // Serial: one reused accumulator walks the same chunk layout
             // with the same fold order as the pooled path (bit-identical),
@@ -517,7 +463,7 @@ impl<'a> IFairObjective<'a> {
             for range in chunks {
                 gx.fill(0.0);
                 ga.fill(0.0);
-                loss += self.fair_grad_chunk(alpha, state, range, gx, ga);
+                loss += self.fair_grad_chunk(pairs, alpha, state, range, gx, ga);
                 add_assign(g_xt, gx);
                 add_assign(g_alpha, ga);
             }
@@ -529,17 +475,21 @@ impl<'a> IFairObjective<'a> {
             .into_iter()
             .zip(gx_bufs.iter_mut())
             .zip(ga_bufs.iter_mut())
-            .map(|((pairs, gx), ga)| FairGradJob {
-                pairs,
+            .map(|((pair_range, gx), ga)| FairGradJob {
+                pairs: pair_range,
                 gx: gx.as_mut_slice(),
                 ga: ga.as_mut_slice(),
             })
             .collect();
         let partials = par::pool_map(pool, jobs, |job| {
-            let FairGradJob { pairs, gx, ga } = job;
+            let FairGradJob {
+                pairs: pair_range,
+                gx,
+                ga,
+            } = job;
             gx.fill(0.0);
             ga.fill(0.0);
-            self.fair_grad_chunk(alpha, state, pairs, gx, ga)
+            self.fair_grad_chunk(pairs, alpha, state, pair_range, gx, ga)
         });
         let mut loss = 0.0;
         for ((l, gx), ga) in partials.into_iter().zip(gx_bufs.iter()).zip(ga_bufs.iter()) {
@@ -555,6 +505,7 @@ impl<'a> IFairObjective<'a> {
     /// pooled path is exactly this function over sub-ranges.
     fn fair_grad_chunk(
         &self,
+        pairs: &[FairPair],
         alpha: &[f64],
         state: &ForwardState,
         range: Range<usize>,
@@ -563,7 +514,7 @@ impl<'a> IFairObjective<'a> {
     ) -> f64 {
         let (n, p) = (self.n, self.p);
         let mut loss = 0.0;
-        for pair in &self.pairs[range] {
+        for pair in &pairs[range] {
             let d = self.transformed_distance(alpha, state, pair.i, pair.j);
             let e = d - pair.target;
             loss += e * e;
@@ -606,19 +557,21 @@ impl<'a> IFairObjective<'a> {
     /// serial path reuses a single set. Partials are folded into `grad` in
     /// chunk order on both paths, so the result is bit-identical for every
     /// thread count.
+    #[allow(clippy::too_many_arguments)]
     fn backprop_into(
         &self,
+        x: &Matrix,
         alpha: &[f64],
         v: &[f64],
         state: &ForwardState,
         g_xt: &[f64],
         grad: &mut [f64],
         scratch: &mut BackScratch,
+        pool: Option<&par::WorkerPool>,
     ) {
         let (n, k) = (self.n, self.k);
         let (g_alpha, g_v) = grad.split_at_mut(n);
-        let layout = self.record_chunk_layout();
-        let pool = self.record_pool();
+        let layout = record_chunk_layout(x.rows());
         if pool.is_none() {
             // Serial: one reused accumulator set, same chunk layout and
             // fold order as the pooled path (bit-identical).
@@ -627,6 +580,7 @@ impl<'a> IFairObjective<'a> {
             let c = &mut scratch.c.take(1, k)[0];
             for records in layout {
                 self.backprop_chunk(
+                    x,
                     alpha,
                     v,
                     state,
@@ -659,7 +613,7 @@ impl<'a> IFairObjective<'a> {
             })
             .collect();
         par::pool_map(pool, jobs, |job| {
-            self.backprop_chunk(alpha, v, state, g_xt, job)
+            self.backprop_chunk(x, alpha, v, state, g_xt, job)
         });
         for (gv, ga) in gv_bufs.iter().zip(ga_bufs.iter()) {
             add_assign(g_v, gv);
@@ -673,6 +627,7 @@ impl<'a> IFairObjective<'a> {
     /// product scratch, reused across the chunk's records.
     fn backprop_chunk(
         &self,
+        x: &Matrix,
         alpha: &[f64],
         v: &[f64],
         state: &ForwardState,
@@ -684,7 +639,7 @@ impl<'a> IFairObjective<'a> {
         gv.fill(0.0);
         ga.fill(0.0);
         for i in records {
-            let xi = self.x.row(i);
+            let xi = x.row(i);
             let gx_row = &g_xt[i * n..(i + 1) * n];
             let u_row = &state.u[i * k..(i + 1) * k];
             let d_row = &state.dist[i * k..(i + 1) * k];
@@ -749,31 +704,38 @@ impl<'a> IFairObjective<'a> {
             FairnessDistance::Weighted => distance::weighted_minkowski(a, b, alpha, self.p),
         }
     }
-}
 
-impl Objective for IFairObjective<'_> {
-    fn dim(&self) -> usize {
-        self.n * (self.k + 1)
-    }
-
-    fn value(&self, theta: &[f64]) -> f64 {
+    /// The full loss at `theta` over `(x, pairs)`, through the workspace.
+    fn value_into(
+        &self,
+        x: &Matrix,
+        pairs: &[FairPair],
+        theta: &[f64],
+        ws: &mut Workspace,
+        rec_pool: Option<&par::WorkerPool>,
+        fair_pool: Option<&par::WorkerPool>,
+    ) -> f64 {
         let (alpha, v) = self.unpack(theta);
-        let mut guard = self.workspace.lock().expect("workspace poisoned");
-        let ws = &mut *guard;
-        self.forward_into(alpha, v, &mut ws.state);
-        self.loss(alpha, &ws.state)
+        self.forward_into(x, alpha, v, &mut ws.state, rec_pool);
+        self.loss(x, pairs, alpha, &ws.state, fair_pool)
     }
 
-    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
-        self.value_and_gradient(theta, grad);
-    }
-
-    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+    /// The fused loss + analytic gradient at `theta` over `(x, pairs)`,
+    /// through the workspace — the whole backward pass both objectives run.
+    #[allow(clippy::too_many_arguments)]
+    fn value_and_gradient_into(
+        &self,
+        x: &Matrix,
+        pairs: &[FairPair],
+        theta: &[f64],
+        grad: &mut [f64],
+        ws: &mut Workspace,
+        rec_pool: Option<&par::WorkerPool>,
+        fair_pool: Option<&par::WorkerPool>,
+    ) -> f64 {
         let n = self.n;
         let (alpha, v) = self.unpack(theta);
-        let mut guard = self.workspace.lock().expect("workspace poisoned");
-        let ws = &mut *guard;
-        self.forward_into(alpha, v, &mut ws.state);
+        self.forward_into(x, alpha, v, &mut ws.state, rec_pool);
 
         grad.fill(0.0);
 
@@ -782,7 +744,7 @@ impl Objective for IFairObjective<'_> {
         // (the fused loop overwrites every entry) or zeroed.
         let mut util = 0.0;
         if self.lambda != 0.0 {
-            for ((g, &orig), &rec) in ws.g_xt.iter_mut().zip(self.x.as_slice()).zip(&ws.state.xt) {
+            for ((g, &orig), &rec) in ws.g_xt.iter_mut().zip(x.as_slice()).zip(&ws.state.xt) {
                 let diff = rec - orig;
                 util += diff * diff;
                 *g = 2.0 * self.lambda * diff;
@@ -795,7 +757,15 @@ impl Objective for IFairObjective<'_> {
         // fused with the pair loss and parallelized over pair chunks.
         let fair = if self.mu != 0.0 {
             let (g_alpha, _) = grad.split_at_mut(n);
-            self.fair_loss_and_grad(alpha, &ws.state, &mut ws.g_xt, g_alpha, &mut ws.fair)
+            self.fair_loss_and_grad(
+                pairs,
+                alpha,
+                &ws.state,
+                &mut ws.g_xt,
+                g_alpha,
+                &mut ws.fair,
+                fair_pool,
+            )
         } else {
             0.0
         };
@@ -803,9 +773,428 @@ impl Objective for IFairObjective<'_> {
 
         // Backprop through x̃ = U·V and the softmax into V, D, and α,
         // parallelized over record chunks.
-        self.backprop_into(alpha, v, &ws.state, &ws.g_xt, grad, &mut ws.back);
+        self.backprop_into(
+            x,
+            alpha,
+            v,
+            &ws.state,
+            &ws.g_xt,
+            grad,
+            &mut ws.back,
+            rec_pool,
+        );
 
         loss
+    }
+}
+
+/// The fixed chunk layout of the record index space. Depends only on the
+/// record count, so the summation tree — and therefore every last bit of
+/// the loss and gradient — is invariant under the thread count and the
+/// host's core count.
+fn record_chunk_layout(m: usize) -> Vec<Range<usize>> {
+    let n_chunks = m.div_ceil(REC_CHUNK_RECORDS).clamp(1, MAX_REC_CHUNKS);
+    par::chunk_ranges(m, n_chunks)
+}
+
+/// The fixed chunk layout of the pair index space (a function of the pair
+/// count only, like [`record_chunk_layout`]).
+fn fair_chunk_layout(n_pairs: usize) -> Vec<Range<usize>> {
+    let n_chunks = n_pairs.div_ceil(FAIR_CHUNK_PAIRS).clamp(1, MAX_FAIR_CHUNKS);
+    par::chunk_ranges(n_pairs, n_chunks)
+}
+
+/// The iFair objective over a fixed training matrix.
+///
+/// Borrowing the data keeps restarts cheap: the pair list, target distances,
+/// worker pool and workspace are built once and shared across all restarts.
+pub struct IFairObjective<'a> {
+    x: &'a Matrix,
+    m: usize,
+    kern: LossKernel,
+    pairs: Vec<FairPair>,
+    pool: LazyPool,
+    workspace: Mutex<Workspace>,
+}
+
+impl<'a> IFairObjective<'a> {
+    /// Builds the objective for `x` (`M x N`) with per-column `protected`
+    /// flags and the hyper-parameters in `config`.
+    ///
+    /// The fairness-pair set (exact / anchored / subsampled per
+    /// `config.fairness_pairs`) is drawn here with `config.seed`, so the
+    /// objective is deterministic across restarts.
+    ///
+    /// # Panics
+    /// Panics if `protected.len() != x.cols()` — callers ([`crate::IFair`])
+    /// validate shapes first.
+    pub fn new(x: &'a Matrix, protected: &[bool], config: &IFairConfig) -> Self {
+        let (m, n) = x.shape();
+        assert_eq!(
+            protected.len(),
+            n,
+            "protected flags must match the feature count"
+        );
+        let nonprotected: Vec<usize> = (0..n).filter(|&j| !protected[j]).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1fa1_9a17);
+        let pool = LazyPool::new(par::resolve_threads(config.n_threads));
+        let pairs = build_pairs(x, &nonprotected, config.fairness_pairs, m, &mut rng, &pool);
+        let workspace = Mutex::new(Workspace::new(m, n, config.k));
+        IFairObjective {
+            x,
+            m,
+            kern: LossKernel::from_config(n, config),
+            pairs,
+            pool,
+            workspace,
+        }
+    }
+
+    /// Overrides the worker-thread count of every parallel kernel (`0` =
+    /// all hardware threads), replacing the objective's pool. Used by the
+    /// serial-vs-parallel parity tests and the kernel benchmarks. The
+    /// thread count never affects numerics (see the module docs).
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        let n_threads = par::resolve_threads(n_threads);
+        if n_threads != self.pool.n_threads {
+            // Replacing the pool joins any threads `new()` already spawned
+            // (e.g. for the pair-target fill), so keep it when the count is
+            // unchanged; callers that know the count up front should set
+            // `IFairConfig::n_threads` instead.
+            self.pool = LazyPool::new(n_threads);
+        }
+        self
+    }
+
+    /// The worker-thread count the parallel kernels will use.
+    pub fn n_threads(&self) -> usize {
+        self.pool.n_threads
+    }
+
+    /// The fairness pairs (and target distances) this objective preserves.
+    pub fn pairs(&self) -> &[FairPair] {
+        &self.pairs
+    }
+
+    /// Number of records `M`.
+    pub fn n_records(&self) -> usize {
+        self.m
+    }
+
+    /// The pool for pair sweeps, `None` when the pair set is too small to
+    /// be worth a dispatch (or the objective is serial).
+    fn fair_pool(&self) -> Option<&par::WorkerPool> {
+        if self.pairs.len() >= PAR_MIN_PAIRS {
+            self.pool.get()
+        } else {
+            None
+        }
+    }
+
+    /// The pool for per-record sweeps, `None` when the record count is too
+    /// small to be worth a dispatch (or the objective is serial).
+    fn record_pool(&self) -> Option<&par::WorkerPool> {
+        if self.m >= PAR_MIN_RECORDS {
+            self.pool.get()
+        } else {
+            None
+        }
+    }
+}
+
+impl Objective for IFairObjective<'_> {
+    fn dim(&self) -> usize {
+        self.kern.dim()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let mut guard = self.workspace.lock().expect("workspace poisoned");
+        self.kern.value_into(
+            self.x,
+            &self.pairs,
+            theta,
+            &mut guard,
+            self.record_pool(),
+            self.fair_pool(),
+        )
+    }
+
+    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(theta, grad);
+    }
+
+    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let mut guard = self.workspace.lock().expect("workspace poisoned");
+        self.kern.value_and_gradient_into(
+            self.x,
+            &self.pairs,
+            theta,
+            grad,
+            &mut guard,
+            self.record_pool(),
+            self.fair_pool(),
+        )
+    }
+}
+
+/// Everything a mini-batch evaluation touches, behind one lock: the current
+/// batch matrix and pair list, the evaluation workspace, and the sampler's
+/// reusable scratch.
+struct BatchState {
+    /// `B x N` batch matrix, refilled by every resample.
+    x: Matrix,
+    /// Fairness pairs whose indices point *into the batch* (`0..B`).
+    pairs: Vec<FairPair>,
+    /// Source indices of the current batch, ascending.
+    indices: Vec<usize>,
+    /// Evaluation scratch, sized for the batch once and reused every step.
+    workspace: Workspace,
+    /// Persistent permutation for dense record draws (`B > M/2`).
+    perm: Vec<usize>,
+    /// Persistent enumeration of all `B(B−1)/2` batch pairs for dense pair
+    /// draws, built once and re-shuffled in place (like `perm`).
+    all_pairs: Vec<FairPair>,
+}
+
+/// The stochastic (mini-batch) view of the iFair loss.
+///
+/// Each [`MiniBatchObjective::resample`] draws `batch_records` distinct
+/// records from a [`RecordSource`] and up to `pairs_per_batch` distinct
+/// fairness pairs **within** that batch (targets measured on the batch rows'
+/// non-protected columns, exactly like the full-batch pair build), then the
+/// [`Objective`] impl evaluates `λ·L_util + μ·L_fair` over the batch alone —
+/// per-step cost is a function of the batch shape, never of `M`. The
+/// forward/backward math is the same private loss kernel the full-batch
+/// objective runs (same fixed chunk layouts, same fold order), so mini-batch training
+/// is bit-identical for every thread count, and the batch workspace is
+/// allocated once and reused across all steps, epochs, and restarts.
+///
+/// Sampling draws from the *caller's* RNG on the training thread, keeping
+/// the batch sequence a pure function of the seed.
+pub struct MiniBatchObjective {
+    kern: LossKernel,
+    /// Batch size `B` (already clamped to the source's record count).
+    batch_records: usize,
+    /// Requested pairs per batch (clamped per batch to `B(B−1)/2`).
+    pairs_per_batch: usize,
+    /// Record count `M` of the source this sampler draws from.
+    n_source_records: usize,
+    /// Non-protected column indices (for pair targets).
+    nonprotected: Vec<usize>,
+    pool: LazyPool,
+    batch: Mutex<BatchState>,
+}
+
+impl MiniBatchObjective {
+    /// Builds the batched view for a source of `n_source_records` rows of
+    /// width `protected.len()`, with batch shape and hyper-parameters from
+    /// `config` (whose `strategy` must be [`FitStrategy::MiniBatch`]).
+    ///
+    /// # Panics
+    /// Panics if `config.strategy` is not `MiniBatch` — callers
+    /// ([`crate::IFair`]) dispatch on the strategy first.
+    pub fn new(n_source_records: usize, protected: &[bool], config: &IFairConfig) -> Self {
+        let FitStrategy::MiniBatch {
+            batch_records,
+            pairs_per_batch,
+            ..
+        } = config.strategy
+        else {
+            panic!("MiniBatchObjective requires FitStrategy::MiniBatch");
+        };
+        let n = protected.len();
+        let b = batch_records.min(n_source_records).max(1);
+        let nonprotected: Vec<usize> = (0..n).filter(|&j| !protected[j]).collect();
+        MiniBatchObjective {
+            kern: LossKernel::from_config(n, config),
+            batch_records: b,
+            pairs_per_batch,
+            n_source_records,
+            nonprotected,
+            pool: LazyPool::new(par::resolve_threads(config.n_threads)),
+            batch: Mutex::new(BatchState {
+                x: Matrix::zeros(b, n),
+                pairs: Vec::new(),
+                indices: Vec::new(),
+                workspace: Workspace::new(b, n, config.k),
+                perm: Vec::new(),
+                all_pairs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Batch size `B` actually used (the configured `batch_records`, clamped
+    /// to the source's record count).
+    pub fn batch_records(&self) -> usize {
+        self.batch_records
+    }
+
+    /// Fairness pairs each batch realizes: the configured `pairs_per_batch`
+    /// clamped to the `B(B−1)/2` distinct pairs a batch contains.
+    pub fn realized_pairs_per_batch(&self) -> usize {
+        let total = self.batch_records * self.batch_records.saturating_sub(1) / 2;
+        self.pairs_per_batch.min(total)
+    }
+
+    /// Source indices of the current batch (ascending); empty before the
+    /// first resample.
+    pub fn batch_indices(&self) -> Vec<usize> {
+        self.batch.lock().expect("batch poisoned").indices.clone()
+    }
+
+    /// Draws the next batch: `B` distinct record indices from `source`
+    /// (ascending, so file-backed sources seek forward), their rows into the
+    /// batch buffer, and a fresh set of distinct fairness pairs within the
+    /// batch with targets on the non-protected columns.
+    ///
+    /// Rejects batches containing non-finite values — the streaming
+    /// counterpart of the up-front matrix check of the full-batch path.
+    pub fn resample(
+        &mut self,
+        source: &mut dyn RecordSource,
+        rng: &mut StdRng,
+    ) -> Result<(), DataError> {
+        let (m, b) = (self.n_source_records, self.batch_records);
+        let state = self.batch.get_mut().expect("batch poisoned");
+
+        // Distinct record indices: dense draws shuffle a persistent
+        // permutation (a Fisher-Yates prefix is uniform from any starting
+        // arrangement), sparse draws reject duplicates.
+        state.indices.clear();
+        if b >= m {
+            state.indices.extend(0..m);
+        } else if b * 2 >= m {
+            if state.perm.len() != m {
+                state.perm = (0..m).collect();
+            }
+            for idx in 0..b {
+                let other = rng.gen_range(idx..m);
+                state.perm.swap(idx, other);
+            }
+            state.indices.extend_from_slice(&state.perm[..b]);
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(b);
+            while state.indices.len() < b {
+                let i = rng.gen_range(0..m);
+                if seen.insert(i) {
+                    state.indices.push(i);
+                }
+            }
+        }
+        state.indices.sort_unstable();
+
+        source.read_rows(&state.indices, state.x.as_mut_slice())?;
+        if state.x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(DataError::Parse(
+                "batch contains non-finite feature values".into(),
+            ));
+        }
+
+        // Distinct pairs within the batch, same dense/sparse split as the
+        // full-batch `Subsampled` build.
+        let total = b * b.saturating_sub(1) / 2;
+        let n_pairs = self.pairs_per_batch.min(total);
+        state.pairs.clear();
+        if n_pairs > total / 2 {
+            // Dense draw: Fisher-Yates prefix over the persistent pair
+            // enumeration (built once; a prefix shuffle is uniform from any
+            // starting arrangement, so re-shuffling in place stays unbiased
+            // and allocation-free across steps).
+            if state.all_pairs.len() != total {
+                state.all_pairs.clear();
+                state.all_pairs.reserve(total);
+                for i in 0..b {
+                    for j in (i + 1)..b {
+                        state.all_pairs.push(FairPair { i, j, target: 0.0 });
+                    }
+                }
+            }
+            for idx in 0..n_pairs {
+                let other = rng.gen_range(idx..total);
+                state.all_pairs.swap(idx, other);
+            }
+            state.pairs.extend_from_slice(&state.all_pairs[..n_pairs]);
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(n_pairs);
+            while state.pairs.len() < n_pairs {
+                let i = rng.gen_range(0..b);
+                let j = rng.gen_range(0..b);
+                if i == j {
+                    continue;
+                }
+                let (lo, hi) = (i.min(j), i.max(j));
+                if seen.insert((lo, hi)) {
+                    state.pairs.push(FairPair {
+                        i: lo,
+                        j: hi,
+                        target: 0.0,
+                    });
+                }
+            }
+        }
+        state.pairs.sort_unstable_by_key(|p| (p.i, p.j));
+        for pair in &mut state.pairs {
+            pair.target = masked_target(&state.x, &self.nonprotected, pair.i, pair.j);
+        }
+        Ok(())
+    }
+
+    /// The pool for per-record sweeps over the batch (same engagement
+    /// threshold as the full-batch objective).
+    fn record_pool(&self) -> Option<&par::WorkerPool> {
+        if self.batch_records >= PAR_MIN_RECORDS {
+            self.pool.get()
+        } else {
+            None
+        }
+    }
+
+    /// The pool for pair sweeps over the batch.
+    fn fair_pool(&self, n_pairs: usize) -> Option<&par::WorkerPool> {
+        if n_pairs >= PAR_MIN_PAIRS {
+            self.pool.get()
+        } else {
+            None
+        }
+    }
+}
+
+impl Objective for MiniBatchObjective {
+    fn dim(&self) -> usize {
+        self.kern.dim()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let mut guard = self.batch.lock().expect("batch poisoned");
+        let state = &mut *guard;
+        let fair_pool = self.fair_pool(state.pairs.len());
+        self.kern.value_into(
+            &state.x,
+            &state.pairs,
+            theta,
+            &mut state.workspace,
+            self.record_pool(),
+            fair_pool,
+        )
+    }
+
+    fn gradient(&self, theta: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(theta, grad);
+    }
+
+    fn value_and_gradient(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let mut guard = self.batch.lock().expect("batch poisoned");
+        let state = &mut *guard;
+        let fair_pool = self.fair_pool(state.pairs.len());
+        self.kern.value_and_gradient_into(
+            &state.x,
+            &state.pairs,
+            theta,
+            grad,
+            &mut state.workspace,
+            self.record_pool(),
+            fair_pool,
+        )
     }
 }
 
@@ -1065,9 +1454,10 @@ mod tests {
 
     /// Runs the forward pass into a fresh state (test helper).
     fn forward_fresh(obj: &IFairObjective<'_>, theta: &[f64]) -> ForwardState {
-        let (alpha, v) = obj.unpack(theta);
-        let mut state = ForwardState::new(obj.m, obj.n, obj.k);
-        obj.forward_into(alpha, v, &mut state);
+        let (alpha, v) = obj.kern.unpack(theta);
+        let mut state = ForwardState::new(obj.m, obj.kern.n, obj.kern.k);
+        obj.kern
+            .forward_into(obj.x, alpha, v, &mut state, obj.record_pool());
         state
     }
 
@@ -1282,6 +1672,130 @@ mod tests {
         let v1 = obj.value_and_gradient(&theta, &mut grad);
         let v2 = obj.value(&theta);
         assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    fn minibatch_config(batch_records: usize, pairs_per_batch: usize) -> IFairConfig {
+        IFairConfig {
+            strategy: FitStrategy::MiniBatch {
+                batch_records,
+                pairs_per_batch,
+                epochs: 1,
+                learning_rate: 0.05,
+            },
+            ..config(3)
+        }
+    }
+
+    #[test]
+    fn minibatch_resample_draws_distinct_records_and_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let mut x = Matrix::from_rows(rows).unwrap();
+        let cfg = minibatch_config(8, 12);
+        let mut obj = MiniBatchObjective::new(x.rows(), &toy_protected(), &cfg);
+        assert_eq!(obj.batch_records(), 8);
+        assert_eq!(obj.realized_pairs_per_batch(), 12);
+        let mut sample_rng = StdRng::seed_from_u64(cfg.seed);
+        for _ in 0..5 {
+            obj.resample(&mut x, &mut sample_rng).unwrap();
+            let indices = obj.batch_indices();
+            assert_eq!(indices.len(), 8);
+            for w in indices.windows(2) {
+                assert!(w[0] < w[1], "batch indices ascending and distinct");
+            }
+            let state = obj.batch.lock().unwrap();
+            assert_eq!(state.pairs.len(), 12);
+            for w in state.pairs.windows(2) {
+                assert!(
+                    (w[0].i, w[0].j) < (w[1].i, w[1].j),
+                    "pairs sorted, distinct"
+                );
+            }
+            for pair in &state.pairs {
+                assert!(pair.i < pair.j && pair.j < 8);
+                let want = masked_target(&state.x, &[0, 1, 2], pair.i, pair.j);
+                assert_eq!(pair.target.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn minibatch_clamps_batch_and_pairs_to_source() {
+        let mut x = toy_matrix(); // 6 records -> 15 distinct pairs
+        let cfg = minibatch_config(64, 10_000);
+        let mut obj = MiniBatchObjective::new(x.rows(), &toy_protected(), &cfg);
+        assert_eq!(obj.batch_records(), 6);
+        assert_eq!(obj.realized_pairs_per_batch(), 15);
+        let mut rng = StdRng::seed_from_u64(1);
+        obj.resample(&mut x, &mut rng).unwrap();
+        assert_eq!(obj.batch_indices(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(obj.batch.lock().unwrap().pairs.len(), 15);
+    }
+
+    #[test]
+    fn minibatch_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.05..0.95)).collect())
+            .collect();
+        let mut x = Matrix::from_rows(rows).unwrap();
+        for fairness_distance in [FairnessDistance::Unweighted, FairnessDistance::Weighted] {
+            let cfg = IFairConfig {
+                fairness_distance,
+                ..minibatch_config(12, 30)
+            };
+            let mut obj = MiniBatchObjective::new(x.rows(), &toy_protected(), &cfg);
+            let mut sample_rng = StdRng::seed_from_u64(5);
+            obj.resample(&mut x, &mut sample_rng).unwrap();
+            let theta = theta_at(obj.dim(), 11);
+            let report = check_gradient(&obj, &theta, 1e-6);
+            assert!(report.passes(2e-5), "fd={fairness_distance:?}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn minibatch_rejects_non_finite_batches() {
+        let mut x = toy_matrix();
+        x.set(2, 1, f64::NAN);
+        let cfg = minibatch_config(6, 5);
+        let mut obj = MiniBatchObjective::new(x.rows(), &toy_protected(), &cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(obj.resample(&mut x, &mut rng).is_err());
+    }
+
+    #[test]
+    fn minibatch_thread_count_never_changes_bits() {
+        // Pool thresholds engage at 128 records / 512 pairs; same seed must
+        // give the same batch, loss, and gradient for 1, 2, and 4 threads.
+        let mut rng = StdRng::seed_from_u64(23);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut reference: Option<(u64, Vec<u64>)> = None;
+        for threads in [1usize, 2, 4] {
+            let cfg = IFairConfig {
+                n_threads: threads,
+                ..minibatch_config(128, 600)
+            };
+            let mut obj = MiniBatchObjective::new(x.rows(), &toy_protected(), &cfg);
+            let mut src = x.clone();
+            let mut sample_rng = StdRng::seed_from_u64(7);
+            obj.resample(&mut src, &mut sample_rng).unwrap();
+            let theta = theta_at(obj.dim(), 31);
+            let mut grad = vec![0.0; obj.dim()];
+            let value = obj.value_and_gradient(&theta, &mut grad);
+            let bits: Vec<u64> = grad.iter().map(|g| g.to_bits()).collect();
+            match &reference {
+                None => reference = Some((value.to_bits(), bits)),
+                Some((v, g)) => {
+                    assert_eq!(*v, value.to_bits(), "loss differs at {threads} threads");
+                    assert_eq!(*g, bits, "gradient differs at {threads} threads");
+                }
+            }
+        }
     }
 
     #[test]

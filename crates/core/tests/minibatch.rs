@@ -1,0 +1,308 @@
+//! Determinism and contract tests of the mini-batch training path:
+//! thread-count invariance of whole fits, streaming-vs-in-memory equality,
+//! epoch observation and early stop, and pair-budget clamp surfacing.
+
+use ifair_core::{FairnessPairs, FitControl, FitStrategy, IFair, IFairConfig};
+use ifair_data::generators::large::{LargeScale, LargeScaleConfig};
+use ifair_data::stream::RecordSource;
+use ifair_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 300 records x 5 features (last protected): big enough to clear both pool
+/// engagement thresholds with a 128-record, 600-pair batch.
+fn training_data() -> (Matrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let rows: Vec<Vec<f64>> = (0..300)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            row.push(f64::from(rng.gen_bool(0.4)));
+            row
+        })
+        .collect();
+    let protected = vec![false, false, false, false, true];
+    (Matrix::from_rows(rows).unwrap(), protected)
+}
+
+fn minibatch_config(n_threads: usize) -> IFairConfig {
+    IFairConfig {
+        k: 4,
+        n_restarts: 2,
+        n_threads,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 128,
+            pairs_per_batch: 600,
+            epochs: 2,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    }
+}
+
+fn model_bits(model: &IFair) -> (Vec<u64>, Vec<u64>) {
+    (
+        model.alpha().iter().map(|v| v.to_bits()).collect(),
+        model
+            .prototypes()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    )
+}
+
+#[test]
+fn same_seed_same_model_across_thread_counts() {
+    let (x, protected) = training_data();
+    let reference = IFair::fit(&x, &protected, &minibatch_config(1)).unwrap();
+    let ref_bits = model_bits(&reference);
+    for threads in [2usize, 4] {
+        let model = IFair::fit(&x, &protected, &minibatch_config(threads)).unwrap();
+        assert_eq!(
+            ref_bits,
+            model_bits(&model),
+            "mini-batch fit differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_model_across_runs() {
+    let (x, protected) = training_data();
+    let a = IFair::fit(&x, &protected, &minibatch_config(0)).unwrap();
+    let b = IFair::fit(&x, &protected, &minibatch_config(0)).unwrap();
+    assert_eq!(model_bits(&a), model_bits(&b));
+    assert_eq!(
+        a.report().best().loss.to_bits(),
+        b.report().best().loss.to_bits()
+    );
+}
+
+#[test]
+fn streaming_source_matches_in_memory_fit_bitwise() {
+    // Fitting from the on-demand generator must equal fitting the
+    // materialized matrix: the sampler sees the same rows either way.
+    let gen = LargeScale::new(LargeScaleConfig {
+        n_records: 400,
+        n_numeric: 6,
+        seed: 3,
+        ..Default::default()
+    });
+    let protected = gen.protected_flags();
+    let config = IFairConfig {
+        k: 3,
+        n_restarts: 1,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 64,
+            pairs_per_batch: 200,
+            epochs: 2,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    };
+    let mut source = gen.clone();
+    let streamed = IFair::fit_source(&mut source, &protected, &config).unwrap();
+    let materialized = gen.materialize(0, 400).unwrap();
+    let in_memory = IFair::fit(&materialized.x, &protected, &config).unwrap();
+    assert_eq!(model_bits(&streamed), model_bits(&in_memory));
+}
+
+#[test]
+fn fit_source_rejects_full_batch_strategy() {
+    let gen = LargeScale::new(LargeScaleConfig {
+        n_records: 100,
+        n_numeric: 4,
+        ..Default::default()
+    });
+    let protected = gen.protected_flags();
+    let config = IFairConfig {
+        strategy: FitStrategy::FullBatch,
+        ..Default::default()
+    };
+    let mut source = gen;
+    assert!(matches!(
+        IFair::fit_source(&mut source, &protected, &config),
+        Err(ifair_core::FitError::Config(_))
+    ));
+}
+
+#[test]
+fn epoch_observer_sees_every_epoch_and_can_stop() {
+    let (x, protected) = training_data();
+    let config = IFairConfig {
+        n_restarts: 2,
+        ..minibatch_config(1)
+    };
+
+    // Builder path: the on_epoch callback fires with finite losses.
+    let model = IFair::builder()
+        .n_prototypes(4)
+        .n_threads(1)
+        .n_restarts(2)
+        .strategy(config.strategy)
+        .on_epoch(|e| {
+            assert!(e.mean_batch_loss.is_finite());
+            FitControl::Continue
+        })
+        .fit_matrix(&x, &protected)
+        .unwrap();
+    assert_eq!(model.report().restarts.len(), 2);
+
+    let mut events = Vec::new();
+    IFair::fit_with_observers(
+        &x,
+        &protected,
+        &config,
+        |_| FitControl::Continue,
+        |e| {
+            events.push((e.restart, e.epoch, e.n_epochs, e.steps));
+            FitControl::Continue
+        },
+    )
+    .unwrap();
+    // 300 records / 128-record batches -> 3 steps per epoch.
+    assert_eq!(
+        events,
+        vec![(0, 0, 2, 3), (0, 1, 2, 3), (1, 0, 2, 3), (1, 1, 2, 3)]
+    );
+
+    // Early stop after the very first epoch ends the whole fit.
+    let mut n_events = 0usize;
+    let stopped = IFair::fit_with_observers(
+        &x,
+        &protected,
+        &config,
+        |_| FitControl::Continue,
+        |_| {
+            n_events += 1;
+            FitControl::Stop
+        },
+    )
+    .unwrap();
+    assert_eq!(n_events, 1);
+    assert_eq!(stopped.report().restarts.len(), 1);
+}
+
+#[test]
+fn minibatch_training_improves_over_initialization() {
+    let (x, protected) = training_data();
+    let mut first = f64::NAN;
+    let mut last = f64::NAN;
+    let config = IFairConfig {
+        n_restarts: 1,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 128,
+            pairs_per_batch: 600,
+            epochs: 8,
+            learning_rate: 0.05,
+        },
+        ..minibatch_config(0)
+    };
+    IFair::fit_with_observers(
+        &x,
+        &protected,
+        &config,
+        |_| FitControl::Continue,
+        |e| {
+            if e.epoch == 0 {
+                first = e.mean_batch_loss;
+            }
+            last = e.mean_batch_loss;
+            FitControl::Continue
+        },
+    )
+    .unwrap();
+    assert!(
+        last < first,
+        "mean batch loss should fall: first epoch {first}, last epoch {last}"
+    );
+}
+
+#[test]
+fn subsampled_clamp_is_surfaced_in_the_report() {
+    let (x, protected) = training_data();
+    let total = 300 * 299 / 2;
+
+    // Full-batch: ask for more pairs than exist -> clamped and flagged.
+    let config = IFairConfig {
+        k: 3,
+        n_restarts: 1,
+        max_iters: 5,
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: total + 1 },
+        ..Default::default()
+    };
+    let model = IFair::fit(&x, &protected, &config).unwrap();
+    assert_eq!(model.report().n_pairs, total);
+    assert_eq!(model.report().n_pairs_requested, Some(total + 1));
+    assert!(model.report().pairs_clamped());
+
+    // A satisfiable budget is recorded but not flagged.
+    let config = IFairConfig {
+        fairness_pairs: FairnessPairs::Subsampled { n_pairs: 500 },
+        ..config
+    };
+    let model = IFair::fit(&x, &protected, &config).unwrap();
+    assert_eq!(model.report().n_pairs, 500);
+    assert_eq!(model.report().n_pairs_requested, Some(500));
+    assert!(!model.report().pairs_clamped());
+
+    // Exact pairs: no budget was requested, nothing to flag.
+    let config = IFairConfig {
+        k: 3,
+        n_restarts: 1,
+        max_iters: 5,
+        ..Default::default()
+    };
+    let model = IFair::fit(&x, &protected, &config).unwrap();
+    assert_eq!(model.report().n_pairs_requested, None);
+    assert!(!model.report().pairs_clamped());
+
+    // Mini-batch: a per-batch budget above B(B-1)/2 clamps and is flagged.
+    let config = IFairConfig {
+        k: 3,
+        n_restarts: 1,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 16,
+            pairs_per_batch: 10_000,
+            epochs: 1,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    };
+    let model = IFair::fit(&x, &protected, &config).unwrap();
+    assert_eq!(model.report().n_pairs, 16 * 15 / 2);
+    assert_eq!(model.report().n_pairs_requested, Some(10_000));
+    assert!(model.report().pairs_clamped());
+}
+
+#[test]
+fn csv_source_feeds_the_trainer() {
+    // End to end: write a numeric CSV, stream it back, fit mini-batch on it,
+    // and match the in-memory fit bit for bit.
+    let (x, protected) = training_data();
+    let mut csv = String::from("a,b,c,d,p\n");
+    for i in 0..x.rows() {
+        // Rust's float Display is shortest-round-trip, so parsing the CSV
+        // recovers every value bit-exactly.
+        let row: Vec<String> = x.row(i).iter().map(f64::to_string).collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    let mut source =
+        ifair_data::CsvRecordSource::from_reader(std::io::Cursor::new(csv.into_bytes())).unwrap();
+    assert_eq!(source.n_records(), x.rows());
+    let config = IFairConfig {
+        k: 3,
+        n_restarts: 1,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 64,
+            pairs_per_batch: 200,
+            epochs: 1,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    };
+    let streamed = IFair::fit_source(&mut source, &protected, &config).unwrap();
+    let in_memory = IFair::fit(&x, &protected, &config).unwrap();
+    assert_eq!(model_bits(&streamed), model_bits(&in_memory));
+}

@@ -1,0 +1,283 @@
+//! A large-`M` synthetic generator whose rows are computed on demand.
+//!
+//! The Table-II simulators materialize their whole feature matrix, which is
+//! exactly what a scaling study must *not* require. [`LargeScale`] instead
+//! makes every record a **pure function of `(seed, index)`**: a per-row RNG
+//! is derived by mixing the row index into the seed, so any subset of rows
+//! can be generated in any order — and regenerated bit-identically — without
+//! ever holding more than one batch in memory. That makes it both a
+//! [`RecordSource`] for the mini-batch trainer and the workload behind the
+//! `scaling` benchmark's `M ∈ {2k, 10k, 50k}` grid.
+//!
+//! The data model mirrors the latent-factor design of the Table-II
+//! simulators at adjustable size: records are drawn around one of
+//! `n_clusters` centers in `(0, 1)^n_numeric`, a binary protected attribute
+//! is appended as the last column, and the protected group shifts the first
+//! feature by `proxy_shift` — the leakage that makes the fairness loss do
+//! real work (merely masking the protected column would not hide the group).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::stream::RecordSource;
+use ifair_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape and distribution knobs of [`LargeScale`].
+#[derive(Debug, Clone)]
+pub struct LargeScaleConfig {
+    /// Number of records `M`.
+    pub n_records: usize,
+    /// Numeric feature count (the protected column is appended, so the
+    /// encoded width is `n_numeric + 1`).
+    pub n_numeric: usize,
+    /// Number of latent cluster centers.
+    pub n_clusters: usize,
+    /// Probability that a record belongs to the protected group.
+    pub protected_share: f64,
+    /// Additive shift of feature 0 for protected records (group leakage).
+    pub proxy_shift: f64,
+    /// Gaussian-ish noise half-width around the cluster center.
+    pub noise: f64,
+    /// RNG seed; rows are pure functions of `(seed, index)`.
+    pub seed: u64,
+}
+
+impl Default for LargeScaleConfig {
+    fn default() -> Self {
+        LargeScaleConfig {
+            n_records: 10_000,
+            n_numeric: 16,
+            n_clusters: 4,
+            protected_share: 0.3,
+            proxy_shift: 0.15,
+            noise: 0.06,
+            seed: 42,
+        }
+    }
+}
+
+/// The on-demand large-`M` record source (see the module docs).
+#[derive(Debug, Clone)]
+pub struct LargeScale {
+    config: LargeScaleConfig,
+    /// `n_clusters x n_numeric` centers, drawn once from the seed.
+    centers: Vec<f64>,
+}
+
+impl LargeScale {
+    /// Draws the cluster centers and freezes the generator.
+    ///
+    /// # Panics
+    /// Panics if `n_records`, `n_numeric`, or `n_clusters` is zero, or if
+    /// `protected_share` is outside `[0, 1]`.
+    pub fn new(config: LargeScaleConfig) -> LargeScale {
+        assert!(config.n_records > 0, "n_records must be positive");
+        assert!(config.n_numeric > 0, "n_numeric must be positive");
+        assert!(config.n_clusters > 0, "n_clusters must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.protected_share),
+            "protected_share must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6c61_7267_655f_6d21);
+        let centers = (0..config.n_clusters * config.n_numeric)
+            .map(|_| rng.gen_range(0.15..0.85))
+            .collect();
+        LargeScale { config, centers }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &LargeScaleConfig {
+        &self.config
+    }
+
+    /// Encoded feature width: `n_numeric + 1` (protected column last).
+    pub fn width(&self) -> usize {
+        self.config.n_numeric + 1
+    }
+
+    /// Per-column protected flags (only the last column is protected).
+    pub fn protected_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.width()];
+        *flags.last_mut().expect("width >= 2") = true;
+        flags
+    }
+
+    /// The RNG that generates record `i` — decorrelated across rows by a
+    /// splitmix-style multiply so consecutive indices do not share streams.
+    fn row_rng(&self, i: usize) -> StdRng {
+        let mixed = self
+            .config
+            .seed
+            .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        StdRng::seed_from_u64(mixed)
+    }
+
+    /// Writes record `i` into `out` (length [`LargeScale::width`]) and
+    /// returns `(cluster, protected)` — the latent label and group bit.
+    pub fn row_into(&self, i: usize, out: &mut [f64]) -> (usize, bool) {
+        assert_eq!(out.len(), self.width(), "output row has wrong width");
+        assert!(i < self.config.n_records, "record index out of range");
+        let c = &self.config;
+        let mut rng = self.row_rng(i);
+        let cluster = rng.gen_range(0..c.n_clusters);
+        let protected = rng.gen_bool(c.protected_share);
+        let center = &self.centers[cluster * c.n_numeric..(cluster + 1) * c.n_numeric];
+        for (o, &mu) in out[..c.n_numeric].iter_mut().zip(center) {
+            *o = (mu + rng.gen_range(-c.noise..c.noise)).clamp(0.0, 1.0);
+        }
+        if protected {
+            out[0] = (out[0] + c.proxy_shift).clamp(0.0, 1.0);
+        }
+        out[c.n_numeric] = f64::from(protected);
+        (cluster, protected)
+    }
+
+    /// Materializes records `lo..hi` as a full [`Dataset`] (labels = latent
+    /// cluster parity, group = protected bit). Intended for benchmark
+    /// baselines and tests; the streaming path never needs it.
+    pub fn materialize(&self, lo: usize, hi: usize) -> Result<Dataset, DataError> {
+        if lo >= hi || hi > self.config.n_records {
+            return Err(DataError::Shape(format!(
+                "invalid record range {lo}..{hi} for {} records",
+                self.config.n_records
+            )));
+        }
+        let (m, n) = (hi - lo, self.width());
+        let mut x = Matrix::zeros(m, n);
+        let mut y = Vec::with_capacity(m);
+        let mut group = Vec::with_capacity(m);
+        for (row, i) in (lo..hi).enumerate() {
+            let (cluster, protected) = self.row_into(i, x.row_mut(row));
+            y.push((cluster % 2) as f64);
+            group.push(u8::from(protected));
+        }
+        let mut names: Vec<String> = (0..self.config.n_numeric)
+            .map(|j| format!("f{j}"))
+            .collect();
+        names.push("protected".into());
+        Dataset::new(x, names, self.protected_flags(), Some(y), group)
+    }
+}
+
+impl RecordSource for LargeScale {
+    fn n_records(&self) -> usize {
+        self.config.n_records
+    }
+
+    fn n_features(&self) -> usize {
+        self.width()
+    }
+
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
+        let n = self.width();
+        crate::stream::check_read(self.config.n_records, n, indices, out, "large-scale source")?;
+        for (slot, &i) in out.chunks_exact_mut(n).zip(indices) {
+            self.row_into(i, slot);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LargeScale {
+        LargeScale::new(LargeScaleConfig {
+            n_records: 500,
+            n_numeric: 6,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn rows_are_pure_functions_of_seed_and_index() {
+        let gen = small();
+        let mut a = vec![0.0; gen.width()];
+        let mut b = vec![0.0; gen.width()];
+        for i in [0, 7, 499] {
+            gen.row_into(i, &mut a);
+            gen.row_into(i, &mut b);
+            assert_eq!(a, b, "row {i} must regenerate bit-identically");
+        }
+        // Order independence: reading [5, 3] equals reading each alone.
+        let mut gen2 = gen.clone();
+        let mut batch = vec![0.0; 2 * gen.width()];
+        gen2.read_rows(&[5, 3], &mut batch).unwrap();
+        gen.row_into(5, &mut a);
+        gen.row_into(3, &mut b);
+        assert_eq!(&batch[..gen.width()], a.as_slice());
+        assert_eq!(&batch[gen.width()..], b.as_slice());
+    }
+
+    #[test]
+    fn materialize_agrees_with_streaming() {
+        let gen = small();
+        let ds = gen.materialize(0, 500).unwrap();
+        let x = gen.clone().to_matrix().unwrap();
+        assert_eq!(ds.x, x);
+        assert_eq!(ds.protected, gen.protected_flags());
+        assert_eq!(ds.n_records(), 500);
+    }
+
+    #[test]
+    fn protected_column_matches_group_and_share() {
+        let gen = LargeScale::new(LargeScaleConfig {
+            n_records: 4000,
+            ..Default::default()
+        });
+        let ds = gen.materialize(0, 4000).unwrap();
+        let n = ds.n_features();
+        let mut protected_count = 0usize;
+        for i in 0..ds.n_records() {
+            let bit = ds.x.get(i, n - 1);
+            assert!(bit == 0.0 || bit == 1.0);
+            assert_eq!(ds.group[i], bit as u8);
+            protected_count += usize::from(bit == 1.0);
+        }
+        let share = protected_count as f64 / 4000.0;
+        assert!((share - 0.3).abs() < 0.05, "share = {share}");
+    }
+
+    #[test]
+    fn values_stay_in_unit_box_and_finite() {
+        let gen = small();
+        let ds = gen.materialize(0, 500).unwrap();
+        assert!(ds
+            .x
+            .as_slice()
+            .iter()
+            .all(|&v| v.is_finite() && (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bad_ranges_and_indices_error() {
+        let gen = small();
+        assert!(gen.materialize(10, 10).is_err());
+        assert!(gen.materialize(0, 501).is_err());
+        let mut g = gen.clone();
+        let mut out = vec![0.0; g.width()];
+        assert!(g.read_rows(&[500], &mut out).is_err());
+        let mut short = vec![0.0; 2];
+        assert!(g.read_rows(&[0], &mut short).is_err());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LargeScale::new(LargeScaleConfig {
+            n_records: 100,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = LargeScale::new(LargeScaleConfig {
+            n_records: 100,
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(
+            a.materialize(0, 100).unwrap().x,
+            b.materialize(0, 100).unwrap().x
+        );
+    }
+}

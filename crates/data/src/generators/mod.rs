@@ -25,6 +25,7 @@ pub mod airbnb;
 pub mod census;
 pub mod compas;
 pub mod credit;
+pub mod large;
 pub mod synthetic;
 pub mod xing;
 

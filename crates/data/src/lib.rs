@@ -12,8 +12,12 @@
 //! * [`scale`] — unit-variance and min-max normalization,
 //! * [`split`] — seeded random / stratified train-validation-test splits,
 //! * [`csv`] — a minimal CSV reader/writer so real data can be dropped in,
-//! * [`generators`] — the five dataset simulators plus the §IV synthetic
-//!   Gaussian-mixture study.
+//! * [`stream`] — random-access [`RecordSource`] readers (indexed CSV,
+//!   in-memory matrices) and a chunked sequential CSV iterator, so datasets
+//!   bigger than comfortable-in-one-`Vec` can feed the mini-batch trainer,
+//! * [`generators`] — the five dataset simulators, the §IV synthetic
+//!   Gaussian-mixture study, and an on-demand large-`M` generator
+//!   ([`generators::large`]) for scaling studies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +29,11 @@ pub mod error;
 pub mod generators;
 pub mod scale;
 pub mod split;
+pub mod stream;
 
 pub use dataset::{Dataset, Query, RankingDataset};
 pub use encode::{ColumnData, OneHotEncoder, RawDataset};
 pub use error::DataError;
 pub use scale::{MinMaxScaler, StandardScaler};
 pub use split::{kfold, train_test_split, train_val_test_split, SplitIndices};
+pub use stream::{ChunkedCsvReader, CsvRecordSource, RecordSource};

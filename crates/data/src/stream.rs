@@ -1,0 +1,449 @@
+//! Streaming access to large record sets.
+//!
+//! The full-batch trainer needs the whole `M x N` feature matrix in memory;
+//! the mini-batch path only ever touches `batch_records` rows per step. This
+//! module provides the abstraction that makes the second fact usable:
+//! [`RecordSource`], a random-access row reader that an objective can pull
+//! seeded batches from, together with two disk-friendly implementations —
+//! [`CsvRecordSource`] (a byte-offset-indexed numeric CSV, `O(M)` *offsets*
+//! in memory instead of `O(M·N)` floats) and [`ChunkedCsvReader`] (a
+//! sequential chunk iterator for one-pass preprocessing such as fitting
+//! scalers or computing column statistics).
+//!
+//! In-memory types ([`Matrix`], [`Dataset`]) implement [`RecordSource`] too,
+//! so the same training loop serves both regimes, and
+//! `ifair_data::generators::large` adds an implementation that synthesizes
+//! rows on demand without materializing anything.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use ifair_linalg::Matrix;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::Path;
+
+/// Random-access reader over an `M x N` record set.
+///
+/// `read_rows` takes `&mut self` so file-backed sources can seek without
+/// interior mutability; trainers call it from a single thread between
+/// parallel objective evaluations.
+pub trait RecordSource {
+    /// Number of records `M`.
+    fn n_records(&self) -> usize;
+
+    /// Number of features `N` per record.
+    fn n_features(&self) -> usize;
+
+    /// Copies the rows at `indices` (in order) into `out`, which must hold
+    /// exactly `indices.len() * n_features()` values, row-major.
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError>;
+
+    /// Materializes the whole source as a dense matrix. Intended for small
+    /// sources and tests; large-`M` callers should stay on `read_rows`.
+    fn to_matrix(&mut self) -> Result<Matrix, DataError> {
+        let (m, n) = (self.n_records(), self.n_features());
+        let indices: Vec<usize> = (0..m).collect();
+        let mut data = vec![0.0; m * n];
+        self.read_rows(&indices, &mut data)?;
+        Matrix::from_vec(m, n, data).map_err(|e| DataError::Shape(e.to_string()))
+    }
+}
+
+/// Validates an `indices`/`out` pair against the source shape (shared by
+/// every in-tree [`RecordSource`] implementation).
+pub(crate) fn check_read(
+    m: usize,
+    n: usize,
+    indices: &[usize],
+    out: &[f64],
+    what: &str,
+) -> Result<(), DataError> {
+    if out.len() != indices.len() * n {
+        return Err(DataError::Shape(format!(
+            "{what}: output buffer holds {} values but {} rows x {} features were requested",
+            out.len(),
+            indices.len(),
+            n
+        )));
+    }
+    if let Some(&bad) = indices.iter().find(|&&i| i >= m) {
+        return Err(DataError::Shape(format!(
+            "{what}: record index {bad} out of range for {m} records"
+        )));
+    }
+    Ok(())
+}
+
+impl RecordSource for Matrix {
+    fn n_records(&self) -> usize {
+        self.rows()
+    }
+
+    fn n_features(&self) -> usize {
+        self.cols()
+    }
+
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
+        (&*self).read_rows(indices, out)
+    }
+}
+
+/// A borrowed matrix is a source too (`read_rows` only needs `&mut` for
+/// file-backed seeking), so trainers holding `&Matrix` can stream batches
+/// without cloning the data: `let mut src = &matrix;`.
+impl RecordSource for &Matrix {
+    fn n_records(&self) -> usize {
+        self.rows()
+    }
+
+    fn n_features(&self) -> usize {
+        self.cols()
+    }
+
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
+        let n = self.cols();
+        check_read(self.rows(), n, indices, out, "matrix source")?;
+        for (slot, &i) in out.chunks_exact_mut(n).zip(indices) {
+            slot.copy_from_slice(self.row(i));
+        }
+        Ok(())
+    }
+}
+
+impl RecordSource for Dataset {
+    fn n_records(&self) -> usize {
+        self.x.rows()
+    }
+
+    fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
+        self.x.read_rows(indices, out)
+    }
+}
+
+/// A numeric CSV file as a [`RecordSource`].
+///
+/// The constructor makes one sequential pass recording the byte offset of
+/// every data line, so the resident memory is 8 bytes per record regardless
+/// of width; `read_rows` then seeks to each requested line and parses it on
+/// demand. Every column must be numeric (run categorical data through
+/// [`crate::encode::OneHotEncoder`] once, write the encoded CSV, then stream
+/// it here).
+pub struct CsvRecordSource<R: BufRead + Seek> {
+    reader: R,
+    /// Byte offset of each non-blank data line.
+    offsets: Vec<u64>,
+    /// Column names from the header row.
+    names: Vec<String>,
+    /// Scratch line buffer reused across reads.
+    line: String,
+}
+
+impl CsvRecordSource<BufReader<File>> {
+    /// Opens and indexes a numeric CSV file with a header row.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, DataError> {
+        let file = File::open(path.as_ref()).map_err(|e| {
+            DataError::Parse(format!("cannot open {}: {e}", path.as_ref().display()))
+        })?;
+        CsvRecordSource::from_reader(BufReader::new(file))
+    }
+}
+
+impl<R: BufRead + Seek> CsvRecordSource<R> {
+    /// Indexes a numeric CSV with a header row from any seekable reader.
+    pub fn from_reader(mut reader: R) -> Result<Self, DataError> {
+        reader
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| DataError::Parse(e.to_string()))?;
+        let mut line = String::new();
+        let header_len = reader
+            .read_line(&mut line)
+            .map_err(|e| DataError::Parse(e.to_string()))?;
+        if header_len == 0 {
+            return Err(DataError::Parse("empty CSV input".into()));
+        }
+        let names: Vec<String> = crate::csv::parse_line(line.trim_end_matches(['\n', '\r']))
+            .into_iter()
+            .map(|s| s.trim().to_string())
+            .collect();
+        if names.is_empty() || names.iter().all(String::is_empty) {
+            return Err(DataError::Parse("CSV header has no columns".into()));
+        }
+
+        let mut offsets = Vec::new();
+        let mut pos = header_len as u64;
+        loop {
+            line.clear();
+            let len = reader
+                .read_line(&mut line)
+                .map_err(|e| DataError::Parse(e.to_string()))?;
+            if len == 0 {
+                break;
+            }
+            if !line.trim().is_empty() {
+                offsets.push(pos);
+            }
+            pos += len as u64;
+        }
+        Ok(CsvRecordSource {
+            reader,
+            offsets,
+            names,
+            line: String::new(),
+        })
+    }
+
+    /// Column names from the header row.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl<R: BufRead + Seek> RecordSource for CsvRecordSource<R> {
+    fn n_records(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
+        let n = self.names.len();
+        check_read(self.offsets.len(), n, indices, out, "CSV source")?;
+        for (slot, &i) in out.chunks_exact_mut(n).zip(indices) {
+            self.reader
+                .seek(SeekFrom::Start(self.offsets[i]))
+                .map_err(|e| DataError::Parse(e.to_string()))?;
+            self.line.clear();
+            self.reader
+                .read_line(&mut self.line)
+                .map_err(|e| DataError::Parse(e.to_string()))?;
+            let fields = crate::csv::parse_line(self.line.trim_end_matches(['\n', '\r']));
+            if fields.len() != n {
+                return Err(DataError::Parse(format!(
+                    "record {} has {} fields, header has {n}",
+                    i,
+                    fields.len()
+                )));
+            }
+            for (o, field) in slot.iter_mut().zip(&fields) {
+                *o = field.trim().parse::<f64>().map_err(|_| {
+                    DataError::Parse(format!("non-numeric value '{field}' in record {i}"))
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sequential chunk iterator over a numeric CSV: yields up to `chunk_rows`
+/// records at a time as a dense [`Matrix`], so one-pass preprocessing
+/// (column means/stds for scalers, min/max scans, row counting) runs in
+/// `O(chunk_rows · N)` memory on files of any length.
+pub struct ChunkedCsvReader<R: BufRead> {
+    reader: R,
+    names: Vec<String>,
+    chunk_rows: usize,
+    lineno: usize,
+    done: bool,
+}
+
+impl ChunkedCsvReader<BufReader<File>> {
+    /// Opens a numeric CSV file with a header row for chunked reading.
+    pub fn open<P: AsRef<Path>>(path: P, chunk_rows: usize) -> Result<Self, DataError> {
+        let file = File::open(path.as_ref()).map_err(|e| {
+            DataError::Parse(format!("cannot open {}: {e}", path.as_ref().display()))
+        })?;
+        ChunkedCsvReader::from_reader(BufReader::new(file), chunk_rows)
+    }
+}
+
+impl<R: BufRead> ChunkedCsvReader<R> {
+    /// Wraps any buffered reader positioned at the start of a numeric CSV
+    /// with a header row. `chunk_rows` is the maximum rows per yielded chunk
+    /// (at least 1).
+    pub fn from_reader(mut reader: R, chunk_rows: usize) -> Result<Self, DataError> {
+        let mut line = String::new();
+        let len = reader
+            .read_line(&mut line)
+            .map_err(|e| DataError::Parse(e.to_string()))?;
+        if len == 0 {
+            return Err(DataError::Parse("empty CSV input".into()));
+        }
+        let names: Vec<String> = crate::csv::parse_line(line.trim_end_matches(['\n', '\r']))
+            .into_iter()
+            .map(|s| s.trim().to_string())
+            .collect();
+        Ok(ChunkedCsvReader {
+            reader,
+            names,
+            chunk_rows: chunk_rows.max(1),
+            lineno: 1,
+            done: false,
+        })
+    }
+
+    /// Column names from the header row.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl<R: BufRead> Iterator for ChunkedCsvReader<R> {
+    type Item = Result<Matrix, DataError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let n = self.names.len();
+        let mut data = Vec::with_capacity(self.chunk_rows * n);
+        let mut rows = 0usize;
+        let mut line = String::new();
+        while rows < self.chunk_rows {
+            line.clear();
+            let len = match self.reader.read_line(&mut line) {
+                Ok(len) => len,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(DataError::Parse(e.to_string())));
+                }
+            };
+            if len == 0 {
+                self.done = true;
+                break;
+            }
+            self.lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = crate::csv::parse_line(line.trim_end_matches(['\n', '\r']));
+            if fields.len() != n {
+                self.done = true;
+                return Some(Err(DataError::Parse(format!(
+                    "line {} has {} fields, header has {n}",
+                    self.lineno,
+                    fields.len()
+                ))));
+            }
+            for field in &fields {
+                match field.trim().parse::<f64>() {
+                    Ok(v) => data.push(v),
+                    Err(_) => {
+                        self.done = true;
+                        return Some(Err(DataError::Parse(format!(
+                            "non-numeric value '{field}' on line {}",
+                            self.lineno
+                        ))));
+                    }
+                }
+            }
+            rows += 1;
+        }
+        if rows == 0 {
+            return None;
+        }
+        Some(Matrix::from_vec(rows, n, data).map_err(|e| DataError::Shape(e.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "a,b,c\n1,2,3\n4,5,6\n\n7,8,9\n10,11,12\n";
+
+    fn sample_source() -> CsvRecordSource<Cursor<&'static [u8]>> {
+        CsvRecordSource::from_reader(Cursor::new(SAMPLE.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn matrix_source_reads_rows_in_order() {
+        let mut x =
+            Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let mut out = vec![0.0; 4];
+        x.read_rows(&[2, 0], &mut out).unwrap();
+        assert_eq!(out, vec![5.0, 6.0, 1.0, 2.0]);
+        assert_eq!(RecordSource::n_records(&x), 3);
+        assert_eq!(RecordSource::n_features(&x), 2);
+    }
+
+    #[test]
+    fn matrix_source_rejects_bad_shapes() {
+        let mut x = Matrix::zeros(2, 2);
+        let mut short = vec![0.0; 3];
+        assert!(x.read_rows(&[0, 1], &mut short).is_err());
+        let mut out = vec![0.0; 2];
+        assert!(x.read_rows(&[5], &mut out).is_err());
+    }
+
+    #[test]
+    fn csv_source_indexes_and_reads_random_rows() {
+        let mut src = sample_source();
+        assert_eq!(src.n_records(), 4);
+        assert_eq!(src.n_features(), 3);
+        assert_eq!(src.feature_names(), &["a", "b", "c"]);
+        let mut out = vec![0.0; 6];
+        // Out-of-order access exercises the seeks; the blank line is skipped.
+        src.read_rows(&[3, 1], &mut out).unwrap();
+        assert_eq!(out, vec![10.0, 11.0, 12.0, 4.0, 5.0, 6.0]);
+        // Re-reading the same rows must be stable.
+        let mut again = vec![0.0; 6];
+        src.read_rows(&[3, 1], &mut again).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn csv_source_matches_materialized_matrix() {
+        let mut src = sample_source();
+        let x = src.to_matrix().unwrap();
+        assert_eq!(x.shape(), (4, 3));
+        assert_eq!(x.row(2), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn csv_source_errors_are_typed() {
+        assert!(CsvRecordSource::from_reader(Cursor::new(b"" as &[u8])).is_err());
+        let mut src =
+            CsvRecordSource::from_reader(Cursor::new(b"a,b\n1,notanumber\n" as &[u8])).unwrap();
+        let mut out = vec![0.0; 2];
+        assert!(src.read_rows(&[0], &mut out).is_err());
+        let mut ragged = CsvRecordSource::from_reader(Cursor::new(b"a,b\n1\n" as &[u8])).unwrap();
+        assert!(ragged.read_rows(&[0], &mut out).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_tiles_the_file() {
+        let reader = ChunkedCsvReader::from_reader(Cursor::new(SAMPLE.as_bytes()), 3).unwrap();
+        assert_eq!(reader.feature_names(), &["a", "b", "c"]);
+        let chunks: Vec<Matrix> = reader.map(|c| c.unwrap()).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].shape(), (3, 3));
+        assert_eq!(chunks[1].shape(), (1, 3));
+        assert_eq!(chunks[1].row(0), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn chunked_reader_chunks_agree_with_random_access() {
+        let mut flat = Vec::new();
+        for chunk in ChunkedCsvReader::from_reader(Cursor::new(SAMPLE.as_bytes()), 2).unwrap() {
+            flat.extend_from_slice(chunk.unwrap().as_slice());
+        }
+        let full = sample_source().to_matrix().unwrap();
+        assert_eq!(flat, full.as_slice());
+    }
+
+    #[test]
+    fn chunked_reader_surfaces_parse_errors() {
+        let mut reader =
+            ChunkedCsvReader::from_reader(Cursor::new(b"a,b\n1,2\n3,oops\n" as &[u8]), 1).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "iterator fuses after an error");
+    }
+}

@@ -40,6 +40,62 @@ impl Default for AdamConfig {
     }
 }
 
+/// Resumable Adam moment state: the first/second moment vectors plus the
+/// step counter behind the bias correction.
+///
+/// [`Adam::minimize`] drives a whole optimization through this type, but it
+/// is public on its own so *stochastic* trainers (mini-batch SGD over a
+/// resampled objective, where no fixed `Objective` exists across steps) can
+/// apply one Adam update per gradient while keeping the moment estimates
+/// warm across batches and epochs.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u32,
+}
+
+impl AdamState {
+    /// Fresh (zeroed) moments for a `dim`-dimensional parameter vector.
+    pub fn new(dim: usize) -> AdamState {
+        AdamState {
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Number of updates applied so far.
+    pub fn steps(&self) -> u32 {
+        self.t
+    }
+
+    /// Applies one bias-corrected Adam update of `x` along `grad`, then
+    /// projects `x` onto `config.bounds` (when set). Step sizes and decay
+    /// rates come from `config`; `max_iters`/`grad_tol` are ignored (the
+    /// caller owns the outer loop).
+    ///
+    /// # Panics
+    /// Panics if `x` or `grad` length differs from the state's dimension.
+    pub fn step(&mut self, x: &mut [f64], grad: &[f64], config: &AdamConfig) {
+        let n = self.m.len();
+        assert_eq!(x.len(), n, "parameter vector has wrong dimension");
+        assert_eq!(grad.len(), n, "gradient has wrong dimension");
+        let c = config;
+        self.t += 1;
+        let b1t = 1.0 - c.beta1.powi(self.t as i32);
+        let b2t = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..n {
+            self.m[i] = c.beta1 * self.m[i] + (1.0 - c.beta1) * grad[i];
+            self.v[i] = c.beta2 * self.v[i] + (1.0 - c.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            x[i] -= c.learning_rate * mhat / (vhat.sqrt() + c.epsilon);
+        }
+        project(x, c.bounds.as_deref());
+    }
+}
+
 /// The Adam optimizer.
 #[derive(Debug, Clone)]
 pub struct Adam {
@@ -59,8 +115,7 @@ impl Adam {
         let c = &self.config;
         let mut x = x0;
         project(&mut x, c.bounds.as_deref());
-        let mut m = vec![0.0; n];
-        let mut v = vec![0.0; n];
+        let mut state = AdamState::new(n);
         let mut grad = vec![0.0; n];
         let mut n_evals = 0usize;
         let mut termination = Termination::MaxIterations;
@@ -77,16 +132,7 @@ impl Adam {
                 iterations = t - 1;
                 break;
             }
-            let b1t = 1.0 - c.beta1.powi(t as i32);
-            let b2t = 1.0 - c.beta2.powi(t as i32);
-            for i in 0..n {
-                m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * grad[i];
-                v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * grad[i] * grad[i];
-                let mhat = m[i] / b1t;
-                let vhat = v[i] / b2t;
-                x[i] -= c.learning_rate * mhat / (vhat.sqrt() + c.epsilon);
-            }
-            project(&mut x, c.bounds.as_deref());
+            state.step(&mut x, &grad, c);
         }
         let value = objective.value(&x);
         n_evals += 1;
@@ -214,6 +260,33 @@ mod tests {
         })
         .minimize(&sphere(1), vec![4.0]);
         assert!((res.x[0] - 1.0).abs() < 1e-4, "x = {}", res.x[0]);
+    }
+
+    #[test]
+    fn adam_state_matches_minimize_bitwise() {
+        // Driving AdamState by hand must replay Adam::minimize exactly —
+        // the stochastic trainers rely on the stepper being the same math.
+        let obj = sphere(3);
+        let config = AdamConfig {
+            max_iters: 50,
+            grad_tol: 0.0,
+            bounds: Some(vec![(-2.0, 2.0); 3]),
+            ..Default::default()
+        };
+        let x0 = vec![1.5, -0.7, 2.0];
+        let res = Adam::new(config.clone()).minimize(&obj, x0.clone());
+        let mut x = x0;
+        project(&mut x, config.bounds.as_deref());
+        let mut state = AdamState::new(3);
+        let mut grad = vec![0.0; 3];
+        for _ in 0..50 {
+            obj.value_and_gradient(&x, &mut grad);
+            state.step(&mut x, &grad, &config);
+        }
+        assert_eq!(state.steps(), 50);
+        let manual: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let auto: Vec<u64> = res.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(manual, auto);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod line_search;
 pub mod numgrad;
 pub mod problem;
 
-pub use adam::{Adam, AdamConfig, GradientDescent};
+pub use adam::{Adam, AdamConfig, AdamState, GradientDescent};
 pub use lbfgs::{Lbfgs, LbfgsConfig};
 pub use problem::{FnObjective, NumericalObjective, Objective, OptimResult, Termination};

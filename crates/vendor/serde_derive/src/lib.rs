@@ -9,9 +9,13 @@
 //! * unit structs,
 //! * enums whose variants are unit, newtype, tuple or struct-like,
 //!
-//! with **no generics and no `#[serde(...)]` attributes** — the macro panics
-//! with a clear message if it meets either, so unsupported input fails the
-//! build loudly instead of serializing wrongly.
+//! with **no generics** and exactly one supported `#[serde(...)]` attribute:
+//! `#[serde(default)]` on a named field, which substitutes
+//! `Default::default()` when the field is absent from the input object (the
+//! schema-evolution escape hatch for fields added after artifacts were
+//! written). Any other `#[serde(...)]` content panics with a clear message,
+//! so unsupported input fails the build loudly instead of serializing
+//! wrongly.
 //!
 //! Encoding matches serde's externally-tagged default:
 //!
@@ -26,9 +30,10 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// One parsed field: `name` is `Some` for named fields, `None` for tuple
-/// positions.
+/// positions; `default` is set by a `#[serde(default)]` field attribute.
 struct Field {
     name: Option<String>,
+    default: bool,
 }
 
 enum Shape {
@@ -54,7 +59,7 @@ enum Input {
 }
 
 /// Derives the shim `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let code = match &parsed {
@@ -82,7 +87,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the shim `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let code = match &parsed {
@@ -220,7 +225,19 @@ fn deserialize_shape(shape: &Shape, type_name: &str, variant: Option<&str>) -> S
                 .iter()
                 .map(|f| {
                     let n = f.name.as_ref().unwrap();
-                    format!("{n}: ::serde::Deserialize::from_value(v.field(\"{n}\")?)?,")
+                    if f.default {
+                        // Absent field -> Default::default(); a present field
+                        // still deserializes (and errors) normally, and a
+                        // non-object input still errors through `as_object`.
+                        format!(
+                            "{n}: match v.as_object()?.iter().find(|(k, _)| k == \"{n}\") {{\n\
+                                 Some((_, fv)) => ::serde::Deserialize::from_value(fv)?,\n\
+                                 None => ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!("{n}: ::serde::Deserialize::from_value(v.field(\"{n}\")?)?,")
+                    }
                 })
                 .collect();
             format!("Ok({ctor} {{ {inits} }})")
@@ -286,11 +303,26 @@ fn parse(input: TokenStream) -> Input {
 }
 
 /// Advances past outer attributes (`#[...]`) and visibility (`pub`,
-/// `pub(...)`).
+/// `pub(...)`), panicking on any `#[serde(...)]` attribute — the only
+/// position where one is supported is a named field, whose attributes go
+/// through `take_serde_default` *before* this function runs, so a serde
+/// attribute seen here (container, variant, tuple position) is unsupported
+/// and must fail the build loudly rather than be silently dropped.
 fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
     loop {
         match tokens.get(*pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = tokens.get(*pos + 1) {
+                    if matches!(attr.stream().into_iter().next(),
+                        Some(TokenTree::Ident(i)) if i.to_string() == "serde")
+                    {
+                        panic!(
+                            "serde_derive shim: `#[serde(...)]` is only supported as \
+                             `#[serde(default)]` on a named struct/variant field, \
+                             not here (attribute: {attr})"
+                        );
+                    }
+                }
                 *pos += 2; // `#` plus the bracket group
             }
             Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
@@ -340,11 +372,42 @@ fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
+/// Scans a field's outer attributes for `#[serde(default)]`, panicking on
+/// any other `#[serde(...)]` content so unsupported options fail the build
+/// loudly. `pos` is left on the first token after the attributes.
+fn take_serde_default(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*pos + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                let args = match inner.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        g.stream().to_string()
+                    }
+                    other => panic!("serde_derive shim: malformed serde attribute: {other:?}"),
+                };
+                if args.trim() == "default" {
+                    default = true;
+                } else {
+                    panic!(
+                        "serde_derive shim: unsupported serde attribute `{args}` \
+                         (only `default` on named fields is implemented)"
+                    );
+                }
+            }
+        }
+        *pos += 2; // `#` plus the bracket group
+    }
+    default
+}
+
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level_commas(stream)
         .into_iter()
         .map(|tokens| {
             let mut pos = 0;
+            let default = take_serde_default(&tokens, &mut pos);
             skip_attrs_and_vis(&tokens, &mut pos);
             let name = expect_ident(&tokens, &mut pos);
             match tokens.get(pos) {
@@ -353,13 +416,22 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                     panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}")
                 }
             }
-            Field { name: Some(name) }
+            Field {
+                name: Some(name),
+                default,
+            }
         })
         .collect()
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
-    split_top_level_commas(stream).len()
+    let fields = split_top_level_commas(stream);
+    for tokens in &fields {
+        // Tuple positions support no serde attributes; scanning each field
+        // routes any `#[serde(...)]` into skip_attrs_and_vis's panic.
+        skip_attrs_and_vis(tokens, &mut 0);
+    }
+    fields.len()
 }
 
 fn parse_variants(stream: TokenStream) -> Vec<Variant> {

@@ -398,6 +398,45 @@ mod tests {
     }
 
     #[test]
+    fn minibatch_ifair_stage_composes_and_round_trips() {
+        // The stochastic training path is just configuration as far as the
+        // pipeline is concerned: a MiniBatch iFair stage fits, transforms,
+        // persists, and reloads like any other stage.
+        let ds = toy(64);
+        let config = IFairConfig {
+            k: 3,
+            n_restarts: 1,
+            strategy: ifair_core::FitStrategy::MiniBatch {
+                batch_records: 16,
+                pairs_per_batch: 64,
+                epochs: 2,
+                learning_rate: 0.05,
+            },
+            ..Default::default()
+        };
+        let pipeline = Pipeline::builder()
+            .min_max_scaler()
+            .ifair(config.clone())
+            .fit(&ds)
+            .unwrap();
+        let repr = pipeline.transform(&ds).unwrap();
+        assert_eq!(repr.shape(), (64, 3));
+        assert!(repr.as_slice().iter().all(|v| v.is_finite()));
+
+        // Same seed, same stage config -> bit-identical refit.
+        let again = Pipeline::builder()
+            .min_max_scaler()
+            .ifair(config)
+            .fit(&ds)
+            .unwrap();
+        assert_eq!(again.transform(&ds).unwrap(), repr);
+
+        // The strategy travels through pipeline persistence.
+        let back = Pipeline::from_json(&pipeline.to_json().unwrap()).unwrap();
+        assert_eq!(back.transform(&ds).unwrap(), repr);
+    }
+
+    #[test]
     fn scaler_ifair_logreg_matches_hand_wired_path_bit_identically() {
         let ds = toy(24);
         let pipeline = Pipeline::builder()
