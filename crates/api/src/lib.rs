@@ -47,5 +47,7 @@ pub mod traits;
 pub use error::{
     check_group_labels, check_width, ensure, schema_error, shape_error, ConfigError, FitError,
 };
-pub use persist::{from_versioned_json, to_versioned_json, SCHEMA_VERSION};
+pub use persist::{
+    from_versioned_json, peek_artifact, to_versioned_json, ArtifactInfo, SCHEMA_VERSION,
+};
 pub use traits::{Estimator, Predict, Transform};

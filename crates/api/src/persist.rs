@@ -16,6 +16,49 @@ use serde::{Deserialize, Serialize, Value};
 /// The schema version this build writes and the highest it can read.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// The envelope metadata of a versioned artifact, read without touching the
+/// payload — what a model registry needs to dispatch an artifact file to the
+/// right deserializer (`"pipeline"` vs `"ifair-model"`) before committing to
+/// a full decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// The `schema_version` the artifact was written with.
+    pub schema_version: u32,
+    /// The artifact's `kind` tag (e.g. `"ifair-model"`, `"pipeline"`).
+    pub kind: String,
+}
+
+/// Parses only the envelope of a versioned artifact: its schema version and
+/// kind tag. The version is checked against [`SCHEMA_VERSION`] (unknown
+/// versions fail with [`FitError::SchemaVersion`]); the payload is validated
+/// later, by the kind-specific loader.
+pub fn peek_artifact(json: &str) -> Result<ArtifactInfo, FitError> {
+    let value: Value =
+        serde_json::from_str(json).map_err(|e| FitError::Serialization(e.to_string()))?;
+    let version = value
+        .field("schema_version")
+        .and_then(u32::from_value)
+        .map_err(|_| {
+            FitError::Serialization(
+                "missing or invalid `schema_version` field — not a versioned artifact".into(),
+            )
+        })?;
+    if version != SCHEMA_VERSION {
+        return Err(FitError::SchemaVersion {
+            found: version,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    let kind = value
+        .field("kind")
+        .and_then(String::from_value)
+        .map_err(|e| FitError::Serialization(e.to_string()))?;
+    Ok(ArtifactInfo {
+        schema_version: version,
+        kind,
+    })
+}
+
 /// Serializes `payload` into the versioned envelope under the given `kind`
 /// tag (e.g. `"ifair-model"`, `"pipeline"`).
 pub fn to_versioned_json<T: Serialize + ?Sized>(
@@ -115,5 +158,28 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(from_versioned_json::<f64>("k", "{not json").is_err());
         assert!(from_versioned_json::<f64>("k", "").is_err());
+    }
+
+    #[test]
+    fn peek_reads_envelope_without_decoding_payload() {
+        let json = to_versioned_json("some-kind", &vec![1.0f64, 2.0]).unwrap();
+        let info = peek_artifact(&json).unwrap();
+        assert_eq!(info.kind, "some-kind");
+        assert_eq!(info.schema_version, SCHEMA_VERSION);
+        // The payload is not validated at peek time: a structurally absurd
+        // payload still yields its envelope.
+        let garbage = r#"{"schema_version":1,"kind":"x","payload":{"not":"a model"}}"#;
+        assert_eq!(peek_artifact(garbage).unwrap().kind, "x");
+    }
+
+    #[test]
+    fn peek_rejects_bad_envelopes() {
+        assert!(matches!(
+            peek_artifact(r#"{"schema_version":99,"kind":"x","payload":1}"#),
+            Err(FitError::SchemaVersion { found: 99, .. })
+        ));
+        assert!(peek_artifact("[1,2,3]").is_err());
+        assert!(peek_artifact(r#"{"kind":"x"}"#).is_err());
+        assert!(peek_artifact("{not json").is_err());
     }
 }

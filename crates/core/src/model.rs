@@ -3,6 +3,7 @@
 use crate::config::{FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance};
 use crate::distance;
 use crate::objective::{IFairObjective, MiniBatchObjective};
+use crate::par;
 use ifair_api::{shape_error, FitError};
 use ifair_data::stream::RecordSource;
 use ifair_linalg::Matrix;
@@ -18,6 +19,14 @@ const NEAR_ZERO_ALPHA: f64 = 1e-4;
 
 /// Kind tag of the versioned JSON envelope written by [`IFair::to_json`].
 const MODEL_KIND: &str = "ifair-model";
+
+/// Row-chunk layout of [`IFair::transform_on`]: at most this many rows per
+/// chunk, capped at [`TRANSFORM_MAX_CHUNKS`] chunks. Fixed functions of the
+/// row count (never the pool size), mirroring the training-kernel layouts,
+/// so chunking can never perturb numerics.
+const TRANSFORM_CHUNK_ROWS: usize = 64;
+/// Upper bound on [`IFair::transform_on`] chunks (see [`TRANSFORM_CHUNK_ROWS`]).
+const TRANSFORM_MAX_CHUNKS: usize = 64;
 
 /// What the training loop should do after an observed restart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -479,6 +488,44 @@ impl IFair {
         self.transform_with_probabilities(x).0
     }
 
+    /// [`IFair::transform`] with the row loop fanned out over `pool` — the
+    /// inference-serving hot path. Rows are carved into **fixed** chunks (a
+    /// function of the row count only, like the training kernels) and each
+    /// chunk's `U·V` product is computed independently into its disjoint
+    /// slice of the output, so the result is **bit-identical** to
+    /// [`IFair::transform`] for every pool size, including `pool == None`.
+    ///
+    /// # Panics
+    /// Panics if `x.cols()` differs from the training width.
+    pub fn transform_on(&self, x: &Matrix, pool: Option<&par::WorkerPool>) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.n_features(),
+            "record width differs from the training data"
+        );
+        let (m, n) = (x.rows(), self.n_features());
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 {
+            return out;
+        }
+        let n_chunks = m.div_ceil(TRANSFORM_CHUNK_ROWS).min(TRANSFORM_MAX_CHUNKS);
+        let ranges = par::chunk_ranges(m, n_chunks);
+        // Pair each row range with its disjoint slice of the output buffer.
+        let mut rest = out.as_mut_slice();
+        let mut jobs = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len() * n);
+            rest = tail;
+            jobs.push((r, chunk));
+        }
+        par::pool_map(pool, jobs, |(r, chunk)| {
+            let mut u = Matrix::zeros(r.len(), self.config.k);
+            self.responsibilities_rows_into(x, r, &mut u);
+            chunk.copy_from_slice(u.matmul(&self.prototypes).as_slice());
+        });
+        out
+    }
+
     /// Like [`IFair::transform`] but also returns the `? x K` responsibility
     /// matrix `U` (each row a probability distribution over prototypes).
     pub fn transform_with_probabilities(&self, x: &Matrix) -> (Matrix, Matrix) {
@@ -494,12 +541,20 @@ impl IFair {
 
     /// The `? x K` responsibility matrix `U` for `x` (Definition 8).
     pub fn responsibilities(&self, x: &Matrix) -> Matrix {
+        let mut u = Matrix::zeros(x.rows(), self.config.k);
+        self.responsibilities_rows_into(x, 0..x.rows(), &mut u);
+        u
+    }
+
+    /// Fills `u` (`rows.len() x K`) with the responsibilities of the `rows`
+    /// range of `x` — the per-row kernel shared by [`IFair::responsibilities`]
+    /// and the chunked [`IFair::transform_on`] path.
+    fn responsibilities_rows_into(&self, x: &Matrix, rows: std::ops::Range<usize>, u: &mut Matrix) {
         let k = self.config.k;
-        let mut u = Matrix::zeros(x.rows(), k);
         // One distance buffer reused across records (every entry is
         // overwritten per record), not one allocation per record.
         let mut d = vec![0.0; k];
-        for i in 0..x.rows() {
+        for (out_i, i) in rows.enumerate() {
             let xi = x.row(i);
             for (kk, dk) in d.iter_mut().enumerate() {
                 let s = distance::weighted_power_sum(
@@ -515,7 +570,7 @@ impl IFair {
             }
             let d_min = d.iter().cloned().fold(f64::INFINITY, f64::min);
             let mut z = 0.0;
-            let row = u.row_mut(i);
+            let row = u.row_mut(out_i);
             for (uu, &dk) in row.iter_mut().zip(&d) {
                 *uu = (d_min - dk).exp();
                 z += *uu;
@@ -524,7 +579,6 @@ impl IFair {
                 *uu /= z;
             }
         }
-        u
     }
 
     /// Mean squared reconstruction error `‖X − X̃‖² / M` on `x` — the
@@ -742,6 +796,34 @@ mod tests {
         let b = IFair::fit(&x, &protected, &quick_config()).unwrap();
         assert_eq!(a.prototypes(), b.prototypes());
         assert_eq!(a.alpha(), b.alpha());
+    }
+
+    #[test]
+    fn transform_on_is_bit_identical_to_transform_for_every_pool_size() {
+        let (x, protected) = cluster_data();
+        let model = IFair::fit(&x, &protected, &quick_config()).unwrap();
+        // Stress the chunk layout: more rows than one 64-row chunk.
+        let mut rows = Vec::new();
+        for rep in 0..40 {
+            for i in 0..x.rows() {
+                let mut r = x.row(i).to_vec();
+                r[0] += rep as f64 * 1e-3;
+                rows.push(r);
+            }
+        }
+        let big = Matrix::from_rows(rows).unwrap();
+        let reference = model.transform(&big);
+        assert_eq!(model.transform_on(&big, None), reference);
+        for lanes in [1usize, 2, 4] {
+            let pool = par::WorkerPool::new(lanes);
+            let pooled = model.transform_on(&big, Some(&pool));
+            let ref_bits: Vec<u64> = reference.as_slice().iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u64> = pooled.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, ref_bits, "lanes={lanes}");
+        }
+        // Empty input round-trips to an empty output of the right width.
+        let empty = Matrix::zeros(0, model.n_features());
+        assert_eq!(model.transform_on(&empty, None).shape(), (0, 3));
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Micro-batching of concurrent inference requests.
+//!
+//! Connection handlers never run model math themselves: they enqueue a
+//! [`Job`] and block on its reply channel. A single batcher thread drains
+//! the queue, coalesces whatever is pending (up to `max_batch_rows` rows)
+//! into one stacked `Matrix` per `(model, op)` group, runs **one** pooled
+//! forward pass on the shared [`WorkerPool`], and scatters the row ranges
+//! back to their requesters. Because every stage of every artifact is
+//! row-independent, the stacked pass is bit-identical to running each
+//! request alone — batching is purely a throughput optimization.
+
+use crate::registry::LoadedModel;
+use ifair::core::par::WorkerPool;
+use ifair::linalg::Matrix;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which model call a job wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Map rows through the transform stages.
+    Transform,
+    /// Run the full chain and score with the terminal predictor.
+    Predict,
+}
+
+/// What a completed job hands back to its connection handler.
+#[derive(Debug)]
+pub(crate) enum JobOutput {
+    /// Transformed rows, one per input row.
+    Rows(Vec<Vec<f64>>),
+    /// `(predict_proba, predict)` of the terminal predictor.
+    Scored {
+        /// Continuous scores, one per input row.
+        scores: Vec<f64>,
+        /// Hard decisions, one per input row.
+        decisions: Vec<f64>,
+    },
+}
+
+/// One queued inference request.
+pub(crate) struct Job {
+    /// The model snapshot resolved at enqueue time — a reload swapping the
+    /// registry cannot invalidate a job already in flight.
+    pub model: Arc<LoadedModel>,
+    pub op: Op,
+    /// Validated, rectangular, non-empty rows.
+    pub rows: Vec<Vec<f64>>,
+    /// Per-row group membership (empty = all zeros).
+    pub group: Vec<u8>,
+    /// Where the result goes; capacity 1, so the batcher never blocks here.
+    pub reply: SyncSender<Result<JobOutput, String>>,
+}
+
+/// Spawns the batcher thread. Returns the job sender (clone one per worker)
+/// and the thread handle; the batcher exits when every sender is dropped.
+pub(crate) fn spawn_batcher(
+    pool: Arc<WorkerPool>,
+    queue_capacity: usize,
+    max_batch_rows: usize,
+) -> (SyncSender<Job>, JoinHandle<()>) {
+    let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
+    let handle = std::thread::Builder::new()
+        .name("ifair-serve-batcher".into())
+        .spawn(move || batcher_loop(&rx, &pool, max_batch_rows.max(1)))
+        .expect("spawning the batcher thread");
+    (tx, handle)
+}
+
+fn batcher_loop(rx: &Receiver<Job>, pool: &WorkerPool, max_batch_rows: usize) {
+    while let Ok(first) = rx.recv() {
+        let mut total = first.rows.len();
+        let mut jobs = vec![first];
+        // Opportunistic coalescing: take whatever is already queued, up to
+        // the row cap — no artificial latency is added waiting for peers.
+        while total < max_batch_rows {
+            match rx.try_recv() {
+                Ok(job) => {
+                    total += job.rows.len();
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        for group in group_jobs(jobs) {
+            execute_group(pool, group);
+        }
+    }
+}
+
+/// Groups jobs by `(model snapshot, op)`, preserving arrival order — only
+/// requests against the same loaded artifact and endpoint can share a
+/// forward pass.
+fn group_jobs(jobs: Vec<Job>) -> Vec<Vec<Job>> {
+    let mut groups: Vec<((*const LoadedModel, Op), Vec<Job>)> = Vec::new();
+    for job in jobs {
+        let key = (Arc::as_ptr(&job.model), job.op);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Stacks a group into one matrix, runs one pooled pass, scatters replies.
+fn execute_group(pool: &WorkerPool, mut jobs: Vec<Job>) {
+    let model = Arc::clone(&jobs[0].model);
+    let op = jobs[0].op;
+    let sizes: Vec<usize> = jobs.iter().map(|j| j.rows.len()).collect();
+    let mut stacked = Vec::with_capacity(sizes.iter().sum());
+    let mut group = Vec::with_capacity(stacked.capacity());
+    for (job, &size) in jobs.iter_mut().zip(&sizes) {
+        // Move, don't clone: the jobs own their rows and the scatter below
+        // only touches the reply channels.
+        stacked.append(&mut job.rows);
+        if job.group.is_empty() {
+            group.extend(std::iter::repeat_n(0u8, size));
+        } else {
+            group.append(&mut job.group);
+        }
+    }
+
+    // The handlers validated shape and capability, so failures here are
+    // defensive; a panic must not kill the batcher (it would starve every
+    // future request), so trap it and report a 500 instead.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let matrix = Matrix::from_rows(stacked).map_err(|e| e.to_string())?;
+        match op {
+            Op::Transform => model
+                .artifact
+                .transform(matrix, group, Some(pool))
+                .map(BatchOutput::Matrix)
+                .map_err(|e| e.to_string()),
+            Op::Predict => model
+                .artifact
+                .predict(matrix, group, Some(pool))
+                .map(|(scores, decisions)| BatchOutput::Scored { scores, decisions })
+                .map_err(|e| e.to_string()),
+        }
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("unknown panic");
+        Err(format!("internal error during batch execution: {msg}"))
+    });
+
+    match result {
+        Ok(output) => scatter(jobs, &sizes, &output),
+        Err(msg) => {
+            for job in &jobs {
+                // A requester that gave up (timed out, disconnected) just
+                // drops its receiver; ignore the dead letter.
+                let _ = job.reply.send(Err(msg.clone()));
+            }
+        }
+    }
+}
+
+/// The stacked result of one batch, before scattering.
+enum BatchOutput {
+    Matrix(Matrix),
+    Scored {
+        scores: Vec<f64>,
+        decisions: Vec<f64>,
+    },
+}
+
+/// Splits the stacked output back into per-job row ranges, in job order.
+fn scatter(jobs: Vec<Job>, sizes: &[usize], output: &BatchOutput) {
+    let mut offset = 0usize;
+    for (job, &size) in jobs.iter().zip(sizes) {
+        let out = match output {
+            BatchOutput::Matrix(m) => {
+                JobOutput::Rows((offset..offset + size).map(|i| m.row(i).to_vec()).collect())
+            }
+            BatchOutput::Scored { scores, decisions } => JobOutput::Scored {
+                scores: scores[offset..offset + size].to_vec(),
+                decisions: decisions[offset..offset + size].to_vec(),
+            },
+        };
+        let _ = job.reply.send(Ok(out));
+        offset += size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Artifact;
+    use ifair::core::{IFair, IFairConfig};
+    use std::path::PathBuf;
+
+    fn loaded_model(seed: u64) -> Arc<LoadedModel> {
+        let x = Matrix::from_rows(
+            (0..16)
+                .map(|i| vec![i as f64 / 16.0, 1.0 - i as f64 / 16.0, (i % 2) as f64])
+                .collect(),
+        )
+        .unwrap();
+        let config = IFairConfig {
+            k: 2,
+            max_iters: 10,
+            n_restarts: 1,
+            seed,
+            ..Default::default()
+        };
+        let model = IFair::fit(&x, &[false, false, true], &config).unwrap();
+        Arc::new(LoadedModel {
+            name: "m".into(),
+            path: PathBuf::from("in-memory"),
+            artifact: Artifact::Model(Box::new(model)),
+            generation: 1,
+        })
+    }
+
+    fn job(
+        model: &Arc<LoadedModel>,
+        rows: Vec<Vec<f64>>,
+    ) -> (Job, Receiver<Result<JobOutput, String>>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Job {
+                model: Arc::clone(model),
+                op: Op::Transform,
+                rows,
+                group: vec![],
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn stacked_batch_matches_individual_transforms_bitwise() {
+        let model = loaded_model(3);
+        let pool = WorkerPool::new(2);
+        let rows_a = vec![vec![0.1, 0.9, 0.0], vec![0.7, 0.3, 1.0]];
+        let rows_b = vec![vec![0.5, 0.5, 1.0]];
+        let (job_a, rx_a) = job(&model, rows_a.clone());
+        let (job_b, rx_b) = job(&model, rows_b.clone());
+        execute_group(&pool, vec![job_a, job_b]);
+
+        let expect = |rows: Vec<Vec<f64>>| {
+            let m = match &model.artifact {
+                Artifact::Model(m) => m,
+                _ => unreachable!(),
+            };
+            let out = m.transform(&Matrix::from_rows(rows).unwrap());
+            (0..out.rows())
+                .map(|i| out.row(i).to_vec())
+                .collect::<Vec<_>>()
+        };
+        match rx_a.recv().unwrap().unwrap() {
+            JobOutput::Rows(rows) => assert_eq!(rows, expect(rows_a)),
+            other => panic!("unexpected output {other:?}"),
+        }
+        match rx_b.recv().unwrap().unwrap() {
+            JobOutput::Rows(rows) => assert_eq!(rows, expect(rows_b)),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groups_split_by_model_and_op() {
+        let a = loaded_model(1);
+        let b = loaded_model(2);
+        let (ja, _ra) = job(&a, vec![vec![0.0; 3]]);
+        let (jb, _rb) = job(&b, vec![vec![0.0; 3]]);
+        let (ja2, _ra2) = job(&a, vec![vec![1.0; 3]]);
+        let groups = group_jobs(vec![ja, jb, ja2]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2, "same-model jobs coalesce");
+        assert_eq!(groups[1].len(), 1);
+    }
+
+    #[test]
+    fn batcher_thread_drains_and_exits_on_disconnect() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let (tx, handle) = spawn_batcher(pool, 8, 64);
+        let model = loaded_model(5);
+        let (job, rx) = job(&model, vec![vec![0.2, 0.8, 1.0]]);
+        tx.send(job).unwrap();
+        assert!(matches!(rx.recv().unwrap(), Ok(JobOutput::Rows(_))));
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn predict_on_bare_model_reports_an_error_not_a_crash() {
+        let pool = WorkerPool::new(1);
+        let model = loaded_model(7);
+        let (tx, rx) = sync_channel(1);
+        execute_group(
+            &pool,
+            vec![Job {
+                model,
+                op: Op::Predict,
+                rows: vec![vec![0.1, 0.2, 1.0]],
+                group: vec![],
+                reply: tx,
+            }],
+        );
+        let err = rx.recv().unwrap().unwrap_err();
+        assert!(err.contains("no predictor"));
+    }
+}

@@ -1,0 +1,68 @@
+//! A minimal loopback HTTP client.
+//!
+//! Exists so the e2e tests, the serving benchmark, and the
+//! `serve_and_query` example can talk to a running server without an
+//! external `curl` — and doubles as executable documentation of the wire
+//! format. One request per connection, matching the server's
+//! `Connection: close` discipline.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Sends one request and returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// `GET path` against a server.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Splits a raw HTTP/1.1 response into `(status, body)`.
+fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
+    let body = match raw.find("\r\n\r\n") {
+        Some(i) => &raw[i + 4..],
+        None => raw.find("\n\n").map(|i| &raw[i + 2..])?,
+    };
+    Some((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hi");
+        assert!(parse_response("garbage").is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! The serving crate's typed error.
+
+use ifair::api::FitError;
+
+/// Everything that can go wrong bringing a server up or reloading artifacts.
+///
+/// Request-time failures never surface here — they become HTTP status codes
+/// on the wire; `ServeError` covers the operator-facing lifecycle (binding
+/// sockets, reading artifact files, decoding models).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or file I/O failed; the string names what was being touched.
+    Io {
+        /// What the server was doing (e.g. the path being read).
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An artifact file exists but does not decode into a servable model.
+    Artifact {
+        /// Path of the offending artifact file.
+        path: String,
+        /// The decode failure.
+        source: FitError,
+    },
+    /// The server or registry configuration is unusable.
+    Config(String),
+}
+
+impl ServeError {
+    /// Wraps an I/O error with the path/operation it occurred on.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> ServeError {
+        ServeError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Artifact { path, source } => {
+                write!(f, "cannot load artifact `{path}`: {source}")
+            }
+            ServeError::Config(msg) => write!(f, "invalid serving configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Artifact { source, .. } => Some(source),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failing_piece() {
+        let e = ServeError::io(
+            "reading model.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("model.json"));
+        let e = ServeError::Config("no models".into());
+        assert!(e.to_string().contains("no models"));
+    }
+}

@@ -1,0 +1,233 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! The offline toolchain has no hyper/axum, and the server needs only a
+//! sliver of the protocol: parse one request (method, path, headers,
+//! `Content-Length`-delimited body) and write one response, then close the
+//! connection (`Connection: close` on every reply). Chunked encoding,
+//! keep-alive, and multipart are out of scope by design — `curl` and every
+//! HTTP client library speak this subset natively.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on request bodies — far above any sane inference batch, low
+/// enough that a misbehaving client cannot balloon server memory.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Upper bound on the header section (request line + headers).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query, no percent-decoding).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 text, or an error message suitable for a 400.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("request body is not valid UTF-8".into()))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed mid-read.
+    Io(std::io::Error),
+    /// The peer closed the connection before sending a request line.
+    Closed,
+    /// The bytes on the wire are not the HTTP subset this server speaks.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error reading request: {e}"),
+            HttpError::Closed => write!(f, "connection closed before a request arrived"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `reader` (a buffered socket).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    // Hard-cap the header section at the reader level: `read_line` buffers
+    // until it sees a newline, so without the `take` a client streaming
+    // gigabytes of newline-free bytes would grow a worker's memory without
+    // limit before any length check could run. Hitting the cap makes the
+    // reads below see EOF, which the existing error paths handle.
+    let mut head = <&mut _ as std::io::Read>::take(&mut *reader, MAX_HEADER_BYTES as u64);
+    let mut line = String::new();
+    let n = head.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), p.to_string(), v)
+        }
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line: {:?}",
+                line.trim_end()
+            )))
+        }
+    };
+    let _ = version;
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = head.read_line(&mut header)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed (or header section too large) mid-headers".into(),
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().map_err(|_| {
+                    HttpError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// The reason phrase of the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response (status line, `Content-Length`,
+/// `Connection: close`, body) and flushes.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /v1/models/m/transform HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/models/m/transform");
+        assert_eq!(req.body_utf8().unwrap(), "hello");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_tolerates_lf_only() {
+        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn content_length_is_case_insensitive() {
+        let req = parse("POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(parse(&huge), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn newline_free_floods_are_cut_off_at_the_header_cap() {
+        // A request line with no newline at all must fail once the cap is
+        // reached instead of buffering the whole stream.
+        let flood = "A".repeat(MAX_HEADER_BYTES * 2);
+        assert!(matches!(parse(&flood), Err(HttpError::Malformed(_))));
+        // Same for an endless header after a valid request line.
+        let flood = format!(
+            "POST / HTTP/1.1\r\nX-Junk: {}",
+            "j".repeat(MAX_HEADER_BYTES * 2)
+        );
+        assert!(matches!(parse(&flood), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_carries_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # `ifair-serve` — online inference for fitted iFair artifacts
+//!
+//! The workspace can fit and persist schema-versioned [`ifair::Pipeline`]
+//! and [`ifair::core::IFair`] artifacts; this crate serves them over HTTP:
+//!
+//! | endpoint | effect |
+//! |----------|--------|
+//! | `POST /v1/models/{name}/transform` | map rows through the transform stages |
+//! | `POST /v1/models/{name}/predict`   | full chain + terminal predictor scores |
+//! | `GET /healthz`                     | liveness + loaded model names |
+//! | `GET /metrics`                     | Prometheus text: counts, p50/p99 latency |
+//! | `POST /admin/reload`               | re-read every artifact file, swap atomically |
+//!
+//! The stack is `std`-only (no tokio/hyper — crates.io is unreachable from
+//! this build environment): a `TcpListener` accept loop feeds a **bounded**
+//! connection queue (full ⇒ `503`), HTTP worker threads parse and validate,
+//! and a single batcher thread coalesces concurrent requests into one
+//! stacked matrix per `(model, op)` before **one** forward pass on the
+//! shared [`ifair::core::par::WorkerPool`]. Every stage is row-independent,
+//! so micro-batching — and the pool size — never changes a single bit of
+//! any response relative to the in-process `Pipeline::transform` /
+//! `predict` calls.
+//!
+//! Hot reload swaps the registry map behind an `RwLock`; requests in flight
+//! hold `Arc` snapshots of the model they resolved, so a reload never drops
+//! or garbles a response.
+//!
+//! ```no_run
+//! use ifair_serve::{ModelRegistry, ModelSpec, Server, ServerConfig};
+//!
+//! let registry = ModelRegistry::load(vec![ModelSpec::parse("credit=model.json")?])?;
+//! let server = Server::bind("127.0.0.1:8080", registry, ServerConfig::default())?;
+//! println!("serving on {}", server.addr());
+//! server.spawn().wait();
+//! # Ok::<(), ifair_serve::ServeError>(())
+//! ```
+//!
+//! The `ifair` binary wraps this as `ifair serve --model path.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+mod batch;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use artifact::Artifact;
+pub use error::ServeError;
+pub use metrics::Metrics;
+pub use registry::{LoadedModel, ModelRegistry, ModelSpec, ReloadReport};
+pub use server::{Server, ServerConfig, ServerHandle};

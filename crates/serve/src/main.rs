@@ -1,0 +1,178 @@
+//! The `ifair` command-line front end.
+//!
+//! ```sh
+//! # Serve one or more fitted artifacts:
+//! ifair serve --model credit=model.json --addr 127.0.0.1:8080 --threads 4
+//!
+//! # Write a small demo pipeline artifact (used by the CI smoke job and the
+//! # serving guide in the README):
+//! ifair demo-artifact demo.json
+//! ```
+
+use ifair::core::IFairConfig;
+use ifair::data::Dataset;
+use ifair::linalg::Matrix;
+use ifair::Pipeline;
+use ifair_serve::{ModelRegistry, ModelSpec, ServeError, Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  ifair serve --model [name=]path.json [--model ...] [--addr HOST:PORT]
+              [--threads N] [--http-workers N] [--queue-capacity N]
+              [--max-batch-rows N] [--addr-file PATH]
+  ifair demo-artifact <out.json>
+
+`--addr` defaults to 127.0.0.1:8080; port 0 picks an ephemeral port.
+`--threads 0` (default) sizes the forward-pass pool to the hardware.
+`--addr-file` writes the bound address to PATH once listening (for scripts
+that need to discover an ephemeral port).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("demo-artifact") => demo_artifact(&args[1..]),
+        _ => Err(ServeError::Config(format!(
+            "unknown or missing subcommand\n{USAGE}"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ifair: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed `serve` flags.
+struct ServeArgs {
+    specs: Vec<ModelSpec>,
+    addr: String,
+    addr_file: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
+    let mut parsed = ServeArgs {
+        specs: Vec::new(),
+        addr: "127.0.0.1:8080".into(),
+        addr_file: None,
+        config: ServerConfig::default(),
+    };
+    let mut iter = args.iter();
+    let value = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| ServeError::Config(format!("{flag} needs a value")))
+    };
+    let parse_usize = |flag: &str, raw: String| {
+        raw.parse::<usize>()
+            .map_err(|_| ServeError::Config(format!("{flag} expects an integer, got `{raw}`")))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--model" => parsed
+                .specs
+                .push(ModelSpec::parse(&value("--model", &mut iter)?)?),
+            "--addr" => parsed.addr = value("--addr", &mut iter)?,
+            "--addr-file" => parsed.addr_file = Some(value("--addr-file", &mut iter)?),
+            "--threads" => {
+                parsed.config.n_threads = parse_usize("--threads", value("--threads", &mut iter)?)?
+            }
+            "--http-workers" => {
+                parsed.config.http_workers =
+                    parse_usize("--http-workers", value("--http-workers", &mut iter)?)?
+            }
+            "--queue-capacity" => {
+                parsed.config.queue_capacity =
+                    parse_usize("--queue-capacity", value("--queue-capacity", &mut iter)?)?
+            }
+            "--max-batch-rows" => {
+                parsed.config.max_batch_rows =
+                    parse_usize("--max-batch-rows", value("--max-batch-rows", &mut iter)?)?
+            }
+            other => {
+                return Err(ServeError::Config(format!(
+                    "unknown flag `{other}`\n{USAGE}"
+                )))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn serve(args: &[String]) -> Result<(), ServeError> {
+    let args = parse_serve_args(args)?;
+    let registry = ModelRegistry::load(args.specs)?;
+    let names = registry.names();
+    let server = Server::bind(&args.addr, registry, args.config.clone())?;
+    let addr = server.addr();
+    println!("ifair-serve listening on http://{addr}");
+    println!("  models: {}", names.join(", "));
+    println!("  pool threads: {} (0 = hardware)", args.config.n_threads);
+    println!("  try: curl http://{addr}/healthz");
+    if let Some(path) = &args.addr_file {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| ServeError::io(format!("writing --addr-file {path}"), e))?;
+    }
+    server.spawn().wait();
+    Ok(())
+}
+
+/// Fits a small, fully deterministic demo pipeline (scale → iFair →
+/// logistic regression, 3 input features) and writes its artifact.
+fn demo_artifact(args: &[String]) -> Result<(), ServeError> {
+    let [out] = args else {
+        return Err(ServeError::Config(format!(
+            "demo-artifact takes exactly one output path\n{USAGE}"
+        )));
+    };
+    let ds = demo_dataset();
+    let pipeline = Pipeline::builder()
+        .standard_scaler()
+        .ifair(IFairConfig {
+            k: 3,
+            max_iters: 40,
+            n_restarts: 1,
+            ..Default::default()
+        })
+        .logistic_regression_default()
+        .fit(&ds)
+        .map_err(|e| ServeError::Config(format!("fitting the demo pipeline: {e}")))?;
+    let json = pipeline
+        .to_json()
+        .map_err(|e| ServeError::Config(format!("serializing the demo pipeline: {e}")))?;
+    std::fs::write(out, &json).map_err(|e| ServeError::io(format!("writing {out}"), e))?;
+    println!("wrote demo pipeline artifact to {out}");
+    println!("  input width: 3 features ([qualification, experience, gender])");
+    println!("  serve it:    ifair serve --model demo={out} --addr 127.0.0.1:8080");
+    println!(
+        "  query it:    curl -s -X POST http://127.0.0.1:8080/v1/models/demo/transform \\\n               -d '{{\"rows\":[[0.9,0.4,1.0],[0.9,0.4,0.0]]}}'"
+    );
+    Ok(())
+}
+
+/// Deterministic synthetic applicants: [qualification, experience, gender],
+/// gender protected, outcome correlated with qualification.
+fn demo_dataset() -> Dataset {
+    let m = 64;
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            let q = (i % 8) as f64 / 8.0;
+            let e = ((i * 3 + 1) % 10) as f64 / 10.0;
+            vec![q, e, (i % 2) as f64]
+        })
+        .collect();
+    let labels: Vec<f64> = (0..m)
+        .map(|i| f64::from((i % 8) as f64 / 8.0 + ((i * 3 + 1) % 10) as f64 / 20.0 > 0.6))
+        .collect();
+    Dataset::new(
+        Matrix::from_rows(rows).expect("rectangular demo data"),
+        vec!["qualification".into(), "experience".into(), "gender".into()],
+        vec![false, false, true],
+        Some(labels),
+        (0..m).map(|i| (i % 2) as u8).collect(),
+    )
+    .expect("consistent demo dataset")
+}

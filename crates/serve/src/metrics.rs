@@ -1,0 +1,226 @@
+//! Request counters and latency percentiles, scraped as Prometheus text.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of recent request latencies retained for percentile estimation.
+/// A fixed ring keeps the metrics path allocation-free after warm-up and
+/// makes the percentiles a sliding window over recent traffic.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Counters shared by every connection handler; scraped by `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    transform_requests: AtomicU64,
+    predict_requests: AtomicU64,
+    rows_served: AtomicU64,
+    errors_total: AtomicU64,
+    rejected_total: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+/// Fixed-capacity ring of latency samples in nanoseconds.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, ns: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(ns);
+        } else {
+            self.samples[self.next] = ns;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// `(p50, p99)` over the retained window, in nanoseconds.
+    fn percentiles(&self) -> Option<(u64, u64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        Some((at(0.50), at(0.99)))
+    }
+}
+
+/// Which endpoint a request hit, for per-endpoint counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/models/{name}/transform`
+    Transform,
+    /// `POST /v1/models/{name}/predict`
+    Predict,
+    /// Everything else (`/healthz`, `/metrics`, `/admin/reload`, 404s).
+    Other,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one completed request: endpoint, rows returned, wall-clock
+    /// latency, and response status.
+    pub fn observe(&self, endpoint: Endpoint, rows: usize, latency: Duration, status: u16) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        match endpoint {
+            Endpoint::Transform => self.transform_requests.fetch_add(1, Ordering::Relaxed),
+            Endpoint::Predict => self.predict_requests.fetch_add(1, Ordering::Relaxed),
+            Endpoint::Other => 0,
+        };
+        if rows > 0 {
+            self.rows_served.fetch_add(rows as u64, Ordering::Relaxed);
+        }
+        if status >= 400 {
+            self.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.latencies
+            .lock()
+            .expect("latency ring poisoned")
+            .push(ns);
+    }
+
+    /// Counts one connection shed with a 503 because the accept queue was
+    /// full (such connections never reach [`Metrics::observe`]).
+    pub fn observe_rejected(&self) {
+        self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests handled so far (any endpoint, any status).
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Total data rows returned by transform/predict responses.
+    pub fn rows_served(&self) -> u64 {
+        self.rows_served.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition served at `GET /metrics`.
+    /// `models_loaded` and `generation` come from the registry.
+    pub fn render(&self, models_loaded: usize, generation: u64) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "ifair_requests_total",
+            "HTTP requests handled.",
+            self.requests_total(),
+        );
+        counter(
+            "ifair_transform_requests_total",
+            "Transform requests handled.",
+            self.transform_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_predict_requests_total",
+            "Predict requests handled.",
+            self.predict_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_rows_served_total",
+            "Data rows returned by transform/predict responses.",
+            self.rows_served(),
+        );
+        counter(
+            "ifair_request_errors_total",
+            "Requests answered with a 4xx/5xx status.",
+            self.errors_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_requests_rejected_total",
+            "Connections shed with 503 because the accept queue was full.",
+            self.rejected_total.load(Ordering::Relaxed),
+        );
+        out.push_str(&format!(
+            "# HELP ifair_models_loaded Artifacts currently loaded.\n# TYPE ifair_models_loaded gauge\nifair_models_loaded {models_loaded}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP ifair_registry_generation Monotone registry version, bumped by reloads.\n# TYPE ifair_registry_generation gauge\nifair_registry_generation {generation}\n"
+        ));
+        let window = self.latencies.lock().expect("latency ring poisoned");
+        out.push_str(
+            "# HELP ifair_request_latency_seconds Request latency over a sliding window.\n# TYPE ifair_request_latency_seconds summary\n",
+        );
+        if let Some((p50, p99)) = window.percentiles() {
+            out.push_str(&format!(
+                "ifair_request_latency_seconds{{quantile=\"0.5\"}} {}\n",
+                p50 as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "ifair_request_latency_seconds{{quantile=\"0.99\"}} {}\n",
+                p99 as f64 / 1e9
+            ));
+        }
+        out.push_str(&format!(
+            "ifair_request_latency_seconds_count {}\n",
+            window.samples.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Transform, 8, Duration::from_micros(100), 200);
+        m.observe(Endpoint::Predict, 2, Duration::from_micros(300), 200);
+        m.observe(Endpoint::Other, 0, Duration::from_micros(50), 404);
+        m.observe_rejected();
+        assert_eq!(m.requests_total(), 3);
+        assert_eq!(m.rows_served(), 10);
+        let text = m.render(2, 7);
+        assert!(text.contains("ifair_requests_total 3"));
+        assert!(text.contains("ifair_transform_requests_total 1"));
+        assert!(text.contains("ifair_predict_requests_total 1"));
+        assert!(text.contains("ifair_rows_served_total 10"));
+        assert!(text.contains("ifair_request_errors_total 1"));
+        assert!(text.contains("ifair_requests_rejected_total 1"));
+        assert!(text.contains("ifair_models_loaded 2"));
+        assert!(text.contains("ifair_registry_generation 7"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("ifair_request_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn percentiles_track_the_window() {
+        let ring = {
+            let mut r = LatencyRing::default();
+            for ns in 1..=100u64 {
+                r.push(ns);
+            }
+            r
+        };
+        let (p50, p99) = ring.percentiles().unwrap();
+        assert_eq!(p50, 51); // round(99 * 0.5) = 50 -> sorted[50] = 51
+        assert_eq!(p99, 99);
+        assert!(LatencyRing::default().percentiles().is_none());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let mut r = LatencyRing::default();
+        for ns in 0..(LATENCY_WINDOW as u64 + 10) {
+            r.push(ns);
+        }
+        assert_eq!(r.samples.len(), LATENCY_WINDOW);
+        // The first ten slots now hold the newest samples.
+        assert_eq!(r.samples[0], LATENCY_WINDOW as u64);
+    }
+}

@@ -1,0 +1,307 @@
+//! The model registry: named, versioned, hot-reloadable artifacts.
+//!
+//! A registry maps model names to loaded [`Artifact`]s and remembers where
+//! each came from, so `POST /admin/reload` can re-read every file and swap
+//! the whole map atomically. In-flight requests keep serving the snapshot
+//! they resolved (`Arc<LoadedModel>`), so a reload never drops or garbles a
+//! response; a reload that fails to load *any* file changes nothing.
+
+use crate::artifact::Artifact;
+use crate::error::ServeError;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Where a named model comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// The name the model is served under (`/v1/models/{name}/...`).
+    pub name: String,
+    /// The artifact file backing it.
+    pub path: PathBuf,
+}
+
+impl ModelSpec {
+    /// Parses a `--model` argument: either `name=path.json` or a bare
+    /// `path.json` (the file stem becomes the name).
+    pub fn parse(arg: &str) -> Result<ModelSpec, ServeError> {
+        let (name, path) = match arg.split_once('=') {
+            Some((name, path)) => (name.to_string(), PathBuf::from(path)),
+            None => {
+                let path = PathBuf::from(arg);
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        ServeError::Config(format!("cannot derive a model name from `{arg}`"))
+                    })?;
+                (stem, path)
+            }
+        };
+        if name.is_empty() || name.contains('/') {
+            return Err(ServeError::Config(format!(
+                "model name `{name}` must be non-empty and slash-free"
+            )));
+        }
+        Ok(ModelSpec { name, path })
+    }
+}
+
+/// One loaded artifact, pinned to the registry generation that loaded it.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// The serving name.
+    pub name: String,
+    /// The file the artifact was read from.
+    pub path: PathBuf,
+    /// The decoded artifact.
+    pub artifact: Artifact,
+    /// Registry generation this snapshot belongs to (1 = initial load).
+    pub generation: u64,
+}
+
+/// Outcome of a successful [`ModelRegistry::reload`].
+#[derive(Debug, Clone)]
+pub struct ReloadReport {
+    /// The new registry generation.
+    pub generation: u64,
+    /// The names reloaded, sorted.
+    pub models: Vec<String>,
+}
+
+/// Thread-safe map of serving names to loaded artifacts.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    specs: Vec<ModelSpec>,
+    models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+    generation: AtomicU64,
+    reloads: AtomicU64,
+    /// Serializes reloads so two concurrent `/admin/reload`s cannot
+    /// interleave their load-then-swap sequences.
+    reload_lock: Mutex<()>,
+}
+
+impl ModelRegistry {
+    /// Loads every spec from disk; fails if any file is missing/invalid or
+    /// two specs share a name.
+    pub fn load(specs: Vec<ModelSpec>) -> Result<ModelRegistry, ServeError> {
+        if specs.is_empty() {
+            return Err(ServeError::Config(
+                "a server needs at least one --model".into(),
+            ));
+        }
+        let mut seen = HashMap::new();
+        for spec in &specs {
+            if let Some(prev) = seen.insert(spec.name.clone(), &spec.path) {
+                return Err(ServeError::Config(format!(
+                    "model name `{}` is declared twice ({} and {})",
+                    spec.name,
+                    prev.display(),
+                    spec.path.display()
+                )));
+            }
+        }
+        let models = load_all(&specs, 1)?;
+        Ok(ModelRegistry {
+            specs,
+            models: RwLock::new(models),
+            generation: AtomicU64::new(1),
+            reloads: AtomicU64::new(0),
+            reload_lock: Mutex::new(()),
+        })
+    }
+
+    /// The current snapshot of `name`, if loaded.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+        self.models
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Sorted names of the loaded models.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// `true` when no model is loaded (unreachable via [`ModelRegistry::load`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current registry generation (1 after the initial load, +1 per
+    /// successful reload).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Number of successful reloads.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::SeqCst)
+    }
+
+    /// Re-reads every artifact file and swaps the whole map atomically.
+    ///
+    /// All files are loaded **before** the write lock is taken, so requests
+    /// keep flowing during the (potentially slow) decode, and a failure
+    /// leaves the previous generation fully intact.
+    pub fn reload(&self) -> Result<ReloadReport, ServeError> {
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let generation = self.generation() + 1;
+        let fresh = load_all(&self.specs, generation)?;
+        let mut models = fresh.keys().cloned().collect::<Vec<_>>();
+        models.sort();
+        *self.models.write().expect("registry lock poisoned") = fresh;
+        self.generation.store(generation, Ordering::SeqCst);
+        self.reloads.fetch_add(1, Ordering::SeqCst);
+        Ok(ReloadReport { generation, models })
+    }
+}
+
+/// Loads every spec, tagging the snapshots with `generation`.
+fn load_all(
+    specs: &[ModelSpec],
+    generation: u64,
+) -> Result<HashMap<String, Arc<LoadedModel>>, ServeError> {
+    let mut models = HashMap::with_capacity(specs.len());
+    for spec in specs {
+        models.insert(spec.name.clone(), Arc::new(load_one(spec, generation)?));
+    }
+    Ok(models)
+}
+
+/// Reads and decodes one artifact file.
+fn load_one(spec: &ModelSpec, generation: u64) -> Result<LoadedModel, ServeError> {
+    let json = read_artifact(&spec.path)?;
+    let artifact = Artifact::from_json(&json).map_err(|source| ServeError::Artifact {
+        path: spec.path.display().to_string(),
+        source,
+    })?;
+    Ok(LoadedModel {
+        name: spec.name.clone(),
+        path: spec.path.clone(),
+        artifact,
+        generation,
+    })
+}
+
+/// Reads an artifact file to a string with a path-bearing error.
+pub fn read_artifact(path: &Path) -> Result<String, ServeError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| ServeError::io(format!("reading artifact `{}`", path.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifair::core::{IFair, IFairConfig};
+    use ifair::linalg::Matrix;
+
+    fn tiny_model_json(seed: u64) -> String {
+        let x = Matrix::from_rows(
+            (0..12)
+                .map(|i| vec![i as f64 / 12.0, 1.0 - i as f64 / 12.0, (i % 2) as f64])
+                .collect(),
+        )
+        .unwrap();
+        let config = IFairConfig {
+            k: 2,
+            max_iters: 10,
+            n_restarts: 1,
+            seed,
+            ..Default::default()
+        };
+        IFair::fit(&x, &[false, false, true], &config)
+            .unwrap()
+            .to_json()
+            .unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ifair-serve-registry-{tag}-{}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn spec_parsing_accepts_both_forms() {
+        let s = ModelSpec::parse("credit=/tmp/credit.json").unwrap();
+        assert_eq!(s.name, "credit");
+        assert_eq!(s.path, PathBuf::from("/tmp/credit.json"));
+        let s = ModelSpec::parse("/tmp/census_v3.json").unwrap();
+        assert_eq!(s.name, "census_v3");
+        assert!(ModelSpec::parse("=path.json").is_err());
+        assert!(ModelSpec::parse("a/b=path.json").is_err());
+    }
+
+    #[test]
+    fn load_get_and_reload_swap_generations() {
+        let path = temp_path("reload");
+        std::fs::write(&path, tiny_model_json(1)).unwrap();
+        let registry = ModelRegistry::load(vec![ModelSpec {
+            name: "m".into(),
+            path: path.clone(),
+        }])
+        .unwrap();
+        assert_eq!(registry.names(), vec!["m".to_string()]);
+        assert_eq!(registry.generation(), 1);
+        let before = registry.get("m").unwrap();
+        assert_eq!(before.generation, 1);
+        assert!(registry.get("nope").is_none());
+
+        // Rewrite the file with a different seed and reload: new snapshot,
+        // old Arc still usable.
+        std::fs::write(&path, tiny_model_json(2)).unwrap();
+        let report = registry.reload().unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(registry.reloads(), 1);
+        let after = registry.get("m").unwrap();
+        assert_eq!(after.generation, 2);
+        assert_eq!(before.generation, 1, "in-flight snapshot untouched");
+
+        // A broken file fails the reload and keeps the old generation.
+        std::fs::write(&path, "{broken").unwrap();
+        assert!(registry.reload().is_err());
+        assert_eq!(registry.generation(), 2);
+        assert_eq!(registry.get("m").unwrap().generation, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_names_and_empty_registries_are_rejected() {
+        assert!(ModelRegistry::load(vec![]).is_err());
+        let spec = |p: &str| ModelSpec {
+            name: "m".into(),
+            path: PathBuf::from(p),
+        };
+        let err = ModelRegistry::load(vec![spec("a.json"), spec("b.json")]).unwrap_err();
+        assert!(err.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn missing_file_errors_carry_the_path() {
+        let err = ModelRegistry::load(vec![ModelSpec {
+            name: "m".into(),
+            path: PathBuf::from("/definitely/not/here.json"),
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("/definitely/not/here.json"));
+    }
+}

@@ -1,0 +1,593 @@
+//! The HTTP inference server: accept loop, worker threads, routing.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! ```text
+//! accept loop ──try_send──▶ bounded connection queue (503 when full)
+//!                                   │
+//!                     http workers (N threads, shared receiver)
+//!                parse request ─▶ validate ─▶ enqueue Job ─▶ wait reply
+//!                                   │
+//!                          batcher (1 thread)
+//!        coalesce pending jobs ─▶ ONE pooled forward pass ─▶ scatter
+//!                                   │
+//!                   ifair_core::par::WorkerPool (n_threads lanes)
+//! ```
+//!
+//! Artifacts hot-reload via `POST /admin/reload`: the registry swap is
+//! atomic and in-flight jobs hold their own `Arc` snapshot, so no request
+//! is ever dropped or served a half-updated model.
+
+use crate::batch::{spawn_batcher, Job, JobOutput, Op};
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::ModelRegistry;
+use ifair::core::par::{resolve_threads, WorkerPool};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of [`Server::bind`]. The defaults suit a small container;
+/// every knob is exposed as an `ifair serve` flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool lanes for the forward pass; `0` = all hardware threads.
+    pub n_threads: usize,
+    /// Connection-handling threads (request parsing / response writing).
+    pub http_workers: usize,
+    /// Bounded queue of accepted-but-unhandled connections; when full, new
+    /// connections are shed with `503` instead of queueing unboundedly.
+    pub queue_capacity: usize,
+    /// Row cap of one micro-batch (coalesced across concurrent requests).
+    pub max_batch_rows: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            n_threads: 0,
+            http_workers: 4,
+            queue_capacity: 128,
+            max_batch_rows: 512,
+        }
+    }
+}
+
+/// How long a handler waits for the batcher before giving up with a 500.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-connection socket read timeout (slowloris guard).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-connection socket write timeout (guards against clients that stop
+/// reading their response).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A bound-but-not-yet-running server. [`Server::spawn`] starts the threads.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<ModelRegistry>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:8080"`, or port `0` for an ephemeral
+    /// port) over an already-loaded registry.
+    pub fn bind(
+        addr: &str,
+        registry: ModelRegistry,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| ServeError::io(format!("binding {addr}"), e))?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(registry),
+            config,
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("a bound listener has a local address")
+    }
+
+    /// Starts the accept loop, HTTP workers and batcher; returns a handle
+    /// for introspection and shutdown.
+    pub fn spawn(self) -> ServerHandle {
+        let Server {
+            listener,
+            registry,
+            config,
+        } = self;
+        let addr = listener.local_addr().expect("bound listener");
+        let metrics = Arc::new(Metrics::new());
+        let pool = Arc::new(WorkerPool::new(resolve_threads(config.n_threads)));
+        let (job_tx, batcher) = spawn_batcher(
+            Arc::clone(&pool),
+            config.queue_capacity,
+            config.max_batch_rows,
+        );
+
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(config.http_workers.max(1));
+        for w in 0..config.http_workers.max(1) {
+            let conn_rx = Arc::clone(&conn_rx);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let job_tx = job_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ifair-serve-http-{w}"))
+                    .spawn(move || worker_loop(&conn_rx, &registry, &metrics, &job_tx))
+                    .expect("spawning an http worker"),
+            );
+        }
+        // Workers hold the only job senders: when they exit, the batcher's
+        // queue disconnects and it drains and exits too.
+        drop(job_tx);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("ifair-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &conn_tx, &shutdown, &metrics))
+                .expect("spawning the accept loop")
+        };
+
+        ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            batcher: Some(batcher),
+            registry,
+            metrics,
+        }
+    }
+}
+
+/// A running server: bound address, shared state, and orderly shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry the server serves from (shared — reloads through this
+    /// handle are visible to the server immediately).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The server's metrics counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Blocks the calling thread until the server stops (for the CLI, that
+    /// is effectively forever — processes are stopped by signal).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stop_threads();
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    /// Requests already in flight complete normally.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Accepts connections and feeds the bounded queue, shedding with 503 when
+/// the queue is full.
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    metrics: &Metrics,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => match conn_tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    metrics.observe_rejected();
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        b"{\"error\":\"request queue is full\"}",
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            // Transient accept errors (e.g. the peer vanished between
+            // accept and handshake) are not fatal to the server.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One HTTP worker: pop connections off the shared queue until it closes.
+fn worker_loop(
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    job_tx: &SyncSender<Job>,
+) {
+    loop {
+        let stream = conn_rx.lock().expect("connection queue poisoned").recv();
+        match stream {
+            Ok(stream) => handle_connection(stream, registry, metrics, job_tx),
+            Err(_) => break,
+        }
+    }
+}
+
+/// A fully-formed HTTP reply plus the bookkeeping the metrics need.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    endpoint: Endpoint,
+    /// Data rows in the response (transform/predict only).
+    rows: usize,
+}
+
+impl Reply {
+    fn json(status: u16, body: Vec<u8>, endpoint: Endpoint, rows: usize) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            body,
+            endpoint,
+            rows,
+        }
+    }
+
+    fn error(status: u16, endpoint: Endpoint, message: &str) -> Reply {
+        let body = serde_json::to_string(&ErrorResponse {
+            error: message.to_string(),
+        })
+        .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
+        Reply::json(status, body.into_bytes(), endpoint, 0)
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    job_tx: &SyncSender<Job>,
+) {
+    let start = Instant::now();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    // Without a write timeout, a client that stops reading its (possibly
+    // multi-megabyte) response would block this worker in write_all forever
+    // — a handful of such clients would wedge every worker.
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let request = {
+        let mut reader = BufReader::new(&mut stream);
+        read_request(&mut reader)
+    };
+    let reply = match request {
+        Ok(request) => dispatch(&request, registry, metrics, job_tx),
+        // Nothing arrived (health-checker port probe, client gave up):
+        // nothing to answer, nothing to count.
+        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+        Err(HttpError::TooLarge(_)) => Reply::error(413, Endpoint::Other, "request body too large"),
+        Err(HttpError::Malformed(msg)) => Reply::error(400, Endpoint::Other, &msg),
+    };
+    let _ = write_response(&mut stream, reply.status, reply.content_type, &reply.body);
+    metrics.observe(reply.endpoint, reply.rows, start.elapsed(), reply.status);
+}
+
+/// Routes one parsed request to its handler.
+fn dispatch(
+    request: &Request,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    job_tx: &SyncSender<Job>,
+) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => health(registry),
+        ("GET", "/metrics") => Reply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: metrics
+                .render(registry.len(), registry.generation())
+                .into_bytes(),
+            endpoint: Endpoint::Other,
+            rows: 0,
+        },
+        ("POST", "/admin/reload") => reload(registry),
+        // Known paths with the wrong method are 405, not 404 — and this arm
+        // must sit above the generic POST arm or `POST /healthz` would fall
+        // through to it and report "no route".
+        (_, path @ ("/healthz" | "/metrics" | "/admin/reload")) => Reply::error(
+            405,
+            Endpoint::Other,
+            &format!("{path} does not accept {}", request.method),
+        ),
+        ("POST", path) => match parse_model_path(path) {
+            Some((name, op)) => model_request(name, op, request, registry, job_tx),
+            None => Reply::error(404, Endpoint::Other, &format!("no route for {path}")),
+        },
+        (_, path) => Reply::error(404, Endpoint::Other, &format!("no route for {path}")),
+    }
+}
+
+/// Extracts `(name, op)` from `/v1/models/{name}/transform|predict`.
+fn parse_model_path(path: &str) -> Option<(&str, Op)> {
+    let rest = path.strip_prefix("/v1/models/")?;
+    let (name, op) = rest.split_once('/')?;
+    if name.is_empty() {
+        return None;
+    }
+    match op {
+        "transform" => Some((name, Op::Transform)),
+        "predict" => Some((name, Op::Predict)),
+        _ => None,
+    }
+}
+
+fn health(registry: &ModelRegistry) -> Reply {
+    let body = serde_json::to_string(&HealthResponse {
+        status: "ok".into(),
+        models: registry.names(),
+        generation: registry.generation(),
+    })
+    .expect("health response serializes");
+    Reply::json(200, body.into_bytes(), Endpoint::Other, 0)
+}
+
+fn reload(registry: &ModelRegistry) -> Reply {
+    match registry.reload() {
+        Ok(report) => {
+            let body = serde_json::to_string(&ReloadResponse {
+                generation: report.generation,
+                models: report.models,
+            })
+            .expect("reload response serializes");
+            Reply::json(200, body.into_bytes(), Endpoint::Other, 0)
+        }
+        Err(e) => Reply::error(500, Endpoint::Other, &format!("reload failed: {e}")),
+    }
+}
+
+/// Validates a transform/predict request, enqueues it, and waits for the
+/// batcher's reply.
+fn model_request(
+    name: &str,
+    op: Op,
+    request: &Request,
+    registry: &ModelRegistry,
+    job_tx: &SyncSender<Job>,
+) -> Reply {
+    let endpoint = match op {
+        Op::Transform => Endpoint::Transform,
+        Op::Predict => Endpoint::Predict,
+    };
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(e) => return Reply::error(400, endpoint, &e.to_string()),
+    };
+    let parsed: RowsRequest = match serde_json::from_str(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Reply::error(400, endpoint, &format!("invalid request body: {e}")),
+    };
+    if parsed.rows.is_empty() {
+        return Reply::error(400, endpoint, "request has no rows");
+    }
+    let width = parsed.rows[0].len();
+    if width == 0 || parsed.rows.iter().any(|r| r.len() != width) {
+        return Reply::error(400, endpoint, "rows must be non-empty and rectangular");
+    }
+    let Some(model) = registry.get(name) else {
+        return Reply::error(404, endpoint, &format!("no model named `{name}`"));
+    };
+    if let Some(expected) = model.artifact.n_input_features() {
+        if width != expected {
+            return Reply::error(
+                400,
+                endpoint,
+                &format!("rows have {width} features but model `{name}` expects {expected}"),
+            );
+        }
+    }
+    if op == Op::Predict && !model.artifact.has_predictor() {
+        return Reply::error(
+            400,
+            endpoint,
+            &format!("model `{name}` has no predictor stage; use transform"),
+        );
+    }
+    let group = parsed.group.unwrap_or_default();
+    if !group.is_empty() && group.len() != parsed.rows.len() {
+        return Reply::error(
+            400,
+            endpoint,
+            &format!(
+                "group has {} entries but the request has {} rows",
+                group.len(),
+                parsed.rows.len()
+            ),
+        );
+    }
+    // Reject out-of-range group labels here, per request: an LFR stage would
+    // reject them mid-batch, failing the whole coalesced micro-batch and
+    // punishing innocent co-batched requests with a 500.
+    if let Some(&bad) = group.iter().find(|&&g| g > 1) {
+        return Reply::error(
+            400,
+            endpoint,
+            &format!("group labels must be 0 or 1, got {bad}"),
+        );
+    }
+
+    let n_rows = parsed.rows.len();
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = Job {
+        model,
+        op,
+        rows: parsed.rows,
+        group,
+        reply: reply_tx,
+    };
+    if job_tx.send(job).is_err() {
+        return Reply::error(503, endpoint, "server is shutting down");
+    }
+    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(Ok(JobOutput::Rows(rows))) => {
+            let body = serde_json::to_string(&TransformResponse {
+                model: name.to_string(),
+                rows,
+            })
+            .expect("transform response serializes");
+            Reply::json(200, body.into_bytes(), endpoint, n_rows)
+        }
+        Ok(Ok(JobOutput::Scored { scores, decisions })) => {
+            let body = serde_json::to_string(&PredictResponse {
+                model: name.to_string(),
+                scores,
+                decisions,
+            })
+            .expect("predict response serializes");
+            Reply::json(200, body.into_bytes(), endpoint, n_rows)
+        }
+        Ok(Err(msg)) => Reply::error(500, endpoint, &msg),
+        Err(_) => Reply::error(500, endpoint, "inference timed out"),
+    }
+}
+
+// ----------------------------------------------------------------- wire types
+
+/// Body of `POST /v1/models/{name}/transform` and `.../predict`.
+#[derive(Debug, Deserialize)]
+struct RowsRequest {
+    /// Feature rows, all of the model's input width.
+    rows: Vec<Vec<f64>>,
+    /// Optional per-row protected-group membership (0/1); only the LFR
+    /// stage reads it. Defaults to all zeros.
+    #[serde(default)]
+    group: Option<Vec<u8>>,
+}
+
+/// Body of a successful transform response.
+#[derive(Debug, Serialize)]
+struct TransformResponse {
+    model: String,
+    rows: Vec<Vec<f64>>,
+}
+
+/// Body of a successful predict response.
+#[derive(Debug, Serialize)]
+struct PredictResponse {
+    model: String,
+    /// `predict_proba` of the terminal predictor.
+    scores: Vec<f64>,
+    /// `predict` (hard decisions) of the terminal predictor.
+    decisions: Vec<f64>,
+}
+
+/// Body of every error response.
+#[derive(Debug, Serialize)]
+struct ErrorResponse {
+    error: String,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Serialize)]
+struct HealthResponse {
+    status: String,
+    models: Vec<String>,
+    generation: u64,
+}
+
+/// Body of a successful `POST /admin/reload`.
+#[derive(Debug, Serialize)]
+struct ReloadResponse {
+    generation: u64,
+    models: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_paths_parse() {
+        assert_eq!(
+            parse_model_path("/v1/models/credit/transform"),
+            Some(("credit", Op::Transform))
+        );
+        assert_eq!(
+            parse_model_path("/v1/models/m2/predict"),
+            Some(("m2", Op::Predict))
+        );
+        assert_eq!(parse_model_path("/v1/models//transform"), None);
+        assert_eq!(parse_model_path("/v1/models/m/evaluate"), None);
+        assert_eq!(parse_model_path("/v2/models/m/transform"), None);
+        assert_eq!(parse_model_path("/v1/models/m"), None);
+    }
+
+    #[test]
+    fn rows_request_accepts_optional_group() {
+        let r: RowsRequest = serde_json::from_str(r#"{"rows":[[1.0,2.0]]}"#).unwrap();
+        assert!(r.group.is_none());
+        let r: RowsRequest = serde_json::from_str(r#"{"rows":[[1.0,2.0]],"group":[1]}"#).unwrap();
+        assert_eq!(r.group, Some(vec![1]));
+        assert!(serde_json::from_str::<RowsRequest>(r#"{"group":[1]}"#).is_err());
+    }
+}

@@ -20,7 +20,14 @@
 //!   and SVD representations,
 //! * [`optim`] / [`linalg`] — the numerical substrates.
 //!
-//! See `README.md` for a quickstart and an API overview.
+//! Fitted pipelines are *servable*: the `ifair-serve` crate (which sits on
+//! top of this facade) loads persisted [`Pipeline`] / [`core::IFair`]
+//! artifacts into an HTTP inference server with micro-batching and hot
+//! reload — `ifair serve --model artifact.json`.
+//!
+//! See `README.md` for a quickstart, an API overview and the serving guide;
+//! `docs/ARCHITECTURE.md` maps the whole workspace and
+//! `docs/PAPER_MAP.md` maps the paper onto the code.
 
 pub mod pipeline;
 

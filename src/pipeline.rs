@@ -44,6 +44,7 @@
 use ifair_api::scalers::{MinMaxScalerConfig, StandardScalerConfig};
 use ifair_api::{ensure, FitError, Predict, Transform};
 use ifair_baselines::{Lfr, LfrConfig, SvdConfig, SvdRepresentation};
+use ifair_core::par::WorkerPool;
 use ifair_core::{Estimator, IFair, IFairConfig};
 use ifair_data::{Dataset, MinMaxScaler, StandardScaler};
 use ifair_linalg::Matrix;
@@ -145,6 +146,23 @@ impl FittedStage {
         }
     }
 
+    /// The feature width the stage expects at its input, when the fitted
+    /// parameters pin one down: scalers and regressors know their training
+    /// width exactly; for a masked SVD stage the reported width is the
+    /// post-masking width (what the stage consumes when no column is flagged
+    /// protected — the serving case).
+    pub fn n_input_features(&self) -> usize {
+        match self {
+            FittedStage::StandardScaler(s) => s.n_features(),
+            FittedStage::MinMaxScaler(s) => s.n_features(),
+            FittedStage::IFair(m) => m.n_features(),
+            FittedStage::Lfr(m) => m.prototypes().cols(),
+            FittedStage::Svd(m) => m.components().rows(),
+            FittedStage::LogisticRegression(m) => m.weights.len(),
+            FittedStage::Ridge(m) => m.weights.len(),
+        }
+    }
+
     /// The stage as a [`Predict`], when it is one. Consistent with
     /// [`FittedStage::is_predictor`]: an LFR stage acts as a transform here
     /// (its built-in classifier head remains available through `Lfr`'s own
@@ -196,10 +214,34 @@ impl Pipeline {
         &self.stages
     }
 
+    /// The feature width the first stage expects — what an inference server
+    /// validates incoming rows against (see
+    /// [`FittedStage::n_input_features`] for the masked-SVD caveat).
+    pub fn n_input_features(&self) -> Option<usize> {
+        self.stages.first().map(FittedStage::n_input_features)
+    }
+
+    /// Whether the chain ends in a predictor stage (i.e. whether
+    /// [`Pipeline::predict`] can succeed).
+    pub fn has_predictor(&self) -> bool {
+        self.stages.last().is_some_and(FittedStage::is_predictor)
+    }
+
     /// Applies every transform stage in order, returning the dataset carried
     /// between stages (the terminal predictor, if any, is not applied).
     pub fn transform_dataset(&self, ds: &Dataset) -> Result<Dataset, FitError> {
-        transform_over(&self.stages, ds)
+        transform_over(&self.stages, ds, None)
+    }
+
+    /// [`Pipeline::transform_dataset`] with the iFair forward pass fanned
+    /// out over `pool` (see [`IFair::transform_on`]). Bit-identical to the
+    /// serial path for every pool size — the serving hot path.
+    pub fn transform_dataset_on(
+        &self,
+        ds: &Dataset,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Dataset, FitError> {
+        transform_over(&self.stages, ds, pool)
     }
 
     /// The representation produced by the transform stages (one row per
@@ -208,18 +250,46 @@ impl Pipeline {
         Ok(self.transform_dataset(ds)?.x)
     }
 
+    /// [`Pipeline::transform`] on a worker pool (see
+    /// [`Pipeline::transform_dataset_on`]).
+    pub fn transform_on(
+        &self,
+        ds: &Dataset,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Matrix, FitError> {
+        Ok(self.transform_dataset_on(ds, pool)?.x)
+    }
+
     /// Continuous scores of the terminal predictor applied to the
     /// transformed records.
     pub fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
         let (predictor, prefix) = self.split_predictor()?;
-        predictor.predict_proba(&transform_over(prefix, ds)?)
+        predictor.predict_proba(&transform_over(prefix, ds, None)?)
     }
 
     /// Hard decisions of the terminal predictor applied to the transformed
     /// records.
     pub fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
         let (predictor, prefix) = self.split_predictor()?;
-        predictor.predict(&transform_over(prefix, ds)?)
+        predictor.predict(&transform_over(prefix, ds, None)?)
+    }
+
+    /// Runs the transform prefix **once** on `pool` and returns both outputs
+    /// of the terminal predictor: `(scores, decisions)` =
+    /// (`predict_proba`, `predict`). Bit-identical to calling
+    /// [`Pipeline::predict_proba`] and [`Pipeline::predict`] separately —
+    /// what a serving endpoint wants without paying the prefix twice.
+    pub fn predict_scored_on(
+        &self,
+        ds: &Dataset,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(Vec<f64>, Vec<f64>), FitError> {
+        let (predictor, prefix) = self.split_predictor()?;
+        let carried = transform_over(prefix, ds, pool)?;
+        Ok((
+            predictor.predict_proba(&carried)?,
+            predictor.predict(&carried)?,
+        ))
     }
 
     fn split_predictor(&self) -> Result<(&dyn Predict, &[FittedStage]), FitError> {
@@ -264,11 +334,27 @@ impl Predict for Pipeline {
 }
 
 /// Chains the transform stages of `stages` over `ds` (predictors skipped).
-fn transform_over(stages: &[FittedStage], ds: &Dataset) -> Result<Dataset, FitError> {
+/// When `pool` is given, the iFair stage — the only stage with a non-trivial
+/// forward pass — rides it via [`IFair::transform_on`]; every stage's output
+/// is bit-identical to the serial path.
+fn transform_over(
+    stages: &[FittedStage],
+    ds: &Dataset,
+    pool: Option<&WorkerPool>,
+) -> Result<Dataset, FitError> {
     let mut current = ds.clone();
     for stage in stages {
-        if let Some(t) = stage.as_transform() {
-            current = t.transform_dataset(&current)?;
+        match (stage, pool) {
+            (FittedStage::IFair(m), Some(pool)) => {
+                ifair_api::check_width(&current, m.n_features(), "iFair model")?;
+                let x = m.transform_on(&current.x, Some(pool));
+                current = current.with_features(x).map_err(FitError::from)?;
+            }
+            _ => {
+                if let Some(t) = stage.as_transform() {
+                    current = t.transform_dataset(&current)?;
+                }
+            }
         }
     }
     Ok(current)
@@ -498,6 +584,36 @@ mod tests {
         let scores = pipeline.predict(&ds).unwrap();
         assert_eq!(scores.len(), 20);
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn pooled_paths_are_bit_identical_to_serial() {
+        let ds = toy(96);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .ifair(quick_ifair())
+            .logistic_regression_default()
+            .fit(&ds)
+            .unwrap();
+        assert_eq!(pipeline.n_input_features(), Some(3));
+        assert!(pipeline.has_predictor());
+
+        let repr = pipeline.transform(&ds).unwrap();
+        let proba = pipeline.predict_proba(&ds).unwrap();
+        let decisions = pipeline.predict(&ds).unwrap();
+        for lanes in [1usize, 2, 4] {
+            let pool = WorkerPool::new(lanes);
+            assert_eq!(pipeline.transform_on(&ds, Some(&pool)).unwrap(), repr);
+            let (scores, hard) = pipeline.predict_scored_on(&ds, Some(&pool)).unwrap();
+            assert_eq!(scores, proba, "lanes={lanes}");
+            assert_eq!(hard, decisions, "lanes={lanes}");
+        }
+        // pool == None degrades to the plain serial path.
+        assert_eq!(pipeline.transform_on(&ds, None).unwrap(), repr);
+        // A predictor-less chain still reports a typed error.
+        let bare = Pipeline::builder().standard_scaler().fit(&ds).unwrap();
+        assert!(bare.predict_scored_on(&ds, None).is_err());
+        assert!(!bare.has_predictor());
     }
 
     #[test]
