@@ -17,7 +17,7 @@
 use ifair_bench::timing::{bench, table_header, BenchReport};
 use ifair_core::distance::{weighted_minkowski, weighted_power_sum};
 use ifair_core::par::available_threads;
-use ifair_core::{FairnessPairs, IFair, IFairConfig, IFairObjective};
+use ifair_core::{Backend, FairnessPairs, IFair, IFairConfig, IFairObjective};
 use ifair_linalg::Matrix;
 use ifair_metrics::{auc, consistency, kendall_tau};
 use ifair_optim::{NumericalObjective, Objective};
@@ -226,6 +226,62 @@ fn bench_fit_end_to_end(report: &mut BenchReport, sizes: &Sizes) {
     }
 }
 
+/// Chunk-tail and precision coverage, run at every size tier (smoke
+/// included): M = 101 is a multiple of neither the 64-record chunk width
+/// nor the 64-record pair tile, so the padded-tail paths of every lane
+/// kernel execute, and the objective's Exact pair loop crosses a ragged
+/// tile boundary. Rows are tagged with the active kernel backend and the
+/// scalar precision so `perf_delta` can track each variant separately.
+fn bench_kernel_variants(report: &mut BenchReport, sizes: &Sizes) {
+    let backend = Backend::active().label();
+    let mut rng = StdRng::seed_from_u64(23);
+    let (m, n) = (101usize, 10usize);
+    let x = Matrix::from_fn(m, n, |_, _| rng.gen_range(0.0..1.0));
+    let mut protected = vec![false; n];
+    protected[n - 1] = true;
+    table_header(&format!(
+        "kernel variants, M = {m} (ragged chunk tails), backend = {backend}"
+    ));
+
+    let config = IFairConfig {
+        k: 8,
+        fairness_pairs: FairnessPairs::Exact,
+        n_threads: 1,
+        ..Default::default()
+    };
+    let obj = IFairObjective::new(&x, &protected, &config);
+    let theta: Vec<f64> = random_vec(obj.dim(), 11).iter().map(|v| v.abs()).collect();
+    let mut grad = vec![0.0; obj.dim()];
+    let iters = if sizes.smoke { 2 } else { 10 };
+    report.push(
+        &bench("value_and_gradient/m101", sizes.warmup, iters, || {
+            obj.value_and_gradient(black_box(&theta), &mut grad)
+        })
+        .tagged(backend, "f64"),
+    );
+
+    let fit_config = IFairConfig {
+        k: 4,
+        max_iters: 5,
+        n_restarts: 1,
+        ..Default::default()
+    };
+    let model = IFair::fit(&x, &protected, &fit_config).unwrap();
+    let low = model.to_f32();
+    report.push(
+        &bench("transform/m101/f64", sizes.warmup, iters, || {
+            model.transform(black_box(&x))
+        })
+        .tagged(backend, "f64"),
+    );
+    report.push(
+        &bench("transform/m101/f32", sizes.warmup, iters, || {
+            low.transform_on(black_box(&x), None)
+        })
+        .tagged(backend, "f32"),
+    );
+}
+
 fn bench_metric_kernels(report: &mut BenchReport, sizes: &Sizes) {
     let mut rng = StdRng::seed_from_u64(17);
     let (n_scored, n_rows) = if sizes.smoke { (100, 40) } else { (1000, 200) };
@@ -269,6 +325,7 @@ fn main() {
     bench_distance_kernels(&mut report);
     bench_objective(&mut report, &sizes);
     bench_objective_evaluation_scaling(&mut report, &sizes);
+    bench_kernel_variants(&mut report, &sizes);
     bench_fit_end_to_end(&mut report, &sizes);
     bench_metric_kernels(&mut report, &sizes);
     match report.write_if_enabled() {

@@ -48,6 +48,7 @@ fn main() {
     let registry = ModelRegistry::load(vec![ModelSpec {
         name: "bench".into(),
         path: path.clone(),
+        precision: ifair_serve::Precision::F64,
     }])
     .expect("registry loads");
     let handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())

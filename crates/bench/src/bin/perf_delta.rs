@@ -97,6 +97,19 @@ fn flatten(reports: &[BenchReport]) -> Vec<(String, MeasurementRecord)> {
     rows
 }
 
+/// The `backend/precision` variant cell of a measurement row, `—` when the
+/// row is untagged (backend-agnostic or written before the fields existed).
+fn variant(m: &MeasurementRecord) -> String {
+    match (&m.backend, &m.precision) {
+        (None, None) => "—".into(),
+        (backend, precision) => format!(
+            "{}/{}",
+            backend.as_deref().unwrap_or("-"),
+            precision.as_deref().unwrap_or("-")
+        ),
+    }
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns} ns")
@@ -127,8 +140,8 @@ fn run(args: Args) -> Result<(), String> {
             "\n### perf trajectory vs `{baseline_path}` (tolerance {}x)\n",
             args.tolerance
         );
-        println!("| benchmark | baseline median | current median | ratio | status |");
-        println!("|-----------|-----------------|----------------|-------|--------|");
+        println!("| benchmark | variant | baseline median | current median | ratio | status |");
+        println!("|-----------|---------|-----------------|----------------|-------|--------|");
         for (name, m) in &current {
             match baseline.iter().find(|(b, _)| b == name) {
                 Some((_, base)) if base.median_ns > 0 => {
@@ -149,20 +162,29 @@ fn run(args: Args) -> Result<(), String> {
                         "ok"
                     };
                     println!(
-                        "| {name} | {} | {} | {ratio:.2}x | {status} |",
+                        "| {name} | {} | {} | {} | {ratio:.2}x | {status} |",
+                        variant(m),
                         fmt_ns(base.median_ns),
                         fmt_ns(m.median_ns)
                     );
                 }
                 _ => {
                     missing += 1;
-                    println!("| {name} | — | {} | — | new |", fmt_ns(m.median_ns));
+                    println!(
+                        "| {name} | {} | — | {} | — | new |",
+                        variant(m),
+                        fmt_ns(m.median_ns)
+                    );
                 }
             }
         }
         for (name, base) in &baseline {
             if !current.iter().any(|(c, _)| c == name) {
-                println!("| {name} | {} | — | — | dropped |", fmt_ns(base.median_ns));
+                println!(
+                    "| {name} | {} | {} | — | — | dropped |",
+                    variant(base),
+                    fmt_ns(base.median_ns)
+                );
             }
         }
         println!(
@@ -263,6 +285,8 @@ mod tests {
             min_ns: 1,
             median_ns: 2,
             mean_ns: 3,
+            backend: None,
+            precision: None,
         });
         let rows = flatten(&[a]);
         assert_eq!(rows[0].0, "kernels/value");
@@ -274,9 +298,29 @@ mod tests {
             min_ns: 1,
             median_ns: 2,
             mean_ns: 3,
+            backend: None,
+            precision: None,
         });
         let rows = flatten(&[b]);
         assert_eq!(rows[0].0, "kernels/value");
+    }
+
+    #[test]
+    fn variant_cells_render_tags_and_fall_back_to_a_dash() {
+        let mut m = MeasurementRecord {
+            name: "x".into(),
+            min_ns: 1,
+            median_ns: 2,
+            mean_ns: 3,
+            backend: None,
+            precision: None,
+        };
+        assert_eq!(variant(&m), "—");
+        m.backend = Some("simd".into());
+        m.precision = Some("f32".into());
+        assert_eq!(variant(&m), "simd/f32");
+        m.precision = None;
+        assert_eq!(variant(&m), "simd/-");
     }
 
     #[test]

@@ -19,6 +19,21 @@ pub struct Measurement {
     pub median: Duration,
     /// Mean iteration.
     pub mean: Duration,
+    /// Kernel backend label (`"scalar"` / `"simd"`) when the benchmark
+    /// exercises the lane kernels; `None` for backend-agnostic rows.
+    pub backend: Option<String>,
+    /// Scalar precision label (`"f64"` / `"f32"`) when relevant.
+    pub precision: Option<String>,
+}
+
+impl Measurement {
+    /// Tags this measurement with the kernel backend and precision it ran
+    /// under, for the JSON report and `perf_delta` comparisons.
+    pub fn tagged(mut self, backend: &str, precision: &str) -> Measurement {
+        self.backend = Some(backend.to_string());
+        self.precision = Some(precision.to_string());
+        self
+    }
 }
 
 /// Times `f` for `iters` iterations after `warmup` untimed runs.
@@ -44,6 +59,8 @@ pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> 
         min,
         median,
         mean,
+        backend: None,
+        precision: None,
     };
     println!(
         "| {} | {} | {} | {} |",
@@ -68,6 +85,13 @@ pub struct MeasurementRecord {
     pub median_ns: u64,
     /// Mean iteration, in nanoseconds.
     pub mean_ns: u64,
+    /// Kernel backend label, when the row is backend-specific. Defaults to
+    /// `None` so pre-existing baseline JSON (no such field) still loads.
+    #[serde(default)]
+    pub backend: Option<String>,
+    /// Scalar precision label, with the same backward-compatible default.
+    #[serde(default)]
+    pub precision: Option<String>,
 }
 
 impl Measurement {
@@ -78,6 +102,8 @@ impl Measurement {
             min_ns: duration_ns(self.min),
             median_ns: duration_ns(self.median),
             mean_ns: duration_ns(self.mean),
+            backend: self.backend.clone(),
+            precision: self.precision.clone(),
         }
     }
 }
@@ -180,6 +206,8 @@ mod tests {
             min: Duration::from_nanos(10),
             median: Duration::from_micros(2),
             mean: Duration::from_millis(3),
+            backend: None,
+            precision: None,
         };
         let r = m.record();
         assert_eq!(
@@ -188,6 +216,28 @@ mod tests {
         );
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"median_ns\""), "{json}");
+        // Untagged rows carry explicit nulls and deserialize back to None.
+        let back: MeasurementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.backend, None);
+        assert_eq!(back.precision, None);
+    }
+
+    #[test]
+    fn backend_and_precision_tags_roundtrip_and_old_json_still_loads() {
+        let m = bench("tagme", 0, 2, || 3 + 3).tagged("scalar", "f32");
+        let r = m.record();
+        assert_eq!(r.backend.as_deref(), Some("scalar"));
+        assert_eq!(r.precision.as_deref(), Some("f32"));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MeasurementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.backend.as_deref(), Some("scalar"));
+        assert_eq!(back.precision.as_deref(), Some("f32"));
+
+        // A record written before the fields existed deserializes to None.
+        let old = r#"{"name":"legacy","min_ns":1,"median_ns":2,"mean_ns":3}"#;
+        let legacy: MeasurementRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(legacy.backend, None);
+        assert_eq!(legacy.precision, None);
     }
 
     #[test]

@@ -7,38 +7,51 @@
 //! `p = 2` is the paper's default ("corresponds to a Gaussian kernel"). The
 //! derivative helpers here are the building blocks of the analytic gradient
 //! in [`crate::objective`].
+//!
+//! # Kernel structure
+//!
+//! The distance entry points are generic over [`Real`] (`f64` for training,
+//! `f32` for the opt-in serving path) and evaluate through the canonical
+//! lane-chunked reduction kernels in [`ifair_linalg::lanes`] — four
+//! accumulator lanes, `(acc0 + acc1) + (acc2 + acc3)` fold, sequential tail
+//! — which the autovectorizer (and the opt-in `simd` intrinsics backend)
+//! execute bit-identically. `p = 2` takes the vectorized `w·(Δ)²` fast
+//! path; other `p` fall back to the lane-structured `powf` loop. The
+//! textbook single-accumulator forms survive in [`mod@reference`] as the
+//! conformance-test oracle (agreement is tolerance-bounded, not bitwise:
+//! re-association moves sums by O(ε) relative).
+
+use ifair_linalg::lanes;
+use ifair_linalg::Real;
 
 /// Weighted Minkowski distance between `x` and `y` (Definition 7).
 ///
 /// Negative weights are clamped to 0 (the distance must stay a metric for
 /// `p >= 1`; the optimizer's box constraints normally keep `α >= 0`, but a
 /// transiently infeasible iterate must not produce NaN).
-pub fn weighted_minkowski(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
-    debug_assert_eq!(x.len(), alpha.len());
-    let s: f64 = x
-        .iter()
-        .zip(y)
-        .zip(alpha)
-        .map(|((&a, &b), &w)| w.max(0.0) * (a - b).abs().powf(p))
-        .sum();
-    s.powf(1.0 / p)
+pub fn weighted_minkowski<T: Real>(x: &[T], y: &[T], alpha: &[T], p: T) -> T {
+    weighted_power_sum(x, y, alpha, p).powf(T::ONE / p)
 }
 
 /// The inner sum `S = Σ_n α_n |x_n - y_n|^p` (distance to the power `p`).
-pub fn weighted_power_sum(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
+pub fn weighted_power_sum<T: Real>(x: &[T], y: &[T], alpha: &[T], p: T) -> T {
     debug_assert_eq!(x.len(), y.len());
     debug_assert_eq!(x.len(), alpha.len());
-    x.iter()
-        .zip(y)
-        .zip(alpha)
-        .map(|((&a, &b), &w)| w.max(0.0) * (a - b).abs().powf(p))
-        .sum()
+    lanes::weighted_power_sum(x, y, alpha, p)
 }
 
 /// Unweighted Euclidean distance (the fairness-loss default).
-pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
-    ifair_linalg::vector::euclidean(x, y)
+pub fn euclidean<T: Real>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    lanes::euclidean(x, y)
+}
+
+/// Lane-chunked dot product (re-exported here so every hot-loop reduction in
+/// the crate routes through one dispatch point).
+#[inline]
+pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    lanes::dot(x, y)
 }
 
 /// `∂d/∂y_n` of the weighted Minkowski distance with respect to the *second*
@@ -64,6 +77,36 @@ pub fn d_wrt_alpha(x_n: f64, y_n: f64, p: f64, d: f64) -> f64 {
         return 0.0;
     }
     (x_n - y_n).abs().powf(p) / (p * d.powf(p - 1.0))
+}
+
+/// Naive single-accumulator forms of the reduction kernels — the oracle the
+/// conformance battery (`crates/core/tests/kernel_conformance.rs`) checks
+/// the lane-chunked kernels against. Kept deliberately textbook-simple;
+/// never called from hot paths.
+pub mod reference {
+    /// Sequential `Σ_n max(α_n, 0) · |x_n − y_n|^p`, one accumulator.
+    pub fn weighted_power_sum(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
+        x.iter()
+            .zip(y)
+            .zip(alpha)
+            .map(|((&a, &b), &w)| w.max(0.0) * (a - b).abs().powf(p))
+            .sum()
+    }
+
+    /// Sequential weighted Minkowski distance.
+    pub fn weighted_minkowski(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
+        weighted_power_sum(x, y, alpha, p).powf(1.0 / p)
+    }
+
+    /// Sequential Euclidean distance, one accumulator.
+    pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+        ifair_linalg::vector::euclidean(x, y)
+    }
+
+    /// Sequential dot product, one accumulator.
+    pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+        ifair_linalg::vector::dot(x, y)
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +150,37 @@ mod tests {
         assert_eq!(d(&a, &a), 0.0);
         assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-12); // symmetry
         assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-12); // triangle
+    }
+
+    #[test]
+    fn lane_kernels_agree_with_reference_forms() {
+        // Irregular length (not a lane multiple) so block + tail both run.
+        let x: Vec<f64> = (0..11).map(|i| (i as f64 * 0.31).sin()).collect();
+        let y: Vec<f64> = (0..11).map(|i| (i as f64 * 0.47).cos()).collect();
+        let alpha: Vec<f64> = (0..11).map(|i| 0.1 + i as f64 * 0.05).collect();
+        for p in [1.0, 2.0, 3.0] {
+            let lane = weighted_power_sum(&x, &y, &alpha, p);
+            let naive = reference::weighted_power_sum(&x, &y, &alpha, p);
+            assert!(
+                (lane - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+                "p={p}"
+            );
+        }
+        assert!((euclidean(&x, &y) - reference::euclidean(&x, &y)).abs() < 1e-12);
+        assert!((dot(&x, &y) - reference::dot(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_instantiation_tracks_f64_within_tolerance() {
+        let x = [0.9f32, 0.1, 0.4, 0.7, 0.2];
+        let y = [0.3f32, 0.8, 0.5, 0.1, 0.9];
+        let alpha = [1.0f32, 0.5, 0.25, 2.0, 0.0];
+        let d32 = weighted_minkowski(&x, &y, &alpha, 2.0f32);
+        let x64: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+        let y64: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+        let a64: Vec<f64> = alpha.iter().map(|&v| f64::from(v)).collect();
+        let d64 = weighted_minkowski(&x64, &y64, &a64, 2.0);
+        assert!((f64::from(d32) - d64).abs() < 1e-6);
     }
 
     #[test]

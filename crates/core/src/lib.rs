@@ -56,6 +56,7 @@ pub mod config;
 pub mod distance;
 pub mod estimator;
 pub mod model;
+pub mod model_f32;
 pub mod objective;
 pub mod par;
 
@@ -64,5 +65,7 @@ pub use config::{
 };
 pub use estimator::IFairBuilder;
 pub use ifair_api::{ConfigError, Estimator, FitError, Predict, Transform};
+pub use ifair_linalg::{Backend, Precision};
 pub use model::{EpochEvent, FitControl, IFair, RestartEvent, TrainingReport};
+pub use model_f32::IFairF32;
 pub use objective::{IFairObjective, MiniBatchObjective};

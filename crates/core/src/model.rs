@@ -24,9 +24,9 @@ const MODEL_KIND: &str = "ifair-model";
 /// chunk, capped at [`TRANSFORM_MAX_CHUNKS`] chunks. Fixed functions of the
 /// row count (never the pool size), mirroring the training-kernel layouts,
 /// so chunking can never perturb numerics.
-const TRANSFORM_CHUNK_ROWS: usize = 64;
+pub(crate) const TRANSFORM_CHUNK_ROWS: usize = 64;
 /// Upper bound on [`IFair::transform_on`] chunks (see [`TRANSFORM_CHUNK_ROWS`]).
-const TRANSFORM_MAX_CHUNKS: usize = 64;
+pub(crate) const TRANSFORM_MAX_CHUNKS: usize = 64;
 
 /// What the training loop should do after an observed restart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -657,6 +657,16 @@ impl IFair {
     /// ```
     pub fn builder() -> crate::estimator::IFairBuilder {
         crate::estimator::IFairBuilder::new()
+    }
+
+    /// Lowers the trained model to the single-precision serving
+    /// representation ([`crate::IFairF32`]): prototypes and weights cast to
+    /// `f32`, negative weights clamped at conversion (the distance kernel
+    /// clamps anyway; doing it here keeps the stored artifact canonical).
+    /// Training always stays `f64` — this is a serving-side cast, governed
+    /// by the precision contract in `docs/ARCHITECTURE.md`.
+    pub fn to_f32(&self) -> crate::IFairF32 {
+        crate::IFairF32::from_model(self)
     }
 }
 

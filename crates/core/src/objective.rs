@@ -88,6 +88,16 @@ const MAX_FAIR_CHUNKS: usize = 64;
 /// discipline as [`FAIR_CHUNK_PAIRS`]).
 const REC_CHUNK_RECORDS: usize = 64;
 
+/// Row-tile edge of the exact `O(M²)` pair enumeration. Emitting the pair
+/// list in `TILE × TILE` blocks means consecutive pairs of the `L_fair`
+/// sweep touch at most `2·TILE` distinct `x̃` rows, which fit in L1/L2 for
+/// realistic `N` — instead of the row-major order whose `j` index streams
+/// the whole matrix per `i`. The tile size is a constant of the problem
+/// (never the thread count), so the summation tree stays fixed. Only the
+/// `Exact` build is tiled: subsampled/anchored/mini-batch pair lists are
+/// contractually `(i, j)`-sorted.
+const PAIR_TILE_RECORDS: usize = 64;
+
 /// Upper bound on the record chunk count (each backprop chunk owns a
 /// `K·N + N + K` accumulator in the workspace).
 const MAX_REC_CHUNKS: usize = 64;
@@ -381,11 +391,10 @@ impl LossKernel {
         fair_pool: Option<&par::WorkerPool>,
     ) -> f64 {
         let util = if self.lambda != 0.0 {
-            x.as_slice()
-                .iter()
-                .zip(&state.xt)
-                .map(|(&a, &b)| (a - b) * (a - b))
-                .sum::<f64>()
+            // Lane-chunked `Σ (x − x̃)²` over the whole flattened matrix —
+            // the same kernel (and therefore the same bits) as the fused
+            // loss+gradient path.
+            ifair_linalg::lanes::sq_euclidean(x.as_slice(), state.xt.as_slice())
         } else {
             0.0
         };
@@ -739,19 +748,20 @@ impl LossKernel {
 
         grad.fill(0.0);
 
-        // ∂L/∂x̃ — reconstruction term, fused with the utility loss. The
-        // buffer is reused across evaluations, so it must be fully written
-        // (the fused loop overwrites every entry) or zeroed.
-        let mut util = 0.0;
-        if self.lambda != 0.0 {
+        // ∂L/∂x̃ — reconstruction term. The utility sum goes through the
+        // same lane-chunked kernel as the gradient-free `loss` path so the
+        // two entry points agree bitwise; the element loop then only writes
+        // the gradient. The buffer is reused across evaluations, so it must
+        // be fully written (the loop overwrites every entry) or zeroed.
+        let util = if self.lambda != 0.0 {
             for ((g, &orig), &rec) in ws.g_xt.iter_mut().zip(x.as_slice()).zip(&ws.state.xt) {
-                let diff = rec - orig;
-                util += diff * diff;
-                *g = 2.0 * self.lambda * diff;
+                *g = 2.0 * self.lambda * (rec - orig);
             }
+            ifair_linalg::lanes::sq_euclidean(x.as_slice(), ws.state.xt.as_slice())
         } else {
             ws.g_xt.fill(0.0);
-        }
+            0.0
+        };
 
         // ∂L/∂x̃ (and ∂L/∂α under the weighted metric) — fairness pairs,
         // fused with the pair loss and parallelized over pair chunks.
@@ -1198,22 +1208,12 @@ impl Objective for MiniBatchObjective {
     }
 }
 
-/// `Σ_n α_n |x_n − y_n|^p` with non-negativity clamping on `α`, specialized
-/// for the common `p = 2` (the Gaussian kernel of the paper).
+/// `Σ_n α_n |x_n − y_n|^p` with non-negativity clamping on `α`. Routes
+/// through the lane-chunked kernel in [`distance`], whose `p = 2` fast path
+/// (the paper's Gaussian-kernel default) is the vectorized `w·Δ²` form.
 #[inline]
 fn power_sum(x: &[f64], y: &[f64], alpha: &[f64], p: f64) -> f64 {
-    if p == 2.0 {
-        x.iter()
-            .zip(y)
-            .zip(alpha)
-            .map(|((&a, &b), &w)| {
-                let d = a - b;
-                w.max(0.0) * d * d
-            })
-            .sum()
-    } else {
-        distance::weighted_power_sum(x, y, alpha, p)
-    }
+    distance::weighted_power_sum(x, y, alpha, p)
 }
 
 /// `|Δ|^q` with a fast path for `q = 2`.
@@ -1238,9 +1238,10 @@ fn pow_abs_signed(delta: f64, q: f64) -> f64 {
     }
 }
 
+/// Lane-chunked dot product (the softmax-Jacobian reduction of backprop).
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    distance::dot(a, b)
 }
 
 /// `acc += part`, element-wise. The reduction step of the parallel kernels.
@@ -1321,10 +1322,19 @@ fn build_pairs(
 ) -> Vec<FairPair> {
     let mut pairs = match spec {
         FairnessPairs::Exact => {
+            // Every unordered pair exactly once, emitted tile-by-tile (see
+            // [`PAIR_TILE_RECORDS`]) so the `L_fair` sweep over the list is
+            // cache-blocked for free. Within a tile pairs stay `(i, j)`-
+            // ascending; across tiles the order is block-major.
+            let tile = PAIR_TILE_RECORDS;
             let mut pairs = Vec::with_capacity(m * m.saturating_sub(1) / 2);
-            for i in 0..m {
-                for j in (i + 1)..m {
-                    pairs.push(FairPair { i, j, target: 0.0 });
+            for ti in (0..m).step_by(tile) {
+                for tj in (ti..m).step_by(tile) {
+                    for i in ti..(ti + tile).min(m) {
+                        for j in (i + 1).max(tj)..(tj + tile).min(m) {
+                            pairs.push(FairPair { i, j, target: 0.0 });
+                        }
+                    }
                 }
             }
             pairs

@@ -1,0 +1,253 @@
+//! Kernel conformance battery: every `(backend × precision)` variant of the
+//! lane-chunked math kernels is pinned against the others.
+//!
+//! The contract (see `docs/ARCHITECTURE.md`, "Kernel backends and precision
+//! contract"):
+//!
+//! 1. The dispatched kernel (`ifair_linalg::lanes::*`) is **bit-identical**
+//!    to the portable lane-structured scalar kernel (`lanes::scalar::*`)
+//!    for f64 — whichever backend `Backend::active()` resolved to. The
+//!    intrinsics backend is a different instruction encoding of the *same*
+//!    rounded-operation sequence, never a different reduction.
+//! 2. Both agree with the naive single-accumulator reference
+//!    (`distance::reference::*`) to ~1e-12 relative — the lane fold only
+//!    reassociates the sum.
+//! 3. The f32 instantiation tracks f64 within single-precision tolerance
+//!    on unit-scale data, and `IFair::to_f32()` serving transforms stay
+//!    within 1e-4 absolute of the f64 transform while remaining pool-size
+//!    invariant.
+//! 4. The tiled backward pass (gradients through the restructured forward)
+//!    agrees with central finite differences.
+//!
+//! Shapes are seeded-random and deliberately include non-multiples of the
+//! lane width (LANES = 4) and chunk widths, zero rows, and the degenerate
+//! K = 1 single-prototype model.
+
+use ifair_core::distance;
+use ifair_core::{Backend, FairnessPairs, IFairConfig, IFairObjective, Precision};
+use ifair_linalg::{lanes, Matrix};
+use ifair_optim::numgrad::check_gradient;
+use ifair_optim::Objective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative error against the larger magnitude (floored at 1 so zeros and
+/// tiny sums compare absolutely).
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// Vector lengths that straddle the lane width and its multiples: a zero-
+/// length slice, sub-lane, exact lanes, lanes+tail, and larger odd sizes.
+const LENGTHS: [usize; 9] = [0, 1, 2, 3, 4, 5, 7, 63, 101];
+
+fn random_vec(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn dispatched_f64_kernels_are_bit_identical_to_the_scalar_lane_kernel() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for &n in &LENGTHS {
+        for case in 0..8 {
+            let a = random_vec(&mut rng, n, -2.0, 2.0);
+            let b = random_vec(&mut rng, n, -2.0, 2.0);
+            // Mix in negative weights: the kernels clamp them to zero and
+            // the backends must clamp identically.
+            let w = random_vec(&mut rng, n, -0.5, 2.0);
+            let p = [1.0, 1.5, 2.0, 3.0][case % 4];
+
+            assert_eq!(
+                lanes::dot(&a, &b).to_bits(),
+                lanes::scalar::dot(&a, &b).to_bits(),
+                "dot n={n} backend={}",
+                Backend::active().label()
+            );
+            assert_eq!(
+                lanes::sq_euclidean(&a, &b).to_bits(),
+                lanes::scalar::sq_euclidean(&a, &b).to_bits(),
+                "sq_euclidean n={n}"
+            );
+            assert_eq!(
+                lanes::weighted_power_sum(&a, &b, &w, p).to_bits(),
+                if p == 2.0 {
+                    lanes::scalar::weighted_sq_sum(&a, &b, &w)
+                } else {
+                    lanes::scalar::weighted_power_sum(&a, &b, &w, p)
+                }
+                .to_bits(),
+                "weighted_power_sum n={n} p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lane_kernels_agree_with_the_naive_reference_to_1e12() {
+    let mut rng = StdRng::seed_from_u64(402);
+    for &n in &LENGTHS {
+        for case in 0..8 {
+            let a = random_vec(&mut rng, n, -2.0, 2.0);
+            let b = random_vec(&mut rng, n, -2.0, 2.0);
+            let w = random_vec(&mut rng, n, 0.0, 2.0);
+            let p = [1.0, 2.0, 3.0][case % 3];
+
+            assert!(rel(distance::dot(&a, &b), distance::reference::dot(&a, &b)) < 1e-12);
+            assert!(
+                rel(
+                    distance::euclidean(&a, &b),
+                    distance::reference::euclidean(&a, &b)
+                ) < 1e-12
+            );
+            assert!(
+                rel(
+                    distance::weighted_power_sum(&a, &b, &w, p),
+                    distance::reference::weighted_power_sum(&a, &b, &w, p)
+                ) < 1e-12,
+                "n={n} p={p}"
+            );
+            assert!(
+                rel(
+                    distance::weighted_minkowski(&a, &b, &w, p),
+                    distance::reference::weighted_minkowski(&a, &b, &w, p)
+                ) < 1e-12
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_kernels_track_f64_within_single_precision_tolerance() {
+    let mut rng = StdRng::seed_from_u64(403);
+    for &n in &LENGTHS {
+        for case in 0..8 {
+            let a = random_vec(&mut rng, n, 0.0, 1.0);
+            let b = random_vec(&mut rng, n, 0.0, 1.0);
+            let w = random_vec(&mut rng, n, 0.0, 1.0);
+            let p = [1.0, 2.0, 3.0][case % 3];
+            let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+            let w32: Vec<f32> = w.iter().map(|&v| v as f32).collect();
+
+            // Unit-scale data, ≤ 101 terms: f32 keeps ~6-7 significant
+            // digits, so 1e-4 relative is a conservative envelope.
+            let tol = 1e-4 * (n.max(1) as f64);
+            assert!(rel(f64::from(lanes::dot(&a32, &b32)), lanes::dot(&a, &b)) < tol);
+            assert!(
+                rel(
+                    f64::from(lanes::sq_euclidean(&a32, &b32)),
+                    lanes::sq_euclidean(&a, &b)
+                ) < tol
+            );
+            assert!(
+                rel(
+                    f64::from(lanes::weighted_power_sum(&a32, &b32, &w32, p as f32)),
+                    lanes::weighted_power_sum(&a, &b, &w, p)
+                ) < tol,
+                "n={n} p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_rows_and_identical_inputs_are_exact_across_all_variants() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for &n in &LENGTHS {
+        let zero = vec![0.0f64; n];
+        let x = random_vec(&mut rng, n, -1.0, 1.0);
+        let w = random_vec(&mut rng, n, 0.0, 1.0);
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let z32 = vec![0.0f32; n];
+
+        // d(x, x) = 0 exactly — the fused (a−b) term is an exact zero in
+        // every lane, so no rounding can leak in, in either precision.
+        assert_eq!(lanes::sq_euclidean(&x, &x), 0.0);
+        assert_eq!(lanes::sq_euclidean(&x32, &x32), 0.0f32);
+        assert_eq!(lanes::weighted_power_sum(&x, &x, &w, 2.0), 0.0);
+        assert_eq!(distance::weighted_minkowski(&x, &x, &w, 3.0), 0.0);
+        // Zero against zero, and dot with a zero row, are exact zeros too.
+        assert_eq!(lanes::dot(&zero, &x), 0.0);
+        assert_eq!(lanes::dot(&z32, &x32), 0.0f32);
+        assert_eq!(lanes::sq_euclidean(&zero, &zero), 0.0);
+    }
+}
+
+/// The tiled backward pass: analytic gradients through the restructured
+/// forward (lane-chunked distances, tile-blocked Exact pairs) must match
+/// central differences on shapes that straddle the chunk and tile widths —
+/// including the degenerate single-prototype model.
+#[test]
+fn tiled_backward_matches_numeric_gradients_on_awkward_shapes() {
+    let mut rng = StdRng::seed_from_u64(405);
+    // (M, N, K): non-multiple-of-4 widths, M crossing the 64-record pair
+    // tile, and K = 1 (single prototype — softmax weight is exactly 1).
+    for &(m, n, k) in &[(7usize, 3usize, 2usize), (11, 5, 1), (66, 4, 3)] {
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.05..0.95)).collect())
+            .collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut protected = vec![false; n];
+        protected[n - 1] = true;
+        let config = IFairConfig {
+            k,
+            lambda: 0.8,
+            mu: 1.2,
+            fairness_pairs: FairnessPairs::Exact,
+            ..Default::default()
+        };
+        let obj = IFairObjective::new(&x, &protected, &config);
+        let theta: Vec<f64> = (0..obj.dim()).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let report = check_gradient(&obj, &theta, 1e-6);
+        assert!(report.passes(5e-5), "m={m} n={n} k={k}: {report:?}");
+    }
+}
+
+/// The f32 serving transform: tolerance-bounded against f64 and bit-
+/// identical across pool sizes, on shapes straddling the 64-row transform
+/// chunk — including a zero row and a single-prototype model.
+#[test]
+fn f32_serving_transform_conforms_on_random_shapes() {
+    use ifair_core::par::WorkerPool;
+    use ifair_core::IFair;
+
+    let mut rng = StdRng::seed_from_u64(406);
+    for &(m, n, k) in &[(9usize, 3usize, 2usize), (65, 4, 1), (130, 5, 4)] {
+        let mut rows: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        rows[m / 2] = vec![0.0; n]; // an all-zero record must not NaN
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut protected = vec![false; n];
+        protected[n - 1] = true;
+        let config = IFairConfig {
+            k,
+            max_iters: 10,
+            n_restarts: 1,
+            ..Default::default()
+        };
+        let model = IFair::fit(&x, &protected, &config).unwrap();
+        let low = model.to_f32();
+        assert_eq!(low.precision(), Precision::F32);
+        assert_eq!((low.n_prototypes(), low.n_features()), (k, n));
+
+        let full = model.transform(&x);
+        let half = low.transform_on(&x, None);
+        assert_eq!(half.shape(), full.shape());
+        for (a, b) in half.as_slice().iter().zip(full.as_slice()) {
+            assert!(a.is_finite());
+            assert!((a - b).abs() < 1e-4, "m={m} k={k}: {a} vs {b}");
+        }
+
+        let baseline: Vec<u64> = half.as_slice().iter().map(|v| v.to_bits()).collect();
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let pooled = low.transform_on(&x, Some(&pool));
+            let bits: Vec<u64> = pooled.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits, baseline,
+                "m={m} threads={threads}: f32 not pool-invariant"
+            );
+        }
+    }
+}

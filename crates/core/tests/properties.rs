@@ -275,6 +275,59 @@ fn pair_building_is_thread_count_invariant() {
     }
 }
 
+/// Seeded fuzz over random problem shapes: whatever chunk layout the
+/// tiled `L_fair` kernel picks for a given `(M, pair count)` — including
+/// shapes that straddle the record-chunk, pair-chunk, and pair-tile
+/// boundaries — the pooled loss *and* gradient must be bit-identical to
+/// the serial kernel at 1, 2 and 4 threads.
+#[test]
+fn fuzz_random_chunk_layouts_keep_loss_and_gradient_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(310);
+    for round in 0..8 {
+        // Sizes straddle 64-record chunks / 64-record pair tiles (63..194)
+        // and swing the Exact pair count across the 512-pair chunk width.
+        let m = rng.gen_range(63..195usize);
+        let n = rng.gen_range(3..7usize);
+        let k = rng.gen_range(2..5usize);
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut protected = vec![false; n];
+        protected[n - 1] = true;
+        let config = IFairConfig {
+            k,
+            lambda: 0.9,
+            mu: 1.1,
+            fairness_pairs: FairnessPairs::Exact,
+            n_threads: 1,
+            ..Default::default()
+        };
+        let serial = IFairObjective::new(&x, &protected, &config);
+        let theta: Vec<f64> = (0..serial.dim()).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let v_serial = serial.value(&theta);
+        let mut g_serial = vec![0.0; serial.dim()];
+        serial.value_and_gradient(&theta, &mut g_serial);
+
+        for threads in [1usize, 2, 4] {
+            let par = IFairObjective::new(&x, &protected, &config).with_threads(threads);
+            let v_par = par.value(&theta);
+            let mut g_par = vec![0.0; par.dim()];
+            par.value_and_gradient(&theta, &mut g_par);
+            assert_eq!(
+                v_serial.to_bits(),
+                v_par.to_bits(),
+                "round {round} m={m} n={n} k={k} threads={threads}: loss drifted"
+            );
+            assert_eq!(
+                g_serial.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+                g_par.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+                "round {round} m={m} n={n} k={k} threads={threads}: gradient drifted"
+            );
+        }
+    }
+}
+
 /// The persistent pool and workspace are reused across everything a fit
 /// does: two consecutive L-BFGS runs on ONE objective (the shape of two
 /// restarts, or two `fit()` calls sharing an objective) must land on

@@ -5,6 +5,10 @@
 //!
 //! * a row-major [`Matrix`] of `f64` with the usual arithmetic,
 //! * vector kernels ([`vector`]) used in hot loops (dot products, norms, axpy),
+//! * the scalar-precision layer ([`real`]: the [`Real`] trait over
+//!   `f32`/`f64` and the [`Precision`] tag) and the canonical lane-chunked
+//!   reduction kernels ([`lanes`]) behind the iFair hot loops, with an
+//!   opt-in `core::arch` intrinsics backend (`simd` feature, x86_64),
 //! * Householder [`qr`] factorization (least squares, orthogonality tests),
 //! * a one-sided Jacobi [`svd`] (the SVD / SVD-masked baselines of §V-B),
 //! * [`cholesky`] factorization (ridge regression normal equations),
@@ -23,19 +27,28 @@
 //! assert_eq!(b.get(0, 0), 5.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the optional `simd` backend carries the
+// crate's only `unsafe` (intrinsic loads/stores), scoped behind an explicit
+// module-level `allow` with its proof obligations documented there.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cholesky;
 pub mod error;
+pub mod lanes;
 pub mod matrix;
 pub mod qr;
+pub mod real;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
 pub mod solve;
 pub mod svd;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
+pub use lanes::Backend;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use real::{Precision, Real};
 pub use svd::Svd;

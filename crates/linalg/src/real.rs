@@ -1,0 +1,301 @@
+//! The scalar-precision abstraction behind the generic math kernels.
+//!
+//! Training always runs in `f64` (the paper's precision); serving may opt
+//! into `f32` for throughput. [`Real`] is the small trait the lane-chunked
+//! kernels in [`crate::lanes`] are generic over, and [`Precision`] is the
+//! runtime tag carried by artifacts and serving configuration.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A floating-point scalar the math kernels can be instantiated at.
+///
+/// Implemented exactly twice — [`f64`] (canonical, used for training) and
+/// [`f32`] (opt-in serving precision). The trait carries only what the hot
+/// loops need; everything defaults to the obvious `std` operation, so both
+/// impls are thin.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (exact for `f64`, rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (exact for both impls).
+    fn to_f64(self) -> f64;
+    /// `self.sqrt()`.
+    fn sqrt(self) -> Self;
+    /// `self.exp()`.
+    fn exp(self) -> Self;
+    /// `self.abs()`.
+    fn abs(self) -> Self;
+    /// `self.powf(e)`.
+    fn powf(self, e: Self) -> Self;
+    /// IEEE max (branch-free on every target the kernels care about).
+    fn max(self, other: Self) -> Self;
+    /// IEEE min.
+    fn min(self, other: Self) -> Self;
+    /// `self.is_finite()`.
+    fn is_finite(self) -> bool;
+
+    /// Dispatched lane-chunked dot product (see [`crate::lanes`]).
+    ///
+    /// The default is the scalar lane kernel; the `f64`/`f32` impls override
+    /// it under the `simd` feature to route through the runtime-selected
+    /// backend. Every backend computes the *same* lane-chunked reduction, so
+    /// the override never changes a single bit.
+    fn lanes_dot(a: &[Self], b: &[Self]) -> Self {
+        crate::lanes::scalar::dot(a, b)
+    }
+
+    /// Dispatched lane-chunked squared Euclidean distance.
+    fn lanes_sq_euclidean(a: &[Self], b: &[Self]) -> Self {
+        crate::lanes::scalar::sq_euclidean(a, b)
+    }
+
+    /// Dispatched lane-chunked weighted squared distance
+    /// `Σ_n max(w_n, 0) · (a_n − b_n)²` — the `p = 2` Minkowski power sum.
+    fn lanes_weighted_sq_sum(a: &[Self], b: &[Self], w: &[Self]) -> Self {
+        crate::lanes::scalar::weighted_sq_sum(a, b, w)
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn powf(self, e: Self) -> Self {
+        f64::powf(self, e)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn lanes_dot(a: &[Self], b: &[Self]) -> Self {
+        match crate::lanes::Backend::active() {
+            crate::lanes::Backend::Simd => crate::simd::dot_f64(a, b),
+            crate::lanes::Backend::Scalar => crate::lanes::scalar::dot(a, b),
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn lanes_sq_euclidean(a: &[Self], b: &[Self]) -> Self {
+        match crate::lanes::Backend::active() {
+            crate::lanes::Backend::Simd => crate::simd::sq_euclidean_f64(a, b),
+            crate::lanes::Backend::Scalar => crate::lanes::scalar::sq_euclidean(a, b),
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn lanes_weighted_sq_sum(a: &[Self], b: &[Self], w: &[Self]) -> Self {
+        match crate::lanes::Backend::active() {
+            crate::lanes::Backend::Simd => crate::simd::weighted_sq_sum_f64(a, b, w),
+            crate::lanes::Backend::Scalar => crate::lanes::scalar::weighted_sq_sum(a, b, w),
+        }
+    }
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn powf(self, e: Self) -> Self {
+        f32::powf(self, e)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn lanes_dot(a: &[Self], b: &[Self]) -> Self {
+        match crate::lanes::Backend::active() {
+            crate::lanes::Backend::Simd => crate::simd::dot_f32(a, b),
+            crate::lanes::Backend::Scalar => crate::lanes::scalar::dot(a, b),
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn lanes_sq_euclidean(a: &[Self], b: &[Self]) -> Self {
+        match crate::lanes::Backend::active() {
+            crate::lanes::Backend::Simd => crate::simd::sq_euclidean_f32(a, b),
+            crate::lanes::Backend::Scalar => crate::lanes::scalar::sq_euclidean(a, b),
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn lanes_weighted_sq_sum(a: &[Self], b: &[Self], w: &[Self]) -> Self {
+        match crate::lanes::Backend::active() {
+            crate::lanes::Backend::Simd => crate::simd::weighted_sq_sum_f32(a, b, w),
+            crate::lanes::Backend::Scalar => crate::lanes::scalar::weighted_sq_sum(a, b, w),
+        }
+    }
+}
+
+/// Which scalar precision a model runs its forward pass in.
+///
+/// `F64` is the training precision and the default everywhere; `F32` is the
+/// opt-in serving precision (artifacts stay `f64` on disk — the cast happens
+/// at load/evaluation time). See the "Kernel backends and precision
+/// contract" section of `docs/ARCHITECTURE.md` for the numerics contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Double precision — canonical, bit-exact across backends and threads.
+    #[default]
+    F64,
+    /// Single precision — tolerance-bounded against `F64`, still bit-exact
+    /// across thread counts for a fixed backend.
+    F32,
+}
+
+impl Precision {
+    /// The label used on the wire and in metrics (`"f64"` / `"f32"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Parses a label; accepts exactly `"f64"` and `"f32"`.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels_agree<T: Real>(tol: f64) {
+        let a: Vec<T> = (0..13).map(|i| T::from_f64(0.1 * f64::from(i))).collect();
+        let b: Vec<T> = (0..13)
+            .map(|i| T::from_f64(0.07 * f64::from(i) - 0.3))
+            .collect();
+        let naive: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| x.to_f64() * y.to_f64())
+            .sum();
+        assert!((T::lanes_dot(&a, &b).to_f64() - naive).abs() < tol);
+    }
+
+    #[test]
+    fn both_precisions_implement_the_kernels() {
+        kernels_agree::<f64>(1e-12);
+        kernels_agree::<f32>(1e-4);
+    }
+
+    #[test]
+    fn precision_labels_round_trip() {
+        assert_eq!(Precision::F64.label(), "f64");
+        assert_eq!(Precision::F32.label(), "f32");
+        assert_eq!(Precision::parse("f64"), Some(Precision::F64));
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        assert_eq!(Precision::parse("f16"), None);
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(Precision::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn real_scalar_ops_match_std() {
+        assert_eq!(<f32 as Real>::from_f64(0.5), 0.5f32);
+        assert_eq!(Real::max(1.0f64, 2.0), 2.0);
+        assert_eq!(Real::min(1.0f32, 2.0), 1.0);
+        assert!((Real::sqrt(2.0f64) - std::f64::consts::SQRT_2).abs() < 1e-15);
+        assert!(Real::is_finite(1.0f32));
+        assert!(!Real::is_finite(f64::INFINITY));
+    }
+}

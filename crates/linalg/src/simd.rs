@@ -1,0 +1,428 @@
+//! Explicit `core::arch` x86_64 implementations of the lane-chunked
+//! reduction kernels (the opt-in `simd` feature).
+//!
+//! Every function here computes the **exact** canonical reduction defined in
+//! [`crate::lanes`]: four accumulator lanes updated with pure vertical
+//! multiply-then-add (deliberately *not* fused — FMA rounds once where
+//! `mul + add` rounds twice, which would change bits vs the scalar backend),
+//! folded as `(acc0 + acc1) + (acc2 + acc3)`, tail handled sequentially.
+//! The conformance battery asserts bit-identity against
+//! [`crate::lanes::scalar`] for every size and precision.
+//!
+//! SSE2 is the x86_64 baseline, so the SSE paths need no runtime detection;
+//! AVX2 is used when the CPU reports it (`is_x86_feature_detected!`). Both
+//! produce identical bits — per-lane operations and fold order are the same
+//! — so the AVX2/SSE2 choice, like the backend choice, affects speed only.
+//!
+//! # Safety
+//!
+//! This module is the crate's only `unsafe` surface. The obligations are:
+//!
+//! * `_mm*_loadu_*` reads of `LANES` elements happen only at offsets
+//!   `base` with `base + LANES <= n`, where `n` is the (debug-asserted
+//!   equal) slice length — in-bounds by construction of the block loop;
+//! * `#[target_feature(enable = "avx2")]` functions are only reached behind
+//!   a cached `is_x86_feature_detected!("avx2")` check.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+/// Cached AVX2 availability (one detection per process).
+#[inline]
+fn has_avx2() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+}
+
+/// Folds four `f64` lane accumulators in the canonical order.
+#[inline(always)]
+fn fold4(acc: [f64; 4]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Extracts the four lanes of a 256-bit `f64` vector.
+///
+/// # Safety
+/// Caller must be executing with AVX2 available.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn lanes_of_256(v: __m256d) -> [f64; 4] {
+    let mut out = [0.0f64; 4];
+    _mm256_storeu_pd(out.as_mut_ptr(), v);
+    out
+}
+
+/// Extracts the lanes of two 128-bit `f64` vectors as lanes 0–3.
+#[inline]
+unsafe fn lanes_of_2x128(lo: __m128d, hi: __m128d) -> [f64; 4] {
+    let mut out = [0.0f64; 4];
+    // Safety: `out` has room for 2 + 2 lanes; SSE2 is baseline on x86_64.
+    unsafe {
+        _mm_storeu_pd(out.as_mut_ptr(), lo);
+        _mm_storeu_pd(out.as_mut_ptr().add(2), hi);
+    }
+    out
+}
+
+macro_rules! f64_kernel {
+    ($name:ident, $sse:ident, $avx:ident, ($($arg:ident),+)) => {
+        /// Dispatched f64 kernel: AVX2 when detected, SSE2 otherwise.
+        /// Bit-identical to the scalar lane kernel either way.
+        #[inline]
+        pub fn $name($($arg: &[f64]),+) -> f64 {
+            if has_avx2() {
+                // Safety: AVX2 presence just checked.
+                unsafe { $avx($($arg),+) }
+            } else {
+                // Safety: SSE2 is the x86_64 baseline.
+                unsafe { $sse($($arg),+) }
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------- dot (f64)
+
+f64_kernel!(dot_f64, dot_f64_sse2, dot_f64_avx2, (a, b));
+
+/// # Safety
+/// SSE2 only (x86_64 baseline); see the module-level safety notes.
+unsafe fn dot_f64_sse2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 4;
+    let mut acc_lo = _mm_setzero_pd();
+    let mut acc_hi = _mm_setzero_pd();
+    for j in 0..blocks {
+        let base = j * 4;
+        // Safety: base + 4 <= n, so both 2-lane loads are in bounds.
+        let va_lo = _mm_loadu_pd(a.as_ptr().add(base));
+        let vb_lo = _mm_loadu_pd(b.as_ptr().add(base));
+        let va_hi = _mm_loadu_pd(a.as_ptr().add(base + 2));
+        let vb_hi = _mm_loadu_pd(b.as_ptr().add(base + 2));
+        acc_lo = _mm_add_pd(acc_lo, _mm_mul_pd(va_lo, vb_lo));
+        acc_hi = _mm_add_pd(acc_hi, _mm_mul_pd(va_hi, vb_hi));
+    }
+    let mut sum = fold4(lanes_of_2x128(acc_lo, acc_hi));
+    for i in blocks * 4..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_f64_avx2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 4;
+    let mut acc = _mm256_setzero_pd();
+    for j in 0..blocks {
+        let base = j * 4;
+        // Safety: base + 4 <= n.
+        let va = _mm256_loadu_pd(a.as_ptr().add(base));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(base));
+        // No FMA: mul-then-add matches the scalar backend's rounding.
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+    }
+    let mut sum = fold4(lanes_of_256(acc));
+    for i in blocks * 4..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+// ------------------------------------------------------ sq_euclidean (f64)
+
+f64_kernel!(
+    sq_euclidean_f64,
+    sq_euclidean_f64_sse2,
+    sq_euclidean_f64_avx2,
+    (a, b)
+);
+
+/// # Safety
+/// SSE2 only (x86_64 baseline).
+unsafe fn sq_euclidean_f64_sse2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 4;
+    let mut acc_lo = _mm_setzero_pd();
+    let mut acc_hi = _mm_setzero_pd();
+    for j in 0..blocks {
+        let base = j * 4;
+        // Safety: base + 4 <= n.
+        let d_lo = _mm_sub_pd(
+            _mm_loadu_pd(a.as_ptr().add(base)),
+            _mm_loadu_pd(b.as_ptr().add(base)),
+        );
+        let d_hi = _mm_sub_pd(
+            _mm_loadu_pd(a.as_ptr().add(base + 2)),
+            _mm_loadu_pd(b.as_ptr().add(base + 2)),
+        );
+        acc_lo = _mm_add_pd(acc_lo, _mm_mul_pd(d_lo, d_lo));
+        acc_hi = _mm_add_pd(acc_hi, _mm_mul_pd(d_hi, d_hi));
+    }
+    let mut sum = fold4(lanes_of_2x128(acc_lo, acc_hi));
+    for i in blocks * 4..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[target_feature(enable = "avx2")]
+unsafe fn sq_euclidean_f64_avx2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 4;
+    let mut acc = _mm256_setzero_pd();
+    for j in 0..blocks {
+        let base = j * 4;
+        // Safety: base + 4 <= n.
+        let d = _mm256_sub_pd(
+            _mm256_loadu_pd(a.as_ptr().add(base)),
+            _mm256_loadu_pd(b.as_ptr().add(base)),
+        );
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    let mut sum = fold4(lanes_of_256(acc));
+    for i in blocks * 4..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+// --------------------------------------------------- weighted_sq_sum (f64)
+
+f64_kernel!(
+    weighted_sq_sum_f64,
+    weighted_sq_sum_f64_sse2,
+    weighted_sq_sum_f64_avx2,
+    (a, b, w)
+);
+
+/// # Safety
+/// SSE2 only (x86_64 baseline).
+unsafe fn weighted_sq_sum_f64_sse2(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), w.len());
+    let n = a.len().min(b.len()).min(w.len());
+    let blocks = n / 4;
+    let zero = _mm_setzero_pd();
+    let mut acc_lo = _mm_setzero_pd();
+    let mut acc_hi = _mm_setzero_pd();
+    for j in 0..blocks {
+        let base = j * 4;
+        // Safety: base + 4 <= n.
+        let d_lo = _mm_sub_pd(
+            _mm_loadu_pd(a.as_ptr().add(base)),
+            _mm_loadu_pd(b.as_ptr().add(base)),
+        );
+        let d_hi = _mm_sub_pd(
+            _mm_loadu_pd(a.as_ptr().add(base + 2)),
+            _mm_loadu_pd(b.as_ptr().add(base + 2)),
+        );
+        // maxpd(w, 0) matches `f64::max(w, 0.0)`: NaN and -0.0 both map
+        // to +0.0, exactly like the scalar backend.
+        let w_lo = _mm_max_pd(_mm_loadu_pd(w.as_ptr().add(base)), zero);
+        let w_hi = _mm_max_pd(_mm_loadu_pd(w.as_ptr().add(base + 2)), zero);
+        acc_lo = _mm_add_pd(acc_lo, _mm_mul_pd(w_lo, _mm_mul_pd(d_lo, d_lo)));
+        acc_hi = _mm_add_pd(acc_hi, _mm_mul_pd(w_hi, _mm_mul_pd(d_hi, d_hi)));
+    }
+    let mut sum = fold4(lanes_of_2x128(acc_lo, acc_hi));
+    for i in blocks * 4..n {
+        let d = a[i] - b[i];
+        sum += w[i].max(0.0) * (d * d);
+    }
+    sum
+}
+
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[target_feature(enable = "avx2")]
+unsafe fn weighted_sq_sum_f64_avx2(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), w.len());
+    let n = a.len().min(b.len()).min(w.len());
+    let blocks = n / 4;
+    let zero = _mm256_setzero_pd();
+    let mut acc = _mm256_setzero_pd();
+    for j in 0..blocks {
+        let base = j * 4;
+        // Safety: base + 4 <= n.
+        let d = _mm256_sub_pd(
+            _mm256_loadu_pd(a.as_ptr().add(base)),
+            _mm256_loadu_pd(b.as_ptr().add(base)),
+        );
+        let wv = _mm256_max_pd(_mm256_loadu_pd(w.as_ptr().add(base)), zero);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(wv, _mm256_mul_pd(d, d)));
+    }
+    let mut sum = fold4(lanes_of_256(acc));
+    for i in blocks * 4..n {
+        let d = a[i] - b[i];
+        sum += w[i].max(0.0) * (d * d);
+    }
+    sum
+}
+
+// ------------------------------------------------------------- f32 kernels
+//
+// The canonical lane width stays 4 for f32 as well (one __m128), keeping
+// the reduction semantics uniform across precisions.
+
+/// Folds four `f32` lane accumulators in the canonical order.
+#[inline(always)]
+fn fold4_f32(acc: [f32; 4]) -> f32 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Extracts the four lanes of a 128-bit `f32` vector.
+#[inline]
+unsafe fn lanes_of_128f(v: __m128) -> [f32; 4] {
+    let mut out = [0.0f32; 4];
+    // Safety: `out` has room for 4 lanes; SSE is baseline on x86_64.
+    unsafe { _mm_storeu_ps(out.as_mut_ptr(), v) };
+    out
+}
+
+/// f32 lane-chunked dot product (SSE; bit-identical to the scalar lanes).
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 4;
+    // Safety: SSE is the x86_64 baseline; loads stay in bounds (base+4<=n).
+    let mut sum = unsafe {
+        let mut acc = _mm_setzero_ps();
+        for j in 0..blocks {
+            let base = j * 4;
+            let va = _mm_loadu_ps(a.as_ptr().add(base));
+            let vb = _mm_loadu_ps(b.as_ptr().add(base));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
+        }
+        fold4_f32(lanes_of_128f(acc))
+    };
+    for i in blocks * 4..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// f32 lane-chunked squared Euclidean distance.
+#[inline]
+pub fn sq_euclidean_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 4;
+    // Safety: SSE baseline; loads in bounds.
+    let mut sum = unsafe {
+        let mut acc = _mm_setzero_ps();
+        for j in 0..blocks {
+            let base = j * 4;
+            let d = _mm_sub_ps(
+                _mm_loadu_ps(a.as_ptr().add(base)),
+                _mm_loadu_ps(b.as_ptr().add(base)),
+            );
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+        }
+        fold4_f32(lanes_of_128f(acc))
+    };
+    for i in blocks * 4..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// f32 lane-chunked weighted squared distance `Σ max(w,0)·(a−b)²`.
+#[inline]
+pub fn weighted_sq_sum_f32(a: &[f32], b: &[f32], w: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), w.len());
+    let n = a.len().min(b.len()).min(w.len());
+    let blocks = n / 4;
+    // Safety: SSE baseline; loads in bounds.
+    let mut sum = unsafe {
+        let zero = _mm_setzero_ps();
+        let mut acc = _mm_setzero_ps();
+        for j in 0..blocks {
+            let base = j * 4;
+            let d = _mm_sub_ps(
+                _mm_loadu_ps(a.as_ptr().add(base)),
+                _mm_loadu_ps(b.as_ptr().add(base)),
+            );
+            let wv = _mm_max_ps(_mm_loadu_ps(w.as_ptr().add(base)), zero);
+            acc = _mm_add_ps(acc, _mm_mul_ps(wv, _mm_mul_ps(d, d)));
+        }
+        fold4_f32(lanes_of_128f(acc))
+    };
+    for i in blocks * 4..n {
+        let d = a[i] - b[i];
+        sum += w[i].max(0.0) * (d * d);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::scalar;
+
+    #[test]
+    fn intrinsics_match_scalar_lanes_bit_for_bit() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 65, 127] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+            let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() - 0.2).collect();
+            assert_eq!(
+                dot_f64(&a, &b).to_bits(),
+                scalar::dot(&a, &b).to_bits(),
+                "dot n={n}"
+            );
+            assert_eq!(
+                sq_euclidean_f64(&a, &b).to_bits(),
+                scalar::sq_euclidean(&a, &b).to_bits(),
+                "sq n={n}"
+            );
+            assert_eq!(
+                weighted_sq_sum_f64(&a, &b, &w).to_bits(),
+                scalar::weighted_sq_sum(&a, &b, &w).to_bits(),
+                "wsq n={n}"
+            );
+
+            let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+            let w32: Vec<f32> = w.iter().map(|&v| v as f32).collect();
+            assert_eq!(
+                dot_f32(&a32, &b32).to_bits(),
+                scalar::dot(&a32, &b32).to_bits()
+            );
+            assert_eq!(
+                sq_euclidean_f32(&a32, &b32).to_bits(),
+                scalar::sq_euclidean(&a32, &b32).to_bits()
+            );
+            assert_eq!(
+                weighted_sq_sum_f32(&a32, &b32, &w32).to_bits(),
+                scalar::weighted_sq_sum(&a32, &b32, &w32).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn weight_clamp_edge_cases_match_scalar() {
+        let a = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0f64; 5];
+        let w = [f64::NAN, -0.0, -1.0, 0.5, f64::NAN];
+        assert_eq!(
+            weighted_sq_sum_f64(&a, &b, &w).to_bits(),
+            scalar::weighted_sq_sum(&a, &b, &w).to_bits()
+        );
+    }
+}

@@ -8,7 +8,7 @@
 
 use ifair::api::{peek_artifact, shape_error, ConfigError, FitError};
 use ifair::core::par::WorkerPool;
-use ifair::core::IFair;
+use ifair::core::{IFair, Precision};
 use ifair::data::Dataset;
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
@@ -65,34 +65,47 @@ impl Artifact {
     }
 
     /// Maps `rows` through the transform stages on `pool`, returning one
-    /// output row per input row — bit-identical to the in-process
-    /// [`Pipeline::transform`] / [`IFair::transform`] calls for every pool
-    /// size.
+    /// output row per input row. At [`Precision::F64`] this is bit-identical
+    /// to the in-process [`Pipeline::transform`] / [`IFair::transform`]
+    /// calls for every pool size; at [`Precision::F32`] the iFair stage is
+    /// lowered to the f32 serving kernel (tolerance-bounded against f64,
+    /// still pool-size invariant — see `docs/ARCHITECTURE.md`).
     pub fn transform(
         &self,
         rows: Matrix,
         group: Vec<u8>,
         pool: Option<&WorkerPool>,
+        precision: Precision,
     ) -> Result<Matrix, FitError> {
         self.check_width(&rows)?;
         match self {
-            Artifact::Pipeline(p) => p.transform_on(&request_dataset(rows, group)?, pool),
-            Artifact::Model(m) => Ok(m.transform_on(&rows, pool)),
+            Artifact::Pipeline(p) => {
+                p.transform_on_prec(&request_dataset(rows, group)?, pool, precision)
+            }
+            Artifact::Model(m) => match precision {
+                Precision::F64 => Ok(m.transform_on(&rows, pool)),
+                Precision::F32 => Ok(m.to_f32().transform_on(&rows, pool)),
+            },
         }
     }
 
     /// Runs the full chain on `pool` and returns `(scores, decisions)` of
     /// the terminal predictor — `predict_proba` and `predict` of the
-    /// in-process API, computed over one shared prefix pass.
+    /// in-process API, computed over one shared prefix pass. `precision`
+    /// selects the iFair stage's kernel; the terminal predictor always
+    /// scores in f64.
     pub fn predict(
         &self,
         rows: Matrix,
         group: Vec<u8>,
         pool: Option<&WorkerPool>,
+        precision: Precision,
     ) -> Result<(Vec<f64>, Vec<f64>), FitError> {
         self.check_width(&rows)?;
         match self {
-            Artifact::Pipeline(p) => p.predict_scored_on(&request_dataset(rows, group)?, pool),
+            Artifact::Pipeline(p) => {
+                p.predict_scored_on_prec(&request_dataset(rows, group)?, pool, precision)
+            }
             Artifact::Model(_) => Err(FitError::Config(ConfigError::new(
                 "model",
                 "a bare iFair model has no predictor stage; serve a pipeline or call transform",
@@ -220,12 +233,65 @@ mod tests {
         // builds; compare against the pipeline run on that exact view.
         let view = request_dataset(ds.x.clone(), vec![]).unwrap();
         let expect = pipeline.transform(&view).unwrap();
-        let got = served.transform(ds.x.clone(), vec![], None).unwrap();
+        let got = served
+            .transform(ds.x.clone(), vec![], None, Precision::F64)
+            .unwrap();
         assert_eq!(got, expect);
 
-        let (scores, decisions) = served.predict(ds.x.clone(), vec![], None).unwrap();
+        let (scores, decisions) = served
+            .predict(ds.x.clone(), vec![], None, Precision::F64)
+            .unwrap();
         assert_eq!(scores, pipeline.predict_proba(&view).unwrap());
         assert_eq!(decisions, pipeline.predict(&view).unwrap());
+    }
+
+    #[test]
+    fn f32_precision_stays_within_tolerance_of_f64() {
+        let ds = toy_dataset(24);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .ifair(quick_config())
+            .logistic_regression_default()
+            .fit(&ds)
+            .unwrap();
+        let served = Artifact::from_json(&pipeline.to_json().unwrap()).unwrap();
+
+        let full = served
+            .transform(ds.x.clone(), vec![], None, Precision::F64)
+            .unwrap();
+        let half = served
+            .transform(ds.x.clone(), vec![], None, Precision::F32)
+            .unwrap();
+        assert_eq!(half.shape(), full.shape());
+        let mut max_err = 0.0f64;
+        for (a, b) in half.as_slice().iter().zip(full.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err > 0.0, "f32 path should actually round differently");
+        assert!(max_err < 1e-3, "f32 drift {max_err} exceeds tolerance");
+
+        let (scores64, _) = served
+            .predict(ds.x.clone(), vec![], None, Precision::F64)
+            .unwrap();
+        let (scores32, _) = served
+            .predict(ds.x.clone(), vec![], None, Precision::F32)
+            .unwrap();
+        for (a, b) in scores32.iter().zip(&scores64) {
+            assert!((a - b).abs() < 1e-3);
+        }
+
+        // A bare model artifact lowers the same way.
+        let model = IFair::fit(&ds.x, &ds.protected, &quick_config()).unwrap();
+        let served = Artifact::from_json(&model.to_json().unwrap()).unwrap();
+        let full = served
+            .transform(ds.x.clone(), vec![], None, Precision::F64)
+            .unwrap();
+        let half = served
+            .transform(ds.x.clone(), vec![], None, Precision::F32)
+            .unwrap();
+        for (a, b) in half.as_slice().iter().zip(full.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
     }
 
     #[test]
@@ -235,12 +301,12 @@ mod tests {
         let served = Artifact::from_json(&model.to_json().unwrap()).unwrap();
         let narrow = Matrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
         assert!(served
-            .transform(narrow, vec![], None)
+            .transform(narrow, vec![], None, Precision::F64)
             .unwrap_err()
             .to_string()
             .contains("expects 3"));
         assert!(served
-            .predict(ds.x.clone(), vec![], None)
+            .predict(ds.x.clone(), vec![], None, Precision::F64)
             .unwrap_err()
             .to_string()
             .contains("no predictor"));

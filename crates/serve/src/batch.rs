@@ -131,12 +131,12 @@ fn execute_group(pool: &WorkerPool, mut jobs: Vec<Job>) {
         match op {
             Op::Transform => model
                 .artifact
-                .transform(matrix, group, Some(pool))
+                .transform(matrix, group, Some(pool), model.precision)
                 .map(BatchOutput::Matrix)
                 .map_err(|e| e.to_string()),
             Op::Predict => model
                 .artifact
-                .predict(matrix, group, Some(pool))
+                .predict(matrix, group, Some(pool), model.precision)
                 .map(|(scores, decisions)| BatchOutput::Scored { scores, decisions })
                 .map_err(|e| e.to_string()),
         }
@@ -215,6 +215,7 @@ mod tests {
             name: "m".into(),
             path: PathBuf::from("in-memory"),
             artifact: Artifact::Model(Box::new(model)),
+            precision: ifair::core::Precision::F64,
             generation: 1,
         })
     }

@@ -51,6 +51,7 @@ pub mod server;
 
 pub use artifact::Artifact;
 pub use error::ServeError;
+pub use ifair::core::Precision;
 pub use metrics::Metrics;
 pub use registry::{LoadedModel, ModelRegistry, ModelSpec, ReloadReport};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -17,7 +17,7 @@ use ifair_serve::{ModelRegistry, ModelSpec, ServeError, Server, ServerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  ifair serve --model [name=]path.json [--model ...] [--addr HOST:PORT]
+  ifair serve --model [name=]path.json[@f32] [--model ...] [--addr HOST:PORT]
               [--threads N] [--http-workers N] [--queue-capacity N]
               [--max-batch-rows N] [--addr-file PATH]
   ifair demo-artifact <out.json>
@@ -25,7 +25,9 @@ const USAGE: &str = "usage:
 `--addr` defaults to 127.0.0.1:8080; port 0 picks an ephemeral port.
 `--threads 0` (default) sizes the forward-pass pool to the hardware.
 `--addr-file` writes the bound address to PATH once listening (for scripts
-that need to discover an ephemeral port).";
+that need to discover an ephemeral port).
+A `@f32` suffix serves that model's iFair transform in single precision
+(artifacts stay f64 on disk; `@f64`, the default, keeps full precision).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,11 +107,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
 fn serve(args: &[String]) -> Result<(), ServeError> {
     let args = parse_serve_args(args)?;
     let registry = ModelRegistry::load(args.specs)?;
-    let names = registry.names();
+    let models: Vec<String> = registry
+        .precision_labels()
+        .iter()
+        .map(|(name, precision)| format!("{name} ({precision})"))
+        .collect();
     let server = Server::bind(&args.addr, registry, args.config.clone())?;
     let addr = server.addr();
     println!("ifair-serve listening on http://{addr}");
-    println!("  models: {}", names.join(", "));
+    println!("  models: {}", models.join(", "));
     println!("  pool threads: {} (0 = hardware)", args.config.n_threads);
     println!("  try: curl http://{addr}/healthz");
     if let Some(path) = &args.addr_file {

@@ -106,8 +106,14 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text exposition served at `GET /metrics`.
-    /// `models_loaded` and `generation` come from the registry.
-    pub fn render(&self, models_loaded: usize, generation: u64) -> String {
+    /// `models_loaded`, `generation`, and the per-model `precisions`
+    /// (`(name, precision label)` pairs) come from the registry.
+    pub fn render(
+        &self,
+        models_loaded: usize,
+        generation: u64,
+        precisions: &[(String, &'static str)],
+    ) -> String {
         let mut out = String::with_capacity(1024);
         let mut counter = |name: &str, help: &str, value: u64| {
             out.push_str(&format!(
@@ -150,6 +156,16 @@ impl Metrics {
         out.push_str(&format!(
             "# HELP ifair_registry_generation Monotone registry version, bumped by reloads.\n# TYPE ifair_registry_generation gauge\nifair_registry_generation {generation}\n"
         ));
+        if !precisions.is_empty() {
+            out.push_str(
+                "# HELP ifair_model_precision Scalar precision each model serves at.\n# TYPE ifair_model_precision gauge\n",
+            );
+            for (name, precision) in precisions {
+                out.push_str(&format!(
+                    "ifair_model_precision{{model=\"{name}\",precision=\"{precision}\"}} 1\n"
+                ));
+            }
+        }
         let window = self.latencies.lock().expect("latency ring poisoned");
         out.push_str(
             "# HELP ifair_request_latency_seconds Request latency over a sliding window.\n# TYPE ifair_request_latency_seconds summary\n",
@@ -185,7 +201,7 @@ mod tests {
         m.observe_rejected();
         assert_eq!(m.requests_total(), 3);
         assert_eq!(m.rows_served(), 10);
-        let text = m.render(2, 7);
+        let text = m.render(2, 7, &[("a".to_string(), "f64"), ("b".to_string(), "f32")]);
         assert!(text.contains("ifair_requests_total 3"));
         assert!(text.contains("ifair_transform_requests_total 1"));
         assert!(text.contains("ifair_predict_requests_total 1"));
@@ -194,6 +210,8 @@ mod tests {
         assert!(text.contains("ifair_requests_rejected_total 1"));
         assert!(text.contains("ifair_models_loaded 2"));
         assert!(text.contains("ifair_registry_generation 7"));
+        assert!(text.contains("ifair_model_precision{model=\"a\",precision=\"f64\"} 1"));
+        assert!(text.contains("ifair_model_precision{model=\"b\",precision=\"f32\"} 1"));
         assert!(text.contains("quantile=\"0.5\""));
         assert!(text.contains("ifair_request_latency_seconds_count 3"));
     }

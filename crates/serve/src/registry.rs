@@ -8,24 +8,41 @@
 
 use crate::artifact::Artifact;
 use crate::error::ServeError;
+use ifair::core::Precision;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Where a named model comes from.
+/// Where a named model comes from, and the precision it serves at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelSpec {
     /// The name the model is served under (`/v1/models/{name}/...`).
     pub name: String,
     /// The artifact file backing it.
     pub path: PathBuf,
+    /// The scalar precision the iFair transform runs at. Artifacts are
+    /// always *stored* in f64; `@f32` lowers the representation stage at
+    /// serving time (see `docs/ARCHITECTURE.md`).
+    pub precision: Precision,
 }
 
 impl ModelSpec {
-    /// Parses a `--model` argument: either `name=path.json` or a bare
-    /// `path.json` (the file stem becomes the name).
+    /// Parses a `--model` argument: `[name=]path.json[@f32|@f64]`. Without
+    /// a `name=` prefix the file stem becomes the name; without a precision
+    /// suffix the model serves at full f64.
     pub fn parse(arg: &str) -> Result<ModelSpec, ServeError> {
+        let (arg, precision) = match arg.rsplit_once('@') {
+            Some((rest, suffix)) => {
+                let precision = Precision::parse(suffix).ok_or_else(|| {
+                    ServeError::Config(format!(
+                        "unknown precision suffix `@{suffix}` (expected `@f32` or `@f64`)"
+                    ))
+                })?;
+                (rest, precision)
+            }
+            None => (arg, Precision::F64),
+        };
         let (name, path) = match arg.split_once('=') {
             Some((name, path)) => (name.to_string(), PathBuf::from(path)),
             None => {
@@ -45,7 +62,11 @@ impl ModelSpec {
                 "model name `{name}` must be non-empty and slash-free"
             )));
         }
-        Ok(ModelSpec { name, path })
+        Ok(ModelSpec {
+            name,
+            path,
+            precision,
+        })
     }
 }
 
@@ -58,6 +79,8 @@ pub struct LoadedModel {
     pub path: PathBuf,
     /// The decoded artifact.
     pub artifact: Artifact,
+    /// The scalar precision the iFair transform runs at for this model.
+    pub precision: Precision,
     /// Registry generation this snapshot belongs to (1 = initial load).
     pub generation: u64,
 }
@@ -135,6 +158,20 @@ impl ModelRegistry {
         names
     }
 
+    /// Sorted `(name, precision label)` pairs of the loaded models, for the
+    /// `/metrics` per-model precision gauges.
+    pub fn precision_labels(&self) -> Vec<(String, &'static str)> {
+        let mut labels: Vec<(String, &'static str)> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .map(|m| (m.name.clone(), m.precision.label()))
+            .collect();
+        labels.sort();
+        labels
+    }
+
     /// Number of loaded models.
     pub fn len(&self) -> usize {
         self.models.read().expect("registry lock poisoned").len()
@@ -197,6 +234,7 @@ fn load_one(spec: &ModelSpec, generation: u64) -> Result<LoadedModel, ServeError
         name: spec.name.clone(),
         path: spec.path.clone(),
         artifact,
+        precision: spec.precision,
         generation,
     })
 }
@@ -245,10 +283,29 @@ mod tests {
         let s = ModelSpec::parse("credit=/tmp/credit.json").unwrap();
         assert_eq!(s.name, "credit");
         assert_eq!(s.path, PathBuf::from("/tmp/credit.json"));
+        assert_eq!(s.precision, Precision::F64);
         let s = ModelSpec::parse("/tmp/census_v3.json").unwrap();
         assert_eq!(s.name, "census_v3");
         assert!(ModelSpec::parse("=path.json").is_err());
         assert!(ModelSpec::parse("a/b=path.json").is_err());
+    }
+
+    #[test]
+    fn spec_parsing_reads_the_precision_suffix() {
+        let s = ModelSpec::parse("credit=/tmp/credit.json@f32").unwrap();
+        assert_eq!(s.name, "credit");
+        assert_eq!(s.path, PathBuf::from("/tmp/credit.json"));
+        assert_eq!(s.precision, Precision::F32);
+        // `@f64` is accepted and spells out the default.
+        let s = ModelSpec::parse("/tmp/census_v3.json@f64").unwrap();
+        assert_eq!(s.name, "census_v3");
+        assert_eq!(s.precision, Precision::F64);
+        // Bare path + suffix: the stem (without the suffix) names the model.
+        let s = ModelSpec::parse("/tmp/census_v3.json@f32").unwrap();
+        assert_eq!(s.name, "census_v3");
+        assert_eq!(s.precision, Precision::F32);
+        let err = ModelSpec::parse("m=/tmp/m.json@f16").unwrap_err();
+        assert!(err.to_string().contains("@f16"));
     }
 
     #[test]
@@ -258,9 +315,12 @@ mod tests {
         let registry = ModelRegistry::load(vec![ModelSpec {
             name: "m".into(),
             path: path.clone(),
+            precision: Precision::F32,
         }])
         .unwrap();
         assert_eq!(registry.names(), vec!["m".to_string()]);
+        assert_eq!(registry.precision_labels(), vec![("m".to_string(), "f32")]);
+        assert_eq!(registry.get("m").unwrap().precision, Precision::F32);
         assert_eq!(registry.generation(), 1);
         let before = registry.get("m").unwrap();
         assert_eq!(before.generation, 1);
@@ -290,6 +350,7 @@ mod tests {
         let spec = |p: &str| ModelSpec {
             name: "m".into(),
             path: PathBuf::from(p),
+            precision: Precision::F64,
         };
         let err = ModelRegistry::load(vec![spec("a.json"), spec("b.json")]).unwrap_err();
         assert!(err.to_string().contains("declared twice"));
@@ -300,6 +361,7 @@ mod tests {
         let err = ModelRegistry::load(vec![ModelSpec {
             name: "m".into(),
             path: PathBuf::from("/definitely/not/here.json"),
+            precision: Precision::F64,
         }])
         .unwrap_err();
         assert!(err.to_string().contains("/definitely/not/here.json"));

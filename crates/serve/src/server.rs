@@ -346,7 +346,11 @@ fn dispatch(
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body: metrics
-                .render(registry.len(), registry.generation())
+                .render(
+                    registry.len(),
+                    registry.generation(),
+                    &registry.precision_labels(),
+                )
                 .into_bytes(),
             endpoint: Endpoint::Other,
             rows: 0,

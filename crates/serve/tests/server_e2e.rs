@@ -71,9 +71,18 @@ fn temp_file(tag: &str) -> PathBuf {
 }
 
 fn boot(path: &std::path::Path, name: &str) -> ifair_serve::ServerHandle {
+    boot_prec(path, name, ifair_serve::Precision::F64)
+}
+
+fn boot_prec(
+    path: &std::path::Path,
+    name: &str,
+    precision: ifair_serve::Precision,
+) -> ifair_serve::ServerHandle {
     let registry = ModelRegistry::load(vec![ModelSpec {
         name: name.into(),
         path: path.to_path_buf(),
+        precision,
     }])
     .unwrap();
     Server::bind("127.0.0.1:0", registry, ServerConfig::default())
@@ -143,6 +152,55 @@ fn server_responses_are_bit_identical_to_in_process_calls() {
     assert!(metrics.contains("ifair_requests_total"), "{metrics}");
     assert!(metrics.contains("ifair_rows_served_total 48"), "{metrics}");
     assert!(metrics.contains("quantile=\"0.99\""), "{metrics}");
+    assert!(
+        metrics.contains("ifair_model_precision{model=\"toy\",precision=\"f64\"} 1"),
+        "{metrics}"
+    );
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A model served with `@f32` answers within tolerance of the f64 pipeline
+/// and advertises its precision on `/metrics`.
+#[test]
+fn f32_served_model_tracks_f64_and_reports_its_precision() {
+    let ds = toy_dataset(24);
+    let pipeline = quick_pipeline(&ds, 11);
+    let path = temp_file("f32");
+    std::fs::write(&path, pipeline.to_json().unwrap()).unwrap();
+    let handle = boot_prec(&path, "half", ifair_serve::Precision::F32);
+    let addr = handle.addr();
+
+    let view = request_dataset(ds.x.clone(), vec![]).unwrap();
+    let expect_repr = pipeline.transform(&view).unwrap();
+    let expect_scores = pipeline.predict_proba(&view).unwrap();
+
+    let (status, body) =
+        client::post(addr, "/v1/models/half/transform", &rows_body(&ds.x)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let parsed: TransformResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed.model, "half");
+    assert_eq!(parsed.rows.len(), expect_repr.rows());
+    for (i, row) in parsed.rows.iter().enumerate() {
+        for (a, b) in row.iter().zip(expect_repr.row(i)) {
+            assert!((a - b).abs() < 1e-3, "row {i}: f32 drift {a} vs {b}");
+        }
+    }
+
+    let (status, body) = client::post(addr, "/v1/models/half/predict", &rows_body(&ds.x)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let parsed: PredictResponse = serde_json::from_str(&body).unwrap();
+    for (a, b) in parsed.scores.iter().zip(&expect_scores) {
+        assert!((a - b).abs() < 1e-3, "f32 score drift {a} vs {b}");
+    }
+
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("ifair_model_precision{model=\"half\",precision=\"f32\"} 1"),
+        "{metrics}"
+    );
 
     handle.shutdown();
     std::fs::remove_file(&path).ok();

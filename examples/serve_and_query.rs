@@ -40,6 +40,7 @@ fn main() {
     let registry = ModelRegistry::load(vec![ModelSpec {
         name: "applicants".into(),
         path: path.clone(),
+        precision: ifair_serve::Precision::F64,
     }])
     .expect("artifact loads");
     let handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())

@@ -45,7 +45,7 @@ use ifair_api::scalers::{MinMaxScalerConfig, StandardScalerConfig};
 use ifair_api::{ensure, FitError, Predict, Transform};
 use ifair_baselines::{Lfr, LfrConfig, SvdConfig, SvdRepresentation};
 use ifair_core::par::WorkerPool;
-use ifair_core::{Estimator, IFair, IFairConfig};
+use ifair_core::{Estimator, IFair, IFairConfig, Precision};
 use ifair_data::{Dataset, MinMaxScaler, StandardScaler};
 use ifair_linalg::Matrix;
 use ifair_models::{LogisticRegression, LogisticRegressionConfig, RidgeConfig, RidgeRegression};
@@ -230,7 +230,7 @@ impl Pipeline {
     /// Applies every transform stage in order, returning the dataset carried
     /// between stages (the terminal predictor, if any, is not applied).
     pub fn transform_dataset(&self, ds: &Dataset) -> Result<Dataset, FitError> {
-        transform_over(&self.stages, ds, None)
+        transform_over(&self.stages, ds, None, Precision::F64)
     }
 
     /// [`Pipeline::transform_dataset`] with the iFair forward pass fanned
@@ -241,7 +241,22 @@ impl Pipeline {
         ds: &Dataset,
         pool: Option<&WorkerPool>,
     ) -> Result<Dataset, FitError> {
-        transform_over(&self.stages, ds, pool)
+        transform_over(&self.stages, ds, pool, Precision::F64)
+    }
+
+    /// [`Pipeline::transform_dataset_on`] at an explicit serving precision.
+    /// Under [`Precision::F32`] the iFair stage runs its single-precision
+    /// forward pass ([`ifair_core::IFairF32`]) — tolerance-bounded against
+    /// the `f64` result, still bit-identical across pool sizes; every other
+    /// stage (scalers, SVD, predictors) stays `f64`. See "Kernel backends
+    /// and precision contract" in `docs/ARCHITECTURE.md`.
+    pub fn transform_dataset_on_prec(
+        &self,
+        ds: &Dataset,
+        pool: Option<&WorkerPool>,
+        precision: Precision,
+    ) -> Result<Dataset, FitError> {
+        transform_over(&self.stages, ds, pool, precision)
     }
 
     /// The representation produced by the transform stages (one row per
@@ -260,18 +275,29 @@ impl Pipeline {
         Ok(self.transform_dataset_on(ds, pool)?.x)
     }
 
+    /// [`Pipeline::transform_on`] at an explicit serving precision (see
+    /// [`Pipeline::transform_dataset_on_prec`]).
+    pub fn transform_on_prec(
+        &self,
+        ds: &Dataset,
+        pool: Option<&WorkerPool>,
+        precision: Precision,
+    ) -> Result<Matrix, FitError> {
+        Ok(self.transform_dataset_on_prec(ds, pool, precision)?.x)
+    }
+
     /// Continuous scores of the terminal predictor applied to the
     /// transformed records.
     pub fn predict_proba(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
         let (predictor, prefix) = self.split_predictor()?;
-        predictor.predict_proba(&transform_over(prefix, ds, None)?)
+        predictor.predict_proba(&transform_over(prefix, ds, None, Precision::F64)?)
     }
 
     /// Hard decisions of the terminal predictor applied to the transformed
     /// records.
     pub fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
         let (predictor, prefix) = self.split_predictor()?;
-        predictor.predict(&transform_over(prefix, ds, None)?)
+        predictor.predict(&transform_over(prefix, ds, None, Precision::F64)?)
     }
 
     /// Runs the transform prefix **once** on `pool` and returns both outputs
@@ -284,8 +310,21 @@ impl Pipeline {
         ds: &Dataset,
         pool: Option<&WorkerPool>,
     ) -> Result<(Vec<f64>, Vec<f64>), FitError> {
+        self.predict_scored_on_prec(ds, pool, Precision::F64)
+    }
+
+    /// [`Pipeline::predict_scored_on`] at an explicit serving precision:
+    /// the transform prefix runs per
+    /// [`Pipeline::transform_dataset_on_prec`]; the terminal predictor
+    /// always scores in `f64` over the carried features.
+    pub fn predict_scored_on_prec(
+        &self,
+        ds: &Dataset,
+        pool: Option<&WorkerPool>,
+        precision: Precision,
+    ) -> Result<(Vec<f64>, Vec<f64>), FitError> {
         let (predictor, prefix) = self.split_predictor()?;
-        let carried = transform_over(prefix, ds, pool)?;
+        let carried = transform_over(prefix, ds, pool, precision)?;
         Ok((
             predictor.predict_proba(&carried)?,
             predictor.predict(&carried)?,
@@ -336,18 +375,26 @@ impl Predict for Pipeline {
 /// Chains the transform stages of `stages` over `ds` (predictors skipped).
 /// When `pool` is given, the iFair stage — the only stage with a non-trivial
 /// forward pass — rides it via [`IFair::transform_on`]; every stage's output
-/// is bit-identical to the serial path.
+/// is bit-identical to the serial path. Under [`Precision::F32`] the iFair
+/// stage is lowered per call (`K·N` casts — noise next to the transform
+/// itself) and runs its `f32` forward pass; all other stages stay `f64`.
 fn transform_over(
     stages: &[FittedStage],
     ds: &Dataset,
     pool: Option<&WorkerPool>,
+    precision: Precision,
 ) -> Result<Dataset, FitError> {
     let mut current = ds.clone();
     for stage in stages {
-        match (stage, pool) {
-            (FittedStage::IFair(m), Some(pool)) => {
+        match stage {
+            FittedStage::IFair(m) if precision == Precision::F32 => {
                 ifair_api::check_width(&current, m.n_features(), "iFair model")?;
-                let x = m.transform_on(&current.x, Some(pool));
+                let x = m.to_f32().transform_on(&current.x, pool);
+                current = current.with_features(x).map_err(FitError::from)?;
+            }
+            FittedStage::IFair(m) if pool.is_some() => {
+                ifair_api::check_width(&current, m.n_features(), "iFair model")?;
+                let x = m.transform_on(&current.x, pool);
                 current = current.with_features(x).map_err(FitError::from)?;
             }
             _ => {
@@ -614,6 +661,52 @@ mod tests {
         let bare = Pipeline::builder().standard_scaler().fit(&ds).unwrap();
         assert!(bare.predict_scored_on(&ds, None).is_err());
         assert!(!bare.has_predictor());
+    }
+
+    #[test]
+    fn f32_precision_path_tracks_f64_and_is_pool_invariant() {
+        let ds = toy(96);
+        let pipeline = Pipeline::builder()
+            .standard_scaler()
+            .ifair(quick_ifair())
+            .logistic_regression_default()
+            .fit(&ds)
+            .unwrap();
+
+        let f64_repr = pipeline.transform_on(&ds, None).unwrap();
+        let f32_repr = pipeline
+            .transform_on_prec(&ds, None, Precision::F32)
+            .unwrap();
+        assert_eq!(f32_repr.shape(), f64_repr.shape());
+        for (a, b) in f32_repr.as_slice().iter().zip(f64_repr.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "f32 {a} vs f64 {b}");
+        }
+
+        // The f32 path keeps the pool-invariance contract: every pool size
+        // reproduces the serial f32 result bit-for-bit.
+        let (scores, hard) = pipeline
+            .predict_scored_on_prec(&ds, None, Precision::F32)
+            .unwrap();
+        for lanes in [1usize, 2, 4] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = pipeline
+                .transform_on_prec(&ds, Some(&pool), Precision::F32)
+                .unwrap();
+            assert_eq!(pooled, f32_repr, "lanes={lanes}");
+            let (s, h) = pipeline
+                .predict_scored_on_prec(&ds, Some(&pool), Precision::F32)
+                .unwrap();
+            assert_eq!(s, scores, "lanes={lanes}");
+            assert_eq!(h, hard, "lanes={lanes}");
+        }
+
+        // F64 through the _prec spelling is the plain path, bit-for-bit.
+        assert_eq!(
+            pipeline
+                .transform_on_prec(&ds, None, Precision::F64)
+                .unwrap(),
+            f64_repr
+        );
     }
 
     #[test]
