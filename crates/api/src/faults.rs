@@ -1,0 +1,331 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A seeded `FaultPlan` (present under the `fault-injection` feature)
+//! names *sites* (string labels compiled into
+//! production code paths: `"serve.batcher"`, `"api.artifact.write"`, ...)
+//! and schedules faults at specific call numbers of each site. The chaos
+//! test suite installs a plan, hammers the system, and asserts it degrades
+//! instead of corrupting — with the exact same fault sequence on every run
+//! of the same seed.
+//!
+//! The hooks ([`check_panic`], [`check_io`], [`check_delay`],
+//! [`check_torn`]) are compiled into the hot paths unconditionally but are
+//! empty inline functions unless the `fault-injection` feature is enabled;
+//! release builds without the feature carry no branch, no lock, and no
+//! global state. With the feature on, each hook consults a process-global
+//! plan under a mutex — slow, but this build only exists to be tortured.
+//!
+//! Everything here is `std`-only and deterministic: the plan's convenience
+//! `FaultPlan::draw` stream is SplitMix64 over the seed, and call
+//! counters make "the 3rd batcher dispatch panics" reproducible exactly.
+
+#[cfg(feature = "fault-injection")]
+pub use active::{clear, fault_count, install, FaultAction, FaultPlan};
+
+/// Panics at `site` if the installed plan scheduled a panic for this call.
+/// No-op without the `fault-injection` feature or an installed plan.
+#[inline]
+pub fn check_panic(site: &str) {
+    #[cfg(feature = "fault-injection")]
+    active::check_panic(site);
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = site;
+}
+
+/// Returns an injected `io::Error` at `site` if the installed plan
+/// scheduled one for this call; `Ok(())` otherwise (and always without the
+/// `fault-injection` feature).
+#[inline]
+pub fn check_io(site: &str) -> std::io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    return active::check_io(site);
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = site;
+        Ok(())
+    }
+}
+
+/// Sleeps for the injected duration at `site` if the installed plan
+/// scheduled a delay for this call (a slow-peer simulation). No-op without
+/// the `fault-injection` feature.
+#[inline]
+pub fn check_delay(site: &str) {
+    #[cfg(feature = "fault-injection")]
+    active::check_delay(site);
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = site;
+}
+
+/// Returns `true` at `site` if the installed plan scheduled a torn write
+/// for this call — the caller should truncate its write mid-body and drop
+/// the connection. Always `false` without the `fault-injection` feature.
+#[inline]
+pub fn check_torn(site: &str) -> bool {
+    #[cfg(feature = "fault-injection")]
+    return active::check_torn(site);
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod active {
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// What an armed fault does when its call number comes up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultAction {
+        /// Panic at the site (kills the thread unless trapped).
+        Panic,
+        /// Return `io::ErrorKind::Other` from an I/O site.
+        IoError,
+        /// Sleep this many milliseconds (slow peer / slow disk).
+        DelayMs(u64),
+        /// Truncate the write mid-body and drop the connection.
+        TornWrite,
+    }
+
+    /// One scheduled fault: fire `action` at `site` on the listed 1-based
+    /// call numbers.
+    #[derive(Debug, Clone)]
+    struct FaultRule {
+        site: String,
+        action: FaultAction,
+        calls: Vec<u64>,
+    }
+
+    /// A deterministic fault schedule, built by tests and installed
+    /// process-globally with [`install`].
+    #[derive(Debug, Clone, Default)]
+    pub struct FaultPlan {
+        seed: u64,
+        stream: u64,
+        rules: Vec<FaultRule>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan whose [`FaultPlan::draw`] stream is seeded by
+        /// `seed` — same seed, same schedule, forever.
+        pub fn new(seed: u64) -> FaultPlan {
+            FaultPlan {
+                seed,
+                stream: seed,
+                rules: Vec::new(),
+            }
+        }
+
+        /// The seed this plan was built from.
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// Draws the next value in `lo..=hi` from the plan's SplitMix64
+        /// stream — how tests derive seed-dependent call numbers without
+        /// inventing their own RNG.
+        pub fn draw(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo <= hi, "draw range is empty");
+            self.stream = self.stream.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.stream;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            lo + z % (hi - lo + 1)
+        }
+
+        /// Schedules a panic at `site` on the given 1-based call numbers.
+        pub fn panic_on(self, site: &str, calls: &[u64]) -> FaultPlan {
+            self.rule(site, FaultAction::Panic, calls)
+        }
+
+        /// Schedules an injected I/O error at `site`.
+        pub fn io_error_on(self, site: &str, calls: &[u64]) -> FaultPlan {
+            self.rule(site, FaultAction::IoError, calls)
+        }
+
+        /// Schedules a `ms`-millisecond stall at `site`.
+        pub fn delay_on(self, site: &str, calls: &[u64], ms: u64) -> FaultPlan {
+            self.rule(site, FaultAction::DelayMs(ms), calls)
+        }
+
+        /// Schedules a torn (truncated) write at `site`.
+        pub fn torn_write_on(self, site: &str, calls: &[u64]) -> FaultPlan {
+            self.rule(site, FaultAction::TornWrite, calls)
+        }
+
+        fn rule(mut self, site: &str, action: FaultAction, calls: &[u64]) -> FaultPlan {
+            assert!(
+                calls.iter().all(|&c| c >= 1),
+                "fault call numbers are 1-based"
+            );
+            self.rules.push(FaultRule {
+                site: site.to_string(),
+                action,
+                calls: calls.to_vec(),
+            });
+            self
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct Installed {
+        plan: FaultPlan,
+        /// Per-site hook visits (1-based at match time).
+        visits: HashMap<String, u64>,
+        /// Per-site faults actually fired.
+        fired: HashMap<String, u64>,
+    }
+
+    static ACTIVE: Mutex<Option<Installed>> = Mutex::new(None);
+
+    /// Installs `plan` process-globally, resetting all counters. Replaces
+    /// any previous plan.
+    pub fn install(plan: FaultPlan) {
+        let mut slot = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(Installed {
+            plan,
+            visits: HashMap::new(),
+            fired: HashMap::new(),
+        });
+    }
+
+    /// Removes the installed plan; every hook becomes a no-op again.
+    pub fn clear() {
+        let mut slot = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = None;
+    }
+
+    /// Number of faults that actually fired at `site` under the current
+    /// plan (0 when none installed) — lets tests assert a schedule was
+    /// really exercised rather than silently skipped.
+    pub fn fault_count(site: &str) -> u64 {
+        let slot = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        slot.as_ref()
+            .and_then(|s| s.fired.get(site).copied())
+            .unwrap_or(0)
+    }
+
+    /// Counts a hook visit at `site` and returns the action scheduled for
+    /// this call number, if any. The lock is released before the caller
+    /// acts, so panics and sleeps never happen under the global mutex.
+    fn trigger(site: &str, matches: fn(FaultAction) -> bool) -> Option<FaultAction> {
+        let mut slot = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        let installed = slot.as_mut()?;
+        let visit = installed.visits.entry(site.to_string()).or_insert(0);
+        *visit += 1;
+        let call = *visit;
+        let action = installed
+            .plan
+            .rules
+            .iter()
+            .find(|r| r.site == site && r.calls.contains(&call) && matches(r.action))
+            .map(|r| r.action)?;
+        *installed.fired.entry(site.to_string()).or_insert(0) += 1;
+        Some(action)
+    }
+
+    pub fn check_panic(site: &str) {
+        if let Some(FaultAction::Panic) = trigger(site, |a| a == FaultAction::Panic) {
+            panic!("injected fault: panic at `{site}`");
+        }
+    }
+
+    pub fn check_io(site: &str) -> io::Result<()> {
+        if let Some(FaultAction::IoError) = trigger(site, |a| a == FaultAction::IoError) {
+            return Err(io::Error::other(format!(
+                "injected fault: i/o error at `{site}`"
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn check_delay(site: &str) {
+        if let Some(FaultAction::DelayMs(ms)) =
+            trigger(site, |a| matches!(a, FaultAction::DelayMs(_)))
+        {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+
+    pub fn check_torn(site: &str) -> bool {
+        matches!(
+            trigger(site, |a| a == FaultAction::TornWrite),
+            Some(FaultAction::TornWrite)
+        )
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    /// The global plan is shared across the test binary's threads, so every
+    /// test here serializes on one lock and installs its own plan.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn scheduled_calls_fire_and_others_pass() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        install(FaultPlan::new(1).io_error_on("t.io", &[2]));
+        assert!(check_io("t.io").is_ok(), "call 1 passes");
+        assert!(check_io("t.io").is_err(), "call 2 fires");
+        assert!(check_io("t.io").is_ok(), "call 3 passes");
+        assert_eq!(fault_count("t.io"), 1);
+        clear();
+        assert!(check_io("t.io").is_ok());
+    }
+
+    #[test]
+    fn panic_hook_panics_on_schedule() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        install(FaultPlan::new(2).panic_on("t.panic", &[1]));
+        let result = std::panic::catch_unwind(|| check_panic("t.panic"));
+        clear();
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("injected fault"), "got {msg}");
+    }
+
+    #[test]
+    fn torn_write_hook_reports_only_scheduled_calls() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        install(FaultPlan::new(3).torn_write_on("t.torn", &[1, 3]));
+        assert!(check_torn("t.torn"));
+        assert!(!check_torn("t.torn"));
+        assert!(check_torn("t.torn"));
+        assert_eq!(fault_count("t.torn"), 2);
+        clear();
+    }
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        let mut a = FaultPlan::new(7);
+        let mut b = FaultPlan::new(7);
+        let mut c = FaultPlan::new(8);
+        let da: Vec<u64> = (0..16).map(|_| a.draw(1, 10)).collect();
+        let db: Vec<u64> = (0..16).map(|_| b.draw(1, 10)).collect();
+        let dc: Vec<u64> = (0..16).map(|_| c.draw(1, 10)).collect();
+        assert_eq!(da, db);
+        assert_ne!(da, dc);
+        assert!(da.iter().all(|&v| (1..=10).contains(&v)));
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        install(
+            FaultPlan::new(4)
+                .io_error_on("t.a", &[1])
+                .io_error_on("t.b", &[2]),
+        );
+        assert!(check_io("t.a").is_err(), "site a fires on its own call 1");
+        assert!(check_io("t.b").is_ok(), "site b's counter is separate");
+        assert!(check_io("t.b").is_err());
+        clear();
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod faults;
 pub mod persist;
 pub mod scalers;
 pub mod traits;
@@ -48,6 +49,7 @@ pub use error::{
     check_group_labels, check_width, ensure, schema_error, shape_error, ConfigError, FitError,
 };
 pub use persist::{
-    from_versioned_json, peek_artifact, to_versioned_json, ArtifactInfo, SCHEMA_VERSION,
+    from_versioned_json, peek_artifact, to_versioned_json, write_atomic, ArtifactInfo,
+    SCHEMA_VERSION,
 };
 pub use traits::{Estimator, Predict, Transform};

@@ -52,6 +52,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod distance;
 pub mod estimator;
@@ -60,6 +61,7 @@ pub mod model_f32;
 pub mod objective;
 pub mod par;
 
+pub use checkpoint::FitCheckpoint;
 pub use config::{
     FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance,
 };
@@ -68,4 +70,4 @@ pub use ifair_api::{ConfigError, Estimator, FitError, Predict, Transform};
 pub use ifair_linalg::{Backend, Precision};
 pub use model::{EpochEvent, FitControl, IFair, RestartEvent, TrainingReport};
 pub use model_f32::IFairF32;
-pub use objective::{IFairObjective, MiniBatchObjective};
+pub use objective::{IFairObjective, MiniBatchObjective, SamplerState};

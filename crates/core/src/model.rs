@@ -1,5 +1,6 @@
 //! The trained iFair model: fitting, transforming, persistence.
 
+use crate::checkpoint::FitCheckpoint;
 use crate::config::{FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance};
 use crate::distance;
 use crate::objective::{IFairObjective, MiniBatchObjective};
@@ -199,6 +200,8 @@ impl IFair {
                     config,
                     restart_observer,
                     epoch_observer,
+                    None,
+                    |_| Ok(()),
                 )
             }
         }
@@ -248,8 +251,149 @@ impl IFair {
             return Err(shape_error("empty record source"));
         }
         check_protected(protected, n)?;
-        fit_mini_batch(source, protected, config, restart_observer, epoch_observer)
+        fit_mini_batch(
+            source,
+            protected,
+            config,
+            restart_observer,
+            epoch_observer,
+            None,
+            |_| Ok(()),
+        )
     }
+
+    /// [`IFair::fit_with_observers`] restricted to [`FitStrategy::MiniBatch`],
+    /// with `checkpoint_sink` invoked after **every completed epoch** with a
+    /// [`FitCheckpoint`] capturing the loop's entire state — parameters, Adam
+    /// moments, sampler RNG and shuffle state, and all completed restarts.
+    /// Persist it (e.g. [`FitCheckpoint::save`], which writes atomically) and
+    /// a crash loses at most one epoch: [`IFair::resume_from_checkpoint`]
+    /// replays the rest of the fit **bit-identically**. A sink error aborts
+    /// the fit — training past a checkpoint that failed to persist would
+    /// silently widen the crash window.
+    pub fn fit_checkpointed(
+        x: &Matrix,
+        protected: &[bool],
+        config: &IFairConfig,
+        checkpoint_sink: impl FnMut(&FitCheckpoint) -> Result<(), FitError>,
+    ) -> Result<IFair, FitError> {
+        config.validate()?;
+        require_mini_batch(config)?;
+        let (m, n) = x.shape();
+        if m == 0 || n == 0 {
+            return Err(shape_error("empty training matrix"));
+        }
+        check_protected(protected, n)?;
+        if x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(shape_error("training matrix contains non-finite values"));
+        }
+        let mut source = x;
+        fit_mini_batch(
+            &mut source,
+            protected,
+            config,
+            |_| FitControl::Continue,
+            |_| FitControl::Continue,
+            None,
+            checkpoint_sink,
+        )
+    }
+
+    /// [`IFair::fit_checkpointed`] over a streaming [`RecordSource`].
+    pub fn fit_source_checkpointed(
+        source: &mut dyn RecordSource,
+        protected: &[bool],
+        config: &IFairConfig,
+        checkpoint_sink: impl FnMut(&FitCheckpoint) -> Result<(), FitError>,
+    ) -> Result<IFair, FitError> {
+        config.validate()?;
+        require_mini_batch(config)?;
+        let (m, n) = (source.n_records(), source.n_features());
+        if m == 0 || n == 0 {
+            return Err(shape_error("empty record source"));
+        }
+        check_protected(protected, n)?;
+        fit_mini_batch(
+            source,
+            protected,
+            config,
+            |_| FitControl::Continue,
+            |_| FitControl::Continue,
+            None,
+            checkpoint_sink,
+        )
+    }
+
+    /// Continues an interrupted mini-batch fit from `checkpoint`, producing a
+    /// model **bit-identical** to the uninterrupted run at every thread
+    /// count. The checkpoint carries its own config and protected mask; `x`
+    /// must be the same training matrix the checkpoint was taken against
+    /// (shape is validated, and the sampler schedule depends on the record
+    /// count). `checkpoint_sink` keeps firing at the remaining epoch
+    /// boundaries, so a resumed fit survives further crashes; pass
+    /// `|_| Ok(())` to resume without checkpointing.
+    pub fn resume_from_checkpoint(
+        x: &Matrix,
+        checkpoint: &FitCheckpoint,
+        checkpoint_sink: impl FnMut(&FitCheckpoint) -> Result<(), FitError>,
+    ) -> Result<IFair, FitError> {
+        let (m, n) = x.shape();
+        if m == 0 || n == 0 {
+            return Err(shape_error("empty training matrix"));
+        }
+        check_protected(&checkpoint.protected, n)?;
+        if x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(shape_error("training matrix contains non-finite values"));
+        }
+        let mut source = x;
+        fit_mini_batch(
+            &mut source,
+            &checkpoint.protected,
+            &checkpoint.config,
+            |_| FitControl::Continue,
+            |_| FitControl::Continue,
+            Some(checkpoint),
+            checkpoint_sink,
+        )
+    }
+
+    /// [`IFair::resume_from_checkpoint`] over a streaming [`RecordSource`].
+    pub fn resume_source_from_checkpoint(
+        source: &mut dyn RecordSource,
+        checkpoint: &FitCheckpoint,
+        checkpoint_sink: impl FnMut(&FitCheckpoint) -> Result<(), FitError>,
+    ) -> Result<IFair, FitError> {
+        let (m, n) = (source.n_records(), source.n_features());
+        if m == 0 || n == 0 {
+            return Err(shape_error("empty record source"));
+        }
+        check_protected(&checkpoint.protected, n)?;
+        fit_mini_batch(
+            source,
+            &checkpoint.protected,
+            &checkpoint.config,
+            |_| FitControl::Continue,
+            |_| FitControl::Continue,
+            Some(checkpoint),
+            checkpoint_sink,
+        )
+    }
+}
+
+/// Rejects checkpointed-fit entry points on the full-batch path: L-BFGS
+/// carries optimizer-internal state (curvature history, line-search
+/// bracketing) that has no stable serialized form, so only the mini-batch
+/// loop is checkpointable.
+fn require_mini_batch(config: &IFairConfig) -> Result<(), FitError> {
+    if !matches!(config.strategy, FitStrategy::MiniBatch { .. }) {
+        return Err(FitError::Config(ifair_api::ConfigError {
+            field: "strategy",
+            message: "checkpointed fitting requires FitStrategy::MiniBatch (the full-batch \
+                      L-BFGS path keeps unserializable optimizer state — use fit() there)"
+                .into(),
+        }));
+    }
+    Ok(())
 }
 
 /// Shared protected-mask validation of every fit entry point.
@@ -359,6 +503,8 @@ fn fit_mini_batch(
     config: &IFairConfig,
     mut restart_observer: impl FnMut(RestartEvent<'_>) -> FitControl,
     mut epoch_observer: impl FnMut(EpochEvent) -> FitControl,
+    resume: Option<&FitCheckpoint>,
+    mut checkpoint_sink: impl FnMut(&FitCheckpoint) -> Result<(), FitError>,
 ) -> Result<IFair, FitError> {
     let FitStrategy::MiniBatch {
         epochs,
@@ -386,17 +532,51 @@ fn fit_mini_batch(
     let mut restarts: Vec<RestartReport> = Vec::with_capacity(config.n_restarts);
     let mut grad = vec![0.0; dim];
     let mut stop_all = false;
-    for r in 0..config.n_restarts {
+    // A checkpoint parks the training loop mid-restart; `pending` carries the
+    // restored (theta, Adam, RNG, epoch cursor, step count, last mean) into
+    // the first resumed restart, after which the loop proceeds as if never
+    // interrupted.
+    let mut start_restart = 0usize;
+    let mut pending: Option<(Vec<f64>, AdamState, StdRng, usize, usize, f64)> = None;
+    if let Some(cp) = resume {
+        cp.validate(m, n)?;
+        restarts = cp.restarts.clone();
+        if let (Some(theta), Some(idx)) = (&cp.best_theta, cp.best_restart) {
+            best = Some((theta.clone(), idx));
+        }
+        objective.restore_sampler_state(&cp.sampler)?;
+        let words = [
+            cp.rng_state[0],
+            cp.rng_state[1],
+            cp.rng_state[2],
+            cp.rng_state[3],
+        ];
+        start_restart = cp.restart;
+        pending = Some((
+            cp.theta.clone(),
+            cp.adam.clone(),
+            StdRng::from_state(words),
+            cp.epoch,
+            cp.steps_done,
+            cp.last_epoch_mean,
+        ));
+    }
+    for r in start_restart..config.n_restarts {
         let seed = config.seed.wrapping_add(r as u64);
-        let mut theta = initial_theta(n, config.k, protected, config, seed);
-        project_bounds(&mut theta, adam.bounds.as_deref());
-        // The batch sampler gets its own stream (salted so it never aliases
-        // the init draws); the whole schedule is a pure function of the seed.
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c_4e5a_11d0_57e1);
-        let mut adam_state = AdamState::new(dim);
-        let mut steps_done = 0usize;
-        let mut last_epoch_mean = f64::INFINITY;
-        for e in 0..epochs {
+        let (mut theta, mut adam_state, mut rng, start_epoch, mut steps_done, mut last_epoch_mean) =
+            match pending.take() {
+                Some(restored) => restored,
+                None => {
+                    let mut theta = initial_theta(n, config.k, protected, config, seed);
+                    project_bounds(&mut theta, adam.bounds.as_deref());
+                    // The batch sampler gets its own stream (salted so it
+                    // never aliases the init draws); the whole schedule is a
+                    // pure function of the seed.
+                    let rng = StdRng::seed_from_u64(seed ^ 0xba7c_4e5a_11d0_57e1);
+                    (theta, AdamState::new(dim), rng, 0, 0, f64::INFINITY)
+                }
+            };
+        for e in start_epoch..epochs {
             let mut epoch_loss = 0.0;
             for _ in 0..steps_per_epoch {
                 objective.resample(source, &mut rng)?;
@@ -405,6 +585,22 @@ fn fit_mini_batch(
                 steps_done += 1;
             }
             last_epoch_mean = epoch_loss / steps_per_epoch as f64;
+            checkpoint_sink(&FitCheckpoint {
+                config: config.clone(),
+                protected: protected.to_vec(),
+                n_records: m,
+                restart: r,
+                epoch: e + 1,
+                steps_done,
+                theta: theta.clone(),
+                adam: adam_state.clone(),
+                rng_state: rng.state().to_vec(),
+                sampler: objective.sampler_state(),
+                last_epoch_mean,
+                restarts: restarts.clone(),
+                best_theta: best.as_ref().map(|(t, _)| t.clone()),
+                best_restart: best.as_ref().map(|&(_, i)| i),
+            })?;
             let control = epoch_observer(EpochEvent {
                 restart: r,
                 epoch: e,

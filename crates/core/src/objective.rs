@@ -58,6 +58,7 @@ use ifair_optim::Objective;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::sync::{Mutex, OnceLock};
 
@@ -966,6 +967,24 @@ struct BatchState {
     all_pairs: Vec<FairPair>,
 }
 
+/// The mini-batch sampler's persistent shuffle state, captured at training
+/// checkpoints.
+///
+/// Dense record and pair draws Fisher-Yates a *persistent* permutation in
+/// place ([`MiniBatchObjective::resample`]), so the sampler's output is a
+/// function of the RNG state **and** the arrangement those shuffles left
+/// behind. Resuming a fit from only the RNG would silently diverge from the
+/// uninterrupted run; checkpoints therefore carry this state alongside it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerState {
+    /// The persistent record permutation (`perm`), or empty if the dense
+    /// record path has not run.
+    pub perm: Vec<usize>,
+    /// The persistent pair enumeration, each pair flattened as `i·B + j`,
+    /// or empty if the dense pair path has not run.
+    pub pair_order: Vec<usize>,
+}
+
 /// The stochastic (mini-batch) view of the iFair loss.
 ///
 /// Each [`MiniBatchObjective::resample`] draws `batch_records` distinct
@@ -1050,6 +1069,76 @@ impl MiniBatchObjective {
     /// first resample.
     pub fn batch_indices(&self) -> Vec<usize> {
         self.batch.lock().expect("batch poisoned").indices.clone()
+    }
+
+    /// Captures the sampler's persistent shuffle state for a training
+    /// checkpoint (see [`SamplerState`] for why the RNG alone is not
+    /// enough).
+    pub fn sampler_state(&self) -> SamplerState {
+        let state = self.batch.lock().expect("batch poisoned");
+        SamplerState {
+            perm: state.perm.clone(),
+            pair_order: state
+                .all_pairs
+                .iter()
+                .map(|p| p.i * self.batch_records + p.j)
+                .collect(),
+        }
+    }
+
+    /// Restores shuffle state captured by [`MiniBatchObjective::sampler_state`]
+    /// onto a freshly built objective, validating it against this sampler's
+    /// shape. With the RNG restored alongside, the resumed batch sequence is
+    /// bit-identical to the uninterrupted one.
+    pub fn restore_sampler_state(&mut self, saved: &SamplerState) -> Result<(), DataError> {
+        let (m, b) = (self.n_source_records, self.batch_records);
+        if !saved.perm.is_empty() {
+            if saved.perm.len() != m {
+                return Err(DataError::Parse(format!(
+                    "sampler permutation covers {} records, source has {m}",
+                    saved.perm.len()
+                )));
+            }
+            let mut seen = vec![false; m];
+            for &i in &saved.perm {
+                if i >= m || std::mem::replace(&mut seen[i], true) {
+                    return Err(DataError::Parse(
+                        "sampler permutation is not a permutation of the record indices".into(),
+                    ));
+                }
+            }
+        }
+        let total = b * b.saturating_sub(1) / 2;
+        if !saved.pair_order.is_empty() {
+            if saved.pair_order.len() != total {
+                return Err(DataError::Parse(format!(
+                    "sampler pair order covers {} pairs, batch shape yields {total}",
+                    saved.pair_order.len()
+                )));
+            }
+            let mut seen = vec![false; b * b];
+            for &flat in &saved.pair_order {
+                let (i, j) = (flat / b, flat % b);
+                // `i < j` bounds the flat index: `i < j < b` gives `flat < b²`.
+                if i >= j || std::mem::replace(&mut seen[flat], true) {
+                    return Err(DataError::Parse(
+                        "sampler pair order is not a permutation of the batch pairs".into(),
+                    ));
+                }
+            }
+        }
+        let state = self.batch.get_mut().expect("batch poisoned");
+        state.perm = saved.perm.clone();
+        state.all_pairs = saved
+            .pair_order
+            .iter()
+            .map(|&flat| FairPair {
+                i: flat / b,
+                j: flat % b,
+                target: 0.0,
+            })
+            .collect();
+        Ok(())
     }
 
     /// Draws the next batch: `B` distinct record indices from `source`

@@ -9,13 +9,17 @@
 //! row-independent, the stacked pass is bit-identical to running each
 //! request alone — batching is purely a throughput optimization.
 
+use crate::metrics::Metrics;
 use crate::registry::LoadedModel;
+use crate::supervisor::{recover_lock, supervise, ThreadKind};
 use ifair::core::par::WorkerPool;
 use ifair::linalg::Matrix;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Which model call a job wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +44,16 @@ pub(crate) enum JobOutput {
     },
 }
 
+/// Why a job came back without an output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum JobError {
+    /// The batch computation failed (validation slip, trapped panic).
+    Failed(String),
+    /// The job's deadline budget was exhausted before compute started; the
+    /// handler maps this to a 503 with `Retry-After`.
+    DeadlineExceeded,
+}
+
 /// One queued inference request.
 pub(crate) struct Job {
     /// The model snapshot resolved at enqueue time — a reload swapping the
@@ -50,27 +64,48 @@ pub(crate) struct Job {
     pub rows: Vec<Vec<f64>>,
     /// Per-row group membership (empty = all zeros).
     pub group: Vec<u8>,
+    /// Absolute compute deadline (from `X-Ifair-Deadline-Ms`), if any. A
+    /// job past its deadline is shed before compute, never after.
+    pub deadline: Option<Instant>,
+    /// Set by the handler when it stops waiting (reply timeout, deadline):
+    /// the job is orphaned, and the batcher drops it instead of computing
+    /// for — or replying to — nobody.
+    pub cancelled: Arc<AtomicBool>,
     /// Where the result goes; capacity 1, so the batcher never blocks here.
-    pub reply: SyncSender<Result<JobOutput, String>>,
+    pub reply: SyncSender<Result<JobOutput, JobError>>,
 }
 
-/// Spawns the batcher thread. Returns the job sender (clone one per worker)
-/// and the thread handle; the batcher exits when every sender is dropped.
+/// Spawns the supervised batcher thread. Returns the job sender (clone one
+/// per worker) and the thread handle; the batcher exits when every sender
+/// is dropped, and is respawned (restart counted in `metrics`) if a panic
+/// escapes the per-batch trap.
 pub(crate) fn spawn_batcher(
     pool: Arc<WorkerPool>,
     queue_capacity: usize,
     max_batch_rows: usize,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
 ) -> (SyncSender<Job>, JoinHandle<()>) {
     let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
-    let handle = std::thread::Builder::new()
-        .name("ifair-serve-batcher".into())
-        .spawn(move || batcher_loop(&rx, &pool, max_batch_rows.max(1)))
-        .expect("spawning the batcher thread");
+    // The receiver sits behind a mutex so the supervisor can re-enter the
+    // loop after a panic; `recover_lock` absorbs the poison that panic left.
+    let rx = Mutex::new(rx);
+    let handle = supervise(
+        "ifair-serve-batcher".into(),
+        ThreadKind::Batcher,
+        shutdown,
+        metrics,
+        move || batcher_loop(&rx, &pool, max_batch_rows.max(1)),
+    );
     (tx, handle)
 }
 
-fn batcher_loop(rx: &Receiver<Job>, pool: &WorkerPool, max_batch_rows: usize) {
+fn batcher_loop(rx: &Mutex<Receiver<Job>>, pool: &WorkerPool, max_batch_rows: usize) {
+    let rx = recover_lock(rx);
     while let Ok(first) = rx.recv() {
+        // Fault site: a scheduled panic here escapes the per-batch trap and
+        // kills the batcher thread — exercising the supervisor respawn.
+        ifair::api::faults::check_panic("serve.batcher");
         let mut total = first.rows.len();
         let mut jobs = vec![first];
         // Opportunistic coalescing: take whatever is already queued, up to
@@ -84,7 +119,23 @@ fn batcher_loop(rx: &Receiver<Job>, pool: &WorkerPool, max_batch_rows: usize) {
                 Err(_) => break,
             }
         }
-        for group in group_jobs(jobs) {
+        // Deadline triage before any compute: orphaned jobs (whose handler
+        // stopped waiting) are dropped outright, jobs past their deadline
+        // are shed with a typed error while their handler is still there to
+        // translate it into a 503.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.cancelled.load(Ordering::SeqCst) {
+                continue;
+            }
+            if job.deadline.is_some_and(|d| now >= d) {
+                let _ = job.reply.send(Err(JobError::DeadlineExceeded));
+                continue;
+            }
+            live.push(job);
+        }
+        for group in group_jobs(live) {
             execute_group(pool, group);
         }
     }
@@ -127,6 +178,9 @@ fn execute_group(pool: &WorkerPool, mut jobs: Vec<Job>) {
     // defensive; a panic must not kill the batcher (it would starve every
     // future request), so trap it and report a 500 instead.
     let result = catch_unwind(AssertUnwindSafe(|| {
+        // Fault site: a scheduled panic here stays inside the trap and
+        // becomes a per-request 500 — the batcher survives.
+        ifair::api::faults::check_panic("serve.batch.compute");
         let matrix = Matrix::from_rows(stacked).map_err(|e| e.to_string())?;
         match op {
             Op::Transform => model
@@ -156,7 +210,10 @@ fn execute_group(pool: &WorkerPool, mut jobs: Vec<Job>) {
             for job in &jobs {
                 // A requester that gave up (timed out, disconnected) just
                 // drops its receiver; ignore the dead letter.
-                let _ = job.reply.send(Err(msg.clone()));
+                if job.cancelled.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let _ = job.reply.send(Err(JobError::Failed(msg.clone())));
             }
         }
     }
@@ -172,9 +229,15 @@ enum BatchOutput {
 }
 
 /// Splits the stacked output back into per-job row ranges, in job order.
+/// Jobs whose handler cancelled them mid-compute are skipped — their slice
+/// of the output has no one left to read it.
 fn scatter(jobs: Vec<Job>, sizes: &[usize], output: &BatchOutput) {
     let mut offset = 0usize;
     for (job, &size) in jobs.iter().zip(sizes) {
+        if job.cancelled.load(Ordering::SeqCst) {
+            offset += size;
+            continue;
+        }
         let out = match output {
             BatchOutput::Matrix(m) => {
                 JobOutput::Rows((offset..offset + size).map(|i| m.row(i).to_vec()).collect())
@@ -223,7 +286,7 @@ mod tests {
     fn job(
         model: &Arc<LoadedModel>,
         rows: Vec<Vec<f64>>,
-    ) -> (Job, Receiver<Result<JobOutput, String>>) {
+    ) -> (Job, Receiver<Result<JobOutput, JobError>>) {
         let (tx, rx) = sync_channel(1);
         (
             Job {
@@ -231,6 +294,8 @@ mod tests {
                 op: Op::Transform,
                 rows,
                 group: vec![],
+                deadline: None,
+                cancelled: Arc::new(AtomicBool::new(false)),
                 reply: tx,
             },
             rx,
@@ -283,13 +348,16 @@ mod tests {
     #[test]
     fn batcher_thread_drains_and_exits_on_disconnect() {
         let pool = Arc::new(WorkerPool::new(1));
-        let (tx, handle) = spawn_batcher(pool, 8, 64);
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, handle) = spawn_batcher(pool, 8, 64, shutdown, Arc::clone(&metrics));
         let model = loaded_model(5);
         let (job, rx) = job(&model, vec![vec![0.2, 0.8, 1.0]]);
         tx.send(job).unwrap();
         assert!(matches!(rx.recv().unwrap(), Ok(JobOutput::Rows(_))));
         drop(tx);
         handle.join().unwrap();
+        assert_eq!(metrics.thread_restarts(ThreadKind::Batcher), 0);
     }
 
     #[test]
@@ -304,10 +372,54 @@ mod tests {
                 op: Op::Predict,
                 rows: vec![vec![0.1, 0.2, 1.0]],
                 group: vec![],
+                deadline: None,
+                cancelled: Arc::new(AtomicBool::new(false)),
                 reply: tx,
             }],
         );
-        let err = rx.recv().unwrap().unwrap_err();
-        assert!(err.contains("no predictor"));
+        match rx.recv().unwrap().unwrap_err() {
+            JobError::Failed(msg) => assert!(msg.contains("no predictor")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_before_compute() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, handle) = spawn_batcher(pool, 8, 64, shutdown, metrics);
+        let model = loaded_model(11);
+        let (mut expired, rx_expired) = job(&model, vec![vec![0.3, 0.7, 0.0]]);
+        expired.deadline = Some(Instant::now() - std::time::Duration::from_millis(1));
+        let (fresh, rx_fresh) = job(&model, vec![vec![0.6, 0.4, 1.0]]);
+        tx.send(expired).unwrap();
+        tx.send(fresh).unwrap();
+        assert!(matches!(
+            rx_expired.recv().unwrap(),
+            Err(JobError::DeadlineExceeded)
+        ));
+        assert!(matches!(rx_fresh.recv().unwrap(), Ok(JobOutput::Rows(_))));
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn cancelled_jobs_are_dropped_without_a_reply() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, handle) = spawn_batcher(pool, 8, 64, shutdown, metrics);
+        let model = loaded_model(13);
+        let (orphan, rx_orphan) = job(&model, vec![vec![0.2, 0.8, 0.0]]);
+        orphan.cancelled.store(true, Ordering::SeqCst);
+        let (fresh, rx_fresh) = job(&model, vec![vec![0.9, 0.1, 1.0]]);
+        tx.send(orphan).unwrap();
+        tx.send(fresh).unwrap();
+        // The live job completes; the orphan's channel sees only disconnect.
+        assert!(matches!(rx_fresh.recv().unwrap(), Ok(JobOutput::Rows(_))));
+        drop(tx);
+        handle.join().unwrap();
+        assert!(rx_orphan.try_recv().is_err(), "orphan got no reply");
     }
 }

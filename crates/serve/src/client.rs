@@ -1,13 +1,20 @@
-//! A minimal loopback HTTP client.
+//! A minimal loopback HTTP client, with opt-in retries.
 //!
 //! Exists so the e2e tests, the serving benchmark, and the
 //! `serve_and_query` example can talk to a running server without an
 //! external `curl` — and doubles as executable documentation of the wire
 //! format. One request per connection, matching the server's
 //! `Connection: close` discipline.
+//!
+//! [`RetryPolicy`] adds the client half of the failure model: bounded
+//! retries with jittered exponential backoff and per-attempt socket
+//! timeouts, for riding out torn responses, shed 503s, and supervisor
+//! respawns. It is opt-in — the bare [`request`]/[`get`]/[`post`] helpers
+//! stay single-shot.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// Sends one request and returns `(status, body)`.
 pub fn request(
@@ -16,13 +23,34 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
+    request_with(addr, method, path, &[], body, None)
+}
+
+/// [`request`] with extra headers and optional per-attempt socket timeouts.
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: Option<&str>,
+    timeout: Option<Duration>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
@@ -43,14 +71,112 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, S
     request(addr, "POST", path, Some(body))
 }
 
-/// Splits a raw HTTP/1.1 response into `(status, body)`.
+/// Splits a raw HTTP/1.1 response into `(status, body)`, rejecting torn
+/// responses whose body is shorter than the declared `Content-Length` — a
+/// truncated payload must read as *malformed*, never as a short success.
 fn parse_response(raw: &str) -> Option<(u16, String)> {
     let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
-    let body = match raw.find("\r\n\r\n") {
-        Some(i) => &raw[i + 4..],
-        None => raw.find("\n\n").map(|i| &raw[i + 2..])?,
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (&raw[..i], &raw[i + 4..]),
+        None => raw.find("\n\n").map(|i| (&raw[..i], &raw[i + 2..]))?,
     };
+    let declared = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse::<usize>().ok())?
+    });
+    if declared.is_some_and(|n| body.len() != n) {
+        return None;
+    }
     Some((status, body.to_string()))
+}
+
+/// Bounded retry with jittered exponential backoff.
+///
+/// A request is retried on transport errors (connect refused, torn/short
+/// response, per-attempt timeout) and on shed `503`s; any other status is a
+/// *valid answer* and is returned as-is. Jitter is deterministic per policy
+/// seed, so tests of the retry path replay exactly.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before attempt `n+1` starts at `base_backoff * 2^(n-1)`...
+    pub base_backoff: Duration,
+    /// ...and is capped here.
+    pub max_backoff: Duration,
+    /// Per-attempt connect/read/write timeout.
+    pub attempt_timeout: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            attempt_timeout: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sends `method path` with `headers`/`body` under this policy.
+    /// Returns the last transport error if every attempt fails.
+    pub fn request(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let mut jitter = self.seed;
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 1..=self.max_attempts.max(1) {
+            if attempt > 1 {
+                std::thread::sleep(self.backoff(attempt, &mut jitter));
+            }
+            match request_with(
+                addr,
+                method,
+                path,
+                headers,
+                body,
+                Some(self.attempt_timeout),
+            ) {
+                // A shed 503 is the server telling us to come back shortly —
+                // the one *valid* response worth retrying.
+                Ok((503, body)) if attempt < self.max_attempts => {
+                    last_err = Some(std::io::Error::other(format!("shed with 503: {body}")));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("no attempts were made")))
+    }
+
+    /// The sleep before `attempt` (2-based): exponential in the attempt
+    /// index, capped, then scaled by a jitter factor in `[0.5, 1.0]`.
+    fn backoff(&self, attempt: u32, jitter: &mut u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 2).min(16))
+            .min(self.max_backoff);
+        // SplitMix64 step: cheap, seedable, and good enough to decorrelate
+        // concurrent clients.
+        *jitter = jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let factor = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(factor)
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +190,52 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, "hi");
         assert!(parse_response("garbage").is_none());
+    }
+
+    #[test]
+    fn torn_responses_read_as_malformed_not_short_success() {
+        // Declared 11 bytes, delivered 5: must not parse.
+        assert!(parse_response("HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n{\"ok\"").is_none());
+        // No Content-Length at all: accepted as-is (read-to-EOF framing).
+        assert!(parse_response("HTTP/1.1 200 OK\r\n\r\nhi").is_some());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_is_capped_and_jittered() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(450),
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let mut jitter = policy.seed;
+        let b2 = policy.backoff(2, &mut jitter);
+        let b3 = policy.backoff(3, &mut jitter);
+        let b4 = policy.backoff(4, &mut jitter);
+        // Jitter scales each step into [0.5, 1.0] of the exponential value.
+        assert!(b2 >= Duration::from_millis(50) && b2 <= Duration::from_millis(100));
+        assert!(b3 >= Duration::from_millis(100) && b3 <= Duration::from_millis(200));
+        // 100ms * 4 = 400ms... but attempt 4 would be 400, capped at 450.
+        assert!(b4 >= Duration::from_millis(200) && b4 <= Duration::from_millis(450));
+        // Same seed, same sleeps: the stream is deterministic.
+        let mut replay = policy.seed;
+        assert_eq!(policy.backoff(2, &mut replay), b2);
+        assert_eq!(policy.backoff(3, &mut replay), b3);
+        assert_eq!(policy.backoff(4, &mut replay), b4);
+    }
+
+    #[test]
+    fn retries_are_bounded_when_nobody_listens() {
+        // A port with no listener: every attempt fails fast with a transport
+        // error, and the policy gives up after max_attempts.
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            attempt_timeout: Duration::from_millis(200),
+            seed: 1,
+        };
+        assert!(policy.request(addr, "GET", "/healthz", &[], None).is_err());
     }
 }

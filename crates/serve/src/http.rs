@@ -23,6 +23,9 @@ pub struct Request {
     pub method: String,
     /// Request target as sent (path + optional query, no percent-decoding).
     pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names as sent,
+    /// values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
 }
@@ -32,6 +35,14 @@ impl Request {
     pub fn body_utf8(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::Malformed("request body is not valid UTF-8".into()))
+    }
+
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -71,6 +82,9 @@ impl From<std::io::Error> for HttpError {
 
 /// Reads one request from `reader` (a buffered socket).
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    // Fault site: a scheduled stall here simulates a slow client trickling
+    // its request in (no-op outside `fault-injection` builds).
+    ifair::api::faults::check_delay("serve.conn.read");
     // Hard-cap the header section at the reader level: `read_line` buffers
     // until it sees a newline, so without the `take` a client streaming
     // gigabytes of newline-free bytes would grow a worker's memory without
@@ -97,6 +111,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let _ = version;
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         let n = head.read_line(&mut header)?;
@@ -115,6 +130,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
                     HttpError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
                 })?;
             }
+            headers.push((name.to_string(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -122,7 +138,12 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// The reason phrase of the status codes this server emits.
@@ -135,6 +156,7 @@ pub fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -147,12 +169,37 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra `(name, value)` headers (e.g.
+/// `Retry-After` on a shed 503).
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
+    // Fault site: a scheduled torn write truncates the body mid-stream and
+    // drops the connection — the client must treat the response as garbage,
+    // never as a short-but-valid payload (Content-Length disagrees).
+    if ifair::api::faults::check_torn("serve.conn.write") {
+        let half = body.len() / 2;
+        stream.write_all(&body[..half])?;
+        stream.flush()?;
+        return Err(std::io::Error::other("injected torn write"));
+    }
     stream.write_all(body)?;
     stream.flush()
 }
@@ -189,6 +236,17 @@ mod tests {
     fn content_length_is_case_insensitive() {
         let req = parse("POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
         assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn headers_are_captured_and_looked_up_case_insensitively() {
+        let req =
+            parse("POST / HTTP/1.1\r\nX-Ifair-Deadline-Ms: 250\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        assert_eq!(req.header("x-ifair-deadline-ms"), Some("250"));
+        assert_eq!(req.header("X-IFAIR-DEADLINE-MS"), Some("250"));
+        assert_eq!(req.header("content-length"), Some("2"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]
@@ -229,5 +287,27 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_land_between_length_and_close() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn gateway_timeout_has_a_reason_phrase() {
+        assert_eq!(status_reason(504), "Gateway Timeout");
     }
 }

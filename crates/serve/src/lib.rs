@@ -48,6 +48,7 @@ pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod supervisor;
 
 pub use artifact::Artifact;
 pub use error::ServeError;

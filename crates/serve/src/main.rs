@@ -7,9 +7,13 @@
 //! # Write a small demo pipeline artifact (used by the CI smoke job and the
 //! # serving guide in the README):
 //! ifair demo-artifact demo.json
+//!
+//! # Demonstrate crash-safe training: fit, "crash" mid-fit, resume from the
+//! # checkpoint artifact, and verify the result is bit-identical:
+//! ifair checkpoint-demo demo-checkpoint.json
 //! ```
 
-use ifair::core::IFairConfig;
+use ifair::core::{FitStrategy, IFair, IFairConfig};
 use ifair::data::Dataset;
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
@@ -21,19 +25,24 @@ const USAGE: &str = "usage:
               [--threads N] [--http-workers N] [--queue-capacity N]
               [--max-batch-rows N] [--addr-file PATH]
   ifair demo-artifact <out.json>
+  ifair checkpoint-demo <checkpoint.json>
 
 `--addr` defaults to 127.0.0.1:8080; port 0 picks an ephemeral port.
 `--threads 0` (default) sizes the forward-pass pool to the hardware.
 `--addr-file` writes the bound address to PATH once listening (for scripts
 that need to discover an ephemeral port).
 A `@f32` suffix serves that model's iFair transform in single precision
-(artifacts stay f64 on disk; `@f64`, the default, keeps full precision).";
+(artifacts stay f64 on disk; `@f64`, the default, keeps full precision).
+`checkpoint-demo` runs a mini-batch fit that checkpoints every epoch to the
+given path (atomically), simulates a crash partway, resumes from the saved
+checkpoint, and verifies the resumed model is bit-identical.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("demo-artifact") => demo_artifact(&args[1..]),
+        Some("checkpoint-demo") => checkpoint_demo(&args[1..]),
         _ => Err(ServeError::Config(format!(
             "unknown or missing subcommand\n{USAGE}"
         ))),
@@ -149,13 +158,91 @@ fn demo_artifact(args: &[String]) -> Result<(), ServeError> {
     let json = pipeline
         .to_json()
         .map_err(|e| ServeError::Config(format!("serializing the demo pipeline: {e}")))?;
-    std::fs::write(out, &json).map_err(|e| ServeError::io(format!("writing {out}"), e))?;
+    // Atomic write: a crash (or a concurrent server reload) sees either no
+    // file or the complete artifact, never a torn prefix.
+    ifair::api::write_atomic(std::path::Path::new(out), json.as_bytes())
+        .map_err(|e| ServeError::io(format!("writing {out}"), e))?;
     println!("wrote demo pipeline artifact to {out}");
     println!("  input width: 3 features ([qualification, experience, gender])");
     println!("  serve it:    ifair serve --model demo={out} --addr 127.0.0.1:8080");
     println!(
         "  query it:    curl -s -X POST http://127.0.0.1:8080/v1/models/demo/transform \\\n               -d '{{\"rows\":[[0.9,0.4,1.0],[0.9,0.4,0.0]]}}'"
     );
+    Ok(())
+}
+
+/// Fits a mini-batch model that checkpoints every epoch, simulates a crash
+/// partway through, resumes from the on-disk checkpoint, and verifies the
+/// resumed model is bit-identical to an uninterrupted fit.
+fn checkpoint_demo(args: &[String]) -> Result<(), ServeError> {
+    let [out] = args else {
+        return Err(ServeError::Config(format!(
+            "checkpoint-demo takes exactly one checkpoint path\n{USAGE}"
+        )));
+    };
+    let path = std::path::PathBuf::from(out);
+    let ds = demo_dataset();
+    let x = &ds.x;
+    let protected = &ds.protected;
+    let config = IFairConfig {
+        k: 3,
+        n_restarts: 2,
+        strategy: FitStrategy::MiniBatch {
+            batch_records: 32,
+            pairs_per_batch: 150,
+            epochs: 4,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    };
+    let fit_err = |e: ifair::core::FitError| ServeError::Config(format!("checkpoint demo: {e}"));
+
+    // The reference: the same fit, never interrupted.
+    let reference = IFair::fit_checkpointed(x, protected, &config, |_| Ok(())).map_err(fit_err)?;
+
+    // The "crash": every epoch checkpoints atomically to disk, and training
+    // aborts after the third checkpoint — mid-restart, mid-schedule.
+    let mut saved = 0u32;
+    let crashed = IFair::fit_checkpointed(x, protected, &config, |cp| {
+        cp.save(&path)?;
+        saved += 1;
+        if saved == 3 {
+            return Err(ifair::core::FitError::Serialization(
+                "simulated crash after the third checkpoint".into(),
+            ));
+        }
+        Ok(())
+    });
+    assert!(crashed.is_err(), "the simulated crash aborts the fit");
+    println!("crashed after {saved} checkpoints; last saved to {out}");
+
+    // Recovery: load the checkpoint the crash left behind and resume.
+    let checkpoint = ifair::core::FitCheckpoint::load(&path).map_err(fit_err)?;
+    println!(
+        "resuming from restart {} epoch {} ({} records)",
+        checkpoint.restart(),
+        checkpoint.epoch(),
+        checkpoint.n_records()
+    );
+    let resumed = IFair::resume_from_checkpoint(x, &checkpoint, |cp| {
+        cp.save(&path)?;
+        Ok(())
+    })
+    .map_err(fit_err)?;
+
+    let bits = |m: &IFair| {
+        m.alpha()
+            .iter()
+            .chain(m.prototypes().as_slice())
+            .map(|v| v.to_bits())
+            .collect::<Vec<u64>>()
+    };
+    if bits(&reference) != bits(&resumed) {
+        return Err(ServeError::Config(
+            "resumed model diverged from the uninterrupted fit".into(),
+        ));
+    }
+    println!("resumed model is bit-identical to the uninterrupted fit");
     Ok(())
 }
 

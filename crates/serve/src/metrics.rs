@@ -1,5 +1,6 @@
 //! Request counters and latency percentiles, scraped as Prometheus text.
 
+use crate::supervisor::ThreadKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -18,6 +19,13 @@ pub struct Metrics {
     rows_served: AtomicU64,
     errors_total: AtomicU64,
     rejected_total: AtomicU64,
+    shed_total: AtomicU64,
+    deadline_exceeded_total: AtomicU64,
+    timed_out_total: AtomicU64,
+    socket_config_errors_total: AtomicU64,
+    restarts_accept: AtomicU64,
+    restarts_http_worker: AtomicU64,
+    restarts_batcher: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -83,9 +91,11 @@ impl Metrics {
             self.errors_total.fetch_add(1, Ordering::Relaxed);
         }
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        // Recover a poisoned ring rather than propagate: losing one latency
+        // sample to a panicked peer is fine, taking the handler down is not.
         self.latencies
             .lock()
-            .expect("latency ring poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .push(ns);
     }
 
@@ -93,6 +103,66 @@ impl Metrics {
     /// full (such connections never reach [`Metrics::observe`]).
     pub fn observe_rejected(&self) {
         self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed with a 503 because its deadline budget was
+    /// exhausted before compute started.
+    pub fn observe_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request whose deadline expired while it waited for its
+    /// batch reply (answered 504).
+    pub fn observe_deadline_exceeded(&self) {
+        self.deadline_exceeded_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request abandoned after the server-side reply timeout
+    /// (answered 500; its batch job is cancelled and dropped at scatter).
+    pub fn observe_timed_out(&self) {
+        self.timed_out_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection closed because its socket timeouts could not
+    /// be configured (serving without them risks wedging a worker forever).
+    pub fn observe_socket_config_error(&self) {
+        self.socket_config_errors_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one supervised thread respawned after a panic.
+    pub fn observe_thread_restart(&self, kind: ThreadKind) {
+        let counter = match kind {
+            ThreadKind::Accept => &self.restarts_accept,
+            ThreadKind::HttpWorker => &self.restarts_http_worker,
+            ThreadKind::Batcher => &self.restarts_batcher,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total respawns of one supervised thread kind.
+    pub fn thread_restarts(&self, kind: ThreadKind) -> u64 {
+        match kind {
+            ThreadKind::Accept => &self.restarts_accept,
+            ThreadKind::HttpWorker => &self.restarts_http_worker,
+            ThreadKind::Batcher => &self.restarts_batcher,
+        }
+        .load(Ordering::Relaxed)
+    }
+
+    /// Total requests shed for an exhausted deadline budget.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Total requests whose deadline expired mid-wait.
+    pub fn deadline_exceeded_total(&self) -> u64 {
+        self.deadline_exceeded_total.load(Ordering::Relaxed)
+    }
+
+    /// Total requests abandoned at the server-side reply timeout.
+    pub fn timed_out_total(&self) -> u64 {
+        self.timed_out_total.load(Ordering::Relaxed)
     }
 
     /// Total requests handled so far (any endpoint, any status).
@@ -150,6 +220,41 @@ impl Metrics {
             "Connections shed with 503 because the accept queue was full.",
             self.rejected_total.load(Ordering::Relaxed),
         );
+        counter(
+            "ifair_requests_shed_total",
+            "Requests shed with 503 because their deadline budget was exhausted before compute.",
+            self.shed_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_requests_deadline_exceeded_total",
+            "Requests answered 504 because their deadline expired awaiting the batch reply.",
+            self.deadline_exceeded_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_requests_timed_out_total",
+            "Requests abandoned (500) at the server-side reply timeout; their jobs are cancelled.",
+            self.timed_out_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_socket_config_errors_total",
+            "Connections closed because socket timeouts could not be configured.",
+            self.socket_config_errors_total.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP ifair_thread_restarts_total Supervised threads respawned after a panic.\n\
+             # TYPE ifair_thread_restarts_total counter\n",
+        );
+        for kind in [
+            ThreadKind::Accept,
+            ThreadKind::HttpWorker,
+            ThreadKind::Batcher,
+        ] {
+            out.push_str(&format!(
+                "ifair_thread_restarts_total{{kind=\"{}\"}} {}\n",
+                kind.label(),
+                self.thread_restarts(kind)
+            ));
+        }
         out.push_str(&format!(
             "# HELP ifair_models_loaded Artifacts currently loaded.\n# TYPE ifair_models_loaded gauge\nifair_models_loaded {models_loaded}\n"
         ));
@@ -166,7 +271,10 @@ impl Metrics {
                 ));
             }
         }
-        let window = self.latencies.lock().expect("latency ring poisoned");
+        let window = self
+            .latencies
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         out.push_str(
             "# HELP ifair_request_latency_seconds Request latency over a sliding window.\n# TYPE ifair_request_latency_seconds summary\n",
         );
@@ -209,11 +317,42 @@ mod tests {
         assert!(text.contains("ifair_request_errors_total 1"));
         assert!(text.contains("ifair_requests_rejected_total 1"));
         assert!(text.contains("ifair_models_loaded 2"));
+        assert!(text.contains("ifair_requests_shed_total 0"));
+        assert!(text.contains("ifair_requests_deadline_exceeded_total 0"));
+        assert!(text.contains("ifair_requests_timed_out_total 0"));
+        assert!(text.contains("ifair_socket_config_errors_total 0"));
+        assert!(text.contains("ifair_thread_restarts_total{kind=\"accept\"} 0"));
         assert!(text.contains("ifair_registry_generation 7"));
         assert!(text.contains("ifair_model_precision{model=\"a\",precision=\"f64\"} 1"));
         assert!(text.contains("ifair_model_precision{model=\"b\",precision=\"f32\"} 1"));
         assert!(text.contains("quantile=\"0.5\""));
         assert!(text.contains("ifair_request_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn robustness_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.observe_shed();
+        m.observe_shed();
+        m.observe_deadline_exceeded();
+        m.observe_timed_out();
+        m.observe_socket_config_error();
+        m.observe_thread_restart(ThreadKind::Batcher);
+        m.observe_thread_restart(ThreadKind::Batcher);
+        m.observe_thread_restart(ThreadKind::HttpWorker);
+        assert_eq!(m.shed_total(), 2);
+        assert_eq!(m.deadline_exceeded_total(), 1);
+        assert_eq!(m.timed_out_total(), 1);
+        assert_eq!(m.thread_restarts(ThreadKind::Batcher), 2);
+        assert_eq!(m.thread_restarts(ThreadKind::Accept), 0);
+        let text = m.render(0, 0, &[]);
+        assert!(text.contains("ifair_requests_shed_total 2"));
+        assert!(text.contains("ifair_requests_deadline_exceeded_total 1"));
+        assert!(text.contains("ifair_requests_timed_out_total 1"));
+        assert!(text.contains("ifair_socket_config_errors_total 1"));
+        assert!(text.contains("ifair_thread_restarts_total{kind=\"batcher\"} 2"));
+        assert!(text.contains("ifair_thread_restarts_total{kind=\"http-worker\"} 1"));
+        assert!(text.contains("ifair_thread_restarts_total{kind=\"accept\"} 0"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use ifair::core::Precision;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 /// Where a named model comes from, and the precision it serves at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,24 +136,24 @@ impl ModelRegistry {
         })
     }
 
-    /// The current snapshot of `name`, if loaded.
-    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+    /// Read access to the model map, recovering (not propagating) poison:
+    /// the map is only ever *replaced* wholesale under the write lock, so a
+    /// writer that panicked mid-swap still left a fully-consistent map —
+    /// either generation is safe to serve.
+    fn models(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<LoadedModel>>> {
         self.models
             .read()
-            .expect("registry lock poisoned")
-            .get(name)
-            .cloned()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The current snapshot of `name`, if loaded.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+        self.models().get(name).cloned()
     }
 
     /// Sorted names of the loaded models.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .models
-            .read()
-            .expect("registry lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.models().keys().cloned().collect();
         names.sort();
         names
     }
@@ -162,9 +162,7 @@ impl ModelRegistry {
     /// `/metrics` per-model precision gauges.
     pub fn precision_labels(&self) -> Vec<(String, &'static str)> {
         let mut labels: Vec<(String, &'static str)> = self
-            .models
-            .read()
-            .expect("registry lock poisoned")
+            .models()
             .values()
             .map(|m| (m.name.clone(), m.precision.label()))
             .collect();
@@ -174,7 +172,7 @@ impl ModelRegistry {
 
     /// Number of loaded models.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock poisoned").len()
+        self.models().len()
     }
 
     /// `true` when no model is loaded (unreachable via [`ModelRegistry::load`]).
@@ -199,12 +197,21 @@ impl ModelRegistry {
     /// keep flowing during the (potentially slow) decode, and a failure
     /// leaves the previous generation fully intact.
     pub fn reload(&self) -> Result<ReloadReport, ServeError> {
-        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        // Poison recovery on both locks: a reload that panicked changed
+        // nothing observable (the map swap is a single assignment), so the
+        // next reload can proceed as if the failed one never started.
+        let _serialized = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let generation = self.generation() + 1;
         let fresh = load_all(&self.specs, generation)?;
         let mut models = fresh.keys().cloned().collect::<Vec<_>>();
         models.sort();
-        *self.models.write().expect("registry lock poisoned") = fresh;
+        *self
+            .models
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = fresh;
         self.generation.store(generation, Ordering::SeqCst);
         self.reloads.fetch_add(1, Ordering::SeqCst);
         Ok(ReloadReport { generation, models })
@@ -241,7 +248,10 @@ fn load_one(spec: &ModelSpec, generation: u64) -> Result<LoadedModel, ServeError
 
 /// Reads an artifact file to a string with a path-bearing error.
 pub fn read_artifact(path: &Path) -> Result<String, ServeError> {
-    std::fs::read_to_string(path)
+    // Fault site: a scheduled I/O error here makes a reload fail cleanly —
+    // the previous registry generation must stay fully intact.
+    ifair::api::faults::check_io("serve.artifact.read")
+        .and_then(|()| std::fs::read_to_string(path))
         .map_err(|e| ServeError::io(format!("reading artifact `{}`", path.display()), e))
 }
 

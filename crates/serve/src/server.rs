@@ -18,11 +18,12 @@
 //! atomic and in-flight jobs hold their own `Arc` snapshot, so no request
 //! is ever dropped or served a half-updated model.
 
-use crate::batch::{spawn_batcher, Job, JobOutput, Op};
+use crate::batch::{spawn_batcher, Job, JobError, JobOutput, Op};
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::ModelRegistry;
+use crate::supervisor::{recover_lock, supervise, ThreadKind};
 use ifair::core::par::{resolve_threads, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
@@ -60,7 +61,16 @@ impl Default for ServerConfig {
 }
 
 /// How long a handler waits for the batcher before giving up with a 500.
+/// A request that carries an earlier deadline waits only that long.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The per-request deadline header: total budget in milliseconds, measured
+/// from the moment the connection was accepted. Queue wait counts against
+/// it — a request that waited out its budget is shed, never computed.
+pub const DEADLINE_HEADER: &str = "X-Ifair-Deadline-Ms";
+
+/// `Retry-After` seconds suggested on a shed 503.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Per-connection socket read timeout (slowloris guard).
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
@@ -111,14 +121,20 @@ impl Server {
         } = self;
         let addr = listener.local_addr().expect("bound listener");
         let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(WorkerPool::new(resolve_threads(config.n_threads)));
         let (job_tx, batcher) = spawn_batcher(
             Arc::clone(&pool),
             config.queue_capacity,
             config.max_batch_rows,
+            Arc::clone(&shutdown),
+            Arc::clone(&metrics),
         );
 
-        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        // Each queued connection carries its accept timestamp: per-request
+        // deadline budgets start ticking at accept, so time spent waiting in
+        // this queue counts against them.
+        let (conn_tx, conn_rx) = sync_channel::<(TcpStream, Instant)>(config.queue_capacity.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let mut workers = Vec::with_capacity(config.http_workers.max(1));
         for w in 0..config.http_workers.max(1) {
@@ -126,25 +142,30 @@ impl Server {
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
             let job_tx = job_tx.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("ifair-serve-http-{w}"))
-                    .spawn(move || worker_loop(&conn_rx, &registry, &metrics, &job_tx))
-                    .expect("spawning an http worker"),
-            );
+            workers.push(supervise(
+                format!("ifair-serve-http-{w}"),
+                ThreadKind::HttpWorker,
+                Arc::clone(&shutdown),
+                Arc::clone(&metrics),
+                move || worker_loop(&conn_rx, &registry, &metrics, &job_tx),
+            ));
         }
         // Workers hold the only job senders: when they exit, the batcher's
         // queue disconnects and it drains and exits too.
         drop(job_tx);
 
-        let shutdown = Arc::new(AtomicBool::new(false));
         let accept = {
             let shutdown = Arc::clone(&shutdown);
+            let accept_shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
-            std::thread::Builder::new()
-                .name("ifair-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &conn_tx, &shutdown, &metrics))
-                .expect("spawning the accept loop")
+            let accept_metrics = Arc::clone(&metrics);
+            supervise(
+                "ifair-serve-accept".into(),
+                ThreadKind::Accept,
+                shutdown,
+                metrics,
+                move || accept_loop(&listener, &conn_tx, &accept_shutdown, &accept_metrics),
+            )
         };
 
         ServerHandle {
@@ -229,7 +250,7 @@ impl Drop for ServerHandle {
 /// the queue is full.
 fn accept_loop(
     listener: &TcpListener,
-    conn_tx: &SyncSender<TcpStream>,
+    conn_tx: &SyncSender<(TcpStream, Instant)>,
     shutdown: &AtomicBool,
     metrics: &Metrics,
 ) {
@@ -237,10 +258,14 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
+        // Fault site: a scheduled panic kills the accept thread between
+        // connections; the supervisor respawns it and `incoming()` resumes
+        // on the same listener, so no port is ever abandoned.
+        ifair::api::faults::check_panic("serve.accept");
         match conn {
-            Ok(stream) => match conn_tx.try_send(stream) {
+            Ok(stream) => match conn_tx.try_send((stream, Instant::now())) {
                 Ok(()) => {}
-                Err(TrySendError::Full(mut stream)) => {
+                Err(TrySendError::Full((mut stream, _))) => {
                     metrics.observe_rejected();
                     let _ = write_response(
                         &mut stream,
@@ -260,15 +285,30 @@ fn accept_loop(
 
 /// One HTTP worker: pop connections off the shared queue until it closes.
 fn worker_loop(
-    conn_rx: &Mutex<Receiver<TcpStream>>,
+    conn_rx: &Mutex<Receiver<(TcpStream, Instant)>>,
     registry: &ModelRegistry,
     metrics: &Metrics,
     job_tx: &SyncSender<Job>,
 ) {
     loop {
-        let stream = conn_rx.lock().expect("connection queue poisoned").recv();
-        match stream {
-            Ok(stream) => handle_connection(stream, registry, metrics, job_tx),
+        let conn = {
+            // `recover_lock`, not `lock().expect(...)`: a worker that
+            // panicked while holding this guard (see the fault site below)
+            // poisons the mutex, and its supervised replacement — plus every
+            // sibling — must keep draining the queue regardless.
+            let guard = recover_lock(conn_rx);
+            // Fault site: a panic here poisons the connection-queue mutex,
+            // proving the recovery path above under chaos.
+            ifair::api::faults::check_panic("serve.http-worker.locked");
+            guard.recv()
+        };
+        match conn {
+            Ok((stream, accepted_at)) => {
+                // Fault site: a panic between dequeue and handling kills the
+                // worker (connection dropped); the supervisor respawns it.
+                ifair::api::faults::check_panic("serve.http-worker");
+                handle_connection(stream, accepted_at, registry, metrics, job_tx);
+            }
             Err(_) => break,
         }
     }
@@ -282,6 +322,9 @@ struct Reply {
     endpoint: Endpoint,
     /// Data rows in the response (transform/predict only).
     rows: usize,
+    /// `Retry-After` seconds; set on shed 503s so well-behaved clients back
+    /// off instead of hammering a saturated server.
+    retry_after: Option<u64>,
 }
 
 impl Reply {
@@ -292,6 +335,7 @@ impl Reply {
             body,
             endpoint,
             rows,
+            retry_after: None,
         }
     }
 
@@ -302,40 +346,100 @@ impl Reply {
         .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
         Reply::json(status, body.into_bytes(), endpoint, 0)
     }
+
+    /// The load-shedding 503: deadline budget exhausted before compute.
+    fn shed(endpoint: Endpoint) -> Reply {
+        let mut reply = Reply::error(
+            503,
+            endpoint,
+            "deadline budget exhausted before compute; request shed",
+        );
+        reply.retry_after = Some(RETRY_AFTER_SECS);
+        reply
+    }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
+    accepted_at: Instant,
     registry: &ModelRegistry,
     metrics: &Metrics,
     job_tx: &SyncSender<Job>,
 ) {
-    let start = Instant::now();
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    // Without a write timeout, a client that stops reading its (possibly
-    // multi-megabyte) response would block this worker in write_all forever
-    // — a handful of such clients would wedge every worker.
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    // A connection whose timeouts cannot be armed is a liability: without a
+    // read timeout a slowloris client parks this worker forever, without a
+    // write timeout a client that stops reading wedges it in write_all. If
+    // either knob fails, count it and drop the connection rather than serve
+    // it unguarded.
+    if let Err(e) = stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
+    {
+        metrics.observe_socket_config_error();
+        let _ = write_response(
+            &mut stream,
+            500,
+            "application/json",
+            format!("{{\"error\":\"socket configuration failed: {e}\"}}").as_bytes(),
+        );
+        return;
+    }
     let request = {
         let mut reader = BufReader::new(&mut stream);
         read_request(&mut reader)
     };
     let reply = match request {
-        Ok(request) => dispatch(&request, registry, metrics, job_tx),
+        Ok(request) => match parse_deadline(&request, accepted_at) {
+            Ok(deadline) => dispatch(&request, deadline, registry, metrics, job_tx),
+            Err(msg) => Reply::error(400, Endpoint::Other, &msg),
+        },
         // Nothing arrived (health-checker port probe, client gave up):
         // nothing to answer, nothing to count.
         Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
         Err(HttpError::TooLarge(_)) => Reply::error(413, Endpoint::Other, "request body too large"),
         Err(HttpError::Malformed(msg)) => Reply::error(400, Endpoint::Other, &msg),
     };
-    let _ = write_response(&mut stream, reply.status, reply.content_type, &reply.body);
-    metrics.observe(reply.endpoint, reply.rows, start.elapsed(), reply.status);
+    let extra: Vec<(&str, String)> = reply
+        .retry_after
+        .map(|secs| ("Retry-After", secs.to_string()))
+        .into_iter()
+        .collect();
+    let _ = write_response_with(
+        &mut stream,
+        reply.status,
+        reply.content_type,
+        &extra,
+        &reply.body,
+    );
+    metrics.observe(
+        reply.endpoint,
+        reply.rows,
+        accepted_at.elapsed(),
+        reply.status,
+    );
 }
 
-/// Routes one parsed request to its handler.
+/// Resolves the [`DEADLINE_HEADER`] into an absolute deadline, anchored at
+/// the accept timestamp so queue wait spends the budget too.
+fn parse_deadline(request: &Request, accepted_at: Instant) -> Result<Option<Instant>, String> {
+    match request.header(DEADLINE_HEADER) {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Ok(Some(accepted_at + Duration::from_millis(ms))),
+            Err(_) => Err(format!(
+                "invalid {DEADLINE_HEADER}: {raw:?} (want milliseconds as a non-negative integer)"
+            )),
+        },
+    }
+}
+
+/// Routes one parsed request to its handler. The deadline applies only to
+/// the compute endpoints — `/healthz`, `/metrics` and `/admin/*` always
+/// answer, so operators can observe a saturated server while it sheds.
 fn dispatch(
     request: &Request,
+    deadline: Option<Instant>,
     registry: &ModelRegistry,
     metrics: &Metrics,
     job_tx: &SyncSender<Job>,
@@ -354,6 +458,7 @@ fn dispatch(
                 .into_bytes(),
             endpoint: Endpoint::Other,
             rows: 0,
+            retry_after: None,
         },
         ("POST", "/admin/reload") => reload(registry),
         // Known paths with the wrong method are 405, not 404 — and this arm
@@ -365,7 +470,9 @@ fn dispatch(
             &format!("{path} does not accept {}", request.method),
         ),
         ("POST", path) => match parse_model_path(path) {
-            Some((name, op)) => model_request(name, op, request, registry, job_tx),
+            Some((name, op)) => {
+                model_request(name, op, request, deadline, registry, metrics, job_tx)
+            }
             None => Reply::error(404, Endpoint::Other, &format!("no route for {path}")),
         },
         (_, path) => Reply::error(404, Endpoint::Other, &format!("no route for {path}")),
@@ -411,18 +518,27 @@ fn reload(registry: &ModelRegistry) -> Reply {
 }
 
 /// Validates a transform/predict request, enqueues it, and waits for the
-/// batcher's reply.
+/// batcher's reply — no longer than the request's deadline budget allows.
 fn model_request(
     name: &str,
     op: Op,
     request: &Request,
+    deadline: Option<Instant>,
     registry: &ModelRegistry,
+    metrics: &Metrics,
     job_tx: &SyncSender<Job>,
 ) -> Reply {
     let endpoint = match op {
         Op::Transform => Endpoint::Transform,
         Op::Predict => Endpoint::Predict,
     };
+    // Load shedding, part 1: the budget may already be gone — this request
+    // sat in the connection queue (or trickled its bytes in) past its own
+    // deadline. Shed now, before any parsing or compute is spent on it.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        metrics.observe_shed();
+        return Reply::shed(endpoint);
+    }
     let body = match request.body_utf8() {
         Ok(body) => body,
         Err(e) => return Reply::error(400, endpoint, &e.to_string()),
@@ -482,17 +598,25 @@ fn model_request(
 
     let n_rows = parsed.rows.len();
     let (reply_tx, reply_rx) = sync_channel(1);
+    let cancelled = Arc::new(AtomicBool::new(false));
     let job = Job {
         model,
         op,
         rows: parsed.rows,
         group,
+        deadline,
+        cancelled: Arc::clone(&cancelled),
         reply: reply_tx,
     };
     if job_tx.send(job).is_err() {
         return Reply::error(503, endpoint, "server is shutting down");
     }
-    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+    // Wait no longer than the remaining budget (capped by REPLY_TIMEOUT).
+    let wait = deadline.map_or(REPLY_TIMEOUT, |d| {
+        d.saturating_duration_since(Instant::now())
+            .min(REPLY_TIMEOUT)
+    });
+    match reply_rx.recv_timeout(wait) {
         Ok(Ok(JobOutput::Rows(rows))) => {
             let body = serde_json::to_string(&TransformResponse {
                 model: name.to_string(),
@@ -510,8 +634,28 @@ fn model_request(
             .expect("predict response serializes");
             Reply::json(200, body.into_bytes(), endpoint, n_rows)
         }
-        Ok(Err(msg)) => Reply::error(500, endpoint, &msg),
-        Err(_) => Reply::error(500, endpoint, "inference timed out"),
+        // Load shedding, part 2: the batcher found the deadline expired at
+        // gather time and shed the job before compute.
+        Ok(Err(JobError::DeadlineExceeded)) => {
+            metrics.observe_shed();
+            Reply::shed(endpoint)
+        }
+        Ok(Err(JobError::Failed(msg))) => Reply::error(500, endpoint, &msg),
+        Err(_) => {
+            // Whatever happens to this job now, nobody is listening: mark it
+            // cancelled so the batcher drops it at gather or scatter instead
+            // of computing into (or blocking on) a dead channel.
+            cancelled.store(true, Ordering::SeqCst);
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // Compute started (or the queue stalled) and the budget ran
+                // out mid-wait: the request is late, not shed-before-work.
+                metrics.observe_deadline_exceeded();
+                Reply::error(504, endpoint, "deadline exceeded while awaiting inference")
+            } else {
+                metrics.observe_timed_out();
+                Reply::error(500, endpoint, "inference timed out")
+            }
+        }
     }
 }
 

@@ -1,0 +1,152 @@
+//! Thread supervision: panics respawn, clean exits end.
+//!
+//! Every long-lived server thread — the accept loop, each HTTP worker, the
+//! batcher — runs under `supervise`: its body executes inside
+//! `catch_unwind`, a clean return ends the thread (shutdown, queue
+//! disconnect), and a panic respawns the body in place after bumping the
+//! per-kind restart counter surfaced as `ifair_thread_restarts_total` in
+//! `/metrics`. One panicking request can therefore never silently reduce
+//! the server's thread complement.
+//!
+//! The module also owns `recover_lock`: shared-state mutexes
+//! (connection queue, job queue, latency ring) are *recovered* when
+//! poisoned, never propagated — the protected state is a queue or a ring
+//! whose invariants hold between operations, so the panic of a previous
+//! holder does not make the data unusable, and taking a worker down with
+//! it would turn one failed request into a capacity loss.
+
+use crate::metrics::Metrics;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Which supervised thread a restart counter belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadKind {
+    /// The accept loop feeding the connection queue.
+    Accept,
+    /// An HTTP worker (request parsing, validation, response writing).
+    HttpWorker,
+    /// The micro-batching compute thread.
+    Batcher,
+}
+
+impl ThreadKind {
+    /// The `kind` label value in `ifair_thread_restarts_total{kind="..."}`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadKind::Accept => "accept",
+            ThreadKind::HttpWorker => "http-worker",
+            ThreadKind::Batcher => "batcher",
+        }
+    }
+}
+
+/// Spawns `body` on a named thread under supervision: a clean return exits,
+/// a panic re-runs the body (unless `shutdown` is set) after counting the
+/// restart in `metrics`. The body must therefore be re-runnable — all of
+/// the server loops are, since their state lives in shared queues.
+pub(crate) fn supervise(
+    name: String,
+    kind: ThreadKind,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    body: impl Fn() + Send + 'static,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || loop {
+            match catch_unwind(AssertUnwindSafe(&body)) {
+                Ok(()) => break,
+                Err(_) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    metrics.observe_thread_restart(kind);
+                }
+            }
+        })
+        .expect("spawning a supervised thread")
+}
+
+/// Locks `lock`, recovering (rather than propagating) poison: the guarded
+/// structures are queues/rings whose invariants hold between operations, so
+/// a previous holder's panic does not invalidate them.
+pub(crate) fn recover_lock<T: ?Sized>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn clean_return_exits_without_restarts() {
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = supervise(
+            "sup-clean".into(),
+            ThreadKind::Batcher,
+            Arc::clone(&shutdown),
+            Arc::clone(&metrics),
+            || {},
+        );
+        handle.join().unwrap();
+        assert_eq!(metrics.thread_restarts(ThreadKind::Batcher), 0);
+    }
+
+    #[test]
+    fn panics_respawn_until_the_body_returns() {
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let runs = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let runs = Arc::clone(&runs);
+            supervise(
+                "sup-panicky".into(),
+                ThreadKind::HttpWorker,
+                Arc::clone(&shutdown),
+                Arc::clone(&metrics),
+                move || {
+                    // Panic twice, then exit cleanly on the third run.
+                    if runs.fetch_add(1, Ordering::SeqCst) < 2 {
+                        panic!("injected for the supervisor test");
+                    }
+                },
+            )
+        };
+        handle.join().unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
+        assert_eq!(metrics.thread_restarts(ThreadKind::HttpWorker), 2);
+    }
+
+    #[test]
+    fn shutdown_suppresses_the_respawn() {
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(true));
+        let handle = supervise(
+            "sup-shutdown".into(),
+            ThreadKind::Accept,
+            Arc::clone(&shutdown),
+            Arc::clone(&metrics),
+            || panic!("injected during shutdown"),
+        );
+        handle.join().unwrap();
+        assert_eq!(metrics.thread_restarts(ThreadKind::Accept), 0);
+    }
+
+    #[test]
+    fn recover_lock_survives_a_poisoned_mutex() {
+        let lock = Arc::new(Mutex::new(7u64));
+        let poisoner = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(lock.lock().is_err(), "the lock really is poisoned");
+        assert_eq!(*recover_lock(&lock), 7);
+    }
+}

@@ -1,0 +1,422 @@
+//! Deterministic chaos tests (`--features fault-injection`).
+//!
+//! Each test installs a seeded [`FaultPlan`] — scheduled panics, I/O
+//! errors, slow reads, torn writes — hammers a live server through real
+//! sockets, and asserts the failure contract: every request gets a
+//! well-formed HTTP response or a typed client error (never a garbled
+//! "success"), supervised threads respawn and are counted in `/metrics`,
+//! no thread leaks, and once the plan is cleared the server's answers are
+//! **bit-identical** to a healthy run. Same seed, same fault sequence,
+//! same outcome — a failing chaos run replays exactly.
+
+#![cfg(feature = "fault-injection")]
+
+use ifair::api::faults::{self, FaultPlan};
+use ifair::core::IFairConfig;
+use ifair::data::Dataset;
+use ifair::linalg::Matrix;
+use ifair::Pipeline;
+use ifair_serve::client::{self, RetryPolicy};
+use ifair_serve::supervisor::ThreadKind;
+use ifair_serve::{ModelRegistry, ModelSpec, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The fault plan is process-global, so chaos tests must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const BODY: &str = "{\"rows\":[[0.3,0.7,1.0],[0.6,0.4,0.0]]}";
+
+fn toy_dataset(m: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64;
+            vec![t, 1.0 - t + 0.05 * ((i * 7 % 5) as f64), (i % 2) as f64]
+        })
+        .collect();
+    Dataset::new(
+        Matrix::from_rows(rows).unwrap(),
+        vec!["a".into(), "b".into(), "gender".into()],
+        vec![false, false, true],
+        Some(
+            (0..m)
+                .map(|i| f64::from(i as f64 / m as f64 > 0.5))
+                .collect(),
+        ),
+        (0..m).map(|i| (i % 2) as u8).collect(),
+    )
+    .unwrap()
+}
+
+fn write_artifact(tag: &str, seed: u64) -> PathBuf {
+    let ds = toy_dataset(24);
+    let pipeline = Pipeline::builder()
+        .standard_scaler()
+        .ifair(IFairConfig {
+            k: 2,
+            max_iters: 15,
+            n_restarts: 1,
+            seed,
+            ..Default::default()
+        })
+        .logistic_regression_default()
+        .fit(&ds)
+        .unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "ifair-serve-chaos-{tag}-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, pipeline.to_json().unwrap()).unwrap();
+    path
+}
+
+fn boot(path: &std::path::Path) -> ifair_serve::ServerHandle {
+    let registry = ModelRegistry::load(vec![ModelSpec {
+        name: "m".into(),
+        path: path.to_path_buf(),
+        precision: ifair_serve::Precision::F64,
+    }])
+    .unwrap();
+    Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            n_threads: 1,
+            http_workers: 2,
+            queue_capacity: 32,
+            max_batch_rows: 64,
+        },
+    )
+    .unwrap()
+    .spawn()
+}
+
+/// Live threads of this process, from `/proc/self/status`.
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+/// Posts one transform; OK responses must be parseable with a sane status.
+fn fire(addr: std::net::SocketAddr) -> Result<(u16, String), std::io::Error> {
+    client::request_with(
+        addr,
+        "POST",
+        "/v1/models/m/transform",
+        &[],
+        Some(BODY),
+        Some(Duration::from_secs(10)),
+    )
+}
+
+/// The healthy-run reference bits for `BODY` against the artifact.
+fn healthy_bits(addr: std::net::SocketAddr) -> String {
+    let (status, body) = fire(addr).expect("healthy request");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// Waits (bounded) for a restart counter to reach `want`: the supervisor
+/// bumps it after unwinding, which can race a sibling thread already
+/// serving the next request.
+fn await_restarts(handle: &ifair_serve::ServerHandle, kind: ThreadKind, want: u64) -> u64 {
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    loop {
+        let got = handle.metrics().thread_restarts(kind);
+        if got >= want || std::time::Instant::now() >= deadline {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The full storm at one seed: panics in every supervised thread, a torn
+/// write, a slow read, and an artifact-read error, at seed-drawn call
+/// numbers. Every outcome must be well-formed; the server must end the
+/// storm answering bit-identically to its healthy self.
+fn chaos_storm(seed: u64) {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact(&format!("storm{seed}"), 3);
+    let handle = boot(&path);
+    let addr = handle.addr();
+    let reference = healthy_bits(addr);
+    let threads_before = thread_count();
+
+    const ROUNDS: u64 = 40;
+    let mut plan = FaultPlan::new(seed);
+    // Each site faults once, at a call number drawn from the seed. Call
+    // counters only advance when traffic reaches the site, so the draws
+    // stay within the early rounds to guarantee every fault really fires.
+    let worker_call = plan.draw(2, 10);
+    let locked_call = plan.draw(12, 20);
+    let batcher_call = plan.draw(2, 10);
+    let compute_call = plan.draw(12, 20);
+    let torn_call = plan.draw(2, 20);
+    let read_delay_call = plan.draw(2, 20);
+    let plan = plan
+        .panic_on("serve.http-worker", &[worker_call])
+        .panic_on("serve.http-worker.locked", &[locked_call])
+        .panic_on("serve.batcher", &[batcher_call])
+        .panic_on("serve.batch.compute", &[compute_call])
+        .torn_write_on("serve.conn.write", &[torn_call])
+        .delay_on("serve.conn.read", &[read_delay_call], 30);
+    faults::install(plan);
+
+    let mut outcomes = [0u64; 3]; // ok / http error / transport error
+    for _ in 0..ROUNDS {
+        match fire(addr) {
+            Ok((200, body)) => {
+                assert_eq!(body, reference, "seed {seed}: garbled 200");
+                outcomes[0] += 1;
+            }
+            Ok((status, body)) => {
+                assert!(
+                    (400..=599).contains(&status),
+                    "seed {seed}: nonsense status {status}: {body}"
+                );
+                assert!(body.contains("error"), "seed {seed}: untyped error {body}");
+                outcomes[1] += 1;
+            }
+            // Torn write / dropped connection: the client sees a transport
+            // error, never a short-but-parseable success.
+            Err(_) => outcomes[2] += 1,
+        }
+    }
+
+    // Every scheduled fault actually fired (the schedule wasn't skipped).
+    for site in [
+        "serve.http-worker",
+        "serve.http-worker.locked",
+        "serve.batcher",
+        "serve.batch.compute",
+        "serve.conn.write",
+        "serve.conn.read",
+    ] {
+        assert_eq!(
+            faults::fault_count(site),
+            1,
+            "seed {seed}: {site} never fired"
+        );
+    }
+    faults::clear();
+
+    // The supervisors counted their respawns...
+    assert!(
+        await_restarts(&handle, ThreadKind::HttpWorker, 2) >= 2,
+        "seed {seed}: worker restarts missing"
+    );
+    assert!(
+        await_restarts(&handle, ThreadKind::Batcher, 1) >= 1,
+        "seed {seed}: batcher restart missing"
+    );
+    // ...and /metrics exposes them.
+    let (status, rendered) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        rendered.contains("ifair_thread_restarts_total{kind=\"http-worker\"}"),
+        "{rendered}"
+    );
+
+    // Post-storm: bit-identical to the healthy run, and no thread leaked —
+    // every respawn replaced a death, never added a sibling.
+    for _ in 0..3 {
+        let (status, body) = fire(addr).expect("post-storm request");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, reference, "seed {seed}: post-storm bits diverged");
+    }
+    assert_eq!(
+        thread_count(),
+        threads_before,
+        "seed {seed}: thread count drifted"
+    );
+    assert!(
+        outcomes[0] >= ROUNDS / 2,
+        "seed {seed}: too few successes: {outcomes:?}"
+    );
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chaos_storm_seed_1() {
+    chaos_storm(0xc4a0_5001);
+}
+
+#[test]
+fn chaos_storm_seed_2() {
+    chaos_storm(0xc4a0_5002);
+}
+
+#[test]
+fn chaos_storm_seed_3() {
+    chaos_storm(0xc4a0_5003);
+}
+
+/// Satellite check, per thread kind: kill exactly one thread of each kind
+/// and verify its supervisor respawned it (counter + continued service).
+#[test]
+fn each_thread_kind_respawns_after_a_kill() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact("respawn", 3);
+
+    for (site, kind) in [
+        ("serve.accept", ThreadKind::Accept),
+        ("serve.http-worker", ThreadKind::HttpWorker),
+        ("serve.batcher", ThreadKind::Batcher),
+    ] {
+        let handle = boot(&path);
+        let addr = handle.addr();
+        let reference = healthy_bits(addr);
+        let threads_before = thread_count();
+
+        faults::install(FaultPlan::new(9).panic_on(site, &[1]));
+        // The request that trips the fault may die with the thread — any
+        // well-formed error is acceptable; a garbled 200 is not.
+        match fire(addr) {
+            Ok((200, body)) => assert_eq!(body, reference, "{site}: garbled 200"),
+            Ok((status, _)) => assert!((400..=599).contains(&status), "{site}: {status}"),
+            Err(_) => {}
+        }
+        assert_eq!(faults::fault_count(site), 1, "{site} never fired");
+        faults::clear();
+
+        // The supervisor replaced the dead thread: service continues,
+        // the restart is counted, and the thread census is unchanged.
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            attempt_timeout: Duration::from_secs(5),
+            seed: 1,
+        };
+        let (status, body) = policy
+            .request(addr, "POST", "/v1/models/m/transform", &[], Some(BODY))
+            .expect("post-kill request");
+        assert_eq!(status, 200, "{site}: {body}");
+        assert_eq!(body, reference, "{site}: post-kill bits diverged");
+        assert_eq!(
+            await_restarts(&handle, kind, 1),
+            1,
+            "{site}: restart not counted"
+        );
+        assert_eq!(thread_count(), threads_before, "{site}: thread leak");
+        handle.shutdown();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A worker killed while holding the connection-queue lock poisons it; the
+/// respawned worker (and every sibling) must recover the lock and keep
+/// serving rather than cascading the panic.
+#[test]
+fn poisoned_connection_queue_is_recovered_not_fatal() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact("poison", 3);
+    let handle = boot(&path);
+    let addr = handle.addr();
+    let reference = healthy_bits(addr);
+
+    faults::install(FaultPlan::new(5).panic_on("serve.http-worker.locked", &[2]));
+    // First post-install connection dequeues fine (call 1); the second
+    // visit panics inside the guard and poisons the mutex.
+    let _ = fire(addr);
+    let _ = fire(addr);
+    assert_eq!(faults::fault_count("serve.http-worker.locked"), 1);
+    faults::clear();
+
+    for _ in 0..4 {
+        let (status, body) = fire(addr).expect("post-poison request");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, reference, "post-poison bits diverged");
+    }
+    assert!(await_restarts(&handle, ThreadKind::HttpWorker, 1) >= 1);
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A panic *inside* batch compute is trapped per-batch: the requester gets
+/// a typed 500, the batcher thread survives (no restart counted).
+#[test]
+fn compute_panic_is_a_500_not_a_batcher_death() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact("trap", 3);
+    let handle = boot(&path);
+    let addr = handle.addr();
+    let reference = healthy_bits(addr);
+
+    faults::install(FaultPlan::new(6).panic_on("serve.batch.compute", &[1]));
+    let (status, body) = fire(addr).expect("a trapped panic still answers");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("internal error"), "{body}");
+    faults::clear();
+
+    assert_eq!(handle.metrics().thread_restarts(ThreadKind::Batcher), 0);
+    let (status, body) = fire(addr).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, reference);
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// An injected I/O error while re-reading artifacts fails the reload with
+/// a 500 and leaves the previous generation serving, bit-for-bit.
+#[test]
+fn artifact_read_fault_fails_reload_cleanly() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact("reload", 3);
+    let handle = boot(&path);
+    let addr = handle.addr();
+    let reference = healthy_bits(addr);
+
+    faults::install(FaultPlan::new(7).io_error_on("serve.artifact.read", &[1]));
+    let (status, body) = client::post(addr, "/admin/reload", "").unwrap();
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("injected fault"), "{body}");
+    faults::clear();
+
+    // Generation 1 still serves, untouched; a clean reload then succeeds.
+    let (status, body) = fire(addr).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, reference);
+    let (status, body) = client::post(addr, "/admin/reload", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A torn response never parses as success, and the retrying client rides
+/// it out to the bit-identical answer.
+#[test]
+fn retry_policy_rides_out_torn_writes() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact("torn", 3);
+    let handle = boot(&path);
+    let addr = handle.addr();
+    let reference = healthy_bits(addr);
+
+    faults::install(FaultPlan::new(8).torn_write_on("serve.conn.write", &[1]));
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        attempt_timeout: Duration::from_secs(5),
+        seed: 2,
+    };
+    let (status, body) = policy
+        .request(addr, "POST", "/v1/models/m/transform", &[], Some(BODY))
+        .expect("retry rides out the torn write");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, reference, "post-tear bits diverged");
+    assert_eq!(faults::fault_count("serve.conn.write"), 1);
+    faults::clear();
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
