@@ -1,0 +1,316 @@
+//! Length-prefixed binary frames over byte streams (pipes).
+//!
+//! The multi-process trainer (`ifair-core::dp`) talks to its worker
+//! processes over stdin/stdout pipes. This module is the wire layer: a
+//! *frame* is
+//!
+//! ```text
+//! [u32 LE payload length][u8 tag][payload bytes]
+//! ```
+//!
+//! and payloads are built/parsed with [`PayloadWriter`] /
+//! [`PayloadReader`] — fixed-width little-endian integers and raw `f64`
+//! bit patterns, so floating-point values cross the pipe exactly
+//! (bit-identical, including `-0.0` and the NaN payloads the trainer
+//! never produces but the wire must not corrupt).
+//!
+//! The layer is transport-only: it knows nothing about what the tags
+//! mean. A corrupt or absurd length prefix fails fast with
+//! [`std::io::ErrorKind::InvalidData`] instead of allocating.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted payload (1 GiB): far above any real training frame,
+/// small enough to reject a garbage length prefix before allocating.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Writes one frame and flushes the stream (frames are request/response
+/// units; a buffered, unflushed request would deadlock both ends).
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame payload of {} bytes exceeds the frame cap",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream at a
+/// frame boundary (the peer closed its pipe); EOF *inside* a frame is an
+/// `UnexpectedEof` error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let k = r.read(&mut len_buf[got..])?;
+        if k == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a frame length prefix",
+            ));
+        }
+        got += k;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame declares a {len}-byte payload, over the frame cap"),
+        ));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+/// Incrementally builds a frame payload out of little-endian scalars and
+/// raw `f64` arrays.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// An empty payload.
+    pub fn new() -> PayloadWriter {
+        PayloadWriter::default()
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn put_usize(&mut self, v: usize) -> &mut Self {
+        self.put_u64(v as u64)
+    }
+
+    /// Appends one `f64` as its raw bit pattern.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed `f64` slice as raw bit patterns.
+    pub fn put_f64s(&mut self, vs: &[f64]) -> &mut Self {
+        self.put_usize(vs.len());
+        self.buf.reserve(vs.len() * 8);
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends length-prefixed raw bytes (e.g. a JSON blob).
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// The finished payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential reader over a frame payload built by [`PayloadWriter`].
+/// Every getter is bounds-checked and fails with `InvalidData` instead of
+/// panicking on a short or corrupt payload.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn short(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("frame payload too short reading {what}"),
+    )
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> PayloadReader<'a> {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize, what: &str) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(len).ok_or_else(|| short(what))?;
+        if end > self.buf.len() {
+            return Err(short(what));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` and converts it to `usize`.
+    pub fn get_usize(&mut self) -> io::Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| short("usize"))
+    }
+
+    /// Reads one `f64` bit pattern.
+    pub fn get_f64(&mut self) -> io::Result<f64> {
+        let b = self.take(8, "f64")?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed `f64` slice into a fresh vector.
+    pub fn get_f64s(&mut self) -> io::Result<Vec<f64>> {
+        let len = self.get_usize()?;
+        let bytes = self.take(
+            len.checked_mul(8).ok_or_else(|| short("f64 array"))?,
+            "f64 array",
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Reads a length-prefixed `f64` slice into `out`, which must match
+    /// the encoded length exactly.
+    pub fn get_f64s_into(&mut self, out: &mut [f64]) -> io::Result<()> {
+        let len = self.get_usize()?;
+        if len != out.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame carries {len} f64 values, expected {}", out.len()),
+            ));
+        }
+        let bytes = self.take(len * 8, "f64 array")?;
+        for (v, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            *v = f64::from_le_bytes(c.try_into().expect("8 bytes"));
+        }
+        Ok(())
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> io::Result<&'a [u8]> {
+        let len = self.get_usize()?;
+        self.take(len, "bytes")
+    }
+
+    /// Errors unless the payload was consumed exactly — catches protocol
+    /// drift between coordinator and worker builds.
+    pub fn finish(self) -> io::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} unread bytes at the end of a frame payload",
+                    self.buf.len() - self.pos
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_over_a_stream() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, 7, b"hello").unwrap();
+        write_frame(&mut pipe, 9, b"").unwrap();
+        let mut r = Cursor::new(pipe);
+        assert_eq!(read_frame(&mut r).unwrap(), Some((7, b"hello".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((9, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_frames_and_absurd_lengths_are_errors() {
+        // EOF inside the length prefix.
+        let mut r = Cursor::new(vec![1u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+        // EOF inside the payload.
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, 1, b"abcdef").unwrap();
+        pipe.truncate(pipe.len() - 2);
+        assert!(read_frame(&mut Cursor::new(pipe)).is_err());
+        // A length prefix over the cap fails before allocating.
+        let mut huge = u32::MAX.to_le_bytes().to_vec();
+        huge.push(0);
+        assert!(read_frame(&mut Cursor::new(huge)).is_err());
+    }
+
+    #[test]
+    fn payload_scalars_and_arrays_roundtrip_bitwise() {
+        let values = [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::NAN, f64::INFINITY];
+        let mut w = PayloadWriter::new();
+        w.put_u64(u64::MAX).put_usize(42).put_f64(-0.0);
+        w.put_f64s(&values).put_bytes(b"{\"k\":1}");
+        let bytes = w.into_bytes();
+
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        let back = r.get_f64s().unwrap();
+        let bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        let expect: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expect, "NaN payloads and -0.0 cross intact");
+        assert_eq!(r.get_bytes().unwrap(), b"{\"k\":1}");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn short_payloads_fail_with_typed_errors_not_panics() {
+        let mut w = PayloadWriter::new();
+        w.put_f64s(&[1.0, 2.0]);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let mut r = PayloadReader::new(&bytes);
+        assert!(r.get_f64s().is_err());
+
+        let mut r = PayloadReader::new(&[1, 2, 3]);
+        assert!(r.get_u64().is_err());
+
+        // get_f64s_into checks the encoded length against the buffer.
+        let mut w = PayloadWriter::new();
+        w.put_f64s(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        let mut out = vec![0.0; 2];
+        assert!(r.get_f64s_into(&mut out).is_err());
+
+        // Unconsumed trailing bytes are protocol drift.
+        let mut w = PayloadWriter::new();
+        w.put_u64(1).put_u64(2);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        r.get_u64().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

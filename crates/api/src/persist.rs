@@ -12,58 +12,21 @@
 
 use crate::error::FitError;
 use serde::{Deserialize, Serialize, Value};
-use std::io::Write;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The schema version this build writes and the highest it can read.
 pub const SCHEMA_VERSION: u32 = 1;
 
-/// Per-process counter distinguishing concurrent [`write_atomic`] temp
-/// files (two threads writing the same target must not share one).
-static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// Writes `contents` to `path` atomically: the bytes go to a temp file in
-/// the target's directory, are fsynced, and the temp file is renamed over
-/// the target (itself fsynced at the directory level on Unix). A reader —
+/// Writes `contents` to `path` atomically: temp file in the target's
+/// directory, fsync, rename (directory-fsynced on Unix). A reader —
 /// including a crashed writer's next boot — observes either the old
 /// complete file or the new complete file, never a torn mix. This is the
-/// write path every artifact and training checkpoint goes through.
+/// write path every artifact and training checkpoint goes through; the
+/// implementation lives in [`ifair_data::persist`] so dataset shards share
+/// it, while this wrapper keeps the artifact-level fault-injection site.
 pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     crate::faults::check_io("api.artifact.write")?;
-    let dir = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    let stem = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or("artifact");
-    let tmp = dir.join(format!(
-        ".{stem}.tmp.{}.{}",
-        std::process::id(),
-        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-    ));
-    let result = (|| {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(contents)?;
-        // fsync before rename: without it a crash can leave a renamed file
-        // whose *data* never reached the disk — exactly the torn artifact
-        // the rename dance exists to rule out.
-        file.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-        return result;
-    }
-    // Make the rename itself durable. Directory fsync is Unix-specific and
-    // advisory here: filesystems without it still got the atomic rename.
-    #[cfg(unix)]
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
-    Ok(())
+    ifair_data::persist::write_atomic(path, contents)
 }
 
 /// The envelope metadata of a versioned artifact, read without touching the

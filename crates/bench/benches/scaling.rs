@@ -11,21 +11,32 @@
 //! 1 epoch): this bench tracks *cost per unit of training*, not convergence
 //! — the convergence comparison lives in `tests/minibatch.rs`.
 //!
+//! A second, **out-of-core** section converts the generator into sharded
+//! `.ifb` files and trains with the multi-process data-parallel strategy at
+//! M ∈ {1 000 000, 10 000 000} — sizes nothing in this process could
+//! materialize — recording the conversion and fit wall-times plus the
+//! coordinator's peak RSS, which must stay a function of the batch shape,
+//! never of `M`. Requires the `ifair-dp-worker` binary
+//! (`cargo build --release -p ifair-core --bin ifair-dp-worker`) next to
+//! the bench executable's parent directory, or named by `IFAIR_DP_WORKER`.
+//!
 //! Run with `cargo bench -p ifair-bench --bench scaling`. Environment knobs:
 //!
-//! * `IFAIR_BENCH_SMOKE=1` — M ∈ {200, 500, 1000} and a 2-iteration budget,
-//!   so CI proves the binary runs in seconds,
+//! * `IFAIR_BENCH_SMOKE=1` — M ∈ {200, 500, 1000} (out-of-core: 20 000) and
+//!   a 2-iteration budget, so CI proves the binary runs in seconds,
 //! * `IFAIR_BENCH_JSON=1` — additionally write `BENCH_scaling.json` for the
 //!   perf-trajectory pipeline.
 
-use ifair_bench::timing::{bench, table_header, BenchReport};
+use ifair_bench::timing::{bench, peak_rss_bytes, reset_peak_rss, table_header, BenchReport};
 use ifair_core::par::available_threads;
-use ifair_core::{FairnessPairs, FitStrategy, IFair, IFairConfig};
+use ifair_core::{DpDataSpec, FairnessPairs, FitStrategy, IFair, IFairConfig};
+use ifair_data::binfmt::BinDatasetWriter;
 use ifair_data::generators::large::{LargeScale, LargeScaleConfig};
 
 /// Problem sizes, shrunk under `IFAIR_BENCH_SMOKE`.
 struct Sizes {
     record_counts: Vec<usize>,
+    out_of_core_counts: Vec<usize>,
 }
 
 impl Sizes {
@@ -33,10 +44,12 @@ impl Sizes {
         if std::env::var_os("IFAIR_BENCH_SMOKE").is_some() {
             Sizes {
                 record_counts: vec![200, 500, 1000],
+                out_of_core_counts: vec![20_000],
             }
         } else {
             Sizes {
                 record_counts: vec![2_000, 10_000, 50_000],
+                out_of_core_counts: vec![1_000_000, 10_000_000],
             }
         }
     }
@@ -105,9 +118,98 @@ fn main() {
         );
     }
 
+    out_of_core(&sizes, &mut report);
+
     match report.write_if_enabled() {
         Ok(Some(path)) => println!("\nwrote {path}"),
         Ok(None) => {}
         Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
     }
+}
+
+/// The data-parallel schedule for the out-of-core points: one epoch of
+/// 65 536-record batches, 4 096 fairness pairs each — per-step cost is a
+/// function of this shape, `M` only sets the step count.
+fn out_of_core_config() -> IFairConfig {
+    IFairConfig {
+        k: 4,
+        n_restarts: 1,
+        n_threads: 1,
+        strategy: FitStrategy::DataParallel {
+            workers: 2,
+            batch_records: 65_536,
+            pairs_per_batch: 4_096,
+            epochs: 1,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    }
+}
+
+/// Convert-then-train at sizes nothing in this process materializes:
+/// generator → sharded `.ifb` → 2-worker data-parallel fit, with the
+/// coordinator's peak RSS attached to each fit row. Shards are cut at
+/// 2²⁰ rows so the big points exercise the multi-shard read path.
+fn out_of_core(sizes: &Sizes, report: &mut BenchReport) {
+    const SHARD_ROWS: usize = 1 << 20;
+    println!(
+        "\n# out-of-core: convert + data-parallel fit, M in {:?}",
+        sizes.out_of_core_counts
+    );
+    table_header("out-of-core data plane (2 workers)");
+    let dir = std::env::temp_dir().join(format!("ifair-scaling-ooc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create shard dir");
+
+    for &m in &sizes.out_of_core_counts {
+        let gen = LargeScale::new(LargeScaleConfig {
+            n_records: m,
+            n_numeric: 16,
+            seed: 29,
+            ..Default::default()
+        });
+        let protected = gen.protected_flags();
+        let n = gen.width();
+        let stem = dir.join(format!("m{m}"));
+
+        let mut shards = Vec::new();
+        let convert = bench(&format!("convert/ifb/m{m}"), 0, 1, || {
+            let names: Vec<String> = (0..n).map(|j| format!("f{j}")).collect();
+            let mut writer =
+                BinDatasetWriter::create(&stem, names, SHARD_ROWS).expect("shard writer");
+            let mut row = vec![0.0; n];
+            for i in 0..m {
+                gen.row_into(i, &mut row);
+                writer.push_row(&row).expect("write row");
+            }
+            shards = writer.finish().expect("finish shards");
+            shards.len()
+        });
+        report.push(&convert);
+
+        let spec = DpDataSpec::Bin {
+            paths: shards
+                .iter()
+                .map(|p| p.to_string_lossy().into_owned())
+                .collect(),
+        };
+        reset_peak_rss();
+        let fit = bench(&format!("fit/data_parallel_w2/m{m}"), 0, 1, || {
+            IFair::fit_data_parallel(&spec, &protected, &out_of_core_config())
+                .expect("data-parallel fit")
+        })
+        .with_peak_rss(peak_rss_bytes());
+        if let Some(rss) = fit.peak_rss {
+            println!(
+                "    coordinator peak RSS at M = {m}: {:.1} MiB ({} shards on disk)",
+                rss as f64 / (1024.0 * 1024.0),
+                shards.len()
+            );
+        }
+        report.push(&fit);
+
+        for s in &shards {
+            std::fs::remove_file(s).ok();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -169,7 +169,17 @@ fn run(args: Args) -> Result<(), String> {
                     );
                 }
                 _ => {
+                    // One-sided: present now, absent from (or zero in) the
+                    // baseline. A `::notice::` keeps it visible in the CI
+                    // annotations until the baseline is refreshed, without
+                    // failing anything — new benchmarks are expected to
+                    // appear one PR before their baseline entry does.
                     missing += 1;
+                    println!(
+                        "::notice title=perf baseline gap::{name} has no baseline entry \
+                         (current median {}); refresh results/BENCH_baseline.json to track it",
+                        fmt_ns(m.median_ns)
+                    );
                     println!(
                         "| {name} | {} | — | {} | — | new |",
                         variant(m),
@@ -180,6 +190,11 @@ fn run(args: Args) -> Result<(), String> {
         }
         for (name, base) in &baseline {
             if !current.iter().any(|(c, _)| c == name) {
+                println!(
+                    "::notice title=perf baseline gap::{name} is in the baseline but was not \
+                     measured in this run (baseline median {})",
+                    fmt_ns(base.median_ns)
+                );
                 println!(
                     "| {name} | {} | {} | — | — | dropped |",
                     variant(base),
@@ -287,6 +302,7 @@ mod tests {
             mean_ns: 3,
             backend: None,
             precision: None,
+            peak_rss_bytes: None,
         });
         let rows = flatten(&[a]);
         assert_eq!(rows[0].0, "kernels/value");
@@ -300,6 +316,7 @@ mod tests {
             mean_ns: 3,
             backend: None,
             precision: None,
+            peak_rss_bytes: None,
         });
         let rows = flatten(&[b]);
         assert_eq!(rows[0].0, "kernels/value");
@@ -314,6 +331,7 @@ mod tests {
             mean_ns: 3,
             backend: None,
             precision: None,
+            peak_rss_bytes: None,
         };
         assert_eq!(variant(&m), "—");
         m.backend = Some("simd".into());

@@ -24,6 +24,11 @@ pub struct Measurement {
     pub backend: Option<String>,
     /// Scalar precision label (`"f64"` / `"f32"`) when relevant.
     pub precision: Option<String>,
+    /// Peak resident set size of *this process* over the measured region,
+    /// in bytes, when the benchmark captured it (see [`reset_peak_rss`] /
+    /// [`peak_rss_bytes`]). The out-of-core rows use it to pin the
+    /// coordinator-RSS-independent-of-M claim.
+    pub peak_rss: Option<u64>,
 }
 
 impl Measurement {
@@ -33,6 +38,44 @@ impl Measurement {
         self.backend = Some(backend.to_string());
         self.precision = Some(precision.to_string());
         self
+    }
+
+    /// Attaches a peak-RSS sample to this measurement.
+    pub fn with_peak_rss(mut self, bytes: Option<u64>) -> Measurement {
+        self.peak_rss = bytes;
+        self
+    }
+}
+
+/// Resets the kernel's peak-RSS watermark for this process (Linux:
+/// `echo 5 > /proc/self/clear_refs`), so [`peak_rss_bytes`] afterward
+/// reflects only the region between the two calls. No-op elsewhere (the
+/// watermark then covers the whole process lifetime — still an upper
+/// bound, just a looser one).
+pub fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    {
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
+/// This process's peak resident set size in bytes (Linux: `VmHWM` from
+/// `/proc/self/status`), `None` where unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 
@@ -61,6 +104,7 @@ pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> 
         mean,
         backend: None,
         precision: None,
+        peak_rss: None,
     };
     println!(
         "| {} | {} | {} | {} |",
@@ -92,6 +136,10 @@ pub struct MeasurementRecord {
     /// Scalar precision label, with the same backward-compatible default.
     #[serde(default)]
     pub precision: Option<String>,
+    /// Peak process RSS in bytes over the measured region, when captured
+    /// (out-of-core rows); `#[serde(default)]` so older JSON still loads.
+    #[serde(default)]
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl Measurement {
@@ -104,6 +152,7 @@ impl Measurement {
             mean_ns: duration_ns(self.mean),
             backend: self.backend.clone(),
             precision: self.precision.clone(),
+            peak_rss_bytes: self.peak_rss,
         }
     }
 }
@@ -208,6 +257,7 @@ mod tests {
             mean: Duration::from_millis(3),
             backend: None,
             precision: None,
+            peak_rss: None,
         };
         let r = m.record();
         assert_eq!(
@@ -238,6 +288,23 @@ mod tests {
         let legacy: MeasurementRecord = serde_json::from_str(old).unwrap();
         assert_eq!(legacy.backend, None);
         assert_eq!(legacy.precision, None);
+        assert_eq!(legacy.peak_rss_bytes, None);
+    }
+
+    #[test]
+    fn peak_rss_attaches_and_roundtrips() {
+        let m = bench("rss", 0, 1, || 7).with_peak_rss(Some(123 * 1024));
+        let r = m.record();
+        assert_eq!(r.peak_rss_bytes, Some(123 * 1024));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MeasurementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.peak_rss_bytes, Some(123 * 1024));
+        // The probe itself works on Linux (None elsewhere is fine).
+        #[cfg(target_os = "linux")]
+        {
+            reset_peak_rss();
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
     }
 
     #[test]

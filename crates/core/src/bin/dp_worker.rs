@@ -1,0 +1,6 @@
+//! Data-parallel training worker (see `ifair_core::dp`). Spawned by the
+//! coordinator with the protocol on stdin/stdout; never run by hand.
+
+fn main() -> std::process::ExitCode {
+    ifair_core::dp::worker_main()
+}

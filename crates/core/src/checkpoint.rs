@@ -15,7 +15,7 @@
 //! ([`ifair_api::write_atomic`]) so a crash mid-save leaves the previous
 //! checkpoint intact, never a torn file.
 
-use crate::config::{FitStrategy, IFairConfig};
+use crate::config::IFairConfig;
 use crate::model::RestartReport;
 use crate::objective::SamplerState;
 use ifair_api::{shape_error, FitError};
@@ -132,11 +132,11 @@ impl FitCheckpoint {
     /// checks itself.
     pub(crate) fn validate(&self, m: usize, n: usize) -> Result<(), FitError> {
         self.config.validate()?;
-        let FitStrategy::MiniBatch { epochs, .. } = self.config.strategy else {
+        let Some((_, _, epochs, _)) = self.config.strategy.schedule() else {
             return Err(FitError::Config(ifair_api::ConfigError {
                 field: "strategy",
-                message: "checkpoint carries a non-MiniBatch strategy — only mini-batch fits \
-                          are checkpointable"
+                message: "checkpoint carries an unbatched strategy — only mini-batch and \
+                          data-parallel fits are checkpointable"
                     .into(),
             }));
         };
@@ -222,7 +222,7 @@ impl FitCheckpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::IFairConfig;
+    use crate::config::{FitStrategy, IFairConfig};
 
     fn base_config() -> IFairConfig {
         IFairConfig {

@@ -100,6 +100,25 @@ pub enum FitStrategy {
         /// Adam step size.
         learning_rate: f64,
     },
+    /// The mini-batch schedule executed across `workers` OS processes (see
+    /// [`crate::IFair::fit_data_parallel`]): the coordinator runs the exact
+    /// [`FitStrategy::MiniBatch`] loop — same sampler, same Adam step —
+    /// while the per-chunk gradient kernels are computed by worker
+    /// processes and folded back in the fixed global chunk order, so the
+    /// result is bit-identical to the single-process fit at every worker
+    /// count.
+    DataParallel {
+        /// Worker processes (at least 1).
+        workers: usize,
+        /// Records per batch, as in [`FitStrategy::MiniBatch`].
+        batch_records: usize,
+        /// Fairness pairs drawn within each batch.
+        pairs_per_batch: usize,
+        /// Number of passes (in expectation) over the dataset per restart.
+        epochs: usize,
+        /// Adam step size.
+        learning_rate: f64,
+    },
 }
 
 impl FitStrategy {
@@ -111,6 +130,43 @@ impl FitStrategy {
             pairs_per_batch: 1024,
             epochs: 5,
             learning_rate: 0.05,
+        }
+    }
+
+    /// A data-parallel strategy with the [`FitStrategy::mini_batch`]
+    /// schedule defaults and the given worker count.
+    pub fn data_parallel(workers: usize) -> FitStrategy {
+        FitStrategy::DataParallel {
+            workers,
+            batch_records: 256,
+            pairs_per_batch: 1024,
+            epochs: 5,
+            learning_rate: 0.05,
+        }
+    }
+
+    /// The stochastic schedule `(batch_records, pairs_per_batch, epochs,
+    /// learning_rate)` shared by [`FitStrategy::MiniBatch`] and
+    /// [`FitStrategy::DataParallel`]; `None` for the full-batch strategy.
+    /// The two stochastic variants with equal schedules produce
+    /// bit-identical models — `DataParallel` only changes who computes the
+    /// gradient chunks.
+    pub fn schedule(&self) -> Option<(usize, usize, usize, f64)> {
+        match *self {
+            FitStrategy::FullBatch => None,
+            FitStrategy::MiniBatch {
+                batch_records,
+                pairs_per_batch,
+                epochs,
+                learning_rate,
+            }
+            | FitStrategy::DataParallel {
+                batch_records,
+                pairs_per_batch,
+                epochs,
+                learning_rate,
+                ..
+            } => Some((batch_records, pairs_per_batch, epochs, learning_rate)),
         }
     }
 }
@@ -234,12 +290,8 @@ impl IFairConfig {
             }
             FairnessPairs::Exact => {}
         }
-        if let FitStrategy::MiniBatch {
-            batch_records,
-            pairs_per_batch,
-            epochs,
-            learning_rate,
-        } = self.strategy
+        if let Some((batch_records, pairs_per_batch, epochs, learning_rate)) =
+            self.strategy.schedule()
         {
             ensure(
                 batch_records >= 2,
@@ -257,6 +309,9 @@ impl IFairConfig {
                 "strategy.learning_rate",
                 format!("must be a positive finite step size, got {learning_rate}"),
             )?;
+        }
+        if let FitStrategy::DataParallel { workers, .. } = self.strategy {
+            ensure(workers >= 1, "strategy.workers", "must be at least 1")?;
         }
         Ok(())
     }
@@ -367,6 +422,34 @@ mod tests {
             .validate()
             .is_err());
         }
+    }
+
+    #[test]
+    fn data_parallel_shares_the_mini_batch_schedule() {
+        let dp = FitStrategy::data_parallel(4);
+        assert_eq!(dp.schedule(), FitStrategy::mini_batch().schedule());
+        assert_eq!(FitStrategy::FullBatch.schedule(), None);
+
+        let base = IFairConfig::default();
+        let with = |strategy| IFairConfig {
+            strategy,
+            ..base.clone()
+        };
+        assert!(with(FitStrategy::data_parallel(2)).validate().is_ok());
+        assert!(with(FitStrategy::data_parallel(0)).validate().is_err());
+        assert!(with(FitStrategy::DataParallel {
+            workers: 2,
+            batch_records: 1,
+            pairs_per_batch: 16,
+            epochs: 1,
+            learning_rate: 0.05,
+        })
+        .validate()
+        .is_err());
+
+        let json = serde_json::to_string(&with(FitStrategy::data_parallel(3))).unwrap();
+        let back: IFairConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.strategy, FitStrategy::data_parallel(3));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod distance;
+pub mod dp;
 pub mod estimator;
 pub mod model;
 pub mod model_f32;
@@ -65,6 +66,7 @@ pub use checkpoint::FitCheckpoint;
 pub use config::{
     FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance,
 };
+pub use dp::DpDataSpec;
 pub use estimator::IFairBuilder;
 pub use ifair_api::{ConfigError, Estimator, FitError, Predict, Transform};
 pub use ifair_linalg::{Backend, Precision};

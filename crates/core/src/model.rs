@@ -3,7 +3,7 @@
 use crate::checkpoint::FitCheckpoint;
 use crate::config::{FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance};
 use crate::distance;
-use crate::objective::{IFairObjective, MiniBatchObjective};
+use crate::objective::{DpExecutor, IFairObjective, MiniBatchObjective};
 use crate::par;
 use ifair_api::{shape_error, FitError};
 use ifair_data::stream::RecordSource;
@@ -202,8 +202,15 @@ impl IFair {
                     epoch_observer,
                     None,
                     |_| Ok(()),
+                    None,
                 )
             }
+            FitStrategy::DataParallel { .. } => Err(FitError::Config(ifair_api::ConfigError {
+                field: "strategy",
+                message: "FitStrategy::DataParallel needs a worker fleet and a shareable data \
+                          spec — use IFair::fit_data_parallel instead of fit()"
+                    .into(),
+            })),
         }
     }
 
@@ -237,14 +244,25 @@ impl IFair {
         epoch_observer: impl FnMut(EpochEvent) -> FitControl,
     ) -> Result<IFair, FitError> {
         config.validate()?;
-        if !matches!(config.strategy, FitStrategy::MiniBatch { .. }) {
-            return Err(FitError::Config(ifair_api::ConfigError {
-                field: "strategy",
-                message: "fitting from a streaming source requires FitStrategy::MiniBatch \
-                          (full-batch L-BFGS needs the whole matrix in memory — materialize \
-                          the source or switch strategies)"
-                    .into(),
-            }));
+        match config.strategy {
+            FitStrategy::MiniBatch { .. } => {}
+            FitStrategy::FullBatch => {
+                return Err(FitError::Config(ifair_api::ConfigError {
+                    field: "strategy",
+                    message: "fitting from a streaming source requires FitStrategy::MiniBatch \
+                              (full-batch L-BFGS needs the whole matrix in memory — materialize \
+                              the source or switch strategies)"
+                        .into(),
+                }));
+            }
+            FitStrategy::DataParallel { .. } => {
+                return Err(FitError::Config(ifair_api::ConfigError {
+                    field: "strategy",
+                    message: "FitStrategy::DataParallel needs a worker fleet and a shareable \
+                              data spec — use IFair::fit_data_parallel instead of fit_source()"
+                        .into(),
+                }));
+            }
         }
         let (m, n) = (source.n_records(), source.n_features());
         if m == 0 || n == 0 {
@@ -259,6 +277,7 @@ impl IFair {
             epoch_observer,
             None,
             |_| Ok(()),
+            None,
         )
     }
 
@@ -296,6 +315,7 @@ impl IFair {
             |_| FitControl::Continue,
             None,
             checkpoint_sink,
+            None,
         )
     }
 
@@ -321,6 +341,7 @@ impl IFair {
             |_| FitControl::Continue,
             None,
             checkpoint_sink,
+            None,
         )
     }
 
@@ -354,6 +375,7 @@ impl IFair {
             |_| FitControl::Continue,
             Some(checkpoint),
             checkpoint_sink,
+            None,
         )
     }
 
@@ -376,6 +398,7 @@ impl IFair {
             |_| FitControl::Continue,
             Some(checkpoint),
             checkpoint_sink,
+            None,
         )
     }
 }
@@ -385,19 +408,25 @@ impl IFair {
 /// bracketing) that has no stable serialized form, so only the mini-batch
 /// loop is checkpointable.
 fn require_mini_batch(config: &IFairConfig) -> Result<(), FitError> {
-    if !matches!(config.strategy, FitStrategy::MiniBatch { .. }) {
-        return Err(FitError::Config(ifair_api::ConfigError {
+    match config.strategy {
+        FitStrategy::MiniBatch { .. } => Ok(()),
+        FitStrategy::FullBatch => Err(FitError::Config(ifair_api::ConfigError {
             field: "strategy",
             message: "checkpointed fitting requires FitStrategy::MiniBatch (the full-batch \
                       L-BFGS path keeps unserializable optimizer state — use fit() there)"
                 .into(),
-        }));
+        })),
+        FitStrategy::DataParallel { .. } => Err(FitError::Config(ifair_api::ConfigError {
+            field: "strategy",
+            message: "FitStrategy::DataParallel needs a worker fleet and a shareable data \
+                      spec — use IFair::fit_data_parallel_checkpointed"
+                .into(),
+        })),
     }
-    Ok(())
 }
 
 /// Shared protected-mask validation of every fit entry point.
-fn check_protected(protected: &[bool], n: usize) -> Result<(), FitError> {
+pub(crate) fn check_protected(protected: &[bool], n: usize) -> Result<(), FitError> {
     if protected.len() != n {
         return Err(shape_error(format!(
             "protected has length {} but X has {n} columns",
@@ -497,7 +526,8 @@ fn fit_full_batch(
 /// outer unit of progress, best of `config.n_restarts` restarts by final
 /// mean batch loss. Per-step cost depends on the batch shape only, so `M`
 /// bounds nothing but the epoch length.
-fn fit_mini_batch(
+#[allow(clippy::too_many_arguments)] // private plumbing; every caller is a thin public wrapper
+pub(crate) fn fit_mini_batch(
     source: &mut dyn RecordSource,
     protected: &[bool],
     config: &IFairConfig,
@@ -505,14 +535,10 @@ fn fit_mini_batch(
     mut epoch_observer: impl FnMut(EpochEvent) -> FitControl,
     resume: Option<&FitCheckpoint>,
     mut checkpoint_sink: impl FnMut(&FitCheckpoint) -> Result<(), FitError>,
+    mut executor: Option<&mut dyn DpExecutor>,
 ) -> Result<IFair, FitError> {
-    let FitStrategy::MiniBatch {
-        epochs,
-        learning_rate,
-        ..
-    } = config.strategy
-    else {
-        unreachable!("fit_mini_batch requires FitStrategy::MiniBatch");
+    let Some((_, pairs_per_batch, epochs, learning_rate)) = config.strategy.schedule() else {
+        unreachable!("fit_mini_batch requires a batched strategy");
     };
     let (m, n) = (source.n_records(), source.n_features());
     // One objective for all restarts: the batch buffers, worker pool, and
@@ -580,7 +606,12 @@ fn fit_mini_batch(
             let mut epoch_loss = 0.0;
             for _ in 0..steps_per_epoch {
                 objective.resample(source, &mut rng)?;
-                epoch_loss += objective.value_and_gradient(&theta, &mut grad);
+                epoch_loss += match executor.as_deref_mut() {
+                    // Data-parallel: fan the chunk sweeps out over the
+                    // worker fleet; same summation tree, same bits.
+                    Some(exec) => objective.value_and_gradient_dp(&theta, &mut grad, exec)?,
+                    None => objective.value_and_gradient(&theta, &mut grad),
+                };
                 adam_state.step(&mut theta, &grad, &adam);
                 steps_done += 1;
             }
@@ -644,12 +675,7 @@ fn fit_mini_batch(
     let prototypes = Matrix::from_vec(config.k, n, v_flat.to_vec())
         .expect("theta layout is K*N by construction");
     let realized = objective.realized_pairs_per_batch();
-    let requested = match config.strategy {
-        FitStrategy::MiniBatch {
-            pairs_per_batch, ..
-        } => pairs_per_batch,
-        FitStrategy::FullBatch => unreachable!("checked above"),
-    };
+    let requested = pairs_per_batch;
     Ok(IFair {
         prototypes,
         alpha: alpha.to_vec(),

@@ -48,13 +48,14 @@
 //! per-chunk gradient accumulators and the per-chunk softmax scratch, all
 //! allocated once per objective lifetime instead of once per evaluation.
 
-use crate::config::{FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, SoftmaxDistance};
+use crate::config::{FairnessDistance, FairnessPairs, IFairConfig, SoftmaxDistance};
 use crate::distance;
 use crate::par;
+use ifair_api::FitError;
 use ifair_data::stream::RecordSource;
 use ifair_data::DataError;
 use ifair_linalg::Matrix;
-use ifair_optim::Objective;
+use ifair_optim::{fold, Objective};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -802,15 +803,16 @@ impl LossKernel {
 /// The fixed chunk layout of the record index space. Depends only on the
 /// record count, so the summation tree — and therefore every last bit of
 /// the loss and gradient — is invariant under the thread count and the
-/// host's core count.
-fn record_chunk_layout(m: usize) -> Vec<Range<usize>> {
+/// host's core count. The data-parallel trainer reuses the same layout to
+/// partition backprop chunks across worker processes.
+pub(crate) fn record_chunk_layout(m: usize) -> Vec<Range<usize>> {
     let n_chunks = m.div_ceil(REC_CHUNK_RECORDS).clamp(1, MAX_REC_CHUNKS);
     par::chunk_ranges(m, n_chunks)
 }
 
 /// The fixed chunk layout of the pair index space (a function of the pair
 /// count only, like [`record_chunk_layout`]).
-fn fair_chunk_layout(n_pairs: usize) -> Vec<Range<usize>> {
+pub(crate) fn fair_chunk_layout(n_pairs: usize) -> Vec<Range<usize>> {
     let n_chunks = n_pairs.div_ceil(FAIR_CHUNK_PAIRS).clamp(1, MAX_FAIR_CHUNKS);
     par::chunk_ranges(n_pairs, n_chunks)
 }
@@ -1017,19 +1019,15 @@ pub struct MiniBatchObjective {
 impl MiniBatchObjective {
     /// Builds the batched view for a source of `n_source_records` rows of
     /// width `protected.len()`, with batch shape and hyper-parameters from
-    /// `config` (whose `strategy` must be [`FitStrategy::MiniBatch`]).
+    /// `config` (whose `strategy` must carry a mini-batch schedule —
+    /// [`crate::FitStrategy::MiniBatch`] or [`crate::FitStrategy::DataParallel`]).
     ///
     /// # Panics
-    /// Panics if `config.strategy` is not `MiniBatch` — callers
-    /// ([`crate::IFair`]) dispatch on the strategy first.
+    /// Panics if `config.strategy` has no batch schedule (`FullBatch`) —
+    /// callers ([`crate::IFair`]) dispatch on the strategy first.
     pub fn new(n_source_records: usize, protected: &[bool], config: &IFairConfig) -> Self {
-        let FitStrategy::MiniBatch {
-            batch_records,
-            pairs_per_batch,
-            ..
-        } = config.strategy
-        else {
-            panic!("MiniBatchObjective requires FitStrategy::MiniBatch");
+        let Some((batch_records, pairs_per_batch, _, _)) = config.strategy.schedule() else {
+            panic!("MiniBatchObjective requires a batched strategy (MiniBatch or DataParallel)");
         };
         let n = protected.len();
         let b = batch_records.min(n_source_records).max(1);
@@ -1297,6 +1295,403 @@ impl Objective for MiniBatchObjective {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Data-parallel execution
+// ---------------------------------------------------------------------------
+//
+// The multi-process trainer (`crate::dp`) splits one mini-batch step across
+// worker processes along the SAME fixed chunk layouts the in-process pools
+// use. Every worker recomputes the full forward pass locally (per-record and
+// fold-free, hence bit-identical to the coordinator's), evaluates only the
+// fairness / backprop chunks it owns with the same chunk kernels, and ships
+// per-chunk partials back; the coordinator folds them in global chunk order.
+// The summation tree is therefore exactly the serial single-buffer fold —
+// the fit is bit-identical for every worker count and every thread count
+// inside the workers, by the same argument that covers the thread pools.
+
+/// One fairness chunk's gradient contribution, as shipped from a
+/// data-parallel worker to the coordinator.
+///
+/// `rows` carries only the `∂(μ·L_fair)/∂x̃` rows the chunk's pairs touch
+/// (each pair writes rows `i` and `j` and nothing else), ascending; the
+/// coordinator scatters them into a zeroed `B·N` buffer before folding,
+/// reproducing the serial path's per-chunk accumulator bit for bit at a
+/// transport cost proportional to the chunk's pair count instead of `B·N`.
+pub(crate) struct FairPartial {
+    /// Raw `L_fair` pair sum of the chunk (no `μ` factor).
+    pub(crate) loss: f64,
+    /// Touched `∂(μ·L_fair)/∂x̃` rows: `(batch row, N values)`, ascending.
+    pub(crate) rows: Vec<(usize, Vec<f64>)>,
+    /// The chunk's `N`-length `∂/∂α` accumulator (all zeros under the
+    /// unweighted metric, exactly like the in-process chunk buffer).
+    pub(crate) ga: Vec<f64>,
+}
+
+/// One backprop record chunk's gradient contribution, as shipped from a
+/// data-parallel worker.
+pub(crate) struct BackPartial {
+    /// The chunk's `K·N` prototype-gradient accumulator.
+    pub(crate) gv: Vec<f64>,
+    /// The chunk's `N`-length `∂L/∂α` accumulator.
+    pub(crate) ga: Vec<f64>,
+}
+
+/// The coordinator's handle on a fleet of data-parallel workers, as driven
+/// by [`MiniBatchObjective::value_and_gradient_dp`]. The concrete
+/// implementation ([`crate::dp::DpCluster`]) speaks the pipe protocol; the
+/// trait keeps the numerics here testable against an in-process fake.
+pub(crate) trait DpExecutor {
+    /// Broadcasts a step (`θ`, the batch matrix, the batch pairs) to every
+    /// worker, which starts computing its owned fairness chunks.
+    fn start_step(&mut self, theta: &[f64], x: &Matrix, pairs: &[FairPair])
+        -> Result<(), FitError>;
+    /// Collects all fairness partials in global chunk order. `n_chunks` is
+    /// the coordinator's expected total (zero when `μ = 0`, where workers
+    /// still send an empty reply to keep the protocol in lock-step).
+    fn collect_fair(&mut self, n_chunks: usize) -> Result<Vec<FairPartial>, FitError>;
+    /// Sends each worker the `∂L/∂x̃` rows of the records its backprop
+    /// chunks own (a contiguous row band per worker, see
+    /// [`worker_row_band`]).
+    fn start_back(&mut self, g_xt: &[f64]) -> Result<(), FitError>;
+    /// Collects all backprop partials in global chunk order.
+    fn collect_back(&mut self, n_chunks: usize) -> Result<Vec<BackPartial>, FitError>;
+}
+
+/// The contiguous run of a chunk layout's chunk *indices* owned by worker
+/// `worker` of a fleet of `workers` — the single assignment rule both sides
+/// of the protocol derive independently. Empty when there are more workers
+/// than chunks.
+pub(crate) fn owned_chunks(n_chunks: usize, worker: usize, workers: usize) -> Range<usize> {
+    par::chunk_ranges(n_chunks, workers)
+        .get(worker)
+        .cloned()
+        .unwrap_or(0..0)
+}
+
+/// The contiguous batch-row band worker `worker`'s backprop chunks cover
+/// (empty when the worker owns no chunks). The coordinator slices `∂L/∂x̃`
+/// along these bands; the worker validates the slice it receives against
+/// the same rule.
+pub(crate) fn worker_row_band(b: usize, worker: usize, workers: usize) -> Range<usize> {
+    let layout = record_chunk_layout(b);
+    let owned = owned_chunks(layout.len(), worker, workers);
+    if owned.is_empty() {
+        0..0
+    } else {
+        layout[owned.start].start..layout[owned.end - 1].end
+    }
+}
+
+/// The sorted, deduplicated batch rows a pair slice touches — exactly the
+/// `∂/∂x̃` rows its chunk accumulator can hold nonzero values in.
+fn touched_rows(pairs: &[FairPair]) -> Vec<usize> {
+    let mut rows: Vec<usize> = pairs.iter().flat_map(|p| [p.i, p.j]).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+impl MiniBatchObjective {
+    /// The fused loss + gradient of the current batch with the fairness and
+    /// backprop chunk sweeps delegated to data-parallel workers through
+    /// `exec` — the multi-process counterpart of
+    /// [`Objective::value_and_gradient`].
+    ///
+    /// Bit-identical to the in-process path by construction: the
+    /// coordinator runs the same forward pass and utility term locally,
+    /// workers evaluate the same fixed chunk layouts with the same chunk
+    /// kernels on a bit-identical forward state, and the partials are
+    /// folded in global chunk order — the same summation tree as
+    /// `value_and_gradient_into`, independent of the worker count.
+    pub(crate) fn value_and_gradient_dp(
+        &mut self,
+        theta: &[f64],
+        grad: &mut [f64],
+        exec: &mut dyn DpExecutor,
+    ) -> Result<f64, FitError> {
+        let MiniBatchObjective {
+            kern,
+            batch,
+            pool,
+            batch_records,
+            ..
+        } = self;
+        let state = batch.get_mut().expect("batch poisoned");
+        let rec_pool = if *batch_records >= PAR_MIN_RECORDS {
+            pool.get()
+        } else {
+            None
+        };
+        let n = kern.n;
+        let (alpha, v) = kern.unpack(theta);
+
+        // Ship the step first: workers compute their fairness chunks while
+        // the coordinator runs its own forward pass over the same batch.
+        exec.start_step(theta, &state.x, &state.pairs)?;
+
+        let Workspace {
+            state: fwd,
+            g_xt,
+            fair,
+            ..
+        } = &mut state.workspace;
+        kern.forward_into(&state.x, alpha, v, fwd, rec_pool);
+
+        grad.fill(0.0);
+
+        // Utility term and the ∂L/∂x̃ seed — same code as the in-process
+        // path, element for element.
+        let util = if kern.lambda != 0.0 {
+            for ((g, &orig), &rec) in g_xt.iter_mut().zip(state.x.as_slice()).zip(&fwd.xt) {
+                *g = 2.0 * kern.lambda * (rec - orig);
+            }
+            ifair_linalg::lanes::sq_euclidean(state.x.as_slice(), fwd.xt.as_slice())
+        } else {
+            g_xt.fill(0.0);
+            0.0
+        };
+
+        // Fairness term: fold the workers' per-chunk partials in global
+        // chunk order. Scattering a chunk's sparse rows into a zeroed B·N
+        // buffer and folding the whole buffer reproduces the serial path's
+        // per-chunk accumulator (untouched rows contribute the same +0.0)
+        // bit for bit.
+        let fair_chunks = if kern.mu != 0.0 {
+            fair_chunk_layout(state.pairs.len()).len()
+        } else {
+            0
+        };
+        let partials = exec.collect_fair(fair_chunks)?;
+        let fair_sum = if kern.mu != 0.0 {
+            let (g_alpha, _) = grad.split_at_mut(n);
+            let gx = &mut fair.gx.take(1, g_xt.len())[0];
+            let mut loss = 0.0;
+            for part in &partials {
+                gx.fill(0.0);
+                for (row, vals) in &part.rows {
+                    gx[row * n..(row + 1) * n].copy_from_slice(vals);
+                }
+                loss += part.loss;
+                fold::add_assign(g_xt, gx);
+                fold::add_assign(g_alpha, &part.ga);
+            }
+            loss
+        } else {
+            0.0
+        };
+        let loss = kern.lambda * util + kern.mu * fair_sum;
+
+        // Backprop is sharded over the fixed record chunks; each worker
+        // only needs the ∂L/∂x̃ rows of the records it owns.
+        exec.start_back(g_xt)?;
+        let back_parts = exec.collect_back(record_chunk_layout(*batch_records).len())?;
+        let (g_alpha, g_v) = grad.split_at_mut(n);
+        for part in &back_parts {
+            fold::add_assign(g_v, &part.gv);
+            fold::add_assign(g_alpha, &part.ga);
+        }
+        Ok(loss)
+    }
+}
+
+/// The worker-process half of the data-parallel split: the same
+/// [`LossKernel`] and workspace as an in-process objective, driven frame by
+/// frame by `crate::dp::worker_main`. The worker recomputes the full
+/// forward pass locally and evaluates only the fairness / backprop chunks
+/// it owns, through the same chunk kernels as the in-process path (its own
+/// thread pool engages with the same thresholds, so in-worker threading
+/// never changes a bit either).
+pub(crate) struct DpWorkerKernel {
+    kern: LossKernel,
+    pool: LazyPool,
+    ws: Workspace,
+    /// Batch size `B` (already clamped by the coordinator).
+    b: usize,
+    /// This worker's index in the fleet, fixing chunk ownership.
+    worker: usize,
+    /// Fleet size.
+    workers: usize,
+}
+
+impl DpWorkerKernel {
+    /// Builds the kernel for feature width `n` and coordinator-clamped
+    /// batch size `batch_records`, as worker `worker` of `workers`.
+    pub(crate) fn new(
+        n: usize,
+        batch_records: usize,
+        worker: usize,
+        workers: usize,
+        config: &IFairConfig,
+    ) -> DpWorkerKernel {
+        DpWorkerKernel {
+            kern: LossKernel::from_config(n, config),
+            pool: LazyPool::new(par::resolve_threads(config.n_threads)),
+            ws: Workspace::new(batch_records, n, config.k),
+            b: batch_records,
+            worker,
+            workers,
+        }
+    }
+
+    /// One EVAL step: full local forward pass over the broadcast batch,
+    /// then this worker's owned fairness chunks. Returns the per-chunk
+    /// partials paired with their *global* chunk indices, ascending (empty
+    /// when `μ = 0` or the worker owns no chunks — the forward state is
+    /// updated regardless, since the backprop step needs it).
+    pub(crate) fn eval_step(
+        &mut self,
+        x: &Matrix,
+        pairs: &[FairPair],
+        theta: &[f64],
+    ) -> Vec<(usize, FairPartial)> {
+        let DpWorkerKernel {
+            kern,
+            pool,
+            ws,
+            b,
+            worker,
+            workers,
+        } = self;
+        let (alpha, v) = kern.unpack(theta);
+        let n = kern.n;
+        let rec_pool = if *b >= PAR_MIN_RECORDS {
+            pool.get()
+        } else {
+            None
+        };
+        let Workspace { state, fair, .. } = ws;
+        kern.forward_into(x, alpha, v, state, rec_pool);
+        if kern.mu == 0.0 {
+            return Vec::new();
+        }
+        let layout = fair_chunk_layout(pairs.len());
+        let owned = owned_chunks(layout.len(), *worker, *workers);
+        let fair_pool = if pairs.len() >= PAR_MIN_PAIRS {
+            pool.get()
+        } else {
+            None
+        };
+        let gx_bufs = fair.gx.take(owned.len(), *b * n);
+        let ga_bufs = fair.ga.take(owned.len(), n);
+        let jobs: Vec<FairGradJob<'_>> = owned
+            .clone()
+            .map(|chunk| layout[chunk].clone())
+            .zip(gx_bufs.iter_mut())
+            .zip(ga_bufs.iter_mut())
+            .map(|((pair_range, gx), ga)| FairGradJob {
+                pairs: pair_range,
+                gx: gx.as_mut_slice(),
+                ga: ga.as_mut_slice(),
+            })
+            .collect();
+        let state: &ForwardState = state;
+        let losses = par::pool_map(fair_pool, jobs, |job| {
+            let FairGradJob {
+                pairs: pair_range,
+                gx,
+                ga,
+            } = job;
+            gx.fill(0.0);
+            ga.fill(0.0);
+            kern.fair_grad_chunk(pairs, alpha, state, pair_range, gx, ga)
+        });
+        owned
+            .clone()
+            .enumerate()
+            .map(|(slot, chunk)| {
+                let gx = &gx_bufs[slot];
+                let rows = touched_rows(&pairs[layout[chunk].clone()])
+                    .into_iter()
+                    .map(|r| (r, gx[r * n..(r + 1) * n].to_vec()))
+                    .collect();
+                (
+                    chunk,
+                    FairPartial {
+                        loss: losses[slot],
+                        rows,
+                        ga: ga_bufs[slot].clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// One BACK step: this worker's owned backprop record chunks, given the
+    /// coordinator's `∂L/∂x̃` values for the row band those chunks cover
+    /// (`rows` holds `band.len() · N` values starting at batch row
+    /// `band.start`, per [`worker_row_band`]). Requires the forward state
+    /// of the preceding [`DpWorkerKernel::eval_step`]. Returns per-chunk
+    /// partials paired with their global chunk indices, ascending.
+    pub(crate) fn back_step(
+        &mut self,
+        x: &Matrix,
+        theta: &[f64],
+        rows: &[f64],
+    ) -> Vec<(usize, BackPartial)> {
+        let DpWorkerKernel {
+            kern,
+            pool,
+            ws,
+            b,
+            worker,
+            workers,
+        } = self;
+        let (alpha, v) = kern.unpack(theta);
+        let (n, k) = (kern.n, kern.k);
+        let layout = record_chunk_layout(*b);
+        let owned = owned_chunks(layout.len(), *worker, *workers);
+        let band = worker_row_band(*b, *worker, *workers);
+        assert_eq!(
+            rows.len(),
+            band.len() * n,
+            "backprop row band length mismatch"
+        );
+        let rec_pool = if *b >= PAR_MIN_RECORDS {
+            pool.get()
+        } else {
+            None
+        };
+        let Workspace {
+            state, g_xt, back, ..
+        } = ws;
+        g_xt[band.start * n..band.start * n + rows.len()].copy_from_slice(rows);
+        let g_xt: &[f64] = g_xt;
+        let state: &ForwardState = state;
+        let gv_bufs = back.gv.take(owned.len(), k * n);
+        let ga_bufs = back.ga.take(owned.len(), n);
+        let c_bufs = back.c.take(owned.len(), k);
+        let jobs: Vec<BackpropJob<'_>> = owned
+            .clone()
+            .map(|chunk| layout[chunk].clone())
+            .zip(gv_bufs.iter_mut())
+            .zip(ga_bufs.iter_mut())
+            .zip(c_bufs.iter_mut())
+            .map(|(((records, gv), ga), c)| BackpropJob {
+                records,
+                gv: gv.as_mut_slice(),
+                ga: ga.as_mut_slice(),
+                c: c.as_mut_slice(),
+            })
+            .collect();
+        par::pool_map(rec_pool, jobs, |job| {
+            kern.backprop_chunk(x, alpha, v, state, g_xt, job)
+        });
+        owned
+            .clone()
+            .enumerate()
+            .map(|(slot, chunk)| {
+                (
+                    chunk,
+                    BackPartial {
+                        gv: gv_bufs[slot].clone(),
+                        ga: ga_bufs[slot].clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
 /// `Σ_n α_n |x_n − y_n|^p` with non-negativity clamping on `α`. Routes
 /// through the lane-chunked kernel in [`distance`], whose `p = 2` fast path
 /// (the paper's Gaussian-kernel default) is the vectorized `w·Δ²` form.
@@ -1515,7 +1910,7 @@ fn build_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::InitStrategy;
+    use crate::config::{FitStrategy, InitStrategy};
     use ifair_optim::numgrad::check_gradient;
 
     fn toy_matrix() -> Matrix {

@@ -1,0 +1,154 @@
+//! Worker-crash contract of the data-parallel trainer
+//! (`--features fault-injection`): killing one worker mid-epoch must
+//! surface as a typed [`FitError::Worker`], leave no zombie processes
+//! behind, and leave the checkpoint directory clean — completed epochs'
+//! checkpoints intact, no half-written temp files.
+
+#![cfg(feature = "fault-injection")]
+
+use ifair_core::{DpDataSpec, FitError, FitStrategy, IFair, IFairConfig};
+use ifair_data::generators::large::{LargeScale, LargeScaleConfig};
+use std::path::{Path, PathBuf};
+
+fn gen_config() -> LargeScaleConfig {
+    LargeScaleConfig {
+        n_records: 400,
+        n_numeric: 6,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+fn dp_config() -> IFairConfig {
+    IFairConfig {
+        k: 3,
+        n_restarts: 1,
+        n_threads: 1,
+        strategy: FitStrategy::DataParallel {
+            workers: 2,
+            batch_records: 64,
+            pairs_per_batch: 128,
+            epochs: 3,
+            learning_rate: 0.05,
+        },
+        ..Default::default()
+    }
+}
+
+/// Counts zombie children of this process by scanning `/proc/<pid>/stat`
+/// for entries with our pid as parent and state `Z` — a reaped fleet
+/// leaves none, however it died.
+#[cfg(target_os = "linux")]
+fn zombie_children() -> Vec<u32> {
+    let me = std::process::id();
+    let mut zombies = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return zombies;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // comm may contain spaces; state is the field after the last ')'.
+        let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+            continue;
+        };
+        let mut fields = rest.split_whitespace();
+        let state = fields.next().unwrap_or("");
+        let ppid = fields.next().and_then(|p| p.parse::<u32>().ok());
+        if state == "Z" && ppid == Some(me) {
+            zombies.push(pid);
+        }
+    }
+    zombies
+}
+
+fn temp_checkpoint_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ifair-dp-crash-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Checkpoint files in `dir` plus any `.`-prefixed droppings (the atomic
+/// writer's temp names) — the latter must never survive a crash.
+fn dir_listing(dir: &Path) -> (Vec<String>, Vec<String>) {
+    let mut finished = Vec::new();
+    let mut droppings = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') {
+            droppings.push(name);
+        } else {
+            finished.push(name);
+        }
+    }
+    finished.sort();
+    (finished, droppings)
+}
+
+#[test]
+fn killed_worker_surfaces_as_a_typed_error_without_zombies_or_torn_checkpoints() {
+    std::env::set_var("IFAIR_DP_WORKER", env!("CARGO_BIN_EXE_ifair-dp-worker"));
+    // Worker 1 panics at its 11th EVAL step: with ceil(400/64) = 7 steps
+    // per epoch that lands in epoch 2, after epoch 1's checkpoint is on
+    // disk — the coordinator is blocked collecting fairness partials when
+    // the pipe dies.
+    std::env::set_var("IFAIR_DP_FAULT_PANIC", "1:11");
+    let dir = temp_checkpoint_dir("kill");
+    let spec = DpDataSpec::LargeScale {
+        config: gen_config(),
+    };
+    let protected = LargeScale::new(gen_config()).protected_flags();
+    let mut saved = 0usize;
+    let result = IFair::fit_data_parallel_checkpointed(&spec, &protected, &dp_config(), |cp| {
+        saved += 1;
+        cp.save(&dir.join(format!("epoch-{saved}.json")))?;
+        Ok(())
+    });
+    std::env::remove_var("IFAIR_DP_FAULT_PANIC");
+
+    let err = result.expect_err("a killed worker must fail the fit");
+    assert!(
+        matches!(err, FitError::Worker(_)),
+        "expected FitError::Worker, got: {err}"
+    );
+    assert!(
+        err.to_string().contains("worker 1"),
+        "error should name the dead worker, got: {err}"
+    );
+
+    // Exactly the pre-crash epoch checkpoint survives, loadable, with no
+    // atomic-writer droppings next to it.
+    let (finished, droppings) = dir_listing(&dir);
+    assert_eq!(finished, vec!["epoch-1.json".to_string()]);
+    assert!(
+        droppings.is_empty(),
+        "half-written checkpoint temp files left behind: {droppings:?}"
+    );
+    let cp = ifair_core::FitCheckpoint::load(&dir.join("epoch-1.json")).unwrap();
+
+    // The fleet is fully reaped: no zombie children linger.
+    #[cfg(target_os = "linux")]
+    {
+        let zombies = zombie_children();
+        assert!(
+            zombies.is_empty(),
+            "zombie workers left behind: {zombies:?}"
+        );
+    }
+
+    // And the surviving checkpoint resumes to the same bits as an
+    // uninterrupted healthy run — the crash cost one epoch, nothing else.
+    let healthy = IFair::fit_data_parallel(&spec, &protected, &dp_config()).expect("healthy rerun");
+    let resumed = IFair::resume_data_parallel_from_checkpoint(&spec, &cp, |_| Ok(()))
+        .expect("resume from the surviving checkpoint");
+    assert_eq!(healthy.alpha(), resumed.alpha());
+    assert_eq!(healthy.prototypes(), resumed.prototypes());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

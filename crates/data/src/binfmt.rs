@@ -1,0 +1,656 @@
+//! `.ifb` — the versioned binary dataset format for out-of-core training.
+//!
+//! A dataset is a set of *shard* files, each fully self-describing:
+//!
+//! ```text
+//! offset  size          contents
+//! 0       8             magic  b"IFAIRBIN"
+//! 8       4             format version, u32 little-endian (currently 1)
+//! 12      4             header length H in bytes, u32 little-endian
+//! 16      H             header, JSON (BinShardHeader)
+//! 16+H    0..7          zero padding to the next multiple of 8
+//! P       rows*cols*8   payload: f64 little-endian, row-major
+//! ```
+//!
+//! The header names the shard's absolute row range (`row_lo`, `n_rows`),
+//! the feature width and names, and per-column min/max/mean stats. Because
+//! every shard carries its own range, a sharded dataset is just the set of
+//! files whose ranges tile `0..M` — there is no index file to corrupt.
+//!
+//! [`BinDatasetWriter`] streams rows in and emits shards through
+//! [`crate::persist::write_atomic`], so a crash mid-conversion leaves only
+//! complete shards. [`BinRecordSource`] implements [`RecordSource`] with
+//! positioned reads (`pread` on Unix): resident memory per open shard is
+//! one header plus one row buffer, independent of the dataset size — the
+//! property the out-of-core trainer relies on.
+//!
+//! Malformed input (bad magic, truncated payload, inconsistent headers)
+//! surfaces as a typed [`DataError`]; an unknown format version is
+//! [`DataError::Version`]. Nothing in this module panics on file content.
+
+use crate::error::DataError;
+use crate::stream::RecordSource;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every shard file.
+pub const MAGIC: [u8; 8] = *b"IFAIRBIN";
+
+/// The format version this build writes and the only one it reads.
+pub const VERSION: u32 = 1;
+
+/// Fixed part of the file prelude: magic + version + header length.
+const PRELUDE_LEN: u64 = 16;
+
+/// Largest header this build will attempt to parse (a corrupt length field
+/// should fail fast, not allocate gigabytes).
+const MAX_HEADER_LEN: u32 = 16 << 20;
+
+/// Default rows per shard for writers that do not choose one: 256k rows of
+/// a 16-column dataset is a ~32 MiB shard.
+pub const DEFAULT_SHARD_ROWS: usize = 262_144;
+
+/// Per-column summary statistics over one shard's rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Smallest value in the column.
+    pub min: f64,
+    /// Largest value in the column.
+    pub max: f64,
+    /// Arithmetic mean of the column (summed in row order).
+    pub mean: f64,
+}
+
+/// The JSON header of one `.ifb` shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinShardHeader {
+    /// Absolute index of this shard's first row in the full dataset.
+    pub row_lo: u64,
+    /// Number of rows stored in this shard.
+    pub n_rows: u64,
+    /// Feature width of every row.
+    pub n_features: u64,
+    /// Column names, `n_features` of them.
+    pub feature_names: Vec<String>,
+    /// Per-column stats over this shard's rows, when the writer computed
+    /// them (this build always does).
+    pub stats: Option<Vec<ColumnStats>>,
+}
+
+/// Byte geometry of a parsed shard file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGeometry {
+    /// Offset of the first payload byte.
+    pub payload_offset: u64,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+/// The path of shard `index` for an output stem: `{stem}.{index:05}.ifb`
+/// (a trailing `.ifb` on the stem is dropped first, so `--out data.ifb`
+/// produces `data.00000.ifb`).
+pub fn shard_path(stem: &Path, index: usize) -> PathBuf {
+    let s = stem.to_string_lossy();
+    let base = s.strip_suffix(".ifb").unwrap_or(&s);
+    PathBuf::from(format!("{base}.{index:05}.ifb"))
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> DataError {
+    DataError::Parse(format!("{context} {}: {e}", path.display()))
+}
+
+/// Reads and validates one shard's prelude and header, without touching
+/// the payload — the `ifair inspect` entry point, and the first step of
+/// [`BinRecordSource::open`].
+pub fn read_shard_header(path: &Path) -> Result<(BinShardHeader, ShardGeometry), DataError> {
+    let mut file = File::open(path).map_err(|e| io_err("cannot open", path, e))?;
+    let header = parse_prelude(&mut file, path)?;
+    let geometry = validate_geometry(&header.0, header.1, &file, path)?;
+    Ok((header.0, geometry))
+}
+
+/// Parses magic, version and header JSON; returns the header and its
+/// padded end offset (= payload offset).
+fn parse_prelude(file: &mut File, path: &Path) -> Result<(BinShardHeader, u64), DataError> {
+    let mut prelude = [0u8; PRELUDE_LEN as usize];
+    file.read_exact(&mut prelude).map_err(|_| {
+        DataError::Schema(format!(
+            "{} is too short to be an iFair binary dataset shard",
+            path.display()
+        ))
+    })?;
+    if prelude[..8] != MAGIC {
+        return Err(DataError::Schema(format!(
+            "{} is not an iFair binary dataset shard (bad magic)",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(DataError::Version {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let header_len = u32::from_le_bytes(prelude[12..16].try_into().expect("4 bytes"));
+    if header_len == 0 || header_len > MAX_HEADER_LEN {
+        return Err(DataError::Schema(format!(
+            "{} declares an implausible header length of {header_len} bytes",
+            path.display()
+        )));
+    }
+    let mut header_bytes = vec![0u8; header_len as usize];
+    file.read_exact(&mut header_bytes).map_err(|_| {
+        DataError::Schema(format!("{} is truncated inside its header", path.display()))
+    })?;
+    let json = std::str::from_utf8(&header_bytes)
+        .map_err(|_| DataError::Parse(format!("{} header is not UTF-8", path.display())))?;
+    let header: BinShardHeader = serde_json::from_str(json)
+        .map_err(|e| DataError::Parse(format!("{} header: {e}", path.display())))?;
+    let payload_offset = (PRELUDE_LEN + u64::from(header_len)).next_multiple_of(8);
+    Ok((header, payload_offset))
+}
+
+/// Checks the header's internal consistency and that the file length
+/// matches the declared payload exactly.
+fn validate_geometry(
+    header: &BinShardHeader,
+    payload_offset: u64,
+    file: &File,
+    path: &Path,
+) -> Result<ShardGeometry, DataError> {
+    if header.n_features == 0 {
+        return Err(DataError::Schema(format!(
+            "{} declares zero features",
+            path.display()
+        )));
+    }
+    if header.feature_names.len() as u64 != header.n_features {
+        return Err(DataError::Schema(format!(
+            "{} names {} columns but declares {} features",
+            path.display(),
+            header.feature_names.len(),
+            header.n_features
+        )));
+    }
+    if let Some(stats) = &header.stats {
+        if stats.len() as u64 != header.n_features {
+            return Err(DataError::Schema(format!(
+                "{} carries {} column stats for {} features",
+                path.display(),
+                stats.len(),
+                header.n_features
+            )));
+        }
+    }
+    let file_len = file
+        .metadata()
+        .map_err(|e| io_err("cannot stat", path, e))?
+        .len();
+    let payload_len = header
+        .n_rows
+        .checked_mul(header.n_features)
+        .and_then(|c| c.checked_mul(8))
+        .ok_or_else(|| {
+            DataError::Schema(format!("{} declares an absurd row count", path.display()))
+        })?;
+    let expected = payload_offset + payload_len;
+    if file_len < expected {
+        return Err(DataError::Schema(format!(
+            "{} is truncated: {file_len} bytes on disk, {expected} declared \
+             ({} rows × {} features)",
+            path.display(),
+            header.n_rows,
+            header.n_features
+        )));
+    }
+    if file_len > expected {
+        return Err(DataError::Schema(format!(
+            "{} has {} trailing bytes past the declared payload",
+            path.display(),
+            file_len - expected
+        )));
+    }
+    Ok(ShardGeometry {
+        payload_offset,
+        file_len,
+    })
+}
+
+// ------------------------------------------------------------------ writer
+
+/// Streams rows into sharded `.ifb` files.
+///
+/// Rows accumulate in memory until the shard is full, then the complete
+/// shard (prelude + header + payload) is written atomically. Peak memory
+/// is one shard's payload, independent of the total row count.
+#[derive(Debug)]
+pub struct BinDatasetWriter {
+    stem: PathBuf,
+    names: Vec<String>,
+    shard_rows: usize,
+    /// Payload of the shard being filled, row-major.
+    buf: Vec<f64>,
+    /// Absolute index of the current shard's first row.
+    row_lo: u64,
+    shards: Vec<PathBuf>,
+}
+
+impl BinDatasetWriter {
+    /// Starts a writer producing `{stem}.{index:05}.ifb` shards of at most
+    /// `shard_rows` rows each (0 means [`DEFAULT_SHARD_ROWS`]).
+    pub fn create(
+        stem: impl Into<PathBuf>,
+        feature_names: Vec<String>,
+        shard_rows: usize,
+    ) -> Result<BinDatasetWriter, DataError> {
+        if feature_names.is_empty() {
+            return Err(DataError::Schema(
+                "a binary dataset needs at least one feature column".into(),
+            ));
+        }
+        let shard_rows = if shard_rows == 0 {
+            DEFAULT_SHARD_ROWS
+        } else {
+            shard_rows
+        };
+        Ok(BinDatasetWriter {
+            stem: stem.into(),
+            names: feature_names,
+            shard_rows,
+            buf: Vec::new(),
+            row_lo: 0,
+            shards: Vec::new(),
+        })
+    }
+
+    /// Appends one row; flushes a shard to disk when it fills.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), DataError> {
+        if row.len() != self.names.len() {
+            return Err(DataError::Shape(format!(
+                "row has {} values, dataset has {} columns",
+                row.len(),
+                self.names.len()
+            )));
+        }
+        self.buf.extend_from_slice(row);
+        if self.buf.len() / self.names.len() >= self.shard_rows {
+            self.flush_shard()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the final partial shard and returns every shard path
+    /// written, in row order.
+    pub fn finish(mut self) -> Result<Vec<PathBuf>, DataError> {
+        if !self.buf.is_empty() {
+            self.flush_shard()?;
+        }
+        if self.shards.is_empty() {
+            return Err(DataError::Shape(
+                "no rows were written — a dataset needs at least one record".into(),
+            ));
+        }
+        Ok(std::mem::take(&mut self.shards))
+    }
+
+    fn flush_shard(&mut self) -> Result<(), DataError> {
+        let n = self.names.len();
+        let rows = self.buf.len() / n;
+        let header = BinShardHeader {
+            row_lo: self.row_lo,
+            n_rows: rows as u64,
+            n_features: n as u64,
+            feature_names: self.names.clone(),
+            stats: Some(column_stats(&self.buf, n)),
+        };
+        let json = serde_json::to_string(&header)
+            .map_err(|e| DataError::Parse(format!("encoding shard header: {e}")))?;
+        let header_bytes = json.as_bytes();
+        let payload_offset = (PRELUDE_LEN + header_bytes.len() as u64).next_multiple_of(8);
+        let mut bytes = Vec::with_capacity(payload_offset as usize + self.buf.len() * 8);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(header_bytes.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(header_bytes);
+        bytes.resize(payload_offset as usize, 0);
+        for v in &self.buf {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = shard_path(&self.stem, self.shards.len());
+        crate::persist::write_atomic(&path, &bytes)
+            .map_err(|e| io_err("cannot write shard", &path, e))?;
+        self.shards.push(path);
+        self.row_lo += rows as u64;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+/// Min/max/mean per column over a row-major buffer (mean summed in row
+/// order, so it is deterministic).
+fn column_stats(buf: &[f64], n: usize) -> Vec<ColumnStats> {
+    let rows = buf.len() / n;
+    let mut stats = vec![
+        ColumnStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+        };
+        n
+    ];
+    for row in buf.chunks_exact(n) {
+        for (s, &v) in stats.iter_mut().zip(row) {
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+            s.mean += v;
+        }
+    }
+    for s in &mut stats {
+        s.mean /= rows as f64;
+    }
+    stats
+}
+
+// ------------------------------------------------------------------ reader
+
+/// One open shard of a [`BinRecordSource`].
+#[derive(Debug)]
+struct Shard {
+    file: File,
+    row_lo: usize,
+    n_rows: usize,
+    payload_offset: u64,
+}
+
+/// Random-access reader over a set of `.ifb` shards.
+///
+/// Implements [`RecordSource`] with positioned reads: each `read_rows`
+/// call touches only the bytes of the requested rows, so resident memory
+/// stays O(1) in the dataset size.
+#[derive(Debug)]
+pub struct BinRecordSource {
+    shards: Vec<Shard>,
+    names: Vec<String>,
+    n_records: usize,
+    n_features: usize,
+    /// Reusable byte buffer for one row.
+    row_buf: Vec<u8>,
+}
+
+impl BinRecordSource {
+    /// Opens a sharded dataset. The shards may be given in any order; their
+    /// headers must agree on the schema and their row ranges must tile
+    /// `0..M` exactly.
+    pub fn open<P: AsRef<Path>>(paths: &[P]) -> Result<BinRecordSource, DataError> {
+        if paths.is_empty() {
+            return Err(DataError::Shape(
+                "a binary dataset needs at least one shard file".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(paths.len());
+        let mut schema: Option<Vec<String>> = None;
+        for p in paths {
+            let path = p.as_ref();
+            let file = File::open(path).map_err(|e| io_err("cannot open", path, e))?;
+            let mut f = file;
+            let (header, payload_offset) = parse_prelude(&mut f, path)?;
+            validate_geometry(&header, payload_offset, &f, path)?;
+            match &schema {
+                None => schema = Some(header.feature_names.clone()),
+                Some(names) if *names != header.feature_names => {
+                    return Err(DataError::Schema(format!(
+                        "{} disagrees with the other shards on column names",
+                        path.display()
+                    )));
+                }
+                Some(_) => {}
+            }
+            shards.push(Shard {
+                file: f,
+                row_lo: header.row_lo as usize,
+                n_rows: header.n_rows as usize,
+                payload_offset,
+            });
+        }
+        shards.sort_by_key(|s| s.row_lo);
+        let mut next = 0usize;
+        for s in &shards {
+            if s.row_lo != next {
+                return Err(DataError::Schema(format!(
+                    "shard row ranges do not tile the dataset: expected a shard \
+                     starting at row {next}, found one starting at {}",
+                    s.row_lo
+                )));
+            }
+            next += s.n_rows;
+        }
+        let names = schema.expect("at least one shard");
+        let n_features = names.len();
+        Ok(BinRecordSource {
+            shards,
+            names,
+            n_records: next,
+            n_features,
+            row_buf: vec![0u8; n_features * 8],
+        })
+    }
+
+    /// Column names, shared by every shard.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The absolute row range of each shard, in row order.
+    pub fn shard_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        self.shards
+            .iter()
+            .map(|s| s.row_lo..s.row_lo + s.n_rows)
+            .collect()
+    }
+
+    /// Reads absolute row `index` into `out` (exactly one row wide).
+    fn read_row(&mut self, index: usize, out: &mut [f64]) -> Result<(), DataError> {
+        let shard_idx = self
+            .shards
+            .partition_point(|s| s.row_lo + s.n_rows <= index);
+        let shard = &mut self.shards[shard_idx];
+        let offset = shard.payload_offset + ((index - shard.row_lo) * self.n_features * 8) as u64;
+        read_at(&mut shard.file, offset, &mut self.row_buf).map_err(|e| {
+            DataError::Parse(format!("reading row {index} from a dataset shard: {e}"))
+        })?;
+        for (v, chunk) in out.iter_mut().zip(self.row_buf.chunks_exact(8)) {
+            *v = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        Ok(())
+    }
+}
+
+/// Positioned read: `pread` on Unix (no shared cursor), seek+read
+/// elsewhere.
+fn read_at(file: &mut File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    }
+}
+
+impl RecordSource for BinRecordSource {
+    fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
+        crate::stream::check_read(
+            self.n_records,
+            self.n_features,
+            indices,
+            out,
+            "binary source",
+        )?;
+        let n = self.n_features;
+        for (slot, &index) in out.chunks_exact_mut(n).zip(indices) {
+            self.read_row(index, slot)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_stem(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ifair-binfmt-{tag}-{}", std::process::id()))
+    }
+
+    fn cleanup(paths: &[PathBuf]) {
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    fn write_demo(tag: &str, rows: usize, shard_rows: usize) -> (Vec<PathBuf>, Vec<Vec<f64>>) {
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let mut writer = BinDatasetWriter::create(tmp_stem(tag), names, shard_rows).unwrap();
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|i| vec![i as f64, -0.5 * i as f64, (i % 7) as f64 / 7.0])
+            .collect();
+        for row in &data {
+            writer.push_row(row).unwrap();
+        }
+        (writer.finish().unwrap(), data)
+    }
+
+    #[test]
+    fn roundtrip_across_shards_is_bitwise() {
+        let (paths, data) = write_demo("roundtrip", 25, 8);
+        assert_eq!(paths.len(), 4, "25 rows at 8/shard");
+        let mut source = BinRecordSource::open(&paths).unwrap();
+        assert_eq!(source.n_records(), 25);
+        assert_eq!(source.n_features(), 3);
+        assert_eq!(source.feature_names(), ["a", "b", "c"]);
+        // Read rows in scrambled order, crossing shard boundaries.
+        let indices = [24, 0, 8, 7, 16, 15, 3];
+        let mut out = vec![0.0; indices.len() * 3];
+        source.read_rows(&indices, &mut out).unwrap();
+        for (slot, &i) in out.chunks_exact(3).zip(&indices) {
+            let expect: Vec<u64> = data[i].iter().map(|v| v.to_bits()).collect();
+            let got: Vec<u64> = slot.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect, "row {i}");
+        }
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn headers_carry_ranges_and_stats() {
+        let (paths, _) = write_demo("headers", 10, 6);
+        let (h0, g0) = read_shard_header(&paths[0]).unwrap();
+        let (h1, _) = read_shard_header(&paths[1]).unwrap();
+        assert_eq!((h0.row_lo, h0.n_rows), (0, 6));
+        assert_eq!((h1.row_lo, h1.n_rows), (6, 4));
+        assert_eq!(g0.payload_offset % 8, 0);
+        let stats = h0.stats.unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].min, 0.0);
+        assert_eq!(stats[0].max, 5.0);
+        assert_eq!(stats[0].mean, 2.5);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn wrong_magic_version_and_truncation_are_typed_errors() {
+        let (paths, _) = write_demo("corrupt", 6, 6);
+        let good = std::fs::read(&paths[0]).unwrap();
+
+        let check = |bytes: &[u8], tag: &str| {
+            let p = tmp_stem(&format!("corrupt-{tag}")).with_extension("ifb");
+            std::fs::write(&p, bytes).unwrap();
+            let err = BinRecordSource::open(std::slice::from_ref(&p)).unwrap_err();
+            std::fs::remove_file(&p).ok();
+            err
+        };
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(check(&bad_magic, "magic"), DataError::Schema(_)));
+
+        let mut bad_version = good.clone();
+        bad_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            check(&bad_version, "version"),
+            DataError::Version {
+                found: 7,
+                supported: VERSION
+            }
+        ));
+
+        let truncated = &good[..good.len() - 5];
+        assert!(matches!(check(truncated, "trunc"), DataError::Schema(_)));
+
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(&[0u8; 3]);
+        assert!(matches!(check(&trailing, "trailing"), DataError::Schema(_)));
+
+        assert!(matches!(check(&good[..10], "tiny"), DataError::Schema(_)));
+
+        let mut bad_header = good.clone();
+        bad_header[20] = b'!'; // vandalize the header JSON
+        assert!(matches!(check(&bad_header, "json"), DataError::Parse(_)));
+
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn shards_must_tile_and_agree() {
+        let (paths, _) = write_demo("tile", 12, 6);
+        // Dropping the first shard leaves a gap at row 0.
+        let err = BinRecordSource::open(&paths[1..]).unwrap_err();
+        assert!(matches!(err, DataError::Schema(_)));
+        // Duplicating a shard breaks tiling too.
+        let dup = [paths[0].clone(), paths[0].clone(), paths[1].clone()];
+        assert!(BinRecordSource::open(&dup).is_err());
+        // Shards listed out of order are fine.
+        let rev = [paths[1].clone(), paths[0].clone()];
+        assert_eq!(BinRecordSource::open(&rev).unwrap().n_records(), 12);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn writer_rejects_bad_shapes() {
+        assert!(BinDatasetWriter::create(tmp_stem("empty"), vec![], 4).is_err());
+        let mut w =
+            BinDatasetWriter::create(tmp_stem("width"), vec!["a".into(), "b".into()], 4).unwrap();
+        assert!(matches!(
+            w.push_row(&[1.0]).unwrap_err(),
+            DataError::Shape(_)
+        ));
+        let w2 = BinDatasetWriter::create(tmp_stem("norows"), vec!["a".into()], 4).unwrap();
+        assert!(w2.finish().is_err(), "zero rows is an error");
+    }
+
+    #[test]
+    fn shard_path_strips_ifb_suffix() {
+        assert_eq!(
+            shard_path(Path::new("data.ifb"), 3),
+            PathBuf::from("data.00003.ifb")
+        );
+        assert_eq!(
+            shard_path(Path::new("out/data"), 0),
+            PathBuf::from("out/data.00000.ifb")
+        );
+    }
+}

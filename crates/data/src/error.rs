@@ -19,6 +19,13 @@ pub enum DataError {
     Parse(String),
     /// An operation needed outcome labels but the dataset has none.
     MissingLabels,
+    /// A binary dataset file was written by an incompatible format version.
+    Version {
+        /// The version tag found in the file.
+        found: u32,
+        /// The highest version this build reads.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -28,6 +35,11 @@ impl fmt::Display for DataError {
             DataError::Schema(msg) => write!(f, "data schema violation: {msg}"),
             DataError::Parse(msg) => write!(f, "data parse failure: {msg}"),
             DataError::MissingLabels => write!(f, "dataset has no outcome variable"),
+            DataError::Version { found, supported } => write!(
+                f,
+                "binary dataset format version {found} is not supported \
+                 (this build reads version {supported})"
+            ),
         }
     }
 }

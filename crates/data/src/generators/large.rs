@@ -22,9 +22,10 @@ use crate::stream::RecordSource;
 use ifair_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Shape and distribution knobs of [`LargeScale`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LargeScaleConfig {
     /// Number of records `M`.
     pub n_records: usize,

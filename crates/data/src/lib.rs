@@ -15,6 +15,11 @@
 //! * [`stream`] — random-access [`RecordSource`] readers (indexed CSV,
 //!   in-memory matrices) and a chunked sequential CSV iterator, so datasets
 //!   bigger than comfortable-in-one-`Vec` can feed the mini-batch trainer,
+//! * [`binfmt`] — the sharded `.ifb` binary dataset format for out-of-core
+//!   training: a streaming writer plus a pread-backed [`RecordSource`] with
+//!   O(1) resident memory,
+//! * [`persist`] — the atomic (temp + fsync + rename) file-write primitive
+//!   shared by dataset shards and, via `ifair-api`, every artifact,
 //! * [`generators`] — the five dataset simulators, the §IV synthetic
 //!   Gaussian-mixture study, and an on-demand large-`M` generator
 //!   ([`generators::large`]) for scaling studies.
@@ -22,15 +27,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod csv;
 pub mod dataset;
 pub mod encode;
 pub mod error;
 pub mod generators;
+pub mod persist;
 pub mod scale;
 pub mod split;
 pub mod stream;
 
+pub use binfmt::{BinDatasetWriter, BinRecordSource};
 pub use dataset::{Dataset, Query, RankingDataset};
 pub use encode::{ColumnData, OneHotEncoder, RawDataset};
 pub use error::DataError;

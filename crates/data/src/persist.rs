@@ -1,0 +1,90 @@
+//! Atomic file writes for datasets and artifacts.
+//!
+//! [`write_atomic`] is the single durable write primitive of the workspace:
+//! binary dataset shards ([`crate::binfmt`]) call it directly, and
+//! `ifair-api::write_atomic` (the artifact/checkpoint path) delegates here
+//! after its fault-injection hook. Keeping the implementation in the data
+//! crate lets the dataset writer stay free of a dependency cycle — the api
+//! crate depends on this one, not the other way around.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter distinguishing concurrent [`write_atomic`] temp
+/// files (two threads writing the same target must not share one).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes go to a temp file in
+/// the target's directory, are fsynced, and the temp file is renamed over
+/// the target (itself fsynced at the directory level on Unix). A reader —
+/// including a crashed writer's next boot — observes either the old
+/// complete file or the new complete file, never a torn mix. This is the
+/// write path every artifact, training checkpoint and dataset shard goes
+/// through.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let tmp = dir.join(format!(
+        ".{stem}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        // fsync before rename: without it a crash can leave a renamed file
+        // whose *data* never reached the disk — exactly the torn artifact
+        // the rename dance exists to rule out.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Make the rename itself durable. Directory fsync is Unix-specific and
+    // advisory here: filesystems without it still got the atomic rename.
+    #[cfg(unix)]
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ifair-data-atomic-{}.bin", std::process::id()));
+        write_atomic(&path, b"first version").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first version");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp droppings left behind next to the target.
+        let stem = path.file_name().unwrap().to_str().unwrap().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(&stem))
+            .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_fails_cleanly_on_bad_directory() {
+        let path = Path::new("/definitely/not/a/dir/artifact.bin");
+        assert!(write_atomic(path, b"x").is_err());
+    }
+}

@@ -124,18 +124,27 @@ impl RecordSource for Dataset {
     }
 }
 
+/// How many records share one indexed byte offset in [`CsvRecordSource`]:
+/// the index keeps every `OFFSET_STRIDE`-th record's offset and `read_rows`
+/// forward-scans at most `OFFSET_STRIDE - 1` lines from the nearest anchor.
+const OFFSET_STRIDE: usize = 64;
+
 /// A numeric CSV file as a [`RecordSource`].
 ///
-/// The constructor makes one sequential pass recording the byte offset of
-/// every data line, so the resident memory is 8 bytes per record regardless
-/// of width; `read_rows` then seeks to each requested line and parses it on
-/// demand. Every column must be numeric (run categorical data through
-/// [`crate::encode::OneHotEncoder`] once, write the encoded CSV, then stream
-/// it here).
+/// The constructor makes one sequential pass counting records and recording
+/// the byte offset of every `OFFSET_STRIDE`-th (64th) data line, so resident
+/// memory is `M / 64` offsets — 1/64th of a dense per-record index —
+/// regardless of width. `read_rows` seeks to the nearest indexed anchor at
+/// or before each requested record and forward-scans the few intervening
+/// lines. Every column must be numeric (run categorical data through
+/// [`crate::encode::OneHotEncoder`] once, write the encoded CSV, then
+/// stream it here).
 pub struct CsvRecordSource<R: BufRead + Seek> {
     reader: R,
-    /// Byte offset of each non-blank data line.
+    /// Byte offset of every `OFFSET_STRIDE`-th non-blank data line.
     offsets: Vec<u64>,
+    /// Total non-blank data lines (records).
+    n_rows: usize,
     /// Column names from the header row.
     names: Vec<String>,
     /// Scratch line buffer reused across reads.
@@ -174,6 +183,7 @@ impl<R: BufRead + Seek> CsvRecordSource<R> {
         }
 
         let mut offsets = Vec::new();
+        let mut n_rows = 0usize;
         let mut pos = header_len as u64;
         loop {
             line.clear();
@@ -184,13 +194,17 @@ impl<R: BufRead + Seek> CsvRecordSource<R> {
                 break;
             }
             if !line.trim().is_empty() {
-                offsets.push(pos);
+                if n_rows.is_multiple_of(OFFSET_STRIDE) {
+                    offsets.push(pos);
+                }
+                n_rows += 1;
             }
             pos += len as u64;
         }
         Ok(CsvRecordSource {
             reader,
             offsets,
+            n_rows,
             names,
             line: String::new(),
         })
@@ -204,7 +218,7 @@ impl<R: BufRead + Seek> CsvRecordSource<R> {
 
 impl<R: BufRead + Seek> RecordSource for CsvRecordSource<R> {
     fn n_records(&self) -> usize {
-        self.offsets.len()
+        self.n_rows
     }
 
     fn n_features(&self) -> usize {
@@ -213,15 +227,33 @@ impl<R: BufRead + Seek> RecordSource for CsvRecordSource<R> {
 
     fn read_rows(&mut self, indices: &[usize], out: &mut [f64]) -> Result<(), DataError> {
         let n = self.names.len();
-        check_read(self.offsets.len(), n, indices, out, "CSV source")?;
+        check_read(self.n_rows, n, indices, out, "CSV source")?;
         for (slot, &i) in out.chunks_exact_mut(n).zip(indices) {
             self.reader
-                .seek(SeekFrom::Start(self.offsets[i]))
+                .seek(SeekFrom::Start(self.offsets[i / OFFSET_STRIDE]))
                 .map_err(|e| DataError::Parse(e.to_string()))?;
-            self.line.clear();
-            self.reader
-                .read_line(&mut self.line)
-                .map_err(|e| DataError::Parse(e.to_string()))?;
+            // Forward-scan from the anchor: skip the records between the
+            // anchor and the target, ignoring blank lines like the indexer.
+            let mut remaining = i % OFFSET_STRIDE;
+            loop {
+                self.line.clear();
+                let len = self
+                    .reader
+                    .read_line(&mut self.line)
+                    .map_err(|e| DataError::Parse(e.to_string()))?;
+                if len == 0 {
+                    return Err(DataError::Parse(format!(
+                        "unexpected end of file scanning for record {i}"
+                    )));
+                }
+                if self.line.trim().is_empty() {
+                    continue;
+                }
+                if remaining == 0 {
+                    break;
+                }
+                remaining -= 1;
+            }
             let fields = crate::csv::parse_line(self.line.trim_end_matches(['\n', '\r']));
             if fields.len() != n {
                 return Err(DataError::Parse(format!(
@@ -415,6 +447,62 @@ mod tests {
         assert!(src.read_rows(&[0], &mut out).is_err());
         let mut ragged = CsvRecordSource::from_reader(Cursor::new(b"a,b\n1\n" as &[u8])).unwrap();
         assert!(ragged.read_rows(&[0], &mut out).is_err());
+    }
+
+    /// A CSV spanning several index strides, with blank lines sprinkled in,
+    /// so anchor seeks and forward scans both get exercised.
+    fn striped_csv(rows: usize) -> String {
+        let mut s = String::from("a,b\n");
+        for i in 0..rows {
+            s.push_str(&format!("{},{}\n", i, 1000 - i as i64));
+            if i % 37 == 5 {
+                s.push('\n');
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn stride_index_matches_dense_offset_reads() {
+        let rows = 3 * OFFSET_STRIDE + 17;
+        let csv = striped_csv(rows);
+
+        // The dense-offset reference: byte offset of every data line,
+        // exactly what the pre-stride index stored.
+        let mut dense = Vec::new();
+        let mut pos = 0u64;
+        for line in csv.split_inclusive('\n') {
+            if pos > 0 && !line.trim().is_empty() {
+                dense.push(pos);
+            }
+            pos += line.len() as u64;
+        }
+        assert_eq!(dense.len(), rows);
+
+        let mut src = CsvRecordSource::from_reader(Cursor::new(csv.as_bytes())).unwrap();
+        assert_eq!(src.n_records(), rows);
+        assert!(
+            src.offsets.len() <= rows / OFFSET_STRIDE + 1,
+            "index must be strided, not dense"
+        );
+        // Every stride anchor agrees with the dense index.
+        for (k, &off) in src.offsets.iter().enumerate() {
+            assert_eq!(off, dense[k * OFFSET_STRIDE], "anchor {k}");
+        }
+        // Records read through the strided index are identical to seeking
+        // the dense offset directly.
+        let probe: Vec<usize> = vec![0, 1, 62, 63, 64, 65, rows - 1, 100, 7, 200];
+        let mut out = vec![0.0; probe.len() * 2];
+        src.read_rows(&probe, &mut out).unwrap();
+        for (slot, &i) in out.chunks_exact(2).zip(&probe) {
+            let mut cursor = Cursor::new(csv.as_bytes());
+            cursor.seek(SeekFrom::Start(dense[i])).unwrap();
+            let mut line = String::new();
+            cursor.read_line(&mut line).unwrap();
+            let fields = crate::csv::parse_line(line.trim_end_matches(['\n', '\r']));
+            let expect: Vec<f64> = fields.iter().map(|f| f.trim().parse().unwrap()).collect();
+            assert_eq!(slot, expect.as_slice(), "record {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Deterministic gradient accumulation.
+//!
+//! Every parallel gradient in the workspace is computed as per-chunk
+//! partials and *folded* into the accumulator in a fixed chunk order —
+//! never in arrival order — so the floating-point summation tree is a
+//! function of the problem size alone. That discipline is what makes
+//! seeded fits bit-identical across thread counts (in-process pools) and
+//! worker counts (the multi-process data-parallel trainer, whose
+//! coordinator folds worker partials through [`fold_in_order`]).
+//!
+//! These helpers are deliberately plain element-wise loops: the fold's
+//! correctness contract is its *order*, and an unrolled or reassociating
+//! implementation would silently change the sums.
+
+/// Adds `part` into `acc` element-wise. Panics on length mismatch — a
+/// partial of the wrong shape is a logic error, not an input error.
+pub fn add_assign(acc: &mut [f64], part: &[f64]) {
+    assert_eq!(
+        acc.len(),
+        part.len(),
+        "gradient partial length mismatch in fold"
+    );
+    for (a, p) in acc.iter_mut().zip(part) {
+        *a += p;
+    }
+}
+
+/// Folds `parts` into `acc` strictly in iteration order — the caller
+/// supplies partials already arranged in global chunk order, and the sum
+/// `acc + p0 + p1 + ...` is evaluated left to right, matching the serial
+/// single-buffer fold bit for bit.
+pub fn fold_in_order<'a>(acc: &mut [f64], parts: impl IntoIterator<Item = &'a [f64]>) {
+    for part in parts {
+        add_assign(acc, part);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_matches_the_serial_left_to_right_sum() {
+        // Values chosen so reassociation changes the result: folding tiny
+        // terms before the large one loses them, after it keeps them.
+        let tiny = f64::EPSILON / 2.0;
+        let parts: Vec<Vec<f64>> = vec![vec![1.0], vec![tiny], vec![tiny]];
+        let mut acc = vec![0.0];
+        fold_in_order(&mut acc, parts.iter().map(Vec::as_slice));
+        let mut serial = 0.0;
+        for p in &parts {
+            serial += p[0];
+        }
+        assert_eq!(acc[0].to_bits(), serial.to_bits());
+
+        let mut reordered = vec![0.0];
+        fold_in_order(&mut reordered, parts.iter().rev().map(Vec::as_slice));
+        assert_ne!(
+            acc[0].to_bits(),
+            reordered[0].to_bits(),
+            "the order genuinely matters for these values"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_partials_panic() {
+        add_assign(&mut [0.0, 0.0], &[1.0]);
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod adam;
+pub mod fold;
 pub mod lbfgs;
 pub mod line_search;
 pub mod numgrad;

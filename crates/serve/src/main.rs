@@ -11,10 +11,17 @@
 //! # Demonstrate crash-safe training: fit, "crash" mid-fit, resume from the
 //! # checkpoint artifact, and verify the result is bit-identical:
 //! ifair checkpoint-demo demo-checkpoint.json
+//!
+//! # Convert data into the sharded binary dataset format and look inside:
+//! ifair convert --csv records.csv --out data --shard-rows 100000
+//! ifair convert --generate 10000000,12,7 --out big
+//! ifair inspect big.00000.ifb
 //! ```
 
 use ifair::core::{FitStrategy, IFair, IFairConfig};
-use ifair::data::Dataset;
+use ifair::data::binfmt::{read_shard_header, BinDatasetWriter};
+use ifair::data::generators::large::{LargeScale, LargeScaleConfig};
+use ifair::data::{ChunkedCsvReader, DataError, Dataset};
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
 use ifair_serve::{ModelRegistry, ModelSpec, ServeError, Server, ServerConfig};
@@ -26,6 +33,9 @@ const USAGE: &str = "usage:
               [--max-batch-rows N] [--addr-file PATH]
   ifair demo-artifact <out.json>
   ifair checkpoint-demo <checkpoint.json>
+  ifair convert (--csv <in.csv> | --generate M[,N_NUMERIC[,SEED]])
+                --out <stem> [--shard-rows N]
+  ifair inspect <shard.ifb>
 
 `--addr` defaults to 127.0.0.1:8080; port 0 picks an ephemeral port.
 `--threads 0` (default) sizes the forward-pass pool to the hardware.
@@ -35,7 +45,10 @@ A `@f32` suffix serves that model's iFair transform in single precision
 (artifacts stay f64 on disk; `@f64`, the default, keeps full precision).
 `checkpoint-demo` runs a mini-batch fit that checkpoints every epoch to the
 given path (atomically), simulates a crash partway, resumes from the saved
-checkpoint, and verifies the resumed model is bit-identical.";
+checkpoint, and verifies the resumed model is bit-identical.
+`convert` streams a numeric CSV (or the seeded large-scale generator) into
+sharded `.ifb` binary dataset files (`{stem}.{index:05}.ifb`) with O(chunk)
+memory; `inspect` prints one shard's header without reading its payload.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +56,8 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("demo-artifact") => demo_artifact(&args[1..]),
         Some("checkpoint-demo") => checkpoint_demo(&args[1..]),
+        Some("convert") => convert(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
         _ => Err(ServeError::Config(format!(
             "unknown or missing subcommand\n{USAGE}"
         ))),
@@ -243,6 +258,207 @@ fn checkpoint_demo(args: &[String]) -> Result<(), ServeError> {
         ));
     }
     println!("resumed model is bit-identical to the uninterrupted fit");
+    Ok(())
+}
+
+/// Rows per CSV streaming chunk during `convert` — bounds resident memory,
+/// irrelevant to the output (shards cut at `--shard-rows`).
+const CONVERT_CHUNK_ROWS: usize = 8192;
+
+/// Parsed `convert` flags.
+struct ConvertArgs {
+    csv: Option<String>,
+    generate: Option<LargeScaleConfig>,
+    out: Option<String>,
+    shard_rows: usize,
+}
+
+/// `M[,N_NUMERIC[,SEED]]` → a [`LargeScaleConfig`] with defaults elsewhere.
+fn parse_generate_spec(raw: &str) -> Result<LargeScaleConfig, ServeError> {
+    let mut config = LargeScaleConfig::default();
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        return Err(ServeError::Config(format!(
+            "--generate expects M[,N_NUMERIC[,SEED]], got `{raw}`"
+        )));
+    }
+    let field = |what: &str, s: &str| {
+        s.trim().parse::<u64>().map_err(|_| {
+            ServeError::Config(format!("--generate {what} expects an integer, got `{s}`"))
+        })
+    };
+    config.n_records = field("M", parts[0])? as usize;
+    if let Some(p) = parts.get(1) {
+        config.n_numeric = field("N_NUMERIC", p)? as usize;
+    }
+    if let Some(p) = parts.get(2) {
+        config.seed = field("SEED", p)?;
+    }
+    if config.n_records == 0 || config.n_numeric == 0 {
+        return Err(ServeError::Config(
+            "--generate needs M >= 1 and N_NUMERIC >= 1".into(),
+        ));
+    }
+    Ok(config)
+}
+
+fn data_err(context: &str, e: DataError) -> ServeError {
+    ServeError::Config(format!("{context}: {e}"))
+}
+
+/// Streams a CSV file or the seeded generator into sharded `.ifb` files.
+/// Resident memory is one chunk plus one shard buffer regardless of `M` —
+/// the out-of-core contract that lets `fit_data_parallel` train on datasets
+/// nothing in the process could materialize.
+fn convert(args: &[String]) -> Result<(), ServeError> {
+    let mut parsed = ConvertArgs {
+        csv: None,
+        generate: None,
+        out: None,
+        shard_rows: 0,
+    };
+    let mut iter = args.iter();
+    let value = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| ServeError::Config(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--csv" => parsed.csv = Some(value("--csv", &mut iter)?),
+            "--generate" => {
+                parsed.generate = Some(parse_generate_spec(&value("--generate", &mut iter)?)?)
+            }
+            "--out" => parsed.out = Some(value("--out", &mut iter)?),
+            "--shard-rows" => {
+                let raw = value("--shard-rows", &mut iter)?;
+                parsed.shard_rows = raw.parse::<usize>().map_err(|_| {
+                    ServeError::Config(format!("--shard-rows expects an integer, got `{raw}`"))
+                })?;
+            }
+            other => {
+                return Err(ServeError::Config(format!(
+                    "unknown flag `{other}`\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let Some(out) = parsed.out else {
+        return Err(ServeError::Config(format!("convert needs --out\n{USAGE}")));
+    };
+    let shards = match (parsed.csv, parsed.generate) {
+        (Some(csv), None) => convert_csv(&csv, &out, parsed.shard_rows)?,
+        (None, Some(config)) => convert_generated(config, &out, parsed.shard_rows)?,
+        _ => {
+            return Err(ServeError::Config(format!(
+                "convert needs exactly one of --csv or --generate\n{USAGE}"
+            )))
+        }
+    };
+    println!("wrote {} shard(s):", shards.len());
+    for s in &shards {
+        println!("  {}", s.display());
+    }
+    println!("  inspect one: ifair inspect {}", shards[0].display());
+    Ok(())
+}
+
+fn convert_csv(
+    csv: &str,
+    out: &str,
+    shard_rows: usize,
+) -> Result<Vec<std::path::PathBuf>, ServeError> {
+    let reader = ChunkedCsvReader::open(csv, CONVERT_CHUNK_ROWS)
+        .map_err(|e| data_err("opening the CSV", e))?;
+    let names = reader.feature_names().to_vec();
+    let mut writer = BinDatasetWriter::create(out, names, shard_rows)
+        .map_err(|e| data_err("creating the shard writer", e))?;
+    let mut rows = 0usize;
+    for chunk in reader {
+        let chunk = chunk.map_err(|e| data_err("reading the CSV", e))?;
+        for i in 0..chunk.rows() {
+            writer
+                .push_row(chunk.row(i))
+                .map_err(|e| data_err("writing a shard", e))?;
+        }
+        rows += chunk.rows();
+    }
+    println!("converted {rows} CSV rows");
+    writer
+        .finish()
+        .map_err(|e| data_err("finishing the shards", e))
+}
+
+fn convert_generated(
+    config: LargeScaleConfig,
+    out: &str,
+    shard_rows: usize,
+) -> Result<Vec<std::path::PathBuf>, ServeError> {
+    let gen = LargeScale::new(config);
+    let n = gen.width();
+    let names: Vec<String> = (0..n - 1)
+        .map(|j| format!("x{j}"))
+        .chain(std::iter::once("protected".into()))
+        .collect();
+    let mut writer = BinDatasetWriter::create(out, names, shard_rows)
+        .map_err(|e| data_err("creating the shard writer", e))?;
+    let mut row = vec![0.0; n];
+    for i in 0..gen.config().n_records {
+        gen.row_into(i, &mut row);
+        writer
+            .push_row(&row)
+            .map_err(|e| data_err("writing a shard", e))?;
+    }
+    println!(
+        "generated {} rows x {n} features (seed {})",
+        gen.config().n_records,
+        gen.config().seed
+    );
+    writer
+        .finish()
+        .map_err(|e| data_err("finishing the shards", e))
+}
+
+/// Prints one shard's header — schema, row range, per-column stats — using
+/// only the prelude bytes, never the payload.
+fn inspect(args: &[String]) -> Result<(), ServeError> {
+    let [path] = args else {
+        return Err(ServeError::Config(format!(
+            "inspect takes exactly one shard path\n{USAGE}"
+        )));
+    };
+    let path = std::path::Path::new(path);
+    let (header, geometry) =
+        read_shard_header(path).map_err(|e| data_err("reading the shard header", e))?;
+    println!("{}", path.display());
+    println!(
+        "  rows {}..{} ({} rows x {} features)",
+        header.row_lo,
+        header.row_lo + header.n_rows,
+        header.n_rows,
+        header.n_features
+    );
+    println!(
+        "  payload: {} bytes at offset {} ({} bytes/row)",
+        geometry.file_len - geometry.payload_offset,
+        geometry.payload_offset,
+        8 * header.n_features
+    );
+    match &header.stats {
+        Some(stats) => {
+            println!("  columns:");
+            for (name, s) in header.feature_names.iter().zip(stats) {
+                println!(
+                    "    {name}: min {:.6} max {:.6} mean {:.6}",
+                    s.min, s.max, s.mean
+                );
+            }
+        }
+        None => {
+            println!("  columns: {}", header.feature_names.join(", "));
+            println!("  (no per-column stats in this shard's header)");
+        }
+    }
     Ok(())
 }
 
