@@ -16,12 +16,17 @@ use ifair::core::IFairConfig;
 use ifair::data::Dataset;
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
-use ifair_bench::timing::{bench, fmt_duration, table_header, BenchReport};
+use ifair_bench::timing::{bench, fmt_duration, table_header, BenchReport, Measurement};
 use ifair_core::par::available_threads;
+use ifair_serve::client::Session;
 use ifair_serve::{client, ModelRegistry, ModelSpec, Server, ServerConfig};
+use std::time::{Duration, Instant};
 
 /// Batch sizes of the headline measurements.
 const BATCH_SIZES: [usize; 3] = [1, 16, 128];
+
+/// Concurrency levels of the keep-alive sweep (persistent connections).
+const SWEEP_CONNS: [usize; 3] = [16, 64, 256];
 
 fn main() {
     let smoke = std::env::var_os("IFAIR_BENCH_SMOKE").is_some();
@@ -51,7 +56,14 @@ fn main() {
         precision: ifair_serve::Precision::F64,
     }])
     .expect("registry loads");
-    let handle = Server::bind("127.0.0.1:0", registry, ServerConfig::default())
+    // Queue deep enough that the 256-connection sweep (≤1 in-flight request
+    // per connection) never sheds: the bench measures the data plane, not
+    // the admission machinery.
+    let config = ServerConfig {
+        queue_capacity: 512,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", registry, config)
         .expect("server binds")
         .spawn();
     let addr = handle.addr();
@@ -114,6 +126,59 @@ fn main() {
         total_rows / (m.median.as_nanos().max(1) as f64 / 1e9)
     );
     report.push(&m);
+
+    // Keep-alive concurrency sweep: C persistent connections (one Session
+    // per client thread), each firing 16-row transforms back to back over
+    // a single socket. The headline number is per-request wall time —
+    // total sweep time divided by total requests — which is what the
+    // reactor's keep-alive + pipelined parsing path is built to shrink
+    // versus the old connection-per-request chain.
+    let sweep_body = request_body(&ds, 16);
+    let reqs_per_conn = if smoke { 3 } else { 40 };
+    let reps = if smoke { 2 } else { 7 };
+    for &conns in &SWEEP_CONNS {
+        let mut per_request: Vec<Duration> = (0..reps)
+            .map(|_| {
+                let started = Instant::now();
+                let clients: Vec<_> = (0..conns)
+                    .map(|_| {
+                        let body = sweep_body.clone();
+                        std::thread::spawn(move || {
+                            let mut session =
+                                Session::with_timeout(addr, Some(Duration::from_secs(30)));
+                            for _ in 0..reqs_per_conn {
+                                let (status, text) = session
+                                    .post("/v1/models/bench/transform", &body)
+                                    .expect("sweep request succeeds");
+                                assert_eq!(status, 200, "sweep request failed: {text}");
+                            }
+                        })
+                    })
+                    .collect();
+                for c in clients {
+                    c.join().expect("sweep client thread");
+                }
+                started.elapsed() / (conns * reqs_per_conn) as u32
+            })
+            .collect();
+        per_request.sort();
+        let mean = per_request.iter().sum::<Duration>() / per_request.len() as u32;
+        let m = Measurement {
+            name: format!("sweep/transform/b16/c{conns}"),
+            min: per_request[0],
+            median: per_request[per_request.len() / 2],
+            mean,
+            backend: None,
+            precision: None,
+            peak_rss: None,
+        };
+        println!(
+            "  -> sweep {conns} keep-alive conns: median {} per request (~{:.0} rows/sec aggregate)",
+            fmt_duration(m.median),
+            16.0 / (m.median.as_nanos().max(1) as f64 / 1e9)
+        );
+        report.push(&m);
+    }
 
     match report.write_if_enabled() {
         Ok(Some(path)) => println!("\nwrote {path}"),

@@ -1,0 +1,78 @@
+//! Fails (exit 1) when the serving runbook is out of date.
+//!
+//! ```text
+//! doc_lint --doc docs/SERVING.md --help-text help.txt --metrics-text metrics.txt
+//! ```
+//!
+//! `help.txt` is captured `ifair serve --help` output; `metrics.txt` is a
+//! live `/metrics` scrape. Every `--flag` in the help text and every
+//! `# HELP`-declared metric series must appear verbatim in the doc.
+
+use ifair_bench::doclint::{extract_flags, extract_metric_names, missing_from_doc};
+
+fn main() {
+    let mut doc_path = None;
+    let mut help_path = None;
+    let mut metrics_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{arg} needs a value")))
+        };
+        match arg.as_str() {
+            "--doc" => doc_path = Some(take()),
+            "--help-text" => help_path = Some(take()),
+            "--metrics-text" => metrics_path = Some(take()),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let doc_path = doc_path.unwrap_or_else(|| usage("--doc is required"));
+    let doc = read(&doc_path);
+
+    let mut missing = Vec::new();
+    if let Some(path) = help_path {
+        let flags = extract_flags(&read(&path));
+        if flags.is_empty() {
+            usage(&format!("{path} contains no --flags; wrong capture?"));
+        }
+        println!("doc_lint: {} CLI flags in help text", flags.len());
+        missing.extend(
+            missing_from_doc(&doc, &flags)
+                .into_iter()
+                .map(|f| format!("CLI flag {f}")),
+        );
+    }
+    if let Some(path) = metrics_path {
+        let names = extract_metric_names(&read(&path));
+        if names.is_empty() {
+            usage(&format!("{path} contains no # HELP lines; wrong capture?"));
+        }
+        println!("doc_lint: {} metric series in scrape", names.len());
+        missing.extend(
+            missing_from_doc(&doc, &names)
+                .into_iter()
+                .map(|n| format!("metric series {n}")),
+        );
+    }
+
+    if missing.is_empty() {
+        println!("doc_lint: {doc_path} is complete");
+    } else {
+        eprintln!("doc_lint: {doc_path} is missing {} name(s):", missing.len());
+        for name in &missing {
+            eprintln!("  - {name}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("doc_lint: {err}");
+    eprintln!("usage: doc_lint --doc docs/SERVING.md [--help-text FILE] [--metrics-text FILE]");
+    std::process::exit(2);
+}

@@ -1,0 +1,108 @@
+//! Documentation lint for the serving runbook.
+//!
+//! `docs/SERVING.md` promises to document **every** `ifair serve` CLI flag
+//! and every metric series the server emits. That promise rots silently:
+//! someone adds a flag or a counter and forgets the runbook. This module
+//! (and its `doc_lint` binary) makes the promise machine-checked — CI
+//! captures the live `ifair serve --help` text and a live `/metrics`
+//! scrape, extracts the flag and series names, and fails if any of them is
+//! absent from the runbook.
+
+use std::collections::BTreeSet;
+
+/// Extracts `--flag` tokens from help text, trimmed of surrounding
+/// punctuation and `=VALUE` suffixes, deduplicated and sorted.
+pub fn extract_flags(help: &str) -> Vec<String> {
+    let mut flags = BTreeSet::new();
+    for token in help.split_whitespace() {
+        let token = token.trim_start_matches(['[', '(', '"', '`', '\'']);
+        if !token.starts_with("--") {
+            continue;
+        }
+        let token = token.split(['=', '[', ']']).next().unwrap_or(token);
+        let token = token.trim_end_matches(['.', ',', ';', ':', ')', '"', '`', '\'']);
+        // "--" alone is an argument separator, not a flag.
+        if token.len() > 2
+            && token[2..]
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-')
+        {
+            flags.insert(token.to_string());
+        }
+    }
+    flags.into_iter().collect()
+}
+
+/// Extracts metric series names from Prometheus exposition text: the
+/// second token of every `# HELP <name> ...` line, deduplicated and sorted.
+pub fn extract_metric_names(metrics: &str) -> Vec<String> {
+    let mut names = BTreeSet::new();
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names.into_iter().collect()
+}
+
+/// Names (flags or metric series) that never appear in `doc`, verbatim.
+pub fn missing_from_doc(doc: &str, names: &[String]) -> Vec<String> {
+    names
+        .iter()
+        .filter(|name| !doc.contains(name.as_str()))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_extracted_and_cleaned() {
+        let help = "usage: ifair serve --model NAME=PATH [--addr HOST:PORT]\n\
+                    \x20 --queue-capacity N   queue depth (see --max-batch-rows).\n\
+                    pass `--poll-backend auto|epoll|poll`; -- ends flags";
+        assert_eq!(
+            extract_flags(help),
+            vec![
+                "--addr",
+                "--max-batch-rows",
+                "--model",
+                "--poll-backend",
+                "--queue-capacity",
+            ]
+        );
+    }
+
+    #[test]
+    fn metric_names_come_from_help_lines() {
+        let metrics = "# HELP ifair_requests_total Total requests.\n\
+                       # TYPE ifair_requests_total counter\n\
+                       ifair_requests_total{endpoint=\"transform\"} 3\n\
+                       # HELP ifair_connections_active Open connections.\n\
+                       # TYPE ifair_connections_active gauge\n\
+                       ifair_connections_active 1\n";
+        assert_eq!(
+            extract_metric_names(metrics),
+            vec!["ifair_connections_active", "ifair_requests_total"]
+        );
+    }
+
+    #[test]
+    fn missing_names_are_reported_verbatim() {
+        let doc = "The `--addr` flag binds; watch `ifair_requests_total`.";
+        let names = vec![
+            "--addr".to_string(),
+            "--threads".to_string(),
+            "ifair_requests_total".to_string(),
+            "ifair_shed_total".to_string(),
+        ];
+        assert_eq!(
+            missing_from_doc(doc, &names),
+            vec!["--threads", "ifair_shed_total"]
+        );
+    }
+}

@@ -27,6 +27,7 @@
 pub mod args;
 pub mod classification;
 pub mod datasets;
+pub mod doclint;
 pub mod exec;
 pub mod ranking;
 pub mod report;

@@ -1,13 +1,15 @@
 //! Micro-batching of concurrent inference requests.
 //!
-//! Connection handlers never run model math themselves: they enqueue a
-//! [`Job`] and block on its reply channel. A single batcher thread drains
-//! the queue, coalesces whatever is pending (up to `max_batch_rows` rows)
-//! into one stacked `Matrix` per `(model, op)` group, runs **one** pooled
-//! forward pass on the shared [`WorkerPool`], and scatters the row ranges
-//! back to their requesters. Because every stage of every artifact is
-//! row-independent, the stacked pass is bit-identical to running each
-//! request alone — batching is purely a throughput optimization.
+//! The reactor never runs model math itself: it enqueues a [`Job`]
+//! carrying a completion callback and goes back to its event loop. A
+//! single batcher thread drains the queue, coalesces whatever is pending
+//! (up to `max_batch_rows` rows) into one stacked `Matrix` per
+//! `(model, op)` group, runs **one** pooled forward pass on the shared
+//! [`WorkerPool`], and scatters the row ranges back through each job's
+//! callback (which posts a completion to the reactor and wakes it).
+//! Because every stage of every artifact is row-independent, the stacked
+//! pass is bit-identical to running each request alone — batching is
+//! purely a throughput optimization.
 
 use crate::metrics::Metrics;
 use crate::registry::LoadedModel;
@@ -67,12 +69,14 @@ pub(crate) struct Job {
     /// Absolute compute deadline (from `X-Ifair-Deadline-Ms`), if any. A
     /// job past its deadline is shed before compute, never after.
     pub deadline: Option<Instant>,
-    /// Set by the handler when it stops waiting (reply timeout, deadline):
-    /// the job is orphaned, and the batcher drops it instead of computing
-    /// for — or replying to — nobody.
+    /// Set by the requester when it stops waiting (reply timeout, deadline,
+    /// connection closed): the job is orphaned, and the batcher drops it
+    /// instead of computing for — or replying to — nobody.
     pub cancelled: Arc<AtomicBool>,
-    /// Where the result goes; capacity 1, so the batcher never blocks here.
-    pub reply: SyncSender<Result<JobOutput, JobError>>,
+    /// Completion callback. The reactor passes a closure that posts a
+    /// completion message and wakes the poller; tests pass a channel
+    /// sender. Must never block (the batcher thread is shared).
+    pub reply: Box<dyn FnOnce(Result<JobOutput, JobError>) + Send>,
 }
 
 /// Spawns the supervised batcher thread. Returns the job sender (clone one
@@ -130,7 +134,7 @@ fn batcher_loop(rx: &Mutex<Receiver<Job>>, pool: &WorkerPool, max_batch_rows: us
                 continue;
             }
             if job.deadline.is_some_and(|d| now >= d) {
-                let _ = job.reply.send(Err(JobError::DeadlineExceeded));
+                (job.reply)(Err(JobError::DeadlineExceeded));
                 continue;
             }
             live.push(job);
@@ -207,13 +211,13 @@ fn execute_group(pool: &WorkerPool, mut jobs: Vec<Job>) {
     match result {
         Ok(output) => scatter(jobs, &sizes, &output),
         Err(msg) => {
-            for job in &jobs {
-                // A requester that gave up (timed out, disconnected) just
-                // drops its receiver; ignore the dead letter.
+            for job in jobs {
+                // A requester that gave up (timed out, disconnected) has
+                // no one listening; skip the dead letter.
                 if job.cancelled.load(Ordering::SeqCst) {
                     continue;
                 }
-                let _ = job.reply.send(Err(JobError::Failed(msg.clone())));
+                (job.reply)(Err(JobError::Failed(msg.clone())));
             }
         }
     }
@@ -233,7 +237,7 @@ enum BatchOutput {
 /// of the output has no one left to read it.
 fn scatter(jobs: Vec<Job>, sizes: &[usize], output: &BatchOutput) {
     let mut offset = 0usize;
-    for (job, &size) in jobs.iter().zip(sizes) {
+    for (job, &size) in jobs.into_iter().zip(sizes) {
         if job.cancelled.load(Ordering::SeqCst) {
             offset += size;
             continue;
@@ -247,7 +251,7 @@ fn scatter(jobs: Vec<Job>, sizes: &[usize], output: &BatchOutput) {
                 decisions: decisions[offset..offset + size].to_vec(),
             },
         };
-        let _ = job.reply.send(Ok(out));
+        (job.reply)(Ok(out));
         offset += size;
     }
 }
@@ -283,11 +287,25 @@ mod tests {
         })
     }
 
+    type ReplyFn = Box<dyn FnOnce(Result<JobOutput, JobError>) + Send>;
+
+    /// Wraps a capacity-1 channel in the callback form [`Job::reply`]
+    /// takes, so tests can still block on a receiver.
+    fn channel_reply() -> (ReplyFn, Receiver<Result<JobOutput, JobError>>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+            rx,
+        )
+    }
+
     fn job(
         model: &Arc<LoadedModel>,
         rows: Vec<Vec<f64>>,
     ) -> (Job, Receiver<Result<JobOutput, JobError>>) {
-        let (tx, rx) = sync_channel(1);
+        let (reply, rx) = channel_reply();
         (
             Job {
                 model: Arc::clone(model),
@@ -296,7 +314,7 @@ mod tests {
                 group: vec![],
                 deadline: None,
                 cancelled: Arc::new(AtomicBool::new(false)),
-                reply: tx,
+                reply,
             },
             rx,
         )
@@ -364,7 +382,7 @@ mod tests {
     fn predict_on_bare_model_reports_an_error_not_a_crash() {
         let pool = WorkerPool::new(1);
         let model = loaded_model(7);
-        let (tx, rx) = sync_channel(1);
+        let (reply, rx) = channel_reply();
         execute_group(
             &pool,
             vec![Job {
@@ -374,7 +392,7 @@ mod tests {
                 group: vec![],
                 deadline: None,
                 cancelled: Arc::new(AtomicBool::new(false)),
-                reply: tx,
+                reply,
             }],
         );
         match rx.recv().unwrap().unwrap_err() {

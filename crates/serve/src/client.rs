@@ -1,15 +1,27 @@
-//! A minimal loopback HTTP client, with opt-in retries.
+//! A minimal loopback HTTP client, with keep-alive sessions and opt-in
+//! retries.
 //!
 //! Exists so the e2e tests, the serving benchmark, and the
 //! `serve_and_query` example can talk to a running server without an
 //! external `curl` — and doubles as executable documentation of the wire
-//! format. One request per connection, matching the server's
-//! `Connection: close` discipline.
+//! format.
+//!
+//! Two modes:
+//! - The bare [`request`]/[`get`]/[`post`] helpers open one connection
+//!   per request and send `Connection: close` (read-to-EOF framing) —
+//!   simplest possible, fine for tests and one-off probes.
+//! - [`Session`] keeps one connection alive across requests
+//!   (`Content-Length` framing), transparently reconnecting when a
+//!   reused connection turns out stale — the server may have closed it
+//!   between requests (idle timeout, keep-alive cap, restart) and that
+//!   must read as "reconnect and resend", never as an error, because no
+//!   response can have been computed for an unsent request.
 //!
 //! [`RetryPolicy`] adds the client half of the failure model: bounded
 //! retries with jittered exponential backoff and per-attempt socket
 //! timeouts, for riding out torn responses, shed 503s, and supervisor
-//! respawns. It is opt-in — the bare [`request`]/[`get`]/[`post`] helpers
+//! respawns — over a single [`Session`], so the happy path between
+//! failures rides one warm connection. It is opt-in — the bare helpers
 //! stay single-shot.
 
 use std::io::{Read, Write};
@@ -91,6 +103,184 @@ fn parse_response(raw: &str) -> Option<(u16, String)> {
     Some((status, body.to_string()))
 }
 
+/// A keep-alive HTTP client session: one connection, many requests.
+///
+/// The connection is opened lazily on the first request and reused until
+/// the server closes it (`Connection: close`, idle timeout, keep-alive
+/// cap, restart). A send/read failure on a *reused* connection is retried
+/// exactly once on a fresh connection — a stale keep-alive socket is
+/// indistinguishable from one that died in the server's idle sweep, and
+/// the request was never answered either way. A failure on a fresh
+/// connection propagates: the server is actually unreachable.
+#[derive(Debug)]
+pub struct Session {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    stream: Option<TcpStream>,
+    /// Bytes read past the previous response's end (defensive; a
+    /// well-behaved request/response session never has any).
+    leftover: Vec<u8>,
+}
+
+impl Session {
+    /// A session against `addr` with no socket timeouts.
+    pub fn new(addr: SocketAddr) -> Session {
+        Session::with_timeout(addr, None)
+    }
+
+    /// A session whose connect/read/write operations all time out.
+    pub fn with_timeout(addr: SocketAddr, timeout: Option<Duration>) -> Session {
+        Session {
+            addr,
+            timeout,
+            stream: None,
+            leftover: Vec::new(),
+        }
+    }
+
+    /// Sends `method path` and returns `(status, body)`, reusing the live
+    /// connection when there is one.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let reused = self.stream.is_some();
+        match self.attempt(method, path, headers, body) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                // Never leave a half-used socket behind a failed attempt.
+                self.stream = None;
+                self.leftover.clear();
+                if reused {
+                    // The reused connection was stale; one fresh retry.
+                    self.attempt(method, path, headers, body)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// `GET path` over the session.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, &[], None)
+    }
+
+    /// `POST path` with a JSON body over the session.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, &[], Some(body))
+    }
+
+    /// Whether a connection is currently held open.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            let stream = match self.timeout {
+                Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+                None => TcpStream::connect(self.addr)?,
+            };
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(self.timeout)?;
+            stream.set_write_timeout(self.timeout)?;
+            self.stream = Some(stream);
+            self.leftover.clear();
+        }
+        let stream = self.stream.as_mut().expect("ensured above");
+        let body = body.unwrap_or("");
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: keep-alive\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+
+        let mut buf = std::mem::take(&mut self.leftover);
+        let (status, body, keep_alive, consumed) = read_one_response(stream, &mut buf)?;
+        if keep_alive {
+            self.leftover = buf.split_off(consumed);
+        } else {
+            self.stream = None;
+            self.leftover.clear();
+        }
+        Ok((status, body))
+    }
+}
+
+/// Reads exactly one `Content-Length`-framed response out of `stream`
+/// (appending to `buf`), returning `(status, body, keep_alive, consumed)`.
+fn read_one_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<(u16, String, bool, usize)> {
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        if let Some(parsed) = frame_response(buf)? {
+            return Ok(parsed);
+        }
+        let n = stream.read(&mut scratch)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// Tries to frame one complete response at the front of `buf`; `Ok(None)`
+/// means more bytes are needed.
+#[allow(clippy::type_complexity)]
+fn frame_response(buf: &[u8]) -> std::io::Result<Option<(u16, String, bool, usize)>> {
+    let malformed = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+    let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| malformed())?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(malformed)?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| malformed())?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let total = header_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buf[header_end + 4..total].to_vec()).map_err(|_| malformed())?;
+    Ok(Some((status, body, keep_alive, total)))
+}
+
 /// Bounded retry with jittered exponential backoff.
 ///
 /// A request is retried on transport errors (connect refused, torn/short
@@ -124,11 +314,28 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Sends `method path` with `headers`/`body` under this policy.
-    /// Returns the last transport error if every attempt fails.
+    /// Sends `method path` with `headers`/`body` under this policy, over
+    /// one keep-alive [`Session`] (so back-to-back attempts — and callers
+    /// that loop — reuse the warm connection instead of a fresh TCP
+    /// handshake per try). Returns the last transport error if every
+    /// attempt fails.
     pub fn request(
         &self,
         addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let mut session = Session::with_timeout(addr, Some(self.attempt_timeout));
+        self.request_over(&mut session, method, path, headers, body)
+    }
+
+    /// [`RetryPolicy::request`] over a caller-held [`Session`], for callers
+    /// issuing many requests that should all share one connection.
+    pub fn request_over(
+        &self,
+        session: &mut Session,
         method: &str,
         path: &str,
         headers: &[(&str, String)],
@@ -140,14 +347,7 @@ impl RetryPolicy {
             if attempt > 1 {
                 std::thread::sleep(self.backoff(attempt, &mut jitter));
             }
-            match request_with(
-                addr,
-                method,
-                path,
-                headers,
-                body,
-                Some(self.attempt_timeout),
-            ) {
+            match session.request(method, path, headers, body) {
                 // A shed 503 is the server telling us to come back shortly —
                 // the one *valid* response worth retrying.
                 Ok((503, body)) if attempt < self.max_attempts => {
@@ -198,6 +398,24 @@ mod tests {
         assert!(parse_response("HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n{\"ok\"").is_none());
         // No Content-Length at all: accepted as-is (read-to-EOF framing).
         assert!(parse_response("HTTP/1.1 200 OK\r\n\r\nhi").is_some());
+    }
+
+    #[test]
+    fn frame_response_waits_for_the_full_body_and_reads_connection() {
+        assert!(
+            frame_response(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhel")
+                .unwrap()
+                .is_none()
+        );
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhelloEXTRA";
+        let (status, body, keep_alive, consumed) = frame_response(raw).unwrap().unwrap();
+        assert_eq!((status, body.as_str(), keep_alive), (200, "hello", true));
+        assert_eq!(consumed, raw.len() - "EXTRA".len());
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        let (status, _, keep_alive, _) = frame_response(raw).unwrap().unwrap();
+        assert_eq!(status, 503);
+        assert!(!keep_alive, "Connection: close must end the session");
     }
 
     #[test]

@@ -24,31 +24,67 @@ use ifair::data::generators::large::{LargeScale, LargeScaleConfig};
 use ifair::data::{ChunkedCsvReader, DataError, Dataset};
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
-use ifair_serve::{ModelRegistry, ModelSpec, ServeError, Server, ServerConfig};
+use ifair_serve::{ModelRegistry, ModelSpec, PollBackend, ServeError, Server, ServerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  ifair serve --model [name=]path.json[@f32] [--model ...] [--addr HOST:PORT]
-              [--threads N] [--http-workers N] [--queue-capacity N]
-              [--max-batch-rows N] [--addr-file PATH]
+  ifair serve --model [name=]path.json[@f32] [--model ...] [options]
+              (run `ifair serve --help` for every serving flag)
   ifair demo-artifact <out.json>
   ifair checkpoint-demo <checkpoint.json>
   ifair convert (--csv <in.csv> | --generate M[,N_NUMERIC[,SEED]])
                 --out <stem> [--shard-rows N]
   ifair inspect <shard.ifb>
 
-`--addr` defaults to 127.0.0.1:8080; port 0 picks an ephemeral port.
-`--threads 0` (default) sizes the forward-pass pool to the hardware.
-`--addr-file` writes the bound address to PATH once listening (for scripts
-that need to discover an ephemeral port).
-A `@f32` suffix serves that model's iFair transform in single precision
-(artifacts stay f64 on disk; `@f64`, the default, keeps full precision).
 `checkpoint-demo` runs a mini-batch fit that checkpoints every epoch to the
 given path (atomically), simulates a crash partway, resumes from the saved
 checkpoint, and verifies the resumed model is bit-identical.
 `convert` streams a numeric CSV (or the seeded large-scale generator) into
 sharded `.ifb` binary dataset files (`{stem}.{index:05}.ifb`) with O(chunk)
 memory; `inspect` prints one shard's header without reading its payload.";
+
+/// `ifair serve --help`. Every flag listed here must be documented in
+/// `docs/SERVING.md` — CI's doc-lint step diffs the two.
+const SERVE_HELP: &str = "ifair serve — event-driven HTTP inference server
+
+usage:
+  ifair serve --model [name=]path.json[@f32] [--model ...] [options]
+
+options:
+  --model [name=]path.json[@f32]   artifact to serve (repeatable; the name
+                                   defaults to the file stem; a @f32 suffix
+                                   serves that model's iFair transform in
+                                   single precision — artifacts stay f64 on
+                                   disk)
+  --addr HOST:PORT                 listen address (default 127.0.0.1:8080;
+                                   port 0 picks an ephemeral port)
+  --addr-file PATH                 write the bound address to PATH once
+                                   listening (ephemeral-port discovery for
+                                   scripts)
+  --threads N                      forward-pass worker-pool lanes
+                                   (default 0 = all hardware threads)
+  --queue-capacity N               bounded job queue between the reactor and
+                                   the batcher; a full queue answers 503
+                                   (default 128)
+  --max-batch-rows N               row cap of one coalesced micro-batch
+                                   (default 512)
+  --max-connections N              open-connection cap; connections over it
+                                   are shed with 503 at accept
+                                   (default 1024; 0 = unlimited)
+  --keep-alive-requests N          requests served per keep-alive connection
+                                   before the server closes it
+                                   (default 0 = unlimited)
+  --admission-per-model N          per-model in-flight request cap; requests
+                                   over it answer 429 with Retry-After
+                                   (default 0 = unlimited)
+  --poll-backend auto|epoll|poll   readiness backend (default auto: epoll on
+                                   Linux, poll(2) elsewhere)
+  --help                           print this help
+
+Requests may carry an X-Ifair-Deadline-Ms header: a total budget in
+milliseconds from first byte; work whose budget expires is shed with 503
+before compute. See docs/SERVING.md for the operations runbook (wire
+format, degradation ladder, every /metrics series, tuning).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +113,7 @@ struct ServeArgs {
     addr: String,
     addr_file: Option<String>,
     config: ServerConfig,
+    help: bool,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
@@ -85,6 +122,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
         addr: "127.0.0.1:8080".into(),
         addr_file: None,
         config: ServerConfig::default(),
+        help: false,
     };
     let mut iter = args.iter();
     let value = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
@@ -106,10 +144,6 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
             "--threads" => {
                 parsed.config.n_threads = parse_usize("--threads", value("--threads", &mut iter)?)?
             }
-            "--http-workers" => {
-                parsed.config.http_workers =
-                    parse_usize("--http-workers", value("--http-workers", &mut iter)?)?
-            }
             "--queue-capacity" => {
                 parsed.config.queue_capacity =
                     parse_usize("--queue-capacity", value("--queue-capacity", &mut iter)?)?
@@ -118,6 +152,36 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
                 parsed.config.max_batch_rows =
                     parse_usize("--max-batch-rows", value("--max-batch-rows", &mut iter)?)?
             }
+            "--max-connections" => {
+                parsed.config.max_connections =
+                    parse_usize("--max-connections", value("--max-connections", &mut iter)?)?
+            }
+            "--keep-alive-requests" => {
+                parsed.config.keep_alive_requests = parse_usize(
+                    "--keep-alive-requests",
+                    value("--keep-alive-requests", &mut iter)?,
+                )?
+            }
+            "--admission-per-model" => {
+                parsed.config.admission_per_model = parse_usize(
+                    "--admission-per-model",
+                    value("--admission-per-model", &mut iter)?,
+                )?
+            }
+            "--poll-backend" => {
+                let raw = value("--poll-backend", &mut iter)?;
+                parsed.config.backend = match raw.as_str() {
+                    "auto" => PollBackend::Auto,
+                    "epoll" => PollBackend::Epoll,
+                    "poll" => PollBackend::Poll,
+                    other => {
+                        return Err(ServeError::Config(format!(
+                            "--poll-backend expects auto|epoll|poll, got `{other}`"
+                        )))
+                    }
+                };
+            }
+            "--help" => parsed.help = true,
             other => {
                 return Err(ServeError::Config(format!(
                     "unknown flag `{other}`\n{USAGE}"
@@ -130,6 +194,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ServeError> {
 
 fn serve(args: &[String]) -> Result<(), ServeError> {
     let args = parse_serve_args(args)?;
+    if args.help {
+        println!("{SERVE_HELP}");
+        return Ok(());
+    }
     let registry = ModelRegistry::load(args.specs)?;
     let models: Vec<String> = registry
         .precision_labels()
@@ -138,7 +206,10 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
         .collect();
     let server = Server::bind(&args.addr, registry, args.config.clone())?;
     let addr = server.addr();
-    println!("ifair-serve listening on http://{addr}");
+    println!(
+        "ifair-serve listening on http://{addr} ({} backend)",
+        server.backend_name()
+    );
     println!("  models: {}", models.join(", "));
     println!("  pool threads: {} (0 = hardware)", args.config.n_threads);
     println!("  try: curl http://{addr}/healthz");

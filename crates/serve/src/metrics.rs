@@ -20,11 +20,14 @@ pub struct Metrics {
     errors_total: AtomicU64,
     rejected_total: AtomicU64,
     shed_total: AtomicU64,
+    throttled_total: AtomicU64,
     deadline_exceeded_total: AtomicU64,
     timed_out_total: AtomicU64,
     socket_config_errors_total: AtomicU64,
-    restarts_accept: AtomicU64,
-    restarts_http_worker: AtomicU64,
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    keepalive_requests_total: AtomicU64,
+    restarts_reactor: AtomicU64,
     restarts_batcher: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
@@ -99,10 +102,38 @@ impl Metrics {
             .push(ns);
     }
 
-    /// Counts one connection shed with a 503 because the accept queue was
-    /// full (such connections never reach [`Metrics::observe`]).
+    /// Counts one request or connection shed with a 503 because a bound
+    /// was hit (job queue full, connection cap reached) — such requests
+    /// may never reach [`Metrics::observe`].
     pub fn observe_rejected(&self) {
         self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered 429 because its model's in-flight
+    /// admission cap was reached.
+    pub fn observe_throttled(&self) {
+        self.throttled_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted connection (and raises the active gauge).
+    pub fn observe_connection_opened(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the active-connections gauge when a connection closes.
+    pub fn observe_connection_closed(&self) {
+        // Saturating: a double-close accounting slip must not wrap the gauge.
+        let _ = self
+            .connections_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// Counts one request served on an already-used keep-alive connection
+    /// (the second and later requests of each connection).
+    pub fn observe_keepalive_reuse(&self) {
+        self.keepalive_requests_total
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one request shed with a 503 because its deadline budget was
@@ -133,8 +164,7 @@ impl Metrics {
     /// Counts one supervised thread respawned after a panic.
     pub fn observe_thread_restart(&self, kind: ThreadKind) {
         let counter = match kind {
-            ThreadKind::Accept => &self.restarts_accept,
-            ThreadKind::HttpWorker => &self.restarts_http_worker,
+            ThreadKind::Reactor => &self.restarts_reactor,
             ThreadKind::Batcher => &self.restarts_batcher,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -143,8 +173,7 @@ impl Metrics {
     /// Total respawns of one supervised thread kind.
     pub fn thread_restarts(&self, kind: ThreadKind) -> u64 {
         match kind {
-            ThreadKind::Accept => &self.restarts_accept,
-            ThreadKind::HttpWorker => &self.restarts_http_worker,
+            ThreadKind::Reactor => &self.restarts_reactor,
             ThreadKind::Batcher => &self.restarts_batcher,
         }
         .load(Ordering::Relaxed)
@@ -153,6 +182,26 @@ impl Metrics {
     /// Total requests shed for an exhausted deadline budget.
     pub fn shed_total(&self) -> u64 {
         self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Total requests answered 429 at the per-model admission cap.
+    pub fn throttled_total(&self) -> u64 {
+        self.throttled_total.load(Ordering::Relaxed)
+    }
+
+    /// Total connections accepted since start.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open in the reactor.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served on reused keep-alive connections.
+    pub fn keepalive_requests_total(&self) -> u64 {
+        self.keepalive_requests_total.load(Ordering::Relaxed)
     }
 
     /// Total requests whose deadline expired mid-wait.
@@ -217,13 +266,18 @@ impl Metrics {
         );
         counter(
             "ifair_requests_rejected_total",
-            "Connections shed with 503 because the accept queue was full.",
+            "Requests/connections shed with 503 because the job queue or connection cap was full.",
             self.rejected_total.load(Ordering::Relaxed),
         );
         counter(
             "ifair_requests_shed_total",
             "Requests shed with 503 because their deadline budget was exhausted before compute.",
             self.shed_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "ifair_requests_throttled_total",
+            "Requests answered 429 at the per-model in-flight admission cap.",
+            self.throttled_total.load(Ordering::Relaxed),
         );
         counter(
             "ifair_requests_deadline_exceeded_total",
@@ -237,18 +291,28 @@ impl Metrics {
         );
         counter(
             "ifair_socket_config_errors_total",
-            "Connections closed because socket timeouts could not be configured.",
+            "Connections dropped because their socket could not be configured (nonblocking/nodelay).",
             self.socket_config_errors_total.load(Ordering::Relaxed),
         );
+        counter(
+            "ifair_connections_total",
+            "TCP connections accepted by the reactor.",
+            self.connections_total(),
+        );
+        counter(
+            "ifair_keepalive_requests_total",
+            "Requests served on an already-used keep-alive connection.",
+            self.keepalive_requests_total(),
+        );
+        out.push_str(&format!(
+            "# HELP ifair_connections_active Connections currently open in the reactor.\n# TYPE ifair_connections_active gauge\nifair_connections_active {}\n",
+            self.connections_active()
+        ));
         out.push_str(
             "# HELP ifair_thread_restarts_total Supervised threads respawned after a panic.\n\
              # TYPE ifair_thread_restarts_total counter\n",
         );
-        for kind in [
-            ThreadKind::Accept,
-            ThreadKind::HttpWorker,
-            ThreadKind::Batcher,
-        ] {
+        for kind in [ThreadKind::Reactor, ThreadKind::Batcher] {
             out.push_str(&format!(
                 "ifair_thread_restarts_total{{kind=\"{}\"}} {}\n",
                 kind.label(),
@@ -318,10 +382,14 @@ mod tests {
         assert!(text.contains("ifair_requests_rejected_total 1"));
         assert!(text.contains("ifair_models_loaded 2"));
         assert!(text.contains("ifair_requests_shed_total 0"));
+        assert!(text.contains("ifair_requests_throttled_total 0"));
         assert!(text.contains("ifair_requests_deadline_exceeded_total 0"));
         assert!(text.contains("ifair_requests_timed_out_total 0"));
         assert!(text.contains("ifair_socket_config_errors_total 0"));
-        assert!(text.contains("ifair_thread_restarts_total{kind=\"accept\"} 0"));
+        assert!(text.contains("ifair_connections_total 0"));
+        assert!(text.contains("ifair_connections_active 0"));
+        assert!(text.contains("ifair_keepalive_requests_total 0"));
+        assert!(text.contains("ifair_thread_restarts_total{kind=\"reactor\"} 0"));
         assert!(text.contains("ifair_registry_generation 7"));
         assert!(text.contains("ifair_model_precision{model=\"a\",precision=\"f64\"} 1"));
         assert!(text.contains("ifair_model_precision{model=\"b\",precision=\"f32\"} 1"));
@@ -339,20 +407,42 @@ mod tests {
         m.observe_socket_config_error();
         m.observe_thread_restart(ThreadKind::Batcher);
         m.observe_thread_restart(ThreadKind::Batcher);
-        m.observe_thread_restart(ThreadKind::HttpWorker);
+        m.observe_thread_restart(ThreadKind::Reactor);
         assert_eq!(m.shed_total(), 2);
         assert_eq!(m.deadline_exceeded_total(), 1);
         assert_eq!(m.timed_out_total(), 1);
         assert_eq!(m.thread_restarts(ThreadKind::Batcher), 2);
-        assert_eq!(m.thread_restarts(ThreadKind::Accept), 0);
+        assert_eq!(m.thread_restarts(ThreadKind::Reactor), 1);
         let text = m.render(0, 0, &[]);
         assert!(text.contains("ifair_requests_shed_total 2"));
         assert!(text.contains("ifair_requests_deadline_exceeded_total 1"));
         assert!(text.contains("ifair_requests_timed_out_total 1"));
         assert!(text.contains("ifair_socket_config_errors_total 1"));
         assert!(text.contains("ifair_thread_restarts_total{kind=\"batcher\"} 2"));
-        assert!(text.contains("ifair_thread_restarts_total{kind=\"http-worker\"} 1"));
-        assert!(text.contains("ifair_thread_restarts_total{kind=\"accept\"} 0"));
+        assert!(text.contains("ifair_thread_restarts_total{kind=\"reactor\"} 1"));
+    }
+
+    #[test]
+    fn connection_lifecycle_counters_track_opens_reuse_and_throttling() {
+        let m = Metrics::new();
+        m.observe_connection_opened();
+        m.observe_connection_opened();
+        m.observe_keepalive_reuse();
+        m.observe_throttled();
+        m.observe_connection_closed();
+        assert_eq!(m.connections_total(), 2);
+        assert_eq!(m.connections_active(), 1);
+        assert_eq!(m.keepalive_requests_total(), 1);
+        assert_eq!(m.throttled_total(), 1);
+        let text = m.render(0, 0, &[]);
+        assert!(text.contains("ifair_connections_total 2"));
+        assert!(text.contains("ifair_connections_active 1"));
+        assert!(text.contains("ifair_keepalive_requests_total 1"));
+        assert!(text.contains("ifair_requests_throttled_total 1"));
+        // The gauge saturates at zero instead of wrapping.
+        m.observe_connection_closed();
+        m.observe_connection_closed();
+        assert_eq!(m.connections_active(), 0);
     }
 
     #[test]

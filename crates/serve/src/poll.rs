@@ -1,0 +1,584 @@
+//! Readiness polling for the serving reactor: a std-only shim over
+//! `epoll(7)` (Linux) with a portable `poll(2)` fallback (other Unixes).
+//!
+//! The offline build rule forbids external crates, so the two syscall
+//! surfaces are declared directly in the scoped [`sys`] module below —
+//! std already links libc, so `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` / `poll` resolve at link time without any build script.
+//! Everything outside [`sys`] is safe code; the crate-level
+//! `#![deny(unsafe_code)]` is relaxed only for that one module.
+//!
+//! The [`Poller`] is **level-triggered** on both backends. That is a
+//! deliberate crash-safety property, not a simplification: if the reactor
+//! thread panics between `wait` and event handling (see the
+//! `serve.reactor` chaos site), every still-ready socket is re-reported
+//! on the next `wait` after the supervisor respawns the loop, so no
+//! connection is stranded.
+//!
+//! [`Waker`] is the cross-thread wake-up: a nonblocking
+//! `UnixStream::pair` whose read end is registered in the poller. The
+//! batcher completes jobs on its own thread and needs the reactor to
+//! come back from `epoll_wait`; writing one byte does that. A full pipe
+//! (`WouldBlock`) means a wake is already pending and is ignored.
+
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Interest in readability. Combine with [`INTEREST_WRITE`] via `|`.
+pub(crate) const INTEREST_READ: u8 = 0b01;
+/// Interest in writability.
+pub(crate) const INTEREST_WRITE: u8 = 0b10;
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollEvent {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (or has pending error/hangup — those
+    /// are folded into `readable` so the owner discovers them on `read`).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+}
+
+/// Which readiness backend the reactor should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollBackend {
+    /// `epoll` on Linux, `poll(2)` elsewhere.
+    Auto,
+    /// Force `epoll(7)`; bind fails on non-Linux targets.
+    Epoll,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+}
+
+/// The raw syscall surface. The only `unsafe` in the crate lives here;
+/// every wrapper upholds the invariants the kernel interface needs
+/// (valid fds, correctly sized out-buffers) and converts errno into
+/// `io::Error`.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::raw::c_int;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+    }
+
+    /// `poll(2)`: waits on `fds`, returns the number of ready entries.
+    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // repr(C) pollfd; the kernel writes only `revents` within it.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+
+    /// `struct epoll_event`. The kernel ABI packs this on x86-64 only.
+    #[cfg(target_os = "linux")]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::EpollEvent;
+        use std::io;
+        use std::os::raw::c_int;
+        use std::os::unix::io::RawFd;
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        /// Creates a close-on-exec epoll instance.
+        pub fn create() -> io::Result<RawFd> {
+            // SAFETY: no pointers involved; the flag is a valid constant.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(fd)
+            }
+        }
+
+        /// `epoll_ctl` with an optional event (DEL takes none).
+        pub fn ctl(epfd: RawFd, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+            // SAFETY: `ev` is a valid repr(C) epoll_event for the call's
+            // duration; the kernel only reads it.
+            let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        /// `epoll_wait` into `events`, returning the ready count.
+        pub fn wait(
+            epfd: RawFd,
+            events: &mut [EpollEvent],
+            timeout_ms: c_int,
+        ) -> io::Result<usize> {
+            // SAFETY: `events` is a valid exclusively borrowed buffer of
+            // `maxevents` repr(C) entries the kernel fills.
+            let rc =
+                unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(rc as usize)
+            }
+        }
+
+        /// Closes the epoll fd (used by the Drop impl).
+        pub fn close_fd(fd: RawFd) {
+            // SAFETY: `fd` is an epoll fd we own and close exactly once.
+            let _ = unsafe { close(fd) };
+        }
+    }
+}
+
+/// Converts a timeout to the millisecond form both syscalls take:
+/// `None` → block forever (-1); sub-millisecond nonzero waits round up
+/// to 1ms so timers can't busy-spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis().min(i32::MAX as u128) as i32;
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms
+            }
+        }
+    }
+}
+
+/// Level-triggered readiness poller over one of the two backends.
+#[derive(Debug)]
+pub(crate) enum Poller {
+    /// Linux `epoll(7)`.
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+    /// Portable `poll(2)` over a registration vector.
+    Poll(PollPoller),
+}
+
+impl Poller {
+    /// Opens a poller for `backend`. [`PollBackend::Epoll`] fails with
+    /// `Unsupported` off Linux.
+    pub fn new(backend: PollBackend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            PollBackend::Auto | PollBackend::Epoll => Ok(Poller::Epoll(EpollPoller::new()?)),
+            #[cfg(not(target_os = "linux"))]
+            PollBackend::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend requires Linux; use --poll-backend poll",
+            )),
+            #[cfg(not(target_os = "linux"))]
+            PollBackend::Auto => Ok(Poller::Poll(PollPoller::new())),
+            PollBackend::Poll => Ok(Poller::Poll(PollPoller::new())),
+        }
+    }
+
+    /// The backend's name, for the startup banner and docs.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => "epoll",
+            Poller::Poll(_) => "poll",
+        }
+    }
+
+    /// Starts watching `fd` under `token` with `interest`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.register(fd, token, interest),
+            Poller::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Changes the interest set of an already registered `fd`.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.reregister(fd, token, interest),
+            Poller::Poll(p) => p.reregister(fd, token, interest),
+        }
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.deregister(fd),
+            Poller::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Blocks until readiness or `timeout`, appending events to `out`
+    /// (which is cleared first). `Interrupted` waits retry internally.
+    pub fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<PollEvent>) -> io::Result<()> {
+        out.clear();
+        loop {
+            let r = match self {
+                #[cfg(target_os = "linux")]
+                Poller::Epoll(p) => p.wait(timeout, out),
+                Poller::Poll(p) => p.wait(timeout, out),
+            };
+            match r {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+/// `epoll(7)` backend: the kernel holds the registration table.
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+pub(crate) struct EpollPoller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    fn new() -> io::Result<EpollPoller> {
+        Ok(EpollPoller {
+            epfd: sys::epoll::create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+        })
+    }
+
+    fn mask(interest: u8) -> u32 {
+        let mut events = 0;
+        if interest & INTEREST_READ != 0 {
+            events |= sys::epoll::EPOLLIN;
+        }
+        if interest & INTEREST_WRITE != 0 {
+            events |= sys::epoll::EPOLLOUT;
+        }
+        events
+    }
+
+    fn register(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        let ev = sys::EpollEvent {
+            events: Self::mask(interest),
+            data: token,
+        };
+        sys::epoll::ctl(self.epfd, sys::epoll::EPOLL_CTL_ADD, fd, Some(ev))
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        let ev = sys::EpollEvent {
+            events: Self::mask(interest),
+            data: token,
+        };
+        sys::epoll::ctl(self.epfd, sys::epoll::EPOLL_CTL_MOD, fd, Some(ev))
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        sys::epoll::ctl(self.epfd, sys::epoll::EPOLL_CTL_DEL, fd, None)
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<PollEvent>) -> io::Result<()> {
+        let n = sys::epoll::wait(self.epfd, &mut self.buf, timeout_ms(timeout))?;
+        for ev in &self.buf[..n] {
+            // Copy fields out of the (possibly packed) struct before use.
+            let events = ev.events;
+            let token = ev.data;
+            out.push(PollEvent {
+                token,
+                readable: events
+                    & (sys::epoll::EPOLLIN | sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP)
+                    != 0,
+                writable: events & (sys::epoll::EPOLLOUT | sys::epoll::EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        sys::epoll::close_fd(self.epfd);
+    }
+}
+
+/// `poll(2)` backend: the registration table lives in userspace and the
+/// whole fd set is resubmitted per wait. O(n) per call, which is fine at
+/// the connection counts the fallback targets.
+#[derive(Debug, Default)]
+pub(crate) struct PollPoller {
+    entries: Vec<(sys::PollFd, u64)>,
+}
+
+impl PollPoller {
+    fn new() -> PollPoller {
+        PollPoller::default()
+    }
+
+    fn events(interest: u8) -> i16 {
+        let mut events = 0;
+        if interest & INTEREST_READ != 0 {
+            events |= sys::POLLIN;
+        }
+        if interest & INTEREST_WRITE != 0 {
+            events |= sys::POLLOUT;
+        }
+        events
+    }
+
+    fn register(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        if self.entries.iter().any(|(p, _)| p.fd == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.entries.push((
+            sys::PollFd {
+                fd,
+                events: Self::events(interest),
+                revents: 0,
+            },
+            token,
+        ));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        for (p, t) in &mut self.entries {
+            if p.fd == fd {
+                p.events = Self::events(interest);
+                *t = token;
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let before = self.entries.len();
+        self.entries.retain(|(p, _)| p.fd != fd);
+        if self.entries.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<PollEvent>) -> io::Result<()> {
+        let mut fds: Vec<sys::PollFd> = self.entries.iter().map(|(p, _)| *p).collect();
+        let n = sys::poll_wait(&mut fds, timeout_ms(timeout))?;
+        if n == 0 {
+            return Ok(());
+        }
+        for (polled, (_, token)) in fds.iter().zip(&self.entries) {
+            let re = polled.revents;
+            if re == 0 {
+                continue;
+            }
+            out.push(PollEvent {
+                token: *token,
+                readable: re & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0,
+                writable: re & (sys::POLLOUT | sys::POLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cross-thread wake-up handle for a [`Poller`] (clone freely; all
+/// clones poke the same pipe).
+#[derive(Debug, Clone)]
+pub(crate) struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Makes the poller's next `wait` return promptly. Never blocks: a
+    /// full pipe means a wake is already pending.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1]);
+    }
+}
+
+/// Builds a waker and the stream the reactor must register under its
+/// waker token. Both ends are nonblocking.
+pub(crate) fn waker_pair() -> io::Result<(Waker, UnixStream)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, rx))
+}
+
+/// Drains all pending wake bytes from the waker's read end.
+pub(crate) fn drain_waker(rx: &mut UnixStream) {
+    let mut buf = [0u8; 64];
+    while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+/// The raw fd of a registered resource (tiny helper so reactor code
+/// reads uniformly).
+pub(crate) fn fd_of<T: AsRawFd>(t: &T) -> RawFd {
+    t.as_raw_fd()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn poller_roundtrip(mut poller: Poller) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(fd_of(&listener), 7, INTEREST_READ).unwrap();
+
+        // Nothing pending: a short wait times out with no events.
+        let mut events = Vec::new();
+        poller
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert!(events.is_empty());
+
+        // A connection attempt makes the listener readable.
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Level-triggered: the same readiness is re-reported until the
+        // accept is actually performed (the reactor's crash-safety net).
+        poller
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let (accepted, _) = listener.accept().unwrap();
+        drop(accepted);
+        drop(client);
+        poller.deregister(fd_of(&listener)).unwrap();
+        poller
+            .wait(Some(Duration::from_millis(5)), &mut events)
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_level_triggered_readiness() {
+        poller_roundtrip(Poller::new(PollBackend::Epoll).unwrap());
+    }
+
+    #[test]
+    fn poll_backend_reports_level_triggered_readiness() {
+        poller_roundtrip(Poller::new(PollBackend::Poll).unwrap());
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait_and_drains() {
+        let mut poller = Poller::new(PollBackend::Auto).unwrap();
+        let (waker, mut rx) = waker_pair().unwrap();
+        poller.register(fd_of(&rx), 1, INTEREST_READ).unwrap();
+
+        let mut events = Vec::new();
+        waker.wake();
+        waker.wake(); // coalesces; never blocks
+        poller
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        drain_waker(&mut rx);
+        poller
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert!(events.is_empty(), "drained waker must go quiet");
+    }
+
+    #[test]
+    fn interest_rewrites_flow_through_reregister() {
+        let mut poller = Poller::new(PollBackend::Auto).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        // Write interest on a fresh socket: immediately writable.
+        poller
+            .register(fd_of(&client), 3, INTEREST_READ | INTEREST_WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Drop write interest: socket stays quiet (nothing to read).
+        poller.reregister(fd_of(&client), 3, INTEREST_READ).unwrap();
+        poller
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Peer data flips it readable again.
+        let (mut peer, _) = listener.accept().unwrap();
+        peer.write_all(b"x").unwrap();
+        poller
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+        let _ = client.read(&mut [0u8; 4]);
+    }
+}

@@ -1,38 +1,38 @@
-//! The HTTP inference server: accept loop, worker threads, routing.
+//! The HTTP inference server: configuration, bind, spawn, shutdown.
 //!
 //! Threading model (all `std`, no async runtime):
 //!
 //! ```text
-//! accept loop ──try_send──▶ bounded connection queue (503 when full)
-//!                                   │
-//!                     http workers (N threads, shared receiver)
-//!                parse request ─▶ validate ─▶ enqueue Job ─▶ wait reply
-//!                                   │
-//!                          batcher (1 thread)
-//!        coalesce pending jobs ─▶ ONE pooled forward pass ─▶ scatter
-//!                                   │
-//!                   ifair_core::par::WorkerPool (n_threads lanes)
+//! reactor (1 thread, epoll/poll readiness loop)
+//!   accept ─▶ nonblocking read ─▶ zero-copy parse ─▶ validate ─▶ enqueue Job
+//!      ▲                                                           │
+//!      └────────── waker ◀── completion channel ◀───────┐          ▼
+//!                                               batcher (1 thread)
+//!                        coalesce pending jobs ─▶ ONE pooled forward pass
+//!                                               │
+//!                               ifair_core::par::WorkerPool (n_threads lanes)
 //! ```
 //!
-//! Artifacts hot-reload via `POST /admin/reload`: the registry swap is
-//! atomic and in-flight jobs hold their own `Arc` snapshot, so no request
-//! is ever dropped or served a half-updated model.
+//! The reactor multiplexes every connection (keep-alive, pipelining,
+//! per-model admission control — see `reactor.rs`); the batcher owns all
+//! model math. Artifacts hot-reload via `POST /admin/reload`: the
+//! registry swap is atomic and in-flight jobs hold their own `Arc`
+//! snapshot, so no request is ever dropped or served a half-updated
+//! model.
 
-use crate::batch::{spawn_batcher, Job, JobError, JobOutput, Op};
+use crate::batch::spawn_batcher;
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::Metrics;
+use crate::poll::{fd_of, waker_pair, PollBackend, Poller, Waker, INTEREST_READ};
+use crate::reactor::{spawn_reactor, TOKEN_LISTENER, TOKEN_WAKER};
 use crate::registry::ModelRegistry;
-use crate::supervisor::{recover_lock, supervise, ThreadKind};
 use ifair::core::par::{resolve_threads, WorkerPool};
-use serde::{Deserialize, Serialize};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs of [`Server::bind`]. The defaults suit a small container;
 /// every knob is exposed as an `ifair serve` flag.
@@ -40,44 +40,58 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Worker-pool lanes for the forward pass; `0` = all hardware threads.
     pub n_threads: usize,
-    /// Connection-handling threads (request parsing / response writing).
-    pub http_workers: usize,
-    /// Bounded queue of accepted-but-unhandled connections; when full, new
-    /// connections are shed with `503` instead of queueing unboundedly.
+    /// Bounded job queue between reactor and batcher; when full, new
+    /// requests are shed with `503` instead of queueing unboundedly.
     pub queue_capacity: usize,
     /// Row cap of one micro-batch (coalesced across concurrent requests).
     pub max_batch_rows: usize,
+    /// Maximum concurrently open connections; extras are shed with `503`
+    /// at accept. `0` = unlimited.
+    pub max_connections: usize,
+    /// Requests served per keep-alive connection before the server closes
+    /// it (`Connection: close` on the last response). `0` = unlimited.
+    pub keep_alive_requests: usize,
+    /// Per-model in-flight request cap (admission control); requests over
+    /// it are answered `429` with `Retry-After`. `0` = unlimited.
+    pub admission_per_model: usize,
+    /// Readiness backend: `epoll` on Linux, `poll(2)` fallback.
+    pub backend: PollBackend,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             n_threads: 0,
-            http_workers: 4,
             queue_capacity: 128,
             max_batch_rows: 512,
+            max_connections: 1024,
+            keep_alive_requests: 0,
+            admission_per_model: 0,
+            backend: PollBackend::Auto,
         }
     }
 }
 
-/// How long a handler waits for the batcher before giving up with a 500.
+/// How long the reactor waits for the batcher before answering 500.
 /// A request that carries an earlier deadline waits only that long.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+pub(crate) const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// The per-request deadline header: total budget in milliseconds, measured
-/// from the moment the connection was accepted. Queue wait counts against
-/// it — a request that waited out its budget is shed, never computed.
+/// from the moment the request's first bytes arrived. Queue wait counts
+/// against it — a request that waited out its budget is shed, never
+/// computed.
 pub const DEADLINE_HEADER: &str = "X-Ifair-Deadline-Ms";
 
-/// `Retry-After` seconds suggested on a shed 503.
-const RETRY_AFTER_SECS: u64 = 1;
+/// `Retry-After` seconds suggested on shed 503s and throttled 429s.
+pub(crate) const RETRY_AFTER_SECS: u64 = 1;
 
-/// Per-connection socket read timeout (slowloris guard).
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// A connection with no buffered requests and no traffic for this long is
+/// reclaimed (idle keep-alive / slowloris guard).
+pub(crate) const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Per-connection socket write timeout (guards against clients that stop
-/// reading their response).
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// A connection whose client stops reading its responses is closed after
+/// this long without write progress.
+pub(crate) const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A bound-but-not-yet-running server. [`Server::spawn`] starts the threads.
 #[derive(Debug)]
@@ -85,11 +99,16 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<ModelRegistry>,
     config: ServerConfig,
+    poller: Poller,
+    waker: Waker,
+    wake_rx: UnixStream,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:8080"`, or port `0` for an ephemeral
-    /// port) over an already-loaded registry.
+    /// port) over an already-loaded registry, opens the readiness poller,
+    /// and registers the listener and wake channel — everything fallible
+    /// happens here so [`Server::spawn`] cannot fail.
     pub fn bind(
         addr: &str,
         registry: ModelRegistry,
@@ -97,10 +116,26 @@ impl Server {
     ) -> Result<Server, ServeError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| ServeError::io(format!("binding {addr}"), e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::io("making the listener nonblocking", e))?;
+        let mut poller = Poller::new(config.backend)
+            .map_err(|e| ServeError::io("creating the readiness poller", e))?;
+        let (waker, wake_rx) =
+            waker_pair().map_err(|e| ServeError::io("creating the reactor waker", e))?;
+        poller
+            .register(fd_of(&listener), TOKEN_LISTENER, INTEREST_READ)
+            .map_err(|e| ServeError::io("registering the listener", e))?;
+        poller
+            .register(fd_of(&wake_rx), TOKEN_WAKER, INTEREST_READ)
+            .map_err(|e| ServeError::io("registering the waker", e))?;
         Ok(Server {
             listener,
             registry: Arc::new(registry),
             config,
+            poller,
+            waker,
+            wake_rx,
         })
     }
 
@@ -111,13 +146,22 @@ impl Server {
             .expect("a bound listener has a local address")
     }
 
-    /// Starts the accept loop, HTTP workers and batcher; returns a handle
-    /// for introspection and shutdown.
+    /// The readiness backend in use (`"epoll"` or `"poll"`), for the
+    /// startup banner.
+    pub fn backend_name(&self) -> &'static str {
+        self.poller.backend_name()
+    }
+
+    /// Starts the reactor and batcher; returns a handle for introspection
+    /// and shutdown.
     pub fn spawn(self) -> ServerHandle {
         let Server {
             listener,
             registry,
             config,
+            poller,
+            waker,
+            wake_rx,
         } = self;
         let addr = listener.local_addr().expect("bound listener");
         let metrics = Arc::new(Metrics::new());
@@ -130,52 +174,28 @@ impl Server {
             Arc::clone(&shutdown),
             Arc::clone(&metrics),
         );
-
-        // Each queued connection carries its accept timestamp: per-request
-        // deadline budgets start ticking at accept, so time spent waiting in
-        // this queue counts against them.
-        let (conn_tx, conn_rx) = sync_channel::<(TcpStream, Instant)>(config.queue_capacity.max(1));
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let mut workers = Vec::with_capacity(config.http_workers.max(1));
-        for w in 0..config.http_workers.max(1) {
-            let conn_rx = Arc::clone(&conn_rx);
-            let registry = Arc::clone(&registry);
-            let metrics = Arc::clone(&metrics);
-            let job_tx = job_tx.clone();
-            workers.push(supervise(
-                format!("ifair-serve-http-{w}"),
-                ThreadKind::HttpWorker,
-                Arc::clone(&shutdown),
-                Arc::clone(&metrics),
-                move || worker_loop(&conn_rx, &registry, &metrics, &job_tx),
-            ));
-        }
-        // Workers hold the only job senders: when they exit, the batcher's
-        // queue disconnects and it drains and exits too.
-        drop(job_tx);
-
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let accept_shutdown = Arc::clone(&shutdown);
-            let metrics = Arc::clone(&metrics);
-            let accept_metrics = Arc::clone(&metrics);
-            supervise(
-                "ifair-serve-accept".into(),
-                ThreadKind::Accept,
-                shutdown,
-                metrics,
-                move || accept_loop(&listener, &conn_tx, &accept_shutdown, &accept_metrics),
-            )
-        };
+        // The reactor owns the only job sender: when its loop exits, the
+        // batcher's queue disconnects and it drains and exits too.
+        let reactor = spawn_reactor(
+            listener,
+            poller,
+            waker.clone(),
+            wake_rx,
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+            job_tx,
+            Arc::clone(&shutdown),
+            config,
+        );
 
         ServerHandle {
             addr,
             shutdown,
-            accept: Some(accept),
-            workers,
+            reactor: Some(reactor),
             batcher: Some(batcher),
             registry,
             metrics,
+            waker,
         }
     }
 }
@@ -185,11 +205,11 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
+    waker: Waker,
 }
 
 impl ServerHandle {
@@ -212,28 +232,27 @@ impl ServerHandle {
     /// Blocks the calling thread until the server stops (for the CLI, that
     /// is effectively forever — processes are stopped by signal).
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         self.stop_threads();
     }
 
-    /// Stops accepting, drains queued connections, and joins every thread.
-    /// Requests already in flight complete normally.
+    /// Stops accepting, drains in-flight requests (bounded), and joins
+    /// every thread.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
 
     fn stop_threads(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // Kick the reactor out of its wait so it notices the flag.
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        // The reactor's exit dropped the only job sender, so the batcher
+        // drains its queue and exits.
         if let Some(batcher) = self.batcher.take() {
             let _ = batcher.join();
         }
@@ -243,499 +262,5 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_threads();
-    }
-}
-
-/// Accepts connections and feeds the bounded queue, shedding with 503 when
-/// the queue is full.
-fn accept_loop(
-    listener: &TcpListener,
-    conn_tx: &SyncSender<(TcpStream, Instant)>,
-    shutdown: &AtomicBool,
-    metrics: &Metrics,
-) {
-    for conn in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        // Fault site: a scheduled panic kills the accept thread between
-        // connections; the supervisor respawns it and `incoming()` resumes
-        // on the same listener, so no port is ever abandoned.
-        ifair::api::faults::check_panic("serve.accept");
-        match conn {
-            Ok(stream) => match conn_tx.try_send((stream, Instant::now())) {
-                Ok(()) => {}
-                Err(TrySendError::Full((mut stream, _))) => {
-                    metrics.observe_rejected();
-                    let _ = write_response(
-                        &mut stream,
-                        503,
-                        "application/json",
-                        b"{\"error\":\"request queue is full\"}",
-                    );
-                }
-                Err(TrySendError::Disconnected(_)) => break,
-            },
-            // Transient accept errors (e.g. the peer vanished between
-            // accept and handshake) are not fatal to the server.
-            Err(_) => continue,
-        }
-    }
-}
-
-/// One HTTP worker: pop connections off the shared queue until it closes.
-fn worker_loop(
-    conn_rx: &Mutex<Receiver<(TcpStream, Instant)>>,
-    registry: &ModelRegistry,
-    metrics: &Metrics,
-    job_tx: &SyncSender<Job>,
-) {
-    loop {
-        let conn = {
-            // `recover_lock`, not `lock().expect(...)`: a worker that
-            // panicked while holding this guard (see the fault site below)
-            // poisons the mutex, and its supervised replacement — plus every
-            // sibling — must keep draining the queue regardless.
-            let guard = recover_lock(conn_rx);
-            // Fault site: a panic here poisons the connection-queue mutex,
-            // proving the recovery path above under chaos.
-            ifair::api::faults::check_panic("serve.http-worker.locked");
-            guard.recv()
-        };
-        match conn {
-            Ok((stream, accepted_at)) => {
-                // Fault site: a panic between dequeue and handling kills the
-                // worker (connection dropped); the supervisor respawns it.
-                ifair::api::faults::check_panic("serve.http-worker");
-                handle_connection(stream, accepted_at, registry, metrics, job_tx);
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// A fully-formed HTTP reply plus the bookkeeping the metrics need.
-struct Reply {
-    status: u16,
-    content_type: &'static str,
-    body: Vec<u8>,
-    endpoint: Endpoint,
-    /// Data rows in the response (transform/predict only).
-    rows: usize,
-    /// `Retry-After` seconds; set on shed 503s so well-behaved clients back
-    /// off instead of hammering a saturated server.
-    retry_after: Option<u64>,
-}
-
-impl Reply {
-    fn json(status: u16, body: Vec<u8>, endpoint: Endpoint, rows: usize) -> Reply {
-        Reply {
-            status,
-            content_type: "application/json",
-            body,
-            endpoint,
-            rows,
-            retry_after: None,
-        }
-    }
-
-    fn error(status: u16, endpoint: Endpoint, message: &str) -> Reply {
-        let body = serde_json::to_string(&ErrorResponse {
-            error: message.to_string(),
-        })
-        .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
-        Reply::json(status, body.into_bytes(), endpoint, 0)
-    }
-
-    /// The load-shedding 503: deadline budget exhausted before compute.
-    fn shed(endpoint: Endpoint) -> Reply {
-        let mut reply = Reply::error(
-            503,
-            endpoint,
-            "deadline budget exhausted before compute; request shed",
-        );
-        reply.retry_after = Some(RETRY_AFTER_SECS);
-        reply
-    }
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
-    accepted_at: Instant,
-    registry: &ModelRegistry,
-    metrics: &Metrics,
-    job_tx: &SyncSender<Job>,
-) {
-    let _ = stream.set_nodelay(true);
-    // A connection whose timeouts cannot be armed is a liability: without a
-    // read timeout a slowloris client parks this worker forever, without a
-    // write timeout a client that stops reading wedges it in write_all. If
-    // either knob fails, count it and drop the connection rather than serve
-    // it unguarded.
-    if let Err(e) = stream
-        .set_read_timeout(Some(READ_TIMEOUT))
-        .and_then(|()| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
-    {
-        metrics.observe_socket_config_error();
-        let _ = write_response(
-            &mut stream,
-            500,
-            "application/json",
-            format!("{{\"error\":\"socket configuration failed: {e}\"}}").as_bytes(),
-        );
-        return;
-    }
-    let request = {
-        let mut reader = BufReader::new(&mut stream);
-        read_request(&mut reader)
-    };
-    let reply = match request {
-        Ok(request) => match parse_deadline(&request, accepted_at) {
-            Ok(deadline) => dispatch(&request, deadline, registry, metrics, job_tx),
-            Err(msg) => Reply::error(400, Endpoint::Other, &msg),
-        },
-        // Nothing arrived (health-checker port probe, client gave up):
-        // nothing to answer, nothing to count.
-        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
-        Err(HttpError::TooLarge(_)) => Reply::error(413, Endpoint::Other, "request body too large"),
-        Err(HttpError::Malformed(msg)) => Reply::error(400, Endpoint::Other, &msg),
-    };
-    let extra: Vec<(&str, String)> = reply
-        .retry_after
-        .map(|secs| ("Retry-After", secs.to_string()))
-        .into_iter()
-        .collect();
-    let _ = write_response_with(
-        &mut stream,
-        reply.status,
-        reply.content_type,
-        &extra,
-        &reply.body,
-    );
-    metrics.observe(
-        reply.endpoint,
-        reply.rows,
-        accepted_at.elapsed(),
-        reply.status,
-    );
-}
-
-/// Resolves the [`DEADLINE_HEADER`] into an absolute deadline, anchored at
-/// the accept timestamp so queue wait spends the budget too.
-fn parse_deadline(request: &Request, accepted_at: Instant) -> Result<Option<Instant>, String> {
-    match request.header(DEADLINE_HEADER) {
-        None => Ok(None),
-        Some(raw) => match raw.parse::<u64>() {
-            Ok(ms) => Ok(Some(accepted_at + Duration::from_millis(ms))),
-            Err(_) => Err(format!(
-                "invalid {DEADLINE_HEADER}: {raw:?} (want milliseconds as a non-negative integer)"
-            )),
-        },
-    }
-}
-
-/// Routes one parsed request to its handler. The deadline applies only to
-/// the compute endpoints — `/healthz`, `/metrics` and `/admin/*` always
-/// answer, so operators can observe a saturated server while it sheds.
-fn dispatch(
-    request: &Request,
-    deadline: Option<Instant>,
-    registry: &ModelRegistry,
-    metrics: &Metrics,
-    job_tx: &SyncSender<Job>,
-) -> Reply {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => health(registry),
-        ("GET", "/metrics") => Reply {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: metrics
-                .render(
-                    registry.len(),
-                    registry.generation(),
-                    &registry.precision_labels(),
-                )
-                .into_bytes(),
-            endpoint: Endpoint::Other,
-            rows: 0,
-            retry_after: None,
-        },
-        ("POST", "/admin/reload") => reload(registry),
-        // Known paths with the wrong method are 405, not 404 — and this arm
-        // must sit above the generic POST arm or `POST /healthz` would fall
-        // through to it and report "no route".
-        (_, path @ ("/healthz" | "/metrics" | "/admin/reload")) => Reply::error(
-            405,
-            Endpoint::Other,
-            &format!("{path} does not accept {}", request.method),
-        ),
-        ("POST", path) => match parse_model_path(path) {
-            Some((name, op)) => {
-                model_request(name, op, request, deadline, registry, metrics, job_tx)
-            }
-            None => Reply::error(404, Endpoint::Other, &format!("no route for {path}")),
-        },
-        (_, path) => Reply::error(404, Endpoint::Other, &format!("no route for {path}")),
-    }
-}
-
-/// Extracts `(name, op)` from `/v1/models/{name}/transform|predict`.
-fn parse_model_path(path: &str) -> Option<(&str, Op)> {
-    let rest = path.strip_prefix("/v1/models/")?;
-    let (name, op) = rest.split_once('/')?;
-    if name.is_empty() {
-        return None;
-    }
-    match op {
-        "transform" => Some((name, Op::Transform)),
-        "predict" => Some((name, Op::Predict)),
-        _ => None,
-    }
-}
-
-fn health(registry: &ModelRegistry) -> Reply {
-    let body = serde_json::to_string(&HealthResponse {
-        status: "ok".into(),
-        models: registry.names(),
-        generation: registry.generation(),
-    })
-    .expect("health response serializes");
-    Reply::json(200, body.into_bytes(), Endpoint::Other, 0)
-}
-
-fn reload(registry: &ModelRegistry) -> Reply {
-    match registry.reload() {
-        Ok(report) => {
-            let body = serde_json::to_string(&ReloadResponse {
-                generation: report.generation,
-                models: report.models,
-            })
-            .expect("reload response serializes");
-            Reply::json(200, body.into_bytes(), Endpoint::Other, 0)
-        }
-        Err(e) => Reply::error(500, Endpoint::Other, &format!("reload failed: {e}")),
-    }
-}
-
-/// Validates a transform/predict request, enqueues it, and waits for the
-/// batcher's reply — no longer than the request's deadline budget allows.
-fn model_request(
-    name: &str,
-    op: Op,
-    request: &Request,
-    deadline: Option<Instant>,
-    registry: &ModelRegistry,
-    metrics: &Metrics,
-    job_tx: &SyncSender<Job>,
-) -> Reply {
-    let endpoint = match op {
-        Op::Transform => Endpoint::Transform,
-        Op::Predict => Endpoint::Predict,
-    };
-    // Load shedding, part 1: the budget may already be gone — this request
-    // sat in the connection queue (or trickled its bytes in) past its own
-    // deadline. Shed now, before any parsing or compute is spent on it.
-    if deadline.is_some_and(|d| Instant::now() >= d) {
-        metrics.observe_shed();
-        return Reply::shed(endpoint);
-    }
-    let body = match request.body_utf8() {
-        Ok(body) => body,
-        Err(e) => return Reply::error(400, endpoint, &e.to_string()),
-    };
-    let parsed: RowsRequest = match serde_json::from_str(body) {
-        Ok(parsed) => parsed,
-        Err(e) => return Reply::error(400, endpoint, &format!("invalid request body: {e}")),
-    };
-    if parsed.rows.is_empty() {
-        return Reply::error(400, endpoint, "request has no rows");
-    }
-    let width = parsed.rows[0].len();
-    if width == 0 || parsed.rows.iter().any(|r| r.len() != width) {
-        return Reply::error(400, endpoint, "rows must be non-empty and rectangular");
-    }
-    let Some(model) = registry.get(name) else {
-        return Reply::error(404, endpoint, &format!("no model named `{name}`"));
-    };
-    if let Some(expected) = model.artifact.n_input_features() {
-        if width != expected {
-            return Reply::error(
-                400,
-                endpoint,
-                &format!("rows have {width} features but model `{name}` expects {expected}"),
-            );
-        }
-    }
-    if op == Op::Predict && !model.artifact.has_predictor() {
-        return Reply::error(
-            400,
-            endpoint,
-            &format!("model `{name}` has no predictor stage; use transform"),
-        );
-    }
-    let group = parsed.group.unwrap_or_default();
-    if !group.is_empty() && group.len() != parsed.rows.len() {
-        return Reply::error(
-            400,
-            endpoint,
-            &format!(
-                "group has {} entries but the request has {} rows",
-                group.len(),
-                parsed.rows.len()
-            ),
-        );
-    }
-    // Reject out-of-range group labels here, per request: an LFR stage would
-    // reject them mid-batch, failing the whole coalesced micro-batch and
-    // punishing innocent co-batched requests with a 500.
-    if let Some(&bad) = group.iter().find(|&&g| g > 1) {
-        return Reply::error(
-            400,
-            endpoint,
-            &format!("group labels must be 0 or 1, got {bad}"),
-        );
-    }
-
-    let n_rows = parsed.rows.len();
-    let (reply_tx, reply_rx) = sync_channel(1);
-    let cancelled = Arc::new(AtomicBool::new(false));
-    let job = Job {
-        model,
-        op,
-        rows: parsed.rows,
-        group,
-        deadline,
-        cancelled: Arc::clone(&cancelled),
-        reply: reply_tx,
-    };
-    if job_tx.send(job).is_err() {
-        return Reply::error(503, endpoint, "server is shutting down");
-    }
-    // Wait no longer than the remaining budget (capped by REPLY_TIMEOUT).
-    let wait = deadline.map_or(REPLY_TIMEOUT, |d| {
-        d.saturating_duration_since(Instant::now())
-            .min(REPLY_TIMEOUT)
-    });
-    match reply_rx.recv_timeout(wait) {
-        Ok(Ok(JobOutput::Rows(rows))) => {
-            let body = serde_json::to_string(&TransformResponse {
-                model: name.to_string(),
-                rows,
-            })
-            .expect("transform response serializes");
-            Reply::json(200, body.into_bytes(), endpoint, n_rows)
-        }
-        Ok(Ok(JobOutput::Scored { scores, decisions })) => {
-            let body = serde_json::to_string(&PredictResponse {
-                model: name.to_string(),
-                scores,
-                decisions,
-            })
-            .expect("predict response serializes");
-            Reply::json(200, body.into_bytes(), endpoint, n_rows)
-        }
-        // Load shedding, part 2: the batcher found the deadline expired at
-        // gather time and shed the job before compute.
-        Ok(Err(JobError::DeadlineExceeded)) => {
-            metrics.observe_shed();
-            Reply::shed(endpoint)
-        }
-        Ok(Err(JobError::Failed(msg))) => Reply::error(500, endpoint, &msg),
-        Err(_) => {
-            // Whatever happens to this job now, nobody is listening: mark it
-            // cancelled so the batcher drops it at gather or scatter instead
-            // of computing into (or blocking on) a dead channel.
-            cancelled.store(true, Ordering::SeqCst);
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                // Compute started (or the queue stalled) and the budget ran
-                // out mid-wait: the request is late, not shed-before-work.
-                metrics.observe_deadline_exceeded();
-                Reply::error(504, endpoint, "deadline exceeded while awaiting inference")
-            } else {
-                metrics.observe_timed_out();
-                Reply::error(500, endpoint, "inference timed out")
-            }
-        }
-    }
-}
-
-// ----------------------------------------------------------------- wire types
-
-/// Body of `POST /v1/models/{name}/transform` and `.../predict`.
-#[derive(Debug, Deserialize)]
-struct RowsRequest {
-    /// Feature rows, all of the model's input width.
-    rows: Vec<Vec<f64>>,
-    /// Optional per-row protected-group membership (0/1); only the LFR
-    /// stage reads it. Defaults to all zeros.
-    #[serde(default)]
-    group: Option<Vec<u8>>,
-}
-
-/// Body of a successful transform response.
-#[derive(Debug, Serialize)]
-struct TransformResponse {
-    model: String,
-    rows: Vec<Vec<f64>>,
-}
-
-/// Body of a successful predict response.
-#[derive(Debug, Serialize)]
-struct PredictResponse {
-    model: String,
-    /// `predict_proba` of the terminal predictor.
-    scores: Vec<f64>,
-    /// `predict` (hard decisions) of the terminal predictor.
-    decisions: Vec<f64>,
-}
-
-/// Body of every error response.
-#[derive(Debug, Serialize)]
-struct ErrorResponse {
-    error: String,
-}
-
-/// Body of `GET /healthz`.
-#[derive(Debug, Serialize)]
-struct HealthResponse {
-    status: String,
-    models: Vec<String>,
-    generation: u64,
-}
-
-/// Body of a successful `POST /admin/reload`.
-#[derive(Debug, Serialize)]
-struct ReloadResponse {
-    generation: u64,
-    models: Vec<String>,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn model_paths_parse() {
-        assert_eq!(
-            parse_model_path("/v1/models/credit/transform"),
-            Some(("credit", Op::Transform))
-        );
-        assert_eq!(
-            parse_model_path("/v1/models/m2/predict"),
-            Some(("m2", Op::Predict))
-        );
-        assert_eq!(parse_model_path("/v1/models//transform"), None);
-        assert_eq!(parse_model_path("/v1/models/m/evaluate"), None);
-        assert_eq!(parse_model_path("/v2/models/m/transform"), None);
-        assert_eq!(parse_model_path("/v1/models/m"), None);
-    }
-
-    #[test]
-    fn rows_request_accepts_optional_group() {
-        let r: RowsRequest = serde_json::from_str(r#"{"rows":[[1.0,2.0]]}"#).unwrap();
-        assert!(r.group.is_none());
-        let r: RowsRequest = serde_json::from_str(r#"{"rows":[[1.0,2.0]],"group":[1]}"#).unwrap();
-        assert_eq!(r.group, Some(vec![1]));
-        assert!(serde_json::from_str::<RowsRequest>(r#"{"group":[1]}"#).is_err());
     }
 }

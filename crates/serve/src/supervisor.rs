@@ -1,19 +1,20 @@
 //! Thread supervision: panics respawn, clean exits end.
 //!
-//! Every long-lived server thread — the accept loop, each HTTP worker, the
-//! batcher — runs under `supervise`: its body executes inside
+//! Both long-lived server threads — the event-loop reactor and the
+//! batcher — run under `supervise`: the body executes inside
 //! `catch_unwind`, a clean return ends the thread (shutdown, queue
 //! disconnect), and a panic respawns the body in place after bumping the
 //! per-kind restart counter surfaced as `ifair_thread_restarts_total` in
-//! `/metrics`. One panicking request can therefore never silently reduce
-//! the server's thread complement.
+//! `/metrics`. One panicking request can therefore never silently take
+//! the server down.
 //!
-//! The module also owns `recover_lock`: shared-state mutexes
-//! (connection queue, job queue, latency ring) are *recovered* when
-//! poisoned, never propagated — the protected state is a queue or a ring
-//! whose invariants hold between operations, so the panic of a previous
-//! holder does not make the data unusable, and taking a worker down with
-//! it would turn one failed request into a capacity loss.
+//! The module also owns `recover_lock`: shared-state mutexes (the
+//! reactor's connection table, the job queue, the latency ring) are
+//! *recovered* when poisoned, never propagated — the protected state
+//! keeps its invariants between operations (the reactor only panics at
+//! designated consistent points; see `reactor.rs`), so the panic of a
+//! previous holder does not make the data unusable, and refusing the
+//! lock would turn one failed request into a dead server.
 
 use crate::metrics::Metrics;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -24,10 +25,8 @@ use std::thread::JoinHandle;
 /// Which supervised thread a restart counter belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadKind {
-    /// The accept loop feeding the connection queue.
-    Accept,
-    /// An HTTP worker (request parsing, validation, response writing).
-    HttpWorker,
+    /// The event-loop reactor (accepting, parsing, dispatch, writing).
+    Reactor,
     /// The micro-batching compute thread.
     Batcher,
 }
@@ -36,8 +35,7 @@ impl ThreadKind {
     /// The `kind` label value in `ifair_thread_restarts_total{kind="..."}`.
     pub fn label(self) -> &'static str {
         match self {
-            ThreadKind::Accept => "accept",
-            ThreadKind::HttpWorker => "http-worker",
+            ThreadKind::Reactor => "reactor",
             ThreadKind::Batcher => "batcher",
         }
     }
@@ -106,7 +104,7 @@ mod tests {
             let runs = Arc::clone(&runs);
             supervise(
                 "sup-panicky".into(),
-                ThreadKind::HttpWorker,
+                ThreadKind::Reactor,
                 Arc::clone(&shutdown),
                 Arc::clone(&metrics),
                 move || {
@@ -119,7 +117,7 @@ mod tests {
         };
         handle.join().unwrap();
         assert_eq!(runs.load(Ordering::SeqCst), 3);
-        assert_eq!(metrics.thread_restarts(ThreadKind::HttpWorker), 2);
+        assert_eq!(metrics.thread_restarts(ThreadKind::Reactor), 2);
     }
 
     #[test]
@@ -128,13 +126,13 @@ mod tests {
         let shutdown = Arc::new(AtomicBool::new(true));
         let handle = supervise(
             "sup-shutdown".into(),
-            ThreadKind::Accept,
+            ThreadKind::Reactor,
             Arc::clone(&shutdown),
             Arc::clone(&metrics),
             || panic!("injected during shutdown"),
         );
         handle.join().unwrap();
-        assert_eq!(metrics.thread_restarts(ThreadKind::Accept), 0);
+        assert_eq!(metrics.thread_restarts(ThreadKind::Reactor), 0);
     }
 
     #[test]

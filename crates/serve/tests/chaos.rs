@@ -19,6 +19,8 @@ use ifair::Pipeline;
 use ifair_serve::client::{self, RetryPolicy};
 use ifair_serve::supervisor::ThreadKind;
 use ifair_serve::{ModelRegistry, ModelSpec, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -84,9 +86,9 @@ fn boot(path: &std::path::Path) -> ifair_serve::ServerHandle {
         registry,
         ServerConfig {
             n_threads: 1,
-            http_workers: 2,
             queue_capacity: 32,
             max_batch_rows: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap()
@@ -151,17 +153,17 @@ fn chaos_storm(seed: u64) {
     const ROUNDS: u64 = 40;
     let mut plan = FaultPlan::new(seed);
     // Each site faults once, at a call number drawn from the seed. Call
-    // counters only advance when traffic reaches the site, so the draws
-    // stay within the early rounds to guarantee every fault really fires.
-    let worker_call = plan.draw(2, 10);
-    let locked_call = plan.draw(12, 20);
+    // counters only advance when traffic reaches the site — the reactor's
+    // panic site ticks once per event-loop wakeup, the batcher's once per
+    // batch — so the draws stay within the early rounds to guarantee every
+    // fault really fires.
+    let reactor_call = plan.draw(4, 12);
     let batcher_call = plan.draw(2, 10);
     let compute_call = plan.draw(12, 20);
     let torn_call = plan.draw(2, 20);
     let read_delay_call = plan.draw(2, 20);
     let plan = plan
-        .panic_on("serve.http-worker", &[worker_call])
-        .panic_on("serve.http-worker.locked", &[locked_call])
+        .panic_on("serve.reactor", &[reactor_call])
         .panic_on("serve.batcher", &[batcher_call])
         .panic_on("serve.batch.compute", &[compute_call])
         .torn_write_on("serve.conn.write", &[torn_call])
@@ -191,8 +193,7 @@ fn chaos_storm(seed: u64) {
 
     // Every scheduled fault actually fired (the schedule wasn't skipped).
     for site in [
-        "serve.http-worker",
-        "serve.http-worker.locked",
+        "serve.reactor",
         "serve.batcher",
         "serve.batch.compute",
         "serve.conn.write",
@@ -208,8 +209,8 @@ fn chaos_storm(seed: u64) {
 
     // The supervisors counted their respawns...
     assert!(
-        await_restarts(&handle, ThreadKind::HttpWorker, 2) >= 2,
-        "seed {seed}: worker restarts missing"
+        await_restarts(&handle, ThreadKind::Reactor, 1) >= 1,
+        "seed {seed}: reactor restart missing"
     );
     assert!(
         await_restarts(&handle, ThreadKind::Batcher, 1) >= 1,
@@ -219,7 +220,7 @@ fn chaos_storm(seed: u64) {
     let (status, rendered) = client::get(addr, "/metrics").unwrap();
     assert_eq!(status, 200);
     assert!(
-        rendered.contains("ifair_thread_restarts_total{kind=\"http-worker\"}"),
+        rendered.contains("ifair_thread_restarts_total{kind=\"reactor\"}"),
         "{rendered}"
     );
 
@@ -267,8 +268,7 @@ fn each_thread_kind_respawns_after_a_kill() {
     let path = write_artifact("respawn", 3);
 
     for (site, kind) in [
-        ("serve.accept", ThreadKind::Accept),
-        ("serve.http-worker", ThreadKind::HttpWorker),
+        ("serve.reactor", ThreadKind::Reactor),
         ("serve.batcher", ThreadKind::Batcher),
     ] {
         let handle = boot(&path);
@@ -312,23 +312,24 @@ fn each_thread_kind_respawns_after_a_kill() {
     std::fs::remove_file(&path).ok();
 }
 
-/// A worker killed while holding the connection-queue lock poisons it; the
-/// respawned worker (and every sibling) must recover the lock and keep
-/// serving rather than cascading the panic.
+/// The reactor panics while holding the shared reactor-state mutex (it
+/// holds it for the whole loop), poisoning it; the respawned loop must
+/// recover the lock — connections, poller, and completion queue intact —
+/// and keep serving rather than cascading the panic forever.
 #[test]
-fn poisoned_connection_queue_is_recovered_not_fatal() {
+fn poisoned_reactor_state_is_recovered_not_fatal() {
     let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     let path = write_artifact("poison", 3);
     let handle = boot(&path);
     let addr = handle.addr();
     let reference = healthy_bits(addr);
 
-    faults::install(FaultPlan::new(5).panic_on("serve.http-worker.locked", &[2]));
-    // First post-install connection dequeues fine (call 1); the second
-    // visit panics inside the guard and poisons the mutex.
+    faults::install(FaultPlan::new(5).panic_on("serve.reactor", &[2]));
+    // The first post-install wakeup passes (call 1); a later wakeup panics
+    // mid-loop with the state mutex held, poisoning it.
     let _ = fire(addr);
     let _ = fire(addr);
-    assert_eq!(faults::fault_count("serve.http-worker.locked"), 1);
+    assert_eq!(faults::fault_count("serve.reactor"), 1);
     faults::clear();
 
     for _ in 0..4 {
@@ -336,7 +337,7 @@ fn poisoned_connection_queue_is_recovered_not_fatal() {
         assert_eq!(status, 200, "{body}");
         assert_eq!(body, reference, "post-poison bits diverged");
     }
-    assert!(await_restarts(&handle, ThreadKind::HttpWorker, 1) >= 1);
+    assert!(await_restarts(&handle, ThreadKind::Reactor, 1) >= 1);
     handle.shutdown();
     std::fs::remove_file(&path).ok();
 }
@@ -417,6 +418,112 @@ fn retry_policy_rides_out_torn_writes() {
     assert_eq!(body, reference, "post-tear bits diverged");
     assert_eq!(faults::fault_count("serve.conn.write"), 1);
     faults::clear();
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Reads `n` Content-Length-framed responses off one socket, in arrival
+/// order, returning `(status, body)` pairs.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<(u16, String)> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        // Frame as many responses as the buffer already holds.
+        while let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8(buf[..header_end].to_vec()).unwrap();
+            let status: u16 = head
+                .split_whitespace()
+                .nth(1)
+                .expect("status line")
+                .parse()
+                .expect("numeric status");
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    if name.eq_ignore_ascii_case("content-length") {
+                        value.trim().parse().ok()
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or(0);
+            let total = header_end + 4 + content_length;
+            if buf.len() < total {
+                break;
+            }
+            let body = String::from_utf8(buf[header_end + 4..total].to_vec()).unwrap();
+            out.push((status, body));
+            buf.drain(..total);
+            if out.len() == n {
+                return out;
+            }
+        }
+        let got = stream.read(&mut scratch).expect("mid-pipeline read");
+        assert!(got > 0, "connection closed before all responses arrived");
+        buf.extend_from_slice(&scratch[..got]);
+    }
+}
+
+/// The ISSUE satellite: a reactor panic mid-pipeline must not lose or
+/// cross-wire connections. Two keep-alive connections each pipeline three
+/// distinct requests; the panic fires while they are in flight; every
+/// connection still receives its own three responses, in order,
+/// bit-identical to a healthy run, and the restart is counted.
+#[test]
+fn reactor_panic_mid_pipeline_keeps_connections_and_order() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let path = write_artifact("pipeline", 3);
+    let handle = boot(&path);
+    let addr = handle.addr();
+
+    // Three distinct payloads, so an answer delivered to the wrong request
+    // (or the wrong connection) cannot be bit-identical by accident.
+    let bodies: Vec<String> = (0..3)
+        .map(|i| format!("{{\"rows\":[[0.{i}1,0.5,1.0],[0.3,0.{i}2,0.0]]}}"))
+        .collect();
+    let references: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let (status, reply) = client::post(addr, "/v1/models/m/transform", body).unwrap();
+            assert_eq!(status, 200, "{reply}");
+            reply
+        })
+        .collect();
+    assert_ne!(references[0], references[1], "payloads not distinct");
+
+    // The reactor ticks its panic site once per wakeup; two connects plus
+    // their reads guarantee call 2 lands while the pipeline is in flight.
+    faults::install(FaultPlan::new(11).panic_on("serve.reactor", &[2]));
+    let mut conns: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    for stream in &mut conns {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut wire = String::new();
+        for body in &bodies {
+            wire.push_str(&format!(
+                "POST /v1/models/m/transform HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ));
+        }
+        stream.write_all(wire.as_bytes()).unwrap();
+    }
+
+    for (c, stream) in conns.iter_mut().enumerate() {
+        let got = read_responses(stream, 3);
+        for (i, (status, body)) in got.iter().enumerate() {
+            assert_eq!(*status, 200, "conn {c} response {i}: {body}");
+            assert_eq!(
+                body, &references[i],
+                "conn {c} response {i} out of order or cross-wired"
+            );
+        }
+    }
+    assert_eq!(faults::fault_count("serve.reactor"), 1, "panic never fired");
+    faults::clear();
+    assert!(await_restarts(&handle, ThreadKind::Reactor, 1) >= 1);
     handle.shutdown();
     std::fs::remove_file(&path).ok();
 }

@@ -141,9 +141,9 @@ fn health_and_metrics_answer_while_transforms_shed() {
         &path,
         ServerConfig {
             n_threads: 1,
-            http_workers: 1,
             queue_capacity: 64,
             max_batch_rows: 64,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.addr();
