@@ -172,6 +172,62 @@ pub fn schema_error(message: impl Into<String>) -> FitError {
     FitError::Data(DataError::Schema(message.into()))
 }
 
+/// Everything that can go wrong while certifying a fitted representation
+/// (the interval-bound certification pass of `ifair_core::certify`).
+///
+/// Kept separate from [`FitError`] because the failure surface is
+/// different: a certify request can be malformed (bad ε) or aimed at an
+/// artifact with no representation space — neither is a fitting problem,
+/// and serving layers map the variants to distinct HTTP statuses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertifyError {
+    /// The requested perturbation radius ε (or certification threshold δ)
+    /// is unusable: negative, non-finite, or otherwise malformed.
+    Epsilon(String),
+    /// The artifact has no representation space to certify — e.g. its
+    /// terminal stage is a bare predictor, or the representation stage is
+    /// a method the certifier does not support.
+    Unsupported(String),
+    /// The input data or model state is unusable (width mismatch,
+    /// non-finite rows, serialization failure, ...).
+    Model(FitError),
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Epsilon(msg) => write!(f, "invalid certification radius: {msg}"),
+            CertifyError::Unsupported(msg) => write!(f, "certification unsupported: {msg}"),
+            CertifyError::Model(e) => write!(f, "certification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CertifyError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for CertifyError {
+    fn from(e: FitError) -> Self {
+        CertifyError::Model(e)
+    }
+}
+
+/// Validates a perturbation radius ε: finite and non-negative.
+pub fn check_epsilon(eps: f64) -> Result<(), CertifyError> {
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(CertifyError::Epsilon(format!(
+            "eps must be a finite non-negative number, got {eps}"
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,7 +47,8 @@ pub mod scalers;
 pub mod traits;
 
 pub use error::{
-    check_group_labels, check_width, ensure, schema_error, shape_error, ConfigError, FitError,
+    check_epsilon, check_group_labels, check_width, ensure, schema_error, shape_error,
+    CertifyError, ConfigError, FitError,
 };
 pub use persist::{
     from_versioned_json, peek_artifact, to_versioned_json, write_atomic, ArtifactInfo,

@@ -52,6 +52,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod checkpoint;
 pub mod config;
 pub mod distance;
@@ -62,13 +63,14 @@ pub mod model_f32;
 pub mod objective;
 pub mod par;
 
+pub use certify::{BoxCertificate, CertMethod, Certificate, DatasetCertification};
 pub use checkpoint::FitCheckpoint;
 pub use config::{
     FairnessDistance, FairnessPairs, FitStrategy, IFairConfig, InitStrategy, SoftmaxDistance,
 };
 pub use dp::DpDataSpec;
 pub use estimator::IFairBuilder;
-pub use ifair_api::{ConfigError, Estimator, FitError, Predict, Transform};
+pub use ifair_api::{CertifyError, ConfigError, Estimator, FitError, Predict, Transform};
 pub use ifair_linalg::{Backend, Precision};
 pub use model::{EpochEvent, FitControl, IFair, RestartEvent, TrainingReport};
 pub use model_f32::IFairF32;

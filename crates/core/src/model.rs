@@ -861,6 +861,56 @@ impl IFair {
         ifair_api::from_versioned_json(MODEL_KIND, json)
     }
 
+    /// Assembles a model from explicit parameters, bypassing training —
+    /// the certification battery uses this to construct degenerate
+    /// geometries (duplicate prototypes, zero-weight dimensions) no
+    /// optimizer run would produce. Shapes and config are validated; the
+    /// training report records a single synthetic zero-iteration restart.
+    pub fn from_parts(
+        prototypes: Matrix,
+        alpha: Vec<f64>,
+        protected: Vec<bool>,
+        config: IFairConfig,
+    ) -> Result<IFair, FitError> {
+        config.validate()?;
+        let (k, n) = prototypes.shape();
+        if k == 0 || n == 0 {
+            return Err(shape_error("prototypes must be a non-empty K x N matrix"));
+        }
+        if alpha.len() != n {
+            return Err(shape_error(format!(
+                "alpha has length {} but prototypes have {n} columns",
+                alpha.len()
+            )));
+        }
+        check_protected(&protected, n)?;
+        if prototypes.as_slice().iter().any(|v| !v.is_finite())
+            || alpha.iter().any(|v| !v.is_finite())
+        {
+            return Err(shape_error("prototypes and alpha must be finite"));
+        }
+        let report = TrainingReport {
+            restarts: vec![RestartReport {
+                seed: config.seed,
+                loss: 0.0,
+                iterations: 0,
+                n_evals: 0,
+                converged: false,
+                termination: Termination::MaxIterations,
+            }],
+            best_restart: 0,
+            n_pairs: 0,
+            n_pairs_requested: None,
+        };
+        Ok(IFair {
+            prototypes,
+            alpha,
+            protected,
+            config,
+            report,
+        })
+    }
+
     /// Creates a fluent builder over [`IFairConfig::default`] — the
     /// ergonomic front door of the estimator API:
     ///

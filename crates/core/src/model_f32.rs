@@ -75,6 +75,26 @@ impl IFairF32 {
         Precision::F32
     }
 
+    /// Row-major `K x N` prototype storage (for the certification kernel).
+    pub(crate) fn prototypes_f32(&self) -> &[f32] {
+        &self.prototypes
+    }
+
+    /// Clamped non-negative attribute weights (for the certification kernel).
+    pub(crate) fn alpha_f32(&self) -> &[f32] {
+        &self.alpha
+    }
+
+    /// The Minkowski order `p` as stored (for the certification kernel).
+    pub(crate) fn p_f32(&self) -> f32 {
+        self.p
+    }
+
+    /// Which distance feeds the softmax (for the certification kernel).
+    pub(crate) fn softmax_distance(&self) -> SoftmaxDistance {
+        self.softmax_distance
+    }
+
     /// Applies the learned mapping to `x` (`? x N`) with all intermediates
     /// in `f32`, fanning the row loop out over `pool` exactly like
     /// [`IFair::transform_on`] (same fixed chunk layout; bit-identical for

@@ -6,9 +6,9 @@
 //! [`ifair::api::peek_artifact`], picks the deserializer, so a registry can
 //! mix both in one server.
 
-use ifair::api::{peek_artifact, shape_error, ConfigError, FitError};
+use ifair::api::{peek_artifact, shape_error, CertifyError, ConfigError, FitError};
 use ifair::core::par::WorkerPool;
-use ifair::core::{IFair, Precision};
+use ifair::core::{Certificate, IFair, Precision};
 use ifair::data::Dataset;
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
@@ -110,6 +110,41 @@ impl Artifact {
                 "model",
                 "a bare iFair model has no predictor stage; serve a pipeline or call transform",
             ))),
+        }
+    }
+
+    /// Whether [`Artifact::certify`] can succeed: the artifact exposes an
+    /// iFair representation space (a bare model, or a pipeline whose last
+    /// transform stage is iFair behind scalers). Handlers check this before
+    /// dispatch so a certify request against a bare-predictor chain is a
+    /// typed 400, not a batch-time failure.
+    pub fn can_certify(&self) -> bool {
+        match self {
+            Artifact::Pipeline(p) => p.can_certify(),
+            Artifact::Model(_) => true,
+        }
+    }
+
+    /// Certifies each request row: a sound bound δ on the representation
+    /// distance any input within `[row − ε, row + ε]` (raw request space)
+    /// can reach. Rides the same pool and precision contract as
+    /// [`Artifact::transform`]; certificates are bit-identical to the
+    /// in-process `Pipeline::certify_rows` / `IFair::certify_rows` calls
+    /// for every pool size.
+    pub fn certify(
+        &self,
+        rows: Matrix,
+        eps: f64,
+        pool: Option<&WorkerPool>,
+        precision: Precision,
+    ) -> Result<Vec<Certificate>, CertifyError> {
+        self.check_width(&rows).map_err(CertifyError::Model)?;
+        match self {
+            Artifact::Pipeline(p) => p.certify_rows(&rows, eps, pool, precision),
+            Artifact::Model(m) => match precision {
+                Precision::F64 => m.certify_rows(&rows, eps, pool),
+                Precision::F32 => m.to_f32().certify_rows(&rows, eps, pool),
+            },
         }
     }
 

@@ -30,6 +30,14 @@ pub(crate) enum Op {
     Transform,
     /// Run the full chain and score with the terminal predictor.
     Predict,
+    /// Certify each row's ε-box. Carries the radius as raw bits so the op
+    /// stays `Copy + Eq` and only jobs with the **same** ε coalesce — a
+    /// stacked certify pass is row-independent and ε-uniform, so batching
+    /// stays bit-identical to per-request calls.
+    Certify {
+        /// `f64::to_bits` of the (validated, finite, non-negative) radius.
+        eps_bits: u64,
+    },
 }
 
 /// What a completed job hands back to its connection handler.
@@ -44,6 +52,8 @@ pub(crate) enum JobOutput {
         /// Hard decisions, one per input row.
         decisions: Vec<f64>,
     },
+    /// Per-row fairness certificates, one per input row.
+    Certified(Vec<ifair::Certificate>),
 }
 
 /// Why a job came back without an output.
@@ -197,6 +207,16 @@ fn execute_group(pool: &WorkerPool, mut jobs: Vec<Job>) {
                 .predict(matrix, group, Some(pool), model.precision)
                 .map(|(scores, decisions)| BatchOutput::Scored { scores, decisions })
                 .map_err(|e| e.to_string()),
+            Op::Certify { eps_bits } => model
+                .artifact
+                .certify(
+                    matrix,
+                    f64::from_bits(eps_bits),
+                    Some(pool),
+                    model.precision,
+                )
+                .map(BatchOutput::Certified)
+                .map_err(|e| e.to_string()),
         }
     }))
     .unwrap_or_else(|payload| {
@@ -230,6 +250,7 @@ enum BatchOutput {
         scores: Vec<f64>,
         decisions: Vec<f64>,
     },
+    Certified(Vec<ifair::Certificate>),
 }
 
 /// Splits the stacked output back into per-job row ranges, in job order.
@@ -250,6 +271,9 @@ fn scatter(jobs: Vec<Job>, sizes: &[usize], output: &BatchOutput) {
                 scores: scores[offset..offset + size].to_vec(),
                 decisions: decisions[offset..offset + size].to_vec(),
             },
+            BatchOutput::Certified(certs) => {
+                JobOutput::Certified(certs[offset..offset + size].to_vec())
+            }
         };
         (job.reply)(Ok(out));
         offset += size;

@@ -16,15 +16,23 @@
 //! ifair convert --csv records.csv --out data --shard-rows 100000
 //! ifair convert --generate 10000000,12,7 --out big
 //! ifair inspect big.00000.ifb
+//!
+//! # Certify an artifact offline: per-row (ε, δ) fairness certificates and
+//! # the certified fraction at a threshold grid:
+//! ifair certify --model demo.json --eps 0.01,0.05 --delta 0.1,0.25
 //! ```
 
+use ifair::core::par::WorkerPool;
 use ifair::core::{FitStrategy, IFair, IFairConfig};
 use ifair::data::binfmt::{read_shard_header, BinDatasetWriter};
 use ifair::data::generators::large::{LargeScale, LargeScaleConfig};
 use ifair::data::{ChunkedCsvReader, DataError, Dataset};
 use ifair::linalg::Matrix;
 use ifair::Pipeline;
-use ifair_serve::{ModelRegistry, ModelSpec, PollBackend, ServeError, Server, ServerConfig};
+use ifair_serve::registry::read_artifact;
+use ifair_serve::{
+    Artifact, ModelRegistry, ModelSpec, PollBackend, ServeError, Server, ServerConfig,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -35,13 +43,20 @@ const USAGE: &str = "usage:
   ifair convert (--csv <in.csv> | --generate M[,N_NUMERIC[,SEED]])
                 --out <stem> [--shard-rows N]
   ifair inspect <shard.ifb>
+  ifair certify --model [name=]path.json[@f32] --eps E[,E2,...]
+                [--delta D[,D2,...]] [--csv <rows.csv>] [--threads N]
 
 `checkpoint-demo` runs a mini-batch fit that checkpoints every epoch to the
 given path (atomically), simulates a crash partway, resumes from the saved
 checkpoint, and verifies the resumed model is bit-identical.
 `convert` streams a numeric CSV (or the seeded large-scale generator) into
 sharded `.ifb` binary dataset files (`{stem}.{index:05}.ifb`) with O(chunk)
-memory; `inspect` prints one shard's header without reading its payload.";
+memory; `inspect` prints one shard's header without reading its payload.
+`certify` computes per-row individual-fairness certificates for an artifact
+offline: for every radius in --eps it bounds, soundly, how far any input
+within that L-inf ball can move in representation space, and reports the
+certified fraction at each --delta threshold. Rows come from --csv; without
+it the built-in 3-feature demo rows are used (matching `demo-artifact`).";
 
 /// `ifair serve --help`. Every flag listed here must be documented in
 /// `docs/SERVING.md` — CI's doc-lint step diffs the two.
@@ -94,6 +109,7 @@ fn main() -> ExitCode {
         Some("checkpoint-demo") => checkpoint_demo(&args[1..]),
         Some("convert") => convert(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
+        Some("certify") => certify(&args[1..]),
         _ => Err(ServeError::Config(format!(
             "unknown or missing subcommand\n{USAGE}"
         ))),
@@ -528,6 +544,130 @@ fn inspect(args: &[String]) -> Result<(), ServeError> {
         None => {
             println!("  columns: {}", header.feature_names.join(", "));
             println!("  (no per-column stats in this shard's header)");
+        }
+    }
+    Ok(())
+}
+
+/// Parsed `certify` flags.
+struct CertifyArgs {
+    spec: Option<ModelSpec>,
+    eps: Vec<f64>,
+    delta: Vec<f64>,
+    csv: Option<String>,
+    threads: usize,
+}
+
+/// `E1[,E2,...]` → finite floats, rejecting anything unparseable.
+fn parse_float_list(flag: &str, raw: &str) -> Result<Vec<f64>, ServeError> {
+    raw.split(',')
+        .map(|s| {
+            s.trim().parse::<f64>().map_err(|_| {
+                ServeError::Config(format!("{flag} expects comma-separated numbers, got `{s}`"))
+            })
+        })
+        .collect()
+}
+
+/// Certifies an artifact offline: per-row sound (ε, δ) bounds at every
+/// requested radius, plus the certified fraction at each `--delta`
+/// threshold. The exact computation the `/certify` endpoint serves, minus
+/// the HTTP — useful for report tables and release gating.
+fn certify(args: &[String]) -> Result<(), ServeError> {
+    let mut parsed = CertifyArgs {
+        spec: None,
+        eps: Vec::new(),
+        delta: Vec::new(),
+        csv: None,
+        threads: 0,
+    };
+    let mut iter = args.iter();
+    let value = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| ServeError::Config(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--model" => parsed.spec = Some(ModelSpec::parse(&value("--model", &mut iter)?)?),
+            "--eps" => parsed.eps = parse_float_list("--eps", &value("--eps", &mut iter)?)?,
+            "--delta" => parsed.delta = parse_float_list("--delta", &value("--delta", &mut iter)?)?,
+            "--csv" => parsed.csv = Some(value("--csv", &mut iter)?),
+            "--threads" => {
+                let raw = value("--threads", &mut iter)?;
+                parsed.threads = raw.parse::<usize>().map_err(|_| {
+                    ServeError::Config(format!("--threads expects an integer, got `{raw}`"))
+                })?;
+            }
+            other => {
+                return Err(ServeError::Config(format!(
+                    "unknown flag `{other}`\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let Some(spec) = parsed.spec else {
+        return Err(ServeError::Config(format!(
+            "certify needs --model\n{USAGE}"
+        )));
+    };
+    if parsed.eps.is_empty() {
+        return Err(ServeError::Config(format!("certify needs --eps\n{USAGE}")));
+    }
+    let json = read_artifact(&spec.path)?;
+    let artifact = Artifact::from_json(&json).map_err(|e| {
+        ServeError::Config(format!("loading artifact `{}`: {e}", spec.path.display()))
+    })?;
+    if !artifact.can_certify() {
+        return Err(ServeError::Config(format!(
+            "model `{}` does not support certification: \
+             no iFair representation stage to certify",
+            spec.name
+        )));
+    }
+    let x = match &parsed.csv {
+        Some(csv) => {
+            let reader = ChunkedCsvReader::open(csv, CONVERT_CHUNK_ROWS)
+                .map_err(|e| data_err("opening the CSV", e))?;
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for chunk in reader {
+                let chunk = chunk.map_err(|e| data_err("reading the CSV", e))?;
+                for i in 0..chunk.rows() {
+                    rows.push(chunk.row(i).to_vec());
+                }
+            }
+            Matrix::from_rows(rows)
+                .map_err(|e| ServeError::Config(format!("CSV rows are not rectangular: {e}")))?
+        }
+        None => demo_dataset().x,
+    };
+    let pool = WorkerPool::new(parsed.threads.max(1));
+    println!(
+        "certifying `{}` ({}, {} rows x {} features)",
+        spec.name,
+        spec.precision,
+        x.rows(),
+        x.cols()
+    );
+    for &eps in &parsed.eps {
+        let certs = artifact
+            .certify(x.clone(), eps, Some(&pool), spec.precision)
+            .map_err(|e| ServeError::Config(format!("certifying at eps {eps}: {e}")))?;
+        let mut deltas: Vec<f64> = certs.iter().map(|c| c.delta).collect();
+        deltas.sort_by(|a, b| a.partial_cmp(b).expect("certified deltas are finite"));
+        let median = deltas[deltas.len() / 2];
+        println!(
+            "  eps {eps}: delta min {:.6} median {median:.6} max {:.6}",
+            deltas[0],
+            deltas[deltas.len() - 1]
+        );
+        for &thr in &parsed.delta {
+            let certified = deltas.iter().filter(|&&d| d <= thr).count();
+            println!(
+                "    delta <= {thr}: {certified}/{} rows certified ({:.1}%)",
+                deltas.len(),
+                100.0 * certified as f64 / deltas.len() as f64
+            );
         }
     }
     Ok(())

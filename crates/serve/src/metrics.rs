@@ -1,6 +1,7 @@
 //! Request counters and latency percentiles, scraped as Prometheus text.
 
 use crate::supervisor::ThreadKind;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -16,6 +17,7 @@ pub struct Metrics {
     requests_total: AtomicU64,
     transform_requests: AtomicU64,
     predict_requests: AtomicU64,
+    certify_requests: AtomicU64,
     rows_served: AtomicU64,
     errors_total: AtomicU64,
     rejected_total: AtomicU64,
@@ -30,6 +32,10 @@ pub struct Metrics {
     restarts_reactor: AtomicU64,
     restarts_batcher: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    /// Latest certified fraction per `(model, ε)` — updated by certify
+    /// requests that carry a `delta` threshold; a BTreeMap keeps the
+    /// exposition order stable across scrapes.
+    certified_fraction: Mutex<BTreeMap<(String, String), f64>>,
 }
 
 /// Fixed-capacity ring of latency samples in nanoseconds.
@@ -68,6 +74,8 @@ pub enum Endpoint {
     Transform,
     /// `POST /v1/models/{name}/predict`
     Predict,
+    /// `POST /v1/models/{name}/certify`
+    Certify,
     /// Everything else (`/healthz`, `/metrics`, `/admin/reload`, 404s).
     Other,
 }
@@ -85,6 +93,7 @@ impl Metrics {
         match endpoint {
             Endpoint::Transform => self.transform_requests.fetch_add(1, Ordering::Relaxed),
             Endpoint::Predict => self.predict_requests.fetch_add(1, Ordering::Relaxed),
+            Endpoint::Certify => self.certify_requests.fetch_add(1, Ordering::Relaxed),
             Endpoint::Other => 0,
         };
         if rows > 0 {
@@ -159,6 +168,17 @@ impl Metrics {
     pub fn observe_socket_config_error(&self) {
         self.socket_config_errors_total
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the certified fraction observed by a certify request that
+    /// carried a `delta` threshold: the share of its rows whose certified
+    /// δ was within the threshold, labelled by model and ε. Later requests
+    /// at the same `(model, ε)` overwrite the gauge (latest wins).
+    pub fn observe_certified_fraction(&self, model: &str, eps: f64, fraction: f64) {
+        self.certified_fraction
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert((model.to_string(), format!("{eps}")), fraction);
     }
 
     /// Counts one supervised thread respawned after a panic.
@@ -255,6 +275,11 @@ impl Metrics {
             self.predict_requests.load(Ordering::Relaxed),
         );
         counter(
+            "ifair_certify_requests_total",
+            "Certify requests handled.",
+            self.certify_requests.load(Ordering::Relaxed),
+        );
+        counter(
             "ifair_rows_served_total",
             "Data rows returned by transform/predict responses.",
             self.rows_served(),
@@ -332,6 +357,22 @@ impl Metrics {
             for (name, precision) in precisions {
                 out.push_str(&format!(
                     "ifair_model_precision{{model=\"{name}\",precision=\"{precision}\"}} 1\n"
+                ));
+            }
+        }
+        {
+            let fractions = self
+                .certified_fraction
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            // The family header renders even with no samples yet, so the
+            // doc_lint capture sees the series regardless of scrape order.
+            out.push_str(
+                "# HELP ifair_certified_fraction Fraction of rows in the latest thresholded certify request whose certified delta met the requested threshold.\n# TYPE ifair_certified_fraction gauge\n",
+            );
+            for ((model, eps), fraction) in fractions.iter() {
+                out.push_str(&format!(
+                    "ifair_certified_fraction{{model=\"{model}\",eps=\"{eps}\"}} {fraction}\n"
                 ));
             }
         }
@@ -443,6 +484,24 @@ mod tests {
         m.observe_connection_closed();
         m.observe_connection_closed();
         assert_eq!(m.connections_active(), 0);
+    }
+
+    #[test]
+    fn certify_counters_and_fraction_gauge_render() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Certify, 4, Duration::from_micros(80), 200);
+        m.observe_certified_fraction("credit", 0.05, 0.75);
+        m.observe_certified_fraction("credit", 0.05, 0.5); // latest wins
+        m.observe_certified_fraction("income", 0.1, 1.0);
+        let text = m.render(1, 1, &[]);
+        assert!(text.contains("ifair_certify_requests_total 1"));
+        assert!(text.contains("ifair_certified_fraction{model=\"credit\",eps=\"0.05\"} 0.5"));
+        assert!(text.contains("ifair_certified_fraction{model=\"income\",eps=\"0.1\"} 1"));
+        // Without any thresholded certify request the gauge family is absent
+        // (but the counter still renders for doc_lint).
+        let empty = Metrics::new().render(0, 0, &[]);
+        assert!(empty.contains("ifair_certify_requests_total 0"));
+        assert!(!empty.contains("ifair_certified_fraction{"));
     }
 
     #[test]

@@ -158,10 +158,21 @@ struct PendingReq {
     slot_held: bool,
     /// Rows in the request (echoed into the row metrics on success).
     rows: usize,
+    /// Set on `/certify` requests: the radius (and optional threshold)
+    /// the response rendering needs back once the job completes.
+    certify: Option<CertifyMeta>,
     reply: Option<Reply>,
     /// Close the connection after writing this reply (client asked, cap
     /// reached, or the request could never be parsed past).
     close_after: bool,
+}
+
+/// The certification parameters a `/certify` request carried, kept on the
+/// pending entry so the completion can echo them and threshold the deltas.
+#[derive(Debug, Clone, Copy)]
+struct CertifyMeta {
+    eps: f64,
+    delta: Option<f64>,
 }
 
 impl PendingReq {
@@ -177,6 +188,7 @@ impl PendingReq {
             model_name: None,
             slot_held: false,
             rows: 0,
+            certify: None,
             reply: Some(reply),
             close_after,
         }
@@ -683,16 +695,27 @@ fn parse_deadline(req: &RequestRef<'_>, anchor: Instant) -> Result<Option<Instan
     }
 }
 
-/// Extracts `(name, op)` from `/v1/models/{name}/transform|predict`.
-fn parse_model_path(path: &str) -> Option<(&str, Op)> {
+/// A model endpoint named by the URL path. Unlike [`Op`], this carries no
+/// parameters: `certify` needs the radius from the request *body*, which
+/// is only parsed after routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathOp {
+    Transform,
+    Predict,
+    Certify,
+}
+
+/// Extracts `(name, op)` from `/v1/models/{name}/transform|predict|certify`.
+fn parse_model_path(path: &str) -> Option<(&str, PathOp)> {
     let rest = path.strip_prefix("/v1/models/")?;
     let (name, op) = rest.split_once('/')?;
     if name.is_empty() {
         return None;
     }
     match op {
-        "transform" => Some((name, Op::Transform)),
-        "predict" => Some((name, Op::Predict)),
+        "transform" => Some((name, PathOp::Transform)),
+        "predict" => Some((name, PathOp::Predict)),
+        "certify" => Some((name, PathOp::Certify)),
         _ => None,
     }
 }
@@ -739,14 +762,15 @@ fn reload(registry: &ModelRegistry) -> Reply {
     }
 }
 
-/// Validates a transform/predict request and dispatches it to the batcher
-/// (or answers inline: shed, throttled, queue full, validation error).
+/// Validates a transform/predict/certify request and dispatches it to the
+/// batcher (or answers inline: shed, throttled, queue full, validation
+/// error).
 #[allow(clippy::too_many_arguments)]
 fn model_request(
     ctx: &ReactorCtx,
     inflight: &mut HashMap<String, usize>,
     name: &str,
-    op: Op,
+    path_op: PathOp,
     req: &RequestRef<'_>,
     deadline: Option<Instant>,
     token: u64,
@@ -754,9 +778,10 @@ fn model_request(
     anchor: Instant,
     close_after: bool,
 ) -> PendingReq {
-    let endpoint = match op {
-        Op::Transform => Endpoint::Transform,
-        Op::Predict => Endpoint::Predict,
+    let endpoint = match path_op {
+        PathOp::Transform => Endpoint::Transform,
+        PathOp::Predict => Endpoint::Predict,
+        PathOp::Certify => Endpoint::Certify,
     };
     let inline = |reply: Reply| PendingReq::done(seq, anchor, reply, close_after);
     // Load shedding, part 1: the budget may already be gone — this
@@ -770,21 +795,66 @@ fn model_request(
         Ok(body) => body,
         Err(e) => return inline(Reply::error(400, endpoint, &e.to_string())),
     };
-    let parsed: RowsRequest = match serde_json::from_str(body) {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            return inline(Reply::error(
-                400,
-                endpoint,
-                &format!("invalid request body: {e}"),
-            ))
+    // Per-endpoint body shape: `/certify` carries the radius (and an
+    // optional threshold) alongside the rows; transform/predict carry
+    // rows plus an optional group vector.
+    let (rows, group, op, certify) = match path_op {
+        PathOp::Certify => {
+            let parsed: CertifyRequest = match serde_json::from_str(body) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    return inline(Reply::error(
+                        400,
+                        endpoint,
+                        &format!("invalid request body: {e}"),
+                    ))
+                }
+            };
+            if let Err(e) = ifair::api::check_epsilon(parsed.eps) {
+                return inline(Reply::error(400, endpoint, &e.to_string()));
+            }
+            if let Some(d) = parsed.delta {
+                if !d.is_finite() || d < 0.0 {
+                    return inline(Reply::error(
+                        400,
+                        endpoint,
+                        &format!("delta must be a finite non-negative number, got {d}"),
+                    ));
+                }
+            }
+            let op = Op::Certify {
+                eps_bits: parsed.eps.to_bits(),
+            };
+            let meta = CertifyMeta {
+                eps: parsed.eps,
+                delta: parsed.delta,
+            };
+            (parsed.rows, Vec::new(), op, Some(meta))
+        }
+        PathOp::Transform | PathOp::Predict => {
+            let parsed: RowsRequest = match serde_json::from_str(body) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    return inline(Reply::error(
+                        400,
+                        endpoint,
+                        &format!("invalid request body: {e}"),
+                    ))
+                }
+            };
+            let op = if path_op == PathOp::Predict {
+                Op::Predict
+            } else {
+                Op::Transform
+            };
+            (parsed.rows, parsed.group.unwrap_or_default(), op, None)
         }
     };
-    if parsed.rows.is_empty() {
+    if rows.is_empty() {
         return inline(Reply::error(400, endpoint, "request has no rows"));
     }
-    let width = parsed.rows[0].len();
-    if width == 0 || parsed.rows.iter().any(|r| r.len() != width) {
+    let width = rows[0].len();
+    if width == 0 || rows.iter().any(|r| r.len() != width) {
         return inline(Reply::error(
             400,
             endpoint,
@@ -814,15 +884,27 @@ fn model_request(
             &format!("model `{name}` has no predictor stage; use transform"),
         ));
     }
-    let group = parsed.group.unwrap_or_default();
-    if !group.is_empty() && group.len() != parsed.rows.len() {
+    // Certifiability is knowable before dispatch: reject artifacts with no
+    // iFair representation (e.g. a bare predictor) with a typed 400 here
+    // instead of failing the whole coalesced micro-batch with a 500.
+    if path_op == PathOp::Certify && !model.artifact.can_certify() {
+        return inline(Reply::error(
+            400,
+            endpoint,
+            &format!(
+                "model `{name}` does not support certification: \
+                 no iFair representation stage to certify"
+            ),
+        ));
+    }
+    if !group.is_empty() && group.len() != rows.len() {
         return inline(Reply::error(
             400,
             endpoint,
             &format!(
                 "group has {} entries but the request has {} rows",
                 group.len(),
-                parsed.rows.len()
+                rows.len()
             ),
         ));
     }
@@ -845,7 +927,7 @@ fn model_request(
         return inline(Reply::throttled(endpoint));
     }
 
-    let n_rows = parsed.rows.len();
+    let n_rows = rows.len();
     let cancelled = Arc::new(AtomicBool::new(false));
     let reply: Box<dyn FnOnce(Result<JobOutput, JobError>) + Send> = {
         let comp_tx = ctx.comp_tx.clone();
@@ -858,7 +940,7 @@ fn model_request(
     let job = Job {
         model,
         op,
-        rows: parsed.rows,
+        rows,
         group,
         deadline,
         cancelled: Arc::clone(&cancelled),
@@ -880,6 +962,7 @@ fn model_request(
                 model_name: Some(name.to_string()),
                 slot_held,
                 rows: n_rows,
+                certify,
                 reply: None,
                 close_after,
             }
@@ -919,6 +1002,7 @@ fn drain_completions(st: &mut ReactorState, ctx: &ReactorCtx) {
             &model,
             p.endpoint,
             p.rows,
+            p.certify,
             comp.result,
         ));
     }
@@ -930,6 +1014,7 @@ fn render_completion(
     model: &str,
     endpoint: Endpoint,
     n_rows: usize,
+    certify: Option<CertifyMeta>,
     result: Result<JobOutput, JobError>,
 ) -> Reply {
     match result {
@@ -948,6 +1033,33 @@ fn render_completion(
                 decisions,
             })
             .expect("predict response serializes");
+            Reply::json(200, body.into_bytes(), endpoint, n_rows)
+        }
+        Ok(JobOutput::Certified(certs)) => {
+            let meta = certify.unwrap_or(CertifyMeta {
+                eps: 0.0,
+                delta: None,
+            });
+            let deltas: Vec<f64> = certs.iter().map(|c| c.delta).collect();
+            let methods: Vec<ifair::CertMethod> = certs.iter().map(|c| c.method).collect();
+            let certified = meta
+                .delta
+                .map(|thr| deltas.iter().map(|&d| d <= thr).collect::<Vec<bool>>());
+            if let Some(flags) = &certified {
+                if !flags.is_empty() {
+                    let frac = flags.iter().filter(|&&b| b).count() as f64 / flags.len() as f64;
+                    ctx.metrics
+                        .observe_certified_fraction(model, meta.eps, frac);
+                }
+            }
+            let body = serde_json::to_string(&CertifyResponse {
+                model: model.to_string(),
+                eps: meta.eps,
+                deltas,
+                methods,
+                certified,
+            })
+            .expect("certify response serializes");
             Reply::json(200, body.into_bytes(), endpoint, n_rows)
         }
         // Load shedding, part 2: the batcher found the deadline expired at
@@ -1179,6 +1291,36 @@ struct PredictResponse {
     decisions: Vec<f64>,
 }
 
+/// Body of `POST /v1/models/{name}/certify`.
+#[derive(Debug, Deserialize)]
+struct CertifyRequest {
+    /// Feature rows to certify, all of the model's input width.
+    rows: Vec<Vec<f64>>,
+    /// L∞ perturbation radius each row is certified against.
+    eps: f64,
+    /// Optional threshold: when present the response also reports, per
+    /// row, whether the certified delta met it, and the server updates
+    /// the `ifair_certified_fraction` gauge for this model and radius.
+    #[serde(default)]
+    delta: Option<f64>,
+}
+
+/// Body of a successful certify response.
+#[derive(Debug, Serialize)]
+struct CertifyResponse {
+    model: String,
+    /// The radius the request asked about, echoed back.
+    eps: f64,
+    /// Per-row certified output-space bounds: no input within `eps` (L∞)
+    /// of row *i* maps farther than `deltas[i]` (L2) from the row's image.
+    deltas: Vec<f64>,
+    /// How each row's bound was obtained.
+    methods: Vec<ifair::CertMethod>,
+    /// Per-row `deltas[i] <= delta` verdicts; `null` when the request
+    /// carried no threshold.
+    certified: Option<Vec<bool>>,
+}
+
 /// Body of every error response.
 #[derive(Debug, Serialize)]
 struct ErrorResponse {
@@ -1208,11 +1350,15 @@ mod tests {
     fn model_paths_parse() {
         assert_eq!(
             parse_model_path("/v1/models/credit/transform"),
-            Some(("credit", Op::Transform))
+            Some(("credit", PathOp::Transform))
         );
         assert_eq!(
             parse_model_path("/v1/models/m2/predict"),
-            Some(("m2", Op::Predict))
+            Some(("m2", PathOp::Predict))
+        );
+        assert_eq!(
+            parse_model_path("/v1/models/m3/certify"),
+            Some(("m3", PathOp::Certify))
         );
         assert_eq!(parse_model_path("/v1/models//transform"), None);
         assert_eq!(parse_model_path("/v1/models/m/evaluate"), None);
@@ -1230,6 +1376,18 @@ mod tests {
     }
 
     #[test]
+    fn certify_request_requires_eps_and_allows_delta() {
+        let r: CertifyRequest = serde_json::from_str(r#"{"rows":[[1.0,2.0]],"eps":0.05}"#).unwrap();
+        assert_eq!(r.eps, 0.05);
+        assert!(r.delta.is_none());
+        let r: CertifyRequest =
+            serde_json::from_str(r#"{"rows":[[1.0,2.0]],"eps":0.05,"delta":0.1}"#).unwrap();
+        assert_eq!(r.delta, Some(0.1));
+        // eps is mandatory: rows alone must not parse.
+        assert!(serde_json::from_str::<CertifyRequest>(r#"{"rows":[[1.0]]}"#).is_err());
+    }
+
+    #[test]
     fn admission_slots_release_exactly_once() {
         let mut inflight = HashMap::new();
         inflight.insert("m".to_string(), 2usize);
@@ -1243,6 +1401,7 @@ mod tests {
             model_name: Some("m".to_string()),
             slot_held: true,
             rows: 1,
+            certify: None,
             reply: None,
             close_after: false,
         };

@@ -29,6 +29,8 @@ use std::time::Duration;
 static SERIAL: Mutex<()> = Mutex::new(());
 
 const BODY: &str = "{\"rows\":[[0.3,0.7,1.0],[0.6,0.4,0.0]]}";
+/// The certify-op storm payload: same rows, a fixed radius and threshold.
+const CERTIFY_BODY: &str = "{\"rows\":[[0.3,0.7,1.0],[0.6,0.4,0.0]],\"eps\":0.05,\"delta\":0.5}";
 
 fn toy_dataset(m: usize) -> Dataset {
     let rows: Vec<Vec<f64>> = (0..m)
@@ -117,9 +119,28 @@ fn fire(addr: std::net::SocketAddr) -> Result<(u16, String), std::io::Error> {
     )
 }
 
+/// Posts one certify round (the storm table's newest op).
+fn fire_certify(addr: std::net::SocketAddr) -> Result<(u16, String), std::io::Error> {
+    client::request_with(
+        addr,
+        "POST",
+        "/v1/models/m/certify",
+        &[],
+        Some(CERTIFY_BODY),
+        Some(Duration::from_secs(10)),
+    )
+}
+
 /// The healthy-run reference bits for `BODY` against the artifact.
 fn healthy_bits(addr: std::net::SocketAddr) -> String {
     let (status, body) = fire(addr).expect("healthy request");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// The healthy-run reference bits for `CERTIFY_BODY`.
+fn healthy_certify_bits(addr: std::net::SocketAddr) -> String {
+    let (status, body) = fire_certify(addr).expect("healthy certify request");
     assert_eq!(status, 200, "{body}");
     body
 }
@@ -140,14 +161,17 @@ fn await_restarts(handle: &ifair_serve::ServerHandle, kind: ThreadKind, want: u6
 
 /// The full storm at one seed: panics in every supervised thread, a torn
 /// write, a slow read, and an artifact-read error, at seed-drawn call
-/// numbers. Every outcome must be well-formed; the server must end the
-/// storm answering bit-identically to its healthy self.
+/// numbers, with rounds alternating transform and certify ops so every
+/// fault can land mid-certify too. Every outcome must be well-formed; the
+/// server must end the storm answering bit-identically to its healthy self
+/// on both ops.
 fn chaos_storm(seed: u64) {
     let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     let path = write_artifact(&format!("storm{seed}"), 3);
     let handle = boot(&path);
     let addr = handle.addr();
     let reference = healthy_bits(addr);
+    let certify_reference = healthy_certify_bits(addr);
     let threads_before = thread_count();
 
     const ROUNDS: u64 = 40;
@@ -171,10 +195,23 @@ fn chaos_storm(seed: u64) {
     faults::install(plan);
 
     let mut outcomes = [0u64; 3]; // ok / http error / transport error
-    for _ in 0..ROUNDS {
-        match fire(addr) {
+    for round in 0..ROUNDS {
+        // Alternate ops so the scheduled faults (reactor respawn included)
+        // land mid-certify on half the storm.
+        let certify_round = round % 2 == 1;
+        let expected = if certify_round {
+            &certify_reference
+        } else {
+            &reference
+        };
+        let shot = if certify_round {
+            fire_certify(addr)
+        } else {
+            fire(addr)
+        };
+        match shot {
             Ok((200, body)) => {
-                assert_eq!(body, reference, "seed {seed}: garbled 200");
+                assert_eq!(&body, expected, "seed {seed}: garbled 200");
                 outcomes[0] += 1;
             }
             Ok((status, body)) => {
@@ -230,6 +267,12 @@ fn chaos_storm(seed: u64) {
         let (status, body) = fire(addr).expect("post-storm request");
         assert_eq!(status, 200, "{body}");
         assert_eq!(body, reference, "seed {seed}: post-storm bits diverged");
+        let (status, body) = fire_certify(addr).expect("post-storm certify");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            body, certify_reference,
+            "seed {seed}: post-storm certify bits diverged"
+        );
     }
     assert_eq!(
         thread_count(),

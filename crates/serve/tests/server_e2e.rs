@@ -26,6 +26,15 @@ struct PredictResponse {
     decisions: Vec<f64>,
 }
 
+#[derive(Debug, Deserialize)]
+struct CertifyResponse {
+    model: String,
+    eps: f64,
+    deltas: Vec<f64>,
+    methods: Vec<String>,
+    certified: Option<Vec<bool>>,
+}
+
 fn toy_dataset(m: usize) -> Dataset {
     let rows: Vec<Vec<f64>> = (0..m)
         .map(|i| {
@@ -360,6 +369,173 @@ fn hot_reload_under_concurrent_load_loses_no_requests() {
     assert_eq!(status, 200);
     let parsed: TransformResponse = serde_json::from_str(&text).unwrap();
     assert_eq!(bits(&parsed.rows), expect_v2);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// `/certify` answers bit-identically to in-process `Pipeline::certify_rows`,
+/// thresholds rows when a `delta` rides along, and publishes the certified
+/// fraction gauge; malformed radii and unknown models get typed statuses.
+#[test]
+fn certify_endpoint_matches_in_process_and_rejects_bad_input() {
+    let ds = toy_dataset(24);
+    let pipeline = quick_pipeline(&ds, 13);
+    let path = temp_file("certify");
+    std::fs::write(&path, pipeline.to_json().unwrap()).unwrap();
+    let handle = boot(&path, "toy");
+    let addr = handle.addr();
+
+    let eps = 0.05;
+    let expect: Vec<u64> = pipeline
+        .certify_rows(&ds.x, eps, None, ifair_serve::Precision::F64)
+        .unwrap()
+        .iter()
+        .map(|c| c.delta.to_bits())
+        .collect();
+
+    // Unthresholded round trip: deltas bit-identical, no verdicts.
+    let body = format!(
+        "{{\"rows\":{},\"eps\":{eps}}}",
+        serde_json::to_string(
+            &(0..ds.x.rows())
+                .map(|i| ds.x.row(i).to_vec())
+                .collect::<Vec<_>>()
+        )
+        .unwrap()
+    );
+    let (status, text) = client::post(addr, "/v1/models/toy/certify", &body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let parsed: CertifyResponse = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed.model, "toy");
+    assert_eq!(parsed.eps, eps);
+    let got: Vec<u64> = parsed.deltas.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, expect, "wire deltas differ from in-process certify");
+    assert_eq!(parsed.methods.len(), parsed.deltas.len());
+    assert!(parsed
+        .methods
+        .iter()
+        .all(|m| m == "IntervalBound" || m == "GlobalDiameter"));
+    assert!(parsed.certified.is_none(), "no threshold, no verdicts");
+
+    // Thresholded: per-row verdicts match `delta <= threshold`, and the
+    // certified-fraction gauge appears on /metrics for this (model, eps).
+    let threshold = {
+        let mut sorted: Vec<f64> = parsed.deltas.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2] // median: some rows pass, typically not all
+    };
+    let body = format!(
+        "{{\"rows\":{},\"eps\":{eps},\"delta\":{threshold}}}",
+        serde_json::to_string(
+            &(0..ds.x.rows())
+                .map(|i| ds.x.row(i).to_vec())
+                .collect::<Vec<_>>()
+        )
+        .unwrap()
+    );
+    let (status, text) = client::post(addr, "/v1/models/toy/certify", &body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let parsed: CertifyResponse = serde_json::from_str(&text).unwrap();
+    let flags = parsed.certified.expect("threshold present, verdicts due");
+    assert_eq!(flags.len(), parsed.deltas.len());
+    for (i, (&d, &ok)) in parsed.deltas.iter().zip(&flags).enumerate() {
+        assert_eq!(ok, d <= threshold, "row {i} verdict contradicts its delta");
+    }
+    assert!(
+        flags.iter().any(|&b| b),
+        "median threshold certifies no rows?"
+    );
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("ifair_certified_fraction{model=\"toy\",eps=\"0.05\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ifair_certify_requests_total 2"),
+        "{metrics}"
+    );
+
+    // Typed rejections: malformed radius, malformed threshold, missing
+    // radius, unknown model.
+    let rows = "[[0.1,0.2,1.0]]";
+    let (status, text) = client::post(
+        addr,
+        "/v1/models/toy/certify",
+        &format!("{{\"rows\":{rows},\"eps\":-0.5}}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("invalid certification radius"), "{text}");
+    let (status, text) = client::post(
+        addr,
+        "/v1/models/toy/certify",
+        &format!("{{\"rows\":{rows},\"eps\":0.1,\"delta\":-1.0}}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("delta"), "{text}");
+    let (status, text) = client::post(
+        addr,
+        "/v1/models/toy/certify",
+        &format!("{{\"rows\":{rows}}}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{text}");
+    let (status, _) = client::post(
+        addr,
+        "/v1/models/ghost/certify",
+        &format!("{{\"rows\":{rows},\"eps\":0.1}}"),
+    )
+    .unwrap();
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Regression (ISSUE 10 satellite): certifying an artifact whose pipeline
+/// is a bare predictor — no representation space — must be a typed error
+/// end to end, never a panic: in-process `Pipeline::certify_rows` returns
+/// `CertifyError::Unsupported`, and the server answers 400 before dispatch.
+#[test]
+fn bare_predictor_artifact_certify_is_a_typed_400_not_a_panic() {
+    let ds = toy_dataset(16);
+    let bare = Pipeline::builder()
+        .logistic_regression_default()
+        .fit(&ds)
+        .unwrap();
+
+    // In-process: typed error, not a panic.
+    let err = bare
+        .certify_rows(&ds.x, 0.1, None, ifair_serve::Precision::F64)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("certification unsupported"),
+        "{err}"
+    );
+
+    let path = temp_file("barecert");
+    std::fs::write(&path, bare.to_json().unwrap()).unwrap();
+    let handle = boot(&path, "barepred");
+    let addr = handle.addr();
+    let (status, text) = client::post(
+        addr,
+        "/v1/models/barepred/certify",
+        "{\"rows\":[[0.1,0.2,1.0]],\"eps\":0.1}",
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("does not support certification"), "{text}");
+    // The same artifact still predicts fine — only certification is out.
+    let (status, _) = client::post(
+        addr,
+        "/v1/models/barepred/predict",
+        "{\"rows\":[[0.1,0.2,1.0]]}",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
 
     handle.shutdown();
     std::fs::remove_file(&path).ok();

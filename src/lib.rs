@@ -40,4 +40,5 @@ pub use ifair_metrics as metrics;
 pub use ifair_models as models;
 pub use ifair_optim as optim;
 
+pub use ifair_core::{BoxCertificate, CertMethod, Certificate, CertifyError, DatasetCertification};
 pub use pipeline::{FittedStage, Pipeline, PipelineBuilder, StageSpec};

@@ -42,10 +42,11 @@
 //! ```
 
 use ifair_api::scalers::{MinMaxScalerConfig, StandardScalerConfig};
-use ifair_api::{ensure, FitError, Predict, Transform};
+use ifair_api::{check_epsilon, ensure, CertifyError, FitError, Predict, Transform};
 use ifair_baselines::{Lfr, LfrConfig, SvdConfig, SvdRepresentation};
+use ifair_core::certify::{next_down_f64, next_up_f64};
 use ifair_core::par::WorkerPool;
-use ifair_core::{Estimator, IFair, IFairConfig, Precision};
+use ifair_core::{Certificate, Estimator, IFair, IFairConfig, Precision};
 use ifair_data::{Dataset, MinMaxScaler, StandardScaler};
 use ifair_linalg::Matrix;
 use ifair_models::{LogisticRegression, LogisticRegressionConfig, RidgeConfig, RidgeRegression};
@@ -331,6 +332,133 @@ impl Pipeline {
         ))
     }
 
+    /// Whether [`Pipeline::certify_rows`] can succeed on this chain: the
+    /// last transform stage is an iFair representation reached only through
+    /// scaler stages. A chain whose terminal stage is a bare predictor (or
+    /// whose representation is LFR/SVD) has no certifiable representation
+    /// space — serving layers check this up front to map the case to a
+    /// typed 400 instead of dispatching a doomed batch.
+    pub fn can_certify(&self) -> bool {
+        self.certifiable_prefix().is_ok()
+    }
+
+    /// Certifies every row of `x` (raw input space): a sound bound δ such
+    /// that **every** input within the box `[row − ε, row + ε]` maps within
+    /// δ of the row's own representation. The ε-box is threaded through the
+    /// fitted scaler stages exactly (they are monotone per coordinate, so
+    /// transforming the two endpoint matrices bounds the image of the whole
+    /// box; endpoints are then widened outward two representable steps),
+    /// and the iFair stage runs the interval certification kernel of
+    /// [`ifair_core::certify`]. Under [`Precision::F32`] the bound covers
+    /// the single-precision serving transform instead. Certificates are
+    /// bit-identical for every pool size.
+    pub fn certify_rows(
+        &self,
+        x: &Matrix,
+        eps: f64,
+        pool: Option<&WorkerPool>,
+        precision: Precision,
+    ) -> Result<Vec<Certificate>, CertifyError> {
+        check_epsilon(eps)?;
+        let (scalers, model) = self.certifiable_prefix()?;
+        if let Some(n) = self.n_input_features() {
+            if x.cols() != n {
+                return Err(CertifyError::Model(ifair_api::shape_error(format!(
+                    "rows have {} features but the pipeline expects {n}",
+                    x.cols()
+                ))));
+            }
+        }
+        if x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(CertifyError::Model(ifair_api::shape_error(
+                "rows contain non-finite values",
+            )));
+        }
+        let (rows, cols) = x.shape();
+        let mut lo = Matrix::zeros(rows, cols);
+        let mut hi = Matrix::zeros(rows, cols);
+        for ((&v, l), h) in x
+            .as_slice()
+            .iter()
+            .zip(lo.as_mut_slice())
+            .zip(hi.as_mut_slice())
+        {
+            *l = next_down_f64(v - eps);
+            *h = next_up_f64(v + eps);
+        }
+        for stage in scalers {
+            match stage {
+                FittedStage::StandardScaler(s) => {
+                    lo = s.transform(&lo);
+                    hi = s.transform(&hi);
+                }
+                FittedStage::MinMaxScaler(s) => {
+                    lo = s.transform(&lo);
+                    hi = s.transform(&hi);
+                }
+                _ => unreachable!("certifiable_prefix admits only scaler stages"),
+            }
+            // The scalers are monotone per coordinate even in floating
+            // point, so the transformed endpoints already bracket the image
+            // of every interior point; two outward steps add margin for
+            // free.
+            for v in lo.as_mut_slice() {
+                *v = next_down_f64(next_down_f64(*v));
+            }
+            for v in hi.as_mut_slice() {
+                *v = next_up_f64(next_up_f64(*v));
+            }
+        }
+        let boxes = match precision {
+            Precision::F32 => model.to_f32().certify_boxes(&lo, &hi, pool)?,
+            Precision::F64 => model.certify_boxes(&lo, &hi, pool)?,
+        };
+        Ok(boxes
+            .into_iter()
+            .map(|b| Certificate {
+                eps,
+                delta: b.delta,
+                method: b.method,
+            })
+            .collect())
+    }
+
+    /// Splits the chain into (scaler prefix, terminal iFair representation)
+    /// when the chain is certifiable, or explains why it is not.
+    fn certifiable_prefix(&self) -> Result<(&[FittedStage], &IFair), CertifyError> {
+        let transforms: &[FittedStage] = match self.stages.split_last() {
+            Some((last, prefix)) if last.is_predictor() => prefix,
+            _ => &self.stages,
+        };
+        match transforms.split_last() {
+            None => Err(CertifyError::Unsupported(
+                "the artifact's terminal stage is a bare predictor with no \
+                 representation space to certify"
+                    .into(),
+            )),
+            Some((FittedStage::IFair(m), prefix)) => {
+                for stage in prefix {
+                    match stage {
+                        FittedStage::StandardScaler(_) | FittedStage::MinMaxScaler(_) => {}
+                        other => {
+                            return Err(CertifyError::Unsupported(format!(
+                                "certification requires a scaler-only prefix before the \
+                                 iFair stage, found `{}`",
+                                stage_label(other)
+                            )));
+                        }
+                    }
+                }
+                Ok((prefix, m))
+            }
+            Some((other, _)) => Err(CertifyError::Unsupported(format!(
+                "certification requires an iFair representation as the last \
+                 transform stage, found `{}`",
+                stage_label(other)
+            ))),
+        }
+    }
+
     fn split_predictor(&self) -> Result<(&dyn Predict, &[FittedStage]), FitError> {
         match self.stages.split_last() {
             Some((last, prefix)) if last.is_predictor() => Ok((
@@ -369,6 +497,19 @@ impl Predict for Pipeline {
 
     fn predict(&self, ds: &Dataset) -> Result<Vec<f64>, FitError> {
         Pipeline::predict(self, ds)
+    }
+}
+
+/// Stage label of a fitted stage, mirroring [`StageSpec::label`].
+fn stage_label(stage: &FittedStage) -> &'static str {
+    match stage {
+        FittedStage::StandardScaler(_) => "standard-scaler",
+        FittedStage::MinMaxScaler(_) => "minmax-scaler",
+        FittedStage::IFair(_) => "ifair",
+        FittedStage::Lfr(_) => "lfr",
+        FittedStage::Svd(_) => "svd",
+        FittedStage::LogisticRegression(_) => "logistic-regression",
+        FittedStage::Ridge(_) => "ridge",
     }
 }
 

@@ -170,3 +170,53 @@ fn statistical_parity_bounded_and_symmetric() {
         assert!((parity - statistical_parity(&preds, &swapped)).abs() < 1e-12);
     }
 }
+
+#[test]
+fn certified_delta_monotone_in_eps_and_anchored_at_zero() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0008);
+    for case in 0..4u64 {
+        let x = Matrix::from_rows(random_rows(&mut rng)).unwrap();
+        let protected = vec![false, false, false, true];
+        let model = IFair::fit(&x, &protected, &quick_config(40 + case)).unwrap();
+        // Monotonicity: for a fixed record, growing the radius can only
+        // grow (or keep) the certified displacement bound — the ε-boxes
+        // are nested, so any sound bound for the larger box also covers
+        // the smaller one.
+        let grid = [0.0, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 2.0];
+        let mut prev: Option<Vec<f64>> = None;
+        for &eps in &grid {
+            let deltas: Vec<f64> = model
+                .certify_rows(&x, eps, None)
+                .unwrap()
+                .into_iter()
+                .map(|c| c.delta)
+                .collect();
+            if let Some(prev) = &prev {
+                for (i, (small, big)) in prev.iter().zip(&deltas).enumerate() {
+                    assert!(
+                        big >= small,
+                        "case {case}: row {i} delta shrank from {small} to {big} at eps {eps}"
+                    );
+                }
+            }
+            prev = Some(deltas);
+        }
+        // Anchor: at ε = 0 the box is a single point, so the certificate
+        // must agree with a plain transform of that point — the image is
+        // within δ of itself, and δ itself is pure rounding slack.
+        let images = model.transform_on(&x, None);
+        for (i, cert) in model
+            .certify_rows(&x, 0.0, None)
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            assert!(
+                cert.delta < 1e-9,
+                "case {case}: row {i} eps-0 delta {}",
+                cert.delta
+            );
+            assert!(images.row(i).iter().all(|v| v.is_finite()));
+        }
+    }
+}
